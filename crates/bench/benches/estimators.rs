@@ -1,0 +1,85 @@
+//! Criterion benches: per-observation cost of each estimator.
+//!
+//! The clustering estimator is the interesting one — each observation
+//! intersects two sorted neighbor lists (`O(deg u + deg v)`), so it is an
+//! order of magnitude slower than the `O(1)` density estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use frontier_sampling::estimators::{
+    AssortativityEstimator, ClusteringEstimator, DegreeDistributionEstimator, EdgeEstimator,
+    GroupDensityEstimator,
+};
+use frontier_sampling::{Budget, CostModel, WalkMethod};
+use fs_bench::flickr_fixture;
+use fs_graph::Arc;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Pre-samples a fixed edge stream so the bench isolates estimator cost
+/// from sampling cost.
+fn edge_stream(graph: &fs_graph::Graph, len: usize) -> Vec<Arc> {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut edges = Vec::with_capacity(len);
+    let mut budget = Budget::new(len as f64 + 10.0);
+    WalkMethod::frontier(50).sample_edges(graph, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        edges.push(e)
+    });
+    edges
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let graph = flickr_fixture();
+    let edges = edge_stream(&graph, 50_000);
+    let mut group = c.benchmark_group("estimator_observe");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+
+    group.bench_function("degree_distribution", |b| {
+        b.iter(|| {
+            let mut est = DegreeDistributionEstimator::in_degree();
+            for &e in &edges {
+                est.observe(&graph, e);
+            }
+            black_box(est.theta(1))
+        })
+    });
+
+    group.bench_function("group_density", |b| {
+        b.iter(|| {
+            let mut est = GroupDensityEstimator::new(graph.num_groups());
+            for &e in &edges {
+                est.observe(&graph, e);
+            }
+            black_box(est.estimate(0))
+        })
+    });
+
+    group.bench_function("assortativity", |b| {
+        b.iter(|| {
+            let mut est = AssortativityEstimator::new();
+            for &e in &edges {
+                est.observe(&graph, e);
+            }
+            black_box(est.estimate())
+        })
+    });
+
+    group.bench_function("clustering", |b| {
+        b.iter(|| {
+            let mut est = ClusteringEstimator::new();
+            for &e in &edges {
+                est.observe(&graph, e);
+            }
+            black_box(est.estimate())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimators
+}
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Criterion benches for the extension modules: non-backtracking walks,
+//! random walk with jumps, weighted FS, and the convergence diagnostics.
+//!
+//! The scaling checks mirror the core samplers bench: NBRW's rejection
+//! loop costs O(d/(d−1)) expected draws, so it should sit within ~2× of
+//! the plain walk; weighted FS adds a binary search per step
+//! (`O(log deg)`), so it should stay within a small factor of unweighted
+//! FS; ESS is `O(n · k*)` in the truncation lag `k*`, benchmarked on an
+//! AR(1) series with a known short memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frontier_sampling::diagnostics::{effective_sample_size, split_r_hat};
+use frontier_sampling::weighted::WeightedFrontierSampler;
+use frontier_sampling::{
+    Budget, CostModel, NonBacktrackingFrontier, NonBacktrackingRw, RandomWalkWithJumps,
+};
+use fs_bench::small_fixture;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const STEPS: usize = 20_000;
+
+fn bench_extension_samplers(c: &mut Criterion) {
+    let graph = small_fixture();
+    let mut group = c.benchmark_group("extension_sampler_steps");
+    group.throughput(Throughput::Elements(STEPS as u64));
+
+    group.bench_function("nbrw", |b| {
+        let mut rng = SmallRng::seed_from_u64(11);
+        b.iter(|| {
+            let mut budget = Budget::new(STEPS as f64);
+            let mut acc = 0usize;
+            NonBacktrackingRw::new().sample_edges(
+                &graph,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |e| acc += e.target.index(),
+            );
+            black_box(acc)
+        })
+    });
+
+    for m in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("nb_frontier", m), &m, |b, &m| {
+            let mut rng = SmallRng::seed_from_u64(12);
+            b.iter(|| {
+                let mut budget = Budget::new(STEPS as f64);
+                let mut acc = 0usize;
+                NonBacktrackingFrontier::new(m).sample_edges(
+                    &graph,
+                    &CostModel::unit(),
+                    &mut budget,
+                    &mut rng,
+                    |e| acc += e.target.index(),
+                );
+                black_box(acc)
+            })
+        });
+    }
+
+    for alpha in [0.5f64, 5.0] {
+        group.bench_with_input(
+            BenchmarkId::new("rwj_alpha", format!("{alpha}")),
+            &alpha,
+            |b, &alpha| {
+                let mut rng = SmallRng::seed_from_u64(13);
+                b.iter(|| {
+                    let mut budget = Budget::new(STEPS as f64);
+                    let mut acc = 0usize;
+                    RandomWalkWithJumps::new(alpha).sample_visits(
+                        &graph,
+                        &CostModel::unit(),
+                        &mut budget,
+                        &mut rng,
+                        |v| acc += v.index(),
+                    );
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let topo = small_fixture();
+    let mut wrng = SmallRng::seed_from_u64(14);
+    let graph = fs_gen::assign_weights(
+        &topo,
+        fs_gen::WeightModel::Uniform { lo: 0.1, hi: 10.0 },
+        &mut wrng,
+    );
+
+    let mut group = c.benchmark_group("weighted_sampler_steps");
+    group.throughput(Throughput::Elements(STEPS as u64));
+    for m in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("weighted_frontier", m), &m, |b, &m| {
+            let mut rng = SmallRng::seed_from_u64(15);
+            b.iter(|| {
+                let mut budget = Budget::new(STEPS as f64);
+                let mut acc = 0.0f64;
+                WeightedFrontierSampler::new(m).sample_edges(
+                    &graph,
+                    &CostModel::unit(),
+                    &mut budget,
+                    &mut rng,
+                    |a| acc += a.weight,
+                );
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_and_knn(c: &mut Criterion) {
+    let graph = small_fixture();
+    let mut group = c.benchmark_group("adaptive_and_estimators");
+
+    // Adaptive FS: cost of the walk *plus* the geometric ESS re-checks.
+    group.bench_function("adaptive_frontier_ess500", |b| {
+        use frontier_sampling::adaptive::AdaptiveFrontier;
+        let mut rng = SmallRng::seed_from_u64(17);
+        b.iter(|| {
+            let mut budget = Budget::new(50_000.0);
+            let out = AdaptiveFrontier::new(16, 500.0).sample_edges(
+                &graph,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |_| {},
+            );
+            black_box(out.steps)
+        })
+    });
+
+    // knn spectrum estimator update cost.
+    group.throughput(Throughput::Elements(STEPS as u64));
+    group.bench_function("knn_estimator_updates", |b| {
+        use frontier_sampling::estimators::{EdgeEstimator, NeighborDegreeEstimator};
+        use frontier_sampling::FrontierSampler;
+        let mut rng = SmallRng::seed_from_u64(18);
+        b.iter(|| {
+            let mut est = NeighborDegreeEstimator::new();
+            let mut budget = Budget::new(STEPS as f64);
+            FrontierSampler::new(16).sample_edges(
+                &graph,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |e| est.observe(&graph, e),
+            );
+            black_box(est.spectrum().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_diagnostics(c: &mut Criterion) {
+    // AR(1) chain with short memory (rho = 0.5).
+    let n = 100_000;
+    let mut rng = SmallRng::seed_from_u64(16);
+    let mut x = Vec::with_capacity(n);
+    let mut prev = 0.0f64;
+    for _ in 0..n {
+        let innov: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+        prev = 0.5 * prev + innov * 0.75f64.sqrt();
+        x.push(prev);
+    }
+    let chains: Vec<Vec<f64>> = (0..8).map(|i| x[i * 10_000..(i + 1) * 10_000].to_vec()).collect();
+
+    let mut group = c.benchmark_group("diagnostics");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("ess_100k", |b| {
+        b.iter(|| black_box(effective_sample_size(black_box(&x))))
+    });
+    group.bench_function("split_rhat_8x10k", |b| {
+        b.iter(|| black_box(split_r_hat(black_box(&chains))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_extension_samplers, bench_weighted, bench_adaptive_and_knn, bench_diagnostics
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches: generator throughput (vertices/second) for each
+//! random-graph model and the dataset replicas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fs_gen::datasets::DatasetKind;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let n = 20_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("barabasi_albert_m3", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(fs_gen::barabasi_albert(n, 3, &mut rng)))
+    });
+
+    group.bench_function("gnp_avg_deg_10", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = 10.0 / n as f64;
+        b.iter(|| black_box(fs_gen::gnp(n, p, &mut rng)))
+    });
+
+    group.bench_function("gnm_100k_edges", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(fs_gen::gnm(n, 100_000, &mut rng)))
+    });
+
+    group.bench_function("watts_strogatz_k3", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| black_box(fs_gen::watts_strogatz(n, 3, 0.1, &mut rng)))
+    });
+
+    group.bench_function("chung_lu_powerlaw", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let weights = fs_gen::powerlaw_degree_sequence(n, 2.0, 1, n / 20, &mut rng);
+        let weights: Vec<f64> = weights.into_iter().map(|d| d as f64).collect();
+        b.iter(|| black_box(fs_gen::chung_lu_undirected(&weights, &mut rng)))
+    });
+
+    group.bench_function("configuration_model", |b| {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let degrees = fs_gen::powerlaw_degree_sequence(n, 2.2, 2, n / 20, &mut rng);
+        b.iter(|| black_box(fs_gen::configuration_model(&degrees, &mut rng)))
+    });
+
+    group.finish();
+
+    let mut replicas = c.benchmark_group("dataset_replicas");
+    replicas.sample_size(10);
+    for kind in [DatasetKind::Flickr, DatasetKind::Gab] {
+        replicas.bench_with_input(
+            BenchmarkId::new("generate_scale_0.005", kind.name()),
+            &kind,
+            |b, &kind| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(kind.generate(0.005, seed))
+                })
+            },
+        );
+    }
+    replicas.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models
+}
+criterion_main!(benches);

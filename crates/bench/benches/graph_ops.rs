@@ -1,0 +1,91 @@
+//! Criterion benches: substrate operations the samplers lean on —
+//! neighbor slice access, arc-source lookup (binary search), uniform arc
+//! draws, connected components, triangle counting.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fs_bench::{ba_fixture, small_fixture};
+use fs_graph::{connected_components, global_clustering, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_access(c: &mut Criterion) {
+    let graph = ba_fixture();
+    let n = graph.num_vertices();
+    let arcs = graph.num_arcs();
+    let mut group = c.benchmark_group("graph_access");
+    const OPS: usize = 100_000;
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    group.bench_function("neighbor_slice", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..OPS {
+                let v = VertexId::new(rng.gen_range(0..n));
+                acc += graph.neighbors(v).len();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("uniform_arc_endpoints", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..OPS {
+                let a = rng.gen_range(0..arcs);
+                let e = graph.arc_endpoints(a);
+                acc += e.source.index() + e.target.index();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("has_edge_binary_search", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..OPS {
+                let u = VertexId::new(rng.gen_range(0..n));
+                let v = VertexId::new(rng.gen_range(0..n));
+                acc += usize::from(graph.has_edge(u, v));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let graph = small_fixture();
+    let mut group = c.benchmark_group("graph_algorithms");
+    group.sample_size(10);
+
+    group.bench_function("connected_components_10k", |b| {
+        b.iter(|| black_box(connected_components(&graph).num_components()))
+    });
+
+    group.bench_function("global_clustering_10k", |b| {
+        b.iter(|| black_box(global_clustering(&graph)))
+    });
+
+    group.bench_function("degree_assortativity_10k", |b| {
+        b.iter(|| {
+            black_box(fs_graph::degree_assortativity(
+                &graph,
+                fs_graph::DegreeLabels::Symmetric,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_access, bench_algorithms
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! `cargo bench --bench paper_experiments` — regenerates **every table
+//! and figure** of the paper's evaluation at quick scale and prints the
+//! same rows/series the paper reports, with per-experiment wall times.
+//!
+//! This is a `harness = false` bench (the output is statistical, not a
+//! latency distribution); Criterion benches live in the sibling bench
+//! targets. For publication-scale numbers run:
+//!
+//! ```sh
+//! cargo run -p fs-experiments --release --bin repro -- --exp all
+//! ```
+
+use fs_experiments::{all_experiments, ExpConfig};
+
+fn main() {
+    // `cargo bench -- --list` and test harness probes must not run the
+    // full suite.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("paper_experiments: benchmark suite (17 paper artifacts + ablations/extras)");
+        return;
+    }
+
+    let cfg = ExpConfig::quick();
+    println!(
+        "# paper-experiment bench: quick scale {}, {} runs, seed {}",
+        cfg.scale,
+        cfg.effective_runs(),
+        cfg.seed
+    );
+    let start = std::time::Instant::now();
+    for e in all_experiments() {
+        let t0 = std::time::Instant::now();
+        let result = (e.run)(&cfg);
+        println!("{result}");
+        println!("  [{} regenerated in {:.1?}]", e.id, t0.elapsed());
+        println!();
+    }
+    println!("# all 17 paper artifacts regenerated in {:.1?}", start.elapsed());
+}

@@ -1,0 +1,120 @@
+//! Criterion benches: per-step cost of each sampler, FS cost vs
+//! dimension `m`, and the D1 ablation.
+//!
+//! The headline scaling check: FS's walker selection is `O(log m)`
+//! (Fenwick tree), so stepping `FS(m=1000)` should cost only a few times
+//! more than `FS(m=10)` — not 100x.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use frontier_sampling::{
+    Budget, CostModel, DistributedFs, FrontierSampler, MultipleRw, SingleRw, UniformSelectWalkers,
+};
+use fs_bench::small_fixture;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const STEPS: usize = 20_000;
+
+fn bench_methods(c: &mut Criterion) {
+    let graph = small_fixture();
+    let mut group = c.benchmark_group("sampler_steps");
+    group.throughput(Throughput::Elements(STEPS as u64));
+
+    group.bench_function("single_rw", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut budget = Budget::new(STEPS as f64);
+            let mut acc = 0usize;
+            SingleRw::new().sample_edges(&graph, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                acc += e.target.index();
+            });
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("multiple_rw_m100", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut budget = Budget::new(STEPS as f64);
+            let mut acc = 0usize;
+            MultipleRw::new(100).sample_edges(
+                &graph,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |e| {
+                    acc += e.target.index();
+                },
+            );
+            black_box(acc)
+        })
+    });
+
+    for m in [1usize, 10, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("frontier", m), &m, |b, &m| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut budget = Budget::new(STEPS as f64);
+                let mut acc = 0usize;
+                FrontierSampler::new(m).sample_edges(
+                    &graph,
+                    &CostModel::unit(),
+                    &mut budget,
+                    &mut rng,
+                    |e| {
+                        acc += e.target.index();
+                    },
+                );
+                black_box(acc)
+            })
+        });
+    }
+
+    group.bench_function("distributed_fs_m100", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut budget = Budget::new(STEPS as f64);
+            let mut acc = 0usize;
+            DistributedFs::new(100).sample_edges(
+                &graph,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |e| {
+                    acc += e.target.index();
+                },
+            );
+            black_box(acc)
+        })
+    });
+
+    // D1 ablation: uniform walker selection (cheaper per step, wrong
+    // statistics — see crates/core/src/ablation.rs).
+    group.bench_function("ablation_uniform_select_m100", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| {
+            let mut budget = Budget::new(STEPS as f64);
+            let mut acc = 0usize;
+            UniformSelectWalkers::new(100).sample_edges(
+                &graph,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |e| {
+                    acc += e.target.index();
+                },
+            );
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # fs-bench — benchmark fixtures
+//!
+//! Shared graph fixtures for the Criterion benches, generated once per
+//! bench process at deterministic seeds.
+
+use fs_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A mid-size Barabási–Albert fixture (50k vertices, m = 5).
+pub fn ba_fixture() -> Graph {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    fs_gen::barabasi_albert(50_000, 5, &mut rng)
+}
+
+/// A small BA fixture for per-step microbenches (10k vertices).
+pub fn small_fixture() -> Graph {
+    let mut rng = SmallRng::seed_from_u64(0xFEED);
+    fs_gen::barabasi_albert(10_000, 4, &mut rng)
+}
+
+/// The Flickr replica at bench scale.
+pub fn flickr_fixture() -> Graph {
+    fs_gen::datasets::DatasetKind::Flickr
+        .generate(0.005, 0xF11C)
+        .graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_generate() {
+        assert_eq!(small_fixture().num_vertices(), 10_000);
+        assert!(flickr_fixture().num_vertices() > 5_000);
+    }
+}

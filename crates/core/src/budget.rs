@@ -1,0 +1,185 @@
+//! Sampling budgets and query cost models.
+//!
+//! The paper normalises every comparison by a *sampling budget* `B`
+//! (Section 2: "all queries of edges and vertices have unitary cost and we
+//! have a fixed sampling budget B"), refined in two places:
+//!
+//! * Section 4.4 — initialising a walker at a uniformly random vertex
+//!   costs `c ≥ 1`, so `m` walkers pay `m·c` up front (`⌊B/m − c⌋` steps
+//!   each for MultipleRW; `B − mc` total steps for FS, Algorithm 1);
+//! * Section 6.4 — sparse id spaces: with a *hit ratio* `h` only a
+//!   fraction `h` of uniform vertex queries land on a valid id, so a valid
+//!   uniform draw costs `1/h` on average (MySpace measurement: `h ≈ 10%`);
+//!   random edge queries cost 2 (two endpoints) divided by their own hit
+//!   ratio.
+//!
+//! [`CostModel`] captures those knobs; [`Budget`] does the accounting.
+
+/// Query costs, in budget units.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost of one random-walk step (querying a neighbor of a known
+    /// vertex). The paper's unit.
+    pub walk_step: f64,
+    /// Cost `c` of obtaining one *valid* uniformly random vertex.
+    /// With a hit ratio `h`, set this to `1/h` (deterministic expected
+    /// cost, as in the paper's "on average crawls B − 10m vertices").
+    pub uniform_vertex: f64,
+    /// Cost of obtaining one valid uniformly random edge. Figure 12 uses
+    /// 2 ("each edge samples two vertices"); Figure 13 divides by a 1%
+    /// edge hit ratio.
+    pub random_edge: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            walk_step: 1.0,
+            uniform_vertex: 1.0,
+            random_edge: 2.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Unit costs everywhere (the paper's default assumption).
+    pub fn unit() -> Self {
+        Self::default()
+    }
+
+    /// Cost model with a vertex hit ratio `h ∈ (0, 1]`: a valid uniform
+    /// vertex costs `1/h`.
+    pub fn with_vertex_hit_ratio(mut self, h: f64) -> Self {
+        assert!(h > 0.0 && h <= 1.0, "hit ratio must be in (0, 1]");
+        self.uniform_vertex = 1.0 / h;
+        self
+    }
+
+    /// Cost model with an edge hit ratio `h ∈ (0, 1]`: a valid uniform
+    /// edge costs `base_edge_cost / h` where the base cost is 2.
+    pub fn with_edge_hit_ratio(mut self, h: f64) -> Self {
+        assert!(h > 0.0 && h <= 1.0, "hit ratio must be in (0, 1]");
+        self.random_edge = 2.0 / h;
+        self
+    }
+}
+
+/// A finite sampling budget.
+///
+/// ```
+/// use frontier_sampling::Budget;
+/// let mut b = Budget::new(10.0);
+/// assert!(b.try_spend(7.0));
+/// assert!(!b.try_spend(4.0)); // would overdraw
+/// assert_eq!(b.remaining(), 3.0);
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct Budget {
+    total: f64,
+    spent: f64,
+}
+
+impl Budget {
+    /// Creates a budget of `total` units.
+    pub fn new(total: f64) -> Self {
+        assert!(total >= 0.0, "budget must be non-negative");
+        Budget { total, spent: 0.0 }
+    }
+
+    /// Budget expressed as a fraction of the vertex count, the paper's
+    /// convention (`B = |V|/100` etc.).
+    pub fn fraction_of_vertices(graph: &fs_graph::Graph, fraction: f64) -> Self {
+        Budget::new((graph.num_vertices() as f64 * fraction).floor())
+    }
+
+    /// Total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Whether nothing more can be afforded at unit cost.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() < 1.0 - 1e-12
+    }
+
+    /// Attempts to spend `cost`; returns whether it fit in the budget.
+    pub fn try_spend(&mut self, cost: f64) -> bool {
+        debug_assert!(cost >= 0.0);
+        if self.spent + cost <= self.total + 1e-9 {
+            self.spent += cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Spends `cost` unconditionally (used when a caller has already
+    /// checked affordability for a batch).
+    pub fn force_spend(&mut self, cost: f64) {
+        self.spent += cost;
+    }
+
+    /// How many items of cost `cost` still fit.
+    pub fn affordable(&self, cost: f64) -> usize {
+        if cost <= 0.0 {
+            usize::MAX
+        } else {
+            (self.remaining() / cost).floor() as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_accounting() {
+        let mut b = Budget::new(10.0);
+        assert!(b.try_spend(4.0));
+        assert!(b.try_spend(6.0));
+        assert!(!b.try_spend(0.5));
+        assert_eq!(b.spent(), 10.0);
+        assert_eq!(b.remaining(), 0.0);
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn affordable_counts() {
+        let b = Budget::new(10.0);
+        assert_eq!(b.affordable(3.0), 3);
+        assert_eq!(b.affordable(1.0), 10);
+        assert_eq!(b.affordable(11.0), 0);
+    }
+
+    #[test]
+    fn hit_ratios() {
+        let cm = CostModel::unit().with_vertex_hit_ratio(0.1).with_edge_hit_ratio(0.01);
+        assert!((cm.uniform_vertex - 10.0).abs() < 1e-12);
+        assert!((cm.random_edge - 200.0).abs() < 1e-12);
+        assert_eq!(cm.walk_step, 1.0);
+    }
+
+    #[test]
+    fn fraction_of_vertices() {
+        let g = fs_graph::graph_from_undirected_pairs(250, (0..249).map(|i| (i, i + 1)));
+        let b = Budget::fraction_of_vertices(&g, 0.1);
+        assert_eq!(b.total(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit ratio")]
+    fn bad_hit_ratio_panics() {
+        let _ = CostModel::unit().with_vertex_hit_ratio(0.0);
+    }
+}

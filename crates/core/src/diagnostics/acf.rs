@@ -1,0 +1,98 @@
+//! Autocovariance and autocorrelation of a scalar chain.
+//!
+//! The autocorrelation function (ACF) is the primitive underneath both
+//! the effective-sample-size computation ([`crate::diagnostics::ess`])
+//! and any by-eye mixing assessment: a chain whose ACF decays over
+//! hundreds of lags is a chain whose every walk step buys almost no new
+//! information — the quantitative face of the paper's "trapped walker".
+
+/// Biased (divide-by-`n`) sample autocovariance of `x` at `lag`.
+///
+/// The `1/n` normalisation (rather than `1/(n−lag)`) is the standard
+/// choice for spectral/ESS work: it guarantees the autocovariance
+/// sequence is positive semi-definite, so downstream sums cannot turn a
+/// variance negative. Returns 0 for an empty series or `lag ≥ n`.
+pub fn autocovariance(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if n == 0 || lag >= n {
+        return 0.0;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    x[..n - lag]
+        .iter()
+        .zip(&x[lag..])
+        .map(|(&a, &b)| (a - mean) * (b - mean))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Sample autocorrelation `ρ(lag) = γ(lag)/γ(0)`.
+///
+/// Returns 0 when the series is constant (zero variance), empty, or
+/// `lag ≥ n`; `ρ(0) = 1` otherwise.
+pub fn autocorrelation(x: &[f64], lag: usize) -> f64 {
+    let c0 = autocovariance(x, 0);
+    if c0 <= 0.0 {
+        return 0.0;
+    }
+    autocovariance(x, lag) / c0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::tests::ar1;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let x = ar1(500, 0.5, 601);
+        assert!((autocorrelation(&x, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_series_decorrelated() {
+        let x = ar1(20_000, 0.0, 602);
+        for lag in 1..10 {
+            assert!(
+                autocorrelation(&x, lag).abs() < 0.03,
+                "lag {lag}: {}",
+                autocorrelation(&x, lag)
+            );
+        }
+    }
+
+    #[test]
+    fn ar1_acf_decays_geometrically() {
+        let rho = 0.8;
+        let x = ar1(200_000, rho, 603);
+        for lag in 1..6 {
+            let expect = rho.powi(lag as i32);
+            let got = autocorrelation(&x, lag);
+            assert!(
+                (got - expect).abs() < 0.03,
+                "lag {lag}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_series_has_zero_acf() {
+        let x = vec![3.0; 100];
+        assert_eq!(autocorrelation(&x, 0), 0.0);
+        assert_eq!(autocorrelation(&x, 3), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(autocovariance(&[], 0), 0.0);
+        assert_eq!(autocovariance(&[1.0], 1), 0.0);
+        assert_eq!(autocorrelation(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn alternating_series_negative_lag_one() {
+        let x: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&x, 1) < -0.95);
+        assert!(autocorrelation(&x, 2) > 0.95);
+    }
+}

@@ -1,0 +1,97 @@
+//! Batch-means Monte-Carlo standard errors.
+//!
+//! The SLLN (Theorem 4.1) says walk averages converge; batch means say
+//! *how far along* that convergence is. Split the chain into `b`
+//! consecutive batches of equal length: for a stationary chain the batch
+//! means are approximately independent once batches exceed the
+//! correlation length, so their spread estimates the Monte-Carlo
+//! standard error (MCSE) of the overall mean *without* estimating the
+//! full autocorrelation structure. The canonical batch count is `√n`
+//! (Geyer 1992 §3; Jones et al. 2006), used by [`mcse`].
+
+/// Batch-means standard error of the chain mean using `num_batches`
+/// batches.
+///
+/// Returns `None` when fewer than 2 batches of length ≥ 1 fit, or when
+/// the batch means are constant (zero spread — a degenerate chain).
+pub fn batch_means_se(x: &[f64], num_batches: usize) -> Option<f64> {
+    if num_batches < 2 {
+        return None;
+    }
+    let batch_len = x.len() / num_batches;
+    if batch_len == 0 {
+        return None;
+    }
+    let means: Vec<f64> = (0..num_batches)
+        .map(|b| {
+            let s = &x[b * batch_len..(b + 1) * batch_len];
+            s.iter().sum::<f64>() / batch_len as f64
+        })
+        .collect();
+    let grand = means.iter().sum::<f64>() / num_batches as f64;
+    let var = means.iter().map(|&m| (m - grand).powi(2)).sum::<f64>()
+        / (num_batches as f64 - 1.0);
+    if var <= 0.0 {
+        return None;
+    }
+    // Var[x̄] ≈ Var[batch mean] / b.
+    Some((var / num_batches as f64).sqrt())
+}
+
+/// Batch-means MCSE with the canonical `⌊√n⌋` batch count.
+pub fn mcse(x: &[f64]) -> Option<f64> {
+    batch_means_se(x, (x.len() as f64).sqrt().floor() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::tests::ar1;
+
+    #[test]
+    fn iid_mcse_matches_sd_over_sqrt_n() {
+        let n = 100_000;
+        let x = ar1(n, 0.0, 1001);
+        let sd = {
+            let m = x.iter().sum::<f64>() / n as f64;
+            (x.iter().map(|&v| (v - m).powi(2)).sum::<f64>() / (n as f64 - 1.0)).sqrt()
+        };
+        let se = mcse(&x).unwrap();
+        let expect = sd / (n as f64).sqrt();
+        assert!(
+            (se / expect - 1.0).abs() < 0.35,
+            "MCSE {se} vs sd/√n {expect}"
+        );
+    }
+
+    #[test]
+    fn correlated_chain_has_larger_mcse() {
+        let n = 100_000;
+        let iid = mcse(&ar1(n, 0.0, 1002)).unwrap();
+        let corr = mcse(&ar1(n, 0.9, 1002)).unwrap();
+        // AR(1) with rho = 0.9 inflates the asymptotic variance by
+        // (1+rho)/(1-rho) = 19; batch means should see most of it.
+        assert!(
+            corr > iid * 2.5,
+            "correlated {corr} vs iid {iid}"
+        );
+    }
+
+    #[test]
+    fn mcse_shrinks_with_n() {
+        let short = mcse(&ar1(2_000, 0.5, 1003)).unwrap();
+        let long = mcse(&ar1(200_000, 0.5, 1003)).unwrap();
+        assert!(
+            long < short / 4.0,
+            "10× the samples should roughly 10×-shrink the variance: {short} → {long}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(batch_means_se(&[], 10).is_none());
+        assert!(batch_means_se(&[1.0, 2.0], 1).is_none());
+        assert!(batch_means_se(&[1.0; 100], 10).is_none(), "constant chain");
+        assert!(mcse(&[1.0, 2.0, 3.0]).is_none(), "√3 = 1 batch");
+    }
+}

@@ -1,0 +1,110 @@
+//! Split-chain Gelman–Rubin potential scale reduction factor (`R̂`).
+//!
+//! `R̂` compares the variance *between* independent chains to the variance
+//! *within* them. Chains exploring the same distribution give `R̂ ≈ 1`;
+//! chains trapped in different parts of the graph — the exact failure
+//! mode of Section 4.5's disconnected example — give `R̂ ≫ 1` because
+//! their means disagree. Each chain is split in half ("split-`R̂`",
+//! Gelman et al., *Bayesian Data Analysis* 3rd ed.) so the statistic also
+//! catches a *single* chain whose first and second halves disagree.
+
+/// Split-chain `R̂` over one scalar functional.
+///
+/// Returns `None` when fewer than two split halves of length ≥ 2 exist,
+/// or when the within-chain variance is zero (all-constant chains, where
+/// the statistic is undefined).
+pub fn split_r_hat(chains: &[Vec<f64>]) -> Option<f64> {
+    // Split every chain into halves of equal length (dropping the middle
+    // element of odd-length chains).
+    let mut halves: Vec<&[f64]> = Vec::with_capacity(chains.len() * 2);
+    for c in chains {
+        let h = c.len() / 2;
+        if h >= 2 {
+            halves.push(&c[..h]);
+            halves.push(&c[c.len() - h..]);
+        }
+    }
+    if halves.len() < 2 {
+        return None;
+    }
+    // Truncate to the common length so the classic formula applies.
+    let n = halves.iter().map(|h| h.len()).min()?;
+    let m = halves.len() as f64;
+
+    let means: Vec<f64> = halves
+        .iter()
+        .map(|h| h[..n].iter().sum::<f64>() / n as f64)
+        .collect();
+    let grand = means.iter().sum::<f64>() / m;
+    // Between-chain variance estimate B/n = Σ (mean_j − grand)² / (m−1).
+    let b_over_n = means.iter().map(|&mu| (mu - grand).powi(2)).sum::<f64>() / (m - 1.0);
+    // Within-chain variance W = mean of per-half sample variances.
+    let w = halves
+        .iter()
+        .zip(&means)
+        .map(|(h, &mu)| h[..n].iter().map(|&x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0))
+        .sum::<f64>()
+        / m;
+    if w <= 0.0 {
+        return None;
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b_over_n;
+    Some((var_plus / w).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::tests::ar1;
+
+    #[test]
+    fn agreeing_chains_near_one() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|i| ar1(4_000, 0.4, 801 + i)).collect();
+        let r = split_r_hat(&chains).unwrap();
+        assert!(r < 1.05, "R̂ = {r}");
+        assert!(r >= 0.99, "R̂ = {r}");
+    }
+
+    #[test]
+    fn shifted_chains_flagged() {
+        let a = ar1(4_000, 0.4, 805);
+        let b: Vec<f64> = ar1(4_000, 0.4, 806).iter().map(|x| x + 5.0).collect();
+        let r = split_r_hat(&[a, b]).unwrap();
+        assert!(r > 1.5, "R̂ = {r}");
+    }
+
+    #[test]
+    fn single_drifting_chain_flagged_by_split() {
+        // One chain whose mean moves: the two halves disagree.
+        let n = 4_000;
+        let x: Vec<f64> = ar1(n, 0.2, 807)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v + if i < n / 2 { 0.0 } else { 4.0 })
+            .collect();
+        let r = split_r_hat(&[x]).unwrap();
+        assert!(r > 1.5, "R̂ = {r}");
+    }
+
+    #[test]
+    fn bigger_separation_means_bigger_rhat() {
+        let base = ar1(2_000, 0.3, 808);
+        let shifted = |delta: f64| -> Vec<f64> { base.iter().map(|x| x + delta).collect() };
+        let r1 = split_r_hat(&[base.clone(), shifted(1.0)]).unwrap();
+        let r5 = split_r_hat(&[base.clone(), shifted(5.0)]).unwrap();
+        assert!(r5 > r1, "R̂(5) = {r5} ≤ R̂(1) = {r1}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(split_r_hat(&[]).is_none());
+        assert!(split_r_hat(&[vec![1.0, 2.0, 3.0]]).is_none(), "too short to split");
+        assert!(split_r_hat(&[vec![2.0; 100], vec![2.0; 100]]).is_none(), "zero variance");
+    }
+
+    #[test]
+    fn odd_length_chains_supported() {
+        let chains: Vec<Vec<f64>> = (0..2).map(|i| ar1(1_001, 0.2, 809 + i)).collect();
+        assert!(split_r_hat(&chains).is_some());
+    }
+}

@@ -1,0 +1,108 @@
+//! Geweke's spectral diagnostic for within-chain stationarity.
+//!
+//! Geweke (1992) compares the mean of an early window of the chain
+//! (conventionally the first 10%) to the mean of a late window (the last
+//! 50%): for a stationary chain the two means agree up to Monte-Carlo
+//! noise, so
+//!
+//! ```text
+//! Z = (x̄_A − x̄_B) / sqrt(Var[x̄_A] + Var[x̄_B])
+//! ```
+//!
+//! is approximately standard normal. A transient — the burn-in problem of
+//! Section 4.3 — shows up as `|Z| ≫ 2`. The window-mean variances are
+//! estimated as `(sample variance) / ESS` with the effective sample size
+//! of each window, which is the time-domain equivalent of Geweke's
+//! spectral-density-at-zero estimator.
+
+use super::ess::effective_sample_size;
+
+/// Geweke Z-score comparing the first `first` fraction of the chain to
+/// the last `last` fraction (conventionally `0.1` and `0.5`).
+///
+/// Returns `None` if either window has fewer than 10 samples or zero
+/// variance.
+pub fn geweke_z(x: &[f64], first: f64, last: f64) -> Option<f64> {
+    assert!(
+        first > 0.0 && last > 0.0 && first + last <= 1.0,
+        "windows must be positive and non-overlapping"
+    );
+    let n = x.len();
+    let na = (n as f64 * first).floor() as usize;
+    let nb = (n as f64 * last).floor() as usize;
+    if na < 10 || nb < 10 {
+        return None;
+    }
+    let a = &x[..na];
+    let b = &x[n - nb..];
+    let var_of_mean = |w: &[f64]| -> Option<f64> {
+        let m = w.iter().sum::<f64>() / w.len() as f64;
+        let var = w.iter().map(|&v| (v - m).powi(2)).sum::<f64>() / (w.len() as f64 - 1.0);
+        if var <= 0.0 {
+            return None;
+        }
+        Some(var / effective_sample_size(w))
+    };
+    let mean = |w: &[f64]| w.iter().sum::<f64>() / w.len() as f64;
+    let va = var_of_mean(a)?;
+    let vb = var_of_mean(b)?;
+    Some((mean(a) - mean(b)) / (va + vb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::tests::ar1;
+
+    #[test]
+    fn stationary_chain_small_z() {
+        // Average |Z| over seeds to keep the test robust: for a
+        // stationary chain Z ~ N(0,1), so |Z| stays small.
+        let mut worst: f64 = 0.0;
+        for seed in 0..5 {
+            let x = ar1(8_000, 0.3, 901 + seed);
+            let z = geweke_z(&x, 0.1, 0.5).unwrap();
+            worst = worst.max(z.abs());
+        }
+        assert!(worst < 3.5, "max |Z| = {worst}");
+    }
+
+    #[test]
+    fn transient_chain_large_z() {
+        // Chain that starts far from its stationary mean and decays
+        // toward it — the classic burn-in shape.
+        let n = 8_000;
+        let x: Vec<f64> = ar1(n, 0.2, 906)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v + 8.0 * (-(i as f64) / (n as f64 / 10.0)).exp())
+            .collect();
+        let z = geweke_z(&x, 0.1, 0.5).unwrap();
+        assert!(z.abs() > 4.0, "Z = {z}");
+    }
+
+    #[test]
+    fn sign_reflects_direction() {
+        let n = 8_000;
+        let rising: Vec<f64> = ar1(n, 0.1, 907)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v + 6.0 * i as f64 / n as f64)
+            .collect();
+        let z = geweke_z(&rising, 0.1, 0.5).unwrap();
+        assert!(z < -4.0, "rising chain starts below its tail: Z = {z}");
+    }
+
+    #[test]
+    fn short_or_constant_windows_are_none() {
+        assert!(geweke_z(&[1.0; 50], 0.1, 0.5).is_none(), "window too short");
+        assert!(geweke_z(&vec![2.0; 10_000], 0.1, 0.5).is_none(), "zero variance");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-overlapping")]
+    fn overlapping_windows_panic() {
+        let x = ar1(100, 0.0, 908);
+        let _ = geweke_z(&x, 0.6, 0.6);
+    }
+}

@@ -1,0 +1,217 @@
+//! MCMC convergence diagnostics for random-walk samples.
+//!
+//! Section 4.3 of the paper notes that random-walk estimates suffer from
+//! two documented error sources — transients (walkers not started in
+//! steady state) and trapping — and cites Geyer's *Practical Markov Chain
+//! Monte Carlo* (1992) for the standard remedies. This module implements
+//! the standard *detectors* for those pathologies, so a practitioner
+//! running any of this crate's samplers on an unknown graph can measure,
+//! rather than guess, whether the walk has mixed:
+//!
+//! | diagnostic | question it answers | module |
+//! |------------|---------------------|--------|
+//! | autocorrelation function | how correlated are successive samples? | [`acf`] |
+//! | effective sample size (Geyer) | how many *independent* samples is the walk worth? | [`ess`] |
+//! | batch-means MCSE | what is the standard error of this walk average? | [`batch`] |
+//! | split-chain Gelman–Rubin `R̂` | do independent replicas agree? | [`gelman`] |
+//! | Geweke Z-score | has the chain drifted between its start and end? | [`geweke`] |
+//!
+//! All diagnostics operate on *scalar functionals* of the walk — series
+//! `x_1, …, x_n` where `x_i = f(u_i, v_i)` for the `i`-th sampled edge.
+//! The natural functional for this paper's estimators is `1/deg(v_i)`
+//! (the reweighting term shared by every eq.-7-style estimator);
+//! [`inverse_degree_series`] builds it. Any other functional works — e.g.
+//! an indicator `1(l ∈ L_v(v_i))` to diagnose one label's estimate.
+//!
+//! The `extra_diag` experiment uses these tools to show *why* FS wins:
+//! on loosely connected graphs, FS chains have larger effective sample
+//! sizes and `R̂ ≈ 1` while SingleRW replicas disagree (`R̂ ≫ 1`).
+
+pub mod acf;
+pub mod batch;
+pub mod ess;
+pub mod gelman;
+pub mod geweke;
+
+pub use acf::{autocorrelation, autocovariance};
+pub use batch::{batch_means_se, mcse};
+pub use ess::effective_sample_size;
+pub use gelman::split_r_hat;
+pub use geweke::geweke_z;
+
+use fs_graph::{Arc, Graph};
+
+/// Builds the scalar series `x_i = 1/deg(v_i)` from a sampled-edge
+/// sequence — the functional whose walk-average is the `S` term of
+/// eq. (7) (it converges to `|V|/vol(V)`).
+pub fn inverse_degree_series(graph: &Graph, edges: &[Arc]) -> Vec<f64> {
+    edges
+        .iter()
+        .map(|e| {
+            let d = graph.degree(e.target);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect()
+}
+
+/// A cross-replica diagnostic summary for one scalar functional.
+///
+/// ```
+/// use frontier_sampling::diagnostics::ChainDiagnostics;
+///
+/// // Two replicas that agree: a healthy run.
+/// let a: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+/// let b: Vec<f64> = (0..500).map(|i| ((i * 53) % 101) as f64).collect();
+/// let d = ChainDiagnostics::compute(&[a.clone(), b]);
+/// assert!(d.looks_converged());
+///
+/// // A replica stuck somewhere else entirely: flagged.
+/// let stuck: Vec<f64> = a.iter().map(|x| x + 1_000.0).collect();
+/// let d = ChainDiagnostics::compute(&[a, stuck]);
+/// assert!(!d.looks_converged());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChainDiagnostics {
+    /// Per-chain effective sample sizes.
+    pub ess: Vec<f64>,
+    /// Total effective sample size (sum over chains).
+    pub ess_total: f64,
+    /// Total raw sample count (sum over chains).
+    pub n_total: usize,
+    /// Split-chain Gelman–Rubin statistic; `None` with fewer than two
+    /// split halves or degenerate (constant) chains.
+    pub r_hat: Option<f64>,
+    /// Per-chain Geweke Z-scores (first 10% vs last 50%); `None` for
+    /// chains too short or degenerate.
+    pub geweke: Vec<Option<f64>>,
+}
+
+impl ChainDiagnostics {
+    /// Computes all diagnostics for a set of independent chains of the
+    /// same scalar functional.
+    pub fn compute(chains: &[Vec<f64>]) -> Self {
+        let ess: Vec<f64> = chains.iter().map(|c| effective_sample_size(c)).collect();
+        let ess_total = ess.iter().sum();
+        let n_total = chains.iter().map(Vec::len).sum();
+        let r_hat = split_r_hat(chains);
+        let geweke = chains.iter().map(|c| geweke_z(c, 0.1, 0.5)).collect();
+        ChainDiagnostics {
+            ess,
+            ess_total,
+            n_total,
+            r_hat,
+            geweke,
+        }
+    }
+
+    /// Sampling efficiency: effective samples per raw sample, in `(0, ∞)`
+    /// (values near 1 mean nearly-iid samples; values may exceed 1 for
+    /// antithetic chains).
+    pub fn efficiency(&self) -> f64 {
+        if self.n_total == 0 {
+            return 0.0;
+        }
+        self.ess_total / self.n_total as f64
+    }
+
+    /// A conventional "has this run converged" verdict: `R̂ < 1.1` (when
+    /// defined) and every Geweke `|Z| < 3`.
+    pub fn looks_converged(&self) -> bool {
+        let rhat_ok = self.r_hat.map_or(true, |r| r < 1.1);
+        let geweke_ok = self
+            .geweke
+            .iter()
+            .all(|z| z.map_or(true, |z| z.abs() < 3.0));
+        rhat_ok && geweke_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// AR(1) series with coefficient `rho` and unit-variance innovations.
+    pub(crate) fn ar1(n: usize, rho: f64, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut prev = 0.0f64;
+        for _ in 0..n {
+            // Sum of 12 uniforms − 6: mean 0, variance 1 (Irwin–Hall),
+            // keeps the test free of any normal-sampling dependency.
+            let innov: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+            prev = rho * prev + innov * (1.0 - rho * rho).sqrt();
+            x.push(prev);
+        }
+        x
+    }
+
+    #[test]
+    fn inverse_degree_series_values() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        use fs_graph::VertexId;
+        let edges = vec![
+            Arc {
+                source: VertexId::new(0),
+                target: VertexId::new(2), // deg 3
+            },
+            Arc {
+                source: VertexId::new(2),
+                target: VertexId::new(3), // deg 1
+            },
+        ];
+        let s = inverse_degree_series(&g, &edges);
+        assert_eq!(s, vec![1.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn well_mixed_chains_look_converged() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|i| ar1(2_000, 0.3, 500 + i)).collect();
+        let d = ChainDiagnostics::compute(&chains);
+        assert!(d.looks_converged(), "diagnostics: {d:?}");
+        assert!(d.r_hat.unwrap() < 1.05);
+        assert!(d.efficiency() > 0.3 && d.efficiency() < 1.5);
+    }
+
+    #[test]
+    fn disagreeing_chains_flagged() {
+        // Two chains stuck in different "components": disjoint means.
+        let mut a = ar1(2_000, 0.3, 510);
+        let b: Vec<f64> = ar1(2_000, 0.3, 511).iter().map(|x| x + 10.0).collect();
+        for x in &mut a {
+            *x -= 10.0;
+        }
+        let d = ChainDiagnostics::compute(&[a, b]);
+        assert!(d.r_hat.unwrap() > 2.0, "R̂ = {:?}", d.r_hat);
+        assert!(!d.looks_converged());
+    }
+
+    #[test]
+    fn trending_chain_fails_geweke() {
+        let n = 4_000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| i as f64 / n as f64 * 5.0)
+            .zip(ar1(n, 0.0, 512))
+            .map(|(trend, noise)| trend + noise)
+            .collect();
+        let d = ChainDiagnostics::compute(&[x]);
+        let z = d.geweke[0].unwrap();
+        assert!(z.abs() > 3.0, "Geweke Z = {z}");
+        assert!(!d.looks_converged());
+    }
+
+    #[test]
+    fn empty_input_is_harmless() {
+        let d = ChainDiagnostics::compute(&[]);
+        assert_eq!(d.n_total, 0);
+        assert_eq!(d.efficiency(), 0.0);
+        assert!(d.r_hat.is_none());
+        assert!(d.looks_converged(), "vacuously converged");
+    }
+}

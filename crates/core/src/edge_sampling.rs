@@ -1,0 +1,99 @@
+//! Independent uniform random **edge** sampling (Section 3).
+//!
+//! Draws arcs of the symmetric closure uniformly at random — the
+//! idealised baseline that random walks converge to in steady state.
+//! Each valid draw costs [`crate::budget::CostModel::random_edge`] units
+//! (2 by default — "each edge samples two vertices", Figure 12 — divided
+//! by the edge hit ratio for Figure 13's 1% scenario).
+
+use crate::budget::{Budget, CostModel};
+use fs_graph::{Arc, Graph};
+use rand::Rng;
+
+/// Uniform-with-replacement edge (arc) sampler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomEdgeSampler;
+
+impl RandomEdgeSampler {
+    /// Creates the sampler.
+    pub fn new() -> Self {
+        RandomEdgeSampler
+    }
+
+    /// Draws arcs until the budget is exhausted.
+    pub fn sample_edges<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        cost: &CostModel,
+        budget: &mut Budget,
+        rng: &mut R,
+        mut sink: impl FnMut(Arc),
+    ) {
+        let arcs = graph.num_arcs();
+        if arcs == 0 {
+            return;
+        }
+        while budget.try_spend(cost.random_edge) {
+            sink(graph.arc_endpoints(rng.gen_range(0..arcs)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arcs_uniform() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut rng = SmallRng::seed_from_u64(181);
+        let mut counts = std::collections::HashMap::new();
+        let mut budget = Budget::new(200_000.0);
+        RandomEdgeSampler::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            *counts
+                .entry((e.source.index(), e.target.index()))
+                .or_insert(0usize) += 1;
+        });
+        assert_eq!(counts.len(), 6);
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 100_000, "default edge cost is 2");
+        for &c in counts.values() {
+            let emp = c as f64 / total as f64;
+            assert!((emp - 1.0 / 6.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn vertex_incidence_proportional_to_degree() {
+        // The *target* endpoint of a uniform arc is degree-biased —
+        // exactly why edge sampling estimates the degree-tail better
+        // (Section 3).
+        let g = graph_from_undirected_pairs(4, [(0, 1), (0, 2), (0, 3)]);
+        let mut rng = SmallRng::seed_from_u64(182);
+        let mut hub_hits = 0usize;
+        let mut total = 0usize;
+        let mut budget = Budget::new(100_000.0);
+        RandomEdgeSampler::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            total += 1;
+            if e.target.index() == 0 {
+                hub_hits += 1;
+            }
+        });
+        let frac = hub_hits as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.01, "hub incidence {frac}");
+    }
+
+    #[test]
+    fn edge_hit_ratio_cost() {
+        let g = graph_from_undirected_pairs(3, [(0, 1), (1, 2)]);
+        let cost = CostModel::unit().with_edge_hit_ratio(0.01); // 200/drawn edge
+        let mut rng = SmallRng::seed_from_u64(183);
+        let mut count = 0usize;
+        let mut budget = Budget::new(1_000.0);
+        RandomEdgeSampler::new().sample_edges(&g, &cost, &mut budget, &mut rng, |_| count += 1);
+        assert_eq!(count, 5);
+    }
+}

@@ -1,0 +1,142 @@
+//! Edge label density estimator — paper eq. (5).
+//!
+//! For an edge label `l` defined on a labeled subset `E* ⊆ E`,
+//!
+//! ```text
+//! p̂_l = (1/B*) Σ_{i=1}^{B*} 1(l ∈ L_e(u_i, v_i)),
+//! ```
+//!
+//! where the sum runs only over sampled edges that belong to `E*`
+//! (Theorem 4.1 with `f = 1(l ∈ L_e)`). Since RW samples edges uniformly,
+//! no reweighting is needed; `E[p̂_l] = p_l` for every `B* > 0`.
+
+use super::EdgeEstimator;
+use fs_graph::{Arc, Graph};
+
+/// Generic edge label density estimator.
+///
+/// `labeler` maps each sampled edge to `Some(label index)` when the edge
+/// belongs to `E*` (and thus contributes to `B*`), or `None` when the
+/// edge is unlabeled. Densities are tracked for label indices
+/// `0..num_labels`.
+pub struct EdgeLabelDensityEstimator<F> {
+    labeler: F,
+    counts: Vec<u64>,
+    in_star: u64,
+    observed: usize,
+}
+
+impl<F: Fn(&Graph, Arc) -> Option<usize>> EdgeLabelDensityEstimator<F> {
+    /// Creates an estimator over `num_labels` label indices.
+    pub fn new(num_labels: usize, labeler: F) -> Self {
+        EdgeLabelDensityEstimator {
+            labeler,
+            counts: vec![0; num_labels],
+            in_star: 0,
+            observed: 0,
+        }
+    }
+
+    /// `B*`: number of observed edges that belonged to `E*`.
+    pub fn num_in_labeled_subset(&self) -> u64 {
+        self.in_star
+    }
+
+    /// Density estimate `p̂_l`; `None` while `B* = 0`.
+    pub fn estimate(&self, label: usize) -> Option<f64> {
+        if self.in_star > 0 {
+            Some(self.counts[label] as f64 / self.in_star as f64)
+        } else {
+            None
+        }
+    }
+
+    /// All density estimates.
+    pub fn estimates(&self) -> Vec<f64> {
+        if self.in_star == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.in_star as f64)
+            .collect()
+    }
+}
+
+impl<F: Fn(&Graph, Arc) -> Option<usize>> EdgeEstimator for EdgeLabelDensityEstimator<F> {
+    fn observe(&mut self, graph: &Graph, edge: Arc) {
+        self.observed += 1;
+        if let Some(l) = (self.labeler)(graph, edge) {
+            self.in_star += 1;
+            if l < self.counts.len() {
+                self.counts[l] += 1;
+            }
+        }
+    }
+
+    fn num_observed(&self) -> usize {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{Budget, CostModel};
+    use crate::method::WalkMethod;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimates_fraction_of_labeled_edges() {
+        // Path 0-1-2-3; label = "edge touches vertex 0". Arcs in E* =
+        // {(0,1),(1,0)}; all 6 arcs labeled with 1(touches 0):
+        // p = 2/6 = 1/3 with E* = E (labeler always Some).
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut est = EdgeLabelDensityEstimator::new(2, |_g: &Graph, e: Arc| {
+            Some(usize::from(e.source.index() == 0 || e.target.index() == 0))
+        });
+        let mut rng = SmallRng::seed_from_u64(211);
+        let mut budget = Budget::new(300_000.0);
+        WalkMethod::frontier(2).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        let p = est.estimate(1).unwrap();
+        assert!((p - 1.0 / 3.0).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn restricted_subset_renormalizes() {
+        // E* = original (directed) edges only. In a graph built from the
+        // single directed edge 0->1 plus undirected 1-2, E* has 3 arcs:
+        // (0,1), (1,2), (2,1). Estimate density of label "source is 1"
+        // within E*: 1/3.
+        let mut b = fs_graph::GraphBuilder::new(3);
+        b.add_edge(fs_graph::VertexId::new(0), fs_graph::VertexId::new(1));
+        b.add_undirected_edge(fs_graph::VertexId::new(1), fs_graph::VertexId::new(2));
+        let g = b.build();
+        let mut est = EdgeLabelDensityEstimator::new(2, |gr: &Graph, e: Arc| {
+            if gr.has_original_edge(e.source, e.target) {
+                Some(usize::from(e.source.index() == 1))
+            } else {
+                None
+            }
+        });
+        let mut rng = SmallRng::seed_from_u64(212);
+        let mut budget = Budget::new(400_000.0);
+        WalkMethod::single().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        let p = est.estimate(1).unwrap();
+        assert!((p - 1.0 / 3.0).abs() < 0.015, "p = {p}");
+        assert!(est.num_in_labeled_subset() > 0);
+        assert!(est.num_observed() as u64 > est.num_in_labeled_subset());
+    }
+
+    #[test]
+    fn none_before_observations() {
+        let est = EdgeLabelDensityEstimator::new(1, |_: &Graph, _: Arc| Some(0));
+        assert!(est.estimate(0).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Average-neighbor-degree (`knn`) spectrum estimator (extension).
+//!
+//! The degree-correlation spectrum `knn(k)` — the mean degree of the
+//! neighbors of degree-`k` vertices, in the edge-based convention of
+//! [`fs_graph::average_neighbor_degree`] — is the function whose slope
+//! the assortativity coefficient of Section 4.2.2 summarises into one
+//! number. A stationary random walk samples arcs uniformly, and `knn(k)`
+//! is by definition an arc-conditional mean, so the estimator is the
+//! rare case needing *no reweighting at all*: bucket every sampled arc
+//! `(u, v)` by `deg(u)` and average the observed `deg(v)`. Theorem 4.1
+//! with `E* = {arcs out of degree-k vertices}` gives almost-sure
+//! convergence per bucket.
+
+use super::EdgeEstimator;
+use fs_graph::{Arc, Graph};
+
+/// Streaming `knn(k)` estimator over RW/FS/RE sampled edges.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborDegreeEstimator {
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+    observed: usize,
+}
+
+impl NeighborDegreeEstimator {
+    /// Fresh estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimated `knn(k)`, or `None` if no arc out of a degree-`k`
+    /// vertex has been sampled yet.
+    pub fn knn(&self, k: usize) -> Option<f64> {
+        match (self.sums.get(k), self.counts.get(k)) {
+            (Some(&s), Some(&c)) if c > 0 => Some(s / c as f64),
+            _ => None,
+        }
+    }
+
+    /// The whole estimated spectrum (index = degree `k`).
+    pub fn spectrum(&self) -> Vec<Option<f64>> {
+        (0..self.sums.len()).map(|k| self.knn(k)).collect()
+    }
+
+    /// Number of arcs observed into bucket `k`.
+    pub fn bucket_count(&self, k: usize) -> u64 {
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+}
+
+impl EdgeEstimator for NeighborDegreeEstimator {
+    fn observe(&mut self, graph: &Graph, edge: Arc) {
+        self.observed += 1;
+        let du = graph.degree(edge.source);
+        let dv = graph.degree(edge.target);
+        if du >= self.sums.len() {
+            self.sums.resize(du + 1, 0.0);
+            self.counts.resize(du + 1, 0);
+        }
+        self.sums[du] += dv as f64;
+        self.counts[du] += 1;
+    }
+
+    fn num_observed(&self) -> usize {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{Budget, CostModel};
+    use crate::frontier::FrontierSampler;
+    use crate::single::SingleRw;
+    use fs_graph::{average_neighbor_degree, graph_from_undirected_pairs};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_spectrum() {
+        let g = graph_from_undirected_pairs(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut est = NeighborDegreeEstimator::new();
+        let mut rng = SmallRng::seed_from_u64(401);
+        let mut budget = Budget::new(2_000.0);
+        SingleRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        // Exact on a star regardless of sample size: all arcs from
+        // degree-1 vertices land on the hub (degree 4) and vice versa.
+        assert_eq!(est.knn(1), Some(4.0));
+        assert_eq!(est.knn(4), Some(1.0));
+        assert_eq!(est.knn(0), None);
+    }
+
+    #[test]
+    fn converges_to_exact_spectrum_under_fs() {
+        // Lollipop + an extra appendage for degree variety.
+        let g = graph_from_undirected_pairs(
+            6,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (3, 5), (4, 5)],
+        );
+        let exact = average_neighbor_degree(&g);
+        let mut est = NeighborDegreeEstimator::new();
+        let mut rng = SmallRng::seed_from_u64(402);
+        let mut budget = Budget::new(300_000.0);
+        FrontierSampler::new(3).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        for (k, truth) in exact.iter().enumerate() {
+            match (truth, est.knn(k)) {
+                (Some(t), Some(e)) => {
+                    assert!((e - t).abs() < 0.05, "knn({k}): {e} vs {t}");
+                }
+                (None, None) => {}
+                (t, e) => panic!("knn({k}): exact {t:?} vs estimate {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_length_tracks_max_seen_degree() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (0, 2), (0, 3)]);
+        let mut est = NeighborDegreeEstimator::new();
+        let mut rng = SmallRng::seed_from_u64(403);
+        let mut budget = Budget::new(100.0);
+        SingleRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        assert_eq!(est.spectrum().len(), 4, "hub degree 3 ⇒ buckets 0..=3");
+        assert!(est.num_observed() > 0);
+        assert_eq!(
+            est.bucket_count(1) + est.bucket_count(3),
+            est.num_observed() as u64
+        );
+    }
+
+    #[test]
+    fn empty_estimator() {
+        let est = NeighborDegreeEstimator::new();
+        assert_eq!(est.num_observed(), 0);
+        assert!(est.spectrum().is_empty());
+        assert_eq!(est.knn(2), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Estimators over sampled edges and vertices (paper, Section 4.2).
+//!
+//! Every estimator here follows the paper's recipe: write the target graph
+//! characteristic as a function over `E` (or `E* ⊆ E`), replace `E` with
+//! the stationary-RW edge sample, and reweight by `1/deg` where a
+//! per-vertex (rather than per-edge) average is wanted. Theorem 4.1
+//! (SLLN) makes each estimator asymptotically unbiased.
+//!
+//! | paper | estimator | module |
+//! |-------|-----------|--------|
+//! | eq. 5 | edge label density `p̂_l` | [`edge_density`] |
+//! | eq. 7 | vertex label density `θ̂_l` | [`vertex_density`] |
+//! | §4.2.2 | assortative mixing `r̂` | [`assortativity`] |
+//! | §4.2.4 | global clustering `Ĉ` | [`clustering`] |
+//! | §6.2 | degree distribution / CCDF | [`degree_dist`] |
+//! | §6.5 | group densities | [`vertex_density`] |
+//! | Figs 6, 9 | sample-path traces | [`trace`] |
+//! | extension | average-neighbor-degree spectrum `knn(k)` | [`knn`] |
+//! | extension | density with batch-means error bars | [`tracked`] |
+//!
+//! Estimators are *streaming*: they consume one sampled edge at a time via
+//! [`EdgeEstimator::observe`], so a single walk can drive many estimators
+//! and sample-path figures can snapshot estimates mid-walk.
+
+pub mod assortativity;
+pub mod average_degree;
+pub mod clustering;
+pub mod degree_dist;
+pub mod edge_density;
+pub mod knn;
+pub mod population;
+pub mod trace;
+pub mod tracked;
+pub mod vertex_density;
+
+pub use assortativity::AssortativityEstimator;
+pub use average_degree::AverageDegreeEstimator;
+pub use population::PopulationSizeEstimator;
+pub use clustering::ClusteringEstimator;
+pub use degree_dist::{DegreeDistributionEstimator, VertexSampleDegreeEstimator};
+pub use edge_density::EdgeLabelDensityEstimator;
+pub use knn::NeighborDegreeEstimator;
+pub use trace::EstimateTrace;
+pub use tracked::DensityWithError;
+pub use vertex_density::{GroupDensityEstimator, VertexLabelDensityEstimator};
+
+use fs_graph::{Arc, Graph};
+
+/// A streaming estimator fed one sampled edge at a time.
+pub trait EdgeEstimator {
+    /// Consumes the `i`-th sampled edge `(u_i, v_i)`.
+    fn observe(&mut self, graph: &Graph, edge: Arc);
+
+    /// Number of edges observed so far.
+    fn num_observed(&self) -> usize;
+}
+
+/// Feeds all edges produced by a sampler closure into an estimator.
+///
+/// Convenience for the common "run method, then read estimate" pattern:
+///
+/// ```
+/// use frontier_sampling::{Budget, CostModel, WalkMethod};
+/// use frontier_sampling::estimators::{self, EdgeEstimator};
+/// use fs_graph::graph_from_undirected_pairs;
+/// use rand::SeedableRng;
+///
+/// let g = graph_from_undirected_pairs(4, [(0,1),(1,2),(2,3),(3,0)]);
+/// let mut est = estimators::DegreeDistributionEstimator::symmetric();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut budget = Budget::new(1000.0);
+/// WalkMethod::frontier(2).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng,
+///     |e| est.observe(&g, e));
+/// let theta = est.distribution();
+/// assert!((theta[2] - 1.0).abs() < 1e-9); // cycle: all degrees are 2
+/// ```
+pub fn drive<E: EdgeEstimator>(
+    graph: &Graph,
+    estimator: &mut E,
+    mut edges: impl FnMut(&mut dyn FnMut(Arc)),
+) {
+    edges(&mut |e| estimator.observe(graph, e));
+}

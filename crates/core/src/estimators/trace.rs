@@ -1,0 +1,123 @@
+//! Sample-path traces of an evolving estimate (Figures 6 and 9).
+//!
+//! The paper's sample-path figures plot `θ̂(n)` — the current estimate
+//! after `n` walk steps — for a handful of individual runs.
+//! [`EstimateTrace`] wraps any closure-evaluated estimate and records it
+//! at (optionally log-spaced) checkpoints.
+
+/// Records `(step, estimate)` pairs at checkpoints.
+#[derive(Clone, Debug)]
+pub struct EstimateTrace {
+    points: Vec<(usize, f64)>,
+    next_checkpoint: usize,
+    step: usize,
+    /// Multiplicative checkpoint spacing (1.0 = every step).
+    growth: f64,
+    /// Additive minimum spacing.
+    min_stride: usize,
+}
+
+impl EstimateTrace {
+    /// A trace that records every step (memory-heavy; use for short
+    /// walks).
+    pub fn every_step() -> Self {
+        EstimateTrace {
+            points: Vec::new(),
+            next_checkpoint: 1,
+            step: 0,
+            growth: 1.0,
+            min_stride: 1,
+        }
+    }
+
+    /// A trace with geometrically spaced checkpoints (factor `growth`,
+    /// at least `min_stride` steps apart) — matches the log-scaled x-axes
+    /// of Figures 6 and 9.
+    pub fn log_spaced(growth: f64, min_stride: usize) -> Self {
+        assert!(growth >= 1.0);
+        assert!(min_stride >= 1);
+        EstimateTrace {
+            points: Vec::new(),
+            next_checkpoint: 1,
+            step: 0,
+            growth,
+            min_stride,
+        }
+    }
+
+    /// Advances the step counter; calls `estimate` and records it when a
+    /// checkpoint is reached. `estimate` may return `None` (not yet
+    /// defined), in which case the checkpoint is skipped.
+    pub fn tick(&mut self, estimate: impl FnOnce() -> Option<f64>) {
+        self.step += 1;
+        if self.step >= self.next_checkpoint {
+            if let Some(v) = estimate() {
+                self.points.push((self.step, v));
+            }
+            let geometric = (self.next_checkpoint as f64 * self.growth) as usize;
+            self.next_checkpoint = geometric.max(self.next_checkpoint + self.min_stride);
+        }
+    }
+
+    /// Recorded `(step, estimate)` pairs.
+    pub fn points(&self) -> &[(usize, f64)] {
+        &self.points
+    }
+
+    /// Total steps ticked.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// Final recorded estimate, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_step_records_all() {
+        let mut t = EstimateTrace::every_step();
+        for i in 0..10 {
+            t.tick(|| Some(i as f64));
+        }
+        assert_eq!(t.points().len(), 10);
+        assert_eq!(t.points()[3], (4, 3.0));
+        assert_eq!(t.steps(), 10);
+    }
+
+    #[test]
+    fn log_spacing_thins_checkpoints() {
+        let mut t = EstimateTrace::log_spaced(2.0, 1);
+        for i in 0..1000 {
+            t.tick(|| Some(i as f64));
+        }
+        // checkpoints at 1, 2, 4, 8, ..., 512 = 10 points.
+        assert_eq!(t.points().len(), 10);
+        let steps: Vec<usize> = t.points().iter().map(|&(s, _)| s).collect();
+        assert_eq!(steps, vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn none_estimates_skipped() {
+        let mut t = EstimateTrace::every_step();
+        t.tick(|| None);
+        t.tick(|| Some(1.0));
+        assert_eq!(t.points().len(), 1);
+        assert_eq!(t.last(), Some(1.0));
+    }
+
+    #[test]
+    fn min_stride_enforced() {
+        let mut t = EstimateTrace::log_spaced(1.0, 5);
+        for _ in 0..20 {
+            t.tick(|| Some(0.0));
+        }
+        let steps: Vec<usize> = t.points().iter().map(|&(s, _)| s).collect();
+        assert_eq!(steps, vec![1, 6, 11, 16]);
+    }
+}

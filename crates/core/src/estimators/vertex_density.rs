@@ -1,0 +1,260 @@
+//! Vertex label density estimator — paper eq. (7).
+//!
+//! For a vertex label `l`, the fraction of vertices carrying it is
+//!
+//! ```text
+//! θ̂_l = (1 / (S·B)) Σ_{i=1}^{B} 1(l ∈ L_v(v_i)) / deg(v_i),
+//! S = (1/B) Σ_{i=1}^{B} 1 / deg(v_i),
+//! ```
+//!
+//! where `(u_i, v_i)` is the `i`-th sampled edge. The `1/deg` factor
+//! converts the edge-stationary (degree-biased) sample into a per-vertex
+//! average; `S → |V|/|E|` almost surely, making `θ̂_l` asymptotically
+//! unbiased (Section 4.2.3).
+
+use super::EdgeEstimator;
+use fs_graph::{Arc, Graph, GroupId, VertexId};
+
+/// Generic vertex label density estimator: the "label" is any predicate
+/// over vertices.
+pub struct VertexLabelDensityEstimator<F> {
+    predicate: F,
+    weighted_hits: f64,
+    inv_degree_sum: f64,
+    observed: usize,
+}
+
+impl<F: Fn(&Graph, VertexId) -> bool> VertexLabelDensityEstimator<F> {
+    /// Creates an estimator of the density of vertices satisfying
+    /// `predicate`.
+    pub fn new(predicate: F) -> Self {
+        VertexLabelDensityEstimator {
+            predicate,
+            weighted_hits: 0.0,
+            inv_degree_sum: 0.0,
+            observed: 0,
+        }
+    }
+
+    /// Current estimate `θ̂_l`; `None` before any edge is observed.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.inv_degree_sum > 0.0 {
+            Some(self.weighted_hits / self.inv_degree_sum)
+        } else {
+            None
+        }
+    }
+}
+
+impl<F: Fn(&Graph, VertexId) -> bool> EdgeEstimator for VertexLabelDensityEstimator<F> {
+    fn observe(&mut self, graph: &Graph, edge: Arc) {
+        self.observed += 1;
+        let v = edge.target;
+        let d = graph.degree(v);
+        if d == 0 {
+            return;
+        }
+        let w = 1.0 / d as f64;
+        self.inv_degree_sum += w;
+        if (self.predicate)(graph, v) {
+            self.weighted_hits += w;
+        }
+    }
+
+    fn num_observed(&self) -> usize {
+        self.observed
+    }
+}
+
+/// Densities of *all* groups at once (Section 6.5 / Figure 14): one pass
+/// accumulates `Σ 1/deg` per group id.
+pub struct GroupDensityEstimator {
+    weighted_hits: Vec<f64>,
+    inv_degree_sum: f64,
+    observed: usize,
+}
+
+impl GroupDensityEstimator {
+    /// Creates an estimator covering group ids `0..num_groups`.
+    pub fn new(num_groups: usize) -> Self {
+        GroupDensityEstimator {
+            weighted_hits: vec![0.0; num_groups],
+            inv_degree_sum: 0.0,
+            observed: 0,
+        }
+    }
+
+    /// Estimated density `θ̂_g` of group `g`; `None` before any
+    /// observation.
+    pub fn estimate(&self, g: GroupId) -> Option<f64> {
+        if self.inv_degree_sum > 0.0 {
+            Some(self.weighted_hits[g as usize] / self.inv_degree_sum)
+        } else {
+            None
+        }
+    }
+
+    /// All group density estimates (zeros before any observation).
+    pub fn estimates(&self) -> Vec<f64> {
+        if self.inv_degree_sum > 0.0 {
+            self.weighted_hits
+                .iter()
+                .map(|&w| w / self.inv_degree_sum)
+                .collect()
+        } else {
+            vec![0.0; self.weighted_hits.len()]
+        }
+    }
+}
+
+impl EdgeEstimator for GroupDensityEstimator {
+    fn observe(&mut self, graph: &Graph, edge: Arc) {
+        self.observed += 1;
+        let v = edge.target;
+        let d = graph.degree(v);
+        if d == 0 {
+            return;
+        }
+        let w = 1.0 / d as f64;
+        self.inv_degree_sum += w;
+        for &g in graph.groups_of(v) {
+            if (g as usize) < self.weighted_hits.len() {
+                self.weighted_hits[g as usize] += w;
+            }
+        }
+    }
+
+    fn num_observed(&self) -> usize {
+        self.observed
+    }
+}
+
+/// Group density estimation from *uniform vertex* samples (the trivial
+/// estimator used as the random-vertex baseline in Figure 14's setup).
+#[derive(Clone, Debug)]
+pub struct VertexSampleGroupEstimator {
+    hits: Vec<usize>,
+    total: usize,
+}
+
+impl VertexSampleGroupEstimator {
+    /// Covers group ids `0..num_groups`.
+    pub fn new(num_groups: usize) -> Self {
+        VertexSampleGroupEstimator {
+            hits: vec![0; num_groups],
+            total: 0,
+        }
+    }
+
+    /// Consumes one uniformly sampled vertex.
+    pub fn observe(&mut self, graph: &Graph, v: VertexId) {
+        self.total += 1;
+        for &g in graph.groups_of(v) {
+            if (g as usize) < self.hits.len() {
+                self.hits[g as usize] += 1;
+            }
+        }
+    }
+
+    /// Density estimate for group `g`.
+    pub fn estimate(&self, g: GroupId) -> Option<f64> {
+        if self.total > 0 {
+            Some(self.hits[g as usize] as f64 / self.total as f64)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{Budget, CostModel};
+    use crate::method::WalkMethod;
+    use fs_graph::{GraphBuilder, VertexId};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Lollipop with group 7 on vertices {0, 3}: θ_7 = 0.5.
+    fn labeled_graph() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected_edge(VertexId::new(0), VertexId::new(1));
+        b.add_undirected_edge(VertexId::new(1), VertexId::new(2));
+        b.add_undirected_edge(VertexId::new(0), VertexId::new(2));
+        b.add_undirected_edge(VertexId::new(2), VertexId::new(3));
+        b.add_group(VertexId::new(0), 7);
+        b.add_group(VertexId::new(3), 7);
+        b.build()
+    }
+
+    #[test]
+    fn converges_to_true_density() {
+        let g = labeled_graph();
+        let mut est = VertexLabelDensityEstimator::new(|gr: &Graph, v| {
+            gr.groups_of(v).contains(&7)
+        });
+        let mut rng = SmallRng::seed_from_u64(201);
+        let mut budget = Budget::new(300_000.0);
+        WalkMethod::frontier(2).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        let theta = est.estimate().unwrap();
+        assert!((theta - 0.5).abs() < 0.01, "theta = {theta}");
+    }
+
+    #[test]
+    fn unweighted_average_would_be_biased() {
+        // Sanity check on why the 1/deg weight matters: the plain fraction
+        // of degree-biased samples with the label differs from θ.
+        let g = labeled_graph();
+        let mut labeled = 0usize;
+        let mut total = 0usize;
+        let mut rng = SmallRng::seed_from_u64(202);
+        let mut budget = Budget::new(300_000.0);
+        WalkMethod::single().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            total += 1;
+            if g.groups_of(e.target).contains(&7) {
+                labeled += 1;
+            }
+        });
+        let biased = labeled as f64 / total as f64;
+        // Degree-weighted truth: (deg0 + deg3)/vol = (2+1)/8 = 0.375 ≠ 0.5.
+        assert!((biased - 0.375).abs() < 0.01, "biased fraction {biased}");
+    }
+
+    #[test]
+    fn group_estimator_matches_scalar_estimator() {
+        let g = labeled_graph();
+        let mut multi = GroupDensityEstimator::new(8);
+        let mut rng = SmallRng::seed_from_u64(203);
+        let mut budget = Budget::new(200_000.0);
+        WalkMethod::frontier(2).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            multi.observe(&g, e)
+        });
+        let theta = multi.estimate(7).unwrap();
+        assert!((theta - 0.5).abs() < 0.01, "theta = {theta}");
+        // Unused group stays zero.
+        assert_eq!(multi.estimate(3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn vertex_sample_estimator_unbiased() {
+        let g = labeled_graph();
+        let mut est = VertexSampleGroupEstimator::new(8);
+        let mut rng = SmallRng::seed_from_u64(204);
+        for _ in 0..100_000 {
+            let v = VertexId::new(rng.gen_range(0..4));
+            est.observe(&g, v);
+        }
+        let theta = est.estimate(7).unwrap();
+        assert!((theta - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_estimates_are_none() {
+        let est = GroupDensityEstimator::new(3);
+        assert!(est.estimate(0).is_none());
+        let est2 = VertexLabelDensityEstimator::new(|_: &Graph, _| true);
+        assert!(est2.estimate().is_none());
+    }
+}

@@ -1,0 +1,207 @@
+//! Fenwick (binary indexed) tree for dynamic weighted sampling.
+//!
+//! Frontier Sampling (Algorithm 1, line 4) selects a walker with
+//! probability proportional to its current vertex degree at *every* step,
+//! and the selected walker's weight changes after the move. A Fenwick tree
+//! gives `O(log m)` select-and-update, which keeps high-dimensional FS
+//! (`m = 1000`) cheap; a linear scan would dominate the whole simulation.
+
+use rand::Rng;
+
+/// Fenwick tree over `n` non-negative weights supporting point updates
+/// and sampling an index with probability proportional to its weight.
+#[derive(Clone, Debug)]
+pub struct FenwickTree {
+    /// 1-based partial sums.
+    tree: Vec<f64>,
+    n: usize,
+}
+
+impl FenwickTree {
+    /// Builds a tree from initial weights.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        let mut tree = vec![0.0; n + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0, "weights must be non-negative");
+            let mut idx = i + 1;
+            // Standard O(n log n) build; construction cost is negligible
+            // next to the walk itself.
+            while idx <= n {
+                tree[idx] += w;
+                idx += idx & idx.wrapping_neg();
+            }
+        }
+        FenwickTree { tree, n }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.n)
+    }
+
+    /// Sum of weights at indices `0..len`.
+    pub fn prefix_sum(&self, len: usize) -> f64 {
+        debug_assert!(len <= self.n);
+        let mut idx = len;
+        let mut s = 0.0;
+        while idx > 0 {
+            s += self.tree[idx];
+            idx &= idx - 1;
+        }
+        s
+    }
+
+    /// Current weight at `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.prefix_sum(i + 1) - self.prefix_sum(i)
+    }
+
+    /// Adds `delta` (may be negative) to the weight at `i`.
+    pub fn add(&mut self, i: usize, delta: f64) {
+        debug_assert!(i < self.n);
+        let mut idx = i + 1;
+        while idx <= self.n {
+            self.tree[idx] += delta;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Sets the weight at `i` to `w`.
+    pub fn set(&mut self, i: usize, w: f64) {
+        let cur = self.get(i);
+        self.add(i, w - cur);
+    }
+
+    /// Finds the smallest index whose prefix sum exceeds `target`
+    /// (`0 ≤ target < total()`), in `O(log n)`.
+    pub fn find(&self, mut target: f64) -> usize {
+        debug_assert!(target >= 0.0);
+        let mut pos = 0usize;
+        // Highest power of two <= n.
+        let mut step = self.n.next_power_of_two();
+        if step > self.n {
+            step >>= 1;
+        }
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.n && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // pos is the count of slots whose cumulative weight <= target.
+        pos.min(self.n - 1)
+    }
+
+    /// Samples an index with probability proportional to its weight.
+    ///
+    /// # Panics
+    /// Panics if the total weight is not positive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = self.total();
+        assert!(total > 0.0, "cannot sample from zero total weight");
+        let target = rng.gen_range(0.0..total);
+        self.find(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefix_sums() {
+        let t = FenwickTree::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.prefix_sum(0), 0.0);
+        assert_eq!(t.prefix_sum(1), 1.0);
+        assert_eq!(t.prefix_sum(3), 6.0);
+        assert_eq!(t.total(), 10.0);
+        assert_eq!(t.get(2), 3.0);
+    }
+
+    #[test]
+    fn updates() {
+        let mut t = FenwickTree::new(&[1.0, 1.0, 1.0]);
+        t.add(1, 4.0);
+        assert_eq!(t.get(1), 5.0);
+        assert_eq!(t.total(), 7.0);
+        t.set(0, 0.0);
+        assert_eq!(t.get(0), 0.0);
+        assert_eq!(t.total(), 6.0);
+    }
+
+    #[test]
+    fn find_boundaries() {
+        let t = FenwickTree::new(&[2.0, 0.0, 3.0]);
+        assert_eq!(t.find(0.0), 0);
+        assert_eq!(t.find(1.999), 0);
+        assert_eq!(t.find(2.0), 2); // zero-weight slot 1 skipped
+        assert_eq!(t.find(4.999), 2);
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let weights = [1.0, 0.0, 2.0, 7.0];
+        let t = FenwickTree::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(91);
+        let mut counts = [0usize; 4];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let expect = weights[i] / 10.0;
+            assert!((emp - expect).abs() < 0.01, "slot {i}: {emp} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sampling_after_updates() {
+        let mut t = FenwickTree::new(&[5.0, 5.0]);
+        t.set(0, 0.0);
+        let mut rng = SmallRng::seed_from_u64(92);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_slot() {
+        let t = FenwickTree::new(&[3.0]);
+        let mut rng = SmallRng::seed_from_u64(93);
+        assert_eq!(t.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [3usize, 5, 6, 7, 9, 13] {
+            let weights: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            let t = FenwickTree::new(&weights);
+            let total: f64 = weights.iter().sum();
+            assert!((t.total() - total).abs() < 1e-9);
+            // find() must cover every slot.
+            let mut acc = 0.0;
+            for (i, &w) in weights.iter().enumerate() {
+                assert_eq!(t.find(acc), i);
+                assert_eq!(t.find(acc + w - 1e-9), i);
+                acc += w;
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Unified dispatch over the walk-based edge samplers.
+//!
+//! The experiment harness compares SingleRW, MultipleRW, FS, and
+//! Distributed FS under identical budgets; [`WalkMethod`] gives them a
+//! single entry point and consistent labels matching the paper's figure
+//! legends.
+
+use crate::budget::{Budget, CostModel};
+use crate::distributed::DistributedFs;
+use crate::frontier::FrontierSampler;
+use crate::multiple::MultipleRw;
+use crate::nbrw::{NonBacktrackingFrontier, NonBacktrackingRw};
+use crate::single::SingleRw;
+use crate::start::StartPolicy;
+use fs_graph::{Arc, Graph};
+use rand::Rng;
+
+/// A walk-based edge-sampling method with its parameters.
+#[derive(Clone, Debug)]
+pub enum WalkMethod {
+    /// `SingleRW` — one walker.
+    Single {
+        /// Start distribution.
+        start: StartPolicy,
+    },
+    /// `MultipleRW` — `m` independent walkers.
+    Multiple {
+        /// Number of walkers.
+        m: usize,
+        /// Start distribution.
+        start: StartPolicy,
+    },
+    /// `FS` — Frontier Sampling with dimension `m`.
+    Frontier {
+        /// FS dimension.
+        m: usize,
+        /// Start distribution.
+        start: StartPolicy,
+    },
+    /// Distributed FS (Theorem 5.5) with `m` walkers.
+    DistributedFrontier {
+        /// Number of walkers.
+        m: usize,
+        /// Start distribution.
+        start: StartPolicy,
+    },
+    /// Non-backtracking single walker (extension).
+    NonBacktracking {
+        /// Start distribution.
+        start: StartPolicy,
+    },
+    /// Non-backtracking FS hybrid (extension).
+    NonBacktrackingFrontier {
+        /// FS dimension.
+        m: usize,
+        /// Start distribution.
+        start: StartPolicy,
+    },
+}
+
+impl WalkMethod {
+    /// `SingleRW` with uniform start.
+    pub fn single() -> Self {
+        WalkMethod::Single {
+            start: StartPolicy::Uniform,
+        }
+    }
+
+    /// `MultipleRW(m)` with uniform starts.
+    pub fn multiple(m: usize) -> Self {
+        WalkMethod::Multiple {
+            m,
+            start: StartPolicy::Uniform,
+        }
+    }
+
+    /// `FS(m)` with uniform starts.
+    pub fn frontier(m: usize) -> Self {
+        WalkMethod::Frontier {
+            m,
+            start: StartPolicy::Uniform,
+        }
+    }
+
+    /// Distributed FS with uniform starts.
+    pub fn distributed_frontier(m: usize) -> Self {
+        WalkMethod::DistributedFrontier {
+            m,
+            start: StartPolicy::Uniform,
+        }
+    }
+
+    /// Non-backtracking single walker with a uniform start.
+    pub fn non_backtracking() -> Self {
+        WalkMethod::NonBacktracking {
+            start: StartPolicy::Uniform,
+        }
+    }
+
+    /// Non-backtracking FS with uniform starts.
+    pub fn non_backtracking_frontier(m: usize) -> Self {
+        WalkMethod::NonBacktrackingFrontier {
+            m,
+            start: StartPolicy::Uniform,
+        }
+    }
+
+    /// Returns a copy with every start policy replaced.
+    pub fn with_start(&self, start: StartPolicy) -> Self {
+        match self {
+            WalkMethod::Single { .. } => WalkMethod::Single { start },
+            WalkMethod::Multiple { m, .. } => WalkMethod::Multiple { m: *m, start },
+            WalkMethod::Frontier { m, .. } => WalkMethod::Frontier { m: *m, start },
+            WalkMethod::DistributedFrontier { m, .. } => {
+                WalkMethod::DistributedFrontier { m: *m, start }
+            }
+            WalkMethod::NonBacktracking { .. } => WalkMethod::NonBacktracking { start },
+            WalkMethod::NonBacktrackingFrontier { m, .. } => {
+                WalkMethod::NonBacktrackingFrontier { m: *m, start }
+            }
+        }
+    }
+
+    /// Figure-legend style label (`"SingleRW"`, `"MultipleRW (m=10)"`,
+    /// `"FS (m=1000)"`, …).
+    pub fn label(&self) -> String {
+        match self {
+            WalkMethod::Single { .. } => "SingleRW".to_string(),
+            WalkMethod::Multiple { m, .. } => format!("MultipleRW (m={m})"),
+            WalkMethod::Frontier { m, .. } => format!("FS (m={m})"),
+            WalkMethod::DistributedFrontier { m, .. } => format!("DFS (m={m})"),
+            WalkMethod::NonBacktracking { .. } => "NBRW".to_string(),
+            WalkMethod::NonBacktrackingFrontier { m, .. } => format!("NB-FS (m={m})"),
+        }
+    }
+
+    /// Runs the method under `budget`, feeding edges to `sink`.
+    pub fn sample_edges<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        cost: &CostModel,
+        budget: &mut Budget,
+        rng: &mut R,
+        sink: impl FnMut(Arc),
+    ) {
+        match self {
+            WalkMethod::Single { start } => SingleRw {
+                start: start.clone(),
+            }
+            .sample_edges(graph, cost, budget, rng, sink),
+            WalkMethod::Multiple { m, start } => MultipleRw::new(*m)
+                .with_start(start.clone())
+                .sample_edges(graph, cost, budget, rng, sink),
+            WalkMethod::Frontier { m, start } => FrontierSampler::new(*m)
+                .with_start(start.clone())
+                .sample_edges(graph, cost, budget, rng, sink),
+            WalkMethod::DistributedFrontier { m, start } => DistributedFs::new(*m)
+                .with_start(start.clone())
+                .sample_edges(graph, cost, budget, rng, sink),
+            WalkMethod::NonBacktracking { start } => {
+                NonBacktrackingRw::with_start(start.clone())
+                    .sample_edges(graph, cost, budget, rng, sink)
+            }
+            WalkMethod::NonBacktrackingFrontier { m, start } => NonBacktrackingFrontier::new(*m)
+                .with_start(start.clone())
+                .sample_edges(graph, cost, budget, rng, sink),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels() {
+        assert_eq!(WalkMethod::single().label(), "SingleRW");
+        assert_eq!(WalkMethod::multiple(10).label(), "MultipleRW (m=10)");
+        assert_eq!(WalkMethod::frontier(1000).label(), "FS (m=1000)");
+        assert_eq!(WalkMethod::distributed_frontier(7).label(), "DFS (m=7)");
+        assert_eq!(WalkMethod::non_backtracking().label(), "NBRW");
+        assert_eq!(WalkMethod::non_backtracking_frontier(4).label(), "NB-FS (m=4)");
+    }
+
+    #[test]
+    fn all_methods_emit_edges() {
+        let g = graph_from_undirected_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut rng = SmallRng::seed_from_u64(191);
+        for method in [
+            WalkMethod::single(),
+            WalkMethod::multiple(3),
+            WalkMethod::frontier(3),
+            WalkMethod::distributed_frontier(3),
+            WalkMethod::non_backtracking(),
+            WalkMethod::non_backtracking_frontier(3),
+        ] {
+            let mut budget = Budget::new(50.0);
+            let mut count = 0usize;
+            method.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                assert!(g.has_edge(e.source, e.target));
+                count += 1;
+            });
+            assert!(count > 0, "{} emitted nothing", method.label());
+        }
+    }
+
+    #[test]
+    fn with_start_replaces_policy() {
+        let m = WalkMethod::frontier(5).with_start(StartPolicy::SteadyState);
+        match m {
+            WalkMethod::Frontier { m, start } => {
+                assert_eq!(m, 5);
+                assert_eq!(start, StartPolicy::SteadyState);
+            }
+            _ => panic!("variant changed"),
+        }
+    }
+}

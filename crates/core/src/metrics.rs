@@ -1,0 +1,191 @@
+//! Error metrics: NMSE, CNMSE, bias — and the closed-form NMSE of
+//! independent vertex/edge sampling (paper Section 3, eqs. 1–4).
+
+/// Normalized root mean squared error (paper eq. 1):
+/// `NMSE = sqrt(E[(θ̂ − θ)²]) / θ`, with the expectation replaced by the
+/// average over `estimates`.
+///
+/// Returns `None` when `truth == 0` or no estimates are given.
+///
+/// ```
+/// use frontier_sampling::metrics::nmse;
+/// assert_eq!(nmse(&[0.2, 0.2], 0.2), Some(0.0));
+/// let e = nmse(&[0.3], 0.2).unwrap(); // |0.3 - 0.2| / 0.2
+/// assert!((e - 0.5).abs() < 1e-12);
+/// assert_eq!(nmse(&[], 0.2), None);
+/// ```
+pub fn nmse(estimates: &[f64], truth: f64) -> Option<f64> {
+    if estimates.is_empty() || truth == 0.0 {
+        return None;
+    }
+    let mse = estimates
+        .iter()
+        .map(|&e| (e - truth) * (e - truth))
+        .sum::<f64>()
+        / estimates.len() as f64;
+    Some(mse.sqrt() / truth.abs())
+}
+
+/// Relative bias `1 − E[θ̂]/θ` as reported in the paper's Table 2.
+pub fn relative_bias(estimates: &[f64], truth: f64) -> Option<f64> {
+    if estimates.is_empty() || truth == 0.0 {
+        return None;
+    }
+    let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    Some(1.0 - mean / truth)
+}
+
+/// Per-bucket NMSE of a set of estimated distributions against a true
+/// distribution: `result[i] = NMSE over runs of θ̂_i` (or `None` where
+/// `θ_i = 0`). Estimated vectors shorter than the truth are treated as
+/// zero-padded (a run that never saw degree `i` estimated `θ̂_i = 0`).
+pub fn per_bucket_nmse(runs: &[Vec<f64>], truth: &[f64]) -> Vec<Option<f64>> {
+    truth
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            if t == 0.0 || runs.is_empty() {
+                return None;
+            }
+            let mse = runs
+                .iter()
+                .map(|r| {
+                    let e = r.get(i).copied().unwrap_or(0.0);
+                    (e - t) * (e - t)
+                })
+                .sum::<f64>()
+                / runs.len() as f64;
+            Some(mse.sqrt() / t)
+        })
+        .collect()
+}
+
+/// Analytic NMSE of estimating `θ_i` from `B` *independent uniform
+/// vertex* samples (paper eq. 4): `sqrt((1/θ_i − 1)/B)`.
+pub fn analytic_nmse_vertex_sampling(theta_i: f64, b: f64) -> Option<f64> {
+    if theta_i <= 0.0 || theta_i > 1.0 || b <= 0.0 {
+        return None;
+    }
+    Some(((1.0 / theta_i - 1.0) / b).sqrt())
+}
+
+/// Analytic NMSE of estimating `θ_i` from `B` *independent uniform edge*
+/// samples (paper eq. 3): `sqrt((1/π_i − 1)/B)` with `π_i = i·θ_i/d̄`.
+pub fn analytic_nmse_edge_sampling(theta_i: f64, degree_i: f64, avg_degree: f64, b: f64) -> Option<f64> {
+    if theta_i <= 0.0 || degree_i <= 0.0 || avg_degree <= 0.0 || b <= 0.0 {
+        return None;
+    }
+    let pi = degree_i * theta_i / avg_degree;
+    if pi <= 0.0 || pi > 1.0 {
+        return None;
+    }
+    Some(((1.0 / pi - 1.0) / b).sqrt())
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (population convention, `1/n`).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn nmse_of_exact_estimates_is_zero() {
+        assert_eq!(nmse(&[0.3, 0.3, 0.3], 0.3), Some(0.0));
+    }
+
+    #[test]
+    fn nmse_scales_with_error() {
+        let a = nmse(&[0.4], 0.2).unwrap(); // error 0.2 / 0.2 = 1.0
+        assert!((a - 1.0).abs() < 1e-12);
+        let b = nmse(&[0.3], 0.2).unwrap(); // 0.5
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmse_undefined_cases() {
+        assert!(nmse(&[], 0.5).is_none());
+        assert!(nmse(&[0.1], 0.0).is_none());
+    }
+
+    #[test]
+    fn relative_bias_signs() {
+        // Overestimation -> negative bias per 1 - E/θ.
+        assert!(relative_bias(&[0.3], 0.2).unwrap() < 0.0);
+        assert!(relative_bias(&[0.1], 0.2).unwrap() > 0.0);
+        assert_eq!(relative_bias(&[0.2, 0.2], 0.2), Some(0.0));
+    }
+
+    #[test]
+    fn per_bucket_handles_short_runs() {
+        let truth = vec![0.5, 0.5];
+        let runs = vec![vec![0.5], vec![0.5, 0.5]];
+        let out = per_bucket_nmse(&runs, &truth);
+        assert_eq!(out[0], Some(0.0));
+        // One run implicitly estimated bucket 1 as 0.0.
+        let expected = ((0.25f64) / 2.0).sqrt() / 0.5;
+        assert!((out[1].unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_vertex_nmse_monte_carlo_agreement() {
+        // Estimate θ = 0.25 from B = 50 Bernoulli samples; the empirical
+        // NMSE over many runs must match eq. (4).
+        let theta = 0.25;
+        let b = 50usize;
+        let mut rng = SmallRng::seed_from_u64(251);
+        let runs: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let hits = (0..b).filter(|_| rng.gen_range(0.0..1.0) < theta).count();
+                hits as f64 / b as f64
+            })
+            .collect();
+        let empirical = nmse(&runs, theta).unwrap();
+        let analytic = analytic_nmse_vertex_sampling(theta, b as f64).unwrap();
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.03,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn analytic_edge_vs_vertex_crossover_at_average_degree() {
+        // Section 3: edge sampling wins above the average degree, loses
+        // below it.
+        let b = 100.0;
+        let avg = 10.0;
+        let theta = 0.01;
+        let below = (
+            analytic_nmse_edge_sampling(theta, 2.0, avg, b).unwrap(),
+            analytic_nmse_vertex_sampling(theta, b).unwrap(),
+        );
+        assert!(below.0 > below.1, "below average degree RV must win");
+        let above = (
+            analytic_nmse_edge_sampling(theta, 50.0, avg, b).unwrap(),
+            analytic_nmse_vertex_sampling(theta, b).unwrap(),
+        );
+        assert!(above.0 < above.1, "above average degree RE must win");
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+}

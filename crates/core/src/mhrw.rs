@@ -1,0 +1,143 @@
+//! Metropolis–Hastings random walk (MHRW) baseline.
+//!
+//! The related work the paper compares against (Section 7; [15, 29])
+//! samples *vertices uniformly* by Metropolizing the walk: at `u`, propose
+//! a uniform neighbor `w` and accept with probability
+//! `min(1, deg(u)/deg(w))`, otherwise stay. The stationary distribution
+//! over vertices is uniform, so plain averages of vertex labels are
+//! unbiased — at the cost of rejected (wasted) steps. The paper cites
+//! evidence that the degree-proportional RW with reweighting (eq. 7) beats
+//! MHRW in practice; the experiment harness lets us reproduce that
+//! comparison.
+
+use crate::budget::{Budget, CostModel};
+use crate::start::StartPolicy;
+use fs_graph::{Graph, VertexId};
+use rand::Rng;
+
+/// Metropolis–Hastings random walk emitting one (uniformly distributed)
+/// vertex sample per step.
+#[derive(Clone, Debug)]
+pub struct MetropolisHastingsRw {
+    /// Start-vertex distribution.
+    pub start: StartPolicy,
+}
+
+impl Default for MetropolisHastingsRw {
+    fn default() -> Self {
+        MetropolisHastingsRw {
+            start: StartPolicy::Uniform,
+        }
+    }
+}
+
+impl MetropolisHastingsRw {
+    /// Uniform-start MHRW.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the walk; every step (accepted or rejected) costs one
+    /// `walk_step` and emits the walker's position after the step.
+    pub fn sample_vertices<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        cost: &CostModel,
+        budget: &mut Budget,
+        rng: &mut R,
+        mut sink: impl FnMut(VertexId),
+    ) {
+        let starts = self.start.draw(graph, 1, cost, budget, rng);
+        let Some(&start) = starts.first() else {
+            return;
+        };
+        let mut current = start;
+        while budget.try_spend(cost.walk_step) {
+            let d = graph.degree(current);
+            if d == 0 {
+                break;
+            }
+            let proposal = graph.nth_neighbor(current, rng.gen_range(0..d));
+            let dp = graph.degree(proposal).max(1);
+            let accept = d as f64 / dp as f64;
+            if accept >= 1.0 || rng.gen_range(0.0..1.0) < accept {
+                current = proposal;
+            }
+            sink(current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_distribution_is_uniform_over_vertices() {
+        // Lollipop: degrees 2,2,3,1 — a plain RW would visit vertex 2
+        // three times as often as vertex 3; MHRW must visit all equally.
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut rng = SmallRng::seed_from_u64(161);
+        let mut visits = [0usize; 4];
+        let steps = 400_000;
+        let mut budget = Budget::new(steps as f64);
+        MetropolisHastingsRw::new().sample_vertices(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |v| visits[v.index()] += 1,
+        );
+        let total: usize = visits.iter().sum();
+        for (i, &c) in visits.iter().enumerate() {
+            let emp = c as f64 / total as f64;
+            assert!((emp - 0.25).abs() < 0.01, "vertex {i}: {emp}");
+        }
+    }
+
+    #[test]
+    fn budget_respected() {
+        let g = graph_from_undirected_pairs(3, [(0, 1), (1, 2), (0, 2)]);
+        let mut rng = SmallRng::seed_from_u64(162);
+        let mut count = 0usize;
+        let mut budget = Budget::new(20.0);
+        MetropolisHastingsRw::new().sample_vertices(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |_| count += 1,
+        );
+        assert_eq!(count, 19);
+    }
+
+    #[test]
+    fn rejections_emit_current_vertex() {
+        // Star: hub deg 4, leaves deg 1. From a leaf every proposal is the
+        // hub with acceptance min(1, 1/4); most steps stay at the leaf.
+        let g = graph_from_undirected_pairs(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut rng = SmallRng::seed_from_u64(163);
+        let mut hub = 0usize;
+        let mut leaf = 0usize;
+        let mut budget = Budget::new(100_000.0);
+        MetropolisHastingsRw::new().sample_vertices(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |v| {
+                if v.index() == 0 {
+                    hub += 1
+                } else {
+                    leaf += 1
+                }
+            },
+        );
+        let frac_hub = hub as f64 / (hub + leaf) as f64;
+        // Uniform over 5 vertices -> hub fraction 0.2.
+        assert!((frac_hub - 0.2).abs() < 0.01, "hub fraction {frac_hub}");
+    }
+}

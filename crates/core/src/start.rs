@@ -1,0 +1,155 @@
+//! Walker start distributions.
+//!
+//! FS and MultipleRW initialise their `m` walkers from uniformly sampled
+//! vertices (Algorithm 1, line 2); Figure 11's control experiment starts
+//! walkers *in steady state*, i.e. with probability `deg(v)/vol(V)`; and
+//! deterministic starts are useful in tests.
+
+use crate::budget::{Budget, CostModel};
+use fs_graph::{Graph, VertexId};
+use rand::Rng;
+
+/// How walker start vertices are drawn.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StartPolicy {
+    /// Uniformly random vertices (each draw costs
+    /// [`CostModel::uniform_vertex`]). The paper's default.
+    Uniform,
+    /// Degree-proportional vertices ("start in steady state",
+    /// Section 6.3). Charged like a uniform draw so budgets stay
+    /// comparable across Figure 11's arms.
+    SteadyState,
+    /// A fixed list (used by tests and sample-path figures); walker `i`
+    /// starts at `starts[i % len]`. Charged like a uniform draw.
+    Fixed(Vec<VertexId>),
+}
+
+impl StartPolicy {
+    /// Draws `m` start vertices, charging the budget. Returns fewer than
+    /// `m` vertices if the budget runs out first.
+    ///
+    /// Vertices with degree zero are rejected and redrawn (a crawler
+    /// cannot walk from an unconnected id); each rejection still pays the
+    /// draw cost, mirroring an invalid-id query.
+    pub fn draw<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        m: usize,
+        cost: &CostModel,
+        budget: &mut Budget,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        let n = graph.num_vertices();
+        assert!(n > 0, "cannot start walkers on an empty graph");
+        let mut starts = Vec::with_capacity(m);
+        let mut fixed_idx = 0usize;
+        while starts.len() < m {
+            if !budget.try_spend(cost.uniform_vertex) {
+                break;
+            }
+            let v = match self {
+                StartPolicy::Uniform => VertexId::new(rng.gen_range(0..n)),
+                StartPolicy::SteadyState => {
+                    let arcs = graph.num_arcs();
+                    if arcs == 0 {
+                        break;
+                    }
+                    graph.arc_endpoints(rng.gen_range(0..arcs)).source
+                }
+                StartPolicy::Fixed(list) => {
+                    assert!(!list.is_empty(), "fixed start list is empty");
+                    let v = list[fixed_idx % list.len()];
+                    fixed_idx += 1;
+                    v
+                }
+            };
+            if graph.degree(v) > 0 {
+                starts.push(v);
+            }
+            // Degree-0 vertices burn the cost and are redrawn, except for
+            // Fixed starts where we must not loop forever.
+            else if matches!(self, StartPolicy::Fixed(_)) {
+                panic!("fixed start {v} has degree zero");
+            }
+        }
+        starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn star() -> Graph {
+        graph_from_undirected_pairs(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+    }
+
+    #[test]
+    fn uniform_draw_costs_budget() {
+        let g = star();
+        let cost = CostModel::unit();
+        let mut budget = Budget::new(3.0);
+        let mut rng = SmallRng::seed_from_u64(101);
+        let starts = StartPolicy::Uniform.draw(&g, 10, &cost, &mut budget, &mut rng);
+        assert_eq!(starts.len(), 3, "budget caps the draws");
+        assert!(budget.exhausted());
+    }
+
+    #[test]
+    fn steady_state_prefers_hub() {
+        let g = star();
+        let cost = CostModel::unit();
+        let mut rng = SmallRng::seed_from_u64(102);
+        let mut hub = 0usize;
+        let trials = 20_000;
+        let mut budget = Budget::new(trials as f64);
+        let starts = StartPolicy::SteadyState.draw(&g, trials, &cost, &mut budget, &mut rng);
+        for v in starts {
+            if v.index() == 0 {
+                hub += 1;
+            }
+        }
+        // Hub has degree 4 of total volume 8.
+        let frac = hub as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.02, "hub fraction {frac}");
+    }
+
+    #[test]
+    fn fixed_cycles_through_list() {
+        let g = star();
+        let cost = CostModel::unit();
+        let mut budget = Budget::new(5.0);
+        let mut rng = SmallRng::seed_from_u64(103);
+        let list = vec![VertexId::new(1), VertexId::new(2)];
+        let starts = StartPolicy::Fixed(list).draw(&g, 5, &cost, &mut budget, &mut rng);
+        let idx: Vec<usize> = starts.iter().map(|v| v.index()).collect();
+        assert_eq!(idx, vec![1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn degree_zero_redrawn() {
+        // vertex 2 is isolated
+        let g = graph_from_undirected_pairs(3, [(0, 1)]);
+        let cost = CostModel::unit();
+        let mut budget = Budget::new(1_000.0);
+        let mut rng = SmallRng::seed_from_u64(104);
+        let starts = StartPolicy::Uniform.draw(&g, 50, &cost, &mut budget, &mut rng);
+        assert_eq!(starts.len(), 50);
+        assert!(starts.iter().all(|v| g.degree(*v) > 0));
+        // Rejections cost extra budget.
+        assert!(budget.spent() > 50.0);
+    }
+
+    #[test]
+    fn hit_ratio_multiplies_cost() {
+        let g = star();
+        let cost = CostModel::unit().with_vertex_hit_ratio(0.1);
+        let mut budget = Budget::new(100.0);
+        let mut rng = SmallRng::seed_from_u64(105);
+        let starts = StartPolicy::Uniform.draw(&g, 100, &cost, &mut budget, &mut rng);
+        assert_eq!(starts.len(), 10, "each valid draw costs 10 units");
+    }
+}

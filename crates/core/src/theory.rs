@@ -1,0 +1,240 @@
+//! Executable versions of the paper's analytical results (Section 5.1–5.2).
+//!
+//! * [`kfs_pmf`] — Lemma 5.3: the steady-state distribution of the number
+//!   of FS walkers inside a vertex subset `V_A`;
+//! * [`binomial_pmf`] — `K_un(m)`, the count from `m` uniform draws;
+//! * [`multiplerw_walker_ratio`] — Section 5.1's `α_A = d̄_A / d̄`, the
+//!   steady-state over/under-population factor of independent walkers;
+//! * [`total_variation`] — distance used by the tests and the theory
+//!   benches to quantify Theorem 5.4's convergence
+//!   `K_fs(m) → K_un(m)` as `m → ∞`.
+
+use fs_graph::{Graph, VertexId};
+
+/// Binomial pmf `P[K = k]` with `m` trials and success probability `p` —
+/// the distribution of `K_un(m)` (Section 5.2).
+pub fn binomial_pmf(m: usize, k: usize, p: f64) -> f64 {
+    if k > m {
+        return 0.0;
+    }
+    // Log-space for numerical stability at m = 1000.
+    let ln = ln_choose(m, k) + k as f64 * p.ln() + (m - k) as f64 * (1.0 - p).ln();
+    match p {
+        p if p <= 0.0 => {
+            if k == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        p if p >= 1.0 => {
+            if k == m {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        _ => ln.exp(),
+    }
+}
+
+/// `ln C(m, k)` via `ln Γ`.
+fn ln_choose(m: usize, k: usize) -> f64 {
+    ln_factorial(m) - ln_factorial(k) - ln_factorial(m - k)
+}
+
+/// `ln(n!)` by Stirling/Lanczos-free accumulation (exact summation for
+/// the sizes used here; cached would be overkill).
+fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Lemma 5.3: steady-state pmf of the number of FS walkers inside `V_A`:
+///
+/// ```text
+/// P[K_fs(m) = k] = (1/(m·d̄)) · C(m,k) p^k (1−p)^{m−k} · (k·d̄_A + (m−k)·d̄_B)
+/// ```
+///
+/// with `p = |V_A|/|V|`, `d̄_A`, `d̄_B`, `d̄` the average degrees of `V_A`,
+/// `V_B = V∖V_A`, and `V`.
+///
+/// ```
+/// use frontier_sampling::theory::kfs_pmf;
+/// let (p, d_a, d_b) = (0.5, 10.0, 2.0);
+/// let d = p * d_a + (1.0 - p) * d_b;
+/// let total: f64 = (0..=8).map(|k| kfs_pmf(8, k, p, d_a, d_b, d)).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// // Walkers concentrate in the high-degree half relative to a coin flip.
+/// let mean: f64 = (0..=8).map(|k| k as f64 * kfs_pmf(8, k, p, d_a, d_b, d)).sum();
+/// assert!(mean > 4.0);
+/// ```
+pub fn kfs_pmf(m: usize, k: usize, p: f64, d_a: f64, d_b: f64, d: f64) -> f64 {
+    if k > m || d <= 0.0 {
+        return 0.0;
+    }
+    let bin = binomial_pmf(m, k, p);
+    bin * (k as f64 * d_a + (m - k) as f64 * d_b) / (m as f64 * d)
+}
+
+/// The average-degree triple `(d̄_A, d̄_B, d̄)` and `p = |V_A|/|V|` for a
+/// subset given as a membership predicate.
+pub fn subset_degree_profile(
+    graph: &Graph,
+    in_a: impl Fn(VertexId) -> bool,
+) -> SubsetProfile {
+    let mut n_a = 0usize;
+    let mut vol_a = 0usize;
+    for v in graph.vertices() {
+        if in_a(v) {
+            n_a += 1;
+            vol_a += graph.degree(v);
+        }
+    }
+    let n = graph.num_vertices();
+    let n_b = n - n_a;
+    let vol = graph.volume();
+    let vol_b = vol - vol_a;
+    SubsetProfile {
+        p: n_a as f64 / n as f64,
+        d_a: if n_a > 0 { vol_a as f64 / n_a as f64 } else { 0.0 },
+        d_b: if n_b > 0 { vol_b as f64 / n_b as f64 } else { 0.0 },
+        d: vol as f64 / n as f64,
+    }
+}
+
+/// Output of [`subset_degree_profile`].
+#[derive(Copy, Clone, Debug)]
+pub struct SubsetProfile {
+    /// `|V_A| / |V|`.
+    pub p: f64,
+    /// Average degree inside `V_A`.
+    pub d_a: f64,
+    /// Average degree inside `V_B = V ∖ V_A`.
+    pub d_b: f64,
+    /// Average degree of the whole graph.
+    pub d: f64,
+}
+
+impl SubsetProfile {
+    /// Lemma 5.3 pmf for this subset.
+    pub fn kfs_pmf(&self, m: usize, k: usize) -> f64 {
+        kfs_pmf(m, k, self.p, self.d_a, self.d_b, self.d)
+    }
+
+    /// `K_un(m)` pmf for this subset.
+    pub fn kun_pmf(&self, m: usize, k: usize) -> f64 {
+        binomial_pmf(m, k, self.p)
+    }
+
+    /// Section 5.1: `α_A = E[K_mw(m)]/E[K_un(m)] = d̄_A/d̄` — how strongly
+    /// MultipleRW's steady state over/under-populates `V_A` relative to
+    /// uniform placement.
+    pub fn multiplerw_walker_ratio(&self) -> f64 {
+        if self.d > 0.0 {
+            self.d_a / self.d
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Section 5.1 ratio `α_A = d̄_A / d̄` from explicit averages.
+pub fn multiplerw_walker_ratio(d_a: f64, d: f64) -> f64 {
+    if d > 0.0 {
+        d_a / d
+    } else {
+        0.0
+    }
+}
+
+/// Total variation distance between two pmfs over `0..=m`.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    let len = p.len().max(q.len());
+    let mut tv = 0.0;
+    for i in 0..len {
+        let a = p.get(i).copied().unwrap_or(0.0);
+        let b = q.get(i).copied().unwrap_or(0.0);
+        tv += (a - b).abs();
+    }
+    tv / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for (m, p) in [(5usize, 0.3), (50, 0.5), (200, 0.05)] {
+            let total: f64 = (0..=m).map(|k| binomial_pmf(m, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "m={m} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn binomial_degenerate() {
+        assert_eq!(binomial_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binomial_pmf(10, 11, 0.5), 0.0);
+    }
+
+    #[test]
+    fn kfs_pmf_sums_to_one() {
+        // Identity (12) in the paper guarantees normalization:
+        // Σ_k C(m,k)p^k(1-p)^{m-k}(k d_A + (m-k) d_B) = m(p d_A + (1-p) d_B) = m d̄.
+        for m in [1usize, 2, 10, 100] {
+            let (p, d_a, d_b) = (0.3, 2.0, 12.0);
+            let d = p * d_a + (1.0 - p) * d_b;
+            let total: f64 = (0..=m).map(|k| kfs_pmf(m, k, p, d_a, d_b, d)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "m={m}: {total}");
+        }
+    }
+
+    #[test]
+    fn kfs_skews_towards_high_degree_subset() {
+        // If V_A has higher average degree, K_fs stochastically dominates
+        // K_un: mean of K_fs > m p.
+        let (m, p, d_a, d_b) = (20usize, 0.5, 10.0, 2.0);
+        let d = p * d_a + (1.0 - p) * d_b;
+        let mean_fs: f64 = (0..=m).map(|k| k as f64 * kfs_pmf(m, k, p, d_a, d_b, d)).sum();
+        assert!(mean_fs > m as f64 * p, "mean {mean_fs} vs uniform {}", m as f64 * p);
+    }
+
+    #[test]
+    fn theorem_5_4_convergence_in_tv() {
+        // TV distance between K_fs(m) and K_un(m) must shrink as m grows.
+        let (p, d_a, d_b) = (0.5, 2.0, 10.0);
+        let d = p * d_a + (1.0 - p) * d_b;
+        let tv_at = |m: usize| {
+            let fs: Vec<f64> = (0..=m).map(|k| kfs_pmf(m, k, p, d_a, d_b, d)).collect();
+            let un: Vec<f64> = (0..=m).map(|k| binomial_pmf(m, k, p)).collect();
+            total_variation(&fs, &un)
+        };
+        let seq = [tv_at(4), tv_at(16), tv_at(64), tv_at(256)];
+        assert!(seq[0] > seq[1] && seq[1] > seq[2] && seq[2] > seq[3], "{seq:?}");
+        assert!(seq[3] < 0.05, "TV at m=256 still {}", seq[3]);
+    }
+
+    #[test]
+    fn subset_profile_on_gab_like_graph() {
+        // Two components: triangle (deg 2 each) and star K1,3.
+        let g = graph_from_undirected_pairs(
+            7,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (3, 5), (3, 6)],
+        );
+        let prof = subset_degree_profile(&g, |v| v.index() < 3);
+        assert!((prof.p - 3.0 / 7.0).abs() < 1e-12);
+        assert!((prof.d_a - 2.0).abs() < 1e-12);
+        assert!((prof.d_b - 6.0 / 4.0).abs() < 1e-12);
+        assert!((prof.d - 12.0 / 7.0).abs() < 1e-12);
+        let alpha = prof.multiplerw_walker_ratio();
+        assert!((alpha - 2.0 / (12.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_extremes() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+    }
+}

@@ -1,0 +1,436 @@
+//! Transient analysis: how fast does each method's edge-sampling
+//! distribution approach uniform? (Appendix B, Table 4.)
+//!
+//! For a walker started from a distribution `π_0` over vertices, the
+//! probability that its `B`-th step samples arc `(u, v)` is
+//! `π_{B−1}(u)/deg(u)` where `π_t = π_0 P^t` and `P = D^{−1}A` is the
+//! walk's transition matrix on the symmetric closure. For SingleRW and
+//! (per-walker) MultipleRW this is computed **exactly** by sparse power
+//! iteration. FS's joint chain is too large for exact evolution, so its
+//! arc distribution is estimated by Monte Carlo over replicas.
+//!
+//! Table 4's metric is the worst-case relative deviation from uniform:
+//! `max_{(u,v) ∈ E} (1 − p^{(B)}_{u,v} / (1/|E|))` — reported per method.
+
+use crate::frontier::Frontier;
+use fs_graph::{Graph, VertexId};
+use rand::Rng;
+
+/// One step of the RW distribution evolution: `out = in · P`,
+/// `P[v][w] = 1/deg(v)` for each neighbor `w`.
+pub fn evolve_distribution(graph: &Graph, pi: &[f64]) -> Vec<f64> {
+    let n = graph.num_vertices();
+    assert_eq!(pi.len(), n);
+    let mut out = vec![0.0; n];
+    for v in graph.vertices() {
+        let mass = pi[v.index()];
+        if mass == 0.0 {
+            continue;
+        }
+        let d = graph.degree(v);
+        if d == 0 {
+            // Walk cannot leave; mass stays (matches a stuck walker).
+            out[v.index()] += mass;
+            continue;
+        }
+        let share = mass / d as f64;
+        for &w in graph.neighbors(v) {
+            out[w.index()] += share;
+        }
+    }
+    out
+}
+
+/// Evolves the uniform start distribution `t` steps.
+pub fn distribution_after(graph: &Graph, t: usize) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut pi = vec![1.0 / n as f64; n];
+    for _ in 0..t {
+        pi = evolve_distribution(graph, &pi);
+    }
+    pi
+}
+
+/// Exact arc-sampling distribution of a single walker's `b`-th step
+/// (uniform start): `p[(u → v)] = π_{b−1}(u)/deg(u)`, indexed by
+/// [`fs_graph::ArcId`].
+pub fn exact_arc_distribution_single(graph: &Graph, b: usize) -> Vec<f64> {
+    assert!(b >= 1, "need at least one step");
+    let pi = distribution_after(graph, b - 1);
+    let mut p = vec![0.0; graph.num_arcs()];
+    for u in graph.vertices() {
+        let d = graph.degree(u);
+        if d == 0 {
+            continue;
+        }
+        let share = pi[u.index()] / d as f64;
+        let first = graph.first_arc(u);
+        for i in 0..d {
+            p[first + i] = share;
+        }
+    }
+    p
+}
+
+/// Table 4's deviation metric: `max_arc |1 − p_arc · |E||`.
+///
+/// The largest relative deviation of any arc's sampling probability from
+/// the stationary `1/|E|`, counting both under- and over-sampling (the
+/// paper reports deviations well above 100%, which only oversampled arcs
+/// can produce — e.g. a one-step walker from a uniform start oversamples
+/// arcs out of degree-1 vertices by a factor `d̄`).
+pub fn worst_case_relative_deviation(arc_probs: &[f64]) -> f64 {
+    let e = arc_probs.len() as f64;
+    arc_probs
+        .iter()
+        .map(|&p| (1.0 - p * e).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Monte-Carlo estimate of FS's arc distribution at its `b`-th step,
+/// **Rao-Blackwellized**: each replica walks `b − 1` FS steps and then
+/// accumulates the *exact conditional* distribution of the `b`-th sampled
+/// edge given the frontier state `L` — uniform over the edge frontier
+/// `e(L)` (Lemma 5.1). This collapses the per-replica variance from
+/// one-hot to `m·d̄` weighted arcs, which is what makes the Appendix-B
+/// worst-case-deviation metric measurable at laptop replica counts.
+pub fn mc_arc_distribution_frontier<R: Rng + ?Sized>(
+    graph: &Graph,
+    m: usize,
+    b: usize,
+    replicas: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(b >= 1);
+    let n = graph.num_vertices();
+    let mut acc = vec![0.0f64; graph.num_arcs()];
+    for _ in 0..replicas {
+        // Uniform starts, rejecting isolated vertices like StartPolicy.
+        let mut positions = Vec::with_capacity(m);
+        while positions.len() < m {
+            let v = VertexId::new(rng.gen_range(0..n));
+            if graph.degree(v) > 0 {
+                positions.push(v);
+            }
+        }
+        let mut frontier = Frontier::from_positions(graph, positions);
+        for _ in 0..(b - 1) {
+            if frontier.step(graph, rng).is_none() {
+                break;
+            }
+        }
+        let total = frontier.frontier_volume();
+        if total <= 0.0 {
+            continue;
+        }
+        let w = 1.0 / total;
+        for &v in frontier.positions() {
+            let first = graph.first_arc(v);
+            for i in 0..graph.degree(v) {
+                acc[first + i] += w;
+            }
+        }
+    }
+    for a in &mut acc {
+        *a /= replicas as f64;
+    }
+    acc
+}
+
+/// Monte-Carlo estimate of the arc distribution of a *single* walker's
+/// `b`-th step — used to validate the exact power iteration.
+pub fn mc_arc_distribution_single<R: Rng + ?Sized>(
+    graph: &Graph,
+    b: usize,
+    replicas: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    mc_arc_distribution_frontier(graph, 1, b, replicas, rng)
+}
+
+/// One step of the **non-backtracking** walk's arc-chain evolution.
+///
+/// The NBRW is a Markov chain on directed arcs: state `(u → v)` is "the
+/// walker sits at `v`, having arrived from `u`". From `(u → v)` it moves
+/// to `(v → w)` uniformly over the neighbors `w ≠ u` of `v` — or back to
+/// `(v → u)` when `deg(v) = 1`. That chain is *doubly stochastic*
+/// (each arc receives `deg(v) − 1` inflows of `1/(deg(v) − 1)` each), so
+/// its stationary distribution is uniform over arcs — NBRW keeps the
+/// paper's uniform edge sampling. Note the transient itself is not
+/// always faster: on low-degree triangle-rich graphs the NB chain is
+/// nearly periodic (a triangle's non-backtracking move is a rotation)
+/// and this worst-case metric decays *more slowly* than the plain
+/// walk's; NBRW's documented gains are in asymptotic estimator variance
+/// (see the tests below for both effects, quantified exactly).
+/// `O(Σ_v deg(v)²)` per step; intended for small exact analyses like
+/// Appendix B's.
+pub fn evolve_arc_distribution_nb(graph: &Graph, p: &[f64]) -> Vec<f64> {
+    assert_eq!(p.len(), graph.num_arcs());
+    let mut out = vec![0.0; graph.num_arcs()];
+    for u in graph.vertices() {
+        let first_u = graph.first_arc(u);
+        for i in 0..graph.degree(u) {
+            let mass = p[first_u + i];
+            if mass == 0.0 {
+                continue;
+            }
+            let v = graph.neighbors(u)[i];
+            let dv = graph.degree(v);
+            if dv == 1 {
+                // Forced return along the only edge (v → u).
+                let back = graph
+                    .find_arc(v, u)
+                    .expect("symmetric closure must contain the reverse arc");
+                out[back] += mass;
+                continue;
+            }
+            let share = mass / (dv - 1) as f64;
+            let first_v = graph.first_arc(v);
+            for (j, &w) in graph.neighbors(v).iter().enumerate() {
+                if w != u {
+                    out[first_v + j] += share;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Exact arc-sampling distribution of a non-backtracking walker's `b`-th
+/// step from a uniform (non-isolated) start: the first edge is uniform
+/// out of a uniform start vertex, then the arc chain evolves `b − 1`
+/// times.
+pub fn exact_arc_distribution_nbrw(graph: &Graph, b: usize) -> Vec<f64> {
+    assert!(b >= 1, "need at least one step");
+    let walkable = graph.vertices().filter(|&v| graph.degree(v) > 0).count();
+    assert!(walkable > 0, "graph has no walkable vertex");
+    let mut p = vec![0.0; graph.num_arcs()];
+    for u in graph.vertices() {
+        let d = graph.degree(u);
+        if d == 0 {
+            continue;
+        }
+        let share = 1.0 / (walkable as f64 * d as f64);
+        let first = graph.first_arc(u);
+        for i in 0..d {
+            p[first + i] = share;
+        }
+    }
+    for _ in 0..(b - 1) {
+        p = evolve_arc_distribution_nb(graph, &p);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn lollipop() -> Graph {
+        graph_from_undirected_pairs(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn distribution_evolution_conserves_mass() {
+        let g = lollipop();
+        let mut pi = vec![0.25; 4];
+        for _ in 0..10 {
+            pi = evolve_distribution(&g, &pi);
+            let total: f64 = pi.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn long_run_reaches_degree_proportional() {
+        let g = lollipop();
+        // Lazy trick not needed: lollipop is non-bipartite (triangle).
+        let pi = distribution_after(&g, 200);
+        for v in g.vertices() {
+            let expect = g.degree(v) as f64 / g.volume() as f64;
+            assert!(
+                (pi[v.index()] - expect).abs() < 1e-6,
+                "vertex {v}: {} vs {expect}",
+                pi[v.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn exact_arc_distribution_normalizes() {
+        let g = lollipop();
+        for b in [1usize, 2, 5, 50] {
+            let p = exact_arc_distribution_single(&g, b);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "b = {b}");
+        }
+    }
+
+    #[test]
+    fn exact_arc_distribution_converges_to_uniform() {
+        let g = lollipop();
+        let p = exact_arc_distribution_single(&g, 300);
+        let dev = worst_case_relative_deviation(&p);
+        assert!(dev < 1e-6, "deviation {dev}");
+        let p1 = exact_arc_distribution_single(&g, 1);
+        let dev1 = worst_case_relative_deviation(&p1);
+        assert!(dev1 > 0.1, "step-1 deviation should be large, got {dev1}");
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_for_single_walker() {
+        let g = lollipop();
+        let b = 3;
+        let exact = exact_arc_distribution_single(&g, b);
+        let mut rng = SmallRng::seed_from_u64(271);
+        let mc = mc_arc_distribution_single(&g, b, 200_000, &mut rng);
+        for (i, (&e, &m)) in exact.iter().zip(&mc).enumerate() {
+            assert!((e - m).abs() < 0.01, "arc {i}: exact {e} vs MC {m}");
+        }
+    }
+
+    #[test]
+    fn fs_transient_deviation_below_single_walker() {
+        // The Appendix-B claim, in miniature: on a graph with a degree
+        // imbalance, FS's early-step arc distribution is closer to uniform
+        // than a single walker's.
+        // Barbell-ish: clique {0,1,2} + path to sparse pair.
+        let g = graph_from_undirected_pairs(
+            6,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        let b = 4;
+        let single = exact_arc_distribution_single(&g, b);
+        let dev_single = worst_case_relative_deviation(&single);
+        let mut rng = SmallRng::seed_from_u64(272);
+        let fs = mc_arc_distribution_frontier(&g, 6, b, 300_000, &mut rng);
+        let dev_fs = worst_case_relative_deviation(&fs);
+        assert!(
+            dev_fs < dev_single,
+            "FS deviation {dev_fs} should beat single-walker {dev_single}"
+        );
+    }
+
+    #[test]
+    fn nb_arc_distribution_normalizes_and_stays_nonnegative() {
+        let g = graph_from_undirected_pairs(4, [(0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        for b in [1usize, 2, 5, 50] {
+            let p = exact_arc_distribution_nbrw(&g, b);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "b = {b}: total {total}");
+            assert!(p.iter().all(|&x| x >= -1e-15));
+        }
+    }
+
+    #[test]
+    fn nb_chain_is_doubly_stochastic_uniform_is_fixed() {
+        // Push the exact uniform arc distribution through one NB step:
+        // it must come back unchanged (double stochasticity), including
+        // across a degree-1 forced return.
+        let g = lollipop();
+        let uniform = vec![1.0 / g.num_arcs() as f64; g.num_arcs()];
+        let next = evolve_arc_distribution_nb(&g, &uniform);
+        for (i, (&a, &b)) in uniform.iter().zip(&next).enumerate() {
+            assert!((a - b).abs() < 1e-12, "arc {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn nb_exact_matches_monte_carlo() {
+        let g = lollipop();
+        let b = 4;
+        let exact = exact_arc_distribution_nbrw(&g, b);
+        // MC: replicate the NB walk by hand (uniform non-isolated start,
+        // uniform first edge, NB steps after).
+        let mut rng = SmallRng::seed_from_u64(273);
+        let replicas = 200_000;
+        let mut acc = vec![0.0f64; g.num_arcs()];
+        for _ in 0..replicas {
+            let mut prev: Option<VertexId> = None;
+            let mut cur = VertexId::new(rand::Rng::gen_range(&mut rng, 0..g.num_vertices()));
+            let mut last_arc = None;
+            for _ in 0..b {
+                let Some(edge) = crate::nbrw::nb_step(&g, cur, prev, &mut rng) else {
+                    break;
+                };
+                last_arc = g.find_arc(edge.source, edge.target);
+                prev = Some(cur);
+                cur = edge.target;
+            }
+            if let Some(a) = last_arc {
+                acc[a] += 1.0;
+            }
+        }
+        for a in &mut acc {
+            *a /= replicas as f64;
+        }
+        for (i, (&e, &m)) in exact.iter().zip(&acc).enumerate() {
+            assert!((e - m).abs() < 0.01, "arc {i}: exact {e} vs MC {m}");
+        }
+    }
+
+    #[test]
+    fn nb_near_periodicity_on_triangle_rich_graphs() {
+        // An honest caveat the exact machinery makes measurable: on
+        // low-degree triangle-rich graphs the NB arc chain is *nearly
+        // periodic* (inside a triangle the non-backtracking move is a
+        // rotation), so its transient worst-case deviation decays MORE
+        // slowly than the plain walk's — NBRW's documented gains (Lee,
+        // Xu & Eun 2012) are in asymptotic estimator variance, not in
+        // this transient metric. Fixture: two triangles plus a bridge.
+        let g = graph_from_undirected_pairs(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let plain8 = worst_case_relative_deviation(&exact_arc_distribution_single(&g, 8));
+        let nb8 = worst_case_relative_deviation(&exact_arc_distribution_nbrw(&g, 8));
+        assert!(
+            nb8 > plain8 * 10.0,
+            "near-periodicity should slow NB here: {nb8} vs {plain8}"
+        );
+        // It is still ergodic: the deviation decays geometrically and
+        // eventually vanishes.
+        let nb48 = worst_case_relative_deviation(&exact_arc_distribution_nbrw(&g, 48));
+        assert!(nb48 < nb8 / 100.0, "decay: {nb8} → {nb48}");
+        let nb200 = worst_case_relative_deviation(&exact_arc_distribution_nbrw(&g, 200));
+        assert!(nb200 < 1e-6, "long-run deviation {nb200}");
+    }
+
+    #[test]
+    fn degree_one_tails_funnel_the_nb_walk() {
+        // The caveat the min-degree-2 assumption hides: a walker started
+        // at a leaf is *forced* along a deterministic path (leaf → return
+        // → no-backtrack onward), transiently oversampling the tail's
+        // arcs. On this path-tailed graph the step-2 worst-case deviation
+        // of NBRW exceeds the plain walk's — quantified exactly.
+        let g = graph_from_undirected_pairs(
+            6,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        let plain = worst_case_relative_deviation(&exact_arc_distribution_single(&g, 2));
+        let nb = worst_case_relative_deviation(&exact_arc_distribution_nbrw(&g, 2));
+        assert!(
+            nb > plain,
+            "expected the funneling artifact: NBRW {nb} vs plain {plain}"
+        );
+        // Both walks still converge to uniform in the long run.
+        let nb_long = worst_case_relative_deviation(&exact_arc_distribution_nbrw(&g, 400));
+        assert!(nb_long < 1e-3, "long-run NBRW deviation {nb_long}");
+    }
+
+    #[test]
+    fn worst_case_metric_definition() {
+        // Uniform over 4 arcs -> deviation 0.
+        assert!(worst_case_relative_deviation(&[0.25; 4]).abs() < 1e-12);
+        // Oversampling dominates: p = 0.5 on 4 arcs -> |1 - 2| = 1;
+        // missing arcs contribute |1 - 0| = 1 as well.
+        let dev = worst_case_relative_deviation(&[0.5, 0.5, 0.0, 0.0]);
+        assert!((dev - 1.0).abs() < 1e-12);
+        // A strongly oversampled arc can push the metric past 100%.
+        let dev2 = worst_case_relative_deviation(&[0.7, 0.1, 0.1, 0.1]);
+        assert!((dev2 - 1.8).abs() < 1e-12);
+    }
+}

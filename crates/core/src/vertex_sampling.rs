@@ -1,0 +1,81 @@
+//! Independent uniform random **vertex** sampling (Section 3).
+//!
+//! Models querying randomly generated user-ids: each *valid* draw costs
+//! [`crate::budget::CostModel::uniform_vertex`] budget units — set it to
+//! `1/h` to model a sparse id space with hit ratio `h` (Section 6.4's
+//! MySpace-motivated experiment uses `h = 10%`).
+
+use crate::budget::{Budget, CostModel};
+use fs_graph::{Graph, VertexId};
+use rand::Rng;
+
+/// Uniform-with-replacement vertex sampler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomVertexSampler;
+
+impl RandomVertexSampler {
+    /// Creates the sampler.
+    pub fn new() -> Self {
+        RandomVertexSampler
+    }
+
+    /// Draws vertices until the budget is exhausted.
+    pub fn sample_vertices<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        cost: &CostModel,
+        budget: &mut Budget,
+        rng: &mut R,
+        mut sink: impl FnMut(VertexId),
+    ) {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return;
+        }
+        while budget.try_spend(cost.uniform_vertex) {
+            sink(VertexId::new(rng.gen_range(0..n)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_are_uniform() {
+        let g = graph_from_undirected_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut rng = SmallRng::seed_from_u64(171);
+        let mut counts = [0usize; 5];
+        let mut budget = Budget::new(100_000.0);
+        RandomVertexSampler::new().sample_vertices(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |v| counts[v.index()] += 1,
+        );
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 100_000);
+        for &c in &counts {
+            let emp = c as f64 / total as f64;
+            assert!((emp - 0.2).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn hit_ratio_reduces_sample_count() {
+        let g = graph_from_undirected_pairs(3, [(0, 1), (1, 2)]);
+        let cost = CostModel::unit().with_vertex_hit_ratio(0.1);
+        let mut rng = SmallRng::seed_from_u64(172);
+        let mut count = 0usize;
+        let mut budget = Budget::new(100.0);
+        RandomVertexSampler::new().sample_vertices(&g, &cost, &mut budget, &mut rng, |_| {
+            count += 1
+        });
+        assert_eq!(count, 10);
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared single-step random-walk mechanics.
+//!
+//! Section 4: "At the i-th step a walker at vertex `v_i` chooses an
+//! outgoing edge `(v_i, u)` uniformly at random … and adds it to the
+//! sequence of sampled edges." All walk-based samplers reduce to this
+//! primitive.
+
+use fs_graph::{Arc, Graph, VertexId};
+use rand::Rng;
+
+/// Takes one random-walk step from `v`: returns the sampled edge, whose
+/// target is the walker's next position. `None` if `v` has no neighbors.
+#[inline]
+pub fn step<R: Rng + ?Sized>(graph: &Graph, v: VertexId, rng: &mut R) -> Option<Arc> {
+    let d = graph.degree(v);
+    if d == 0 {
+        return None;
+    }
+    let next = graph.nth_neighbor(v, rng.gen_range(0..d));
+    Some(Arc {
+        source: v,
+        target: next,
+    })
+}
+
+/// An edge-sink callback, fed every sampled edge in order.
+///
+/// Estimators implement [`crate::estimators::EdgeEstimator`] and are
+/// adapted to this via closures; keeping the sink a plain `FnMut` keeps
+/// samplers decoupled from estimator types.
+pub type EdgeSink<'a> = dyn FnMut(Arc) + 'a;
+
+/// A vertex-sink callback, fed every independently sampled vertex
+/// (random vertex sampling only).
+pub type VertexSink<'a> = dyn FnMut(VertexId) + 'a;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_returns_valid_edge() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut rng = SmallRng::seed_from_u64(111);
+        for _ in 0..100 {
+            let e = step(&g, VertexId::new(1), &mut rng).unwrap();
+            assert_eq!(e.source, VertexId::new(1));
+            assert!(g.has_edge(e.source, e.target));
+        }
+    }
+
+    #[test]
+    fn step_uniform_over_neighbors() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (0, 2), (0, 3)]);
+        let mut rng = SmallRng::seed_from_u64(112);
+        let mut counts = [0usize; 4];
+        let trials = 30_000;
+        for _ in 0..trials {
+            let e = step(&g, VertexId::new(0), &mut rng).unwrap();
+            counts[e.target.index()] += 1;
+        }
+        for &c in &counts[1..] {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "neighbor fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_step() {
+        let g = graph_from_undirected_pairs(3, [(0, 1)]);
+        let mut rng = SmallRng::seed_from_u64(113);
+        assert!(step(&g, VertexId::new(2), &mut rng).is_none());
+    }
+}

@@ -1,0 +1,486 @@
+//! Weighted random walks and weighted Frontier Sampling (extension).
+//!
+//! Generalises the paper's machinery to edge-weighted graphs
+//! ([`fs_graph::WeightedGraph`]), the direction Section 8 gestures at.
+//! Every structural statement carries over with `deg → strength`:
+//!
+//! * a **weighted random walk** picks the next edge with probability
+//!   proportional to its weight; in steady state it samples edges
+//!   proportionally to weight and visits vertices with probability
+//!   `s(v) / Σ_u s(u)`, where `s(v)` is the strength of `v`;
+//! * **weighted Frontier Sampling** keeps Algorithm 1 verbatim but reads
+//!   "degree" as "strength": select walker `u ∈ L` with probability
+//!   `s(u)/Σ_{v∈L} s(v)`, then move it over an incident edge picked
+//!   proportionally to weight. Exactly as in Lemma 5.1, the two-stage
+//!   choice samples an edge from the frontier's *weight mass* — so
+//!   weighted FS is a single weighted walk on `G^m` and retains FS's
+//!   robustness to disconnected components;
+//! * the eq.-7 estimator reweights by `1/s(v)` instead of `1/deg(v)`
+//!   ([`WeightedVertexDensityEstimator`]).
+//!
+//! The stationary claims are validated empirically in the tests below
+//! (including the reduction: unit weights reproduce the unweighted
+//! samplers' distributions).
+
+use crate::budget::{Budget, CostModel};
+use crate::fenwick::FenwickTree;
+use fs_graph::{VertexId, WeightedArc, WeightedGraph};
+use rand::Rng;
+
+/// Takes one weighted random-walk step from `v`: draws a neighbor with
+/// probability proportional to the connecting edge weight. `None` for
+/// isolated vertices.
+#[inline]
+pub fn weighted_step<R: Rng + ?Sized>(
+    graph: &WeightedGraph,
+    v: VertexId,
+    rng: &mut R,
+) -> Option<WeightedArc> {
+    let s = graph.strength(v);
+    if s <= 0.0 {
+        return None;
+    }
+    graph.neighbor_at_mass(v, rng.gen_range(0.0..s))
+}
+
+/// Start policy for weighted walkers (the weighted analogue of
+/// [`crate::StartPolicy`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightedStart {
+    /// Uniformly random non-isolated vertices; each draw costs
+    /// [`CostModel::uniform_vertex`]. The FS default.
+    Uniform,
+    /// Strength-proportional vertices ("start in steady state").
+    SteadyState,
+    /// A fixed list; walker `i` starts at `starts[i % len]`.
+    Fixed(Vec<VertexId>),
+}
+
+impl WeightedStart {
+    /// Draws `m` start vertices, charging the budget per draw; rejected
+    /// (isolated) vertices burn their cost like invalid-id queries.
+    pub fn draw<R: Rng + ?Sized>(
+        &self,
+        graph: &WeightedGraph,
+        m: usize,
+        cost: &CostModel,
+        budget: &mut Budget,
+        rng: &mut R,
+    ) -> Vec<VertexId> {
+        let n = graph.num_vertices();
+        assert!(n > 0, "cannot start walkers on an empty graph");
+        let total = graph.total_strength();
+        let mut starts = Vec::with_capacity(m);
+        let mut fixed_idx = 0usize;
+        while starts.len() < m {
+            if !budget.try_spend(cost.uniform_vertex) {
+                break;
+            }
+            let v = match self {
+                WeightedStart::Uniform => VertexId::new(rng.gen_range(0..n)),
+                WeightedStart::SteadyState => {
+                    // Inverse-CDF over strengths; O(n) per draw is fine
+                    // for the control experiments this exists for.
+                    let mut x = rng.gen_range(0.0..total);
+                    let mut pick = VertexId::new(n - 1);
+                    for v in graph.vertices() {
+                        let s = graph.strength(v);
+                        if x < s {
+                            pick = v;
+                            break;
+                        }
+                        x -= s;
+                    }
+                    pick
+                }
+                WeightedStart::Fixed(list) => {
+                    assert!(!list.is_empty(), "fixed start list is empty");
+                    let v = list[fixed_idx % list.len()];
+                    fixed_idx += 1;
+                    v
+                }
+            };
+            if graph.degree(v) > 0 {
+                starts.push(v);
+            } else if matches!(self, WeightedStart::Fixed(_)) {
+                panic!("fixed start {v} is isolated");
+            }
+        }
+        starts
+    }
+}
+
+/// Single weighted random walker.
+#[derive(Clone, Debug)]
+pub struct WeightedSingleRw {
+    /// Start-vertex distribution (default: uniform).
+    pub start: WeightedStart,
+}
+
+impl Default for WeightedSingleRw {
+    fn default() -> Self {
+        WeightedSingleRw {
+            start: WeightedStart::Uniform,
+        }
+    }
+}
+
+impl WeightedSingleRw {
+    /// Creates a uniform-start weighted walker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a walker with the given start policy.
+    pub fn with_start(start: WeightedStart) -> Self {
+        WeightedSingleRw { start }
+    }
+
+    /// Runs the walk until the budget is exhausted, feeding every sampled
+    /// weighted edge to `sink` in order.
+    pub fn sample_edges<R: Rng + ?Sized>(
+        &self,
+        graph: &WeightedGraph,
+        cost: &CostModel,
+        budget: &mut Budget,
+        rng: &mut R,
+        mut sink: impl FnMut(WeightedArc),
+    ) {
+        let starts = self.start.draw(graph, 1, cost, budget, rng);
+        let Some(&start) = starts.first() else {
+            return;
+        };
+        let mut v = start;
+        while budget.try_spend(cost.walk_step) {
+            match weighted_step(graph, v, rng) {
+                Some(arc) => {
+                    v = arc.target;
+                    sink(arc);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Weighted Frontier Sampling: Algorithm 1 with strength-proportional
+/// walker selection and weight-proportional moves.
+///
+/// ```
+/// use frontier_sampling::weighted::WeightedFrontierSampler;
+/// use frontier_sampling::{Budget, CostModel};
+/// use fs_graph::WeightedGraph;
+/// use rand::SeedableRng;
+///
+/// let g = WeightedGraph::from_weighted_pairs(
+///     4, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 10.0)]);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+/// let mut budget = Budget::new(1_000.0);
+/// let mut mass = 0.0;
+/// WeightedFrontierSampler::new(2).sample_edges(
+///     &g, &CostModel::unit(), &mut budget, &mut rng, |arc| {
+///         assert_eq!(g.edge_weight(arc.source, arc.target), Some(arc.weight));
+///         mass += arc.weight;
+///     });
+/// assert!(mass > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeightedFrontierSampler {
+    /// Dimension `m ≥ 1`.
+    pub m: usize,
+    /// Start-vertex distribution (default: uniform).
+    pub start: WeightedStart,
+}
+
+impl WeightedFrontierSampler {
+    /// Weighted FS with `m` uniformly started walkers.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "FS dimension must be at least 1");
+        WeightedFrontierSampler {
+            m,
+            start: WeightedStart::Uniform,
+        }
+    }
+
+    /// Sets the start policy.
+    pub fn with_start(mut self, start: WeightedStart) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Runs weighted FS, feeding every sampled weighted edge to `sink`
+    /// until the budget is exhausted.
+    pub fn sample_edges<R: Rng + ?Sized>(
+        &self,
+        graph: &WeightedGraph,
+        cost: &CostModel,
+        budget: &mut Budget,
+        rng: &mut R,
+        mut sink: impl FnMut(WeightedArc),
+    ) {
+        let mut positions = self.start.draw(graph, self.m, cost, budget, rng);
+        if positions.is_empty() {
+            return;
+        }
+        let strengths: Vec<f64> = positions.iter().map(|&v| graph.strength(v)).collect();
+        let mut weights = FenwickTree::new(&strengths);
+        while budget.try_spend(cost.walk_step) {
+            if weights.total() <= 0.0 {
+                break;
+            }
+            let i = weights.sample(rng);
+            let Some(arc) = weighted_step(graph, positions[i], rng) else {
+                break;
+            };
+            positions[i] = arc.target;
+            weights.set(i, graph.strength(arc.target));
+            sink(arc);
+        }
+    }
+}
+
+/// Vertex label-density estimator over weighted-walk samples: eq. (7)
+/// with the reweighting `1/s(v)` matching the weighted stationary law
+/// `π(v) ∝ s(v)`.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedVertexDensityEstimator {
+    labeled_weight: f64,
+    weight_sum: f64,
+    observed: usize,
+}
+
+impl WeightedVertexDensityEstimator {
+    /// Fresh estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one sampled edge; `labeled` states whether the arrival
+    /// vertex carries the label of interest.
+    pub fn observe(&mut self, graph: &WeightedGraph, arc: WeightedArc, labeled: bool) {
+        self.observed += 1;
+        let s = graph.strength(arc.target);
+        if s <= 0.0 {
+            return;
+        }
+        let w = 1.0 / s;
+        self.weight_sum += w;
+        if labeled {
+            self.labeled_weight += w;
+        }
+    }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Estimated fraction of vertices carrying the label; `None` before
+    /// any observation.
+    pub fn density(&self) -> Option<f64> {
+        if self.weight_sum <= 0.0 {
+            return None;
+        }
+        Some(self.labeled_weight / self.weight_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Triangle with weights 1, 2, 3 plus a heavy pendant.
+    fn wg() -> WeightedGraph {
+        WeightedGraph::from_weighted_pairs(
+            4,
+            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 10.0)],
+        )
+    }
+
+    #[test]
+    fn single_walk_visits_proportional_to_strength() {
+        let g = wg();
+        let mut rng = SmallRng::seed_from_u64(311);
+        let mut visits = [0usize; 4];
+        let mut budget = Budget::new(400_000.0);
+        WeightedSingleRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |a| {
+            visits[a.target.index()] += 1;
+        });
+        let total: usize = visits.iter().sum();
+        let vol = g.total_strength();
+        for (i, &c) in visits.iter().enumerate() {
+            let expect = g.strength(VertexId::new(i)) / vol;
+            let emp = c as f64 / total as f64;
+            assert!(
+                (emp - expect).abs() < 0.01,
+                "vertex {i}: visited {emp}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_walk_samples_edges_proportional_to_weight() {
+        let g = wg();
+        let mut rng = SmallRng::seed_from_u64(312);
+        let mut mass = std::collections::HashMap::new();
+        let mut budget = Budget::new(400_000.0);
+        let mut total = 0usize;
+        WeightedSingleRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |a| {
+            let key = if a.source.index() < a.target.index() {
+                (a.source.index(), a.target.index())
+            } else {
+                (a.target.index(), a.source.index())
+            };
+            *mass.entry(key).or_insert(0usize) += 1;
+            total += 1;
+        });
+        let weight_sum = 16.0; // 1 + 2 + 3 + 10
+        for (key, w) in [((0, 1), 1.0), ((1, 2), 2.0), ((0, 2), 3.0), ((2, 3), 10.0)] {
+            let emp = mass[&key] as f64 / total as f64;
+            let expect = w / weight_sum;
+            assert!((emp - expect).abs() < 0.01, "edge {key:?}: {emp} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn frontier_visits_proportional_to_strength() {
+        let g = wg();
+        let mut rng = SmallRng::seed_from_u64(313);
+        let mut visits = [0usize; 4];
+        let mut budget = Budget::new(400_000.0);
+        WeightedFrontierSampler::new(3).sample_edges(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |a| visits[a.target.index()] += 1,
+        );
+        let total: usize = visits.iter().sum();
+        let vol = g.total_strength();
+        for (i, &c) in visits.iter().enumerate() {
+            let expect = g.strength(VertexId::new(i)) / vol;
+            let emp = c as f64 / total as f64;
+            assert!(
+                (emp - expect).abs() < 0.01,
+                "vertex {i}: visited {emp}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_covers_disconnected_weight_mass() {
+        // Two disconnected triangles; component B carries 4× the weight.
+        // Walkers pinned one per component must sample edges ∝ weight
+        // mass — the weighted restatement of Section 4.5's ideal.
+        let g = WeightedGraph::from_weighted_pairs(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 4.0),
+                (4, 5, 4.0),
+                (3, 5, 4.0),
+            ],
+        );
+        let sampler = WeightedFrontierSampler::new(2)
+            .with_start(WeightedStart::Fixed(vec![VertexId::new(0), VertexId::new(3)]));
+        let mut rng = SmallRng::seed_from_u64(314);
+        let mut in_b = 0usize;
+        let mut total = 0usize;
+        let mut budget = Budget::new(200_000.0);
+        sampler.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |a| {
+            if a.source.index() >= 3 {
+                in_b += 1;
+            }
+            total += 1;
+        });
+        let frac = in_b as f64 / total as f64;
+        assert!((frac - 0.8).abs() < 0.01, "component B fraction {frac}");
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted_fs() {
+        // On unit weights, visit frequencies must match the unweighted
+        // degree law the paper proves.
+        let und = graph_from_undirected_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let g = WeightedGraph::unit_weights(&und);
+        let mut rng = SmallRng::seed_from_u64(315);
+        let mut visits = vec![0usize; 5];
+        let mut budget = Budget::new(300_000.0);
+        WeightedFrontierSampler::new(2).sample_edges(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |a| visits[a.target.index()] += 1,
+        );
+        let total: usize = visits.iter().sum();
+        for v in und.vertices() {
+            let expect = und.degree(v) as f64 / und.volume() as f64;
+            let emp = visits[v.index()] as f64 / total as f64;
+            assert!((emp - expect).abs() < 0.01, "vertex {v}: {emp} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn density_estimator_unbiased_under_weighted_walk() {
+        // Label = "vertex 3 or vertex 1": true density 2/4 = 0.5, but the
+        // walk visits 3 heavily (strength 10) and 1 lightly (strength 3);
+        // only the 1/s reweighting recovers 0.5.
+        let g = wg();
+        let mut rng = SmallRng::seed_from_u64(316);
+        let mut est = WeightedVertexDensityEstimator::new();
+        let mut budget = Budget::new(400_000.0);
+        WeightedSingleRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |a| {
+            let labeled = a.target.index() == 3 || a.target.index() == 1;
+            est.observe(&g, a, labeled);
+        });
+        let d = est.density().unwrap();
+        assert!((d - 0.5).abs() < 0.01, "density {d}");
+    }
+
+    #[test]
+    fn steady_state_start_prefers_heavy_vertices() {
+        let g = wg();
+        let mut rng = SmallRng::seed_from_u64(317);
+        let trials = 40_000;
+        let mut budget = Budget::new(trials as f64);
+        let starts = WeightedStart::SteadyState.draw(&g, trials, &CostModel::unit(), &mut budget, &mut rng);
+        let heavy = starts.iter().filter(|v| v.index() == 2).count();
+        let frac = heavy as f64 / trials as f64;
+        let expect = g.strength(VertexId::new(2)) / g.total_strength();
+        assert!((frac - expect).abs() < 0.01, "{frac} vs {expect}");
+    }
+
+    #[test]
+    fn budget_accounting_matches_unweighted_convention() {
+        let g = wg();
+        let mut rng = SmallRng::seed_from_u64(318);
+        let mut budget = Budget::new(100.0);
+        let mut count = 0usize;
+        WeightedFrontierSampler::new(5).sample_edges(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |_| count += 1,
+        );
+        assert_eq!(count, 95, "5 starts + 95 steps");
+    }
+
+    #[test]
+    fn zero_budget_emits_nothing() {
+        let g = wg();
+        let mut rng = SmallRng::seed_from_u64(319);
+        let mut budget = Budget::new(0.0);
+        let mut count = 0usize;
+        WeightedSingleRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |_| {
+            count += 1
+        });
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the estimator layer: invariants that must
+//! hold for *any* graph and *any* walk, plus fault-model properties.
+
+use frontier_sampling::estimators::{
+    AverageDegreeEstimator, DegreeDistributionEstimator, EdgeEstimator, GroupDensityEstimator,
+    PopulationSizeEstimator,
+};
+use frontier_sampling::{Budget, CostModel, SampleLossModel, WalkMethod};
+use fs_graph::{Graph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Random connected graph with group labels.
+fn labeled_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..max_n)
+        .prop_flat_map(|n| {
+            let extra = prop::collection::vec((0..n, 0..n), 0..2 * n);
+            let labels = prop::collection::vec((0..n, 0u32..5), 0..n);
+            (Just(n), extra, labels)
+        })
+        .prop_map(|(n, extra, labels)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_undirected_edge(VertexId::new(i - 1), VertexId::new(i));
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_undirected_edge(VertexId::new(u), VertexId::new(v));
+                }
+            }
+            for (v, g) in labels {
+                b.add_group(VertexId::new(v), g);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Group density estimates are in [0, 1] and bounded by the labeled
+    /// fraction logic (sum over groups ≤ max labels per vertex).
+    #[test]
+    fn group_densities_are_probabilities(g in labeled_graph(25), seed in 0u64..500) {
+        let mut est = GroupDensityEstimator::new(5);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = Budget::new(400.0);
+        WalkMethod::frontier(3).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        for d in est.estimates() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        }
+    }
+
+    /// The average-degree estimate is bracketed by the graph's min and
+    /// max degrees; the naive estimate is never below the harmonic one.
+    #[test]
+    fn average_degree_bracketed(g in labeled_graph(25), seed in 0u64..500) {
+        let mut est = AverageDegreeEstimator::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = Budget::new(500.0);
+        WalkMethod::single().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        if let Some(avg) = est.estimate() {
+            let min_deg = g.vertices().map(|v| g.degree(v)).min().unwrap() as f64;
+            let max_deg = g.max_degree() as f64;
+            prop_assert!(avg >= min_deg - 1e-9 && avg <= max_deg + 1e-9);
+            let naive = est.naive_biased_estimate().unwrap();
+            prop_assert!(naive >= avg - 1e-9, "naive {naive} < harmonic {avg}");
+        }
+    }
+
+    /// Population-size estimates are positive whenever defined, and the
+    /// collision count is consistent with the sample count.
+    #[test]
+    fn population_estimator_sane(g in labeled_graph(20), seed in 0u64..500) {
+        let mut est = PopulationSizeEstimator::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = Budget::new(300.0);
+        WalkMethod::frontier(2).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        let b = est.num_observed() as u64;
+        prop_assert!(est.collisions() <= b * (b.saturating_sub(1)) / 2);
+        if let Some(n_hat) = est.estimate() {
+            prop_assert!(n_hat > 0.0);
+        }
+    }
+
+    /// Sample loss keeps the degree-distribution estimator a probability
+    /// vector and (statistically) unbiased: here we check the structural
+    /// half — normalization survives arbitrary loss rates.
+    #[test]
+    fn sample_loss_preserves_normalization(
+        g in labeled_graph(20),
+        seed in 0u64..500,
+        loss in 0.0f64..0.9,
+    ) {
+        let model = SampleLossModel::new(loss);
+        let mut est = DegreeDistributionEstimator::symmetric();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = Budget::new(500.0);
+        model.sample_edges(
+            &WalkMethod::frontier(2),
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |e| est.observe(&g, e),
+        );
+        let theta = est.distribution();
+        if !theta.is_empty() {
+            let total: f64 = theta.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        prop_assert!(budget.exhausted(), "loss must not stall the budget");
+    }
+
+    /// Budget accounting under arbitrary cost models: spending never
+    /// exceeds the total, for every method.
+    #[test]
+    fn cost_models_never_overspend(
+        g in labeled_graph(15),
+        seed in 0u64..500,
+        vertex_hit in 0.05f64..1.0,
+        total in 20.0f64..200.0,
+    ) {
+        let cost = CostModel::unit().with_vertex_hit_ratio(vertex_hit);
+        for method in [
+            WalkMethod::single(),
+            WalkMethod::multiple(3),
+            WalkMethod::frontier(3),
+        ] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut budget = Budget::new(total);
+            method.sample_edges(&g, &cost, &mut budget, &mut rng, |_| {});
+            prop_assert!(budget.spent() <= budget.total() + 1e-9);
+        }
+    }
+}

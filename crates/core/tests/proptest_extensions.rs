@@ -1,0 +1,213 @@
+//! Property-based tests for the extension modules: non-backtracking
+//! walks, random walk with jumps, weighted walks, and the convergence
+//! diagnostics.
+
+use frontier_sampling::diagnostics::{
+    autocorrelation, effective_sample_size, geweke_z, split_r_hat,
+};
+use frontier_sampling::rwj::{RandomWalkWithJumps, RwjEvent};
+use frontier_sampling::weighted::{WeightedFrontierSampler, WeightedSingleRw};
+use frontier_sampling::{Budget, CostModel, NonBacktrackingFrontier, NonBacktrackingRw};
+use fs_graph::{GraphBuilder, VertexId, WeightedGraph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: a connected random graph (spanning path + extra edges).
+fn connected_graph(max_n: usize) -> impl Strategy<Value = fs_graph::Graph> {
+    (3usize..max_n)
+        .prop_flat_map(|n| {
+            let extra = prop::collection::vec((0..n, 0..n), 0..2 * n);
+            (Just(n), extra)
+        })
+        .prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_undirected_edge(VertexId::new(i - 1), VertexId::new(i));
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_undirected_edge(VertexId::new(u), VertexId::new(v));
+                }
+            }
+            b.build()
+        })
+}
+
+/// Strategy: a connected weighted graph (spanning path + extras, random
+/// positive weights).
+fn weighted_graph(max_n: usize) -> impl Strategy<Value = WeightedGraph> {
+    (3usize..max_n)
+        .prop_flat_map(|n| {
+            let path_w = prop::collection::vec(0.1f64..10.0, n - 1);
+            let extra = prop::collection::vec((0..n, 0..n, 0.1f64..10.0), 0..2 * n);
+            (Just(n), path_w, extra)
+        })
+        .prop_map(|(n, path_w, extra)| {
+            let mut pairs: Vec<(usize, usize, f64)> = path_w
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| (i, i + 1, w))
+                .collect();
+            pairs.extend(extra.into_iter().filter(|(u, v, _)| u != v));
+            WeightedGraph::from_weighted_pairs(n, pairs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// NBRW never backtracks unless the current vertex has degree 1, and
+    /// every emitted edge exists.
+    #[test]
+    fn nbrw_never_backtracks_unless_forced(
+        g in connected_graph(25),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = Budget::new(200.0);
+        let mut edges = Vec::new();
+        NonBacktrackingRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            assert!(g.has_edge(e.source, e.target));
+            edges.push(e);
+        });
+        for w in edges.windows(2) {
+            prop_assert_eq!(w[0].target, w[1].source);
+            if g.degree(w[0].target) > 1 {
+                prop_assert_ne!(w[1].target, w[0].source, "backtracked with alternatives");
+            } else {
+                prop_assert_eq!(w[1].target, w[0].source, "degree-1 must return");
+            }
+        }
+    }
+
+    /// The NB frontier variant spends the whole budget on connected
+    /// graphs and emits only real edges.
+    #[test]
+    fn nb_frontier_budget_and_validity(
+        g in connected_graph(25),
+        m in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = Budget::new(80.0);
+        let mut count = 0usize;
+        NonBacktrackingFrontier::new(m).sample_edges(
+            &g, &CostModel::unit(), &mut budget, &mut rng,
+            |e| {
+                assert!(g.has_edge(e.source, e.target));
+                count += 1;
+            });
+        prop_assert!(budget.remaining() <= 1e-9);
+        prop_assert_eq!(count, 80 - m);
+    }
+
+    /// RWJ emits walk edges that exist, jump landings that are walkable,
+    /// and a move sequence whose positions chain correctly.
+    #[test]
+    fn rwj_moves_chain_and_are_valid(
+        g in connected_graph(25),
+        alpha in 0.0f64..5.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = Budget::new(150.0);
+        let mut prev: Option<VertexId> = None;
+        RandomWalkWithJumps::new(alpha).sample(&g, &CostModel::unit(), &mut budget, &mut rng, |ev| {
+            match ev {
+                RwjEvent::Walk(e) => {
+                    assert!(g.has_edge(e.source, e.target));
+                    if let Some(p) = prev {
+                        assert_eq!(e.source, p, "walk must continue from last position");
+                    }
+                }
+                RwjEvent::Jump { from, to } => {
+                    if let Some(p) = prev {
+                        assert_eq!(from, p);
+                    }
+                    assert!(g.degree(to) > 0, "jump landed on isolated vertex");
+                }
+            }
+            prev = Some(ev.destination());
+        });
+        prop_assert!(budget.spent() <= budget.total() + 1e-9);
+    }
+
+    /// Weighted walkers only traverse edges that exist, with the stored
+    /// weight, and spend their budget fully on connected graphs.
+    #[test]
+    fn weighted_walkers_emit_real_edges(
+        g in weighted_graph(20),
+        m in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for use_frontier in [false, true] {
+            let mut budget = Budget::new(60.0);
+            let mut count = 0usize;
+            let sink = |a: fs_graph::WeightedArc| {
+                assert_eq!(
+                    g.edge_weight(a.source, a.target),
+                    Some(a.weight),
+                    "sampled arc must match a stored edge"
+                );
+            };
+            if use_frontier {
+                WeightedFrontierSampler::new(m).sample_edges(
+                    &g, &CostModel::unit(), &mut budget, &mut rng,
+                    |a| { sink(a); count += 1; });
+                prop_assert_eq!(count, 60 - m);
+            } else {
+                WeightedSingleRw::new().sample_edges(
+                    &g, &CostModel::unit(), &mut budget, &mut rng,
+                    |a| { sink(a); count += 1; });
+                prop_assert_eq!(count, 59);
+            }
+        }
+    }
+
+    /// ESS is positive and autocorrelation is bounded by 1 in magnitude
+    /// for arbitrary series.
+    #[test]
+    fn diagnostics_basic_bounds(
+        x in prop::collection::vec(-100.0f64..100.0, 4..200),
+        lag in 0usize..10,
+    ) {
+        let ess = effective_sample_size(&x);
+        prop_assert!(ess > 0.0);
+        let rho = autocorrelation(&x, lag);
+        prop_assert!(rho.abs() <= 1.0 + 1e-9, "rho = {rho}");
+    }
+
+    /// R-hat is ≥ 1 up to numerical noise whenever defined (the split
+    /// variant's var_plus ≥ W for equal-length chains), and identical
+    /// chains give exactly the minimum.
+    #[test]
+    fn rhat_at_least_one(
+        base in prop::collection::vec(-10.0f64..10.0, 8..100),
+        k in 2usize..5,
+    ) {
+        let chains: Vec<Vec<f64>> = (0..k).map(|i| {
+            base.iter().map(|&x| x + i as f64 * 0.01).collect()
+        }).collect();
+        if let Some(r) = split_r_hat(&chains) {
+            // Identical chains floor at sqrt((n−1)/n) with n the *half*
+            // length (var_plus shrinks W by (n−1)/n when B ≈ 0).
+            let n_half = base.len() / 2;
+            prop_assert!(r >= (1.0f64 - 1.0 / n_half as f64).sqrt() - 1e-9, "r = {r}");
+        }
+    }
+
+    /// Geweke of a perfectly symmetric (reversed-duplicate) chain is
+    /// finite whenever defined; windows never panic for valid fractions.
+    #[test]
+    fn geweke_defined_or_none(
+        x in prop::collection::vec(-10.0f64..10.0, 0..300),
+        first in 0.05f64..0.45,
+        last in 0.05f64..0.5,
+    ) {
+        if let Some(z) = geweke_z(&x, first, last) {
+            prop_assert!(z.is_finite());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of sampler and estimator invariants.
+
+use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
+use frontier_sampling::{Budget, CostModel, FenwickTree, WalkMethod};
+use fs_graph::{GraphBuilder, VertexId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: a connected-ish random graph (a random spanning path plus
+/// extra random edges) with no isolated vertices.
+fn connected_graph(max_n: usize) -> impl Strategy<Value = fs_graph::Graph> {
+    (3usize..max_n)
+        .prop_flat_map(|n| {
+            let extra = prop::collection::vec((0..n, 0..n), 0..2 * n);
+            (Just(n), extra)
+        })
+        .prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_undirected_edge(VertexId::new(i - 1), VertexId::new(i));
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_undirected_edge(VertexId::new(u), VertexId::new(v));
+                }
+            }
+            b.build()
+        })
+}
+
+fn all_methods() -> Vec<WalkMethod> {
+    vec![
+        WalkMethod::single(),
+        WalkMethod::multiple(3),
+        WalkMethod::frontier(3),
+        WalkMethod::distributed_frontier(3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every emitted edge exists in the graph, and the number of emitted
+    /// edges plus start costs never exceeds the budget.
+    #[test]
+    fn sampled_edges_are_real_and_budgeted(
+        g in connected_graph(30),
+        budget_units in 5usize..200,
+        seed in 0u64..1000,
+    ) {
+        for method in all_methods() {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut budget = Budget::new(budget_units as f64);
+            let mut count = 0usize;
+            method.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                assert!(g.has_edge(e.source, e.target), "{}", method.label());
+                count += 1;
+            });
+            prop_assert!(budget.spent() <= budget.total() + 1e-9);
+            prop_assert!(count as f64 <= budget.total());
+        }
+    }
+
+    /// Walk-based samplers spend the whole budget on connected graphs
+    /// (they can never get stuck) — up to MultipleRW's intentional
+    /// `⌊B/m − c⌋` remainder of at most m − 1 steps (Section 4.4).
+    #[test]
+    fn budget_fully_spent(
+        g in connected_graph(20),
+        seed in 0u64..1000,
+    ) {
+        for (method, slack) in [
+            (WalkMethod::single(), 0.0),
+            (WalkMethod::multiple(3), 3.0),
+            (WalkMethod::frontier(3), 0.0),
+            (WalkMethod::distributed_frontier(3), 0.0),
+        ] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut budget = Budget::new(50.0);
+            method.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |_| {});
+            prop_assert!(
+                budget.remaining() <= slack + 1e-9,
+                "{} left {} budget",
+                method.label(),
+                budget.remaining()
+            );
+        }
+    }
+
+    /// Degree-distribution estimates are probability vectors and their
+    /// CCDFs are monotone, for every method.
+    #[test]
+    fn estimates_are_distributions(
+        g in connected_graph(25),
+        seed in 0u64..1000,
+    ) {
+        for method in all_methods() {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut budget = Budget::new(300.0);
+            let mut est = DegreeDistributionEstimator::symmetric();
+            method.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                est.observe(&g, e)
+            });
+            let theta = est.distribution();
+            if theta.is_empty() { continue; }
+            let total: f64 = theta.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "{}: sums to {total}", method.label());
+            prop_assert!(theta.iter().all(|&t| (0.0..=1.0 + 1e-12).contains(&t)));
+            let ccdf = est.ccdf();
+            for w in ccdf.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    /// Fenwick tree agrees with a naive prefix-sum oracle under random
+    /// updates.
+    #[test]
+    fn fenwick_matches_naive(
+        init in prop::collection::vec(0.0f64..10.0, 1..40),
+        updates in prop::collection::vec((0usize..40, 0.0f64..10.0), 0..30),
+    ) {
+        let mut naive = init.clone();
+        let mut tree = FenwickTree::new(&init);
+        for (i, w) in updates {
+            let i = i % naive.len();
+            naive[i] = w;
+            tree.set(i, w);
+        }
+        let mut acc = 0.0;
+        for (i, &w) in naive.iter().enumerate() {
+            prop_assert!((tree.prefix_sum(i) - acc).abs() < 1e-9);
+            prop_assert!((tree.get(i) - w).abs() < 1e-9);
+            acc += w;
+        }
+        prop_assert!((tree.total() - acc).abs() < 1e-9);
+        // find() inverts prefix sums.
+        if acc > 0.0 {
+            let mut lo = 0.0;
+            for (i, &w) in naive.iter().enumerate() {
+                if w > 1e-9 {
+                    prop_assert_eq!(tree.find(lo + w * 0.5), i);
+                }
+                lo += w;
+            }
+        }
+    }
+
+    /// Lemma 5.3's pmf is a probability distribution for arbitrary
+    /// consistent parameters.
+    #[test]
+    fn kfs_pmf_normalizes(
+        m in 1usize..60,
+        p in 0.05f64..0.95,
+        d_a in 1.0f64..20.0,
+        d_b in 1.0f64..20.0,
+    ) {
+        let d = p * d_a + (1.0 - p) * d_b;
+        let total: f64 = (0..=m)
+            .map(|k| frontier_sampling::theory::kfs_pmf(m, k, p, d_a, d_b, d))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+}

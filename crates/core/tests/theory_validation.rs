@@ -1,0 +1,190 @@
+//! Empirical validation of the paper's Section-5 theory on generated
+//! graphs (uses `fs-gen` fixtures).
+//!
+//! These tests turn Lemma 5.3, Theorem 5.4, and the Section-5.1
+//! MultipleRW imbalance argument into executable checks on a small
+//! `G_AB`-style graph.
+
+use frontier_sampling::frontier::Frontier;
+use frontier_sampling::theory::{subset_degree_profile, total_variation};
+use frontier_sampling::{Budget, CostModel, WalkMethod};
+use fs_gen::composite::bridge_join;
+use fs_graph::{Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A small G_AB: BA(150, m=1) ⊕ BA(150, m=5), bridged.
+fn small_gab(seed: u64) -> (Graph, usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = fs_gen::barabasi_albert(150, 1, &mut rng);
+    let b = fs_gen::barabasi_albert(150, 5, &mut rng);
+    (bridge_join(&a, &b), 150)
+}
+
+/// Empirical steady-state distribution of the number of FS walkers inside
+/// V_A, measured along one long FS trajectory.
+fn empirical_kfs(graph: &Graph, n_a: usize, m: usize, steps: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = graph.num_vertices();
+    let starts: Vec<VertexId> = (0..m)
+        .map(|_| VertexId::new(rng.gen_range(0..n)))
+        .collect();
+    let mut frontier = Frontier::from_positions(graph, starts);
+    // Burn-in to forget the start.
+    for _ in 0..steps / 5 {
+        frontier.step(graph, &mut rng);
+    }
+    let mut counts = vec![0u64; m + 1];
+    for _ in 0..steps {
+        frontier.step(graph, &mut rng);
+        let k = frontier
+            .positions()
+            .iter()
+            .filter(|v| v.index() < n_a)
+            .count();
+        counts[k] += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / steps as f64)
+        .collect()
+}
+
+#[test]
+fn lemma_5_3_empirical_pmf_matches_closed_form() {
+    // Use a well-mixing connected graph (a single-edge bridge would make
+    // component-count changes too rare for a trajectory average): V_A =
+    // the first half of a BA graph, which contains the high-degree early
+    // vertices, so d̄_A > d̄_B and the pmf differs visibly from the
+    // binomial.
+    let mut rng = SmallRng::seed_from_u64(301);
+    let g = fs_gen::barabasi_albert(300, 3, &mut rng);
+    let n_a = 150;
+    let prof = subset_degree_profile(&g, |v| v.index() < n_a);
+    assert!(
+        prof.d_a > prof.d_b * 1.3,
+        "fixture must have a degree contrast: {} vs {}",
+        prof.d_a,
+        prof.d_b
+    );
+    let m = 6;
+    let empirical = empirical_kfs(&g, n_a, m, 2_000_000, 302);
+    let closed: Vec<f64> = (0..=m).map(|k| prof.kfs_pmf(m, k)).collect();
+    let tv = total_variation(&empirical, &closed);
+    assert!(
+        tv < 0.02,
+        "TV(empirical, Lemma 5.3) = {tv}\nempirical {empirical:?}\nclosed {closed:?}"
+    );
+    // And the binomial (K_un) must NOT fit — the degree weighting matters.
+    let binom: Vec<f64> = (0..=m).map(|k| prof.kun_pmf(m, k)).collect();
+    let tv_binom = total_variation(&empirical, &binom);
+    assert!(
+        tv_binom > 2.0 * tv,
+        "empirical K_fs should reject the unweighted binomial: {tv_binom} vs {tv}"
+    );
+}
+
+#[test]
+fn theorem_5_4_fs_start_approaches_steady_state_with_m() {
+    // TV distance between the uniform-start distribution K_un(m) and the
+    // steady-state K_fs(m) shrinks as m grows (all closed-form).
+    let (g, n_a) = small_gab(303);
+    let prof = subset_degree_profile(&g, |v| v.index() < n_a);
+    let tv_at = |m: usize| {
+        let fs: Vec<f64> = (0..=m).map(|k| prof.kfs_pmf(m, k)).collect();
+        let un: Vec<f64> = (0..=m).map(|k| prof.kun_pmf(m, k)).collect();
+        total_variation(&fs, &un)
+    };
+    let tvs = [tv_at(2), tv_at(8), tv_at(32), tv_at(128)];
+    assert!(
+        tvs.windows(2).all(|w| w[0] > w[1]),
+        "TV not monotone: {tvs:?}"
+    );
+    assert!(tvs[3] < 0.1, "TV at m=128 still {}", tvs[3]);
+}
+
+#[test]
+fn section_5_1_multiplerw_oversamples_sparse_half_after_uniform_start() {
+    // G_A has ~equal vertices but 1/5 the volume. Uniform starts put half
+    // the MultipleRW walkers in G_A, but its per-edge "share" is much
+    // smaller — so G_A's edges get oversampled per edge. FS corrects this.
+    let (g, n_a) = small_gab(304);
+    let vol_a: usize = (0..n_a).map(|i| g.degree(VertexId::new(i))).sum();
+    let vol: usize = g.volume();
+    let edge_share_a = vol_a as f64 / vol as f64; // ≈ 1/6
+
+    let samples_in_a = |method: WalkMethod, seed: u64| -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut in_a = 0usize;
+        let mut total = 0usize;
+        // Average over restarts to measure the *expected* sampling share.
+        for rep in 0..400 {
+            let _ = rep;
+            let mut budget = Budget::new(200.0);
+            method.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                total += 1;
+                if e.source.index() < n_a {
+                    in_a += 1;
+                }
+            });
+        }
+        in_a as f64 / total as f64
+    };
+
+    let mrw_share = samples_in_a(WalkMethod::multiple(10), 305);
+    let fs_share = samples_in_a(WalkMethod::frontier(10), 306);
+
+    // MultipleRW grossly oversamples the sparse half (close to its vertex
+    // share of 1/2 rather than its edge share of ~1/6); FS must sit much
+    // closer to the edge share.
+    assert!(
+        mrw_share > edge_share_a + 0.1,
+        "MultipleRW share {mrw_share} vs edge share {edge_share_a}"
+    );
+    assert!(
+        (fs_share - edge_share_a).abs() < 0.08,
+        "FS share {fs_share} vs edge share {edge_share_a}"
+    );
+    assert!(
+        (fs_share - edge_share_a).abs() < (mrw_share - edge_share_a).abs(),
+        "FS must be closer to uniform edge sampling than MultipleRW"
+    );
+}
+
+#[test]
+fn distributed_fs_matches_centralized_fs_on_kfs_distribution() {
+    // Theorem 5.5: the DFS jump chain *is* FS; compare K distributions.
+    let (g, n_a) = small_gab(307);
+    let prof = subset_degree_profile(&g, |v| v.index() < n_a);
+    let m = 5;
+    // Run DFS, tracking walker membership via sampled-edge endpoints is
+    // awkward; instead run many short DFS processes and record the final
+    // edge's side — both methods must agree with each other.
+    let side_share = |distributed: bool, seed: u64| -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut in_a = 0usize;
+        let mut total = 0usize;
+        let method = if distributed {
+            WalkMethod::distributed_frontier(m)
+        } else {
+            WalkMethod::frontier(m)
+        };
+        for _ in 0..2_000 {
+            let mut budget = Budget::new(60.0);
+            method.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                total += 1;
+                if e.source.index() < n_a {
+                    in_a += 1;
+                }
+            });
+        }
+        in_a as f64 / total as f64
+    };
+    let fs = side_share(false, 308);
+    let dfs = side_share(true, 309);
+    assert!(
+        (fs - dfs).abs() < 0.02,
+        "FS share {fs} vs DFS share {dfs} — Theorem 5.5 violated"
+    );
+    let _ = prof; // profile retained for context/debugging
+}

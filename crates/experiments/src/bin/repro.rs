@@ -1,0 +1,114 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--exp <id>|all] [--scale <f>] [--runs <n>] [--seed <n>] [--quick] [--list]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run -p fs-experiments --release --bin repro -- --list
+//! cargo run -p fs-experiments --release --bin repro -- --exp fig5
+//! cargo run -p fs-experiments --release --bin repro -- --exp all --runs 1000
+//! ```
+
+use fs_experiments::{all_experiments, find_experiment, ExpConfig};
+use std::process::ExitCode;
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro [--exp <id>|all] [--scale <f>] [--runs <n>] [--seed <n>] [--quick] [--list]"
+    );
+    eprintln!("experiment ids:");
+    for e in all_experiments() {
+        eprintln!("  {:<8} {}", e.id, e.description);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut target = String::from("all");
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            "--quick" => cfg = ExpConfig::quick(),
+            "--exp" => {
+                i += 1;
+                target = match args.get(i) {
+                    Some(t) => t.clone(),
+                    None => {
+                        eprintln!("--exp needs a value");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--scale" | "--runs" | "--seed" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("{flag} needs a value");
+                    return ExitCode::FAILURE;
+                };
+                let ok = match flag.as_str() {
+                    "--scale" => value.parse().map(|v| cfg.scale = v).is_ok(),
+                    "--runs" => value.parse().map(|v| cfg.runs = v).is_ok(),
+                    "--seed" => value.parse().map(|v| cfg.seed = v).is_ok(),
+                    _ => unreachable!(),
+                };
+                if !ok {
+                    eprintln!("bad value for {flag}: {value}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    println!(
+        "# frontier-sampling reproduction — scale {}, {} runs, seed {}{}",
+        cfg.scale,
+        cfg.effective_runs(),
+        cfg.seed,
+        if cfg.quick { " (quick mode)" } else { "" }
+    );
+    println!();
+
+    let start = std::time::Instant::now();
+    if target == "all" {
+        for e in all_experiments() {
+            let t0 = std::time::Instant::now();
+            let result = (e.run)(&cfg);
+            println!("{result}");
+            println!("  [{} finished in {:.1?}]", e.id, t0.elapsed());
+            println!();
+        }
+    } else {
+        match find_experiment(&target) {
+            Some(e) => {
+                let result = (e.run)(&cfg);
+                println!("{result}");
+            }
+            None => {
+                eprintln!("unknown experiment id '{target}'");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("# total wall time: {:.1?}", start.elapsed());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,86 @@
+//! Experiment configuration shared by the CLI, benches, and tests.
+
+/// Global knobs for a reproduction run.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Dataset scale relative to the paper's graph sizes (default 0.01 →
+    /// a ~17k-vertex Flickr replica).
+    pub scale: f64,
+    /// Monte-Carlo runs per method (the paper uses 10,000; the default
+    /// 400 keeps the full suite minutes-fast while leaving orderings and
+    /// order-of-magnitude gaps stable).
+    pub runs: usize,
+    /// Base RNG seed; every run derives its own stream from it.
+    pub seed: u64,
+    /// Quick mode: slashes runs/replicas for smoke tests and `cargo
+    /// bench` sanity runs.
+    pub quick: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: 0.01,
+            runs: 400,
+            seed: 0xF5_2010,
+            quick: false,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Quick-mode configuration (used by the bench harness).
+    pub fn quick() -> Self {
+        ExpConfig {
+            scale: 0.004,
+            runs: 60,
+            seed: 0xF5_2010,
+            quick: true,
+        }
+    }
+
+    /// Effective run count (quick mode caps it).
+    pub fn effective_runs(&self) -> usize {
+        if self.quick {
+            self.runs.min(60)
+        } else {
+            self.runs
+        }
+    }
+
+    /// Monte-Carlo replica count for the Appendix-B transient experiment.
+    pub fn transient_replicas(&self) -> usize {
+        if self.quick {
+            20_000
+        } else {
+            400_000
+        }
+    }
+
+    /// Number of sample paths in the trace figures (Figs 6, 9).
+    pub fn trace_paths(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = ExpConfig::default();
+        assert!(c.scale > 0.0);
+        assert!(c.runs >= 100);
+        assert!(!c.quick);
+        assert_eq!(c.effective_runs(), c.runs);
+    }
+
+    #[test]
+    fn quick_caps_runs() {
+        let c = ExpConfig::quick();
+        assert!(c.quick);
+        assert!(c.effective_runs() <= 60);
+        assert!(c.transient_replicas() < ExpConfig::default().transient_replicas());
+    }
+}

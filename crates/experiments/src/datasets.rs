@@ -1,0 +1,119 @@
+//! Per-process dataset cache.
+//!
+//! Several experiments share the same replica (Flickr appears in eight of
+//! them); generating each once per `(kind, scale, seed)` keeps the full
+//! suite fast. The cache also materialises the LCC variants used by
+//! Figures 4/11 and Table 4.
+
+use fs_gen::datasets::{Dataset, DatasetKind};
+use fs_graph::components::largest_connected_component;
+use fs_graph::{Graph, GraphSummary};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct Key {
+    kind: DatasetKind,
+    /// Scale in parts-per-million to make it hashable.
+    scale_ppm: u64,
+    seed: u64,
+    lcc: bool,
+}
+
+static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Dataset>>>> = OnceLock::new();
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<Dataset>>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the (cached) replica of `kind` at `scale` and `seed`.
+pub fn dataset(kind: DatasetKind, scale: f64, seed: u64) -> Arc<Dataset> {
+    fetch(kind, scale, seed, false)
+}
+
+/// Returns the (cached) largest connected component of the replica.
+pub fn dataset_lcc(kind: DatasetKind, scale: f64, seed: u64) -> Arc<Dataset> {
+    fetch(kind, scale, seed, true)
+}
+
+fn fetch(kind: DatasetKind, scale: f64, seed: u64, lcc: bool) -> Arc<Dataset> {
+    let key = Key {
+        kind,
+        scale_ppm: (scale * 1e6).round() as u64,
+        seed,
+        lcc,
+    };
+    if let Some(hit) = cache().lock().unwrap().get(&key) {
+        return Arc::clone(hit);
+    }
+    // Generate outside the lock (generation can take a second).
+    let value = if lcc {
+        let full = fetch(kind, scale, seed, false);
+        let (graph, _) = largest_connected_component(&full.graph);
+        Arc::new(Dataset {
+            kind,
+            summary: GraphSummary::compute(format!("LCC of {}", kind.name()), &graph),
+            graph,
+        })
+    } else {
+        Arc::new(kind.generate(scale, seed))
+    };
+    let mut guard = cache().lock().unwrap();
+    let entry = guard.entry(key).or_insert_with(|| Arc::clone(&value));
+    Arc::clone(entry)
+}
+
+/// Clears the cache (tests only; avoids cross-test memory growth).
+pub fn clear_cache() {
+    cache().lock().unwrap().clear();
+}
+
+/// Convenience: the graph of a cached dataset.
+pub fn graph(kind: DatasetKind, scale: f64, seed: u64) -> Arc<Dataset> {
+    dataset(kind, scale, seed)
+}
+
+/// Whether a graph is usable for the walk experiments (non-empty, has
+/// edges) — asserted by experiments before spending Monte-Carlo time.
+pub fn check_walkable(graph: &Graph) -> Result<(), String> {
+    if graph.num_vertices() == 0 {
+        return Err("graph has no vertices".into());
+    }
+    if graph.num_arcs() == 0 {
+        return Err("graph has no edges".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_returns_same_instance() {
+        clear_cache();
+        let a = dataset(DatasetKind::Gab, 0.001, 1);
+        let b = dataset(DatasetKind::Gab, 0.001, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = dataset(DatasetKind::Gab, 0.001, 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn lcc_variant_is_connected() {
+        clear_cache();
+        let full = dataset(DatasetKind::Flickr, 0.002, 3);
+        let lcc = dataset_lcc(DatasetKind::Flickr, 0.002, 3);
+        assert!(lcc.graph.num_vertices() <= full.graph.num_vertices());
+        assert!(fs_graph::is_connected(&lcc.graph));
+        assert_eq!(lcc.summary.num_components, 1);
+    }
+
+    #[test]
+    fn walkable_check() {
+        let g = fs_graph::graph_from_undirected_pairs(2, [(0, 1)]);
+        assert!(check_walkable(&g).is_ok());
+        let empty = fs_graph::graph_from_undirected_pairs(0, std::iter::empty::<(usize, usize)>());
+        assert!(check_walkable(&empty).is_err());
+    }
+}

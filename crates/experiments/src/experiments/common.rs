@@ -1,0 +1,371 @@
+//! Shared machinery for the per-figure experiments: the unified sampling
+//! method enum (walks + independent sampling), single-run estimate
+//! production, and the Monte-Carlo error-series runner.
+
+use crate::config::ExpConfig;
+use crate::mc::monte_carlo;
+use crate::series::{log_spaced_degrees, SeriesSet};
+use frontier_sampling::estimators::{
+    DegreeDistributionEstimator, EdgeEstimator, VertexSampleDegreeEstimator,
+};
+use frontier_sampling::metrics::per_bucket_nmse;
+use frontier_sampling::{Budget, CostModel, RandomEdgeSampler, RandomVertexSampler, WalkMethod};
+use fs_graph::stats::DegreeKind;
+use fs_graph::{ccdf, degree_distribution, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Any sampling method the evaluation compares, with its cost model.
+#[derive(Clone, Debug)]
+pub enum SamplingMethod {
+    /// A walk-based method under the given cost model.
+    Walk {
+        /// The walk variant.
+        method: WalkMethod,
+        /// Cost model (per-start costs, hit ratios).
+        cost: CostModel,
+    },
+    /// Independent uniform vertex sampling.
+    RandomVertex {
+        /// Valid-id hit ratio (1.0 = dense id space).
+        hit_ratio: f64,
+    },
+    /// Independent uniform edge sampling.
+    RandomEdge {
+        /// Valid-edge hit ratio.
+        hit_ratio: f64,
+    },
+}
+
+impl SamplingMethod {
+    /// Walk method at unit costs.
+    pub fn walk(method: WalkMethod) -> Self {
+        SamplingMethod::Walk {
+            method,
+            cost: CostModel::unit(),
+        }
+    }
+
+    /// Walk method with a vertex hit ratio (start cost `1/h`).
+    pub fn walk_with_vertex_hit_ratio(method: WalkMethod, h: f64) -> Self {
+        SamplingMethod::Walk {
+            method,
+            cost: CostModel::unit().with_vertex_hit_ratio(h),
+        }
+    }
+
+    /// Legend label.
+    pub fn label(&self) -> String {
+        match self {
+            SamplingMethod::Walk { method, cost } => {
+                if cost.uniform_vertex > 1.0 {
+                    format!(
+                        "{} ({}% hit)",
+                        method.label(),
+                        (100.0 / cost.uniform_vertex).round()
+                    )
+                } else {
+                    method.label()
+                }
+            }
+            SamplingMethod::RandomVertex { hit_ratio } => {
+                format!("Random Vertex ({}% hit)", (hit_ratio * 100.0).round())
+            }
+            SamplingMethod::RandomEdge { hit_ratio } => {
+                format!("Random Edge ({}% hit)", (hit_ratio * 100.0).round())
+            }
+        }
+    }
+
+    /// One run: estimated degree distribution `θ̂` under budget `b`.
+    pub fn estimate_degree_distribution(
+        &self,
+        graph: &Graph,
+        kind: DegreeKind,
+        b: f64,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match self {
+            SamplingMethod::Walk { method, cost } => {
+                let mut est = DegreeDistributionEstimator::new(kind);
+                let mut budget = Budget::new(b);
+                method.sample_edges(graph, cost, &mut budget, &mut rng, |e| {
+                    est.observe(graph, e)
+                });
+                est.distribution()
+            }
+            SamplingMethod::RandomVertex { hit_ratio } => {
+                let cost = CostModel::unit().with_vertex_hit_ratio(*hit_ratio);
+                let mut est = VertexSampleDegreeEstimator::new(kind);
+                let mut budget = Budget::new(b);
+                RandomVertexSampler::new().sample_vertices(
+                    graph,
+                    &cost,
+                    &mut budget,
+                    &mut rng,
+                    |v| est.observe(graph, v),
+                );
+                est.distribution()
+            }
+            SamplingMethod::RandomEdge { hit_ratio } => {
+                let cost = CostModel::unit().with_edge_hit_ratio(*hit_ratio);
+                let mut est = DegreeDistributionEstimator::new(kind);
+                let mut budget = Budget::new(b);
+                RandomEdgeSampler::new().sample_edges(graph, &cost, &mut budget, &mut rng, |e| {
+                    est.observe(graph, e)
+                });
+                est.distribution()
+            }
+        }
+    }
+}
+
+/// Which per-bucket error the series reports.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ErrorMetric {
+    /// CNMSE of the CCDF (paper eq. 2) — most degree-distribution
+    /// figures.
+    CnmseOfCcdf,
+    /// NMSE of the density `θ̂_i` (paper eq. 1) — Figure 12.
+    NmseOfDensity,
+}
+
+/// Specification of a degree-error experiment (Figures 1, 4, 5, 8, 10,
+/// 11, 12, 13 share this shape).
+pub struct DegreeErrorSpec<'a> {
+    /// Graph under study.
+    pub graph: &'a Graph,
+    /// Which degree is the vertex label.
+    pub degree: DegreeKind,
+    /// Sampling budget in cost units.
+    pub budget: f64,
+    /// Methods to compare.
+    pub methods: Vec<SamplingMethod>,
+    /// Error metric.
+    pub metric: ErrorMetric,
+}
+
+/// Runs the Monte-Carlo comparison and returns one error series per
+/// method over log-spaced degrees.
+pub fn run_degree_error(spec: &DegreeErrorSpec<'_>, cfg: &ExpConfig) -> SeriesSet {
+    let truth_density = degree_distribution(spec.graph, spec.degree);
+    let truth: Vec<f64> = match spec.metric {
+        ErrorMetric::CnmseOfCcdf => ccdf(&truth_density),
+        ErrorMetric::NmseOfDensity => truth_density.clone(),
+    };
+    let max_degree = truth.len().saturating_sub(1);
+    let xs = log_spaced_degrees(max_degree);
+    let mut set = SeriesSet::new(degree_axis_label(spec.degree), xs);
+
+    let runs = cfg.effective_runs();
+    for method in &spec.methods {
+        let estimates: Vec<Vec<f64>> = monte_carlo(runs, cfg.seed, |seed| {
+            let theta = method.estimate_degree_distribution(
+                spec.graph,
+                spec.degree,
+                spec.budget,
+                seed,
+            );
+            match spec.metric {
+                ErrorMetric::CnmseOfCcdf => ccdf(&theta),
+                ErrorMetric::NmseOfDensity => theta,
+            }
+        });
+        let errors = per_bucket_nmse(&estimates, &truth);
+        set.add_fn(method.label(), |x| errors.get(x).copied().flatten());
+    }
+    set
+}
+
+/// One sample path: the evolving estimate `θ̂_target(n)` recorded at the
+/// given step checkpoints (Figures 6 and 9).
+///
+/// Returns one value per checkpoint (`None` where the estimate is not yet
+/// defined or the walk ended earlier).
+pub fn theta_sample_path(
+    graph: &Graph,
+    kind: DegreeKind,
+    target_degree: usize,
+    method: &WalkMethod,
+    checkpoints: &[usize],
+    seed: u64,
+) -> Vec<Option<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let max_steps = checkpoints.iter().copied().max().unwrap_or(0);
+    let mut est = DegreeDistributionEstimator::new(kind);
+    // Enough budget for starts + steps.
+    let mut budget = Budget::new(max_steps as f64 + 2_000.0);
+    let mut out: Vec<Option<f64>> = vec![None; checkpoints.len()];
+    let mut step = 0usize;
+    let mut next = 0usize;
+    method.sample_edges(graph, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        if step >= max_steps {
+            return;
+        }
+        est.observe(graph, e);
+        step += 1;
+        while next < checkpoints.len() && checkpoints[next] == step {
+            out[next] = Some(est.theta(target_degree));
+            next += 1;
+        }
+    });
+    out
+}
+
+/// Log-spaced step checkpoints from `start` to `end` (inclusive-ish).
+pub fn log_spaced_steps(start: usize, end: usize, per_decade: usize) -> Vec<usize> {
+    assert!(start >= 1 && end >= start && per_decade >= 1);
+    let mut out = Vec::new();
+    let ratio = 10f64.powf(1.0 / per_decade as f64);
+    let mut x = start as f64;
+    while (x as usize) < end {
+        let v = x.round() as usize;
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        x *= ratio;
+    }
+    if out.last() != Some(&end) {
+        out.push(end);
+    }
+    out
+}
+
+/// Axis label for a degree kind.
+pub fn degree_axis_label(kind: DegreeKind) -> &'static str {
+    match kind {
+        DegreeKind::Symmetric => "degree",
+        DegreeKind::InOriginal => "in-degree",
+        DegreeKind::OutOriginal => "out-degree",
+    }
+}
+
+/// The scaled equivalents of the paper's `(B, m)` pairs (see the crate
+/// docs): figures that used `B = |V|/100, m = 1000` run at
+/// `B = |V|/10, m` chosen to preserve `B/m`.
+pub fn scaled_budget_fraction() -> f64 {
+    0.1
+}
+
+/// The FS/MultipleRW dimension standing in for the paper's `m = 1000`,
+/// derived from the budget to preserve the paper's per-walker step count
+/// `B/m = 17152/1000 ≈ 17`.
+pub fn fs_dimension(budget: f64) -> usize {
+    ((budget / 17.0).round() as usize).clamp(10, 1000)
+}
+
+/// Back-compat helper used where the budget is `|V|/10` at default scale
+/// (17k-vertex Flickr → m = 100). Prefer [`fs_dimension`].
+pub fn scaled_m_large() -> usize {
+    100
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+
+    fn fixture() -> Graph {
+        // Two triangles bridged: degrees 2..3; connected, non-bipartite.
+        graph_from_undirected_pairs(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            SamplingMethod::walk(WalkMethod::frontier(10)).label(),
+            "FS (m=10)"
+        );
+        assert_eq!(
+            SamplingMethod::RandomVertex { hit_ratio: 0.1 }.label(),
+            "Random Vertex (10% hit)"
+        );
+        assert_eq!(
+            SamplingMethod::walk_with_vertex_hit_ratio(WalkMethod::frontier(2), 0.1).label(),
+            "FS (m=2) (10% hit)"
+        );
+    }
+
+    #[test]
+    fn all_method_kinds_produce_distributions() {
+        let g = fixture();
+        for m in [
+            SamplingMethod::walk(WalkMethod::single()),
+            SamplingMethod::walk(WalkMethod::frontier(2)),
+            SamplingMethod::RandomVertex { hit_ratio: 1.0 },
+            SamplingMethod::RandomEdge { hit_ratio: 1.0 },
+        ] {
+            let theta = m.estimate_degree_distribution(&g, DegreeKind::Symmetric, 500.0, 1);
+            let total: f64 = theta.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}: total {total}", m.label());
+        }
+    }
+
+    #[test]
+    fn error_series_runs() {
+        let g = fixture();
+        let spec = DegreeErrorSpec {
+            graph: &g,
+            degree: DegreeKind::Symmetric,
+            budget: 100.0,
+            methods: vec![
+                SamplingMethod::walk(WalkMethod::single()),
+                SamplingMethod::walk(WalkMethod::frontier(2)),
+            ],
+            metric: ErrorMetric::CnmseOfCcdf,
+        };
+        let cfg = ExpConfig {
+            runs: 30,
+            ..ExpConfig::quick()
+        };
+        let set = run_degree_error(&spec, &cfg);
+        assert_eq!(set.series.len(), 2);
+        // CCDF truth is positive at degree 1 (some mass above 1), so the
+        // error must be defined there.
+        assert!(set.series[0].values[0].is_some());
+    }
+
+    #[test]
+    fn larger_budget_means_smaller_error() {
+        let g = fixture();
+        // Restrict to the one informative bucket: on this fixture the
+        // CCDF is trivially exact at degrees 0–1 (no mass below 2), so
+        // only γ₂ has estimation error.
+        let run_with = |budget: f64| {
+            let spec = DegreeErrorSpec {
+                graph: &g,
+                degree: DegreeKind::Symmetric,
+                budget,
+                methods: vec![SamplingMethod::walk(WalkMethod::single())],
+                metric: ErrorMetric::CnmseOfCcdf,
+            };
+            let cfg = ExpConfig {
+                runs: 60,
+                ..ExpConfig::quick()
+            };
+            run_degree_error(&spec, &cfg)
+                .geometric_mean_where("SingleRW", |x| x == 2)
+                .unwrap()
+        };
+        let small = run_with(50.0);
+        let large = run_with(2_000.0);
+        assert!(
+            large < small,
+            "error should shrink with budget: {large} vs {small}"
+        );
+    }
+
+    #[test]
+    fn log_spaced_steps_shape() {
+        let s = log_spaced_steps(10, 1_000, 1);
+        assert_eq!(s, vec![10, 100, 1000]);
+        let dense = log_spaced_steps(1, 100, 4);
+        assert!(dense.len() > 5);
+        assert_eq!(*dense.last().unwrap(), 100);
+        assert!(dense.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,153 @@
+//! Extra experiment: random walk with uniform jumps vs FS on `G_AB`.
+//!
+//! Jumps are the *other* standard fix for the trapping problem the paper
+//! solves with dependent walkers (Avrachenkov, Ribeiro & Towsley, WAW
+//! 2010): a walker that restarts at a uniform vertex with probability
+//! `α/(deg+α)` reaches every component and needs only the modified
+//! `1/(deg+α)` reweighting. This experiment stresses both fixes on the
+//! loosely connected `G_AB` graph, at two price points:
+//!
+//! * **unit costs** — jumps are as cheap as walk steps; RWJ and FS
+//!   should both crush SingleRW, with comparable accuracy;
+//! * **10% vertex hit ratio** (Section 6.4's MySpace scenario) — every
+//!   jump now costs 10 queries. FS pays the random-vertex price only
+//!   `m` times at start-up, RWJ pays it *continuously*, so FS should
+//!   pull ahead.
+
+use crate::config::ExpConfig;
+use crate::datasets::dataset;
+use crate::experiments::common::{fs_dimension, scaled_budget_fraction};
+use crate::mc::monte_carlo;
+use crate::registry::ExpResult;
+use crate::series::{log_spaced_degrees, SeriesSet};
+use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
+use frontier_sampling::metrics::per_bucket_nmse;
+use frontier_sampling::rwj::RwjDegreeDistributionEstimator;
+use frontier_sampling::{Budget, CostModel, RandomWalkWithJumps, WalkMethod};
+use fs_gen::datasets::DatasetKind;
+use fs_graph::stats::{degree_distribution, DegreeKind};
+use fs_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const ALPHA: f64 = 1.0;
+
+fn one_price_point(
+    g: &Graph,
+    truth_ccdf: &[f64],
+    cost: &CostModel,
+    budget: f64,
+    m: usize,
+    cfg: &ExpConfig,
+) -> SeriesSet {
+    let runs = cfg.effective_runs();
+    let xs = log_spaced_degrees(truth_ccdf.len().saturating_sub(1));
+    let mut set = SeriesSet::new("degree", xs);
+
+    // SingleRW and FS with the eq.-7 estimator.
+    for method in [WalkMethod::single(), WalkMethod::frontier(m)] {
+        let est_runs: Vec<Vec<f64>> = monte_carlo(runs, cfg.seed, |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut est = DegreeDistributionEstimator::symmetric();
+            let mut b = Budget::new(budget);
+            method.sample_edges(g, cost, &mut b, &mut rng, |e| est.observe(g, e));
+            est.ccdf()
+        });
+        let err = per_bucket_nmse(&est_runs, truth_ccdf);
+        set.add_fn(method.label(), move |x| err.get(x).copied().flatten());
+    }
+
+    // RWJ with the 1/(deg+α) reweighted estimator.
+    let est_runs: Vec<Vec<f64>> = monte_carlo(runs, cfg.seed, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut est = RwjDegreeDistributionEstimator::new(ALPHA, DegreeKind::Symmetric);
+        let mut b = Budget::new(budget);
+        RandomWalkWithJumps::new(ALPHA).sample_visits(g, cost, &mut b, &mut rng, |v| {
+            est.observe(g, v)
+        });
+        est.ccdf()
+    });
+    let err = per_bucket_nmse(&est_runs, truth_ccdf);
+    set.add_fn(format!("RWJ (α={ALPHA})"), move |x| {
+        err.get(x).copied().flatten()
+    });
+    set
+}
+
+pub(crate) fn series(cfg: &ExpConfig) -> (SeriesSet, SeriesSet, f64, usize) {
+    let d = dataset(DatasetKind::Gab, cfg.scale, cfg.seed);
+    let g = &d.graph;
+    let truth_ccdf = fs_graph::ccdf(&degree_distribution(g, DegreeKind::Symmetric));
+    let budget = g.num_vertices() as f64 * scaled_budget_fraction();
+    let m = fs_dimension(budget);
+    let unit = one_price_point(g, &truth_ccdf, &CostModel::unit(), budget, m, cfg);
+    let pricey = one_price_point(
+        g,
+        &truth_ccdf,
+        &CostModel::unit().with_vertex_hit_ratio(0.1),
+        budget,
+        m,
+        cfg,
+    );
+    (unit, pricey, budget, m)
+}
+
+/// Runs the RWJ comparison.
+pub fn run(cfg: &ExpConfig) -> ExpResult {
+    let (unit, pricey, budget, m) = series(cfg);
+    let mut result = ExpResult::new(
+        "extra_rwj",
+        "Extra: random walk with jumps vs FS on G_AB (two price points)",
+    );
+    result.note(format!(
+        "B = {budget:.0}, FS m = {m}, RWJ α = {ALPHA}, {} runs; second table charges every \
+         uniform-vertex query 10× (10% hit ratio).",
+        cfg.effective_runs()
+    ));
+    result.note(
+        "Expected shape: at unit costs both fixes (RWJ, FS) far below SingleRW and roughly \
+         comparable; at the 10% hit ratio FS's one-off start cost beats RWJ's recurring jumps.",
+    );
+    for (name, set) in [("unit", &unit), ("10% hit ratio", &pricey)] {
+        for label in ["SingleRW", &format!("FS (m={m})"), &format!("RWJ (α={ALPHA})")] {
+            if let Some(gm) = set.geometric_mean(label) {
+                result.note(format!("[{name}] geometric-mean CNMSE — {label}: {gm:.4}"));
+            }
+        }
+    }
+    result.push_table(unit.to_table("CNMSE of degree CCDF, unit costs"));
+    result.push_table(pricey.to_table("CNMSE of degree CCDF, 10% vertex hit ratio"));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_fixes_beat_single_rw_at_unit_cost() {
+        let cfg = ExpConfig::quick();
+        let (unit, _, _, m) = series(&cfg);
+        let single = unit.geometric_mean("SingleRW").unwrap();
+        let fs = unit.geometric_mean(&format!("FS (m={m})")).unwrap();
+        let rwj = unit.geometric_mean(&format!("RWJ (α={ALPHA})")).unwrap();
+        assert!(fs < single, "FS {fs} vs SingleRW {single}");
+        assert!(rwj < single, "RWJ {rwj} vs SingleRW {single}");
+    }
+
+    #[test]
+    fn hit_ratio_penalises_rwj_more_than_fs() {
+        let cfg = ExpConfig::quick();
+        let (unit, pricey, _, m) = series(&cfg);
+        let fs_label = format!("FS (m={m})");
+        let rwj_label = format!("RWJ (α={ALPHA})");
+        let fs_degradation =
+            pricey.geometric_mean(&fs_label).unwrap() / unit.geometric_mean(&fs_label).unwrap();
+        let rwj_degradation =
+            pricey.geometric_mean(&rwj_label).unwrap() / unit.geometric_mean(&rwj_label).unwrap();
+        assert!(
+            rwj_degradation > fs_degradation,
+            "RWJ degradation {rwj_degradation} should exceed FS degradation {fs_degradation}"
+        );
+    }
+}

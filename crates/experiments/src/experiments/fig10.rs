@@ -1,0 +1,57 @@
+//! Figure 10: CNMSE of the degree-distribution CCDF on `G_AB`.
+//!
+//! The loosely-connected stress test: a single bridge edge joins a sparse
+//! and a dense half. Expected shape: FS's CNMSE consistently below both
+//! SingleRW and MultipleRW across the degree axis.
+
+use crate::config::ExpConfig;
+use crate::datasets::dataset;
+use crate::experiments::fig4::{ccdf_three_methods, summarize_three};
+use crate::registry::ExpResult;
+use fs_gen::datasets::DatasetKind;
+use fs_graph::stats::DegreeKind;
+
+/// Runs the Figure 10 reproduction.
+pub fn run(cfg: &ExpConfig) -> ExpResult {
+    let d = dataset(DatasetKind::Gab, cfg.scale, cfg.seed);
+    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::Symmetric, cfg);
+
+    let mut result = ExpResult::new(
+        "fig10",
+        "G_AB: CNMSE of degree CCDF, FS vs SingleRW vs MultipleRW",
+    );
+    result.note(format!(
+        "|V| = {} (two BA halves, avg degrees ~2 and ~10, one bridge edge), B = {budget:.0}, m = {m}, {} runs.",
+        d.graph.num_vertices(),
+        cfg.effective_runs()
+    ));
+    result.note("Expected shape: FS consistently lowest; SingleRW ≈ MultipleRW, both far worse.");
+    summarize_three(&mut result, &set, m);
+    result.push_table(set.to_table("CNMSE of degree CCDF (log-spaced degrees)"));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn fs_dominates_on_gab() {
+        let cfg = ExpConfig::quick();
+        let d = dataset(DatasetKind::Gab, cfg.scale, cfg.seed);
+        let (set, _, m) = ccdf_three_methods(&d.graph, DegreeKind::Symmetric, &cfg);
+        let fs = set.geometric_mean(&format!("FS (m={m})")).unwrap();
+        let single = set.geometric_mean("SingleRW").unwrap();
+        let multi = set.geometric_mean(&format!("MultipleRW (m={m})")).unwrap();
+        assert!(
+            fs < single && fs < multi,
+            "FS {fs} must beat SingleRW {single} and MultipleRW {multi}"
+        );
+        // The gap should be substantial on the loosely connected graph.
+        assert!(
+            single / fs > 1.5 || multi / fs > 1.5,
+            "expected a clear FS advantage: single/fs = {:.2}, multi/fs = {:.2}",
+            single / fs,
+            multi / fs
+        );
+    }
+}

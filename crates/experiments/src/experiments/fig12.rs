@@ -1,0 +1,155 @@
+//! Figure 12: random edge vs random vertex vs FS on Flickr — NMSE of the
+//! in-degree *density*, with the Section-3 analytic curves overlaid.
+//!
+//! Expected shape (the paper's Section 3 analysis): random edge sampling
+//! is more accurate than random vertex sampling for degrees **above** the
+//! average and less accurate below it (crossover at the average
+//! in-degree); FS tracks random edge sampling closely. Costs: a vertex
+//! query costs 1, an edge query costs 2 ("100% hit ratio" arm).
+
+use crate::config::ExpConfig;
+use crate::datasets::dataset;
+use crate::experiments::common::{
+    fs_dimension, run_degree_error, scaled_budget_fraction, DegreeErrorSpec, ErrorMetric,
+    SamplingMethod,
+};
+use crate::registry::ExpResult;
+use frontier_sampling::metrics::{analytic_nmse_edge_sampling, analytic_nmse_vertex_sampling};
+use frontier_sampling::WalkMethod;
+use fs_gen::datasets::DatasetKind;
+use fs_graph::stats::{degree_distribution, distribution_mean, DegreeKind};
+
+/// Runs the Figure 12 reproduction.
+pub fn run(cfg: &ExpConfig) -> ExpResult {
+    let d = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
+    let budget = d.graph.num_vertices() as f64 * scaled_budget_fraction();
+    let m = fs_dimension(budget);
+
+    let spec = DegreeErrorSpec {
+        graph: &d.graph,
+        degree: DegreeKind::InOriginal,
+        budget,
+        methods: vec![
+            SamplingMethod::RandomEdge { hit_ratio: 1.0 },
+            SamplingMethod::walk(WalkMethod::frontier(m)),
+            SamplingMethod::RandomVertex { hit_ratio: 1.0 },
+        ],
+        metric: ErrorMetric::NmseOfDensity,
+    };
+    let mut set = run_degree_error(&spec, cfg);
+
+    // Analytic overlays (eqs. 3–4). The budget converts to sample counts
+    // via the per-query costs (vertex: 1, edge: 2).
+    let theta = degree_distribution(&d.graph, DegreeKind::InOriginal);
+    // Eq. 3's bias is towards the *labeled* degree: π_i = i·θ_i/d̄ with d̄
+    // the average in-degree.
+    let avg_in = distribution_mean(&theta);
+    let b_vertex = budget;
+    let b_edge = budget / 2.0;
+    let theta_v = theta.clone();
+    set.add_fn("analytic RV (eq. 4)", move |x| {
+        analytic_nmse_vertex_sampling(theta_v.get(x).copied().unwrap_or(0.0), b_vertex)
+    });
+    let theta_e = theta.clone();
+    set.add_fn("analytic RE (eq. 3)", move |x| {
+        analytic_nmse_edge_sampling(
+            theta_e.get(x).copied().unwrap_or(0.0),
+            x as f64,
+            avg_in,
+            b_edge,
+        )
+    });
+
+    let mut result = ExpResult::new(
+        "fig12",
+        "Flickr: NMSE of in-degree density — random edge vs FS vs random vertex (+ analytic)",
+    );
+    result.note(format!(
+        "B = {budget:.0} (vertex cost 1, edge cost 2), FS m = {m}, {} runs; average in-degree = {avg_in:.2}.",
+        cfg.effective_runs()
+    ));
+    result.note(
+        "Expected shape: crossover at the average in-degree — RV wins below, RE/FS win above; \
+         FS ≈ RE; simulated curves hug the analytic overlays."
+            .to_string(),
+    );
+
+    // Quantified crossover check for the notes.
+    let below = |x: usize| x >= 1 && (x as f64) < avg_in;
+    let above = |x: usize| (x as f64) > avg_in;
+    let rv = "Random Vertex (100% hit)";
+    let re = "Random Edge (100% hit)";
+    if let (Some(rv_b), Some(re_b), Some(rv_a), Some(re_a)) = (
+        set.geometric_mean_where(rv, below),
+        set.geometric_mean_where(re, below),
+        set.geometric_mean_where(rv, above),
+        set.geometric_mean_where(re, above),
+    ) {
+        result.note(format!(
+            "Below avg degree — RV: {rv_b:.3} vs RE: {re_b:.3}; above — RV: {rv_a:.3} vs RE: {re_a:.3}."
+        ));
+    }
+    result.push_table(set.to_table("NMSE of in-degree density (log-spaced degrees)"));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(cfg: &ExpConfig) -> (crate::series::SeriesSet, f64, usize) {
+        let d = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
+        let budget = d.graph.num_vertices() as f64 * scaled_budget_fraction();
+        let m = fs_dimension(budget);
+        let spec = DegreeErrorSpec {
+            graph: &d.graph,
+            degree: DegreeKind::InOriginal,
+            budget,
+            methods: vec![
+                SamplingMethod::RandomEdge { hit_ratio: 1.0 },
+                SamplingMethod::walk(WalkMethod::frontier(m)),
+                SamplingMethod::RandomVertex { hit_ratio: 1.0 },
+            ],
+            metric: ErrorMetric::NmseOfDensity,
+        };
+        let theta = degree_distribution(&d.graph, DegreeKind::InOriginal);
+        (run_degree_error(&spec, cfg), distribution_mean(&theta), m)
+    }
+
+    #[test]
+    fn section3_crossover_holds() {
+        let cfg = ExpConfig::quick();
+        let (set, avg_in, _) = series(&cfg);
+        let rv = "Random Vertex (100% hit)";
+        let re = "Random Edge (100% hit)";
+        // Above the average degree, RE must beat RV.
+        let rv_a = set
+            .geometric_mean_where(rv, |x| (x as f64) > 2.0 * avg_in)
+            .unwrap();
+        let re_a = set
+            .geometric_mean_where(re, |x| (x as f64) > 2.0 * avg_in)
+            .unwrap();
+        assert!(re_a < rv_a, "tail: RE {re_a} must beat RV {rv_a}");
+        // Below it, RV must beat RE.
+        let rv_b = set
+            .geometric_mean_where(rv, |x| x >= 1 && (x as f64) < avg_in / 2.0)
+            .unwrap();
+        let re_b = set
+            .geometric_mean_where(re, |x| x >= 1 && (x as f64) < avg_in / 2.0)
+            .unwrap();
+        assert!(rv_b < re_b, "head: RV {rv_b} must beat RE {re_b}");
+    }
+
+    #[test]
+    fn fs_tracks_random_edge() {
+        let cfg = ExpConfig::quick();
+        let (set, _, m) = series(&cfg);
+        let fs = set.geometric_mean(&format!("FS (m={m})")).unwrap();
+        let re = set.geometric_mean("Random Edge (100% hit)").unwrap();
+        // Within 2x overall (paper: "accuracy closely matches").
+        assert!(
+            fs / re < 2.0 && re / fs < 2.0,
+            "FS {fs} should track RE {re}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 5: same comparison as Figure 4 on the **complete** Flickr graph
+//! (with its disconnected fringe) — the FS gap widens because SingleRW
+//! and MultipleRW runs that start in (or wander near) small components
+//! cannot escape them.
+
+use crate::config::ExpConfig;
+use crate::datasets::dataset;
+use crate::experiments::fig4::{ccdf_three_methods, summarize_three};
+use crate::registry::ExpResult;
+use fs_gen::datasets::DatasetKind;
+use fs_graph::stats::DegreeKind;
+
+/// Runs the Figure 5 reproduction.
+pub fn run(cfg: &ExpConfig) -> ExpResult {
+    let d = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
+    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::InOriginal, cfg);
+
+    let mut result = ExpResult::new(
+        "fig5",
+        "Full Flickr (disconnected): CNMSE of in-degree CCDF, FS vs SingleRW vs MultipleRW",
+    );
+    result.note(format!(
+        "|V| = {} over {} components (LCC fraction {:.3}), B = {budget:.0}, m = {m}, {} runs.",
+        d.graph.num_vertices(),
+        d.summary.num_components,
+        d.summary.lcc_fraction,
+        cfg.effective_runs()
+    ));
+    result.note(
+        "Expected shape: FS < SingleRW < MultipleRW, with a wider FS gap than Figure 4 (LCC only).",
+    );
+    summarize_three(&mut result, &set, m);
+    result.push_table(set.to_table("CNMSE of in-degree CCDF (log-spaced degrees)"));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::dataset_lcc;
+
+    #[test]
+    fn fs_wins_and_gap_wider_than_lcc() {
+        let cfg = ExpConfig::quick();
+
+        let full = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
+        let (set_full, _, m_full) = ccdf_three_methods(&full.graph, DegreeKind::InOriginal, &cfg);
+        let lcc = dataset_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
+        let (set_lcc, _, m_lcc) = ccdf_three_methods(&lcc.graph, DegreeKind::InOriginal, &cfg);
+
+        let fs_full = set_full.geometric_mean(&format!("FS (m={m_full})")).unwrap();
+        let single_full = set_full.geometric_mean("SingleRW").unwrap();
+        assert!(fs_full < single_full, "FS must win on the full graph");
+
+        // Gap (Single/FS) should not shrink when components are added.
+        let gap_full = single_full / fs_full;
+        let gap_lcc = set_lcc.geometric_mean("SingleRW").unwrap()
+            / set_lcc.geometric_mean(&format!("FS (m={m_lcc})")).unwrap();
+        assert!(
+            gap_full > gap_lcc * 0.8,
+            "disconnected graph should not shrink the FS advantage: full {gap_full:.2} vs lcc {gap_lcc:.2}"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Figure 6: sample paths of `θ̂₁(n)` on the complete Flickr graph.
+//!
+//! Four independent runs per method, plotting the evolving estimate of
+//! the fraction of vertices with in-degree 1 against the number of walk
+//! steps (log x-axis in the paper). Expected shape: every FS path
+//! converges quickly to `θ₁`; SingleRW paths drift (and one that starts
+//! inside a small disconnected component grossly overestimates);
+//! MultipleRW paths converge to a *wrong* common value because walkers
+//! trapped in the fringe keep oversampling it.
+
+use crate::config::ExpConfig;
+use crate::datasets::dataset;
+use crate::experiments::common::{log_spaced_steps, scaled_m_large, theta_sample_path};
+use crate::registry::ExpResult;
+use crate::table::{fmt_f64, TextTable};
+use frontier_sampling::WalkMethod;
+use fs_gen::datasets::DatasetKind;
+use fs_graph::stats::{degree_distribution, DegreeKind};
+
+/// Shared runner for the two sample-path figures (6 and 9).
+#[allow(clippy::too_many_arguments)] // two call sites, a struct would obscure them
+pub(crate) fn sample_path_result(
+    id: &'static str,
+    title: String,
+    graph: &fs_graph::Graph,
+    kind: DegreeKind,
+    target_degree: usize,
+    m: usize,
+    max_steps: usize,
+    cfg: &ExpConfig,
+) -> ExpResult {
+    let theta = degree_distribution(graph, kind);
+    let truth = theta.get(target_degree).copied().unwrap_or(0.0);
+    let checkpoints = log_spaced_steps(10, max_steps, 4);
+    let methods: Vec<(String, WalkMethod)> = vec![
+        ("SingleRW".into(), WalkMethod::single()),
+        (format!("FS(m={m})"), WalkMethod::frontier(m)),
+        (format!("MRW(m={m})"), WalkMethod::multiple(m)),
+    ];
+
+    let paths = cfg.trace_paths();
+    let mut headers: Vec<String> = vec!["steps".into()];
+    for (label, _) in &methods {
+        for p in 1..=paths {
+            headers.push(format!("{label}#{p}"));
+        }
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(
+        format!("theta_{target_degree}(n) sample paths (truth = {truth:.4})"),
+        &header_refs,
+    );
+
+    // One trace per (method, path).
+    let mut traces: Vec<Vec<Option<f64>>> = Vec::new();
+    for (mi, (_, method)) in methods.iter().enumerate() {
+        for p in 0..paths {
+            let seed = cfg
+                .seed
+                .wrapping_add(0x51ED_5EED)
+                .wrapping_add((mi * paths + p) as u64 * 7_919);
+            traces.push(theta_sample_path(
+                graph,
+                kind,
+                target_degree,
+                method,
+                &checkpoints,
+                seed,
+            ));
+        }
+    }
+    for (ci, &step) in checkpoints.iter().enumerate() {
+        let mut row = vec![step.to_string()];
+        for trace in &traces {
+            row.push(match trace[ci] {
+                Some(v) => fmt_f64(v),
+                None => "-".to_string(),
+            });
+        }
+        table.add_row(row);
+    }
+
+    let mut result = ExpResult::new(id, title);
+    result.note(format!(
+        "True theta_{target_degree} = {truth:.4}; traces up to {max_steps} steps, {paths} paths per method."
+    ));
+    result.note(
+        "Expected shape: FS paths converge fast and tight; SingleRW/MultipleRW paths scatter or \
+         converge to a biased value."
+            .to_string(),
+    );
+    // Convergence summary: mean absolute relative error at the final
+    // checkpoint, per method.
+    let last = checkpoints.len() - 1;
+    for (mi, (label, _)) in methods.iter().enumerate() {
+        let errs: Vec<f64> = (0..paths)
+            .filter_map(|p| traces[mi * paths + p][last])
+            .map(|v| ((v - truth) / truth).abs())
+            .collect();
+        if !errs.is_empty() {
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            result.note(format!(
+                "Final-step mean |relative error| — {label}: {mean:.4}"
+            ));
+        }
+    }
+    result.push_table(table);
+    result
+}
+
+/// Runs the Figure 6 reproduction.
+pub fn run(cfg: &ExpConfig) -> ExpResult {
+    let d = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
+    let m = scaled_m_large();
+    let max_steps = d.graph.num_vertices(); // paper traces up to ≫ B
+    sample_path_result(
+        "fig6",
+        "Flickr: sample paths of theta_1(n) (in-degree 1)".into(),
+        &d.graph,
+        DegreeKind::InOriginal,
+        1,
+        m,
+        max_steps,
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_converges_tighter_than_multiplerw() {
+        let cfg = ExpConfig::quick();
+        let r = run(&cfg);
+        let err_of = |label: &str| -> f64 {
+            let line = r
+                .notes
+                .iter()
+                .find(|n| n.contains(&format!("— {label}:")))
+                .unwrap();
+            line.rsplit(':').next().unwrap().trim().parse().unwrap()
+        };
+        let fs = err_of("FS(m=100)");
+        let mrw = err_of("MRW(m=100)");
+        assert!(
+            fs <= mrw + 0.02,
+            "FS final error {fs} should not exceed MultipleRW {mrw}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! One module per paper artifact, plus shared machinery in [`common`],
+//! the DESIGN.md ablations (`ablation_*`), and extra experiments that go
+//! beyond the paper's figures (`extra_*`).
+
+pub mod common;
+
+pub mod ablation_m;
+pub mod ablation_schedule;
+pub mod ablation_select;
+pub mod extra_burnin;
+pub mod extra_diag;
+pub mod extra_mhrw;
+pub mod extra_nbrw;
+pub mod extra_rwj;
+pub mod extra_weighted;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,133 @@
+//! Table 3: global clustering coefficient estimates on Flickr and
+//! LiveJournal.
+//!
+//! Paper: `B = 1%` of vertices, 10,000 runs; all three methods land near
+//! the true `C` with FS having the smallest NMSE, SingleRW suffering on
+//! Flickr (0.33 vs FS's 0.04).
+
+use crate::config::ExpConfig;
+use crate::datasets::dataset;
+use crate::experiments::common::{fs_dimension, scaled_budget_fraction};
+use crate::mc::monte_carlo;
+use crate::registry::ExpResult;
+use crate::table::TextTable;
+use frontier_sampling::estimators::{ClusteringEstimator, EdgeEstimator};
+use frontier_sampling::metrics::{mean, nmse};
+use frontier_sampling::{Budget, CostModel, WalkMethod};
+use fs_gen::datasets::DatasetKind;
+use fs_graph::{global_clustering, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn estimate_runs(graph: &Graph, method: &WalkMethod, budget: f64, runs: usize, seed: u64) -> Vec<f64> {
+    monte_carlo(runs, seed, |s| {
+        let mut rng = SmallRng::seed_from_u64(s);
+        let mut est = ClusteringEstimator::new();
+        let mut b = Budget::new(budget);
+        method.sample_edges(graph, &CostModel::unit(), &mut b, &mut rng, |e| {
+            est.observe(graph, e)
+        });
+        est.estimate().unwrap_or(0.0)
+    })
+}
+
+pub(crate) struct Row {
+    pub dataset: &'static str,
+    pub c_true: f64,
+    /// (label, E[Ĉ], NMSE) per method: FS, SingleRW, MultipleRW.
+    pub per_method: Vec<(String, f64, f64)>,
+}
+
+pub(crate) fn compute_rows(cfg: &ExpConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Flickr, DatasetKind::LiveJournal] {
+        let d = dataset(kind, cfg.scale, cfg.seed);
+        let c_true = global_clustering(&d.graph);
+        let budget = d.graph.num_vertices() as f64 * scaled_budget_fraction();
+        let m = fs_dimension(budget);
+        let methods = vec![
+            WalkMethod::frontier(m),
+            WalkMethod::single(),
+            WalkMethod::multiple(m),
+        ];
+        let mut per_method = Vec::new();
+        for method in &methods {
+            let estimates = estimate_runs(&d.graph, method, budget, cfg.effective_runs(), cfg.seed);
+            per_method.push((
+                method.label(),
+                mean(&estimates),
+                nmse(&estimates, c_true).unwrap_or(f64::NAN),
+            ));
+        }
+        rows.push(Row {
+            dataset: kind.name(),
+            c_true,
+            per_method,
+        });
+    }
+    rows
+}
+
+/// Runs the Table 3 reproduction.
+pub fn run(cfg: &ExpConfig) -> ExpResult {
+    let rows = compute_rows(cfg);
+
+    let mut result = ExpResult::new("table3", "Global clustering coefficient estimates");
+    result.note(format!(
+        "B = |V|/10, m = B/17, {} runs (paper: B = 1%, m = 1000, 10,000 runs).",
+        cfg.effective_runs()
+    ));
+    result.note("Expected shape: all methods near C; FS with the smallest NMSE.");
+
+    let mut t = TextTable::new(
+        "Table 3 (replica)",
+        &[
+            "graph", "C", "FS E[C] (NMSE)", "SRW E[C] (NMSE)", "MRW E[C] (NMSE)",
+        ],
+    );
+    for row in &rows {
+        let cell = |(_, e, n): &(String, f64, f64)| format!("{e:.3} ({n:.3})");
+        t.add_row(vec![
+            row.dataset.to_string(),
+            format!("{:.3}", row.c_true),
+            cell(&row.per_method[0]),
+            cell(&row.per_method[1]),
+            cell(&row.per_method[2]),
+        ]);
+    }
+    result.push_table(t);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_near_truth_and_fs_best_or_close() {
+        let cfg = ExpConfig::quick();
+        let rows = compute_rows(&cfg);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.c_true > 0.01, "{}: C = {}", row.dataset, row.c_true);
+            let (_, fs_mean, fs_nmse) = &row.per_method[0];
+            assert!(
+                (fs_mean - row.c_true).abs() / row.c_true < 0.25,
+                "{}: FS mean {fs_mean} vs C {}",
+                row.dataset,
+                row.c_true
+            );
+            // FS must not be substantially worse than the best method.
+            let best = row
+                .per_method
+                .iter()
+                .map(|(_, _, n)| *n)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                *fs_nmse <= best * 2.0 + 0.05,
+                "{}: FS NMSE {fs_nmse} vs best {best}",
+                row.dataset
+            );
+        }
+    }
+}

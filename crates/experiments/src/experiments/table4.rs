@@ -1,0 +1,162 @@
+//! Table 4 (Appendix B): convergence to uniform edge sampling.
+//!
+//! Metric: the worst-case relative difference between the stationary
+//! arc-sampling probability `1/|E|` and the probability that a walker
+//! samples each arc at the end of its budget, on the LCCs of the three
+//! smallest datasets. Paper values (K = 10): FS 17–43%, single/multiple
+//! walkers 156–1510% *(sic — deviations can exceed 100% only under the
+//! paper's Monte-Carlo sign convention; our exact computation reports
+//! `max (1 − p·|E|) ≤ 1`, so the comparison is the FS-vs-RW gap, not the
+//! absolute numbers)*.
+//!
+//! SingleRW and MultipleRW deviations are computed **exactly** by sparse
+//! power iteration; FS's by Monte Carlo (its joint chain is too large),
+//! with the replica count reported.
+
+use crate::config::ExpConfig;
+use crate::datasets::dataset_lcc;
+use crate::registry::ExpResult;
+use crate::table::TextTable;
+use frontier_sampling::transient::{
+    exact_arc_distribution_single, mc_arc_distribution_frontier, worst_case_relative_deviation,
+};
+use fs_gen::datasets::DatasetKind;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Number of walkers (the paper's `K`).
+const K: usize = 10;
+
+pub(crate) struct Row {
+    pub dataset: &'static str,
+    pub budget: usize,
+    pub fs_dev: f64,
+    pub mrw_dev: f64,
+    pub srw_dev: f64,
+}
+
+pub(crate) fn compute_rows(cfg: &ExpConfig) -> Vec<Row> {
+    // Paper budgets: Internet RLT B=100, YouTube B=20, Hep-Th B=20.
+    let cases = [
+        (DatasetKind::InternetRlt, 100usize),
+        (DatasetKind::YouTube, 20),
+        (DatasetKind::HepTh, 20),
+    ];
+    let mut rows = Vec::new();
+    for (kind, budget) in cases {
+        // Appendix B restricts to LCCs "to speed the computation"; so do
+        // we — and at a smaller scale, since the FS side is Monte Carlo.
+        let scale = (cfg.scale * 0.5).max(0.002);
+        let d = dataset_lcc(kind, scale, cfg.seed);
+        let g = &d.graph;
+
+        // SingleRW: exact, B - K... the paper charges K starts against
+        // budget B; a single walker walks B - 1 steps after its start.
+        let srw_steps = budget.saturating_sub(1).max(1);
+        let srw_dev = worst_case_relative_deviation(&exact_arc_distribution_single(g, srw_steps));
+
+        // MultipleRW with K walkers: each walker is an independent
+        // SingleRW with (B - K)/K steps; the "edge sampled at the end of
+        // the budget" has the single-walker distribution at that step.
+        let mrw_steps = (budget.saturating_sub(K) / K).max(1);
+        let mrw_dev = worst_case_relative_deviation(&exact_arc_distribution_single(g, mrw_steps));
+
+        // FS with K walkers after B - K steps: Monte Carlo.
+        let fs_steps = budget.saturating_sub(K).max(1);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x7AB1E4);
+        let fs_probs =
+            mc_arc_distribution_frontier(g, K, fs_steps, cfg.transient_replicas(), &mut rng);
+        let fs_dev = worst_case_relative_deviation(&fs_probs);
+
+        rows.push(Row {
+            dataset: kind.name(),
+            budget,
+            fs_dev,
+            mrw_dev,
+            srw_dev,
+        });
+    }
+    rows
+}
+
+/// Runs the Table 4 reproduction.
+pub fn run(cfg: &ExpConfig) -> ExpResult {
+    let rows = compute_rows(cfg);
+    let mut result = ExpResult::new(
+        "table4",
+        "Appendix B: worst-case relative deviation from uniform edge sampling",
+    );
+    result.note(format!(
+        "K = {K} walkers (FS dimension {K}); LCCs at half scale; FS column is Monte Carlo over {} \
+         replicas, SRW/MRW columns are exact power iteration.",
+        cfg.transient_replicas()
+    ));
+    result.note(
+        "Expected shape: FS far below MRW at equal walker count K (paper: 17–43% vs 236–1510%)."
+            .to_string(),
+    );
+    result.note(
+        "Caveat: the paper's SRW column is also large (156–781%) because real graphs mix slowly \
+         (community bottlenecks); the synthetic replicas are near-expanders, so a single walker \
+         with the whole budget B mixes almost completely and its exact deviation is small here. \
+         The K-matched FS-vs-MRW comparison is the one the substitution preserves."
+            .to_string(),
+    );
+
+    let mut t = TextTable::new(
+        "Table 4 (replica)",
+        &["graph", "B", "FS (K=10)", "MRW (K=10)", "SRW (K=1)"],
+    );
+    for r in &rows {
+        t.add_row(vec![
+            r.dataset.to_string(),
+            r.budget.to_string(),
+            format!("{:.0}%", r.fs_dev * 100.0),
+            format!("{:.0}%", r.mrw_dev * 100.0),
+            format!("{:.0}%", r.srw_dev * 100.0),
+        ]);
+    }
+    result.push_table(t);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_converges_faster_than_equal_walker_mrw() {
+        // The K-matched comparison (K = 10 walkers in both): FS must be
+        // far closer to stationary edge sampling. The paper reports 5–42x
+        // gaps; we demand at least 2x per dataset.
+        let cfg = ExpConfig::quick();
+        let rows = compute_rows(&cfg);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.fs_dev * 2.0 < r.mrw_dev,
+                "{}: FS {} must be at least 2x closer to uniform than MRW {}",
+                r.dataset,
+                r.fs_dev,
+                r.mrw_dev
+            );
+        }
+    }
+
+    #[test]
+    fn deviations_are_sane() {
+        let cfg = ExpConfig::quick();
+        for r in compute_rows(&cfg) {
+            assert!(r.fs_dev >= 0.0 && r.fs_dev < 1.5, "{}", r.fs_dev);
+            assert!(r.srw_dev >= 0.0);
+            // One-step-per-walker MRW oversamples low-degree vertices'
+            // arcs by ~d̄ — deviations far above 100%.
+            assert!(
+                r.mrw_dev > 1.0,
+                "{}: MRW deviation {} unexpectedly small",
+                r.dataset,
+                r.mrw_dev
+            );
+        }
+    }
+}

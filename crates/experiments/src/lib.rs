@@ -1,0 +1,40 @@
+//! # fs-experiments — reproduction harness for the IMC 2010 evaluation
+//!
+//! Regenerates **every table and figure** of Ribeiro & Towsley's
+//! evaluation (Section 6 + Appendix B) on the synthetic dataset replicas
+//! from `fs-gen`, at laptop scale. Absolute numbers differ from the paper
+//! (different graphs, scaled sizes); the harness is built to check the
+//! *shape* of each result: method orderings, error gaps, and crossovers.
+//!
+//! ## Entry points
+//!
+//! * `cargo run -p fs-experiments --release --bin repro -- --exp all`
+//!   runs everything and prints paper-style tables/series;
+//! * [`registry::all_experiments`] lists ids (`table1`, `fig1`, …,
+//!   `table4`);
+//! * each experiment is a plain function `fn(&ExpConfig) -> ExpResult`,
+//!   reusable from benches and tests.
+//!
+//! ## Scaling policy (documented per-experiment in EXPERIMENTS.md)
+//!
+//! The paper's figures use graphs of 0.2M–5.2M vertices with budgets
+//! `B = |V|/100 … |V|/10` and FS dimensions `m ∈ {10, 100, 1000}`. At
+//! replica scale (default 1% of paper |V|) the harness preserves the two
+//! ratios that drive the phenomena: the per-walker step count `B/m` and
+//! the walker-to-component ratio. Concretely: figures that used
+//! `B = |V|/100, m = 1000` run at `B = |V|/10, m = 100`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod datasets;
+pub mod experiments;
+pub mod mc;
+pub mod registry;
+pub mod series;
+pub mod table;
+
+pub use config::ExpConfig;
+pub use registry::{all_experiments, find_experiment, ExpResult, Experiment};
+pub use table::TextTable;

@@ -1,0 +1,86 @@
+//! Parallel Monte-Carlo engine.
+//!
+//! The evaluation averages error metrics over thousands of independent
+//! runs ("CNMSE over 10,000 runs"). [`monte_carlo`] fans the runs out over
+//! all cores with crossbeam scoped threads; each run receives a distinct
+//! deterministic seed, so results are reproducible regardless of thread
+//! count or interleaving.
+
+/// Runs `runs` independent replications of `body` (given the run's seed)
+/// in parallel, returning the results in run order.
+///
+/// `body` must be `Sync` (it is shared across threads) and is expected to
+/// build its own RNG from the seed.
+pub fn monte_carlo<T, F>(runs: usize, base_seed: u64, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    if runs == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(runs);
+    let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    let chunk = runs.div_ceil(threads.max(1));
+
+    crossbeam::thread::scope(|scope| {
+        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let body = &body;
+            scope.spawn(move |_| {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    let run_index = t * chunk + i;
+                    // SplitMix-style seed derivation keeps streams
+                    // decorrelated.
+                    let seed = base_seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run_index as u64 + 1));
+                    *slot = Some(body(seed));
+                }
+            });
+        }
+    })
+    .expect("monte carlo worker panicked");
+
+    results.into_iter().map(|s| s.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_exact_count_in_order() {
+        let out = monte_carlo(100, 1, |seed| seed);
+        assert_eq!(out.len(), 100);
+        // Deterministic: same call yields same seeds.
+        let out2 = monte_carlo(100, 1, |seed| seed);
+        assert_eq!(out, out2);
+        // Different base seed changes every stream.
+        let out3 = monte_carlo(100, 2, |seed| seed);
+        assert!(out.iter().zip(&out3).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn all_runs_execute() {
+        let counter = AtomicUsize::new(0);
+        let _ = monte_carlo(250, 3, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 250);
+    }
+
+    #[test]
+    fn single_run() {
+        let out = monte_carlo(1, 9, |s| s.wrapping_mul(2));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn zero_runs() {
+        let out: Vec<u64> = monte_carlo(0, 9, |s| s);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Experiment registry: one entry per paper table/figure.
+
+use crate::config::ExpConfig;
+use crate::table::TextTable;
+use std::fmt;
+
+/// The output of one experiment: notes plus paper-style tables.
+#[derive(Clone, Debug)]
+pub struct ExpResult {
+    /// Experiment id (`fig5`, `table2`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Free-form notes (parameters used, expected shape, caveats).
+    pub notes: Vec<String>,
+    /// Result tables (figures are rendered as series tables).
+    pub tables: Vec<TextTable>,
+}
+
+impl ExpResult {
+    /// Creates an empty result.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        ExpResult {
+            id,
+            title: title.into(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Adds a table.
+    pub fn push_table(&mut self, t: TextTable) {
+        self.tables.push(t);
+    }
+}
+
+impl fmt::Display for ExpResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== [{}] {} ===", self.id, self.title)?;
+        for n in &self.notes {
+            writeln!(f, "  {n}")?;
+        }
+        for t in &self.tables {
+            writeln!(f)?;
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A registered experiment.
+pub struct Experiment {
+    /// Id accepted by the CLI (`--exp fig5`).
+    pub id: &'static str,
+    /// What the paper artifact shows.
+    pub description: &'static str,
+    /// Runner.
+    pub run: fn(&ExpConfig) -> ExpResult,
+}
+
+/// All experiments, in paper order.
+pub fn all_experiments() -> &'static [Experiment] {
+    use crate::experiments::*;
+    const ALL: &[Experiment] = &[
+        Experiment {
+            id: "table1",
+            description: "Dataset summaries (paper Table 1) for the synthetic replicas",
+            run: table1::run,
+        },
+        Experiment {
+            id: "fig1",
+            description: "Flickr: SingleRW vs MultipleRW(m=10), in-degree CCDF CNMSE, B=|V|/10",
+            run: fig1::run,
+        },
+        Experiment {
+            id: "fig3",
+            description: "Flickr: exact in-degree CCDF (ground truth plot)",
+            run: fig3::run,
+        },
+        Experiment {
+            id: "fig4",
+            description: "LCC of Flickr: FS vs SingleRW vs MultipleRW, in-degree CCDF CNMSE",
+            run: fig4::run,
+        },
+        Experiment {
+            id: "fig5",
+            description: "Full Flickr (disconnected): FS vs SingleRW vs MultipleRW",
+            run: fig5::run,
+        },
+        Experiment {
+            id: "fig6",
+            description: "Flickr: sample paths of theta_1(n) per method",
+            run: fig6::run,
+        },
+        Experiment {
+            id: "fig7",
+            description: "LiveJournal: exact out-degree CCDF (ground truth plot)",
+            run: fig7::run,
+        },
+        Experiment {
+            id: "fig8",
+            description: "LiveJournal: out-degree CCDF CNMSE per method",
+            run: fig8::run,
+        },
+        Experiment {
+            id: "fig9",
+            description: "G_AB: sample paths of theta_10(n) per method",
+            run: fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            description: "G_AB: degree CCDF CNMSE per method",
+            run: fig10::run,
+        },
+        Experiment {
+            id: "fig11",
+            description: "Flickr: SingleRW/MultipleRW started in steady state vs FS",
+            run: fig11::run,
+        },
+        Experiment {
+            id: "fig12",
+            description: "Flickr: random edge vs random vertex vs FS, NMSE + analytic overlay",
+            run: fig12::run,
+        },
+        Experiment {
+            id: "fig13",
+            description: "LiveJournal: 10% vertex / 1% edge hit ratios vs FS",
+            run: fig13::run,
+        },
+        Experiment {
+            id: "fig14",
+            description: "Flickr: NMSE of interest-group density by popularity rank",
+            run: fig14::run,
+        },
+        Experiment {
+            id: "table2",
+            description: "Assortativity estimates: bias and NMSE on five graphs",
+            run: table2::run,
+        },
+        Experiment {
+            id: "table3",
+            description: "Global clustering coefficient estimates (Flickr, LiveJournal)",
+            run: table3::run,
+        },
+        Experiment {
+            id: "table4",
+            description: "Appendix B: worst-case transient edge-probability deviation",
+            run: table4::run,
+        },
+        Experiment {
+            id: "ablation_m",
+            description: "Ablation D3: FS accuracy vs dimension m under one budget",
+            run: ablation_m::run,
+        },
+        Experiment {
+            id: "ablation_select",
+            description: "Ablation D1: degree-proportional vs uniform walker selection",
+            run: ablation_select::run,
+        },
+        Experiment {
+            id: "ablation_schedule",
+            description: "Ablation D4: MultipleRW equal-split vs interleaved schedule",
+            run: ablation_schedule::run,
+        },
+        Experiment {
+            id: "extra_mhrw",
+            description: "Extra: Metropolis-Hastings RW baseline vs reweighted RW and FS",
+            run: extra_mhrw::run,
+        },
+        Experiment {
+            id: "extra_burnin",
+            description: "Extra: burn-in cannot rescue SingleRW (Section 4.3)",
+            run: extra_burnin::run,
+        },
+        Experiment {
+            id: "extra_nbrw",
+            description: "Extra: non-backtracking RW/FS variants (CNMSE + exact transients)",
+            run: extra_nbrw::run,
+        },
+        Experiment {
+            id: "extra_rwj",
+            description: "Extra: random walk with uniform jumps vs FS on G_AB",
+            run: extra_rwj::run,
+        },
+        Experiment {
+            id: "extra_weighted",
+            description: "Extra: weighted FS vs weighted SingleRW on a weighted G_AB",
+            run: extra_weighted::run,
+        },
+        Experiment {
+            id: "extra_diag",
+            description: "Extra: MCMC convergence diagnostics (ESS, R-hat, Geweke) per method",
+            run: extra_diag::run,
+        },
+    ];
+    ALL
+}
+
+/// Finds an experiment by id.
+pub fn find_experiment(id: &str) -> Option<&'static Experiment> {
+    all_experiments().iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        for expected in [
+            "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "table2", "table3", "table4",
+        ] {
+            assert!(ids.contains(&expected), "{expected} missing from registry");
+        }
+        // Plus the DESIGN.md ablations and extra experiments.
+        for expected in [
+            "ablation_m",
+            "ablation_select",
+            "ablation_schedule",
+            "extra_mhrw",
+            "extra_burnin",
+            "extra_nbrw",
+            "extra_rwj",
+            "extra_weighted",
+            "extra_diag",
+        ] {
+            assert!(ids.contains(&expected), "{expected} missing from registry");
+        }
+        assert_eq!(ids.len(), 26);
+        // Ids are unique.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn find_by_id() {
+        assert!(find_experiment("fig5").is_some());
+        assert!(find_experiment("fig2").is_none()); // diagram, not an experiment
+        assert!(find_experiment("bogus").is_none());
+    }
+
+    #[test]
+    fn result_display() {
+        let mut r = ExpResult::new("figX", "demo");
+        r.note("a note");
+        let mut t = TextTable::new("t", &["c"]);
+        t.add_row(vec!["v".into()]);
+        r.push_table(t);
+        let s = r.to_string();
+        assert!(s.contains("[figX] demo"));
+        assert!(s.contains("a note"));
+        assert!(s.contains("| v |"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Degree-indexed series and log-binning for figure-style output.
+//!
+//! The paper's figures plot error metrics against vertex degree on
+//! log-log axes. For text output we sample the degree axis at
+//! log-spaced representative points (1, 2, …, 9, 10, 20, …, 90, 100, …),
+//! which matches how the published plots read.
+
+/// Log-spaced representative degrees up to `max` (1..9, 10..90 by 10,
+/// 100..900 by 100, …).
+pub fn log_spaced_degrees(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut base = 1usize;
+    loop {
+        for mult in 1..10 {
+            let d = base * mult;
+            if d > max {
+                return out;
+            }
+            out.push(d);
+        }
+        base *= 10;
+    }
+}
+
+/// A named series of `(x, y)` points (y may be missing where the metric
+/// is undefined, e.g. `θ_i = 0`).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (method name).
+    pub label: String,
+    /// Points, aligned with the x-axis of the owning [`SeriesSet`].
+    pub values: Vec<Option<f64>>,
+}
+
+/// A set of series over a common x axis, rendered as a table.
+#[derive(Clone, Debug)]
+pub struct SeriesSet {
+    /// Axis label (e.g. "in-degree").
+    pub x_label: String,
+    /// Common x values.
+    pub xs: Vec<usize>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set over the given x axis.
+    pub fn new(x_label: impl Into<String>, xs: Vec<usize>) -> Self {
+        SeriesSet {
+            x_label: x_label.into(),
+            xs,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series by sampling `f(x)` at every axis point.
+    pub fn add_fn(&mut self, label: impl Into<String>, f: impl Fn(usize) -> Option<f64>) {
+        let values = self.xs.iter().map(|&x| f(x)).collect();
+        self.series.push(Series {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Converts into a [`crate::table::TextTable`].
+    pub fn to_table(&self, title: impl Into<String>) -> crate::table::TextTable {
+        let mut headers: Vec<&str> = vec![self.x_label.as_str()];
+        for s in &self.series {
+            headers.push(s.label.as_str());
+        }
+        let mut t = crate::table::TextTable::new(title, &headers);
+        for (i, &x) in self.xs.iter().enumerate() {
+            let mut row = vec![x.to_string()];
+            for s in &self.series {
+                row.push(crate::table::fmt_opt(s.values[i]));
+            }
+            t.add_row(row);
+        }
+        t
+    }
+
+    /// Geometric mean of a series' defined values — a robust scalar for
+    /// "who wins overall" comparisons in tests and EXPERIMENTS.md.
+    pub fn geometric_mean(&self, label: &str) -> Option<f64> {
+        let s = self.series.iter().find(|s| s.label == label)?;
+        let defined: Vec<f64> = s
+            .values
+            .iter()
+            .filter_map(|v| *v)
+            .filter(|v| *v > 0.0)
+            .collect();
+        if defined.is_empty() {
+            return None;
+        }
+        let log_mean = defined.iter().map(|v| v.ln()).sum::<f64>() / defined.len() as f64;
+        Some(log_mean.exp())
+    }
+
+    /// Geometric mean restricted to x values satisfying a predicate
+    /// (e.g. "degrees above the average" for tail comparisons).
+    pub fn geometric_mean_where(
+        &self,
+        label: &str,
+        keep: impl Fn(usize) -> bool,
+    ) -> Option<f64> {
+        let s = self.series.iter().find(|s| s.label == label)?;
+        let defined: Vec<f64> = self
+            .xs
+            .iter()
+            .zip(&s.values)
+            .filter(|(x, _)| keep(**x))
+            .filter_map(|(_, v)| *v)
+            .filter(|v| *v > 0.0)
+            .collect();
+        if defined.is_empty() {
+            return None;
+        }
+        let log_mean = defined.iter().map(|v| v.ln()).sum::<f64>() / defined.len() as f64;
+        Some(log_mean.exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_spacing() {
+        assert_eq!(log_spaced_degrees(25), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20]);
+        assert_eq!(log_spaced_degrees(0), Vec::<usize>::new());
+        let big = log_spaced_degrees(5000);
+        assert!(big.contains(&900));
+        assert!(big.contains(&5000) || !big.contains(&6000));
+    }
+
+    #[test]
+    fn series_table_round_trip() {
+        let mut set = SeriesSet::new("degree", vec![1, 2, 4]);
+        set.add_fn("A", |x| Some(x as f64));
+        set.add_fn("B", |x| if x == 2 { None } else { Some(0.5) });
+        let t = set.to_table("demo");
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.cell(1, 2), "-");
+        assert_eq!(t.cell(0, 1), "1.0000");
+    }
+
+    #[test]
+    fn geometric_means() {
+        let mut set = SeriesSet::new("x", vec![1, 10, 100]);
+        set.add_fn("A", |_| Some(2.0));
+        set.add_fn("B", |x| Some(x as f64));
+        assert!((set.geometric_mean("A").unwrap() - 2.0).abs() < 1e-12);
+        let gb = set.geometric_mean("B").unwrap();
+        assert!((gb - 10.0).abs() < 1e-9);
+        let tail = set.geometric_mean_where("B", |x| x >= 10).unwrap();
+        assert!((tail - (10.0f64 * 100.0).sqrt()).abs() < 1e-9);
+        assert!(set.geometric_mean("missing").is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Section 6.1 of the paper builds `G_AB` from "two instances of a random
+//! undirected Barabási–Albert graph … with average degrees 2 and 10",
+//! i.e. attachment parameters `m = 1` and `m = 5`. This implementation is
+//! the standard repeated-endpoint-list construction: each endpoint of every
+//! edge is pushed into a list, and attaching "proportional to degree" is a
+//! uniform draw from that list.
+
+use fs_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Generates an undirected Barabási–Albert graph with `n` vertices where
+/// each new vertex attaches `m` edges to existing vertices with
+/// probability proportional to their degree.
+///
+/// The seed graph is a star on `m + 1` vertices (the smallest seed with
+/// min degree ≥ 1 for every vertex). The result has `m·(n − m − 1) + m`
+/// undirected edges before deduplication, giving average degree `≈ 2m`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let g = fs_gen::barabasi_albert(1_000, 2, &mut rng);
+/// assert_eq!(g.num_vertices(), 1_000);
+/// assert!(fs_graph::is_connected(&g));
+/// assert!((g.average_degree() - 4.0).abs() < 0.5); // ≈ 2m
+/// ```
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1, "attachment parameter m must be >= 1");
+    assert!(n > m, "need at least m + 1 vertices");
+
+    let mut builder = GraphBuilder::with_capacity(n, 2 * m * n);
+    // Endpoint list: vertex v appears deg(v) times.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n);
+
+    // Seed: star with hub m (so all of 0..=m have degree >= 1).
+    for leaf in 0..m {
+        builder.add_undirected_edge(VertexId::new(leaf), VertexId::new(m));
+        endpoints.push(leaf as u32);
+        endpoints.push(m as u32);
+    }
+
+    // Targets chosen per new vertex; duplicates are re-drawn so each new
+    // vertex attaches to m *distinct* existing vertices (keeps the degree
+    // of new vertices exactly m and the graph simple).
+    let mut chosen: Vec<u32> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        chosen.clear();
+        let mut guard = 0usize;
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            // Fallback for pathological small cases: pick uniformly.
+            if guard > 50 * m {
+                let t = rng.gen_range(0..v) as u32;
+                if !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+        }
+        for &t in &chosen {
+            builder.add_undirected_edge(VertexId::new(v), VertexId::new(t as usize));
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::{degree_distribution, is_connected, DegreeKind};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_and_connectivity() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = barabasi_albert(2_000, 3, &mut rng);
+        assert_eq!(g.num_vertices(), 2_000);
+        assert!(is_connected(&g), "BA graphs are connected by construction");
+        // avg degree ~ 2m
+        assert!((g.average_degree() - 6.0).abs() < 0.3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = barabasi_albert(500, 4, &mut rng);
+        let min_deg = g.vertices().map(|v| g.degree(v)).min().unwrap();
+        assert!(min_deg >= 4, "min degree {min_deg} < m");
+    }
+
+    #[test]
+    fn m1_gives_tree_plus_seed() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = barabasi_albert(1_000, 1, &mut rng);
+        // m = 1 BA is a tree: |E| = n - 1.
+        assert_eq!(g.num_undirected_edges(), 999);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn degree_distribution_has_power_tail() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let g = barabasi_albert(30_000, 2, &mut rng);
+        let theta = degree_distribution(&g, DegreeKind::Symmetric);
+        // BA with m = 2: P[deg = k] = 2m(m+1)/(k(k+1)(k+2)); check at k = 2
+        // (expected 0.5) and that a hub well beyond 10× the mean exists.
+        assert!((theta[2] - 0.5).abs() < 0.03, "theta[2] = {}", theta[2]);
+        assert!(g.max_degree() > 40);
+    }
+
+    #[test]
+    fn ba_degree_pmf_matches_theory_at_small_degrees() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let g = barabasi_albert(50_000, 5, &mut rng);
+        let theta = degree_distribution(&g, DegreeKind::Symmetric);
+        let pmf = |k: f64, m: f64| 2.0 * m * (m + 1.0) / (k * (k + 1.0) * (k + 2.0));
+        for k in [5usize, 6, 8, 10] {
+            let expect = pmf(k as f64, 5.0);
+            assert!(
+                (theta[k] - expect).abs() < 0.02,
+                "k={k}: got {} want {expect}",
+                theta[k]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m + 1")]
+    fn too_few_vertices_panics() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let _ = barabasi_albert(3, 3, &mut rng);
+    }
+}

@@ -1,0 +1,230 @@
+//! Chung–Lu expected-degree random graphs.
+//!
+//! Given target weights `w_1 … w_n`, the Chung–Lu model connects `u` and
+//! `v` with probability `≈ w_u w_v / W`. We use the fast *edge-list*
+//! formulation: draw `W/2` candidate edges whose endpoints are sampled
+//! independently with probability proportional to `w`, then drop
+//! self-loops and duplicates. Expected degrees match `w` up to the (small)
+//! dedup loss, and the degree distribution inherits the shape of `w` —
+//! which is all the dataset replicas need (DESIGN.md §3).
+
+use fs_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Alias sampler for a fixed discrete distribution (Walker's alias
+/// method): `O(n)` build, `O(1)` sample.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs weights");
+        let n = weights.len();
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "alias table needs positive total weight");
+        let scale = n as f64 / sum;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are 1.0 up to float error.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Samples an index with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen_range(0.0..1.0) < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+/// Undirected Chung–Lu graph with expected degrees `weights`.
+///
+/// Draws `round(Σw / 2)` candidate edges with both endpoints ∝ `w`.
+pub fn chung_lu_undirected<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Graph {
+    let n = weights.len();
+    let total: f64 = weights.iter().sum();
+    let m = (total / 2.0).round() as usize;
+    let table = AliasTable::new(weights);
+    let mut b = GraphBuilder::with_capacity(n, 2 * m);
+    for _ in 0..m {
+        let u = table.sample(rng);
+        let v = table.sample(rng);
+        if u != v {
+            b.add_undirected_edge(VertexId::new(u), VertexId::new(v));
+        }
+    }
+    b.build()
+}
+
+/// Directed Chung–Lu graph: edge `(u, v)` endpoints drawn with `u ∝
+/// out_weights`, `v ∝ in_weights`; `round(Σ out)` candidate edges drawn.
+///
+/// The two weight totals should match (rescale beforehand with
+/// [`crate::seq::rescale_to_sum`]); only `Σ out` drives the edge count.
+pub fn chung_lu_directed<R: Rng + ?Sized>(
+    out_weights: &[f64],
+    in_weights: &[f64],
+    rng: &mut R,
+) -> Graph {
+    assert_eq!(
+        out_weights.len(),
+        in_weights.len(),
+        "weight vectors must cover the same vertices"
+    );
+    let n = out_weights.len();
+    let m = out_weights.iter().sum::<f64>().round() as usize;
+    let out_table = AliasTable::new(out_weights);
+    let in_table = AliasTable::new(in_weights);
+    let mut b = GraphBuilder::with_capacity(n, 2 * m);
+    for _ in 0..m {
+        let u = out_table.sample(rng);
+        let v = in_table.sample(rng);
+        if u != v {
+            b.add_edge(VertexId::new(u), VertexId::new(v));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut counts = [0usize; 4];
+        let trials = 400_000;
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let expect = weights[i] / 10.0;
+            assert!((emp - expect).abs() < 0.005, "cat {i}: {emp} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = SmallRng::seed_from_u64(32);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn undirected_expected_degrees() {
+        // Uniform weights -> ER-like; degree mean should approach w.
+        let n = 3_000;
+        let weights = vec![6.0; n];
+        let mut rng = SmallRng::seed_from_u64(33);
+        let g = chung_lu_undirected(&weights, &mut rng);
+        assert_eq!(g.num_vertices(), n);
+        assert!(
+            (g.average_degree() - 6.0).abs() < 0.3,
+            "avg degree {}",
+            g.average_degree()
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn undirected_heterogeneous_degrees_track_weights() {
+        let mut weights = vec![2.0; 2_000];
+        for w in weights.iter_mut().take(20) {
+            *w = 100.0;
+        }
+        let mut rng = SmallRng::seed_from_u64(34);
+        let g = chung_lu_undirected(&weights, &mut rng);
+        let hub_avg: f64 = (0..20)
+            .map(|i| g.degree(VertexId::new(i)) as f64)
+            .sum::<f64>()
+            / 20.0;
+        // Dedup/self-loop loss keeps this below 100, but it must be near.
+        assert!(hub_avg > 80.0, "hub avg degree {hub_avg}");
+        let leaf_avg: f64 = (100..1100)
+            .map(|i| g.degree(VertexId::new(i)) as f64)
+            .sum::<f64>()
+            / 1000.0;
+        assert!((leaf_avg - 2.0).abs() < 0.5, "leaf avg {leaf_avg}");
+    }
+
+    #[test]
+    fn directed_in_out_split() {
+        let n = 2_000;
+        let out_w = vec![4.0; n];
+        let mut in_w = vec![1.0; n];
+        // First 100 vertices absorb most in-edges.
+        for w in in_w.iter_mut().take(100) {
+            *w = 50.0;
+        }
+        crate::seq::rescale_to_sum(&mut in_w, out_w.iter().sum());
+        let mut rng = SmallRng::seed_from_u64(35);
+        let g = chung_lu_directed(&out_w, &in_w, &mut rng);
+        let hub_in: f64 = (0..100)
+            .map(|i| g.in_degree_orig(VertexId::new(i)) as f64)
+            .sum::<f64>()
+            / 100.0;
+        let leaf_in: f64 = (200..1200)
+            .map(|i| g.in_degree_orig(VertexId::new(i)) as f64)
+            .sum::<f64>()
+            / 1000.0;
+        assert!(hub_in > 10.0 * leaf_in, "hub {hub_in} vs leaf {leaf_in}");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

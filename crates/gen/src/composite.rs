@@ -1,0 +1,288 @@
+//! Graph composition: disjoint unions, bridge joins, and satellite
+//! components.
+//!
+//! These operators build the paper's composite inputs:
+//!
+//! * `G_AB` (Section 6.1): two Barabási–Albert graphs *"joined by a single
+//!   edge connecting the two smallest degree vertices"* —
+//!   [`bridge_join`];
+//! * the full Flickr-like replicas: a large core plus many small
+//!   disconnected components ("satellites") so that the LCC holds a target
+//!   fraction of the vertices — [`with_satellites`].
+
+use fs_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Disjoint union of graphs; vertex ids of part `k` are shifted by the
+/// total size of parts `0..k`. Group labels are preserved as-is (label
+/// spaces are shared).
+pub fn disjoint_union(parts: &[&Graph]) -> Graph {
+    let total: usize = parts.iter().map(|g| g.num_vertices()).sum();
+    let total_edges: usize = parts.iter().map(|g| g.num_original_edges()).sum();
+    let mut b = GraphBuilder::with_capacity(total, total_edges);
+    let mut offset = 0usize;
+    for g in parts {
+        for arc in g.original_edges() {
+            b.add_edge(
+                VertexId::new(arc.source.index() + offset),
+                VertexId::new(arc.target.index() + offset),
+            );
+        }
+        for v in g.vertices() {
+            for &grp in g.groups_of(v) {
+                b.add_group(VertexId::new(v.index() + offset), grp);
+            }
+        }
+        offset += g.num_vertices();
+    }
+    b.build()
+}
+
+/// Joins two graphs with a single undirected bridge edge connecting their
+/// minimum-degree vertices (ties broken by lowest id), reproducing the
+/// paper's `G_AB` construction.
+pub fn bridge_join(a: &Graph, b: &Graph) -> Graph {
+    let min_vertex = |g: &Graph| -> VertexId {
+        g.vertices()
+            .min_by_key(|&v| (g.degree(v), v.index()))
+            .expect("bridge_join requires non-empty graphs")
+    };
+    let va = min_vertex(a);
+    let vb = min_vertex(b);
+    let union = disjoint_union(&[a, b]);
+    // Rebuild with the extra bridge edge.
+    let mut builder = GraphBuilder::with_capacity(
+        union.num_vertices(),
+        union.num_original_edges() + 2,
+    );
+    for arc in union.original_edges() {
+        builder.add_edge(arc.source, arc.target);
+    }
+    for v in union.vertices() {
+        for &grp in union.groups_of(v) {
+            builder.add_group(v, grp);
+        }
+    }
+    builder.add_undirected_edge(va, VertexId::new(vb.index() + a.num_vertices()));
+    builder.build()
+}
+
+/// Specification of the satellite cloud attached around a core graph.
+#[derive(Clone, Debug)]
+pub struct SatelliteSpec {
+    /// Total number of satellite vertices to add.
+    pub num_vertices: usize,
+    /// Minimum component size (≥ 2 so every vertex keeps an edge,
+    /// matching the paper's assumption that every vertex has at least one
+    /// incident edge).
+    pub min_size: usize,
+    /// Maximum component size.
+    pub max_size: usize,
+}
+
+/// Adds small disconnected components ("satellites") around `core`.
+///
+/// Component sizes are drawn uniformly from `[min_size, max_size]`; each
+/// component is a connected path with a few random chords, mimicking the
+/// small fringe components of real crawls. Returns the composed graph;
+/// core vertices keep ids `0..core.num_vertices()`.
+pub fn with_satellites<R: Rng + ?Sized>(core: &Graph, spec: &SatelliteSpec, rng: &mut R) -> Graph {
+    assert!(spec.min_size >= 2, "satellite components need >= 2 vertices");
+    assert!(spec.max_size >= spec.min_size);
+    let n_core = core.num_vertices();
+    let n_total = n_core + spec.num_vertices;
+    let mut b = GraphBuilder::with_capacity(n_total, core.num_original_edges() + 2 * spec.num_vertices);
+    for arc in core.original_edges() {
+        b.add_edge(arc.source, arc.target);
+    }
+    for v in core.vertices() {
+        for &grp in core.groups_of(v) {
+            b.add_group(v, grp);
+        }
+    }
+    let mut placed = 0usize;
+    while placed < spec.num_vertices {
+        let remaining = spec.num_vertices - placed;
+        let mut size = rng.gen_range(spec.min_size..=spec.max_size);
+        if remaining < spec.min_size {
+            // Cannot form another legal component: grow the previous one by
+            // chaining the leftovers onto fresh path vertices.
+            size = remaining;
+            let base = n_core + placed;
+            for i in 0..size {
+                let u = VertexId::new(base + i);
+                let prev = VertexId::new(base + i - 1); // attaches to prior component tail
+                b.add_undirected_edge(prev, u);
+            }
+            break;
+        }
+        let size = size.min(remaining);
+        let base = n_core + placed;
+        // Path backbone.
+        for i in 1..size {
+            b.add_undirected_edge(VertexId::new(base + i - 1), VertexId::new(base + i));
+        }
+        // A few chords to roughen the degree distribution.
+        if size >= 4 {
+            let chords = size / 4;
+            for _ in 0..chords {
+                let i = rng.gen_range(0..size);
+                let j = rng.gen_range(0..size);
+                if i != j {
+                    b.add_undirected_edge(VertexId::new(base + i), VertexId::new(base + j));
+                }
+            }
+        }
+        placed += size;
+    }
+    b.build()
+}
+
+/// Attaches every isolated (degree-0) vertex to a random endpoint drawn
+/// degree-proportionally from the rest of the graph, enforcing the paper's
+/// Section-2 assumption that every vertex has at least one edge.
+///
+/// Returns the input unchanged (clone) when no vertex is isolated.
+pub fn attach_isolated<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Graph {
+    let isolated: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| graph.degree(v) == 0)
+        .collect();
+    if isolated.is_empty() {
+        return graph.clone();
+    }
+    let n = graph.num_vertices();
+    let mut b = GraphBuilder::with_capacity(n, graph.num_original_edges() + isolated.len());
+    for arc in graph.original_edges() {
+        b.add_edge(arc.source, arc.target);
+    }
+    for v in graph.vertices() {
+        for &g in graph.groups_of(v) {
+            b.add_group(v, g);
+        }
+    }
+    // Degree-proportional endpoint = uniform arc target.
+    let num_arcs = graph.num_arcs();
+    for v in isolated {
+        let target = if num_arcs > 0 {
+            graph.arc_endpoints(rng.gen_range(0..num_arcs)).target
+        } else {
+            // Degenerate edgeless graph: chain the isolated vertices.
+            VertexId::new((v.index() + 1) % n)
+        };
+        if target != v {
+            b.add_undirected_edge(v, target);
+        } else {
+            b.add_undirected_edge(v, VertexId::new((v.index() + 1) % n));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ba::barabasi_albert;
+    use fs_graph::{connected_components, graph_from_undirected_pairs};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attach_isolated_fixes_degrees() {
+        let g = graph_from_undirected_pairs(6, [(0, 1), (1, 2)]);
+        let mut rng = SmallRng::seed_from_u64(60);
+        let fixed = attach_isolated(&g, &mut rng);
+        for v in fixed.vertices() {
+            assert!(fixed.degree(v) >= 1, "vertex {v} still isolated");
+        }
+        // Existing edges kept.
+        assert!(fixed.has_edge(VertexId::new(0), VertexId::new(1)));
+        fixed.validate().unwrap();
+    }
+
+    #[test]
+    fn attach_isolated_noop_when_clean() {
+        let g = graph_from_undirected_pairs(3, [(0, 1), (1, 2)]);
+        let mut rng = SmallRng::seed_from_u64(61);
+        let fixed = attach_isolated(&g, &mut rng);
+        assert_eq!(fixed.num_undirected_edges(), g.num_undirected_edges());
+    }
+
+    #[test]
+    fn union_offsets_ids() {
+        let a = graph_from_undirected_pairs(3, [(0, 1), (1, 2)]);
+        let b = graph_from_undirected_pairs(2, [(0, 1)]);
+        let u = disjoint_union(&[&a, &b]);
+        assert_eq!(u.num_vertices(), 5);
+        assert_eq!(u.num_undirected_edges(), 3);
+        assert!(u.has_edge(VertexId::new(3), VertexId::new(4)));
+        assert!(!u.has_edge(VertexId::new(2), VertexId::new(3)));
+        let cc = connected_components(&u);
+        assert_eq!(cc.num_components(), 2);
+    }
+
+    #[test]
+    fn bridge_join_connects_min_degree_vertices() {
+        // a: star with hub 0 -> min-degree vertex is leaf 1 (lowest id leaf)
+        let a = graph_from_undirected_pairs(3, [(0, 1), (0, 2)]);
+        // b: path 0-1-2 -> min-degree vertex is 0
+        let b = graph_from_undirected_pairs(3, [(0, 1), (1, 2)]);
+        let j = bridge_join(&a, &b);
+        assert_eq!(j.num_vertices(), 6);
+        assert_eq!(j.num_undirected_edges(), 2 + 2 + 1);
+        assert!(j.has_edge(VertexId::new(1), VertexId::new(3)));
+        let cc = connected_components(&j);
+        assert_eq!(cc.num_components(), 1);
+    }
+
+    #[test]
+    fn gab_shape() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        let ga = barabasi_albert(500, 1, &mut rng);
+        let gb = barabasi_albert(500, 5, &mut rng);
+        let gab = bridge_join(&ga, &gb);
+        assert_eq!(gab.num_vertices(), 1_000);
+        assert!(fs_graph::is_connected(&gab));
+        // Volumes differ by ~5x (paper: average degrees 2 vs 10).
+        let vol_a: usize = (0..500).map(|i| gab.degree(VertexId::new(i))).sum();
+        let vol_b: usize = (500..1000).map(|i| gab.degree(VertexId::new(i))).sum();
+        assert!(vol_b > 4 * vol_a, "vol_a {vol_a}, vol_b {vol_b}");
+    }
+
+    #[test]
+    fn satellites_added() {
+        let mut rng = SmallRng::seed_from_u64(62);
+        let core = barabasi_albert(300, 2, &mut rng);
+        let spec = SatelliteSpec {
+            num_vertices: 120,
+            min_size: 2,
+            max_size: 8,
+        };
+        let g = with_satellites(&core, &spec, &mut rng);
+        assert_eq!(g.num_vertices(), 420);
+        let cc = connected_components(&g);
+        assert!(cc.num_components() > 10);
+        assert_eq!(cc.largest_size(), 300);
+        // Every satellite vertex has degree >= 1.
+        for i in 300..420 {
+            assert!(g.degree(VertexId::new(i)) >= 1, "vertex {i} isolated");
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn satellites_exact_vertex_count_with_leftovers() {
+        let mut rng = SmallRng::seed_from_u64(63);
+        let core = graph_from_undirected_pairs(4, [(0, 1), (2, 3)]);
+        let spec = SatelliteSpec {
+            num_vertices: 7,
+            min_size: 3,
+            max_size: 3,
+        };
+        let g = with_satellites(&core, &spec, &mut rng);
+        assert_eq!(g.num_vertices(), 11);
+        for i in 4..11 {
+            assert!(g.degree(VertexId::new(i)) >= 1);
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Synthetic replicas of the paper's datasets (Table 1, Section 6.1,
+//! Appendix B).
+//!
+//! The original crawls (Flickr/LiveJournal/YouTube from Mislove et al.
+//! 2007, the CAIDA 2003 router-level traceroute graph, and the arXiv
+//! Hep-Th citation graph) are not redistributable, so each dataset is
+//! replaced by a generator that reproduces the statistics the paper's
+//! experiments actually exercise:
+//!
+//! * heavy-tailed in-/out-degree distributions (power-law tails);
+//! * the LCC fraction (Flickr is the paper's canonical *disconnected*
+//!   graph: ~5% of vertices live in small fringe components);
+//! * average degree and an extreme-hub ratio `w_max`;
+//! * non-zero global clustering (for Table 3) via triadic closure;
+//! * degree assortativity sign (for Table 2) via degree-preserving
+//!   rewiring;
+//! * Zipf-popularity interest groups covering 21% of Flickr vertices
+//!   (for Figure 14).
+//!
+//! Absolute sizes are scaled by the `scale` parameter (default experiments
+//! use `scale = 0.01`, i.e. a ~17k-vertex Flickr). See DESIGN.md §3 for
+//! the substitution table.
+
+use crate::chung_lu::{chung_lu_directed, chung_lu_undirected};
+use crate::composite::{attach_isolated, bridge_join, with_satellites, SatelliteSpec};
+use crate::groups::{plant_groups, GroupSpec, MembershipBias};
+use crate::rewire::{rewire_degree_correlated, RewireMode};
+use crate::seq::{powerlaw_degree_sequence, rescale_to_sum};
+use fs_graph::{Graph, GraphBuilder, GraphSummary, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference statistics of the paper's datasets (Table 1).
+#[derive(Clone, Debug)]
+pub struct PaperStats {
+    /// `|V|` in the paper.
+    pub num_vertices: usize,
+    /// LCC size in the paper (where reported).
+    pub lcc_size: Option<usize>,
+    /// Edge count as reported in Table 1.
+    pub num_edges: usize,
+    /// Average degree as reported.
+    pub average_degree: f64,
+    /// `w_max` = max degree / average degree, as reported.
+    pub wmax: f64,
+}
+
+/// The datasets used across the paper's evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Flickr social graph (directed, disconnected; Figs 1, 3–6, 11, 12,
+    /// 14; Tables 2–3).
+    Flickr,
+    /// LiveJournal social graph (directed, nearly connected; Figs 7–8, 13;
+    /// Tables 2–3).
+    LiveJournal,
+    /// YouTube social graph (directed; Table 2, Table 4).
+    YouTube,
+    /// Router-level Internet traceroute graph (sparse, assortative;
+    /// Table 2, Table 4).
+    InternetRlt,
+    /// arXiv Hep-Th citation graph (Appendix B / Table 4 only).
+    HepTh,
+    /// `G_AB`: two Barabási–Albert graphs (avg degrees 2 and 10) joined by
+    /// one edge (Section 6.1; Figs 9–10; Table 2).
+    Gab,
+}
+
+impl DatasetKind {
+    /// All dataset kinds, in Table-1 order then the extras.
+    pub const ALL: [DatasetKind; 6] = [
+        DatasetKind::Flickr,
+        DatasetKind::LiveJournal,
+        DatasetKind::YouTube,
+        DatasetKind::InternetRlt,
+        DatasetKind::HepTh,
+        DatasetKind::Gab,
+    ];
+
+    /// Human-readable dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Flickr => "Flickr",
+            DatasetKind::LiveJournal => "LiveJournal",
+            DatasetKind::YouTube => "YouTube",
+            DatasetKind::InternetRlt => "Internet RLT",
+            DatasetKind::HepTh => "Hep-Th",
+            DatasetKind::Gab => "G_AB",
+        }
+    }
+
+    /// Parses a dataset name (case-insensitive, ignoring spaces/dashes).
+    pub fn parse(s: &str) -> Option<DatasetKind> {
+        let key: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match key.as_str() {
+            "flickr" => DatasetKind::Flickr,
+            "livejournal" | "lj" => DatasetKind::LiveJournal,
+            "youtube" | "yt" => DatasetKind::YouTube,
+            "internetrlt" | "internet" | "rlt" => DatasetKind::InternetRlt,
+            "hepth" => DatasetKind::HepTh,
+            "gab" => DatasetKind::Gab,
+            _ => return None,
+        })
+    }
+
+    /// The paper's reported statistics, where available.
+    pub fn paper_stats(self) -> Option<PaperStats> {
+        match self {
+            DatasetKind::Flickr => Some(PaperStats {
+                num_vertices: 1_715_255,
+                lcc_size: Some(1_624_992),
+                num_edges: 22_613_981,
+                average_degree: 12.2,
+                wmax: 2232.0,
+            }),
+            DatasetKind::LiveJournal => Some(PaperStats {
+                num_vertices: 5_204_176,
+                lcc_size: Some(5_189_809),
+                num_edges: 77_402_652,
+                average_degree: 14.6,
+                wmax: 1029.0,
+            }),
+            DatasetKind::YouTube => Some(PaperStats {
+                num_vertices: 1_138_499,
+                lcc_size: Some(1_134_890),
+                num_edges: 9_890_764,
+                average_degree: 8.7,
+                wmax: 3305.0,
+            }),
+            DatasetKind::InternetRlt => Some(PaperStats {
+                num_vertices: 192_244,
+                lcc_size: None, // Table 1's LCC entry for RLT is a typo
+                num_edges: 609_066,
+                average_degree: 3.2,
+                wmax: 335.0,
+            }),
+            DatasetKind::HepTh => None,
+            DatasetKind::Gab => None,
+        }
+    }
+
+    /// Generates the scaled replica.
+    ///
+    /// `scale` multiplies the paper's vertex count (clamped to at least
+    /// 1000 vertices); `seed` fixes the RNG stream.
+    pub fn generate(self, scale: f64, seed: u64) -> Dataset {
+        assert!(scale > 0.0, "scale must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed ^ self.seed_salt());
+        let graph = match self {
+            DatasetKind::Flickr => flickr_like(scale, &mut rng),
+            DatasetKind::LiveJournal => livejournal_like(scale, &mut rng),
+            DatasetKind::YouTube => youtube_like(scale, &mut rng),
+            DatasetKind::InternetRlt => internet_rlt_like(scale, &mut rng),
+            DatasetKind::HepTh => hepth_like(scale, &mut rng),
+            DatasetKind::Gab => gab(scale, &mut rng),
+        };
+        let summary = GraphSummary::compute(self.name(), &graph);
+        Dataset {
+            kind: self,
+            graph,
+            summary,
+        }
+    }
+
+    fn seed_salt(self) -> u64 {
+        match self {
+            DatasetKind::Flickr => 0x00F1_1C4A,
+            DatasetKind::LiveJournal => 0x001_1F30,
+            DatasetKind::YouTube => 0x00_717BE,
+            DatasetKind::InternetRlt => 0x0017_0317,
+            DatasetKind::HepTh => 0x0043_3947,
+            DatasetKind::Gab => 0x006A_B000,
+        }
+    }
+}
+
+/// A generated dataset replica plus its measured summary.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Which dataset this replicates.
+    pub kind: DatasetKind,
+    /// The generated graph.
+    pub graph: Graph,
+    /// Measured Table-1 style summary.
+    pub summary: GraphSummary,
+}
+
+/// Heavy-tailed weight vector: discrete power law with exponent `alpha`,
+/// support `[1, dmax]`, linearly rescaled to the requested mean.
+fn heavy_tail_weights<R: Rng + ?Sized>(
+    n: usize,
+    alpha: f64,
+    mean: f64,
+    dmax: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let seq = powerlaw_degree_sequence(n, alpha, 1, dmax.max(2), rng);
+    let mut w: Vec<f64> = seq.into_iter().map(|d| d as f64).collect();
+    rescale_to_sum(&mut w, mean * n as f64);
+    w
+}
+
+/// Adds `ops` triadic-closure edges: pick a random vertex with degree ≥ 2
+/// and connect two of its neighbors. Raises the global clustering
+/// coefficient while barely perturbing the degree tail.
+fn triadic_closure<R: Rng + ?Sized>(graph: &Graph, ops: usize, rng: &mut R) -> Graph {
+    let n = graph.num_vertices();
+    let mut b = GraphBuilder::with_capacity(n, graph.num_original_edges() + 2 * ops);
+    for arc in graph.original_edges() {
+        b.add_edge(arc.source, arc.target);
+    }
+    for v in graph.vertices() {
+        for &g in graph.groups_of(v) {
+            b.add_group(v, g);
+        }
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < ops && attempts < 20 * ops {
+        attempts += 1;
+        let v = VertexId::new(rng.gen_range(0..n));
+        let d = graph.degree(v);
+        if d < 2 {
+            continue;
+        }
+        let i = rng.gen_range(0..d);
+        let j = rng.gen_range(0..d);
+        if i == j {
+            continue;
+        }
+        let a = graph.nth_neighbor(v, i);
+        let c = graph.nth_neighbor(v, j);
+        b.add_undirected_edge(a, c);
+        added += 1;
+    }
+    b.build()
+}
+
+fn scaled(paper_n: usize, scale: f64) -> usize {
+    ((paper_n as f64 * scale).round() as usize).max(1_000)
+}
+
+/// Directed social-network core: heavy-tailed in/out weights, triadic
+/// closure for clustering, satellite fringe for the LCC fraction.
+struct SocialSpec {
+    paper_n: usize,
+    avg_directed_degree: f64,
+    alpha_in: f64,
+    alpha_out: f64,
+    /// Fraction of vertices in the satellite fringe (0 = connected).
+    fringe_fraction: f64,
+    /// Triadic-closure operations as a fraction of n.
+    closure_ops_per_vertex: f64,
+    /// Hub cap as a fraction of n.
+    hub_cap_fraction: f64,
+}
+
+fn social_network<R: Rng + ?Sized>(spec: &SocialSpec, scale: f64, rng: &mut R) -> Graph {
+    let n_total = scaled(spec.paper_n, scale);
+    let n_fringe = ((n_total as f64) * spec.fringe_fraction) as usize;
+    let n_core = n_total - n_fringe;
+    let dmax = ((n_core as f64 * spec.hub_cap_fraction) as usize).max(50);
+
+    let out_w = heavy_tail_weights(n_core, spec.alpha_out, spec.avg_directed_degree, dmax, rng);
+    let mut in_w = heavy_tail_weights(n_core, spec.alpha_in, spec.avg_directed_degree, dmax, rng);
+    rescale_to_sum(&mut in_w, out_w.iter().sum());
+    let core = attach_isolated(&chung_lu_directed(&out_w, &in_w, rng), rng);
+
+    let core = if spec.closure_ops_per_vertex > 0.0 {
+        let ops = (n_core as f64 * spec.closure_ops_per_vertex) as usize;
+        triadic_closure(&core, ops, rng)
+    } else {
+        core
+    };
+
+    if n_fringe == 0 {
+        core
+    } else {
+        with_satellites(
+            &core,
+            &SatelliteSpec {
+                num_vertices: n_fringe,
+                min_size: 2,
+                max_size: 12,
+            },
+            rng,
+        )
+    }
+}
+
+/// Flickr replica: directed, heavy-tailed, ~5% of vertices in fringe
+/// components, clustering ≈ 0.1–0.2, interest groups planted on 21% of
+/// vertices (group 0 most popular).
+pub fn flickr_like<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Graph {
+    let mut g = social_network(
+        &SocialSpec {
+            paper_n: 1_715_255,
+            avg_directed_degree: 12.2,
+            alpha_in: 1.75,
+            alpha_out: 1.75,
+            fringe_fraction: 0.053,
+            closure_ops_per_vertex: 0.9,
+            hub_cap_fraction: 0.05,
+        },
+        scale,
+        rng,
+    );
+    plant_groups(
+        &mut g,
+        &GroupSpec {
+            num_groups: 300,
+            zipf_exponent: 0.8,
+            labeled_fraction: 0.21,
+            bias: MembershipBias::DegreeProportional,
+        },
+        rng,
+    );
+    g
+}
+
+/// LiveJournal replica: denser, nearly connected (LCC ≈ 99.7%).
+pub fn livejournal_like<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Graph {
+    social_network(
+        &SocialSpec {
+            paper_n: 5_204_176,
+            avg_directed_degree: 14.6,
+            alpha_in: 1.9,
+            alpha_out: 1.9,
+            fringe_fraction: 0.003,
+            closure_ops_per_vertex: 1.1,
+            hub_cap_fraction: 0.01,
+        },
+        scale,
+        rng,
+    )
+}
+
+/// YouTube replica: sparser, extreme hubs (`w_max ≈ 3305`), slight natural
+/// disassortativity from the heavy tail.
+pub fn youtube_like<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Graph {
+    social_network(
+        &SocialSpec {
+            paper_n: 1_138_499,
+            avg_directed_degree: 8.7,
+            alpha_in: 1.7,
+            alpha_out: 2.0,
+            fringe_fraction: 0.004,
+            closure_ops_per_vertex: 0.3,
+            hub_cap_fraction: 0.04,
+        },
+        scale,
+        rng,
+    )
+}
+
+/// Router-level Internet replica: sparse undirected power law, rewired to
+/// positive assortativity (paper r ≈ 0.17).
+pub fn internet_rlt_like<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Graph {
+    let n = scaled(192_244, scale);
+    let dmax = (n / 20).max(30);
+    let w = heavy_tail_weights(n, 2.1, 3.2, dmax, rng);
+    let g = attach_isolated(&chung_lu_undirected(&w, rng), rng);
+    rewire_degree_correlated(&g, RewireMode::Assortative, 0.75, 6.0, rng)
+}
+
+/// Hep-Th citation-graph replica (Appendix B): small, moderately dense,
+/// directed.
+pub fn hepth_like<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Graph {
+    // Full-scale cit-HepTh: ~27.8k vertices, ~350k directed edges.
+    let n = scaled(27_770, (scale * 10.0).min(1.0));
+    let dmax = (n / 15).max(30);
+    let out_w = heavy_tail_weights(n, 2.0, 12.0, dmax, rng);
+    let mut in_w = heavy_tail_weights(n, 1.8, 12.0, dmax, rng);
+    rescale_to_sum(&mut in_w, out_w.iter().sum());
+    attach_isolated(&chung_lu_directed(&out_w, &in_w, rng), rng)
+}
+
+/// `G_AB` (Section 6.1): Barabási–Albert halves with average degrees 2 and
+/// 10 (attachment m = 1 and m = 5), joined by a single edge between their
+/// minimum-degree vertices. Paper size: 5×10⁵ vertices per half.
+pub fn gab<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Graph {
+    let n_each = scaled(500_000, scale);
+    let ga = crate::ba::barabasi_albert(n_each, 1, rng);
+    let gb = crate::ba::barabasi_albert(n_each, 5, rng);
+    bridge_join(&ga, &gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::{connected_components, global_clustering};
+
+    const SCALE: f64 = 0.004; // tiny graphs for unit tests
+
+    #[test]
+    fn flickr_replica_shape() {
+        let d = DatasetKind::Flickr.generate(SCALE, 7);
+        let s = &d.summary;
+        assert!(s.num_vertices >= 1_000);
+        // LCC fraction near the paper's 94.7%.
+        assert!(
+            (s.lcc_fraction - 0.947).abs() < 0.03,
+            "lcc fraction {}",
+            s.lcc_fraction
+        );
+        assert!(s.num_components > 5, "needs fringe components");
+        // Heavy tail present.
+        assert!(s.wmax > 15.0, "wmax {}", s.wmax);
+        // Group labels planted.
+        assert!(
+            (d.graph.groups().labeled_fraction() - 0.21).abs() < 0.04,
+            "labeled fraction {}",
+            d.graph.groups().labeled_fraction()
+        );
+        d.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn flickr_has_clustering() {
+        let d = DatasetKind::Flickr.generate(SCALE, 8);
+        let c = global_clustering(&d.graph);
+        assert!(c > 0.03, "clustering {c} too low for Table 3");
+    }
+
+    #[test]
+    fn livejournal_nearly_connected() {
+        let d = DatasetKind::LiveJournal.generate(SCALE, 9);
+        assert!(
+            d.summary.lcc_fraction > 0.98,
+            "lcc fraction {}",
+            d.summary.lcc_fraction
+        );
+        assert!(d.summary.average_degree > 8.0);
+    }
+
+    #[test]
+    fn youtube_sparser_than_livejournal() {
+        let yt = DatasetKind::YouTube.generate(SCALE, 10);
+        let lj = DatasetKind::LiveJournal.generate(SCALE, 10);
+        assert!(yt.summary.average_degree < lj.summary.average_degree);
+    }
+
+    #[test]
+    fn internet_rlt_assortative() {
+        let d = DatasetKind::InternetRlt.generate(0.02, 11);
+        let r =
+            fs_graph::degree_assortativity(&d.graph, fs_graph::DegreeLabels::Symmetric).unwrap();
+        assert!(r > 0.05, "assortativity {r} not positive enough");
+        assert!(d.summary.average_degree < 6.0);
+    }
+
+    #[test]
+    fn gab_two_halves() {
+        let d = DatasetKind::Gab.generate(0.002, 12);
+        assert!(fs_graph::is_connected(&d.graph));
+        let n = d.graph.num_vertices();
+        let half = n / 2;
+        let vol_a: usize = (0..half)
+            .map(|i| d.graph.degree(fs_graph::VertexId::new(i)))
+            .sum();
+        let vol_b: usize = (half..n)
+            .map(|i| d.graph.degree(fs_graph::VertexId::new(i)))
+            .sum();
+        assert!(vol_b > 3 * vol_a, "vol imbalance missing: {vol_a} vs {vol_b}");
+    }
+
+    #[test]
+    fn hepth_generates() {
+        let d = DatasetKind::HepTh.generate(0.02, 13);
+        assert!(d.graph.num_vertices() >= 1_000);
+        assert!(d.summary.average_degree > 5.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetKind::Flickr.generate(SCALE, 42);
+        let b = DatasetKind::Flickr.generate(SCALE, 42);
+        assert_eq!(a.graph.num_vertices(), b.graph.num_vertices());
+        assert_eq!(a.graph.num_arcs(), b.graph.num_arcs());
+        let c = DatasetKind::Flickr.generate(SCALE, 43);
+        assert!(
+            a.graph.num_arcs() != c.graph.num_arcs()
+                || a.graph.num_undirected_edges() != c.graph.num_undirected_edges()
+                || a.summary.wmax != c.summary.wmax,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(DatasetKind::parse("flickr"), Some(DatasetKind::Flickr));
+        assert_eq!(DatasetKind::parse("Live Journal"), Some(DatasetKind::LiveJournal));
+        assert_eq!(DatasetKind::parse("internet-rlt"), Some(DatasetKind::InternetRlt));
+        assert_eq!(DatasetKind::parse("G_AB"), Some(DatasetKind::Gab));
+        assert_eq!(DatasetKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn no_isolated_vertices_in_replicas() {
+        // Section 2 of the paper assumes every vertex has at least one
+        // edge; the replicas must honor that or ground-truth vs
+        // walk-reachable label densities diverge.
+        for kind in DatasetKind::ALL {
+            let scale = if kind == DatasetKind::Gab { 0.002 } else { SCALE };
+            let d = kind.generate(scale, 14);
+            let isolated = d
+                .graph
+                .vertices()
+                .filter(|&v| d.graph.degree(v) == 0)
+                .count();
+            assert_eq!(isolated, 0, "{}: {isolated} isolated vertices", kind.name());
+        }
+        let d = DatasetKind::Flickr.generate(SCALE, 14);
+        let cc = connected_components(&d.graph);
+        assert!(cc.num_components() > 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Erdős–Rényi random graphs, `G(n, p)` and `G(n, m)`.
+//!
+//! Used for the small satellite components of the dataset replicas and as
+//! a well-understood fixture in tests (its degree distribution and
+//! clustering are known in closed form).
+
+use fs_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// `G(n, p)`: every unordered pair is an (undirected) edge independently
+/// with probability `p`.
+///
+/// Implemented with geometric skipping over the pair sequence, giving
+/// `O(n + E)` expected time instead of `O(n²)`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_undirected_edge(VertexId::new(u), VertexId::new(v));
+            }
+        }
+        return b.build();
+    }
+    // Walk the linearised strictly-upper-triangular pair index with
+    // geometric jumps.
+    let log_q = (1.0 - p).ln();
+    let total_pairs = n * (n - 1) / 2;
+    let mut idx: usize = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log_q).floor() as usize;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total_pairs {
+            break;
+        }
+        let (a, bv) = unrank_pair(n, idx);
+        b.add_undirected_edge(VertexId::new(a), VertexId::new(bv));
+        idx += 1;
+    }
+    b.build()
+}
+
+/// `G(n, m)`: exactly `m` distinct undirected edges chosen uniformly among
+/// all pairs (rejection sampling; requires `m ≤ C(n, 2)`).
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let total_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= total_pairs, "m = {m} exceeds C({n},2) = {total_pairs}");
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, 2 * m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_undirected_edge(VertexId::new(key.0), VertexId::new(key.1));
+        }
+    }
+    b.build()
+}
+
+/// Maps a linear index over the strictly-upper-triangular pairs of an
+/// `n × n` grid to the pair `(row, col)`, row < col.
+fn unrank_pair(n: usize, idx: usize) -> (usize, usize) {
+    // Row r owns (n - 1 - r) pairs. Find r by accumulation; binary search
+    // is possible but rows are found in increasing order only once here,
+    // so do the closed-form inversion.
+    // idx = r*n - r*(r+1)/2 + (c - r - 1)
+    let nf = n as f64;
+    let i = idx as f64;
+    // Solve r from the quadratic; clamp for float error and fix up.
+    let mut r = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * i).sqrt()) / 2.0) as usize;
+    r = r.min(n.saturating_sub(2));
+    loop {
+        // Pairs preceding row r: Σ_{k<r} (n - 1 - k) = r(n-1) - r(r-1)/2.
+        let start = r * (n - 1) - r * r.saturating_sub(1) / 2;
+        let count = n - 1 - r;
+        if idx < start {
+            r -= 1;
+            continue;
+        }
+        if idx >= start + count {
+            r += 1;
+            continue;
+        }
+        let c = r + 1 + (idx - start);
+        return (r, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unrank_pair_enumerates_all() {
+        let n = 7;
+        let mut seen = Vec::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            seen.push(unrank_pair(n, idx));
+        }
+        let mut expect = Vec::new();
+        for r in 0..n {
+            for c in (r + 1)..n {
+                expect.push((r, c));
+            }
+        }
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let (n, p) = (400, 0.05);
+        let g = gnp(n, p, &mut rng);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_undirected_edges() as f64;
+        assert!(
+            (got - expect).abs() < 4.0 * expect.sqrt(),
+            "edges {got} vs expectation {expect}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_undirected_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_undirected_edges(), 45);
+        assert_eq!(gnp(0, 0.5, &mut rng).num_vertices(), 0);
+        assert_eq!(gnp(1, 0.5, &mut rng).num_undirected_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = gnm(50, 100, &mut rng);
+        assert_eq!(g.num_undirected_edges(), 100);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_full() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let g = gnm(6, 15, &mut rng);
+        assert_eq!(g.num_undirected_edges(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_overfull_panics() {
+        let mut rng = SmallRng::seed_from_u64(25);
+        let _ = gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnp_degree_mean_matches() {
+        let mut rng = SmallRng::seed_from_u64(26);
+        let (n, p) = (2_000, 0.004);
+        let g = gnp(n, p, &mut rng);
+        let expect = p * (n - 1) as f64;
+        assert!(
+            (g.average_degree() - expect).abs() < 0.4,
+            "avg {} vs {expect}",
+            g.average_degree()
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Zipf-popularity group planting.
+//!
+//! Section 6.5 of the paper estimates the density of special-interest
+//! groups in Flickr: 21% of users belong to at least one group, and the
+//! evaluation plots the NMSE of the 200 most popular groups ordered by
+//! decreasing popularity. [`plant_groups`] reproduces that label
+//! structure: group popularities follow a Zipf law, and memberships are
+//! assigned either uniformly or with degree bias.
+
+use fs_graph::labels::VertexGroups;
+use fs_graph::{Graph, VertexId};
+use rand::Rng;
+
+/// How members are selected for each group.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MembershipBias {
+    /// Members drawn uniformly from V.
+    Uniform,
+    /// Members drawn proportional to degree (popular users join more
+    /// groups, a mild homophily model).
+    DegreeProportional,
+}
+
+/// Specification of the group structure to plant.
+#[derive(Clone, Debug)]
+pub struct GroupSpec {
+    /// Number of distinct groups.
+    pub num_groups: usize,
+    /// Zipf exponent of group popularity.
+    pub zipf_exponent: f64,
+    /// Target fraction of vertices with at least one membership
+    /// (Flickr: 0.21).
+    pub labeled_fraction: f64,
+    /// Member selection bias.
+    pub bias: MembershipBias,
+}
+
+impl Default for GroupSpec {
+    fn default() -> Self {
+        GroupSpec {
+            num_groups: 500,
+            zipf_exponent: 1.0,
+            labeled_fraction: 0.21,
+            bias: MembershipBias::Uniform,
+        }
+    }
+}
+
+/// Plants groups into `graph` in place (replaces any existing labels).
+///
+/// Total memberships are sized so that the expected fraction of vertices
+/// holding at least one label matches `spec.labeled_fraction`; group `g`'s
+/// share of the memberships is `∝ (g+1)^(−s)`. Group ids are assigned in
+/// decreasing popularity: group 0 is the most popular (matching the
+/// paper's "ordered in decreasing popularity" x-axis in Figure 14).
+pub fn plant_groups<R: Rng + ?Sized>(graph: &mut Graph, spec: &GroupSpec, rng: &mut R) {
+    let n = graph.num_vertices();
+    assert!(spec.num_groups >= 1);
+    assert!((0.0..=1.0).contains(&spec.labeled_fraction));
+    if n == 0 {
+        return;
+    }
+    // Draw (group, vertex) memberships until the target fraction of
+    // vertices carries at least one label. Drawing-until-coverage handles
+    // both biases exactly (a closed-form membership count only exists for
+    // the uniform case).
+    let target_labeled = (spec.labeled_fraction * n as f64).round() as usize;
+    let zipf = crate::seq::Zipf::new(spec.num_groups, spec.zipf_exponent);
+    let degree_table = match spec.bias {
+        MembershipBias::Uniform => None,
+        MembershipBias::DegreeProportional => {
+            let weights: Vec<f64> = (0..n)
+                .map(|i| graph.degree(VertexId::new(i)).max(1) as f64)
+                .collect();
+            Some(crate::chung_lu::AliasTable::new(&weights))
+        }
+    };
+
+    let mut per_vertex: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut labeled = 0usize;
+    let mut draws = 0usize;
+    let max_draws = 200 * n.max(1);
+    while labeled < target_labeled && draws < max_draws {
+        draws += 1;
+        let g = (zipf.sample(rng) - 1) as u32;
+        let v = match &degree_table {
+            None => rng.gen_range(0..n),
+            Some(t) => t.sample(rng),
+        };
+        if per_vertex[v].is_empty() {
+            labeled += 1;
+        }
+        per_vertex[v].push(g);
+    }
+    graph.set_groups(VertexGroups::from_per_vertex(per_vertex));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ba::barabasi_albert;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn base_graph(seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        barabasi_albert(5_000, 3, &mut rng)
+    }
+
+    #[test]
+    fn labeled_fraction_close_to_target() {
+        let mut g = base_graph(81);
+        let mut rng = SmallRng::seed_from_u64(82);
+        plant_groups(
+            &mut g,
+            &GroupSpec {
+                labeled_fraction: 0.21,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let frac = g.groups().labeled_fraction();
+        assert!((frac - 0.21).abs() < 0.02, "labeled fraction {frac}");
+    }
+
+    #[test]
+    fn popularity_decreases_with_group_id() {
+        let mut g = base_graph(83);
+        let mut rng = SmallRng::seed_from_u64(84);
+        plant_groups(
+            &mut g,
+            &GroupSpec {
+                num_groups: 50,
+                zipf_exponent: 1.2,
+                labeled_fraction: 0.5,
+                bias: MembershipBias::Uniform,
+            },
+            &mut rng,
+        );
+        let sizes = g.groups().group_sizes();
+        // Group 0 must dominate group 20 clearly under a Zipf(1.2).
+        assert!(sizes[0] > 3 * sizes.get(20).copied().unwrap_or(0).max(1));
+    }
+
+    #[test]
+    fn degree_bias_prefers_hubs() {
+        let mut g = base_graph(85);
+        let mut rng = SmallRng::seed_from_u64(86);
+        plant_groups(
+            &mut g,
+            &GroupSpec {
+                bias: MembershipBias::DegreeProportional,
+                labeled_fraction: 0.3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        // Compare membership rate of the top-degree decile vs the bottom.
+        let mut by_degree: Vec<VertexId> = g.vertices().collect();
+        by_degree.sort_by_key(|&v| g.degree(v));
+        let n = by_degree.len();
+        let labeled = |vs: &[VertexId]| {
+            vs.iter().filter(|&&v| !g.groups_of(v).is_empty()).count() as f64 / vs.len() as f64
+        };
+        let low = labeled(&by_degree[..n / 10]);
+        let high = labeled(&by_degree[n - n / 10..]);
+        assert!(high > low, "high-degree rate {high} <= low-degree rate {low}");
+    }
+
+    #[test]
+    fn zero_fraction_plants_nothing() {
+        let mut g = base_graph(87);
+        let mut rng = SmallRng::seed_from_u64(88);
+        plant_groups(
+            &mut g,
+            &GroupSpec {
+                labeled_fraction: 0.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(g.groups().num_memberships(), 0);
+    }
+}

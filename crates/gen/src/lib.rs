@@ -1,0 +1,49 @@
+//! # fs-gen — random graph generators and synthetic dataset replicas
+//!
+//! The IMC 2010 Frontier Sampling evaluation runs on four crawled datasets
+//! (Flickr, LiveJournal, YouTube, Internet RLT — paper Table 1), on the
+//! arXiv Hep-Th citation graph (Appendix B), and on a synthetic graph
+//! `G_AB` made of two Barabási–Albert graphs joined by a single edge
+//! (Section 6.1). The crawls are not redistributable, so this crate
+//! provides:
+//!
+//! * classic generators — Barabási–Albert ([`ba`]), Erdős–Rényi ([`er`]),
+//!   Watts–Strogatz ([`ws`]), Chung–Lu expected-degree ([`chung_lu`]), the
+//!   configuration model ([`config_model`]);
+//! * composition operators — disjoint unions, single-edge bridge joins,
+//!   satellite components ([`composite`]);
+//! * degree-preserving assortative/disassortative rewiring ([`rewire`]);
+//! * Zipf-popularity group planting ([`groups`]);
+//! * **dataset replicas** ([`datasets`]) that match the statistics the
+//!   paper's experiments actually exercise: heavy-tailed degree
+//!   distributions, LCC fraction, average degree, group-membership
+//!   fraction. See `DESIGN.md` §3 for the substitution rationale.
+//!
+//! All generators are deterministic given an RNG; experiments seed
+//! [`rand::rngs::SmallRng`] explicitly for reproducibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod chung_lu;
+pub mod composite;
+pub mod config_model;
+pub mod datasets;
+pub mod er;
+pub mod groups;
+pub mod rewire;
+pub mod seq;
+pub mod weights;
+pub mod ws;
+
+pub use ba::barabasi_albert;
+pub use chung_lu::{chung_lu_directed, chung_lu_undirected};
+pub use composite::{bridge_join, disjoint_union, with_satellites};
+pub use config_model::configuration_model;
+pub use datasets::{Dataset, DatasetKind};
+pub use er::{gnm, gnp};
+pub use groups::plant_groups;
+pub use seq::{powerlaw_degree_sequence, Zipf};
+pub use weights::{assign_weights, WeightModel};
+pub use ws::watts_strogatz;

@@ -1,0 +1,194 @@
+//! Heavy-tailed sequence samplers: discrete power laws and Zipf
+//! popularity distributions.
+//!
+//! The social-network replicas need degree sequences whose tails follow
+//! `P[deg = k] ∝ k^(−α)` with `α ≈ 1.7–2.5` (the range Mislove et al.
+//! measured for Flickr/LiveJournal/YouTube), and group popularities that
+//! decay like a Zipf law (Section 6.5 plots the 200 most popular groups).
+
+use rand::Rng;
+
+/// Samples a discrete power-law degree sequence of length `n` with
+/// exponent `alpha`, support `[dmin, dmax]`.
+///
+/// Uses the inverse-CDF of the continuous Pareto distribution truncated to
+/// `[dmin, dmax + 1)` and floors the result, a standard discrete power-law
+/// approximation good to `O(1/k)` in the tail.
+///
+/// # Panics
+/// Panics if `dmin < 1`, `dmax < dmin`, or `alpha <= 1`.
+pub fn powerlaw_degree_sequence<R: Rng + ?Sized>(
+    n: usize,
+    alpha: f64,
+    dmin: usize,
+    dmax: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(dmin >= 1, "dmin must be >= 1");
+    assert!(dmax >= dmin, "dmax must be >= dmin");
+    assert!(alpha > 1.0, "alpha must exceed 1 for a normalizable tail");
+    let a = dmin as f64;
+    let b = (dmax + 1) as f64;
+    let one_minus_alpha = 1.0 - alpha;
+    let pa = a.powf(one_minus_alpha);
+    let pb = b.powf(one_minus_alpha);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // Inverse CDF of truncated Pareto on [a, b).
+            let x = (pa + u * (pb - pa)).powf(1.0 / one_minus_alpha);
+            (x.floor() as usize).clamp(dmin, dmax)
+        })
+        .collect()
+}
+
+/// Zipf distribution over ranks `1..=n`: `P[rank = k] ∝ k^(−s)`.
+///
+/// Sampling is by inverse CDF over a precomputed table (`O(log n)` per
+/// draw), which is plenty fast for the group-planting workloads.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative weights; `cdf[k-1]` = P[rank ≤ k].
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len());
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point gives the count of entries < u => first index with
+        // cdf >= u.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+}
+
+/// Rescales a weight sequence so its sum equals `target_sum`
+/// (used to equalise in- and out-degree weight totals for directed
+/// Chung–Lu generation).
+pub fn rescale_to_sum(weights: &mut [f64], target_sum: f64) {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        return;
+    }
+    let f = target_sum / sum;
+    for w in weights {
+        *w *= f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn powerlaw_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let seq = powerlaw_degree_sequence(10_000, 2.0, 2, 500, &mut rng);
+        assert!(seq.iter().all(|&d| (2..=500).contains(&d)));
+    }
+
+    #[test]
+    fn powerlaw_is_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let seq = powerlaw_degree_sequence(200_000, 2.0, 1, 10_000, &mut rng);
+        let frac_one = seq.iter().filter(|&&d| d == 1).count() as f64 / seq.len() as f64;
+        // For alpha = 2 on [1, inf): P[X=1] ≈ 1 - 1/2 = 0.5.
+        assert!((frac_one - 0.5).abs() < 0.02, "frac_one = {frac_one}");
+        let max = *seq.iter().max().unwrap();
+        assert!(max > 100, "expected a heavy tail, max = {max}");
+    }
+
+    #[test]
+    fn powerlaw_mean_decreases_with_alpha() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mean = |alpha: f64, rng: &mut SmallRng| {
+            let s = powerlaw_degree_sequence(50_000, alpha, 1, 1000, rng);
+            s.iter().sum::<usize>() as f64 / s.len() as f64
+        };
+        let m_low = mean(1.8, &mut rng);
+        let m_high = mean(3.0, &mut rng);
+        assert!(m_low > m_high, "means: {m_low} vs {m_high}");
+    }
+
+    #[test]
+    fn zipf_pmf_normalized_and_decreasing() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0usize; 11];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 1..=10 {
+            let emp = counts[k] as f64 / trials as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rescale_hits_target() {
+        let mut w = vec![1.0, 2.0, 3.0];
+        rescale_to_sum(&mut w, 12.0);
+        assert!((w.iter().sum::<f64>() - 12.0).abs() < 1e-12);
+        assert!((w[2] - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Weight assignment: turn any generated topology into a
+//! [`WeightedGraph`].
+//!
+//! The weighted-walk extension (core crate, `weighted` module) needs
+//! edge-weighted inputs; real ones (link traffic, message counts) are
+//! heavy-tailed, so the synthetic assignment of choice is Pareto. These
+//! helpers keep the "topology from one generator, weights from one
+//! distribution" recipe in one place instead of hand-rolled loops at
+//! every call site.
+
+use fs_graph::{Graph, WeightedGraph};
+use rand::Rng;
+
+/// How edge weights are drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightModel {
+    /// Every edge gets weight 1 (the unweighted reduction).
+    Unit,
+    /// Independent uniform weights in `[lo, hi)`.
+    Uniform {
+        /// Lower bound (must be > 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Independent Pareto weights with shape `alpha` and scale 1,
+    /// truncated at `cap` (heavy-tailed "traffic volume" model).
+    Pareto {
+        /// Tail exponent (smaller = heavier tail); must be > 0.
+        alpha: f64,
+        /// Truncation cap (must be ≥ 1).
+        cap: f64,
+    },
+}
+
+impl WeightModel {
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            WeightModel::Unit => 1.0,
+            WeightModel::Uniform { lo, hi } => {
+                assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+                rng.gen_range(lo..hi)
+            }
+            WeightModel::Pareto { alpha, cap } => {
+                assert!(alpha > 0.0 && cap >= 1.0, "need alpha > 0, cap ≥ 1");
+                let u: f64 = rng.gen_range(0.0..1.0);
+                (1.0 / (1.0 - u).powf(1.0 / alpha)).min(cap)
+            }
+        }
+    }
+}
+
+/// Assigns a weight to every undirected edge of `topology`, drawn
+/// independently from `model`.
+pub fn assign_weights<R: Rng + ?Sized>(
+    topology: &Graph,
+    model: WeightModel,
+    rng: &mut R,
+) -> WeightedGraph {
+    let pairs = topology
+        .undirected_edges()
+        .map(|a| (a.source.index(), a.target.index(), model.draw(rng)))
+        .collect::<Vec<_>>();
+    WeightedGraph::from_weighted_pairs(topology.num_vertices(), pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Graph {
+        graph_from_undirected_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
+    }
+
+    #[test]
+    fn unit_model_reduces_to_degrees() {
+        let t = topo();
+        let mut rng = SmallRng::seed_from_u64(601);
+        let g = assign_weights(&t, WeightModel::Unit, &mut rng);
+        for v in t.vertices() {
+            assert_eq!(g.strength(v), t.degree(v) as f64);
+        }
+        assert_eq!(g.num_edges(), t.num_undirected_edges());
+    }
+
+    #[test]
+    fn uniform_weights_in_range() {
+        let t = topo();
+        let mut rng = SmallRng::seed_from_u64(602);
+        let g = assign_weights(&t, WeightModel::Uniform { lo: 2.0, hi: 3.0 }, &mut rng);
+        for u in g.vertices() {
+            for &w in g.neighbor_weights(u) {
+                assert!((2.0..3.0).contains(&w), "weight {w}");
+            }
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn pareto_weights_heavy_tailed_and_capped() {
+        let mut rng = SmallRng::seed_from_u64(603);
+        // A larger topology so tail statistics mean something.
+        let t = crate::barabasi_albert(2_000, 3, &mut rng);
+        let g = assign_weights(
+            &t,
+            WeightModel::Pareto {
+                alpha: 1.2,
+                cap: 50.0,
+            },
+            &mut rng,
+        );
+        let mut ws: Vec<f64> = Vec::new();
+        for u in g.vertices() {
+            for (&v, &w) in g.neighbors(u).iter().zip(g.neighbor_weights(u)) {
+                if u.index() < v.index() {
+                    ws.push(w);
+                }
+            }
+        }
+        assert!(ws.iter().all(|&w| (1.0..=50.0).contains(&w)));
+        // Heavy tail: the max dwarfs the median.
+        let mut sorted = ws.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        assert!(max > median * 10.0, "max {max} vs median {median}");
+        // Truncation engaged somewhere in a 6k-edge Pareto(1.2) sample.
+        assert_eq!(max, 50.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = topo();
+        let g1 = assign_weights(
+            &t,
+            WeightModel::Uniform { lo: 1.0, hi: 2.0 },
+            &mut SmallRng::seed_from_u64(604),
+        );
+        let g2 = assign_weights(
+            &t,
+            WeightModel::Uniform { lo: 1.0, hi: 2.0 },
+            &mut SmallRng::seed_from_u64(604),
+        );
+        for v in g1.vertices() {
+            assert_eq!(g1.strength(v), g2.strength(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo < hi")]
+    fn bad_uniform_bounds_rejected() {
+        let t = topo();
+        let _ = assign_weights(
+            &t,
+            WeightModel::Uniform { lo: 3.0, hi: 2.0 },
+            &mut SmallRng::seed_from_u64(605),
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Used where the replicas need tunable clustering (the paper's Table 3
+//! estimates the global clustering coefficient; a pure Chung–Lu graph has
+//! vanishing clustering, so the Flickr/LiveJournal replicas blend in a
+//! Watts–Strogatz-like triangle structure — see `datasets.rs`).
+
+use fs_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Generates a Watts–Strogatz graph: ring of `n` vertices, each joined to
+/// its `k` nearest neighbors on each side (so base degree `2k`), then each
+/// edge rewired with probability `beta` to a uniformly random endpoint.
+///
+/// # Panics
+/// Panics if `n < 2k + 2` or `k == 0` or `beta ∉ [0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k >= 1, "k must be >= 1");
+    assert!(n >= 2 * k + 2, "need n >= 2k + 2 for a simple ring");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+
+    let mut b = GraphBuilder::with_capacity(n, 2 * n * k);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen_range(0.0..1.0) < beta {
+                // Rewire the far endpoint, avoiding the self-loop; duplicate
+                // edges are deduplicated by the builder (standard WS
+                // implementations tolerate this).
+                let mut w = rng.gen_range(0..n);
+                while w == u {
+                    w = rng.gen_range(0..n);
+                }
+                b.add_undirected_edge(VertexId::new(u), VertexId::new(w));
+            } else {
+                b.add_undirected_edge(VertexId::new(u), VertexId::new(v));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::global_clustering;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_lattice_structure() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = watts_strogatz(100, 2, 0.0, &mut rng);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_undirected_edges(), 200);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        // Ring lattice with k = 2 has clustering 1/2 * (3(k-1))/(2(2k-1))
+        // = 3/ (2*... ) — classic value for k=2 is 0.5.
+        let c = global_clustering(&g);
+        assert!((c - 0.5).abs() < 1e-9, "clustering {c}");
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let lattice = watts_strogatz(2_000, 3, 0.0, &mut rng);
+        let rewired = watts_strogatz(2_000, 3, 0.5, &mut rng);
+        assert!(global_clustering(&rewired) < global_clustering(&lattice) * 0.6);
+    }
+
+    #[test]
+    fn full_rewire_still_valid() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let g = watts_strogatz(500, 2, 1.0, &mut rng);
+        g.validate().unwrap();
+        assert!(g.num_undirected_edges() <= 1_000);
+        assert!(g.num_undirected_edges() > 900); // few collisions
+    }
+
+    #[test]
+    #[should_panic(expected = "2k + 2")]
+    fn too_small_panics() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let _ = watts_strogatz(5, 2, 0.1, &mut rng);
+    }
+}

@@ -1,0 +1,289 @@
+//! Incremental construction of [`Graph`]s from directed edge lists.
+//!
+//! The builder accepts raw directed edges (possibly duplicated, possibly
+//! containing self-loops), then:
+//!
+//! 1. drops self-loops (`deg`-based estimators in the paper assume none);
+//! 2. deduplicates directed edges, yielding `E_d`;
+//! 3. forms the symmetric closure `E = ⋃ {(u,v), (v,u)}`;
+//! 4. records per arc whether it was in `E_d`, and each vertex's original
+//!    in-/out-degrees.
+
+use crate::bitset::BitSet;
+use crate::csr::Csr;
+use crate::graph::Graph;
+use crate::ids::{GroupId, VertexId};
+use crate::labels::VertexGroups;
+
+/// Builder for [`Graph`].
+///
+/// ```
+/// use fs_graph::{GraphBuilder, VertexId};
+/// let mut b = GraphBuilder::new(3);
+/// b.add_undirected_edge(VertexId::new(0), VertexId::new(1));
+/// b.add_edge(VertexId::new(1), VertexId::new(2)); // directed
+/// let g = b.build();
+/// assert_eq!(g.num_undirected_edges(), 2);
+/// assert!(g.has_original_edge(VertexId::new(1), VertexId::new(0)));
+/// assert!(!g.has_original_edge(VertexId::new(2), VertexId::new(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    /// Raw directed edges as provided (self-loops removed lazily in build).
+    edges: Vec<(u32, u32)>,
+    groups: Option<Vec<Vec<GroupId>>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices
+    /// (ids `0..num_vertices`).
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            groups: None,
+        }
+    }
+
+    /// Creates a builder with capacity for `edges` directed edges.
+    pub fn with_capacity(num_vertices: usize, edges: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::with_capacity(edges),
+            groups: None,
+        }
+    }
+
+    /// Number of vertices the graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of raw directed edges added so far (before deduplication).
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `(u, v)` to `E_d`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            u.index() < self.num_vertices && v.index() < self.num_vertices,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.num_vertices
+        );
+        self.edges.push((u.raw(), v.raw()));
+    }
+
+    /// Adds an undirected edge: both `(u, v)` and `(v, u)` join `E_d`.
+    ///
+    /// This models the paper's undirected networks, where `G_d` is taken to
+    /// be symmetric (Section 2).
+    #[inline]
+    pub fn add_undirected_edge(&mut self, u: VertexId, v: VertexId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Assigns vertex `v` to group `g` (Section 6.5 labels).
+    pub fn add_group(&mut self, v: VertexId, g: GroupId) {
+        assert!(v.index() < self.num_vertices);
+        let groups = self
+            .groups
+            .get_or_insert_with(|| vec![Vec::new(); self.num_vertices]);
+        groups[v.index()].push(g);
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// Runs in `O(E log E)` time for sorting/deduplication.
+    pub fn build(self) -> Graph {
+        let n = self.num_vertices;
+
+        // Deduplicate the directed edge set E_d, dropping self-loops.
+        let mut directed: Vec<(u32, u32)> = self
+            .edges
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .collect();
+        directed.sort_unstable();
+        directed.dedup();
+
+        let mut in_deg = vec![0u32; n];
+        let mut out_deg = vec![0u32; n];
+        for &(u, v) in &directed {
+            out_deg[u as usize] += 1;
+            in_deg[v as usize] += 1;
+        }
+        let num_original_edges = directed.len();
+
+        // Symmetric closure: every directed edge contributes both arcs.
+        // Tag = 1 when the arc itself is an original edge.
+        let mut arcs: Vec<(u32, u32, bool)> = Vec::with_capacity(directed.len() * 2);
+        for &(u, v) in &directed {
+            arcs.push((u, v, true));
+            arcs.push((v, u, false));
+        }
+        // Sort by (source, target, !original) so the original-flagged copy
+        // of a duplicated arc comes first and survives dedup.
+        arcs.sort_unstable_by_key(|&(u, v, orig)| (u, v, !orig));
+        arcs.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        let mut adjacency: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        // Pre-size rows to avoid repeated reallocation.
+        {
+            let mut row_len = vec![0usize; n];
+            for &(u, _, _) in &arcs {
+                row_len[u as usize] += 1;
+            }
+            for (row, &len) in adjacency.iter_mut().zip(&row_len) {
+                row.reserve_exact(len);
+            }
+        }
+        for &(u, v, _) in &arcs {
+            adjacency[u as usize].push(VertexId::from(v));
+        }
+        let csr = Csr::from_sorted_adjacency(adjacency);
+
+        let mut flags = BitSet::new(csr.num_arcs());
+        for (i, &(_, _, orig)) in arcs.iter().enumerate() {
+            if orig {
+                flags.set(i);
+            }
+        }
+
+        let groups = match self.groups {
+            Some(per_vertex) => VertexGroups::from_per_vertex(per_vertex),
+            None => VertexGroups::empty(n),
+        };
+
+        Graph::from_parts(csr, flags, in_deg, out_deg, num_original_edges, groups)
+    }
+}
+
+/// Convenience: builds a graph from undirected `(u, v)` index pairs.
+pub fn graph_from_undirected_pairs(
+    num_vertices: usize,
+    pairs: impl IntoIterator<Item = (usize, usize)>,
+) -> Graph {
+    let mut b = GraphBuilder::new(num_vertices);
+    for (u, v) in pairs {
+        b.add_undirected_edge(VertexId::new(u), VertexId::new(v));
+    }
+    b.build()
+}
+
+/// Convenience: builds a graph from directed `(u, v)` index pairs.
+pub fn graph_from_directed_pairs(
+    num_vertices: usize,
+    pairs: impl IntoIterator<Item = (usize, usize)>,
+) -> Graph {
+    let mut b = GraphBuilder::new(num_vertices);
+    for (u, v) in pairs {
+        b.add_edge(VertexId::new(u), VertexId::new(v));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn dedup_directed_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(0), v(1));
+        let g = b.build();
+        assert_eq!(g.num_original_edges(), 1);
+        assert_eq!(g.num_undirected_edges(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(v(0), v(0));
+        b.add_edge(v(0), v(1));
+        let g = b.build();
+        assert_eq!(g.num_original_edges(), 1);
+        assert_eq!(g.degree(v(0)), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn reciprocal_directed_edges_flag_both_arcs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(1), v(0));
+        let g = b.build();
+        assert_eq!(g.num_original_edges(), 2);
+        assert_eq!(g.num_undirected_edges(), 1);
+        assert!(g.has_original_edge(v(0), v(1)));
+        assert!(g.has_original_edge(v(1), v(0)));
+        assert_eq!(g.in_degree_orig(v(0)), 1);
+        assert_eq!(g.out_degree_orig(v(0)), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn one_way_edge_flags_single_arc() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(v(0), v(1));
+        let g = b.build();
+        assert!(g.has_original_edge(v(0), v(1)));
+        assert!(!g.has_original_edge(v(1), v(0)));
+        assert!(g.has_edge(v(1), v(0)));
+        assert_eq!(g.in_degree_orig(v(1)), 1);
+        assert_eq!(g.out_degree_orig(v(1)), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn undirected_helper_sets_both_directions() {
+        let g = graph_from_undirected_pairs(3, [(0, 1), (1, 2)]);
+        assert!(g.has_original_edge(v(1), v(0)));
+        assert!(g.has_original_edge(v(0), v(1)));
+        assert_eq!(g.in_degree_orig(v(1)), 2);
+        assert_eq!(g.out_degree_orig(v(1)), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = graph_from_undirected_pairs(5, [(0, 1)]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(v(4)), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn groups_recorded() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(v(0), v(1));
+        b.add_group(v(0), 7);
+        b.add_group(v(0), 3);
+        b.add_group(v(2), 3);
+        let g = b.build();
+        assert_eq!(g.groups_of(v(0)), &[3, 7]);
+        assert_eq!(g.groups_of(v(1)), &[] as &[u32]);
+        assert_eq!(g.groups_of(v(2)), &[3]);
+        assert_eq!(g.num_groups(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(v(0), v(2));
+    }
+}

@@ -1,0 +1,236 @@
+//! Connected components of the symmetric closure.
+//!
+//! The paper's central experimental theme is what happens to random-walk
+//! estimators on graphs with *disconnected or loosely connected components*
+//! (Sections 4.5 and 6). This module labels components, reports their sizes
+//! and volumes, and extracts the largest connected component (LCC) as used
+//! by Figures 4 and 11 and Appendix B.
+
+use crate::graph::Graph;
+use crate::ids::VertexId;
+use crate::subgraph::{induced_subgraph, SubgraphMap};
+use std::collections::VecDeque;
+
+/// Component labeling of a graph.
+#[derive(Clone, Debug)]
+pub struct ConnectedComponents {
+    /// `labels[v]` = component id of vertex `v` (dense, `0..num_components`).
+    labels: Vec<u32>,
+    /// Vertex count per component id.
+    sizes: Vec<usize>,
+    /// `vol(component)` per component id.
+    volumes: Vec<usize>,
+}
+
+impl ConnectedComponents {
+    /// Component id of `v`.
+    #[inline]
+    pub fn component_of(&self, v: VertexId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Vertex count of component `c`.
+    pub fn size(&self, c: u32) -> usize {
+        self.sizes[c as usize]
+    }
+
+    /// Volume (`Σ deg`) of component `c`.
+    pub fn volume(&self, c: u32) -> usize {
+        self.volumes[c as usize]
+    }
+
+    /// Id of the largest component (ties broken by lower id).
+    pub fn largest(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+            .expect("graph has no vertices")
+    }
+
+    /// Size of the largest component.
+    pub fn largest_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Vertices belonging to component `c`, ascending.
+    pub fn members(&self, c: u32) -> Vec<VertexId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(i, _)| VertexId::new(i))
+            .collect()
+    }
+
+    /// Whether `u` and `v` are in the same component.
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+}
+
+/// Labels the connected components of `graph` with a multi-source BFS.
+///
+/// ```
+/// use fs_graph::{connected_components, graph_from_undirected_pairs};
+/// let g = graph_from_undirected_pairs(5, [(0, 1), (1, 2), (3, 4)]);
+/// let cc = connected_components(&g);
+/// assert_eq!(cc.num_components(), 2);
+/// assert_eq!(cc.largest_size(), 3);
+/// ```
+pub fn connected_components(graph: &Graph) -> ConnectedComponents {
+    let n = graph.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut volumes = Vec::new();
+    let mut queue = VecDeque::new();
+
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        sizes.push(0usize);
+        volumes.push(0usize);
+        labels[start] = c;
+        queue.push_back(VertexId::new(start));
+        while let Some(u) = queue.pop_front() {
+            sizes[c as usize] += 1;
+            volumes[c as usize] += graph.degree(u);
+            for &w in graph.neighbors(u) {
+                if labels[w.index()] == u32::MAX {
+                    labels[w.index()] = c;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    ConnectedComponents {
+        labels,
+        sizes,
+        volumes,
+    }
+}
+
+/// Extracts the largest connected component as a standalone graph together
+/// with the vertex-id mapping back to the parent graph.
+pub fn largest_connected_component(graph: &Graph) -> (Graph, SubgraphMap) {
+    let cc = connected_components(graph);
+    let lcc = cc.largest();
+    let members = cc.members(lcc);
+    induced_subgraph(graph, &members)
+}
+
+/// Whether the graph is connected (and non-empty).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.num_vertices() > 0 && connected_components(graph).num_components() == 1
+}
+
+/// Whether the graph is bipartite (two-colorable).
+///
+/// Random-walk stationarity (Section 4) requires a non-bipartite connected
+/// graph; the experiment harness asserts this on generated inputs.
+pub fn is_bipartite(graph: &Graph) -> bool {
+    let n = graph.num_vertices();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if color[start] != u8::MAX {
+            continue;
+        }
+        color[start] = 0;
+        queue.push_back(VertexId::new(start));
+        while let Some(u) = queue.pop_front() {
+            let cu = color[u.index()];
+            for &w in graph.neighbors(u) {
+                if color[w.index()] == u8::MAX {
+                    color[w.index()] = 1 - cu;
+                    queue.push_back(w);
+                } else if color[w.index()] == cu {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_undirected_pairs;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn single_component() {
+        let g = graph_from_undirected_pairs(3, [(0, 1), (1, 2)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components(), 1);
+        assert_eq!(cc.size(0), 3);
+        assert_eq!(cc.volume(0), 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components_with_isolated() {
+        // triangle {0,1,2}, edge {3,4}, isolated {5}
+        let g = graph_from_undirected_pairs(6, [(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components(), 3);
+        assert_eq!(cc.largest_size(), 3);
+        let lcc = cc.largest();
+        assert_eq!(cc.members(lcc), vec![v(0), v(1), v(2)]);
+        assert!(cc.same_component(v(0), v(2)));
+        assert!(!cc.same_component(v(0), v(3)));
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn component_volumes() {
+        let g = graph_from_undirected_pairs(5, [(0, 1), (1, 2), (3, 4)]);
+        let cc = connected_components(&g);
+        let c0 = cc.component_of(v(0));
+        let c3 = cc.component_of(v(3));
+        assert_eq!(cc.volume(c0), 4); // degrees 1,2,1
+        assert_eq!(cc.volume(c3), 2);
+    }
+
+    #[test]
+    fn lcc_extraction() {
+        let g = graph_from_undirected_pairs(6, [(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let (lcc, map) = largest_connected_component(&g);
+        assert_eq!(lcc.num_vertices(), 3);
+        assert_eq!(lcc.num_undirected_edges(), 3);
+        // Mapping points back at the triangle.
+        for i in 0..3 {
+            let orig = map.to_parent(VertexId::new(i));
+            assert!(orig.index() < 3);
+        }
+        lcc.validate().unwrap();
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        let even_cycle = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(is_bipartite(&even_cycle));
+        let odd_cycle = graph_from_undirected_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(!is_bipartite(&odd_cycle));
+    }
+
+    #[test]
+    fn largest_tie_breaks_low_id() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (2, 3)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.largest(), 0);
+    }
+}

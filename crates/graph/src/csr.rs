@@ -1,0 +1,179 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! The symmetric closure `G` is stored as one flat `targets` array plus an
+//! `offsets` array: the neighbors of vertex `v` are
+//! `targets[offsets[v] .. offsets[v + 1]]`, sorted ascending. Each slot in
+//! `targets` is one **arc** of `G`; arc ids are positions in `targets`.
+//!
+//! This layout gives the three operations random-walk sampling needs in
+//! O(1) / O(log deg):
+//!
+//! * `neighbors(v)` — a contiguous slice, so "pick a neighbor uniformly at
+//!   random" is a single index;
+//! * `arc_source(a)` — binary search over `offsets` (used by uniform edge
+//!   sampling);
+//! * `has_arc(u, v)` — binary search inside the sorted neighbor slice (used
+//!   by triangle counting).
+
+use crate::ids::{ArcId, VertexId};
+
+/// CSR adjacency of the symmetric closure.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Flat neighbor array; one entry per arc.
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from per-vertex sorted neighbor lists.
+    ///
+    /// `adjacency[v]` must be sorted ascending and deduplicated; this is
+    /// enforced by [`crate::builder::GraphBuilder`] and re-checked here in
+    /// debug builds.
+    pub fn from_sorted_adjacency(adjacency: Vec<Vec<VertexId>>) -> Self {
+        let mut offsets = Vec::with_capacity(adjacency.len() + 1);
+        let total: usize = adjacency.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0);
+        for nbrs in &adjacency {
+            debug_assert!(
+                nbrs.windows(2).all(|w| w[0] < w[1]),
+                "adjacency lists must be sorted and deduplicated"
+            );
+            targets.extend_from_slice(nbrs);
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of arcs (directed edges of the symmetric closure).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v` in the symmetric closure.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Arc id of the `i`-th neighbor of `v`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i >= degree(v)`.
+    #[inline]
+    pub fn arc_of(&self, v: VertexId, i: usize) -> ArcId {
+        debug_assert!(i < self.degree(v));
+        self.offsets[v.index()] + i
+    }
+
+    /// First arc id out of `v` (the CSR row start).
+    #[inline]
+    pub fn row_start(&self, v: VertexId) -> ArcId {
+        self.offsets[v.index()]
+    }
+
+    /// Target vertex of arc `a`.
+    #[inline]
+    pub fn arc_target(&self, a: ArcId) -> VertexId {
+        self.targets[a]
+    }
+
+    /// Source vertex of arc `a`, by binary search over `offsets`.
+    pub fn arc_source(&self, a: ArcId) -> VertexId {
+        debug_assert!(a < self.targets.len());
+        // partition_point returns the number of offsets <= a, i.e. the index
+        // of the first row starting after `a`; its predecessor owns the arc.
+        let row = self.offsets.partition_point(|&off| off <= a);
+        VertexId::new(row - 1)
+    }
+
+    /// Whether the arc `(u, v)` exists, and if so its arc id.
+    pub fn find_arc(&self, u: VertexId, v: VertexId) -> Option<ArcId> {
+        let nbrs = self.neighbors(u);
+        nbrs.binary_search(&v)
+            .ok()
+            .map(|i| self.offsets[u.index()] + i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn sample_csr() -> Csr {
+        // 0 - 1, 0 - 2, 1 - 2, 2 - 3 (undirected, symmetrised)
+        Csr::from_sorted_adjacency(vec![
+            vec![v(1), v(2)],
+            vec![v(0), v(2)],
+            vec![v(0), v(1), v(3)],
+            vec![v(2)],
+        ])
+    }
+
+    #[test]
+    fn sizes_and_degrees() {
+        let c = sample_csr();
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_arcs(), 8);
+        assert_eq!(c.degree(v(0)), 2);
+        assert_eq!(c.degree(v(2)), 3);
+        assert_eq!(c.degree(v(3)), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let c = sample_csr();
+        assert_eq!(c.neighbors(v(2)), &[v(0), v(1), v(3)]);
+    }
+
+    #[test]
+    fn arc_source_roundtrip() {
+        let c = sample_csr();
+        for a in 0..c.num_arcs() {
+            let s = c.arc_source(a);
+            let t = c.arc_target(a);
+            // The arc must appear at its claimed position in s's row.
+            let row = c.neighbors(s);
+            let pos = a - c.row_start(s);
+            assert_eq!(row[pos], t);
+        }
+    }
+
+    #[test]
+    fn find_arc_present_and_absent() {
+        let c = sample_csr();
+        assert!(c.find_arc(v(0), v(1)).is_some());
+        assert!(c.find_arc(v(1), v(0)).is_some());
+        assert!(c.find_arc(v(0), v(3)).is_none());
+        let a = c.find_arc(v(2), v(3)).unwrap();
+        assert_eq!(c.arc_source(a), v(2));
+        assert_eq!(c.arc_target(a), v(3));
+    }
+
+    #[test]
+    fn isolated_vertex_row() {
+        let c = Csr::from_sorted_adjacency(vec![vec![v(1)], vec![v(0)], vec![]]);
+        assert_eq!(c.degree(v(2)), 0);
+        assert!(c.neighbors(v(2)).is_empty());
+    }
+}

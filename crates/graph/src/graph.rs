@@ -1,0 +1,398 @@
+//! The [`Graph`] type: symmetric closure of a directed graph, with
+//! original-direction bookkeeping and optional vertex group labels.
+
+use crate::bitset::BitSet;
+use crate::csr::Csr;
+use crate::ids::{ArcId, GroupId, VertexId};
+use crate::labels::VertexGroups;
+
+/// A directed arc `(u, v)` of the symmetric closure `G`, as sampled by a
+/// random walk.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Arc {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Target vertex.
+    pub target: VertexId,
+}
+
+/// The symmetric closure `G = (V, E)` of a directed graph `G_d = (V, E_d)`
+/// (paper, Section 2), stored in CSR form.
+///
+/// Invariants (established by [`crate::builder::GraphBuilder`]):
+///
+/// * adjacency is symmetric: `(u, v) ∈ E ⟺ (v, u) ∈ E`;
+/// * no self-loops, no duplicate arcs;
+/// * per-vertex neighbor lists are sorted ascending;
+/// * each arc carries a flag recording whether it existed in `E_d`;
+/// * `in_degree_orig` / `out_degree_orig` are the degrees in `G_d`.
+///
+/// An *undirected* input graph is modeled, as in the paper, as a symmetric
+/// directed graph: add each edge in one direction and the closure supplies
+/// the reverse; the original in-/out-degrees then both equal the undirected
+/// degree only if the caller adds both directions (see
+/// [`crate::builder::GraphBuilder::add_undirected_edge`]).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    csr: Csr,
+    /// Bit per arc: 1 iff the arc was present in the original `E_d`.
+    arc_in_original: BitSet,
+    in_degree_orig: Vec<u32>,
+    out_degree_orig: Vec<u32>,
+    /// Number of distinct directed edges in `E_d` after deduplication.
+    num_original_edges: usize,
+    groups: VertexGroups,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        csr: Csr,
+        arc_in_original: BitSet,
+        in_degree_orig: Vec<u32>,
+        out_degree_orig: Vec<u32>,
+        num_original_edges: usize,
+        groups: VertexGroups,
+    ) -> Self {
+        debug_assert_eq!(arc_in_original.len(), csr.num_arcs());
+        debug_assert_eq!(in_degree_orig.len(), csr.num_vertices());
+        debug_assert_eq!(out_degree_orig.len(), csr.num_vertices());
+        Graph {
+            csr,
+            arc_in_original,
+            in_degree_orig,
+            out_degree_orig,
+            num_original_edges,
+            groups,
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of arcs of the symmetric closure, `|E|`.
+    ///
+    /// This equals `vol(V) = Σ_v deg(v)` and is twice the number of
+    /// undirected edges.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.csr.num_arcs()
+    }
+
+    /// Number of undirected edges (unordered adjacent pairs).
+    #[inline]
+    pub fn num_undirected_edges(&self) -> usize {
+        self.csr.num_arcs() / 2
+    }
+
+    /// Number of distinct directed edges in the original `E_d`.
+    #[inline]
+    pub fn num_original_edges(&self) -> usize {
+        self.num_original_edges
+    }
+
+    /// Symmetric degree `deg(v)` (paper, Section 2: in-degree = out-degree
+    /// in `G`).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.csr.degree(v)
+    }
+
+    /// In-degree of `v` in the original directed graph `G_d`.
+    #[inline]
+    pub fn in_degree_orig(&self, v: VertexId) -> usize {
+        self.in_degree_orig[v.index()] as usize
+    }
+
+    /// Out-degree of `v` in the original directed graph `G_d`.
+    #[inline]
+    pub fn out_degree_orig(&self, v: VertexId) -> usize {
+        self.out_degree_orig[v.index()] as usize
+    }
+
+    /// Sorted neighbors of `v` in the symmetric closure.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csr.neighbors(v)
+    }
+
+    /// The `i`-th neighbor of `v` (`0 ≤ i < deg(v)`).
+    #[inline]
+    pub fn nth_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        self.csr.neighbors(v)[i]
+    }
+
+    /// `vol(V) = Σ_v deg(v)`.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.csr.num_arcs()
+    }
+
+    /// Volume of a vertex subset: `vol(S) = Σ_{v∈S} deg(v)`.
+    pub fn volume_of<I: IntoIterator<Item = VertexId>>(&self, vertices: I) -> usize {
+        vertices.into_iter().map(|v| self.degree(v)).sum()
+    }
+
+    /// Average symmetric degree `vol(V) / |V|`.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.volume() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum symmetric degree.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether the symmetric arc `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.csr.find_arc(u, v).is_some()
+    }
+
+    /// Arc id of `(u, v)` if present.
+    #[inline]
+    pub fn find_arc(&self, u: VertexId, v: VertexId) -> Option<ArcId> {
+        self.csr.find_arc(u, v)
+    }
+
+    /// Arc id of the `i`-th arc out of `v`.
+    #[inline]
+    pub fn arc_of(&self, v: VertexId, i: usize) -> ArcId {
+        self.csr.arc_of(v, i)
+    }
+
+    /// First arc id of `v`'s CSR row (equals the row end when `deg(v)=0`).
+    #[inline]
+    pub fn first_arc(&self, v: VertexId) -> ArcId {
+        self.csr.row_start(v)
+    }
+
+    /// Endpoints of arc `a`.
+    pub fn arc_endpoints(&self, a: ArcId) -> Arc {
+        Arc {
+            source: self.csr.arc_source(a),
+            target: self.csr.arc_target(a),
+        }
+    }
+
+    /// Whether arc `a` of the symmetric closure existed in the original
+    /// directed edge set `E_d`.
+    #[inline]
+    pub fn arc_in_original(&self, a: ArcId) -> bool {
+        self.arc_in_original.get(a)
+    }
+
+    /// Whether the directed edge `(u, v)` existed in `E_d`.
+    pub fn has_original_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.csr
+            .find_arc(u, v)
+            .map(|a| self.arc_in_original.get(a))
+            .unwrap_or(false)
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices()).map(VertexId::new)
+    }
+
+    /// Iterator over all arcs of the symmetric closure.
+    pub fn arcs(&self) -> impl Iterator<Item = Arc> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().map(move |&v| Arc {
+                source: u,
+                target: v,
+            })
+        })
+    }
+
+    /// Iterator over the arcs that existed in `E_d` (original directed
+    /// edges).
+    pub fn original_edges(&self) -> impl Iterator<Item = Arc> + '_ {
+        self.vertices().flat_map(move |u| {
+            let start = self.csr.row_start(u);
+            self.neighbors(u)
+                .iter()
+                .enumerate()
+                .filter(move |(i, _)| self.arc_in_original.get(start + i))
+                .map(move |(_, &v)| Arc {
+                    source: u,
+                    target: v,
+                })
+        })
+    }
+
+    /// Iterator over undirected edges, each unordered pair reported once
+    /// with `source < target`.
+    pub fn undirected_edges(&self) -> impl Iterator<Item = Arc> + '_ {
+        self.arcs().filter(|a| a.source < a.target)
+    }
+
+    /// Group labels of `v` (paper Section 6.5: special-interest groups).
+    #[inline]
+    pub fn groups_of(&self, v: VertexId) -> &[GroupId] {
+        self.groups.groups_of(v)
+    }
+
+    /// Total number of distinct groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.groups.num_groups()
+    }
+
+    /// Shared access to the group-label table.
+    #[inline]
+    pub fn groups(&self) -> &VertexGroups {
+        &self.groups
+    }
+
+    /// Replaces the vertex group labels.
+    ///
+    /// # Panics
+    /// Panics if `groups` was built for a different number of vertices.
+    pub fn set_groups(&mut self, groups: VertexGroups) {
+        assert_eq!(
+            groups.num_vertices(),
+            self.num_vertices(),
+            "group table sized for a different graph"
+        );
+        self.groups = groups;
+    }
+
+    /// Consistency check used by tests and debug assertions: symmetry, CSR
+    /// order, degree bookkeeping.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        let mut original = 0usize;
+        for u in self.vertices() {
+            let nbrs = self.neighbors(u);
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("neighbors of {u} not sorted/deduplicated"));
+            }
+            for (i, &v) in nbrs.iter().enumerate() {
+                if v == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if v.index() >= n {
+                    return Err(format!("arc {u}->{v} out of range"));
+                }
+                if !self.has_edge(v, u) {
+                    return Err(format!("asymmetric arc {u}->{v}"));
+                }
+                let a = self.csr.arc_of(u, i);
+                if self.arc_in_original(a) {
+                    out_deg[u.index()] += 1;
+                    in_deg[v.index()] += 1;
+                    original += 1;
+                }
+            }
+        }
+        if original != self.num_original_edges {
+            return Err(format!(
+                "original edge count mismatch: flagged {original}, recorded {}",
+                self.num_original_edges
+            ));
+        }
+        if out_deg != self.out_degree_orig {
+            return Err("out_degree_orig inconsistent with arc flags".into());
+        }
+        if in_deg != self.in_degree_orig {
+            return Err("in_degree_orig inconsistent with arc flags".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::ids::VertexId;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// Directed: 0->1, 1->2, 2->0, 2->3 (the lib.rs doc example).
+    fn sample() -> crate::Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(1), v(2));
+        b.add_edge(v(2), v(0));
+        b.add_edge(v(2), v(3));
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_undirected_edges(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.num_original_edges(), 4);
+        assert_eq!(g.volume(), 8);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample();
+        assert_eq!(g.degree(v(0)), 2);
+        assert_eq!(g.degree(v(2)), 3);
+        assert_eq!(g.in_degree_orig(v(0)), 1);
+        assert_eq!(g.out_degree_orig(v(0)), 1);
+        assert_eq!(g.out_degree_orig(v(2)), 2);
+        assert_eq!(g.in_degree_orig(v(3)), 1);
+        assert_eq!(g.out_degree_orig(v(3)), 0);
+    }
+
+    #[test]
+    fn original_flags() {
+        let g = sample();
+        assert!(g.has_original_edge(v(0), v(1)));
+        assert!(!g.has_original_edge(v(1), v(0)));
+        assert!(g.has_original_edge(v(2), v(3)));
+        assert!(!g.has_original_edge(v(3), v(2)));
+        assert_eq!(g.original_edges().count(), 4);
+    }
+
+    #[test]
+    fn arc_endpoints_consistent() {
+        let g = sample();
+        for a in 0..g.num_arcs() {
+            let arc = g.arc_endpoints(a);
+            assert!(g.has_edge(arc.source, arc.target));
+            assert_eq!(g.find_arc(arc.source, arc.target), Some(a));
+        }
+    }
+
+    #[test]
+    fn undirected_edges_once() {
+        let g = sample();
+        let edges: Vec<_> = g.undirected_edges().collect();
+        assert_eq!(edges.len(), 4);
+        for e in edges {
+            assert!(e.source < e.target);
+        }
+    }
+
+    #[test]
+    fn volume_of_subset() {
+        let g = sample();
+        assert_eq!(g.volume_of([v(0), v(2)]), 5);
+        assert_eq!(g.volume_of(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn average_and_max_degree() {
+        let g = sample();
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Strongly-typed identifiers for vertices, arcs, and label groups.
+//!
+//! Vertices are dense `u32` indices (`0..n`), which keeps the CSR storage
+//! compact (graphs in the paper's evaluation have up to a few million
+//! vertices; `u32` is comfortable headroom for the laptop-scale replicas).
+
+use std::fmt;
+
+/// Identifier of a vertex: a dense index in `0..Graph::num_vertices()`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "vertex index overflows u32");
+        VertexId(index as u32)
+    }
+
+    /// Returns the raw index of this vertex.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a directed arc in the symmetric closure `G`.
+///
+/// Arcs are indexed densely in `0..Graph::num_arcs()`, grouped by source
+/// vertex (CSR order). Sampling an `ArcId` uniformly at random is exactly
+/// the paper's "random edge sampling" on `E`.
+pub type ArcId = usize;
+
+/// Identifier of a vertex-label group (e.g. a Flickr special-interest
+/// group, Section 6.5 of the paper).
+pub type GroupId = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn vertex_id_ordering_follows_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert_eq!(VertexId::new(7), VertexId::new(7));
+    }
+
+    #[test]
+    fn vertex_id_display_and_debug() {
+        assert_eq!(format!("{}", VertexId::new(5)), "5");
+        assert_eq!(format!("{:?}", VertexId::new(5)), "v5");
+    }
+}

@@ -1,0 +1,152 @@
+//! Vertex group labels.
+//!
+//! Section 6.5 of the paper estimates the density of "special interest
+//! groups": each vertex carries a (possibly empty) set of group labels
+//! `L_v(v) ⊆ L_v`, and `θ_l` is the fraction of vertices with label `l`.
+//! [`VertexGroups`] stores these label sets in CSR form.
+
+use crate::ids::{GroupId, VertexId};
+
+/// CSR table of per-vertex group labels.
+#[derive(Clone, Debug, Default)]
+pub struct VertexGroups {
+    offsets: Vec<usize>,
+    labels: Vec<GroupId>,
+    num_groups: usize,
+}
+
+impl VertexGroups {
+    /// A table in which no vertex has any label.
+    pub fn empty(num_vertices: usize) -> Self {
+        VertexGroups {
+            offsets: vec![0; num_vertices + 1],
+            labels: Vec::new(),
+            num_groups: 0,
+        }
+    }
+
+    /// Builds the table from per-vertex label vectors; labels are sorted
+    /// and deduplicated per vertex.
+    pub fn from_per_vertex(mut per_vertex: Vec<Vec<GroupId>>) -> Self {
+        let mut offsets = Vec::with_capacity(per_vertex.len() + 1);
+        let mut labels = Vec::new();
+        let mut distinct: Vec<GroupId> = Vec::new();
+        offsets.push(0);
+        for ls in &mut per_vertex {
+            ls.sort_unstable();
+            ls.dedup();
+            labels.extend_from_slice(ls);
+            distinct.extend_from_slice(ls);
+            offsets.push(labels.len());
+        }
+        distinct.sort_unstable();
+        distinct.dedup();
+        VertexGroups {
+            offsets,
+            labels,
+            num_groups: distinct.len(),
+        }
+    }
+
+    /// Number of vertices the table covers.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct group labels present.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Total number of (vertex, group) memberships.
+    pub fn num_memberships(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Sorted group labels of vertex `v`.
+    #[inline]
+    pub fn groups_of(&self, v: VertexId) -> &[GroupId] {
+        &self.labels[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Whether `v` belongs to group `g`.
+    #[inline]
+    pub fn has_group(&self, v: VertexId, g: GroupId) -> bool {
+        self.groups_of(v).binary_search(&g).is_ok()
+    }
+
+    /// Exact fraction of vertices that belong to group `g`
+    /// (the ground-truth `θ_l` of Section 6.5).
+    pub fn group_density(&self, g: GroupId) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        let members = (0..self.num_vertices())
+            .filter(|&i| self.has_group(VertexId::new(i), g))
+            .count();
+        members as f64 / self.num_vertices() as f64
+    }
+
+    /// Exact member count per group id, indexed by group id
+    /// (length = max group id + 1; empty if no labels).
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let max = match self.labels.iter().max() {
+            Some(&m) => m as usize,
+            None => return Vec::new(),
+        };
+        let mut sizes = vec![0usize; max + 1];
+        for &g in &self.labels {
+            sizes[g as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Fraction of vertices with at least one group label.
+    pub fn labeled_fraction(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        let labeled = (0..self.num_vertices())
+            .filter(|&i| !self.groups_of(VertexId::new(i)).is_empty())
+            .count();
+        labeled as f64 / self.num_vertices() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = VertexGroups::empty(3);
+        assert_eq!(t.num_vertices(), 3);
+        assert_eq!(t.num_groups(), 0);
+        assert!(t.groups_of(v(1)).is_empty());
+        assert_eq!(t.group_density(0), 0.0);
+        assert_eq!(t.labeled_fraction(), 0.0);
+    }
+
+    #[test]
+    fn from_per_vertex_sorts_and_dedups() {
+        let t = VertexGroups::from_per_vertex(vec![vec![5, 1, 5], vec![], vec![1]]);
+        assert_eq!(t.groups_of(v(0)), &[1, 5]);
+        assert_eq!(t.num_groups(), 2);
+        assert_eq!(t.num_memberships(), 3);
+        assert!(t.has_group(v(2), 1));
+        assert!(!t.has_group(v(2), 5));
+    }
+
+    #[test]
+    fn densities() {
+        let t = VertexGroups::from_per_vertex(vec![vec![0], vec![0, 1], vec![], vec![1]]);
+        assert!((t.group_density(0) - 0.5).abs() < 1e-12);
+        assert!((t.group_density(1) - 0.5).abs() < 1e-12);
+        assert!((t.labeled_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(t.group_sizes(), vec![2, 2]);
+    }
+}

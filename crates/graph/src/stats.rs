@@ -1,0 +1,268 @@
+//! Exact degree statistics: distributions, CCDFs, and the Table-1 style
+//! dataset summary.
+//!
+//! The evaluation estimates the fraction `θ_i` of vertices with (in-, out-,
+//! or symmetric) degree `i` and its complementary cumulative distribution
+//! `γ_l = Σ_{k>l} θ_k` (paper eq. 2 context). These exact values are the
+//! ground truth for every NMSE/CNMSE computation.
+
+use crate::components::connected_components;
+use crate::graph::Graph;
+use crate::ids::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Which degree notion a distribution refers to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DegreeKind {
+    /// Symmetric degree `deg(v)` in the closure `G`.
+    Symmetric,
+    /// In-degree in the original directed graph `G_d`.
+    InOriginal,
+    /// Out-degree in the original directed graph `G_d`.
+    OutOriginal,
+}
+
+impl DegreeKind {
+    /// The degree of `v` under this notion.
+    #[inline]
+    pub fn degree_of(self, graph: &Graph, v: VertexId) -> usize {
+        match self {
+            DegreeKind::Symmetric => graph.degree(v),
+            DegreeKind::InOriginal => graph.in_degree_orig(v),
+            DegreeKind::OutOriginal => graph.out_degree_orig(v),
+        }
+    }
+}
+
+/// Exact degree distribution `θ = {θ_i}`: `result[i]` is the fraction of
+/// vertices with degree `i` (index = degree, length = max degree + 1).
+pub fn degree_distribution(graph: &Graph, kind: DegreeKind) -> Vec<f64> {
+    let hist = degree_histogram(graph, kind);
+    let n = graph.num_vertices() as f64;
+    hist.into_iter().map(|c| c as f64 / n).collect()
+}
+
+/// Vertex counts per degree value.
+pub fn degree_histogram(graph: &Graph, kind: DegreeKind) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for v in graph.vertices() {
+        let d = kind.degree_of(graph, v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Complementary CDF of a distribution: `γ_l = Σ_{k = l+1}^{∞} θ_k`
+/// (paper, Section 2).
+pub fn ccdf(theta: &[f64]) -> Vec<f64> {
+    let mut gamma = vec![0.0; theta.len()];
+    let mut acc = 0.0;
+    for l in (0..theta.len()).rev() {
+        // gamma[l] excludes theta[l] itself.
+        gamma[l] = acc;
+        acc += theta[l];
+    }
+    gamma
+}
+
+/// Average of a degree distribution `Σ i·θ_i`.
+pub fn distribution_mean(theta: &[f64]) -> f64 {
+    theta
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| i as f64 * t)
+        .sum()
+}
+
+/// Summary row in the style of the paper's Table 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphSummary {
+    /// Dataset name.
+    pub name: String,
+    /// `|V|`.
+    pub num_vertices: usize,
+    /// Size of the largest connected component.
+    pub lcc_size: usize,
+    /// Number of distinct directed edges in `E_d`.
+    pub num_edges: usize,
+    /// Number of undirected edges of the closure.
+    pub num_undirected_edges: usize,
+    /// Average symmetric degree `vol(V)/|V|`.
+    pub average_degree: f64,
+    /// `w_max` = max degree divided by average degree (Table 1).
+    pub wmax: f64,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Fraction of vertices inside the LCC.
+    pub lcc_fraction: f64,
+}
+
+impl GraphSummary {
+    /// Computes the summary of `graph`.
+    pub fn compute(name: impl Into<String>, graph: &Graph) -> Self {
+        let cc = connected_components(graph);
+        let lcc_size = cc.largest_size();
+        let avg = graph.average_degree();
+        let wmax = if avg > 0.0 {
+            graph.max_degree() as f64 / avg
+        } else {
+            0.0
+        };
+        GraphSummary {
+            name: name.into(),
+            num_vertices: graph.num_vertices(),
+            lcc_size,
+            num_edges: graph.num_original_edges(),
+            num_undirected_edges: graph.num_undirected_edges(),
+            average_degree: avg,
+            wmax,
+            num_components: cc.num_components(),
+            lcc_fraction: if graph.num_vertices() == 0 {
+                0.0
+            } else {
+                lcc_size as f64 / graph.num_vertices() as f64
+            },
+        }
+    }
+}
+
+/// Exact average-neighbor-degree function `knn(k)` (Pastor-Satorras et
+/// al.'s degree-correlation spectrum): `result[k]` is the mean symmetric
+/// degree of the vertices at the far end of arcs leaving degree-`k`
+/// vertices, or `None` if no vertex has degree `k`.
+///
+/// This is the *edge-based* convention — every arc `(u, v)` contributes
+/// `deg(v)` to bucket `deg(u)` — which is exactly the quantity a
+/// stationary random walk estimates without any reweighting (sampled
+/// arcs are uniform over arcs), making it the natural companion
+/// statistic to the assortativity coefficient of Section 4.2.2: an
+/// increasing `knn` spectrum means assortative mixing (`r > 0`), a
+/// decreasing one disassortative (`r < 0`).
+pub fn average_neighbor_degree(graph: &Graph) -> Vec<Option<f64>> {
+    let mut sums: Vec<f64> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for u in graph.vertices() {
+        let du = graph.degree(u);
+        if du >= sums.len() {
+            sums.resize(du + 1, 0.0);
+            counts.resize(du + 1, 0);
+        }
+        for &v in graph.neighbors(u) {
+            sums[du] += graph.degree(v) as f64;
+            counts[du] += 1;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(s, c)| if c == 0 { None } else { Some(s / c as f64) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_directed_pairs, graph_from_undirected_pairs};
+
+    #[test]
+    fn symmetric_degree_distribution() {
+        // path 0-1-2: degrees 1,2,1
+        let g = graph_from_undirected_pairs(3, [(0, 1), (1, 2)]);
+        let theta = degree_distribution(&g, DegreeKind::Symmetric);
+        assert_eq!(theta.len(), 3);
+        assert!((theta[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((theta[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_out_degree_distributions() {
+        // 0->1, 0->2 : out-degrees (2,0,0), in-degrees (0,1,1)
+        let g = graph_from_directed_pairs(3, [(0, 1), (0, 2)]);
+        let out = degree_distribution(&g, DegreeKind::OutOriginal);
+        assert!((out[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((out[2] - 1.0 / 3.0).abs() < 1e-12);
+        let inn = degree_distribution(&g, DegreeKind::InOriginal);
+        assert!((inn[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((inn[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_definition() {
+        let theta = [0.5, 0.3, 0.2];
+        let g = ccdf(&theta);
+        assert!((g[0] - 0.5).abs() < 1e-12); // P[deg > 0]
+        assert!((g[1] - 0.2).abs() < 1e-12); // P[deg > 1]
+        assert!(g[2].abs() < 1e-12); // P[deg > 2]
+    }
+
+    #[test]
+    fn ccdf_monotone_nonincreasing() {
+        let theta = [0.1, 0.4, 0.2, 0.3];
+        let g = ccdf(&theta);
+        for w in g.windows(2) {
+            assert!(w[0] >= w[1] - 1e-15);
+        }
+    }
+
+    #[test]
+    fn mean_of_distribution() {
+        let theta = [0.0, 0.5, 0.5];
+        assert!((distribution_mean(&theta) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields() {
+        // triangle + disconnected edge
+        let g = graph_from_undirected_pairs(5, [(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let s = GraphSummary::compute("toy", &g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.lcc_size, 3);
+        assert_eq!(s.num_undirected_edges, 4);
+        assert_eq!(s.num_components, 2);
+        assert!((s.lcc_fraction - 0.6).abs() < 1e-12);
+        assert!((s.average_degree - 8.0 / 5.0).abs() < 1e-12);
+        assert!((s.wmax - 2.0 / (8.0 / 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_on_star() {
+        // Star K_{1,4}: leaves (degree 1) neighbor the hub (degree 4);
+        // the hub (degree 4) neighbors leaves (degree 1).
+        let g = graph_from_undirected_pairs(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let knn = average_neighbor_degree(&g);
+        assert_eq!(knn[1], Some(4.0));
+        assert_eq!(knn[4], Some(1.0));
+        assert_eq!(knn[0], None);
+        assert_eq!(knn[2], None);
+    }
+
+    #[test]
+    fn knn_on_cycle_is_flat() {
+        let g = graph_from_undirected_pairs(6, (0..6).map(|i| (i, (i + 1) % 6)));
+        let knn = average_neighbor_degree(&g);
+        assert_eq!(knn[2], Some(2.0));
+    }
+
+    #[test]
+    fn knn_mixed_degrees() {
+        // Lollipop: triangle {0,1,2} + pendant 3 on vertex 2.
+        // Degrees: 2, 2, 3, 1.
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let knn = average_neighbor_degree(&g);
+        // Degree-1 bucket: vertex 3's only neighbor is 2 (deg 3).
+        assert_eq!(knn[1], Some(3.0));
+        // Degree-2 bucket: arcs from 0 -> {1 (2), 2 (3)} and 1 -> {0 (2), 2 (3)}.
+        assert_eq!(knn[2], Some(10.0 / 4.0));
+        // Degree-3 bucket: vertex 2 -> {0 (2), 1 (2), 3 (1)}.
+        assert_eq!(knn[3], Some(5.0 / 3.0));
+    }
+
+    #[test]
+    fn knn_empty_graph() {
+        let g = graph_from_undirected_pairs(0, Vec::<(usize, usize)>::new());
+        assert!(average_neighbor_degree(&g).is_empty());
+    }
+}

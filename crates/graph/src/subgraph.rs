@@ -1,0 +1,159 @@
+//! Induced subgraphs with vertex-id remapping.
+//!
+//! Used to restrict experiments to the largest connected component (paper
+//! Figures 4, 11; Appendix B) while keeping original-direction flags and
+//! group labels intact.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// Mapping between subgraph vertex ids and parent-graph vertex ids.
+#[derive(Clone, Debug)]
+pub struct SubgraphMap {
+    to_parent: Vec<VertexId>,
+    /// `from_parent[p] = Some(sub id)` if parent vertex `p` was kept.
+    from_parent: Vec<Option<VertexId>>,
+}
+
+impl SubgraphMap {
+    /// Parent-graph id of subgraph vertex `v`.
+    #[inline]
+    pub fn to_parent(&self, v: VertexId) -> VertexId {
+        self.to_parent[v.index()]
+    }
+
+    /// Subgraph id of parent vertex `p`, if kept.
+    #[inline]
+    pub fn from_parent(&self, p: VertexId) -> Option<VertexId> {
+        self.from_parent[p.index()]
+    }
+
+    /// Number of kept vertices.
+    pub fn len(&self) -> usize {
+        self.to_parent.len()
+    }
+
+    /// Whether no vertices were kept.
+    pub fn is_empty(&self) -> bool {
+        self.to_parent.is_empty()
+    }
+}
+
+/// Builds the subgraph induced by `keep` (parent vertex ids, any order,
+/// duplicates ignored), preserving original-direction flags and group
+/// labels.
+pub fn induced_subgraph(graph: &Graph, keep: &[VertexId]) -> (Graph, SubgraphMap) {
+    let mut from_parent: Vec<Option<VertexId>> = vec![None; graph.num_vertices()];
+    let mut to_parent: Vec<VertexId> = Vec::with_capacity(keep.len());
+    for &p in keep {
+        if from_parent[p.index()].is_none() {
+            from_parent[p.index()] = Some(VertexId::new(to_parent.len()));
+            to_parent.push(p);
+        }
+    }
+
+    let mut b = GraphBuilder::new(to_parent.len());
+    for (sub_idx, &p) in to_parent.iter().enumerate() {
+        let su = VertexId::new(sub_idx);
+        // Re-add only the *original* directed edges; the builder recreates
+        // the symmetric closure, keeping flags faithful to E_d.
+        let row_start_arc = graph.first_arc(p);
+        for (i, &q) in graph.neighbors(p).iter().enumerate() {
+            let arc = row_start_arc + i;
+            if graph.arc_in_original(arc) {
+                if let Some(sv) = from_parent[q.index()] {
+                    b.add_edge(su, sv);
+                }
+            }
+        }
+        for &g in graph.groups_of(p) {
+            b.add_group(su, g);
+        }
+    }
+
+    (
+        b.build(),
+        SubgraphMap {
+            to_parent,
+            from_parent,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn keeps_internal_edges_only() {
+        // 0->1, 1->2, 2->3 directed chain; keep {1, 2}.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(1), v(2));
+        b.add_edge(v(2), v(3));
+        let g = b.build();
+
+        let (sub, map) = induced_subgraph(&g, &[v(1), v(2)]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.num_original_edges(), 1);
+        let s1 = map.from_parent(v(1)).unwrap();
+        let s2 = map.from_parent(v(2)).unwrap();
+        assert!(sub.has_original_edge(s1, s2));
+        assert!(!sub.has_original_edge(s2, s1));
+        assert_eq!(map.to_parent(s1), v(1));
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicates_in_keep_ignored() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(v(0), v(1));
+        let g = b.build();
+        let (sub, map) = induced_subgraph(&g, &[v(0), v(1), v(0)]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn groups_preserved() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(v(0), v(1));
+        b.add_undirected_edge(v(1), v(2));
+        b.add_group(v(1), 9);
+        let g = b.build();
+        let (sub, map) = induced_subgraph(&g, &[v(1), v(2)]);
+        let s1 = map.from_parent(v(1)).unwrap();
+        assert_eq!(sub.groups_of(s1), &[9]);
+    }
+
+    #[test]
+    fn empty_keep() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(v(0), v(1));
+        let g = b.build();
+        let (sub, map) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn degrees_recomputed() {
+        // star 0-{1,2,3}; keep {0,1}
+        let mut b = GraphBuilder::new(4);
+        for i in 1..4 {
+            b.add_undirected_edge(v(0), v(i));
+        }
+        let g = b.build();
+        let (sub, map) = induced_subgraph(&g, &[v(0), v(1)]);
+        let s0 = map.from_parent(v(0)).unwrap();
+        assert_eq!(sub.degree(s0), 1);
+        assert_eq!(sub.in_degree_orig(s0), 1);
+        assert_eq!(sub.out_degree_orig(s0), 1);
+    }
+}

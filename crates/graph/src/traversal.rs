@@ -1,0 +1,167 @@
+//! Breadth-first and depth-first traversal over the symmetric closure.
+
+use crate::bitset::BitSet;
+use crate::graph::Graph;
+use crate::ids::VertexId;
+use std::collections::VecDeque;
+
+/// Breadth-first iterator from a source vertex.
+///
+/// Visits each vertex of the source's connected component exactly once, in
+/// BFS order. The `visited` set can be supplied to continue a multi-source
+/// sweep (as [`crate::components::connected_components`] does).
+pub struct Bfs<'g> {
+    graph: &'g Graph,
+    queue: VecDeque<VertexId>,
+    visited: BitSet,
+}
+
+impl<'g> Bfs<'g> {
+    /// Starts a BFS at `source`.
+    pub fn new(graph: &'g Graph, source: VertexId) -> Self {
+        let mut visited = BitSet::new(graph.num_vertices());
+        visited.set(source.index());
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        Bfs {
+            graph,
+            queue,
+            visited,
+        }
+    }
+
+    /// Consumes the iterator and returns the visited set.
+    pub fn into_visited(self) -> BitSet {
+        self.visited
+    }
+}
+
+impl Iterator for Bfs<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        let u = self.queue.pop_front()?;
+        for &w in self.graph.neighbors(u) {
+            if !self.visited.get(w.index()) {
+                self.visited.set(w.index());
+                self.queue.push_back(w);
+            }
+        }
+        Some(u)
+    }
+}
+
+/// Depth-first iterator from a source vertex (preorder).
+pub struct Dfs<'g> {
+    graph: &'g Graph,
+    stack: Vec<VertexId>,
+    visited: BitSet,
+}
+
+impl<'g> Dfs<'g> {
+    /// Starts a DFS at `source`.
+    pub fn new(graph: &'g Graph, source: VertexId) -> Self {
+        let visited = BitSet::new(graph.num_vertices());
+        Dfs {
+            graph,
+            stack: vec![source],
+            visited,
+        }
+    }
+}
+
+impl Iterator for Dfs<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        while let Some(u) = self.stack.pop() {
+            if self.visited.get(u.index()) {
+                continue;
+            }
+            self.visited.set(u.index());
+            // Push in reverse so lower-numbered neighbors pop first.
+            for &w in self.graph.neighbors(u).iter().rev() {
+                if !self.visited.get(w.index()) {
+                    self.stack.push(w);
+                }
+            }
+            return Some(u);
+        }
+        None
+    }
+}
+
+/// BFS distances (hop counts) from `source`; unreachable vertices get
+/// `usize::MAX`.
+pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.num_vertices()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &w in graph.neighbors(u) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_undirected_pairs;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// Path 0-1-2-3 plus isolated component 4-5.
+    fn two_components() -> Graph {
+        graph_from_undirected_pairs(6, [(0, 1), (1, 2), (2, 3), (4, 5)])
+    }
+
+    #[test]
+    fn bfs_visits_component_once() {
+        let g = two_components();
+        let order: Vec<_> = Bfs::new(&g, v(0)).collect();
+        assert_eq!(order, vec![v(0), v(1), v(2), v(3)]);
+    }
+
+    #[test]
+    fn bfs_from_other_component() {
+        let g = two_components();
+        let order: Vec<_> = Bfs::new(&g, v(5)).collect();
+        assert_eq!(order, vec![v(5), v(4)]);
+    }
+
+    #[test]
+    fn dfs_preorder() {
+        let g = graph_from_undirected_pairs(5, [(0, 1), (0, 2), (1, 3), (1, 4)]);
+        let order: Vec<_> = Dfs::new(&g, v(0)).collect();
+        assert_eq!(order, vec![v(0), v(1), v(3), v(4), v(2)]);
+    }
+
+    #[test]
+    fn distances() {
+        let g = two_components();
+        let d = bfs_distances(&g, v(0));
+        assert_eq!(&d[..4], &[0, 1, 2, 3]);
+        assert_eq!(d[4], usize::MAX);
+        assert_eq!(d[5], usize::MAX);
+    }
+
+    #[test]
+    fn bfs_into_visited() {
+        let g = two_components();
+        let mut bfs = Bfs::new(&g, v(1));
+        while bfs.next().is_some() {}
+        let visited = bfs.into_visited();
+        assert_eq!(visited.count_ones(), 4);
+        assert!(visited.get(0));
+        assert!(!visited.get(4));
+    }
+}

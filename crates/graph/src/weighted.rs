@@ -1,0 +1,382 @@
+//! Edge-weighted symmetric graphs.
+//!
+//! The paper's Section 8 points at "far reaching implications … from
+//! estimating characteristics of dynamic networks to the design of new
+//! MCMC-based approximation algorithms". The most immediate such
+//! generalisation is the *weighted* random walk: many measurable networks
+//! carry edge weights (IP traffic per link, message counts between
+//! users, co-authorship multiplicities), and a walker that picks the next
+//! edge with probability proportional to its weight samples edges
+//! proportionally to weight and vertices proportionally to *strength*
+//! `s(v) = Σ_{(v,u)} w(v,u)` — the weighted analogue of every statement
+//! in Sections 4–5. [`WeightedGraph`] is the compact CSR substrate those
+//! walkers run on; the samplers themselves live in the core crate
+//! (`frontier_sampling::weighted`).
+//!
+//! Weights are per *undirected* edge: the closure stores each edge as two
+//! arcs of equal weight, so the graph is symmetric and the walk is
+//! reversible — the property all the stationarity results rest on.
+
+use crate::ids::VertexId;
+
+/// A sampled weighted arc.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedArc {
+    /// Vertex the walker left.
+    pub source: VertexId,
+    /// Vertex the walker arrived at.
+    pub target: VertexId,
+    /// Weight of the traversed edge.
+    pub weight: f64,
+}
+
+/// A symmetric edge-weighted graph in CSR form.
+///
+/// Construction is via [`WeightedGraph::from_weighted_pairs`]; duplicate
+/// pairs accumulate their weights. Weights must be finite and positive.
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<f64>,
+    /// Per-vertex running prefix sums of `weights` (within the vertex's
+    /// CSR slice), enabling `O(log deg)` weighted neighbor sampling.
+    prefix: Vec<f64>,
+    strengths: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// Builds a weighted symmetric graph on `n` vertices from undirected
+    /// weighted pairs `(u, v, w)`.
+    ///
+    /// Self-loops and non-positive or non-finite weights panic — they
+    /// have no meaning for the reversible walks this substrate serves.
+    /// Duplicate `(u, v)` pairs (in either orientation) accumulate.
+    pub fn from_weighted_pairs<I>(n: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        // Accumulate undirected weights, normalising pair orientation.
+        let mut acc: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        for (u, v, w) in pairs {
+            assert!(u < n && v < n, "vertex out of range: ({u}, {v}) with n = {n}");
+            assert!(u != v, "self-loop ({u}, {u}) not supported");
+            assert!(
+                w.is_finite() && w > 0.0,
+                "edge weight must be finite and positive, got {w}"
+            );
+            let key = if u < v { (u, v) } else { (v, u) };
+            *acc.entry(key).or_insert(0.0) += w;
+        }
+        // Count degrees, then fill CSR.
+        let mut degree = vec![0usize; n];
+        for &(u, v) in acc.keys() {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let total_arcs = *offsets.last().unwrap();
+        let mut targets = vec![VertexId::new(0); total_arcs];
+        let mut weights = vec![0.0f64; total_arcs];
+        let mut cursor = offsets[..n].to_vec();
+        let mut edges: Vec<(usize, usize, f64)> =
+            acc.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        // Deterministic layout regardless of hash order.
+        edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        for (u, v, w) in edges {
+            targets[cursor[u]] = VertexId::new(v);
+            weights[cursor[u]] = w;
+            cursor[u] += 1;
+            targets[cursor[v]] = VertexId::new(u);
+            weights[cursor[v]] = w;
+            cursor[v] += 1;
+        }
+        // Per-vertex prefix sums and strengths.
+        let mut prefix = vec![0.0f64; total_arcs];
+        let mut strengths = vec![0.0f64; n];
+        for v in 0..n {
+            let mut run = 0.0;
+            for i in offsets[v]..offsets[v + 1] {
+                run += weights[i];
+                prefix[i] = run;
+            }
+            strengths[v] = run;
+        }
+        WeightedGraph {
+            offsets,
+            targets,
+            weights,
+            prefix,
+            strengths,
+        }
+    }
+
+    /// Weighted view of an unweighted graph: every edge gets weight 1, so
+    /// strengths equal degrees and weighted walks reduce to the paper's
+    /// unweighted ones (tested in the core crate).
+    pub fn unit_weights(graph: &crate::Graph) -> Self {
+        let pairs = graph
+            .undirected_edges()
+            .map(|a| (a.source.index(), a.target.index(), 1.0));
+        Self::from_weighted_pairs(graph.num_vertices(), pairs)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed arcs (2× the undirected edge count).
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of undirected weighted edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Unweighted degree of `v` (number of distinct neighbors).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Strength `s(v) = Σ` incident edge weights.
+    pub fn strength(&self, v: VertexId) -> f64 {
+        self.strengths[v.index()]
+    }
+
+    /// Total weight volume `Σ_v s(v)` (= 2 × the sum of edge weights);
+    /// the weighted analogue of `vol(V)`.
+    pub fn total_strength(&self) -> f64 {
+        self.strengths.iter().sum()
+    }
+
+    /// Neighbor list of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Weights parallel to [`WeightedGraph::neighbors`].
+    pub fn neighbor_weights(&self, v: VertexId) -> &[f64] {
+        &self.weights[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Weight of the edge `(u, v)`, or `None` if absent.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        self.neighbors(u)
+            .iter()
+            .position(|&t| t == v)
+            .map(|i| self.neighbor_weights(u)[i])
+    }
+
+    /// Resolves a cumulative-mass coordinate `x ∈ [0, strength(v))` to
+    /// the incident edge covering it; `None` for isolated vertices.
+    ///
+    /// This is the deterministic half of weight-proportional neighbor
+    /// sampling: a walker draws `x` uniformly from `[0, strength(v))`
+    /// and this lookup (binary search on the vertex's weight prefix
+    /// sums, `O(log deg(v))`) returns the edge whose weight interval
+    /// contains `x`. Keeping the randomness in the caller keeps the
+    /// substrate free of RNG dependencies.
+    pub fn neighbor_at_mass(&self, v: VertexId, x: f64) -> Option<WeightedArc> {
+        let lo = self.offsets[v.index()];
+        let hi = self.offsets[v.index() + 1];
+        if lo == hi {
+            return None;
+        }
+        debug_assert!(
+            (0.0..=self.prefix[hi - 1]).contains(&x),
+            "mass coordinate {x} outside [0, {})",
+            self.prefix[hi - 1]
+        );
+        let slice = &self.prefix[lo..hi];
+        let i = match slice.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+            Ok(i) => i + 1, // x exactly on a boundary belongs to the next bin
+            Err(i) => i,
+        }
+        .min(slice.len() - 1);
+        Some(WeightedArc {
+            source: v,
+            target: self.targets[lo + i],
+            weight: self.weights[lo + i],
+        })
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices()).map(VertexId::new)
+    }
+
+    /// Checks internal invariants (CSR integrity, symmetry of weights,
+    /// strength consistency). Intended for tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.targets.len() {
+            return Err("offset bookends broken".into());
+        }
+        for v in 0..n {
+            let vid = VertexId::new(v);
+            let mut s = 0.0;
+            for (&t, &w) in self.neighbors(vid).iter().zip(self.neighbor_weights(vid)) {
+                if t.index() >= n {
+                    return Err(format!("target {t} out of range"));
+                }
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(format!("bad weight {w} on ({v}, {t})"));
+                }
+                match self.edge_weight(t, vid) {
+                    Some(back) if (back - w).abs() < 1e-12 => {}
+                    Some(back) => {
+                        return Err(format!("asymmetric weight {w} vs {back} on ({v}, {t})"))
+                    }
+                    None => return Err(format!("missing reverse arc ({t}, {v})")),
+                }
+                s += w;
+            }
+            if (s - self.strength(vid)).abs() > 1e-9 * s.max(1.0) {
+                return Err(format!("strength mismatch at {v}: {s} vs {}", self.strength(vid)));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_from_undirected_pairs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn wg() -> WeightedGraph {
+        // Triangle with weights 1, 2, 3 plus a pendant of weight 10.
+        WeightedGraph::from_weighted_pairs(
+            4,
+            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 10.0)],
+        )
+    }
+
+    #[test]
+    fn construction_and_strengths() {
+        let g = wg();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.strength(VertexId::new(0)), 4.0);
+        assert_eq!(g.strength(VertexId::new(1)), 3.0);
+        assert_eq!(g.strength(VertexId::new(2)), 15.0);
+        assert_eq!(g.strength(VertexId::new(3)), 10.0);
+        assert_eq!(g.total_strength(), 32.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_pairs_accumulate() {
+        let g = WeightedGraph::from_weighted_pairs(2, [(0, 1, 1.5), (1, 0, 2.5)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(VertexId::new(0), VertexId::new(1)), Some(4.0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_weight_symmetric() {
+        let g = wg();
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                assert_eq!(g.edge_weight(u, v), g.edge_weight(v, u));
+            }
+        }
+        assert_eq!(g.edge_weight(VertexId::new(0), VertexId::new(3)), None);
+    }
+
+    #[test]
+    fn mass_lookup_partitions_by_weight() {
+        let g = wg();
+        let mut rng = SmallRng::seed_from_u64(301);
+        // Vertex 2 has neighbors 0 (w=3), 1 (w=2), 3 (w=10): total 15.
+        let v = VertexId::new(2);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 150_000;
+        for _ in 0..trials {
+            let x = rand::Rng::gen_range(&mut rng, 0.0..g.strength(v));
+            let a = g.neighbor_at_mass(v, x).unwrap();
+            *counts.entry(a.target.index()).or_insert(0usize) += 1;
+        }
+        let expect = [(1usize, 2.0 / 15.0), (0, 3.0 / 15.0), (3, 10.0 / 15.0)];
+        for (t, p) in expect {
+            let emp = counts[&t] as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.01, "target {t}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn mass_lookup_boundaries_and_weights() {
+        let g = wg();
+        let v = VertexId::new(2);
+        // The CSR slice of vertex 2 is sorted by construction order;
+        // whatever the order, sweeping the mass axis must return every
+        // neighbor with an interval equal to its weight, and the reported
+        // weight must match the stored edge weight.
+        let mut seen = std::collections::HashMap::new();
+        let steps = 15_000;
+        for k in 0..steps {
+            let x = k as f64 / steps as f64 * g.strength(v) * (1.0 - 1e-12);
+            let a = g.neighbor_at_mass(v, x).unwrap();
+            assert_eq!(Some(a.weight), g.edge_weight(a.source, a.target));
+            *seen.entry(a.target.index()).or_insert(0usize) += 1;
+        }
+        for (&t, &c) in &seen {
+            let w = g.edge_weight(v, VertexId::new(t)).unwrap();
+            let frac = c as f64 / steps as f64;
+            assert!(
+                (frac - w / g.strength(v)).abs() < 1e-3,
+                "target {t}: interval fraction {frac} vs weight share {}",
+                w / g.strength(v)
+            );
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_degrees() {
+        let und = graph_from_undirected_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let g = WeightedGraph::unit_weights(&und);
+        assert_eq!(g.num_edges(), und.num_undirected_edges());
+        for v in und.vertices() {
+            assert_eq!(g.strength(v), und.degree(v) as f64);
+            assert_eq!(g.degree(v), und.degree(v));
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertex_handles() {
+        let g = WeightedGraph::from_weighted_pairs(3, [(0, 1, 2.0)]);
+        assert_eq!(g.degree(VertexId::new(2)), 0);
+        assert_eq!(g.strength(VertexId::new(2)), 0.0);
+        assert!(g.neighbor_at_mass(VertexId::new(2), 0.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = WeightedGraph::from_weighted_pairs(2, [(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nonpositive_weight_rejected() {
+        let _ = WeightedGraph::from_weighted_pairs(2, [(0, 1, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vertex_rejected() {
+        let _ = WeightedGraph::from_weighted_pairs(2, [(0, 5, 1.0)]);
+    }
+}

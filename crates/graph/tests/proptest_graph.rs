@@ -1,0 +1,137 @@
+//! Property-based tests of the graph substrate invariants.
+
+use fs_graph::stats::distribution_mean;
+use fs_graph::{
+    ccdf, connected_components, degree_distribution, DegreeKind, GraphBuilder, VertexId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random directed edge list on up to `max_n` vertices.
+fn edge_list(max_n: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..max_e);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> fs_graph::Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(VertexId::new(u), VertexId::new(v));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The builder always produces a graph satisfying every structural
+    /// invariant `Graph::validate` checks (symmetry, sortedness, degree
+    /// bookkeeping, original-edge flags).
+    #[test]
+    fn builder_output_validates((n, edges) in edge_list(40, 160)) {
+        let g = build(n, &edges);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Symmetry: every arc has its reverse.
+    #[test]
+    fn closure_is_symmetric((n, edges) in edge_list(30, 120)) {
+        let g = build(n, &edges);
+        for arc in g.arcs() {
+            prop_assert!(g.has_edge(arc.target, arc.source));
+        }
+    }
+
+    /// Volume identities: vol(V) = num_arcs = 2 * undirected edges
+    /// = sum of degrees.
+    #[test]
+    fn volume_identities((n, edges) in edge_list(30, 120)) {
+        let g = build(n, &edges);
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(g.volume(), degree_sum);
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_undirected_edges());
+    }
+
+    /// Degree distributions are probability vectors and their CCDF is
+    /// monotone non-increasing starting below 1.
+    #[test]
+    fn distribution_and_ccdf_sane((n, edges) in edge_list(30, 120)) {
+        let g = build(n, &edges);
+        for kind in [DegreeKind::Symmetric, DegreeKind::InOriginal, DegreeKind::OutOriginal] {
+            let theta = degree_distribution(&g, kind);
+            let total: f64 = theta.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            let gamma = ccdf(&theta);
+            for w in gamma.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+            if !gamma.is_empty() {
+                prop_assert!(gamma[0] <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    /// Mean of the symmetric degree distribution equals vol/|V|.
+    #[test]
+    fn distribution_mean_matches_average_degree((n, edges) in edge_list(30, 120)) {
+        let g = build(n, &edges);
+        let theta = degree_distribution(&g, DegreeKind::Symmetric);
+        prop_assert!((distribution_mean(&theta) - g.average_degree()).abs() < 1e-9);
+    }
+
+    /// Component labels partition V and sizes/volumes add up.
+    #[test]
+    fn components_partition((n, edges) in edge_list(30, 120)) {
+        let g = build(n, &edges);
+        let cc = connected_components(&g);
+        let total: usize = (0..cc.num_components()).map(|c| cc.size(c as u32)).sum();
+        prop_assert_eq!(total, g.num_vertices());
+        let total_vol: usize = (0..cc.num_components()).map(|c| cc.volume(c as u32)).sum();
+        prop_assert_eq!(total_vol, g.volume());
+        // Endpoints of every arc share a component.
+        for arc in g.arcs() {
+            prop_assert!(cc.same_component(arc.source, arc.target));
+        }
+    }
+
+    /// arc_endpoints/find_arc are mutually inverse.
+    #[test]
+    fn arc_roundtrip((n, edges) in edge_list(25, 100)) {
+        let g = build(n, &edges);
+        for a in 0..g.num_arcs() {
+            let e = g.arc_endpoints(a);
+            prop_assert_eq!(g.find_arc(e.source, e.target), Some(a));
+        }
+    }
+
+    /// Edge-list serialization round-trips the graph.
+    #[test]
+    fn io_roundtrip((n, edges) in edge_list(25, 100)) {
+        let g = build(n, &edges);
+        let mut buf = Vec::new();
+        fs_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = fs_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g2.num_vertices(), g.num_vertices());
+        prop_assert_eq!(g2.num_arcs(), g.num_arcs());
+        prop_assert_eq!(g2.num_original_edges(), g.num_original_edges());
+        for arc in g.original_edges() {
+            prop_assert!(g2.has_original_edge(arc.source, arc.target));
+        }
+    }
+
+    /// Induced subgraph on all vertices is the identity (up to relabeling
+    /// that preserves ids here, since we keep everything in order).
+    #[test]
+    fn full_subgraph_identity((n, edges) in edge_list(25, 100)) {
+        let g = build(n, &edges);
+        let all: Vec<VertexId> = g.vertices().collect();
+        let (sub, map) = fs_graph::induced_subgraph(&g, &all);
+        prop_assert_eq!(sub.num_vertices(), g.num_vertices());
+        prop_assert_eq!(sub.num_arcs(), g.num_arcs());
+        prop_assert_eq!(sub.num_original_edges(), g.num_original_edges());
+        for v in g.vertices() {
+            prop_assert_eq!(map.to_parent(map.from_parent(v).unwrap()), v);
+        }
+    }
+}

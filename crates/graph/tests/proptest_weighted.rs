@@ -1,0 +1,107 @@
+//! Property-based tests of weighted-graph invariants and the weighted
+//! edge-list IO round trip.
+
+use fs_graph::weighted_io::{read_weighted_edge_list, write_weighted_edge_list};
+use fs_graph::{VertexId, WeightedGraph};
+use proptest::prelude::*;
+
+/// Strategy: a valid weighted-pair list on `n` vertices (path backbone
+/// guarantees no isolated vertex, extras add multiplicity and variety).
+fn weighted_pairs(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (3usize..max_n)
+        .prop_flat_map(|n| {
+            let path_w = prop::collection::vec(0.1f64..50.0, n - 1);
+            let extra = prop::collection::vec((0..n, 0..n, 0.1f64..50.0), 0..3 * n);
+            (Just(n), path_w, extra)
+        })
+        .prop_map(|(n, path_w, extra)| {
+            let mut pairs: Vec<(usize, usize, f64)> = path_w
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| (i, i + 1, w))
+                .collect();
+            pairs.extend(extra.into_iter().filter(|(u, v, _)| u != v));
+            (n, pairs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Construction invariants hold for arbitrary valid input: the
+    /// internal validator passes, strengths sum the incident weights,
+    /// and total strength is twice the accumulated edge weight.
+    #[test]
+    fn construction_invariants((n, pairs) in weighted_pairs(25)) {
+        let g = WeightedGraph::from_weighted_pairs(n, pairs.clone());
+        prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        let total_input: f64 = pairs.iter().map(|&(_, _, w)| w).sum();
+        prop_assert!((g.total_strength() - 2.0 * total_input).abs() < 1e-6 * total_input.max(1.0));
+        // Arc count is even and counts each undirected edge twice.
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+    }
+
+    /// The mass lookup always returns an incident edge whose weight
+    /// interval is consistent: sweeping the full mass axis visits every
+    /// neighbor.
+    #[test]
+    fn mass_lookup_covers_all_neighbors((n, pairs) in weighted_pairs(15)) {
+        let g = WeightedGraph::from_weighted_pairs(n, pairs);
+        for v in g.vertices() {
+            let s = g.strength(v);
+            if s <= 0.0 { continue; }
+            let mut seen = std::collections::HashSet::new();
+            let sweeps = 64.max(g.degree(v) * 8);
+            for k in 0..sweeps {
+                let x = k as f64 / sweeps as f64 * s * (1.0 - 1e-12);
+                let arc = g.neighbor_at_mass(v, x).unwrap();
+                prop_assert_eq!(arc.source, v);
+                prop_assert_eq!(g.edge_weight(v, arc.target), Some(arc.weight));
+                seen.insert(arc.target);
+            }
+            // A dense sweep must reach every neighbor at least once when
+            // each weight interval is wide enough to be hit.
+            let min_w = g
+                .neighbor_weights(v)
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            if min_w / s > 2.0 / sweeps as f64 {
+                prop_assert_eq!(seen.len(), g.degree(v));
+            }
+        }
+    }
+
+    /// Weighted edge-list round trip: write → read reproduces vertex
+    /// count, edge count, strengths, and per-edge weights exactly
+    /// (weights are printed with full precision).
+    #[test]
+    fn io_round_trip((n, pairs) in weighted_pairs(20)) {
+        let g = WeightedGraph::from_weighted_pairs(n, pairs);
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_weighted_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g2.num_vertices(), g.num_vertices());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            prop_assert!((g2.strength(v) - g.strength(v)).abs() < 1e-9 * g.strength(v).max(1.0));
+            for &u in g.neighbors(v) {
+                let w1 = g.edge_weight(v, u).unwrap();
+                let w2 = g2.edge_weight(v, u).unwrap();
+                prop_assert!((w1 - w2).abs() < 1e-12 * w1.max(1.0), "({v}, {u}): {w1} vs {w2}");
+            }
+        }
+    }
+
+    /// `unit_weights` of any unweighted graph built from the same pairs
+    /// has strength == degree everywhere.
+    #[test]
+    fn unit_weights_match_degrees((n, pairs) in weighted_pairs(20)) {
+        let und = fs_graph::graph_from_undirected_pairs(
+            n, pairs.iter().map(|&(u, v, _)| (u, v)));
+        let g = WeightedGraph::unit_weights(&und);
+        for v in und.vertices() {
+            prop_assert_eq!(g.strength(VertexId::new(v.index())), und.degree(v) as f64);
+        }
+    }
+}

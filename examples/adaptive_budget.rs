@@ -1,0 +1,115 @@
+//! Adaptive crawling: stop when the walk has earned its keep.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_budget
+//! ```
+//!
+//! The scenario: you must crawl an unknown network and report a label
+//! density *with an error bar*, spending as little of your API quota as
+//! possible. Fixing the budget in advance is guesswork (Section 4.3's
+//! burn-in problem in disguise): the right number depends on the
+//! graph's mixing structure, which you don't know.
+//!
+//! `AdaptiveFrontier` replaces the guess with a stopping rule: walk
+//! until the effective sample size (Geyer 1992, the paper's ref. [14])
+//! of the monitored functional reaches a target, with the budget as a
+//! cap. The demo runs the same rule on a fast-mixing network and on a
+//! slow one (a dense core welded to a long corridor, where consecutive
+//! samples stay correlated for ages): the rule spends a little on the
+//! easy graph and automatically keeps paying on the hard one until the
+//! information is actually in hand. Error bars come from
+//! `DensityWithError` (batch means), not from re-crawling.
+//!
+//! Caveat worth knowing: within-chain ESS prices *local* correlation.
+//! A walker sealed inside one component produces a stationary-looking
+//! series — that failure needs replicas and the Gelman–Rubin `R̂`
+//! (see `examples/convergence_diagnostics.rs`); the two tools are
+//! complements, not substitutes.
+
+use frontier_sampling::adaptive::AdaptiveFrontier;
+use frontier_sampling::estimators::DensityWithError;
+use frontier_sampling::{Budget, CostModel};
+use fs_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Average adaptive-run cost over a few seeds (single runs are noisy).
+fn crawl(name: &str, graph: &Graph, truth: f64) {
+    let target_ess = 500.0;
+    let cap = 1_000_000.0; // generous: the rule, not the cap, should stop us
+    let seeds = 5u64;
+    let mut steps = 0.0;
+    let mut interval = (0.0, 0.0);
+    let mut estimate = 0.0;
+    for seed in 0..seeds {
+        let mut est = DensityWithError::new();
+        let mut rng = SmallRng::seed_from_u64(2010 + seed);
+        let mut budget = Budget::new(cap);
+        let outcome = AdaptiveFrontier::new(1, target_ess).sample_edges(
+            graph,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |edge| {
+                let labeled = edge.target.index() % 2 == 0;
+                est.observe(graph, edge, labeled);
+            },
+        );
+        assert!(outcome.reached, "{name}: cap hit");
+        steps += outcome.steps as f64;
+        estimate = est.estimate().unwrap();
+        interval = est.confidence_interval(2.0).unwrap();
+    }
+    steps /= seeds as f64;
+    println!(
+        "{name:<28} |V| {:>6}  avg steps {steps:>8.0}  θ̂ = {estimate:.4} ∈ [{:.4}, {:.4}]  (truth {truth:.2})",
+        graph.num_vertices(),
+        interval.0,
+        interval.1,
+    );
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    // Easy: a well-mixed power-law network.
+    let easy = fs_gen::barabasi_albert(5_000, 4, &mut rng);
+
+    // Hard: a dense core (clique K8) welded to a corridor (a 30-cycle
+    // of degree-2 vertices) by a single edge. The 1/deg functional
+    // differs sharply between the two regions and the walk commutes
+    // between them slowly, so consecutive samples stay correlated over
+    // very long lags. (Sized so the walker *does* commute within a run:
+    // on a much longer corridor the functional would look locally
+    // constant and the correlation would be invisible to a within-chain
+    // diagnostic — the caveat in the header.)
+    let hard = {
+        let k = 8usize;
+        let c = 30usize;
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in i + 1..k {
+                edges.push((i, j));
+            }
+        }
+        for i in 0..c {
+            edges.push((k + i, k + (i + 1) % c));
+        }
+        edges.push((0, k));
+        fs_graph::graph_from_undirected_pairs(k + c, edges)
+    };
+
+    println!(
+        "Adaptive FS (m = 1, i.e. a single walker): walk until ESS(1/deg) ≥ 500, cap = 1M.\n\
+         Estimand: fraction of vertices with even index.\n"
+    );
+    crawl("fast-mixing BA", &easy, 0.5);
+    crawl("clique + 30-cycle", &hard, 0.5);
+    println!(
+        "\nReading: the same stopping rule prices each topology — on the\n\
+         well-mixed graph every step is nearly fresh information; on the\n\
+         core-and-corridor graph consecutive samples are strongly correlated,\n\
+         so the rule keeps walking until the target information is real.\n\
+         No hand-tuned budget, and the error bars come from the crawl itself."
+    );
+}

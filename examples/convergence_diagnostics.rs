@@ -1,0 +1,84 @@
+//! Convergence diagnostics: measure, don't guess, whether a walk mixed.
+//!
+//! ```sh
+//! cargo run --release --example convergence_diagnostics
+//! ```
+//!
+//! The scenario: you crawled an unknown network with a random walk and
+//! want to know whether the estimates can be trusted. The paper's
+//! Section 4.3 problem — a walker trapped in a subgraph — is invisible
+//! from a single estimate, but the standard MCMC diagnostics expose it:
+//! run a few independent replicas, compute the effective sample size
+//! (Geyer), the split Gelman–Rubin `R̂` across replicas, and the Geweke
+//! within-chain drift score.
+//!
+//! The demo builds the paper's `G_AB` stress graph (two Barabási–Albert
+//! halves joined by a single edge), runs SingleRW and FS replicas, and
+//! prints the verdicts: SingleRW fails `R̂` spectacularly (each replica
+//! sees only one half), FS passes.
+
+use frontier_sampling::diagnostics::{inverse_degree_series, ChainDiagnostics};
+use frontier_sampling::{Budget, CostModel, WalkMethod};
+use fs_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn diagnose(graph: &Graph, method: &WalkMethod, replicas: usize, budget: f64) -> ChainDiagnostics {
+    let chains: Vec<Vec<f64>> = (0..replicas)
+        .map(|r| {
+            let mut rng = SmallRng::seed_from_u64(42 + r as u64);
+            let mut edges = Vec::new();
+            let mut b = Budget::new(budget);
+            method.sample_edges(graph, &CostModel::unit(), &mut b, &mut rng, |e| edges.push(e));
+            inverse_degree_series(graph, &edges)
+        })
+        .collect();
+    ChainDiagnostics::compute(&chains)
+}
+
+fn main() {
+    // --- The stress graph: two BA halves, one bridge edge. -------------
+    let mut rng = SmallRng::seed_from_u64(7);
+    let half_a = fs_gen::barabasi_albert(10_000, 1, &mut rng);
+    let half_b = fs_gen::barabasi_albert(10_000, 5, &mut rng);
+    let graph = fs_gen::composite::bridge_join(&half_a, &half_b);
+    println!(
+        "G_AB: {} vertices, {} edges (sparse half + dense half, one bridge)\n",
+        graph.num_vertices(),
+        graph.num_undirected_edges()
+    );
+
+    let budget = graph.num_vertices() as f64 * 0.05;
+    let replicas = 8;
+    println!(
+        "{} replicas per method, budget {:.0} queries each; functional: 1/deg(v_i)\n",
+        replicas, budget
+    );
+    println!(
+        "{:<18} {:>9} {:>9} {:>12} {:>12}",
+        "method", "ESS/n", "R-hat", "worst |Z|", "verdict"
+    );
+
+    for method in [WalkMethod::single(), WalkMethod::multiple(64), WalkMethod::frontier(64)] {
+        let d = diagnose(&graph, &method, replicas, budget);
+        let worst_z = d
+            .geweke
+            .iter()
+            .filter_map(|z| z.map(f64::abs))
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<18} {:>9.3} {:>9.3} {:>12.2} {:>12}",
+            method.label(),
+            d.efficiency(),
+            d.r_hat.unwrap_or(f64::NAN),
+            worst_z,
+            if d.looks_converged() { "converged" } else { "NOT MIXED" }
+        );
+    }
+
+    println!(
+        "\nReading: SingleRW replicas each get trapped in one half of G_AB, so their\n\
+         1/deg means disagree and R-hat blows past the 1.1 alarm line. FS walkers\n\
+         redistribute across components (Theorem 5.4), so its replicas agree."
+    );
+}

@@ -1,0 +1,83 @@
+//! Sampling a loosely connected graph: the `G_AB` stress test
+//! (Sections 4.5 and 6.2 of the paper; Figures 9–10).
+//!
+//! ```sh
+//! cargo run --release --example disconnected
+//! ```
+//!
+//! `G_AB` glues a sparse Barabási–Albert graph (avg degree 2) to a dense
+//! one (avg degree 10) with a single bridge edge. A single random walker
+//! gets trapped on one side; independent walkers oversample the sparse
+//! side (uniform starts put half of them there, but it holds only 1/6 of
+//! the edges). Frontier Sampling's degree-proportional walker selection
+//! re-balances automatically.
+
+use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
+use frontier_sampling::{Budget, CostModel, WalkMethod};
+use fs_gen::datasets::DatasetKind;
+use fs_graph::{degree_distribution, DegreeKind, VertexId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = DatasetKind::Gab.generate(0.01, 11);
+    let graph = &dataset.graph;
+    let n = graph.num_vertices();
+    let half = n / 2;
+    let vol_a: usize = (0..half).map(|i| graph.degree(VertexId::new(i))).sum();
+    println!(
+        "G_AB: {} vertices; sparse half holds {:.1}% of the volume",
+        n,
+        100.0 * vol_a as f64 / graph.volume() as f64
+    );
+
+    let truth = degree_distribution(graph, DegreeKind::Symmetric);
+    let theta10 = truth.get(10).copied().unwrap_or(0.0);
+    println!("true theta_10 = {theta10:.4} (paper: 0.024)\n");
+
+    let budget_units = n as f64 * 0.1;
+    println!(
+        "{:<22} {:>12} {:>12} {:>16}",
+        "method", "theta_10 est", "rel.err", "% samples sparse"
+    );
+    for method in [
+        WalkMethod::frontier(100),
+        WalkMethod::single(),
+        WalkMethod::multiple(100),
+    ] {
+        // Average over a handful of runs so the demo is stable.
+        let runs = 20;
+        let mut est_sum = 0.0;
+        let mut sparse_share_sum = 0.0;
+        for run in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(100 + run);
+            let mut est = DegreeDistributionEstimator::symmetric();
+            let mut in_sparse = 0usize;
+            let mut total = 0usize;
+            let mut budget = Budget::new(budget_units);
+            method.sample_edges(graph, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                est.observe(graph, e);
+                total += 1;
+                if e.source.index() < half {
+                    in_sparse += 1;
+                }
+            });
+            est_sum += est.theta(10);
+            sparse_share_sum += in_sparse as f64 / total as f64;
+        }
+        let est = est_sum / runs as f64;
+        let share = sparse_share_sum / runs as f64;
+        println!(
+            "{:<22} {:>12.4} {:>11.1}% {:>15.1}%",
+            method.label(),
+            est,
+            100.0 * (est - theta10).abs() / theta10,
+            100.0 * share
+        );
+    }
+    println!(
+        "\nThe sparse half holds ~17% of the edges. FS samples it ~17% of the time;\n\
+         MultipleRW (uniform starts) samples it ~50% of the time and its theta_10\n\
+         estimate inherits that bias. SingleRW depends entirely on where it started."
+    );
+}

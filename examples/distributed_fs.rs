@@ -1,0 +1,91 @@
+//! Distributed Frontier Sampling (Theorem 5.5): uncoordinated walkers,
+//! identical statistics.
+//!
+//! ```sh
+//! cargo run --release --example distributed_fs
+//! ```
+//!
+//! FS looks centralized — every step needs all walkers' degrees. The
+//! paper's Theorem 5.5 shows the coordination can be replaced by local
+//! exponential clocks: each walker independently waits `Exp(deg(v))`
+//! before hopping, and the merged event sequence *is* an FS run. This
+//! example runs both implementations side by side and compares their
+//! estimates and per-vertex visit distributions.
+
+use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
+use frontier_sampling::{Budget, CostModel, DistributedFs, FrontierSampler};
+use fs_graph::{degree_distribution, DegreeKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(55);
+    let graph = fs_gen::barabasi_albert(20_000, 3, &mut rng);
+    let truth = degree_distribution(&graph, DegreeKind::Symmetric);
+    let budget_units = 20_000.0;
+    let m = 64;
+
+    // Centralized FS.
+    let mut fs_est = DegreeDistributionEstimator::symmetric();
+    let mut fs_visits = vec![0u32; graph.num_vertices()];
+    {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut budget = Budget::new(budget_units);
+        FrontierSampler::new(m).sample_edges(
+            &graph,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |e| {
+                fs_est.observe(&graph, e);
+                fs_visits[e.target.index()] += 1;
+            },
+        );
+    }
+
+    // Distributed FS (exponential clocks, no coordination).
+    let mut dfs_est = DegreeDistributionEstimator::symmetric();
+    let mut dfs_visits = vec![0u32; graph.num_vertices()];
+    {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut budget = Budget::new(budget_units);
+        DistributedFs::new(m).sample_edges(
+            &graph,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |e| {
+                dfs_est.observe(&graph, e);
+                dfs_visits[e.target.index()] += 1;
+            },
+        );
+    }
+
+    println!("m = {m} walkers, budget = {budget_units} steps each run\n");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "degree", "true θ", "FS estimate", "DFS estimate"
+    );
+    for degree in [3usize, 4, 6, 10, 20, 40] {
+        println!(
+            "{degree:>8} {:>12.5} {:>14.5} {:>14.5}",
+            truth.get(degree).copied().unwrap_or(0.0),
+            fs_est.theta(degree),
+            dfs_est.theta(degree),
+        );
+    }
+
+    // Total variation between the two empirical visit distributions.
+    let total_fs: f64 = fs_visits.iter().map(|&c| c as f64).sum();
+    let total_dfs: f64 = dfs_visits.iter().map(|&c| c as f64).sum();
+    let tv: f64 = fs_visits
+        .iter()
+        .zip(&dfs_visits)
+        .map(|(&a, &b)| (a as f64 / total_fs - b as f64 / total_dfs).abs())
+        .sum::<f64>()
+        / 2.0;
+    println!(
+        "\ntotal variation between FS and DFS visit distributions: {tv:.4} \
+         (sampling noise only — the processes are distribution-identical)"
+    );
+}

@@ -1,0 +1,98 @@
+//! Budgeted crawling with sparse user-id spaces (the Figure 13
+//! scenario).
+//!
+//! ```sh
+//! cargo run --release --example hit_ratio_crawl
+//! ```
+//!
+//! In MySpace-like networks only ~10% of random user-ids are valid, so a
+//! uniform vertex sample costs ~10 queries; sampling a random *edge*
+//! uniformly is even more expensive. Frontier Sampling pays the inflated
+//! cost only for its `m` seed vertices and then crawls neighbors at unit
+//! cost. This example compares the three strategies under one budget and
+//! prints how many *useful* samples each extracts.
+
+use frontier_sampling::estimators::{
+    DegreeDistributionEstimator, EdgeEstimator, VertexSampleDegreeEstimator,
+};
+use frontier_sampling::{
+    Budget, CostModel, FrontierSampler, RandomEdgeSampler, RandomVertexSampler, StartPolicy,
+};
+use fs_gen::datasets::DatasetKind;
+use fs_graph::{ccdf, degree_distribution, DegreeKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = DatasetKind::LiveJournal.generate(0.01, 5);
+    let graph = &dataset.graph;
+    let budget_units = graph.num_vertices() as f64 * 0.1;
+    println!(
+        "LiveJournal replica: {} users; crawl budget {budget_units:.0} queries",
+        graph.num_vertices()
+    );
+    println!("hit ratios: vertices 10% (cost 10/draw), edges 1% (cost 200/draw)\n");
+
+    let truth = ccdf(&degree_distribution(graph, DegreeKind::InOriginal));
+    let report = |label: &str, samples: usize, est: &[f64]| {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (e, t) in est.iter().zip(&truth) {
+            if *t > 1e-3 {
+                sum += (e - t).abs() / t;
+                count += 1;
+            }
+        }
+        println!(
+            "{label:<28} useful samples: {samples:>6}   mean CCDF |rel.err|: {:>6.2}%",
+            100.0 * sum / count.max(1) as f64
+        );
+    };
+
+    // Frontier Sampling: starts cost 10 each, steps cost 1.
+    {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cost = CostModel::unit().with_vertex_hit_ratio(0.1);
+        let m = 100;
+        let sampler = FrontierSampler::new(m).with_start(StartPolicy::Uniform);
+        let mut est = DegreeDistributionEstimator::in_degree();
+        let mut budget = Budget::new(budget_units);
+        sampler.sample_edges(graph, &cost, &mut budget, &mut rng, |e| {
+            est.observe(graph, e)
+        });
+        report("FS (m=100, 10% hit)", est.num_observed(), &ccdf(&est.distribution()));
+    }
+
+    // Random vertex sampling at a 10% hit ratio.
+    {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cost = CostModel::unit().with_vertex_hit_ratio(0.1);
+        let mut est = VertexSampleDegreeEstimator::new(DegreeKind::InOriginal);
+        let mut budget = Budget::new(budget_units);
+        RandomVertexSampler::new().sample_vertices(graph, &cost, &mut budget, &mut rng, |v| {
+            est.observe(graph, v)
+        });
+        report(
+            "Random vertex (10% hit)",
+            est.num_observed() as usize,
+            &est.ccdf(),
+        );
+    }
+
+    // Random edge sampling at a 1% hit ratio.
+    {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cost = CostModel::unit().with_edge_hit_ratio(0.01);
+        let mut est = DegreeDistributionEstimator::in_degree();
+        let mut budget = Budget::new(budget_units);
+        RandomEdgeSampler::new().sample_edges(graph, &cost, &mut budget, &mut rng, |e| {
+            est.observe(graph, e)
+        });
+        report("Random edge (1% hit)", est.num_observed(), &ccdf(&est.distribution()));
+    }
+
+    println!(
+        "\nFS converts almost the whole budget into samples; the independent methods\n\
+         burn 90-99% of theirs on invalid ids. (Monte-Carlo version: repro --exp fig13.)"
+    );
+}

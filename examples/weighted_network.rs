@@ -1,0 +1,98 @@
+//! Weighted Frontier Sampling on a traffic-weighted network.
+//!
+//! ```sh
+//! cargo run --release --example weighted_network
+//! ```
+//!
+//! The scenario (paper Section 4.2.1 names it: "the amount of IP traffic
+//! over each link"): a network whose edges carry positive weights, where
+//! the interesting walk is the *weighted* one — next hop chosen
+//! proportionally to link weight — because it samples links
+//! proportionally to traffic and vertices proportionally to strength.
+//! Weighted FS keeps Algorithm 1's robustness while generalising every
+//! stationary statement with `deg → strength` (see
+//! `frontier_sampling::weighted`).
+//!
+//! The demo builds a power-law network, assigns heavy-tailed link
+//! weights, labels the vertices whose strength exceeds a threshold
+//! ("backbone routers"), and shows that the `1/strength`-reweighted
+//! estimator recovers the true backbone fraction from a 25% crawl — while
+//! a naive unweighted average over the same samples is badly biased.
+
+use frontier_sampling::weighted::{WeightedFrontierSampler, WeightedVertexDensityEstimator};
+use frontier_sampling::{Budget, CostModel};
+use fs_graph::VertexId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2010);
+
+    // --- Build a traffic-weighted network. ------------------------------
+    // Topology: Barabási–Albert; weights: truncated Pareto(α = 1.5)
+    // traffic volumes (heavy tail like real link loads).
+    let topo = fs_gen::barabasi_albert(20_000, 3, &mut rng);
+    let graph = fs_gen::assign_weights(
+        &topo,
+        fs_gen::WeightModel::Pareto {
+            alpha: 1.5,
+            cap: 1e4,
+        },
+        &mut rng,
+    );
+    println!(
+        "network: {} vertices, {} weighted links, total traffic volume {:.0}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.total_strength() / 2.0
+    );
+
+    // --- Ground truth: which vertices are "backbone" (high strength)? ---
+    let threshold = 40.0;
+    let is_backbone =
+        |v: VertexId| -> bool { graph.strength(v) > threshold };
+    let true_fraction = graph.vertices().filter(|&v| is_backbone(v)).count() as f64
+        / graph.num_vertices() as f64;
+    println!("true backbone fraction (strength > {threshold}): {true_fraction:.4}\n");
+
+    // --- Crawl with weighted FS and estimate the fraction. --------------
+    let budget_units = graph.num_vertices() as f64 * 0.25;
+    let sampler = WeightedFrontierSampler::new(64);
+    let mut est = WeightedVertexDensityEstimator::new();
+    let mut naive_hits = 0usize;
+    let mut naive_total = 0usize;
+    let mut budget = Budget::new(budget_units);
+    sampler.sample_edges(&graph, &CostModel::unit(), &mut budget, &mut rng, |arc| {
+        let labeled = is_backbone(arc.target);
+        est.observe(&graph, arc, labeled);
+        // The naive estimator: raw fraction of visits that are backbone.
+        naive_hits += labeled as usize;
+        naive_total += 1;
+    });
+
+    let reweighted = est.density().expect("walk produced samples");
+    let naive = naive_hits as f64 / naive_total as f64;
+    println!(
+        "samples: {} edges ({}% of |V| budget)",
+        est.num_observed(),
+        100.0 * budget_units / graph.num_vertices() as f64
+    );
+    println!(
+        "{:<36} {:>10} {:>12}",
+        "estimator", "estimate", "rel. error"
+    );
+    for (name, value) in [
+        ("naive visit fraction (biased)", naive),
+        ("1/strength reweighted (eq. 7 analog)", reweighted),
+    ] {
+        println!(
+            "{name:<36} {value:>10.4} {:>11.1}%",
+            100.0 * (value - true_fraction).abs() / true_fraction
+        );
+    }
+    println!(
+        "\nReading: the weighted walk visits vertices proportionally to strength, so\n\
+         heavy (backbone) vertices are massively oversampled; only the 1/strength\n\
+         reweighting recovers the per-vertex fraction."
+    );
+}

@@ -1,0 +1,22 @@
+//! # frontier-sampling-repro — facade crate
+//!
+//! Re-exports the whole workspace so the repository-level examples and
+//! integration tests (and downstream users who want a single dependency)
+//! can reach every component:
+//!
+//! * [`graph`] — the CSR graph substrate (`fs-graph`);
+//! * [`gen`] — random graph generators and dataset replicas (`fs-gen`);
+//! * [`sampling`] — Frontier Sampling, the companion walkers, budgets,
+//!   estimators, metrics, and theory (`frontier-sampling`);
+//! * [`experiments`] — the per-figure/per-table reproduction harness
+//!   (`fs-experiments`).
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use frontier_sampling as sampling;
+pub use fs_gen as gen;
+pub use fs_graph as graph;
+
+/// The reproduction harness (`fs-experiments`).
+pub use fs_experiments as experiments;

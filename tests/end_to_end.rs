@@ -1,0 +1,119 @@
+//! End-to-end integration tests: generator → sampler → estimator →
+//! metric, across crate boundaries, exercising the public facade.
+
+use frontier_sampling_repro::gen::datasets::DatasetKind;
+use frontier_sampling_repro::graph::{
+    ccdf, degree_distribution, global_clustering, DegreeKind, GraphSummary,
+};
+use frontier_sampling_repro::sampling::estimators::{
+    ClusteringEstimator, DegreeDistributionEstimator, EdgeEstimator,
+};
+use frontier_sampling_repro::sampling::{Budget, CostModel, WalkMethod};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SCALE: f64 = 0.004;
+
+#[test]
+fn fs_recovers_degree_ccdf_on_flickr_replica() {
+    let d = DatasetKind::Flickr.generate(SCALE, 1);
+    let g = &d.graph;
+    let truth = ccdf(&degree_distribution(g, DegreeKind::InOriginal));
+
+    let mut est = DegreeDistributionEstimator::in_degree();
+    let mut rng = SmallRng::seed_from_u64(2);
+    // A generous budget: this test checks correctness, not efficiency.
+    let mut budget = Budget::new(g.num_vertices() as f64);
+    WalkMethod::frontier(100).sample_edges(g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        est.observe(g, e)
+    });
+    let estimated = est.ccdf();
+
+    let mut checked = 0usize;
+    for (i, &t) in truth.iter().enumerate() {
+        if t > 0.05 {
+            let e = estimated.get(i).copied().unwrap_or(0.0);
+            assert!(
+                (e - t).abs() / t < 0.15,
+                "CCDF bucket {i}: est {e} vs truth {t}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "too few buckets with mass to check");
+}
+
+#[test]
+fn clustering_estimate_matches_exact_on_replica() {
+    let d = DatasetKind::Flickr.generate(SCALE, 3);
+    let g = &d.graph;
+    let exact = global_clustering(g);
+    assert!(exact > 0.02, "replica must have clustering, got {exact}");
+
+    let mut est = ClusteringEstimator::new();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut budget = Budget::new(2.0 * g.num_vertices() as f64);
+    WalkMethod::frontier(50).sample_edges(g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        est.observe(g, e)
+    });
+    let c = est.estimate().unwrap();
+    assert!(
+        (c - exact).abs() / exact < 0.2,
+        "Ĉ = {c} vs exact C = {exact}"
+    );
+}
+
+#[test]
+fn all_walk_methods_agree_on_connected_graph() {
+    // On a connected graph with a long budget, every walk method's
+    // estimate converges to the same truth.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = frontier_sampling_repro::gen::barabasi_albert(3_000, 3, &mut rng);
+    let truth = degree_distribution(&g, DegreeKind::Symmetric);
+
+    for method in [
+        WalkMethod::single(),
+        WalkMethod::multiple(8),
+        WalkMethod::frontier(8),
+        WalkMethod::distributed_frontier(8),
+    ] {
+        let mut est = DegreeDistributionEstimator::symmetric();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut budget = Budget::new(150_000.0);
+        method.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            est.observe(&g, e)
+        });
+        let theta = est.distribution();
+        for i in 3..=6 {
+            assert!(
+                (theta[i] - truth[i]).abs() < 0.01,
+                "{}: θ{i} = {} vs {}",
+                method.label(),
+                theta[i],
+                truth[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn summaries_capture_replica_shape() {
+    for kind in [DatasetKind::Flickr, DatasetKind::YouTube] {
+        let d = kind.generate(SCALE, 7);
+        let s = GraphSummary::compute(kind.name(), &d.graph);
+        assert!(s.num_vertices >= 1_000);
+        assert!(s.average_degree > 2.0);
+        assert!(s.wmax > 5.0, "{}: wmax {}", kind.name(), s.wmax);
+    }
+}
+
+#[test]
+fn graph_io_roundtrip_through_facade() {
+    let d = DatasetKind::Gab.generate(0.002, 9);
+    let mut buf = Vec::new();
+    frontier_sampling_repro::graph::io::write_edge_list(&d.graph, &mut buf).unwrap();
+    let g2 = frontier_sampling_repro::graph::io::read_edge_list(buf.as_slice()).unwrap();
+    assert_eq!(g2.num_vertices(), d.graph.num_vertices());
+    assert_eq!(g2.num_arcs(), d.graph.num_arcs());
+    g2.validate().unwrap();
+}

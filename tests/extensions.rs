@@ -1,0 +1,158 @@
+//! Integration tests for the extension surface: non-backtracking walks,
+//! random walk with jumps, weighted FS, convergence diagnostics, and the
+//! knn spectrum estimator — exercised across crate boundaries through
+//! the public facade.
+
+use frontier_sampling_repro::sampling::diagnostics::{inverse_degree_series, ChainDiagnostics};
+use frontier_sampling_repro::sampling::estimators::{
+    DegreeDistributionEstimator, EdgeEstimator, NeighborDegreeEstimator,
+};
+use frontier_sampling_repro::sampling::rwj::RwjDegreeDistributionEstimator;
+use frontier_sampling_repro::sampling::weighted::{
+    WeightedFrontierSampler, WeightedVertexDensityEstimator,
+};
+use frontier_sampling_repro::sampling::{
+    Budget, CostModel, NonBacktrackingFrontier, RandomWalkWithJumps, WalkMethod,
+};
+use fs_graph::{average_neighbor_degree, ccdf, degree_distribution, DegreeKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A loosely connected stress graph: BA(m=1) half ⊕ BA(m=4) half, one
+/// bridge — the paper's `G_AB` shape at test scale.
+fn gab(seed: u64) -> fs_graph::Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = fs_gen::barabasi_albert(3_000, 1, &mut rng);
+    let b = fs_gen::barabasi_albert(3_000, 4, &mut rng);
+    fs_gen::composite::bridge_join(&a, &b)
+}
+
+#[test]
+fn rwj_estimates_degree_ccdf_on_gab() {
+    // RWJ's jump + reweighting must cope with the loose bridge.
+    let g = gab(21);
+    let truth = ccdf(&degree_distribution(&g, DegreeKind::Symmetric));
+    let alpha = 1.0;
+    let mut est = RwjDegreeDistributionEstimator::new(alpha, DegreeKind::Symmetric);
+    let mut rng = SmallRng::seed_from_u64(22);
+    let mut budget = Budget::new(g.num_vertices() as f64);
+    RandomWalkWithJumps::new(alpha).sample_visits(
+        &g,
+        &CostModel::unit(),
+        &mut budget,
+        &mut rng,
+        |v| est.observe(&g, v),
+    );
+    let got = est.ccdf();
+    for (deg, (&t, &e)) in truth.iter().zip(got.iter()).enumerate() {
+        if t > 0.05 {
+            assert!(
+                (e - t).abs() / t < 0.25,
+                "CCDF({deg}): {e} vs {t} (rel {})",
+                (e - t).abs() / t
+            );
+        }
+    }
+}
+
+#[test]
+fn nb_frontier_estimates_degree_ccdf() {
+    let g = gab(23);
+    let truth = ccdf(&degree_distribution(&g, DegreeKind::Symmetric));
+    let mut est = DegreeDistributionEstimator::symmetric();
+    let mut rng = SmallRng::seed_from_u64(24);
+    let mut budget = Budget::new(g.num_vertices() as f64);
+    NonBacktrackingFrontier::new(100).sample_edges(
+        &g,
+        &CostModel::unit(),
+        &mut budget,
+        &mut rng,
+        |e| est.observe(&g, e),
+    );
+    let got = est.ccdf();
+    for (deg, (&t, &e)) in truth.iter().zip(got.iter()).enumerate() {
+        if t > 0.05 {
+            assert!(
+                (e - t).abs() / t < 0.25,
+                "CCDF({deg}): {e} vs {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn diagnostics_separate_fs_from_single_rw_on_gab() {
+    let g = gab(25);
+    let budget = g.num_vertices() as f64 * 0.1;
+    let chains_for = |method: &WalkMethod, base: u64| -> Vec<Vec<f64>> {
+        (0..6)
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(base + r);
+                let mut edges = Vec::new();
+                let mut b = Budget::new(budget);
+                method.sample_edges(&g, &CostModel::unit(), &mut b, &mut rng, |e| edges.push(e));
+                inverse_degree_series(&g, &edges)
+            })
+            .collect()
+    };
+    let single = ChainDiagnostics::compute(&chains_for(&WalkMethod::single(), 100));
+    let fs = ChainDiagnostics::compute(&chains_for(&WalkMethod::frontier(64), 200));
+    let r_single = single.r_hat.unwrap();
+    let r_fs = fs.r_hat.unwrap();
+    assert!(
+        r_fs < r_single,
+        "FS replicas must agree more: R̂ {r_fs} vs {r_single}"
+    );
+    assert!(r_fs < 1.15, "FS should pass the alarm line, got {r_fs}");
+}
+
+#[test]
+fn weighted_fs_density_estimate_end_to_end() {
+    // Weighted graph from a generated topology with deterministic
+    // weights; label = odd vertex index (true density 1/2).
+    let mut rng = SmallRng::seed_from_u64(26);
+    let topo = fs_gen::barabasi_albert(4_000, 3, &mut rng);
+    let g = fs_gen::assign_weights(
+        &topo,
+        fs_gen::WeightModel::Uniform { lo: 0.5, hi: 8.0 },
+        &mut rng,
+    );
+    let mut est = WeightedVertexDensityEstimator::new();
+    let mut budget = Budget::new(g.num_vertices() as f64 * 2.0);
+    WeightedFrontierSampler::new(32).sample_edges(
+        &g,
+        &CostModel::unit(),
+        &mut budget,
+        &mut rng,
+        |arc| {
+            let labeled = arc.target.index() % 2 == 1;
+            est.observe(&g, arc, labeled);
+        },
+    );
+    let d = est.density().unwrap();
+    assert!((d - 0.5).abs() < 0.05, "density {d}");
+}
+
+#[test]
+fn knn_spectrum_matches_exact_on_replica() {
+    let mut rng = SmallRng::seed_from_u64(27);
+    let g = fs_gen::barabasi_albert(2_000, 2, &mut rng);
+    let exact = average_neighbor_degree(&g);
+    let mut est = NeighborDegreeEstimator::new();
+    let mut budget = Budget::new(g.num_vertices() as f64 * 5.0);
+    WalkMethod::frontier(50).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        est.observe(&g, e)
+    });
+    // Compare on well-populated buckets only.
+    let mut checked = 0usize;
+    for k in 0..exact.len() {
+        if est.bucket_count(k) >= 500 {
+            let (Some(t), Some(e)) = (exact[k], est.knn(k)) else {
+                continue;
+            };
+            assert!((e - t).abs() / t < 0.15, "knn({k}): {e} vs {t}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "too few populated buckets ({checked})");
+}
