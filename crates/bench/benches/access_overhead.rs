@@ -1,0 +1,147 @@
+//! Does the `GraphAccess` trait layer cost anything?
+//!
+//! `cargo bench --bench access_overhead`
+//!
+//! The refactor's zero-cost claim: samplers generic over `A: GraphAccess`
+//! monomorphize to the same machine code as the old concrete-`&Graph`
+//! versions. This bench walks ~100k steps of SingleRW and FS(100) on a
+//! 100k-vertex Barabási–Albert graph through four paths —
+//!
+//! * `direct` — a hand-rolled walk loop against the CSR `Graph` methods
+//!   (the pre-refactor baseline, no trait in sight);
+//! * `graph` — the generic sampler with `A = Graph`;
+//! * `csr_access` — the generic sampler with `A = CsrAccess`;
+//! * `crawl_access` — the generic sampler with `A = CrawlAccess`
+//!   (fault-free; adds only query counting);
+//!
+//! and reports ns/step. `direct` vs `csr_access` is the headline number:
+//! any gap is the cost of the abstraction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use frontier_sampling::backend::CrawlAccess;
+use frontier_sampling::{Budget, CostModel, FrontierSampler, SingleRw};
+use fs_graph::{CsrAccess, Graph, GraphAccess, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const STEPS: usize = 100_000;
+
+fn fixture() -> Graph {
+    let mut rng = SmallRng::seed_from_u64(0xACCE55);
+    fs_gen::barabasi_albert(100_000, 5, &mut rng)
+}
+
+/// The pre-refactor baseline: a single random walk written directly
+/// against the CSR graph, no trait, no budget indirection beyond a
+/// counter.
+fn direct_walk(graph: &Graph, steps: usize, rng: &mut SmallRng) -> usize {
+    let mut v = VertexId::new(rng.gen_range(0..graph.num_vertices()));
+    while graph.degree(v) == 0 {
+        v = VertexId::new(rng.gen_range(0..graph.num_vertices()));
+    }
+    let mut acc = 0usize;
+    for _ in 0..steps {
+        let d = graph.degree(v);
+        v = graph.nth_neighbor(v, rng.gen_range(0..d));
+        acc += v.index();
+    }
+    acc
+}
+
+fn generic_single<A: GraphAccess>(access: &A, steps: usize, rng: &mut SmallRng) -> usize {
+    let mut budget = Budget::new(steps as f64 + 1.0);
+    let mut acc = 0usize;
+    SingleRw::new().sample_edges(access, &CostModel::unit(), &mut budget, rng, |e| {
+        acc += e.target.index();
+    });
+    acc
+}
+
+fn bench_single_rw(c: &mut Criterion) {
+    let graph = fixture();
+    let mut group = c.benchmark_group("single_rw_100k");
+    group.throughput(Throughput::Elements(STEPS as u64));
+
+    group.bench_function("direct", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(direct_walk(&graph, STEPS, &mut rng)))
+    });
+    group.bench_function("graph", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(generic_single(&graph, STEPS, &mut rng)))
+    });
+    group.bench_function("csr_access", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let csr = CsrAccess::new(&graph);
+        b.iter(|| black_box(generic_single(&csr, STEPS, &mut rng)))
+    });
+    group.bench_function("crawl_access", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let crawler = CrawlAccess::new(&graph);
+        b.iter(|| black_box(generic_single(&crawler, STEPS, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    let graph = fixture();
+    let mut group = c.benchmark_group("frontier_m100_100k");
+    group.throughput(Throughput::Elements(STEPS as u64));
+
+    group.bench_function("graph", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut budget = Budget::new(STEPS as f64);
+            let mut acc = 0usize;
+            FrontierSampler::new(100).sample_edges(
+                &graph,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |e| acc += e.target.index(),
+            );
+            black_box(acc)
+        })
+    });
+    group.bench_function("csr_access", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let csr = CsrAccess::new(&graph);
+        b.iter(|| {
+            let mut budget = Budget::new(STEPS as f64);
+            let mut acc = 0usize;
+            FrontierSampler::new(100).sample_edges(
+                &csr,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |e| acc += e.target.index(),
+            );
+            black_box(acc)
+        })
+    });
+    group.bench_function("crawl_access", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let crawler = CrawlAccess::new(&graph);
+        b.iter(|| {
+            let mut budget = Budget::new(STEPS as f64);
+            let mut acc = 0usize;
+            FrontierSampler::new(100).sample_edges(
+                &crawler,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |e| acc += e.target.index(),
+            );
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_single_rw, bench_frontier
+}
+criterion_main!(benches);

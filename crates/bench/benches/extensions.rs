@@ -169,7 +169,9 @@ fn bench_diagnostics(c: &mut Criterion) {
         prev = 0.5 * prev + innov * 0.75f64.sqrt();
         x.push(prev);
     }
-    let chains: Vec<Vec<f64>> = (0..8).map(|i| x[i * 10_000..(i + 1) * 10_000].to_vec()).collect();
+    let chains: Vec<Vec<f64>> = (0..8)
+        .map(|i| x[i * 10_000..(i + 1) * 10_000].to_vec())
+        .collect();
 
     let mut group = c.benchmark_group("diagnostics");
     group.throughput(Throughput::Elements(n as u64));

@@ -36,5 +36,8 @@ fn main() {
         println!("  [{} regenerated in {:.1?}]", e.id, t0.elapsed());
         println!();
     }
-    println!("# all 17 paper artifacts regenerated in {:.1?}", start.elapsed());
+    println!(
+        "# all 17 paper artifacts regenerated in {:.1?}",
+        start.elapsed()
+    );
 }

@@ -19,8 +19,8 @@
 
 use crate::budget::{Budget, CostModel};
 use crate::start::StartPolicy;
-use crate::walk;
-use fs_graph::{Arc, Graph};
+use crate::walk::{self, StepOutcome};
+use fs_graph::{Arc, GraphAccess, QueryKind};
 use rand::Rng;
 
 /// The D1 ablation: `m` walkers advanced in uniformly random order
@@ -48,23 +48,28 @@ impl UniformSelectWalkers {
     }
 
     /// Runs the process, feeding sampled edges to `sink`.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(Arc),
     ) {
-        let mut positions = self.start.draw(graph, self.m, cost, budget, rng);
+        let mut positions = self.start.draw(access, self.m, cost, budget, rng);
         if positions.is_empty() {
             return;
         }
-        while budget.try_spend(cost.walk_step) {
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
+        while budget.try_spend(step_cost) {
             let i = rng.gen_range(0..positions.len());
-            if let Some(edge) = walk::step(graph, positions[i], rng) {
-                positions[i] = edge.target;
-                sink(edge);
+            match walk::step(access, positions[i], rng) {
+                StepOutcome::Edge(edge) => {
+                    positions[i] = edge.target;
+                    sink(edge);
+                }
+                StepOutcome::Lost(edge) => positions[i] = edge.target,
+                StepOutcome::Bounced | StepOutcome::Isolated => {}
             }
         }
     }
@@ -74,7 +79,7 @@ impl UniformSelectWalkers {
 mod tests {
     use super::*;
     use crate::frontier::FrontierSampler;
-    use fs_graph::{graph_from_undirected_pairs, VertexId};
+    use fs_graph::{graph_from_undirected_pairs, Graph, VertexId};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -120,7 +125,13 @@ mod tests {
                     m: 2,
                     start: starts.clone(),
                 }
-                .sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, &mut count);
+                .sample_edges(
+                    &g,
+                    &CostModel::unit(),
+                    &mut budget,
+                    &mut rng,
+                    &mut count,
+                );
             } else {
                 FrontierSampler::new(2)
                     .with_start(starts.clone())

@@ -17,7 +17,8 @@ use crate::budget::{Budget, CostModel};
 use crate::diagnostics::effective_sample_size;
 use crate::frontier::{Frontier, FrontierSampler};
 use crate::start::StartPolicy;
-use fs_graph::{Arc, Graph};
+use crate::walk::StepOutcome;
+use fs_graph::{Arc, GraphAccess, QueryKind};
 use rand::Rng;
 
 /// Outcome of an adaptive run.
@@ -92,9 +93,9 @@ impl AdaptiveFrontier {
 
     /// Runs FS until the ESS target is met or the budget cap is
     /// exhausted; every sampled edge is fed to `sink`.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
@@ -104,7 +105,7 @@ impl AdaptiveFrontier {
             m: self.m,
             start: self.start.clone(),
         };
-        let mut frontier = match Frontier::init(&sampler, graph, cost, budget, rng) {
+        let mut frontier = match Frontier::init(&sampler, access, cost, budget, rng) {
             Some(f) => f,
             None => {
                 return AdaptiveOutcome {
@@ -114,14 +115,17 @@ impl AdaptiveFrontier {
                 }
             }
         };
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let mut series: Vec<f64> = Vec::new();
         let mut next_check = self.min_steps.max(4);
         let mut ess = 0.0;
-        while budget.try_spend(cost.walk_step) {
-            let Some(edge) = frontier.step(graph, rng) else {
-                break;
+        while budget.try_spend(step_cost) {
+            let edge = match frontier.step_outcome(access, rng) {
+                StepOutcome::Edge(edge) => edge,
+                StepOutcome::Lost(_) | StepOutcome::Bounced => continue,
+                StepOutcome::Isolated => break,
             };
-            let d = graph.degree(edge.target);
+            let d = access.degree(edge.target);
             series.push(if d == 0 { 0.0 } else { 1.0 / d as f64 });
             sink(edge);
             if series.len() >= next_check {
@@ -133,8 +137,7 @@ impl AdaptiveFrontier {
                         reached: true,
                     };
                 }
-                next_check = ((series.len() as f64 * self.growth) as usize)
-                    .max(series.len() + 1);
+                next_check = ((series.len() as f64 * self.growth) as usize).max(series.len() + 1);
             }
         }
         // Budget (or a dead end) stopped us; report the final ESS.
@@ -152,7 +155,7 @@ impl AdaptiveFrontier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -225,8 +228,13 @@ mod tests {
         let steps_on = |g: &Graph, seed: u64| {
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut budget = Budget::new(500_000.0);
-            AdaptiveFrontier::new(1, target)
-                .sample_edges(g, &CostModel::unit(), &mut budget, &mut rng, |_| {})
+            AdaptiveFrontier::new(1, target).sample_edges(
+                g,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |_| {},
+            )
         };
         // Average over seeds: single runs are noisy.
         let avg = |g: &Graph| -> f64 {

@@ -88,8 +88,11 @@ impl Budget {
 
     /// Budget expressed as a fraction of the vertex count, the paper's
     /// convention (`B = |V|/100` etc.).
-    pub fn fraction_of_vertices(graph: &fs_graph::Graph, fraction: f64) -> Self {
-        Budget::new((graph.num_vertices() as f64 * fraction).floor())
+    pub fn fraction_of_vertices<A: fs_graph::GraphAccess + ?Sized>(
+        access: &A,
+        fraction: f64,
+    ) -> Self {
+        Budget::new((access.num_vertices() as f64 * fraction).floor())
     }
 
     /// Total budget.
@@ -164,7 +167,9 @@ mod tests {
 
     #[test]
     fn hit_ratios() {
-        let cm = CostModel::unit().with_vertex_hit_ratio(0.1).with_edge_hit_ratio(0.01);
+        let cm = CostModel::unit()
+            .with_vertex_hit_ratio(0.1)
+            .with_edge_hit_ratio(0.01);
         assert!((cm.uniform_vertex - 10.0).abs() < 1e-12);
         assert!((cm.random_edge - 200.0).abs() < 1e-12);
         assert_eq!(cm.walk_step, 1.0);

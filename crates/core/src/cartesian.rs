@@ -147,8 +147,7 @@ mod tests {
         // FS state occupancy.
         let mut rng = SmallRng::seed_from_u64(261);
         let mut fs_counts = vec![0u32; gm.num_vertices()];
-        let mut frontier =
-            Frontier::from_positions(&g, vec![VertexId::new(0), VertexId::new(0)]);
+        let mut frontier = Frontier::from_positions(&g, vec![VertexId::new(0), VertexId::new(0)]);
         for _ in 0..steps {
             frontier.step(&g, &mut rng).unwrap();
             fs_counts[encode_state(frontier.positions(), n)] += 1;
@@ -158,7 +157,7 @@ mod tests {
         let mut rw_counts = vec![0u32; gm.num_vertices()];
         let mut pos = VertexId::new(0);
         for _ in 0..steps {
-            let e = crate::walk::step(&gm, pos, &mut rng).unwrap();
+            let e = crate::walk::step(&gm, pos, &mut rng).sampled().unwrap();
             pos = e.target;
             rw_counts[pos.index()] += 1;
         }

@@ -9,53 +9,45 @@
 //! typically much larger than the visited set — the paper's crawling
 //! model, Section 2).
 
-use fs_graph::{Arc, BitSet, Graph};
+use fs_graph::{Arc, BitSet, GraphAccess, VertexId};
+use std::collections::HashSet;
 
 /// Streaming coverage statistics over sampled edges.
 #[derive(Clone, Debug)]
 pub struct CoverageTracker {
     visited: BitSet,
     known: BitSet,
-    sampled_arcs: BitSet,
+    sampled_edges: HashSet<(VertexId, VertexId)>,
     steps: usize,
-    unique_edges: usize,
 }
 
 impl CoverageTracker {
-    /// Creates a tracker for `graph`.
-    pub fn new(graph: &Graph) -> Self {
+    /// Creates a tracker for the graph behind `access`.
+    pub fn new<A: GraphAccess + ?Sized>(access: &A) -> Self {
         CoverageTracker {
-            visited: BitSet::new(graph.num_vertices()),
-            known: BitSet::new(graph.num_vertices()),
-            sampled_arcs: BitSet::new(graph.num_arcs()),
+            visited: BitSet::new(access.num_vertices()),
+            known: BitSet::new(access.num_vertices()),
+            sampled_edges: HashSet::new(),
             steps: 0,
-            unique_edges: 0,
         }
     }
 
     /// Records one sampled edge.
-    pub fn observe(&mut self, graph: &Graph, edge: Arc) {
+    pub fn observe<A: GraphAccess + ?Sized>(&mut self, access: &A, edge: Arc) {
         self.steps += 1;
         for v in [edge.source, edge.target] {
             if !self.visited.get(v.index()) {
                 self.visited.set(v.index());
                 // Visiting reveals the whole neighbor list.
-                for &w in graph.neighbors(v) {
+                for &w in access.neighbors(v).as_ref() {
                     self.known.set(w.index());
                 }
                 self.known.set(v.index());
             }
         }
-        // Count each undirected edge once via its canonical arc.
-        if let Some(arc) = graph.find_arc(
-            edge.source.min(edge.target),
-            edge.source.max(edge.target),
-        ) {
-            if !self.sampled_arcs.get(arc) {
-                self.sampled_arcs.set(arc);
-                self.unique_edges += 1;
-            }
-        }
+        // Count each undirected edge once via its canonical ordered pair.
+        self.sampled_edges
+            .insert((edge.source.min(edge.target), edge.source.max(edge.target)));
     }
 
     /// Steps observed.
@@ -76,12 +68,12 @@ impl CoverageTracker {
 
     /// Distinct undirected edges sampled.
     pub fn unique_edges(&self) -> usize {
-        self.unique_edges
+        self.sampled_edges.len()
     }
 
     /// Fraction of vertices visited.
-    pub fn visited_fraction(&self, graph: &Graph) -> f64 {
-        self.visited_vertices() as f64 / graph.num_vertices().max(1) as f64
+    pub fn visited_fraction<A: GraphAccess + ?Sized>(&self, access: &A) -> f64 {
+        self.visited_vertices() as f64 / access.num_vertices().max(1) as f64
     }
 }
 

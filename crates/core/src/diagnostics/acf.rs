@@ -68,10 +68,7 @@ mod tests {
         for lag in 1..6 {
             let expect = rho.powi(lag as i32);
             let got = autocorrelation(&x, lag);
-            assert!(
-                (got - expect).abs() < 0.03,
-                "lag {lag}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 0.03, "lag {lag}: {got} vs {expect}");
         }
     }
 
@@ -91,7 +88,9 @@ mod tests {
 
     #[test]
     fn alternating_series_negative_lag_one() {
-        let x: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&x, 1) < -0.95);
         assert!(autocorrelation(&x, 2) > 0.95);
     }

@@ -29,8 +29,7 @@ pub fn batch_means_se(x: &[f64], num_batches: usize) -> Option<f64> {
         })
         .collect();
     let grand = means.iter().sum::<f64>() / num_batches as f64;
-    let var = means.iter().map(|&m| (m - grand).powi(2)).sum::<f64>()
-        / (num_batches as f64 - 1.0);
+    let var = means.iter().map(|&m| (m - grand).powi(2)).sum::<f64>() / (num_batches as f64 - 1.0);
     if var <= 0.0 {
         return None;
     }
@@ -71,10 +70,7 @@ mod tests {
         let corr = mcse(&ar1(n, 0.9, 1002)).unwrap();
         // AR(1) with rho = 0.9 inflates the asymptotic variance by
         // (1+rho)/(1-rho) = 19; batch means should see most of it.
-        assert!(
-            corr > iid * 2.5,
-            "correlated {corr} vs iid {iid}"
-        );
+        assert!(corr > iid * 2.5, "correlated {corr} vs iid {iid}");
     }
 
     #[test]

@@ -57,10 +57,7 @@ mod tests {
         let n = 20_000;
         let x = ar1(n, 0.0, 701);
         let ess = effective_sample_size(&x);
-        assert!(
-            (ess / n as f64 - 1.0).abs() < 0.15,
-            "ESS {ess} for n = {n}"
-        );
+        assert!((ess / n as f64 - 1.0).abs() < 0.15, "ESS {ess} for n = {n}");
     }
 
     #[test]

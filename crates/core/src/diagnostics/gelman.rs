@@ -98,8 +98,14 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert!(split_r_hat(&[]).is_none());
-        assert!(split_r_hat(&[vec![1.0, 2.0, 3.0]]).is_none(), "too short to split");
-        assert!(split_r_hat(&[vec![2.0; 100], vec![2.0; 100]]).is_none(), "zero variance");
+        assert!(
+            split_r_hat(&[vec![1.0, 2.0, 3.0]]).is_none(),
+            "too short to split"
+        );
+        assert!(
+            split_r_hat(&[vec![2.0; 100], vec![2.0; 100]]).is_none(),
+            "zero variance"
+        );
     }
 
     #[test]

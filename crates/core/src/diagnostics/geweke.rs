@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn short_or_constant_windows_are_none() {
         assert!(geweke_z(&[1.0; 50], 0.1, 0.5).is_none(), "window too short");
-        assert!(geweke_z(&vec![2.0; 10_000], 0.1, 0.5).is_none(), "zero variance");
+        assert!(
+            geweke_z(&vec![2.0; 10_000], 0.1, 0.5).is_none(),
+            "zero variance"
+        );
     }
 
     #[test]

@@ -39,16 +39,16 @@ pub use ess::effective_sample_size;
 pub use gelman::split_r_hat;
 pub use geweke::geweke_z;
 
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess};
 
 /// Builds the scalar series `x_i = 1/deg(v_i)` from a sampled-edge
 /// sequence — the functional whose walk-average is the `S` term of
 /// eq. (7) (it converges to `|V|/vol(V)`).
-pub fn inverse_degree_series(graph: &Graph, edges: &[Arc]) -> Vec<f64> {
+pub fn inverse_degree_series<A: GraphAccess + ?Sized>(access: &A, edges: &[Arc]) -> Vec<f64> {
     edges
         .iter()
         .map(|e| {
-            let d = graph.degree(e.target);
+            let d = access.degree(e.target);
             if d == 0 {
                 0.0
             } else {
@@ -121,11 +121,8 @@ impl ChainDiagnostics {
     /// A conventional "has this run converged" verdict: `R̂ < 1.1` (when
     /// defined) and every Geweke `|Z| < 3`.
     pub fn looks_converged(&self) -> bool {
-        let rhat_ok = self.r_hat.map_or(true, |r| r < 1.1);
-        let geweke_ok = self
-            .geweke
-            .iter()
-            .all(|z| z.map_or(true, |z| z.abs() < 3.0));
+        let rhat_ok = self.r_hat.is_none_or(|r| r < 1.1);
+        let geweke_ok = self.geweke.iter().all(|z| z.is_none_or(|z| z.abs() < 3.0));
         rhat_ok && geweke_ok
     }
 }

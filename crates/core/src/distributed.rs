@@ -15,8 +15,8 @@
 
 use crate::budget::{Budget, CostModel};
 use crate::start::StartPolicy;
-use crate::walk;
-use fs_graph::{Arc, Graph, VertexId};
+use crate::walk::{self, StepOutcome};
+use fs_graph::{Arc, GraphAccess, QueryKind, VertexId};
 use rand::Rng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -79,35 +79,42 @@ impl DistributedFs {
     /// Runs the process, emitting edges in event-time order, spending one
     /// `walk_step` of budget per event so the sample count matches
     /// centralized FS under the same budget.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(Arc),
     ) {
-        let positions = self.start.draw(graph, self.m, cost, budget, rng);
+        let positions = self.start.draw(access, self.m, cost, budget, rng);
         if positions.is_empty() {
             return;
         }
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let mut positions = positions;
         let mut heap = BinaryHeap::with_capacity(positions.len());
         for (i, &v) in positions.iter().enumerate() {
-            if let Some(t) = exp_holding_time(graph, v, rng) {
+            if let Some(t) = exp_holding_time(access, v, rng) {
                 heap.push(Clock { time: t, walker: i });
             }
         }
-        while budget.try_spend(cost.walk_step) {
+        while budget.try_spend(step_cost) {
             let Some(Clock { time, walker }) = heap.pop() else {
                 break;
             };
             // A degree-0 position yields no step: the walker's clock
-            // simply never fires again.
-            if let Some(edge) = walk::step(graph, positions[walker], rng) {
+            // simply never fires again. On faulty backends, a lost reply
+            // or a bounce still rewinds the clock (the walker retries).
+            let outcome = walk::step(access, positions[walker], rng);
+            if let StepOutcome::Edge(edge) | StepOutcome::Lost(edge) = outcome {
                 positions[walker] = edge.target;
+            }
+            if let StepOutcome::Edge(edge) = outcome {
                 sink(edge);
-                if let Some(dt) = exp_holding_time(graph, edge.target, rng) {
+            }
+            if !matches!(outcome, StepOutcome::Isolated) {
+                if let Some(dt) = exp_holding_time(access, positions[walker], rng) {
                     heap.push(Clock {
                         time: time + dt,
                         walker,
@@ -120,8 +127,12 @@ impl DistributedFs {
 
 /// Exponential holding time with rate `deg(v)`; `None` for isolated
 /// vertices (rate 0 → infinite holding time).
-fn exp_holding_time<R: Rng + ?Sized>(graph: &Graph, v: VertexId, rng: &mut R) -> Option<f64> {
-    let d = graph.degree(v);
+fn exp_holding_time<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
+    access: &A,
+    v: VertexId,
+    rng: &mut R,
+) -> Option<f64> {
+    let d = access.degree(v);
     if d == 0 {
         return None;
     }
@@ -132,7 +143,7 @@ fn exp_holding_time<R: Rng + ?Sized>(graph: &Graph, v: VertexId, rng: &mut R) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

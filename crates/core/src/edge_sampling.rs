@@ -7,7 +7,7 @@
 //! by the edge hit ratio for Figure 13's 1% scenario).
 
 use crate::budget::{Budget, CostModel};
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess, QueryKind};
 use rand::Rng;
 
 /// Uniform-with-replacement edge (arc) sampler.
@@ -20,21 +20,23 @@ impl RandomEdgeSampler {
         RandomEdgeSampler
     }
 
-    /// Draws arcs until the budget is exhausted.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    /// Draws arcs until the budget is exhausted. Requires a backend with
+    /// global random-edge access ([`GraphAccess::arc_endpoints`]).
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(Arc),
     ) {
-        let arcs = graph.num_arcs();
+        let arcs = access.num_arcs();
         if arcs == 0 {
             return;
         }
-        while budget.try_spend(cost.random_edge) {
-            sink(graph.arc_endpoints(rng.gen_range(0..arcs)));
+        let draw_cost = cost.random_edge * access.cost_factor(QueryKind::RandomEdge);
+        while budget.try_spend(draw_cost) {
+            sink(access.arc_endpoints(rng.gen_range(0..arcs)));
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use super::EdgeEstimator;
 use fs_graph::assortativity::MomentAccumulator;
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess};
 
 /// Streaming `r̂` over sampled edges.
 #[derive(Clone, Debug, Default)]
@@ -36,15 +36,20 @@ impl AssortativityEstimator {
     pub fn num_labeled(&self) -> f64 {
         self.moments.count()
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl EdgeEstimator for AssortativityEstimator {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
+impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for AssortativityEstimator {
+    fn observe(&mut self, access: &A, edge: Arc) {
         self.observed += 1;
-        if graph.has_original_edge(edge.source, edge.target) {
+        if access.has_original_edge(edge.source, edge.target) {
             self.moments.push(
-                graph.out_degree_orig(edge.source) as f64,
-                graph.in_degree_orig(edge.target) as f64,
+                access.out_degree_orig(edge.source) as f64,
+                access.in_degree_orig(edge.target) as f64,
             );
         }
     }
@@ -81,7 +86,17 @@ mod tests {
     fn converges_on_mixed_graph() {
         let g = fs_graph::graph_from_undirected_pairs(
             8,
-            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (1, 5), (2, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (1, 5),
+                (2, 6),
+            ],
         );
         let truth = degree_assortativity(&g, DegreeLabels::OriginalOutIn).unwrap();
         let mut est = AssortativityEstimator::new();

@@ -9,7 +9,7 @@
 //! *degree-biased* mean `E[deg²]/E[deg]`.
 
 use super::EdgeEstimator;
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess};
 
 /// Streaming estimator of the average (symmetric) degree.
 #[derive(Clone, Debug, Default)]
@@ -46,11 +46,16 @@ impl AverageDegreeEstimator {
             None
         }
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl EdgeEstimator for AverageDegreeEstimator {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
-        let d = graph.degree(edge.target);
+impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for AverageDegreeEstimator {
+    fn observe(&mut self, access: &A, edge: Arc) {
+        let d = access.degree(edge.target);
         if d == 0 {
             return;
         }
@@ -69,7 +74,7 @@ mod tests {
     use super::*;
     use crate::budget::{Budget, CostModel};
     use crate::method::WalkMethod;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -30,8 +30,8 @@
 //! tests verify against exact triangle counts.
 
 use super::EdgeEstimator;
-use fs_graph::triangles::{binom2, shared_neighbors};
-use fs_graph::{Arc, Graph};
+use fs_graph::triangles::binom2;
+use fs_graph::{shared_neighbors_via, Arc, GraphAccess};
 
 /// Streaming `Ĉ` over sampled edges.
 #[derive(Clone, Debug, Default)]
@@ -55,20 +55,25 @@ impl ClusteringEstimator {
             None
         }
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl EdgeEstimator for ClusteringEstimator {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
+impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for ClusteringEstimator {
+    fn observe(&mut self, access: &A, edge: Arc) {
         self.observed += 1;
         // The paper's estimator is written on the sampled edge (v_i, u_i)
         // with v_i the *source*; by symmetry of stationary edge sampling
         // either endpoint works — we use the source.
         let v = edge.source;
-        let d = graph.degree(v);
+        let d = access.degree(v);
         if d < 2 {
             return;
         }
-        let f = shared_neighbors(graph, v, edge.target) as f64;
+        let f = shared_neighbors_via(access, v, edge.target) as f64;
         self.numerator += f / (2.0 * binom2(d));
         self.denominator += 1.0 / d as f64;
     }
@@ -83,7 +88,7 @@ mod tests {
     use super::*;
     use crate::budget::{Budget, CostModel};
     use crate::method::WalkMethod;
-    use fs_graph::{global_clustering, graph_from_undirected_pairs};
+    use fs_graph::{global_clustering, graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -123,8 +128,20 @@ mod tests {
     fn karate_size_random_graph_estimate() {
         // A denser random-ish fixture with known exact value.
         let pairs = [
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5),
-            (5, 6), (6, 7), (7, 4), (5, 7), (2, 6), (1, 5),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 4),
+            (5, 7),
+            (2, 6),
+            (1, 5),
         ];
         let g = graph_from_undirected_pairs(8, pairs);
         let truth = global_clustering(&g);

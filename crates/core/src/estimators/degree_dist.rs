@@ -16,7 +16,7 @@
 
 use super::EdgeEstimator;
 use fs_graph::stats::DegreeKind;
-use fs_graph::{Arc, Graph, VertexId};
+use fs_graph::{Arc, GraphAccess, VertexId};
 
 /// Degree-distribution estimator over RW/RE edge samples (eq. 7 per
 /// degree bucket).
@@ -78,19 +78,24 @@ impl DegreeDistributionEstimator {
         }
         self.weighted.get(i).copied().unwrap_or(0.0) / self.inv_degree_sum
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl EdgeEstimator for DegreeDistributionEstimator {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
+impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for DegreeDistributionEstimator {
+    fn observe(&mut self, access: &A, edge: Arc) {
         self.observed += 1;
         let v = edge.target;
-        let d = graph.degree(v);
+        let d = access.degree(v);
         if d == 0 {
             return;
         }
         let w = 1.0 / d as f64;
         self.inv_degree_sum += w;
-        let label = self.kind.degree_of(graph, v);
+        let label = self.kind.degree_of(access, v);
         if label >= self.weighted.len() {
             self.weighted.resize(label + 1, 0.0);
         }
@@ -122,9 +127,9 @@ impl VertexSampleDegreeEstimator {
     }
 
     /// Consumes one uniformly sampled vertex.
-    pub fn observe(&mut self, graph: &Graph, v: VertexId) {
+    pub fn observe<A: GraphAccess + ?Sized>(&mut self, access: &A, v: VertexId) {
         self.total += 1;
-        let d = self.kind.degree_of(graph, v);
+        let d = self.kind.degree_of(access, v);
         if d >= self.counts.len() {
             self.counts.resize(d + 1, 0);
         }

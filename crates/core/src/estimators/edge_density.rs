@@ -11,14 +11,15 @@
 //! no reweighting is needed; `E[p̂_l] = p_l` for every `B* > 0`.
 
 use super::EdgeEstimator;
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess};
 
 /// Generic edge label density estimator.
 ///
 /// `labeler` maps each sampled edge to `Some(label index)` when the edge
 /// belongs to `E*` (and thus contributes to `B*`), or `None` when the
 /// edge is unlabeled. Densities are tracked for label indices
-/// `0..num_labels`.
+/// `0..num_labels`. The labeler's first argument fixes which
+/// [`GraphAccess`] backend the estimator consumes edges from.
 pub struct EdgeLabelDensityEstimator<F> {
     labeler: F,
     counts: Vec<u64>,
@@ -26,7 +27,7 @@ pub struct EdgeLabelDensityEstimator<F> {
     observed: usize,
 }
 
-impl<F: Fn(&Graph, Arc) -> Option<usize>> EdgeLabelDensityEstimator<F> {
+impl<F> EdgeLabelDensityEstimator<F> {
     /// Creates an estimator over `num_labels` label indices.
     pub fn new(num_labels: usize, labeler: F) -> Self {
         EdgeLabelDensityEstimator {
@@ -61,12 +62,21 @@ impl<F: Fn(&Graph, Arc) -> Option<usize>> EdgeLabelDensityEstimator<F> {
             .map(|&c| c as f64 / self.in_star as f64)
             .collect()
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl<F: Fn(&Graph, Arc) -> Option<usize>> EdgeEstimator for EdgeLabelDensityEstimator<F> {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
+impl<A, F> EdgeEstimator<A> for EdgeLabelDensityEstimator<F>
+where
+    A: GraphAccess + ?Sized,
+    F: Fn(&A, Arc) -> Option<usize>,
+{
+    fn observe(&mut self, access: &A, edge: Arc) {
         self.observed += 1;
-        if let Some(l) = (self.labeler)(graph, edge) {
+        if let Some(l) = (self.labeler)(access, edge) {
             self.in_star += 1;
             if l < self.counts.len() {
                 self.counts[l] += 1;
@@ -84,7 +94,7 @@ mod tests {
     use super::*;
     use crate::budget::{Budget, CostModel};
     use crate::method::WalkMethod;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -12,7 +12,7 @@
 //! convergence per bucket.
 
 use super::EdgeEstimator;
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess};
 
 /// Streaming `knn(k)` estimator over RW/FS/RE sampled edges.
 #[derive(Clone, Debug, Default)]
@@ -46,13 +46,18 @@ impl NeighborDegreeEstimator {
     pub fn bucket_count(&self, k: usize) -> u64 {
         self.counts.get(k).copied().unwrap_or(0)
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl EdgeEstimator for NeighborDegreeEstimator {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
+impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for NeighborDegreeEstimator {
+    fn observe(&mut self, access: &A, edge: Arc) {
         self.observed += 1;
-        let du = graph.degree(edge.source);
-        let dv = graph.degree(edge.target);
+        let du = access.degree(edge.source);
+        let dv = access.degree(edge.target);
         if du >= self.sums.len() {
             self.sums.resize(du + 1, 0.0);
             self.counts.resize(du + 1, 0);

@@ -35,21 +35,30 @@ pub mod vertex_density;
 
 pub use assortativity::AssortativityEstimator;
 pub use average_degree::AverageDegreeEstimator;
-pub use population::PopulationSizeEstimator;
 pub use clustering::ClusteringEstimator;
 pub use degree_dist::{DegreeDistributionEstimator, VertexSampleDegreeEstimator};
 pub use edge_density::EdgeLabelDensityEstimator;
 pub use knn::NeighborDegreeEstimator;
+pub use population::PopulationSizeEstimator;
 pub use trace::EstimateTrace;
 pub use tracked::DensityWithError;
 pub use vertex_density::{GroupDensityEstimator, VertexLabelDensityEstimator};
 
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess};
 
-/// A streaming estimator fed one sampled edge at a time.
-pub trait EdgeEstimator {
+/// A streaming estimator fed one sampled edge at a time, generic over
+/// the [`GraphAccess`] backend the sample came from.
+///
+/// The estimators in this module implement it for every backend
+/// (`impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for …`), so the same
+/// estimator value can consume edges from an in-memory graph, a
+/// simulated crawler, or a caching decorator. The closure-parameterised
+/// label estimators ([`EdgeLabelDensityEstimator`],
+/// [`VertexLabelDensityEstimator`]) implement it for exactly the backend
+/// type their label closure reads from.
+pub trait EdgeEstimator<A: GraphAccess + ?Sized> {
     /// Consumes the `i`-th sampled edge `(u_i, v_i)`.
-    fn observe(&mut self, graph: &Graph, edge: Arc);
+    fn observe(&mut self, access: &A, edge: Arc);
 
     /// Number of edges observed so far.
     fn num_observed(&self) -> usize;
@@ -74,10 +83,10 @@ pub trait EdgeEstimator {
 /// let theta = est.distribution();
 /// assert!((theta[2] - 1.0).abs() < 1e-9); // cycle: all degrees are 2
 /// ```
-pub fn drive<E: EdgeEstimator>(
-    graph: &Graph,
+pub fn drive<A: GraphAccess + ?Sized, E: EdgeEstimator<A>>(
+    access: &A,
     estimator: &mut E,
     mut edges: impl FnMut(&mut dyn FnMut(Arc)),
 ) {
-    edges(&mut |e| estimator.observe(graph, e));
+    edges(&mut |e| estimator.observe(access, e));
 }

@@ -16,7 +16,7 @@
 //! occur — `B = Ω(√(|V| · w_max))` in practice.
 
 use super::EdgeEstimator;
-use fs_graph::{Arc, Graph, VertexId};
+use fs_graph::{Arc, GraphAccess, VertexId};
 use std::collections::HashMap;
 
 /// Streaming Katzir-style `|V|` estimator over stationary RW samples.
@@ -49,12 +49,17 @@ impl PopulationSizeEstimator {
         }
         Some(self.degree_sum * self.inv_degree_sum / (2.0 * self.collisions as f64))
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl EdgeEstimator for PopulationSizeEstimator {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
+impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for PopulationSizeEstimator {
+    fn observe(&mut self, access: &A, edge: Arc) {
         let v = edge.target;
-        let d = graph.degree(v);
+        let d = access.degree(v);
         if d == 0 {
             return;
         }

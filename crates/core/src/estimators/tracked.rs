@@ -13,7 +13,7 @@
 //! (which is what the paper's NMSE evaluation does, and which no real
 //! crawler can afford).
 
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess};
 
 /// Vertex label-density estimator (eq. 7) that retains its component
 /// series to attach batch-means error bars to the estimate.
@@ -33,8 +33,8 @@ impl DensityWithError {
 
     /// Consumes one sampled edge; `labeled` states whether the arrival
     /// vertex carries the label of interest.
-    pub fn observe(&mut self, graph: &Graph, edge: Arc, labeled: bool) {
-        let d = graph.degree(edge.target);
+    pub fn observe<A: GraphAccess + ?Sized>(&mut self, access: &A, edge: Arc, labeled: bool) {
+        let d = access.degree(edge.target);
         if d == 0 {
             return;
         }
@@ -88,8 +88,8 @@ impl DensityWithError {
             ratios.push(self.num[lo..hi].iter().sum::<f64>() / den);
         }
         let mean = ratios.iter().sum::<f64>() / num_batches as f64;
-        let var = ratios.iter().map(|&r| (r - mean).powi(2)).sum::<f64>()
-            / (num_batches as f64 - 1.0);
+        let var =
+            ratios.iter().map(|&r| (r - mean).powi(2)).sum::<f64>() / (num_batches as f64 - 1.0);
         if var < 0.0 {
             return None;
         }
@@ -110,7 +110,7 @@ mod tests {
     use super::*;
     use crate::budget::{Budget, CostModel};
     use crate::frontier::FrontierSampler;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -13,10 +13,11 @@
 //! unbiased (Section 4.2.3).
 
 use super::EdgeEstimator;
-use fs_graph::{Arc, Graph, GroupId, VertexId};
+use fs_graph::{Arc, GraphAccess, GroupId, VertexId};
 
 /// Generic vertex label density estimator: the "label" is any predicate
-/// over vertices.
+/// over vertices. The predicate's first argument fixes which
+/// [`GraphAccess`] backend the estimator consumes edges from.
 pub struct VertexLabelDensityEstimator<F> {
     predicate: F,
     weighted_hits: f64,
@@ -24,7 +25,7 @@ pub struct VertexLabelDensityEstimator<F> {
     observed: usize,
 }
 
-impl<F: Fn(&Graph, VertexId) -> bool> VertexLabelDensityEstimator<F> {
+impl<F> VertexLabelDensityEstimator<F> {
     /// Creates an estimator of the density of vertices satisfying
     /// `predicate`.
     pub fn new(predicate: F) -> Self {
@@ -44,19 +45,28 @@ impl<F: Fn(&Graph, VertexId) -> bool> VertexLabelDensityEstimator<F> {
             None
         }
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl<F: Fn(&Graph, VertexId) -> bool> EdgeEstimator for VertexLabelDensityEstimator<F> {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
+impl<A, F> EdgeEstimator<A> for VertexLabelDensityEstimator<F>
+where
+    A: GraphAccess + ?Sized,
+    F: Fn(&A, VertexId) -> bool,
+{
+    fn observe(&mut self, access: &A, edge: Arc) {
         self.observed += 1;
         let v = edge.target;
-        let d = graph.degree(v);
+        let d = access.degree(v);
         if d == 0 {
             return;
         }
         let w = 1.0 / d as f64;
         self.inv_degree_sum += w;
-        if (self.predicate)(graph, v) {
+        if (self.predicate)(access, v) {
             self.weighted_hits += w;
         }
     }
@@ -105,19 +115,24 @@ impl GroupDensityEstimator {
             vec![0.0; self.weighted_hits.len()]
         }
     }
+
+    /// Number of edges observed so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
 }
 
-impl EdgeEstimator for GroupDensityEstimator {
-    fn observe(&mut self, graph: &Graph, edge: Arc) {
+impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for GroupDensityEstimator {
+    fn observe(&mut self, access: &A, edge: Arc) {
         self.observed += 1;
         let v = edge.target;
-        let d = graph.degree(v);
+        let d = access.degree(v);
         if d == 0 {
             return;
         }
         let w = 1.0 / d as f64;
         self.inv_degree_sum += w;
-        for &g in graph.groups_of(v) {
+        for &g in access.groups_of(v) {
             if (g as usize) < self.weighted_hits.len() {
                 self.weighted_hits[g as usize] += w;
             }
@@ -147,9 +162,9 @@ impl VertexSampleGroupEstimator {
     }
 
     /// Consumes one uniformly sampled vertex.
-    pub fn observe(&mut self, graph: &Graph, v: VertexId) {
+    pub fn observe<A: GraphAccess + ?Sized>(&mut self, access: &A, v: VertexId) {
         self.total += 1;
-        for &g in graph.groups_of(v) {
+        for &g in access.groups_of(v) {
             if (g as usize) < self.hits.len() {
                 self.hits[g as usize] += 1;
             }
@@ -171,7 +186,7 @@ mod tests {
     use super::*;
     use crate::budget::{Budget, CostModel};
     use crate::method::WalkMethod;
-    use fs_graph::{GraphBuilder, VertexId};
+    use fs_graph::{Graph, GraphBuilder, VertexId};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -190,9 +205,8 @@ mod tests {
     #[test]
     fn converges_to_true_density() {
         let g = labeled_graph();
-        let mut est = VertexLabelDensityEstimator::new(|gr: &Graph, v| {
-            gr.groups_of(v).contains(&7)
-        });
+        let mut est =
+            VertexLabelDensityEstimator::new(|gr: &Graph, v| gr.groups_of(v).contains(&7));
         let mut rng = SmallRng::seed_from_u64(201);
         let mut budget = Budget::new(300_000.0);
         WalkMethod::frontier(2).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
@@ -254,7 +268,7 @@ mod tests {
     fn empty_estimates_are_none() {
         let est = GroupDensityEstimator::new(3);
         assert!(est.estimate(0).is_none());
-        let est2 = VertexLabelDensityEstimator::new(|_: &Graph, _| true);
+        let est2 = VertexLabelDensityEstimator::new(|_: &Graph, _: VertexId| true);
         assert!(est2.estimate().is_none());
     }
 }

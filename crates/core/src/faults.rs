@@ -16,10 +16,18 @@
 //!   *does* perturb the sampling distribution (edges incident to dead
 //!   vertices are never reported); the model quantifies how gracefully
 //!   each estimator degrades.
+//!
+//! Both models also plug directly into the access layer: a
+//! [`CrawlAccess`](crate::backend::CrawlAccess) backend built
+//! `.with_sample_loss(..)` / `.with_dead_vertices(..)` injects the same
+//! faults *underneath* any sampler, which is where the paper's crawl
+//! model puts them. The method-wrapping runners below remain for
+//! sink-level loss (independent of which vertex was hit) and for the
+//! bounce-walk reference implementation the tests compare against.
 
 use crate::budget::{Budget, CostModel};
 use crate::method::WalkMethod;
-use fs_graph::{Arc, BitSet, Graph, VertexId};
+use fs_graph::{Arc, BitSet, GraphAccess, QueryKind, VertexId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,10 +51,10 @@ impl SampleLossModel {
     /// Runs `method` under this fault model: every sampled edge is
     /// dropped (budget spent, walker still moves — the response was lost,
     /// not the move) with probability `failure_prob`.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
         method: &WalkMethod,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
@@ -56,7 +64,7 @@ impl SampleLossModel {
         // walk's own RNG consumption order.
         let p = self.failure_prob;
         let mut fault_rng = SmallRng::seed_from_u64(rng.gen::<u64>());
-        method.sample_edges(graph, cost, budget, rng, |e| {
+        method.sample_edges(access, cost, budget, rng, |e| {
             if fault_rng.gen_range(0.0..1.0) >= p {
                 sink(e);
             }
@@ -73,10 +81,14 @@ pub struct DeadVertexModel {
 impl DeadVertexModel {
     /// Marks each vertex dead independently with probability `fraction`,
     /// using `rng` (callers seed it for reproducibility).
-    pub fn random<R: Rng + ?Sized>(graph: &Graph, fraction: f64, rng: &mut R) -> Self {
+    pub fn random<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
+        access: &A,
+        fraction: f64,
+        rng: &mut R,
+    ) -> Self {
         assert!((0.0..1.0).contains(&fraction));
-        let mut dead = BitSet::new(graph.num_vertices());
-        for v in 0..graph.num_vertices() {
+        let mut dead = BitSet::new(access.num_vertices());
+        for v in 0..access.num_vertices() {
             if rng.gen_range(0.0..1.0) < fraction {
                 dead.set(v);
             }
@@ -103,31 +115,33 @@ impl DeadVertexModel {
     /// backs: stepping onto a dead vertex costs budget but yields no
     /// sample and the walker stays. The walker's start is redrawn until
     /// alive.
-    pub fn single_walk<R: Rng + ?Sized>(
+    pub fn single_walk<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(Arc),
     ) {
-        let n = graph.num_vertices();
+        let n = access.num_vertices();
         if n == 0 {
             return;
         }
+        let start_cost = cost.uniform_vertex * access.cost_factor(QueryKind::UniformVertex);
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         // Uniform alive start.
         let mut v = loop {
-            if !budget.try_spend(cost.uniform_vertex) {
+            if !budget.try_spend(start_cost) {
                 return;
             }
             let cand = VertexId::new(rng.gen_range(0..n));
-            if graph.degree(cand) > 0 && !self.is_dead(cand) {
+            if access.degree(cand) > 0 && !self.is_dead(cand) {
                 break cand;
             }
         };
-        while budget.try_spend(cost.walk_step) {
-            match crate::walk::step(graph, v, rng) {
-                Some(edge) => {
+        while budget.try_spend(step_cost) {
+            match crate::walk::step(access, v, rng) {
+                crate::walk::StepOutcome::Edge(edge) => {
                     if self.is_dead(edge.target) {
                         // Query failed: no sample, walker stays.
                         continue;
@@ -135,7 +149,13 @@ impl DeadVertexModel {
                     v = edge.target;
                     sink(edge);
                 }
-                None => break,
+                crate::walk::StepOutcome::Lost(edge) => {
+                    if !self.is_dead(edge.target) {
+                        v = edge.target;
+                    }
+                }
+                crate::walk::StepOutcome::Bounced => {}
+                crate::walk::StepOutcome::Isolated => break,
             }
         }
     }
@@ -145,7 +165,7 @@ impl DeadVertexModel {
 mod tests {
     use super::*;
     use crate::estimators::{DegreeDistributionEstimator, EdgeEstimator};
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -20,6 +20,12 @@
 //!
 //! ## What's in the crate
 //!
+//! * The access layer: every sampler and estimator is generic over
+//!   [`GraphAccess`] — the paper's crawl-oracle model (Section 2) —
+//!   with three backends: the zero-cost in-memory [`CsrAccess`] (or a
+//!   plain `&Graph`), the fault-injecting budget-surcharging
+//!   [`CrawlAccess`] simulated crawler, and the LRU hit-ratio decorator
+//!   [`CachedAccess`] (see [`backend`]).
 //! * Samplers: [`FrontierSampler`] (Algorithm 1), [`DistributedFs`]
 //!   (Theorem 5.5's uncoordinated equivalent), [`SingleRw`],
 //!   [`MultipleRw`], [`MetropolisHastingsRw`], and the independent
@@ -68,6 +74,7 @@
 
 pub mod ablation;
 pub mod adaptive;
+pub mod backend;
 pub mod budget;
 pub mod cartesian;
 pub mod coverage;
@@ -94,6 +101,7 @@ pub mod weighted;
 
 pub use ablation::UniformSelectWalkers;
 pub use adaptive::{AdaptiveFrontier, AdaptiveOutcome};
+pub use backend::{CachedAccess, CrawlAccess, CrawlStats};
 pub use budget::{Budget, CostModel};
 pub use coverage::CoverageTracker;
 pub use diagnostics::ChainDiagnostics;
@@ -110,7 +118,10 @@ pub use rwj::{RandomWalkWithJumps, RwjEvent};
 pub use single::SingleRw;
 pub use start::StartPolicy;
 pub use vertex_sampling::RandomVertexSampler;
+pub use walk::StepOutcome;
 pub use weighted::{WeightedFrontierSampler, WeightedSingleRw, WeightedStart};
 
-// Re-export the substrate so downstream users need a single dependency.
+// Re-export the substrate (and the access-layer vocabulary every sampler
+// is generic over) so downstream users need a single dependency.
 pub use fs_graph;
+pub use fs_graph::{CsrAccess, GraphAccess, NeighborReply, QueryKind};

@@ -12,7 +12,7 @@ use crate::multiple::MultipleRw;
 use crate::nbrw::{NonBacktrackingFrontier, NonBacktrackingRw};
 use crate::single::SingleRw;
 use crate::start::StartPolicy;
-use fs_graph::{Arc, Graph};
+use fs_graph::{Arc, GraphAccess};
 use rand::Rng;
 
 /// A walk-based edge-sampling method with its parameters.
@@ -134,10 +134,11 @@ impl WalkMethod {
         }
     }
 
-    /// Runs the method under `budget`, feeding edges to `sink`.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    /// Runs the method under `budget` over any [`GraphAccess`] backend,
+    /// feeding edges to `sink`.
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
@@ -147,23 +148,21 @@ impl WalkMethod {
             WalkMethod::Single { start } => SingleRw {
                 start: start.clone(),
             }
-            .sample_edges(graph, cost, budget, rng, sink),
+            .sample_edges(access, cost, budget, rng, sink),
             WalkMethod::Multiple { m, start } => MultipleRw::new(*m)
                 .with_start(start.clone())
-                .sample_edges(graph, cost, budget, rng, sink),
+                .sample_edges(access, cost, budget, rng, sink),
             WalkMethod::Frontier { m, start } => FrontierSampler::new(*m)
                 .with_start(start.clone())
-                .sample_edges(graph, cost, budget, rng, sink),
+                .sample_edges(access, cost, budget, rng, sink),
             WalkMethod::DistributedFrontier { m, start } => DistributedFs::new(*m)
                 .with_start(start.clone())
-                .sample_edges(graph, cost, budget, rng, sink),
-            WalkMethod::NonBacktracking { start } => {
-                NonBacktrackingRw::with_start(start.clone())
-                    .sample_edges(graph, cost, budget, rng, sink)
-            }
+                .sample_edges(access, cost, budget, rng, sink),
+            WalkMethod::NonBacktracking { start } => NonBacktrackingRw::with_start(start.clone())
+                .sample_edges(access, cost, budget, rng, sink),
             WalkMethod::NonBacktrackingFrontier { m, start } => NonBacktrackingFrontier::new(*m)
                 .with_start(start.clone())
-                .sample_edges(graph, cost, budget, rng, sink),
+                .sample_edges(access, cost, budget, rng, sink),
         }
     }
 }
@@ -182,7 +181,10 @@ mod tests {
         assert_eq!(WalkMethod::frontier(1000).label(), "FS (m=1000)");
         assert_eq!(WalkMethod::distributed_frontier(7).label(), "DFS (m=7)");
         assert_eq!(WalkMethod::non_backtracking().label(), "NBRW");
-        assert_eq!(WalkMethod::non_backtracking_frontier(4).label(), "NB-FS (m=4)");
+        assert_eq!(
+            WalkMethod::non_backtracking_frontier(4).label(),
+            "NB-FS (m=4)"
+        );
     }
 
     #[test]

@@ -71,7 +71,12 @@ pub fn analytic_nmse_vertex_sampling(theta_i: f64, b: f64) -> Option<f64> {
 
 /// Analytic NMSE of estimating `θ_i` from `B` *independent uniform edge*
 /// samples (paper eq. 3): `sqrt((1/π_i − 1)/B)` with `π_i = i·θ_i/d̄`.
-pub fn analytic_nmse_edge_sampling(theta_i: f64, degree_i: f64, avg_degree: f64, b: f64) -> Option<f64> {
+pub fn analytic_nmse_edge_sampling(
+    theta_i: f64,
+    degree_i: f64,
+    avg_degree: f64,
+    b: f64,
+) -> Option<f64> {
     if theta_i <= 0.0 || degree_i <= 0.0 || avg_degree <= 0.0 || b <= 0.0 {
         return None;
     }

@@ -12,7 +12,7 @@
 
 use crate::budget::{Budget, CostModel};
 use crate::start::StartPolicy;
-use fs_graph::{Graph, VertexId};
+use fs_graph::{GraphAccess, NeighborReply, QueryKind, VertexId};
 use rand::Rng;
 
 /// Metropolis–Hastings random walk emitting one (uniformly distributed)
@@ -39,31 +39,46 @@ impl MetropolisHastingsRw {
 
     /// Runs the walk; every step (accepted or rejected) costs one
     /// `walk_step` and emits the walker's position after the step.
-    pub fn sample_vertices<R: Rng + ?Sized>(
+    ///
+    /// Backend faults map naturally onto Metropolis–Hastings: an
+    /// unresponsive proposal is a forced rejection (the walker stays, the
+    /// step is emitted as usual — rejections always re-emit the current
+    /// vertex), while a lost response runs the acceptance test but emits
+    /// nothing.
+    pub fn sample_vertices<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(VertexId),
     ) {
-        let starts = self.start.draw(graph, 1, cost, budget, rng);
+        let starts = self.start.draw(access, 1, cost, budget, rng);
         let Some(&start) = starts.first() else {
             return;
         };
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let mut current = start;
-        while budget.try_spend(cost.walk_step) {
-            let d = graph.degree(current);
+        while budget.try_spend(step_cost) {
+            let d = access.degree(current);
             if d == 0 {
                 break;
             }
-            let proposal = graph.nth_neighbor(current, rng.gen_range(0..d));
-            let dp = graph.degree(proposal).max(1);
-            let accept = d as f64 / dp as f64;
-            if accept >= 1.0 || rng.gen_range(0.0..1.0) < accept {
-                current = proposal;
+            let (proposal, report) = match access.query_neighbor(current, rng.gen_range(0..d)) {
+                NeighborReply::Vertex(w) => (Some(w), true),
+                NeighborReply::Lost(w) => (Some(w), false),
+                NeighborReply::Unresponsive => (None, true),
+            };
+            if let Some(proposal) = proposal {
+                let dp = access.degree(proposal).max(1);
+                let accept = d as f64 / dp as f64;
+                if accept >= 1.0 || rng.gen_range(0.0..1.0) < accept {
+                    current = proposal;
+                }
             }
-            sink(current);
+            if report {
+                sink(current);
+            }
         }
     }
 }

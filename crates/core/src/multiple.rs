@@ -11,8 +11,8 @@
 
 use crate::budget::{Budget, CostModel};
 use crate::start::StartPolicy;
-use crate::walk;
-use fs_graph::{Arc, Graph};
+use crate::walk::{self, StepOutcome};
+use fs_graph::{Arc, GraphAccess, QueryKind};
 use rand::Rng;
 
 /// How the step budget is spread across the independent walkers.
@@ -63,33 +63,36 @@ impl MultipleRw {
     }
 
     /// Runs all walkers, feeding every sampled edge to `sink`.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(Arc),
     ) {
-        let starts = self.start.draw(graph, self.m, cost, budget, rng);
+        let starts = self.start.draw(access, self.m, cost, budget, rng);
         if starts.is_empty() {
             return;
         }
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         match self.schedule {
             Schedule::EqualSplit => {
-                let per_walker = budget.affordable(cost.walk_step) / starts.len();
+                let per_walker = budget.affordable(step_cost) / starts.len();
                 for &start in &starts {
                     let mut v = start;
                     for _ in 0..per_walker {
-                        if !budget.try_spend(cost.walk_step) {
+                        if !budget.try_spend(step_cost) {
                             return;
                         }
-                        match walk::step(graph, v, rng) {
-                            Some(edge) => {
+                        match walk::step(access, v, rng) {
+                            StepOutcome::Edge(edge) => {
                                 v = edge.target;
                                 sink(edge);
                             }
-                            None => break,
+                            StepOutcome::Lost(edge) => v = edge.target,
+                            StepOutcome::Bounced => {}
+                            StepOutcome::Isolated => break,
                         }
                     }
                 }
@@ -98,12 +101,16 @@ impl MultipleRw {
                 let mut positions = starts;
                 'outer: loop {
                     for v in positions.iter_mut() {
-                        if !budget.try_spend(cost.walk_step) {
+                        if !budget.try_spend(step_cost) {
                             break 'outer;
                         }
-                        if let Some(edge) = walk::step(graph, *v, rng) {
-                            *v = edge.target;
-                            sink(edge);
+                        match walk::step(access, *v, rng) {
+                            StepOutcome::Edge(edge) => {
+                                *v = edge.target;
+                                sink(edge);
+                            }
+                            StepOutcome::Lost(edge) => *v = edge.target,
+                            StepOutcome::Bounced | StepOutcome::Isolated => {}
                         }
                     }
                 }
@@ -115,7 +122,7 @@ impl MultipleRw {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_graph::{graph_from_undirected_pairs, VertexId};
+    use fs_graph::{graph_from_undirected_pairs, Graph, VertexId};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

@@ -23,43 +23,54 @@
 use crate::budget::{Budget, CostModel};
 use crate::fenwick::FenwickTree;
 use crate::start::StartPolicy;
-use fs_graph::{Arc, Graph, VertexId};
+use crate::walk::StepOutcome;
+use fs_graph::{Arc, GraphAccess, NeighborReply, QueryKind, VertexId};
 use rand::Rng;
 
 /// Takes one non-backtracking step from `cur`, where `prev` is the vertex
 /// the walker occupied before `cur` (`None` at the start of the walk).
 ///
-/// Chooses uniformly among the neighbors of `cur` other than `prev`;
-/// falls back to backtracking when `prev` is the only neighbor. Returns
-/// `None` only for isolated vertices.
+/// Chooses uniformly among the neighbors of `cur` other than `prev`
+/// (index peeks are free topology reads; the accepted pick is then
+/// resolved as one charged crawl query through
+/// [`GraphAccess::query_neighbor`]); falls back to backtracking when
+/// `prev` is the only neighbor. [`StepOutcome::Isolated`] only for
+/// isolated vertices.
 #[inline]
-pub fn nb_step<R: Rng + ?Sized>(
-    graph: &Graph,
+pub fn nb_step<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
+    access: &A,
     cur: VertexId,
     prev: Option<VertexId>,
     rng: &mut R,
-) -> Option<Arc> {
-    let d = graph.degree(cur);
+) -> StepOutcome {
+    let d = access.degree(cur);
     if d == 0 {
-        return None;
+        return StepOutcome::Isolated;
     }
-    let next = match prev {
+    let pick = match prev {
         // Degree 1 forces the return move; otherwise resample until the
         // pick differs from `prev`. Neighbor lists may contain `prev`
         // once only (the substrate deduplicates arcs), so rejection
         // sampling terminates in O(d/(d-1)) expected draws.
         Some(p) if d > 1 => loop {
-            let cand = graph.nth_neighbor(cur, rng.gen_range(0..d));
-            if cand != p {
-                break cand;
+            let i = rng.gen_range(0..d);
+            if access.nth_neighbor(cur, i) != p {
+                break i;
             }
         },
-        _ => graph.nth_neighbor(cur, rng.gen_range(0..d)),
+        _ => rng.gen_range(0..d),
     };
-    Some(Arc {
-        source: cur,
-        target: next,
-    })
+    match access.query_neighbor(cur, pick) {
+        NeighborReply::Vertex(next) => StepOutcome::Edge(Arc {
+            source: cur,
+            target: next,
+        }),
+        NeighborReply::Lost(next) => StepOutcome::Lost(Arc {
+            source: cur,
+            target: next,
+        }),
+        NeighborReply::Unresponsive => StepOutcome::Bounced,
+    }
 }
 
 /// Single-walker non-backtracking random walk.
@@ -112,28 +123,34 @@ impl NonBacktrackingRw {
 
     /// Runs the walk until the budget is exhausted, feeding every sampled
     /// edge to `sink` in order.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(Arc),
     ) {
-        let starts = self.start.draw(graph, 1, cost, budget, rng);
+        let starts = self.start.draw(access, 1, cost, budget, rng);
         let Some(&start) = starts.first() else {
             return;
         };
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let mut cur = start;
         let mut prev = None;
-        while budget.try_spend(cost.walk_step) {
-            match nb_step(graph, cur, prev, rng) {
-                Some(edge) => {
+        while budget.try_spend(step_cost) {
+            match nb_step(access, cur, prev, rng) {
+                StepOutcome::Edge(edge) => {
                     prev = Some(cur);
                     cur = edge.target;
                     sink(edge);
                 }
-                None => break,
+                StepOutcome::Lost(edge) => {
+                    prev = Some(cur);
+                    cur = edge.target;
+                }
+                StepOutcome::Bounced => {}
+                StepOutcome::Isolated => break,
             }
         }
     }
@@ -171,34 +188,43 @@ impl NonBacktrackingFrontier {
 
     /// Runs the sampler, feeding every sampled edge to `sink` until the
     /// budget is exhausted.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(Arc),
     ) {
-        let positions = self.start.draw(graph, self.m, cost, budget, rng);
+        let positions = self.start.draw(access, self.m, cost, budget, rng);
         if positions.is_empty() {
             return;
         }
-        let degrees: Vec<f64> = positions.iter().map(|&v| graph.degree(v) as f64).collect();
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
+        let degrees: Vec<f64> = positions.iter().map(|&v| access.degree(v) as f64).collect();
         let mut weights = FenwickTree::new(&degrees);
         let mut positions = positions;
         let mut prevs: Vec<Option<VertexId>> = vec![None; positions.len()];
-        while budget.try_spend(cost.walk_step) {
+        while budget.try_spend(step_cost) {
             if weights.total() <= 0.0 {
                 break;
             }
             let i = weights.sample(rng);
-            let Some(edge) = nb_step(graph, positions[i], prevs[i], rng) else {
-                break;
-            };
-            prevs[i] = Some(positions[i]);
-            positions[i] = edge.target;
-            weights.set(i, graph.degree(edge.target) as f64);
-            sink(edge);
+            match nb_step(access, positions[i], prevs[i], rng) {
+                StepOutcome::Edge(edge) => {
+                    prevs[i] = Some(positions[i]);
+                    positions[i] = edge.target;
+                    weights.set(i, access.degree(edge.target) as f64);
+                    sink(edge);
+                }
+                StepOutcome::Lost(edge) => {
+                    prevs[i] = Some(positions[i]);
+                    positions[i] = edge.target;
+                    weights.set(i, access.degree(edge.target) as f64);
+                }
+                StepOutcome::Bounced => {}
+                StepOutcome::Isolated => break,
+            }
         }
     }
 }
@@ -206,7 +232,7 @@ impl NonBacktrackingFrontier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -303,7 +329,10 @@ mod tests {
         assert_eq!(counts.len(), g.num_arcs());
         for (&arc, &c) in &counts {
             let emp = c as f64 / total as f64;
-            assert!((emp - uniform).abs() < 0.01, "arc {arc:?}: {emp} vs {uniform}");
+            assert!(
+                (emp - uniform).abs() < 0.01,
+                "arc {arc:?}: {emp} vs {uniform}"
+            );
         }
     }
 
@@ -394,9 +423,13 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(209);
         let mut budget = Budget::new(100.0);
         let mut count = 0usize;
-        NonBacktrackingRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |_| {
-            count += 1
-        });
+        NonBacktrackingRw::new().sample_edges(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |_| count += 1,
+        );
         // Rejected draws of the isolated vertex burn budget, so the step
         // count is 99 minus the number of rejections.
         assert!((90..=99).contains(&count), "count = {count}");

@@ -28,8 +28,9 @@
 
 use crate::budget::{Budget, CostModel};
 use crate::start::StartPolicy;
+use crate::walk::StepOutcome;
 use fs_graph::stats::DegreeKind;
-use fs_graph::{Arc, Graph, VertexId};
+use fs_graph::{Arc, GraphAccess, QueryKind, VertexId};
 use rand::Rng;
 
 /// One move of the jump-augmented walker.
@@ -109,30 +110,32 @@ impl RandomWalkWithJumps {
     /// query, so low hit ratios make jumping expensive). Jump landings on
     /// degree-0 vertices are redrawn, burning cost per attempt like
     /// [`StartPolicy::draw`].
-    pub fn sample<R: Rng + ?Sized>(
+    pub fn sample<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(RwjEvent),
     ) {
-        let starts = self.start.draw(graph, 1, cost, budget, rng);
+        let starts = self.start.draw(access, 1, cost, budget, rng);
         let Some(&start) = starts.first() else {
             return;
         };
-        let n = graph.num_vertices();
+        let n = access.num_vertices();
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
+        let jump_cost = cost.uniform_vertex * access.cost_factor(QueryKind::UniformVertex);
         let mut v = start;
         loop {
-            let d = graph.degree(v) as f64;
+            let d = access.degree(v) as f64;
             let jump = self.alpha > 0.0 && rng.gen_range(0.0..d + self.alpha) < self.alpha;
             if jump {
                 // Redraw until a walkable vertex lands; each try costs a
                 // uniform-vertex query.
                 let mut landed = None;
-                while budget.try_spend(cost.uniform_vertex) {
+                while budget.try_spend(jump_cost) {
                     let cand = VertexId::new(rng.gen_range(0..n));
-                    if graph.degree(cand) > 0 {
+                    if access.degree(cand) > 0 {
                         landed = Some(cand);
                         break;
                     }
@@ -143,15 +146,17 @@ impl RandomWalkWithJumps {
                 sink(RwjEvent::Jump { from: v, to });
                 v = to;
             } else {
-                if !budget.try_spend(cost.walk_step) {
+                if !budget.try_spend(step_cost) {
                     return;
                 }
-                match crate::walk::step(graph, v, rng) {
-                    Some(edge) => {
+                match crate::walk::step(access, v, rng) {
+                    StepOutcome::Edge(edge) => {
                         v = edge.target;
                         sink(RwjEvent::Walk(edge));
                     }
-                    None => return, // isolated vertex with alpha = 0
+                    StepOutcome::Lost(edge) => v = edge.target,
+                    StepOutcome::Bounced => {}
+                    StepOutcome::Isolated => return, // isolated vertex with alpha = 0
                 }
             }
         }
@@ -159,15 +164,15 @@ impl RandomWalkWithJumps {
 
     /// Convenience wrapper feeding only the visited vertices (the
     /// destination of every move) to `sink`.
-    pub fn sample_visits<R: Rng + ?Sized>(
+    pub fn sample_visits<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(VertexId),
     ) {
-        self.sample(graph, cost, budget, rng, |ev| sink(ev.destination()));
+        self.sample(access, cost, budget, rng, |ev| sink(ev.destination()));
     }
 }
 
@@ -197,15 +202,15 @@ impl RwjDegreeDistributionEstimator {
     }
 
     /// Consumes one visited vertex.
-    pub fn observe(&mut self, graph: &Graph, v: VertexId) {
+    pub fn observe<A: GraphAccess + ?Sized>(&mut self, access: &A, v: VertexId) {
         self.observed += 1;
-        let d = graph.degree(v) as f64;
+        let d = access.degree(v) as f64;
         if d + self.alpha <= 0.0 {
             return;
         }
         let w = 1.0 / (d + self.alpha);
         self.weight_sum += w;
-        let label = self.kind.degree_of(graph, v);
+        let label = self.kind.degree_of(access, v);
         if label >= self.weighted.len() {
             self.weighted.resize(label + 1, 0.0);
         }
@@ -264,15 +269,15 @@ impl RwjGroupDensityEstimator {
     }
 
     /// Consumes one visited vertex.
-    pub fn observe(&mut self, graph: &Graph, v: VertexId) {
+    pub fn observe<A: GraphAccess + ?Sized>(&mut self, access: &A, v: VertexId) {
         self.observed += 1;
-        let d = graph.degree(v) as f64;
+        let d = access.degree(v) as f64;
         if d + self.alpha <= 0.0 {
             return;
         }
         let w = 1.0 / (d + self.alpha);
         self.weight_sum += w;
-        for &g in graph.groups_of(v) {
+        for &g in access.groups_of(v) {
             if (g as usize) < self.weighted.len() {
                 self.weighted[g as usize] += w;
             }
@@ -296,7 +301,7 @@ impl RwjGroupDensityEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -319,7 +324,9 @@ mod tests {
             |v| visits[v.index()] += 1,
         );
         let total: usize = visits.iter().sum();
-        let denom: f64 = (0..4).map(|i| g.degree(VertexId::new(i)) as f64 + alpha).sum();
+        let denom: f64 = (0..4)
+            .map(|i| g.degree(VertexId::new(i)) as f64 + alpha)
+            .sum();
         for (i, &c) in visits.iter().enumerate() {
             let expect = (g.degree(VertexId::new(i)) as f64 + alpha) / denom;
             let emp = c as f64 / total as f64;

@@ -8,8 +8,8 @@
 
 use crate::budget::{Budget, CostModel};
 use crate::start::StartPolicy;
-use crate::walk;
-use fs_graph::{Arc, Graph};
+use crate::walk::{self, StepOutcome};
+use fs_graph::{Arc, GraphAccess, QueryKind};
 use rand::Rng;
 
 /// Single random-walk edge sampler.
@@ -40,26 +40,29 @@ impl SingleRw {
 
     /// Runs the walk until the budget is exhausted, feeding every sampled
     /// edge to `sink` in order.
-    pub fn sample_edges<R: Rng + ?Sized>(
+    pub fn sample_edges<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(Arc),
     ) {
-        let starts = self.start.draw(graph, 1, cost, budget, rng);
+        let starts = self.start.draw(access, 1, cost, budget, rng);
         let Some(&start) = starts.first() else {
             return;
         };
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let mut v = start;
-        while budget.try_spend(cost.walk_step) {
-            match walk::step(graph, v, rng) {
-                Some(edge) => {
+        while budget.try_spend(step_cost) {
+            match walk::step(access, v, rng) {
+                StepOutcome::Edge(edge) => {
                     v = edge.target;
                     sink(edge);
                 }
-                None => break, // stuck (degree-0): cannot continue
+                StepOutcome::Lost(edge) => v = edge.target,
+                StepOutcome::Bounced => continue,
+                StepOutcome::Isolated => break, // stuck (degree-0)
             }
         }
     }
@@ -68,7 +71,7 @@ impl SingleRw {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_graph::{graph_from_undirected_pairs, VertexId};
+    use fs_graph::{graph_from_undirected_pairs, Graph, VertexId};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

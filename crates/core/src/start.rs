@@ -6,7 +6,7 @@
 //! deterministic starts are useful in tests.
 
 use crate::budget::{Budget, CostModel};
-use fs_graph::{Graph, VertexId};
+use fs_graph::{GraphAccess, QueryKind, VertexId};
 use rand::Rng;
 
 /// How walker start vertices are drawn.
@@ -31,30 +31,31 @@ impl StartPolicy {
     /// Vertices with degree zero are rejected and redrawn (a crawler
     /// cannot walk from an unconnected id); each rejection still pays the
     /// draw cost, mirroring an invalid-id query.
-    pub fn draw<R: Rng + ?Sized>(
+    pub fn draw<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         m: usize,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
     ) -> Vec<VertexId> {
-        let n = graph.num_vertices();
+        let n = access.num_vertices();
         assert!(n > 0, "cannot start walkers on an empty graph");
+        let draw_cost = cost.uniform_vertex * access.cost_factor(QueryKind::UniformVertex);
         let mut starts = Vec::with_capacity(m);
         let mut fixed_idx = 0usize;
         while starts.len() < m {
-            if !budget.try_spend(cost.uniform_vertex) {
+            if !budget.try_spend(draw_cost) {
                 break;
             }
             let v = match self {
                 StartPolicy::Uniform => VertexId::new(rng.gen_range(0..n)),
                 StartPolicy::SteadyState => {
-                    let arcs = graph.num_arcs();
+                    let arcs = access.num_arcs();
                     if arcs == 0 {
                         break;
                     }
-                    graph.arc_endpoints(rng.gen_range(0..arcs)).source
+                    access.arc_endpoints(rng.gen_range(0..arcs)).source
                 }
                 StartPolicy::Fixed(list) => {
                     assert!(!list.is_empty(), "fixed start list is empty");
@@ -63,7 +64,7 @@ impl StartPolicy {
                     v
                 }
             };
-            if graph.degree(v) > 0 {
+            if access.degree(v) > 0 {
                 starts.push(v);
             }
             // Degree-0 vertices burn the cost and are redrawn, except for
@@ -79,7 +80,7 @@ impl StartPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, Graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

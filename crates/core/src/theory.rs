@@ -78,10 +78,7 @@ pub fn kfs_pmf(m: usize, k: usize, p: f64, d_a: f64, d_b: f64, d: f64) -> f64 {
 
 /// The average-degree triple `(d̄_A, d̄_B, d̄)` and `p = |V_A|/|V|` for a
 /// subset given as a membership predicate.
-pub fn subset_degree_profile(
-    graph: &Graph,
-    in_a: impl Fn(VertexId) -> bool,
-) -> SubsetProfile {
+pub fn subset_degree_profile(graph: &Graph, in_a: impl Fn(VertexId) -> bool) -> SubsetProfile {
     let mut n_a = 0usize;
     let mut vol_a = 0usize;
     for v in graph.vertices() {
@@ -96,8 +93,16 @@ pub fn subset_degree_profile(
     let vol_b = vol - vol_a;
     SubsetProfile {
         p: n_a as f64 / n as f64,
-        d_a: if n_a > 0 { vol_a as f64 / n_a as f64 } else { 0.0 },
-        d_b: if n_b > 0 { vol_b as f64 / n_b as f64 } else { 0.0 },
+        d_a: if n_a > 0 {
+            vol_a as f64 / n_a as f64
+        } else {
+            0.0
+        },
+        d_b: if n_b > 0 {
+            vol_b as f64 / n_b as f64
+        } else {
+            0.0
+        },
         d: vol as f64 / n as f64,
     }
 }
@@ -197,8 +202,14 @@ mod tests {
         // K_un: mean of K_fs > m p.
         let (m, p, d_a, d_b) = (20usize, 0.5, 10.0, 2.0);
         let d = p * d_a + (1.0 - p) * d_b;
-        let mean_fs: f64 = (0..=m).map(|k| k as f64 * kfs_pmf(m, k, p, d_a, d_b, d)).sum();
-        assert!(mean_fs > m as f64 * p, "mean {mean_fs} vs uniform {}", m as f64 * p);
+        let mean_fs: f64 = (0..=m)
+            .map(|k| k as f64 * kfs_pmf(m, k, p, d_a, d_b, d))
+            .sum();
+        assert!(
+            mean_fs > m as f64 * p,
+            "mean {mean_fs} vs uniform {}",
+            m as f64 * p
+        );
     }
 
     #[test]
@@ -212,17 +223,17 @@ mod tests {
             total_variation(&fs, &un)
         };
         let seq = [tv_at(4), tv_at(16), tv_at(64), tv_at(256)];
-        assert!(seq[0] > seq[1] && seq[1] > seq[2] && seq[2] > seq[3], "{seq:?}");
+        assert!(
+            seq[0] > seq[1] && seq[1] > seq[2] && seq[2] > seq[3],
+            "{seq:?}"
+        );
         assert!(seq[3] < 0.05, "TV at m=256 still {}", seq[3]);
     }
 
     #[test]
     fn subset_profile_on_gab_like_graph() {
         // Two components: triangle (deg 2 each) and star K1,3.
-        let g = graph_from_undirected_pairs(
-            7,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (3, 5), (3, 6)],
-        );
+        let g = graph_from_undirected_pairs(7, [(0, 1), (1, 2), (0, 2), (3, 4), (3, 5), (3, 6)]);
         let prof = subset_degree_profile(&g, |v| v.index() < 3);
         assert!((prof.p - 3.0 / 7.0).abs() < 1e-12);
         assert!((prof.d_a - 2.0).abs() < 1e-12);

@@ -298,10 +298,7 @@ mod tests {
         // imbalance, FS's early-step arc distribution is closer to uniform
         // than a single walker's.
         // Barbell-ish: clique {0,1,2} + path to sparse pair.
-        let g = graph_from_undirected_pairs(
-            6,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)],
-        );
+        let g = graph_from_undirected_pairs(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)]);
         let b = 4;
         let single = exact_arc_distribution_single(&g, b);
         let dev_single = worst_case_relative_deviation(&single);
@@ -353,7 +350,7 @@ mod tests {
             let mut cur = VertexId::new(rand::Rng::gen_range(&mut rng, 0..g.num_vertices()));
             let mut last_arc = None;
             for _ in 0..b {
-                let Some(edge) = crate::nbrw::nb_step(&g, cur, prev, &mut rng) else {
+                let Some(edge) = crate::nbrw::nb_step(&g, cur, prev, &mut rng).sampled() else {
                     break;
                 };
                 last_arc = g.find_arc(edge.source, edge.target);
@@ -406,10 +403,7 @@ mod tests {
         // → no-backtrack onward), transiently oversampling the tail's
         // arcs. On this path-tailed graph the step-2 worst-case deviation
         // of NBRW exceeds the plain walk's — quantified exactly.
-        let g = graph_from_undirected_pairs(
-            6,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)],
-        );
+        let g = graph_from_undirected_pairs(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)]);
         let plain = worst_case_relative_deviation(&exact_arc_distribution_single(&g, 2));
         let nb = worst_case_relative_deviation(&exact_arc_distribution_nbrw(&g, 2));
         assert!(

@@ -6,7 +6,7 @@
 //! MySpace-motivated experiment uses `h = 10%`).
 
 use crate::budget::{Budget, CostModel};
-use fs_graph::{Graph, VertexId};
+use fs_graph::{GraphAccess, QueryKind, VertexId};
 use rand::Rng;
 
 /// Uniform-with-replacement vertex sampler.
@@ -20,19 +20,20 @@ impl RandomVertexSampler {
     }
 
     /// Draws vertices until the budget is exhausted.
-    pub fn sample_vertices<R: Rng + ?Sized>(
+    pub fn sample_vertices<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         &self,
-        graph: &Graph,
+        access: &A,
         cost: &CostModel,
         budget: &mut Budget,
         rng: &mut R,
         mut sink: impl FnMut(VertexId),
     ) {
-        let n = graph.num_vertices();
+        let n = access.num_vertices();
         if n == 0 {
             return;
         }
-        while budget.try_spend(cost.uniform_vertex) {
+        let draw_cost = cost.uniform_vertex * access.cost_factor(QueryKind::UniformVertex);
+        while budget.try_spend(draw_cost) {
             sink(VertexId::new(rng.gen_range(0..n)));
         }
     }
@@ -73,9 +74,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(172);
         let mut count = 0usize;
         let mut budget = Budget::new(100.0);
-        RandomVertexSampler::new().sample_vertices(&g, &cost, &mut budget, &mut rng, |_| {
-            count += 1
-        });
+        RandomVertexSampler::new()
+            .sample_vertices(&g, &cost, &mut budget, &mut rng, |_| count += 1);
         assert_eq!(count, 10);
     }
 }

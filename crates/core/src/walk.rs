@@ -3,24 +3,73 @@
 //! Section 4: "At the i-th step a walker at vertex `v_i` chooses an
 //! outgoing edge `(v_i, u)` uniformly at random … and adds it to the
 //! sequence of sampled edges." All walk-based samplers reduce to this
-//! primitive.
+//! primitive, issued against any [`GraphAccess`] backend — the uniform
+//! neighbor pick is routed through
+//! [`GraphAccess::query_neighbor`], so backends can model query loss and
+//! dead vertices without the walkers knowing.
 
-use fs_graph::{Arc, Graph, VertexId};
+use fs_graph::{Arc, GraphAccess, NeighborReply, VertexId};
 use rand::Rng;
 
-/// Takes one random-walk step from `v`: returns the sampled edge, whose
-/// target is the walker's next position. `None` if `v` has no neighbors.
-#[inline]
-pub fn step<R: Rng + ?Sized>(graph: &Graph, v: VertexId, rng: &mut R) -> Option<Arc> {
-    let d = graph.degree(v);
-    if d == 0 {
-        return None;
+/// Outcome of one attempted random-walk step.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step succeeded: the walker moves to `arc.target` and the edge
+    /// is reported as a sample.
+    Edge(Arc),
+    /// The backend lost the response payload: the walker still moves to
+    /// `arc.target`, but the sample is not reported.
+    Lost(Arc),
+    /// The queried neighbor never responded: the walker stays put, no
+    /// sample. (Budget was spent by the caller regardless.)
+    Bounced,
+    /// `v` has no neighbors — the walk cannot continue from here.
+    Isolated,
+}
+
+impl StepOutcome {
+    /// The sampled edge, if one was reported.
+    pub fn sampled(self) -> Option<Arc> {
+        match self {
+            StepOutcome::Edge(arc) => Some(arc),
+            _ => None,
+        }
     }
-    let next = graph.nth_neighbor(v, rng.gen_range(0..d));
-    Some(Arc {
-        source: v,
-        target: next,
-    })
+
+    /// The walker's position after the step, given where it stood.
+    pub fn position_after(self, before: VertexId) -> VertexId {
+        match self {
+            StepOutcome::Edge(arc) | StepOutcome::Lost(arc) => arc.target,
+            StepOutcome::Bounced | StepOutcome::Isolated => before,
+        }
+    }
+}
+
+/// Takes one random-walk step from `v` over `access`: picks an incident
+/// edge uniformly and resolves it through the backend's failure model.
+/// In-memory backends only ever produce [`StepOutcome::Edge`] or
+/// [`StepOutcome::Isolated`].
+#[inline]
+pub fn step<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
+    access: &A,
+    v: VertexId,
+    rng: &mut R,
+) -> StepOutcome {
+    let d = access.degree(v);
+    if d == 0 {
+        return StepOutcome::Isolated;
+    }
+    match access.query_neighbor(v, rng.gen_range(0..d)) {
+        NeighborReply::Vertex(next) => StepOutcome::Edge(Arc {
+            source: v,
+            target: next,
+        }),
+        NeighborReply::Lost(next) => StepOutcome::Lost(Arc {
+            source: v,
+            target: next,
+        }),
+        NeighborReply::Unresponsive => StepOutcome::Bounced,
+    }
 }
 
 /// An edge-sink callback, fed every sampled edge in order.
@@ -37,7 +86,7 @@ pub type VertexSink<'a> = dyn FnMut(VertexId) + 'a;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_graph::graph_from_undirected_pairs;
+    use fs_graph::{graph_from_undirected_pairs, CsrAccess};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -46,7 +95,7 @@ mod tests {
         let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
         let mut rng = SmallRng::seed_from_u64(111);
         for _ in 0..100 {
-            let e = step(&g, VertexId::new(1), &mut rng).unwrap();
+            let e = step(&g, VertexId::new(1), &mut rng).sampled().unwrap();
             assert_eq!(e.source, VertexId::new(1));
             assert!(g.has_edge(e.source, e.target));
         }
@@ -59,7 +108,7 @@ mod tests {
         let mut counts = [0usize; 4];
         let trials = 30_000;
         for _ in 0..trials {
-            let e = step(&g, VertexId::new(0), &mut rng).unwrap();
+            let e = step(&g, VertexId::new(0), &mut rng).sampled().unwrap();
             counts[e.target.index()] += 1;
         }
         for &c in &counts[1..] {
@@ -72,6 +121,36 @@ mod tests {
     fn isolated_vertex_has_no_step() {
         let g = graph_from_undirected_pairs(3, [(0, 1)]);
         let mut rng = SmallRng::seed_from_u64(113);
-        assert!(step(&g, VertexId::new(2), &mut rng).is_none());
+        assert_eq!(step(&g, VertexId::new(2), &mut rng), StepOutcome::Isolated);
+    }
+
+    #[test]
+    fn csr_access_wrapper_steps_identically() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut r1 = SmallRng::seed_from_u64(114);
+        let mut r2 = SmallRng::seed_from_u64(114);
+        let csr = CsrAccess::new(&g);
+        for _ in 0..200 {
+            assert_eq!(
+                step(&g, VertexId::new(1), &mut r1),
+                step(&csr, VertexId::new(1), &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let arc = Arc {
+            source: VertexId::new(0),
+            target: VertexId::new(1),
+        };
+        assert_eq!(StepOutcome::Edge(arc).sampled(), Some(arc));
+        assert_eq!(StepOutcome::Lost(arc).sampled(), None);
+        assert_eq!(StepOutcome::Bounced.sampled(), None);
+        let at = VertexId::new(5);
+        assert_eq!(StepOutcome::Edge(arc).position_after(at), arc.target);
+        assert_eq!(StepOutcome::Lost(arc).position_after(at), arc.target);
+        assert_eq!(StepOutcome::Bounced.position_after(at), at);
+        assert_eq!(StepOutcome::Isolated.position_after(at), at);
     }
 }

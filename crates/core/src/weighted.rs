@@ -294,10 +294,7 @@ mod tests {
 
     /// Triangle with weights 1, 2, 3 plus a heavy pendant.
     fn wg() -> WeightedGraph {
-        WeightedGraph::from_weighted_pairs(
-            4,
-            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 10.0)],
-        )
+        WeightedGraph::from_weighted_pairs(4, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 10.0)])
     }
 
     #[test]
@@ -341,7 +338,10 @@ mod tests {
         for (key, w) in [((0, 1), 1.0), ((1, 2), 2.0), ((0, 2), 3.0), ((2, 3), 10.0)] {
             let emp = mass[&key] as f64 / total as f64;
             let expect = w / weight_sum;
-            assert!((emp - expect).abs() < 0.01, "edge {key:?}: {emp} vs {expect}");
+            assert!(
+                (emp - expect).abs() < 0.01,
+                "edge {key:?}: {emp} vs {expect}"
+            );
         }
     }
 
@@ -386,8 +386,10 @@ mod tests {
                 (3, 5, 4.0),
             ],
         );
-        let sampler = WeightedFrontierSampler::new(2)
-            .with_start(WeightedStart::Fixed(vec![VertexId::new(0), VertexId::new(3)]));
+        let sampler = WeightedFrontierSampler::new(2).with_start(WeightedStart::Fixed(vec![
+            VertexId::new(0),
+            VertexId::new(3),
+        ]));
         let mut rng = SmallRng::seed_from_u64(314);
         let mut in_b = 0usize;
         let mut total = 0usize;
@@ -409,7 +411,7 @@ mod tests {
         let und = graph_from_undirected_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
         let g = WeightedGraph::unit_weights(&und);
         let mut rng = SmallRng::seed_from_u64(315);
-        let mut visits = vec![0usize; 5];
+        let mut visits = [0usize; 5];
         let mut budget = Budget::new(300_000.0);
         WeightedFrontierSampler::new(2).sample_edges(
             &g,
@@ -449,7 +451,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(317);
         let trials = 40_000;
         let mut budget = Budget::new(trials as f64);
-        let starts = WeightedStart::SteadyState.draw(&g, trials, &CostModel::unit(), &mut budget, &mut rng);
+        let starts =
+            WeightedStart::SteadyState.draw(&g, trials, &CostModel::unit(), &mut budget, &mut rng);
         let heavy = starts.iter().filter(|v| v.index() == 2).count();
         let frac = heavy as f64 / trials as f64;
         let expect = g.strength(VertexId::new(2)) / g.total_strength();

@@ -1,0 +1,216 @@
+//! Backend parity: the `GraphAccess` layer must be *behaviourally free*.
+//!
+//! A seeded sampler is a deterministic function of its RNG stream and
+//! the backend's replies. Since `CsrAccess` and a fault-free
+//! `CrawlAccess` answer every query identically and consume no
+//! randomness of their own, every walker must produce bit-identical walk
+//! traces and estimator outputs over either backend (and over a plain
+//! `&Graph`, and under the `CachedAccess` decorator). These tests pin
+//! that contract; the `access_overhead` bench pins the *performance*
+//! half (monomorphization keeps the trait layer free).
+
+use frontier_sampling::backend::{CachedAccess, CrawlAccess};
+use frontier_sampling::estimators::{
+    ClusteringEstimator, DegreeDistributionEstimator, EdgeEstimator,
+};
+use frontier_sampling::{
+    Budget, CostModel, FrontierSampler, GraphAccess, MetropolisHastingsRw, SingleRw,
+};
+use fs_graph::{CsrAccess, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A loosely connected fixture: two communities bridged by one edge,
+/// plus a pendant — enough structure for degree variety.
+fn fixture() -> Graph {
+    let mut rng = SmallRng::seed_from_u64(0xF1C);
+    fs_gen::barabasi_albert(500, 3, &mut rng)
+}
+
+/// Runs `sampler` over `access` and returns (walk trace, θ̂ vector, Ĉ).
+fn run_edges<A: GraphAccess>(
+    access: &A,
+    seed: u64,
+    run: impl Fn(&A, &mut Budget, &mut SmallRng, &mut dyn FnMut(fs_graph::Arc)),
+) -> (Vec<(usize, usize)>, Vec<f64>, Option<f64>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut budget = Budget::new(5_000.0);
+    let mut trace = Vec::new();
+    let mut deg = DegreeDistributionEstimator::symmetric();
+    let mut clu = ClusteringEstimator::new();
+    run(access, &mut budget, &mut rng, &mut |e| {
+        trace.push((e.source.index(), e.target.index()));
+        deg.observe(access, e);
+        clu.observe(access, e);
+    });
+    (trace, deg.distribution(), clu.estimate())
+}
+
+#[test]
+fn frontier_sampler_identical_over_csr_and_fault_free_crawl() {
+    let g = fixture();
+    let csr = CsrAccess::new(&g);
+    let crawler = CrawlAccess::new(&g);
+    let fs = FrontierSampler::new(8);
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        fs.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let a = run_edges(&csr, 7, runner);
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        fs.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let b = run_edges(&crawler, 7, runner);
+    assert_eq!(a.0, b.0, "walk traces diverged");
+    assert_eq!(a.1, b.1, "degree-distribution estimates diverged");
+    assert_eq!(a.2, b.2, "clustering estimates diverged");
+    assert_eq!(
+        crawler.stats().neighbor_queries,
+        b.0.len() as u64,
+        "fault-free crawler answers exactly one query per sampled edge"
+    );
+}
+
+#[test]
+fn single_rw_identical_over_all_fault_free_backends() {
+    let g = fixture();
+    let sampler = SingleRw::new();
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        sampler.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let plain = run_edges(&&g, 11, runner);
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        sampler.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let csr = run_edges(&CsrAccess::new(&g), 11, runner);
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        sampler.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let crawl = run_edges(&CrawlAccess::new(&g), 11, runner);
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        sampler.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let cached = run_edges(&CachedAccess::new(&g, 64), 11, runner);
+    assert_eq!(plain, csr);
+    assert_eq!(plain, crawl);
+    assert_eq!(plain, cached, "the cache decorator must not perturb walks");
+}
+
+#[test]
+fn mhrw_identical_over_csr_and_fault_free_crawl() {
+    let g = fixture();
+    let run = |access: &dyn Fn(&mut SmallRng, &mut Vec<usize>)| {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut visits = Vec::new();
+        access(&mut rng, &mut visits);
+        visits
+    };
+    let csr = CsrAccess::new(&g);
+    let a = run(&|rng, visits| {
+        let mut budget = Budget::new(5_000.0);
+        MetropolisHastingsRw::new().sample_vertices(
+            &csr,
+            &CostModel::unit(),
+            &mut budget,
+            rng,
+            |v| visits.push(v.index()),
+        );
+    });
+    let crawler = CrawlAccess::new(&g);
+    let b = run(&|rng, visits| {
+        let mut budget = Budget::new(5_000.0);
+        MetropolisHastingsRw::new().sample_vertices(
+            &crawler,
+            &CostModel::unit(),
+            &mut budget,
+            rng,
+            |v| visits.push(v.index()),
+        );
+    });
+    assert_eq!(a, b, "MHRW vertex traces diverged");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn cached_access_hit_accounting_matches_repeated_query_counts() {
+    let g = fixture();
+    // Cache big enough to never evict: every fetch after a vertex's
+    // first is a hit, so hits = total fetches − distinct vertices.
+    let cached = CachedAccess::new(&g, g.num_vertices());
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut budget = Budget::new(3_000.0);
+    let mut edges = Vec::new();
+    SingleRw::new().sample_edges(&cached, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        edges.push(e)
+    });
+    // Replay the walker's backend fetches. Per step the walker probes
+    // degree(source) and query_neighbor(source, i); the decorator
+    // coalesces consecutive same-vertex touches into one logical fetch,
+    // and the start draw's degree check coalesces into the first step,
+    // so the fetch sequence is exactly one probe per edge source (the
+    // graph has no self-loops, so consecutive sources always differ).
+    // With no eviction the hit/miss split depends only on totals and
+    // distinct vertices.
+    let mut distinct = std::collections::HashSet::new();
+    let mut fetches = 0u64;
+    let mut probe = |v: usize| {
+        fetches += 1;
+        distinct.insert(v);
+    };
+    for e in &edges {
+        probe(e.source.index());
+    }
+    assert_eq!(
+        cached.hits() + cached.misses(),
+        fetches,
+        "every backend fetch must be classified as hit or miss"
+    );
+    assert_eq!(
+        cached.misses(),
+        distinct.len() as u64,
+        "with no eviction, misses = distinct vertices fetched"
+    );
+    assert_eq!(
+        cached.hits(),
+        fetches - distinct.len() as u64,
+        "hit count must equal repeated-query count"
+    );
+    assert_eq!(cached.cached_vertices(), distinct.len());
+}
+
+#[test]
+fn walk_method_dispatch_is_backend_agnostic() {
+    use frontier_sampling::WalkMethod;
+    let g = fixture();
+    for method in [
+        WalkMethod::single(),
+        WalkMethod::multiple(4),
+        WalkMethod::frontier(4),
+        WalkMethod::distributed_frontier(4),
+        WalkMethod::non_backtracking(),
+        WalkMethod::non_backtracking_frontier(4),
+    ] {
+        let collect = |access: &CrawlAccess, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut budget = Budget::new(2_000.0);
+            let mut edges = Vec::new();
+            method.sample_edges(access, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                edges.push((e.source.index(), e.target.index()))
+            });
+            edges
+        };
+        let crawler = CrawlAccess::new(&g);
+        let via_crawl = collect(&crawler, 23);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut budget = Budget::new(2_000.0);
+        let mut via_graph = Vec::new();
+        method.sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            via_graph.push((e.source.index(), e.target.index()))
+        });
+        assert_eq!(via_graph, via_crawl, "{} diverged", method.label());
+        assert!(!via_graph.is_empty(), "{} emitted nothing", method.label());
+        // Ids stay within the universe.
+        assert!(via_graph
+            .iter()
+            .all(|&(s, t)| s < g.num_vertices() && t < g.num_vertices()));
+    }
+}

@@ -26,9 +26,7 @@ fn small_gab(seed: u64) -> (Graph, usize) {
 fn empirical_kfs(graph: &Graph, n_a: usize, m: usize, steps: usize, seed: u64) -> Vec<f64> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = graph.num_vertices();
-    let starts: Vec<VertexId> = (0..m)
-        .map(|_| VertexId::new(rng.gen_range(0..n)))
-        .collect();
+    let starts: Vec<VertexId> = (0..m).map(|_| VertexId::new(rng.gen_range(0..n))).collect();
     let mut frontier = Frontier::from_positions(graph, starts);
     // Burn-in to forget the start.
     for _ in 0..steps / 5 {

@@ -95,10 +95,7 @@ mod tests {
         let points = sweep(&cfg);
         assert!(points.len() >= 4, "sweep too short: {points:?}");
         let first = points.first().unwrap().1;
-        let best = points
-            .iter()
-            .map(|&(_, e)| e)
-            .fold(f64::INFINITY, f64::min);
+        let best = points.iter().map(|&(_, e)| e).fold(f64::INFINITY, f64::min);
         assert!(
             best * 1.5 < first,
             "multi-dimensional FS should clearly beat m=1: best {best} vs m=1 {first}"

@@ -33,11 +33,13 @@ pub(crate) fn compute(cfg: &ExpConfig) -> (f64, f64, f64) {
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut est = DegreeDistributionEstimator::in_degree();
             let mut b = Budget::new(budget);
-            MultipleRw::new(m)
-                .with_schedule(schedule)
-                .sample_edges(g, &CostModel::unit(), &mut b, &mut rng, |e| {
-                    est.observe(g, e)
-                });
+            MultipleRw::new(m).with_schedule(schedule).sample_edges(
+                g,
+                &CostModel::unit(),
+                &mut b,
+                &mut rng,
+                |e| est.observe(g, e),
+            );
             est.theta(1)
         })
     };

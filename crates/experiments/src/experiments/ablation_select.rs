@@ -33,7 +33,10 @@ pub(crate) fn compute(cfg: &ExpConfig) -> Outcome {
     let m = 50;
 
     let run_fs = |seed: u64| {
-        let mut rng = { use rand::SeedableRng; rand::rngs::SmallRng::seed_from_u64(seed) };
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::SmallRng::seed_from_u64(seed)
+        };
         let mut est = DegreeDistributionEstimator::symmetric();
         let mut b = Budget::new(budget);
         FrontierSampler::new(m).sample_edges(g, &CostModel::unit(), &mut b, &mut rng, |e| {
@@ -42,7 +45,10 @@ pub(crate) fn compute(cfg: &ExpConfig) -> Outcome {
         est.theta(10)
     };
     let run_ablated = |seed: u64| {
-        let mut rng = { use rand::SeedableRng; rand::rngs::SmallRng::seed_from_u64(seed) };
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::SmallRng::seed_from_u64(seed)
+        };
         let mut est = DegreeDistributionEstimator::symmetric();
         let mut b = Budget::new(budget);
         UniformSelectWalkers::new(m).sample_edges(g, &CostModel::unit(), &mut b, &mut rng, |e| {

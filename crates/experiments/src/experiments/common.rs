@@ -161,12 +161,8 @@ pub fn run_degree_error(spec: &DegreeErrorSpec<'_>, cfg: &ExpConfig) -> SeriesSe
     let runs = cfg.effective_runs();
     for method in &spec.methods {
         let estimates: Vec<Vec<f64>> = monte_carlo(runs, cfg.seed, |seed| {
-            let theta = method.estimate_degree_distribution(
-                spec.graph,
-                spec.degree,
-                spec.budget,
-                seed,
-            );
+            let theta =
+                method.estimate_degree_distribution(spec.graph, spec.degree, spec.budget, seed);
             match spec.metric {
                 ErrorMetric::CnmseOfCcdf => ccdf(&theta),
                 ErrorMetric::NmseOfDensity => theta,
@@ -268,10 +264,7 @@ mod tests {
 
     fn fixture() -> Graph {
         // Two triangles bridged: degrees 2..3; connected, non-bipartite.
-        graph_from_undirected_pairs(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        graph_from_undirected_pairs(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

@@ -71,7 +71,13 @@ pub(crate) fn diagnose(g: &Graph, cfg: &ExpConfig) -> (Vec<DiagRow>, f64, usize)
 fn table_for(name: &str, rows: &[DiagRow]) -> TextTable {
     let mut t = TextTable::new(
         format!("Convergence diagnostics of the 1/deg functional ({name})"),
-        &["method", "ESS/n", "split R-hat", "worst |Geweke Z|", "converged?"],
+        &[
+            "method",
+            "ESS/n",
+            "split R-hat",
+            "worst |Geweke Z|",
+            "converged?",
+        ],
     );
     for r in rows {
         let worst_z = r
@@ -85,7 +91,12 @@ fn table_for(name: &str, rows: &[DiagRow]) -> TextTable {
             fmt_f64(r.diag.efficiency()),
             fmt_opt(r.diag.r_hat),
             fmt_opt(worst_z),
-            if r.diag.looks_converged() { "yes" } else { "NO" }.into(),
+            if r.diag.looks_converged() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
         ]);
     }
     t

@@ -51,7 +51,9 @@ pub(crate) fn series(cfg: &ExpConfig) -> (SeriesSet, f64, usize) {
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut est = DegreeDistributionEstimator::in_degree();
             let mut b = Budget::new(budget);
-            method.sample_edges(g, &CostModel::unit(), &mut b, &mut rng, |e| est.observe(g, e));
+            method.sample_edges(g, &CostModel::unit(), &mut b, &mut rng, |e| {
+                est.observe(g, e)
+            });
             est.ccdf()
         });
         let err = per_bucket_nmse(&est_runs, &truth_ccdf);

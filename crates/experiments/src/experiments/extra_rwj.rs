@@ -62,9 +62,8 @@ fn one_price_point(
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut est = RwjDegreeDistributionEstimator::new(ALPHA, DegreeKind::Symmetric);
         let mut b = Budget::new(budget);
-        RandomWalkWithJumps::new(ALPHA).sample_visits(g, cost, &mut b, &mut rng, |v| {
-            est.observe(g, v)
-        });
+        RandomWalkWithJumps::new(ALPHA)
+            .sample_visits(g, cost, &mut b, &mut rng, |v| est.observe(g, v));
         est.ccdf()
     });
     let err = per_bucket_nmse(&est_runs, truth_ccdf);
@@ -109,7 +108,11 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
          comparable; at the 10% hit ratio FS's one-off start cost beats RWJ's recurring jumps.",
     );
     for (name, set) in [("unit", &unit), ("10% hit ratio", &pricey)] {
-        for label in ["SingleRW", &format!("FS (m={m})"), &format!("RWJ (α={ALPHA})")] {
+        for label in [
+            "SingleRW",
+            &format!("FS (m={m})"),
+            &format!("RWJ (α={ALPHA})"),
+        ] {
             if let Some(gm) = set.geometric_mean(label) {
                 result.note(format!("[{name}] geometric-mean CNMSE — {label}: {gm:.4}"));
             }

@@ -30,9 +30,7 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
         methods: vec![
             SamplingMethod::walk(WalkMethod::single().with_start(StartPolicy::SteadyState)),
             SamplingMethod::walk(WalkMethod::frontier(m)), // FS keeps uniform starts
-            SamplingMethod::walk(
-                WalkMethod::multiple(m).with_start(StartPolicy::SteadyState),
-            ),
+            SamplingMethod::walk(WalkMethod::multiple(m).with_start(StartPolicy::SteadyState)),
         ],
         metric: ErrorMetric::CnmseOfCcdf,
     };

@@ -17,9 +17,7 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
 
     let xs = log_spaced_degrees(gamma.len().saturating_sub(1));
     let mut set = SeriesSet::new("in-degree", xs);
-    set.add_fn("CCDF", |x| {
-        gamma.get(x).copied().filter(|&g| g > 0.0)
-    });
+    set.add_fn("CCDF", |x| gamma.get(x).copied().filter(|&g| g > 0.0));
 
     let mut result = ExpResult::new("fig3", "Flickr: exact in-degree CCDF (log-log)");
     result.note(format!(

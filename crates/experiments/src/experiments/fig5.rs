@@ -48,7 +48,9 @@ mod tests {
         let lcc = dataset_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
         let (set_lcc, _, m_lcc) = ccdf_three_methods(&lcc.graph, DegreeKind::InOriginal, &cfg);
 
-        let fs_full = set_full.geometric_mean(&format!("FS (m={m_full})")).unwrap();
+        let fs_full = set_full
+            .geometric_mean(&format!("FS (m={m_full})"))
+            .unwrap();
         let single_full = set_full.geometric_mean("SingleRW").unwrap();
         assert!(fs_full < single_full, "FS must win on the full graph");
 

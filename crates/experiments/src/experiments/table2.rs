@@ -22,7 +22,13 @@ use fs_graph::{degree_assortativity, DegreeLabels, Graph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn estimate_runs(graph: &Graph, method: &WalkMethod, budget: f64, runs: usize, seed: u64) -> Vec<f64> {
+fn estimate_runs(
+    graph: &Graph,
+    method: &WalkMethod,
+    budget: f64,
+    runs: usize,
+    seed: u64,
+) -> Vec<f64> {
     monte_carlo(runs, seed, |s| {
         let mut rng = SmallRng::seed_from_u64(s);
         let mut est = AssortativityEstimator::new();
@@ -104,7 +110,13 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
     let mut t = TextTable::new(
         "Table 2 (replica)",
         &[
-            "graph", "r", "FS bias", "FS |NMSE|", "MRW bias", "MRW |NMSE|", "SRW bias",
+            "graph",
+            "r",
+            "FS bias",
+            "FS |NMSE|",
+            "MRW bias",
+            "MRW |NMSE|",
+            "SRW bias",
             "SRW |NMSE|",
         ],
     );

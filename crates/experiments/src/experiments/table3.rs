@@ -19,7 +19,13 @@ use fs_graph::{global_clustering, Graph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn estimate_runs(graph: &Graph, method: &WalkMethod, budget: f64, runs: usize, seed: u64) -> Vec<f64> {
+fn estimate_runs(
+    graph: &Graph,
+    method: &WalkMethod,
+    budget: f64,
+    runs: usize,
+    seed: u64,
+) -> Vec<f64> {
     monte_carlo(runs, seed, |s| {
         let mut rng = SmallRng::seed_from_u64(s);
         let mut est = ClusteringEstimator::new();
@@ -82,7 +88,11 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
     let mut t = TextTable::new(
         "Table 3 (replica)",
         &[
-            "graph", "C", "FS E[C] (NMSE)", "SRW E[C] (NMSE)", "MRW E[C] (NMSE)",
+            "graph",
+            "C",
+            "FS E[C] (NMSE)",
+            "SRW E[C] (NMSE)",
+            "MRW E[C] (NMSE)",
         ],
     );
     for row in &rows {

@@ -2,7 +2,7 @@
 //!
 //! The evaluation averages error metrics over thousands of independent
 //! runs ("CNMSE over 10,000 runs"). [`monte_carlo`] fans the runs out over
-//! all cores with crossbeam scoped threads; each run receives a distinct
+//! all cores with `std::thread::scope`; each run receives a distinct
 //! deterministic seed, so results are reproducible regardless of thread
 //! count or interleaving.
 
@@ -26,10 +26,10 @@ where
     let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
     let chunk = runs.div_ceil(threads.max(1));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
             let body = &body;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, slot) in slot_chunk.iter_mut().enumerate() {
                     let run_index = t * chunk + i;
                     // SplitMix-style seed derivation keeps streams
@@ -40,8 +40,7 @@ where
                 }
             });
         }
-    })
-    .expect("monte carlo worker panicked");
+    });
 
     results.into_iter().map(|s| s.unwrap()).collect()
 }

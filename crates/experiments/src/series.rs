@@ -98,11 +98,7 @@ impl SeriesSet {
 
     /// Geometric mean restricted to x values satisfying a predicate
     /// (e.g. "degrees above the average" for tail comparisons).
-    pub fn geometric_mean_where(
-        &self,
-        label: &str,
-        keep: impl Fn(usize) -> bool,
-    ) -> Option<f64> {
+    pub fn geometric_mean_where(&self, label: &str, keep: impl Fn(usize) -> bool) -> Option<f64> {
         let s = self.series.iter().find(|s| s.label == label)?;
         let defined: Vec<f64> = self
             .xs
@@ -126,7 +122,10 @@ mod tests {
 
     #[test]
     fn log_spacing() {
-        assert_eq!(log_spaced_degrees(25), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20]);
+        assert_eq!(
+            log_spaced_degrees(25),
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20]
+        );
         assert_eq!(log_spaced_degrees(0), Vec::<usize>::new());
         let big = log_spaced_degrees(5000);
         assert!(big.contains(&900));

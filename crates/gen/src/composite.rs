@@ -51,10 +51,8 @@ pub fn bridge_join(a: &Graph, b: &Graph) -> Graph {
     let vb = min_vertex(b);
     let union = disjoint_union(&[a, b]);
     // Rebuild with the extra bridge edge.
-    let mut builder = GraphBuilder::with_capacity(
-        union.num_vertices(),
-        union.num_original_edges() + 2,
-    );
+    let mut builder =
+        GraphBuilder::with_capacity(union.num_vertices(), union.num_original_edges() + 2);
     for arc in union.original_edges() {
         builder.add_edge(arc.source, arc.target);
     }
@@ -87,11 +85,15 @@ pub struct SatelliteSpec {
 /// small fringe components of real crawls. Returns the composed graph;
 /// core vertices keep ids `0..core.num_vertices()`.
 pub fn with_satellites<R: Rng + ?Sized>(core: &Graph, spec: &SatelliteSpec, rng: &mut R) -> Graph {
-    assert!(spec.min_size >= 2, "satellite components need >= 2 vertices");
+    assert!(
+        spec.min_size >= 2,
+        "satellite components need >= 2 vertices"
+    );
     assert!(spec.max_size >= spec.min_size);
     let n_core = core.num_vertices();
     let n_total = n_core + spec.num_vertices;
-    let mut b = GraphBuilder::with_capacity(n_total, core.num_original_edges() + 2 * spec.num_vertices);
+    let mut b =
+        GraphBuilder::with_capacity(n_total, core.num_original_edges() + 2 * spec.num_vertices);
     for arc in core.original_edges() {
         b.add_edge(arc.source, arc.target);
     }
@@ -144,10 +146,7 @@ pub fn with_satellites<R: Rng + ?Sized>(core: &Graph, spec: &SatelliteSpec, rng:
 ///
 /// Returns the input unchanged (clone) when no vertex is isolated.
 pub fn attach_isolated<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Graph {
-    let isolated: Vec<VertexId> = graph
-        .vertices()
-        .filter(|&v| graph.degree(v) == 0)
-        .collect();
+    let isolated: Vec<VertexId> = graph.vertices().filter(|&v| graph.degree(v) == 0).collect();
     if isolated.is_empty() {
         return graph.clone();
     }

@@ -465,7 +465,10 @@ mod tests {
         let vol_b: usize = (half..n)
             .map(|i| d.graph.degree(fs_graph::VertexId::new(i)))
             .sum();
-        assert!(vol_b > 3 * vol_a, "vol imbalance missing: {vol_a} vs {vol_b}");
+        assert!(
+            vol_b > 3 * vol_a,
+            "vol imbalance missing: {vol_a} vs {vol_b}"
+        );
     }
 
     #[test]
@@ -493,8 +496,14 @@ mod tests {
     #[test]
     fn parse_names() {
         assert_eq!(DatasetKind::parse("flickr"), Some(DatasetKind::Flickr));
-        assert_eq!(DatasetKind::parse("Live Journal"), Some(DatasetKind::LiveJournal));
-        assert_eq!(DatasetKind::parse("internet-rlt"), Some(DatasetKind::InternetRlt));
+        assert_eq!(
+            DatasetKind::parse("Live Journal"),
+            Some(DatasetKind::LiveJournal)
+        );
+        assert_eq!(
+            DatasetKind::parse("internet-rlt"),
+            Some(DatasetKind::InternetRlt)
+        );
         assert_eq!(DatasetKind::parse("G_AB"), Some(DatasetKind::Gab));
         assert_eq!(DatasetKind::parse("nope"), None);
     }
@@ -505,7 +514,11 @@ mod tests {
         // edge; the replicas must honor that or ground-truth vs
         // walk-reachable label densities diverge.
         for kind in DatasetKind::ALL {
-            let scale = if kind == DatasetKind::Gab { 0.002 } else { SCALE };
+            let scale = if kind == DatasetKind::Gab {
+                0.002
+            } else {
+                SCALE
+            };
             let d = kind.generate(scale, 14);
             let isolated = d
                 .graph

@@ -164,7 +164,10 @@ mod tests {
         };
         let low = labeled(&by_degree[..n / 10]);
         let high = labeled(&by_degree[n - n / 10..]);
-        assert!(high > low, "high-degree rate {high} <= low-degree rate {low}");
+        assert!(
+            high > low,
+            "high-degree rate {high} <= low-degree rate {low}"
+        );
     }
 
     #[test]

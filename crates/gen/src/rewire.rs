@@ -176,7 +176,10 @@ mod tests {
         // is *negative* due to the structural cutoff). It must not create
         // the positive correlation that strength = 1 does.
         let r1 = assort(&g2);
-        assert!(r1 < 0.05, "random rewiring created assortativity: {r0} -> {r1}");
+        assert!(
+            r1 < 0.05,
+            "random rewiring created assortativity: {r0} -> {r1}"
+        );
         let g3 = rewire_degree_correlated(&g, RewireMode::Assortative, 1.0, 2.0, &mut rng);
         assert!(assort(&g3) > r1 + 0.1, "strength must matter");
     }

@@ -166,8 +166,8 @@ mod tests {
         for _ in 0..trials {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 1..=10 {
-            let emp = counts[k] as f64 / trials as f64;
+        for (k, &c) in counts.iter().enumerate().skip(1) {
+            let emp = c as f64 / trials as f64;
             assert!(
                 (emp - z.pmf(k)).abs() < 0.01,
                 "rank {k}: empirical {emp} vs pmf {}",

@@ -1,0 +1,439 @@
+//! # `GraphAccess` — the crawl-oracle seam between samplers and storage
+//!
+//! ## The paper's access model (Section 2)
+//!
+//! Ribeiro & Towsley's samplers are designed for graphs that can **only be
+//! crawled**: "the graph topology is unknown and sampling is performed by
+//! either (a) querying randomly generated vertex (or edge) ids or (b)
+//! querying neighbors of previously queried vertices" — an OSN profile
+//! page, a router interface, a P2P peer. Querying a vertex reveals its
+//! full adjacency list (both in- and out-edges, hence the symmetric
+//! closure `G`), and *every query has a cost* charged against a fixed
+//! sampling budget `B`.
+//!
+//! The in-memory CSR [`Graph`](crate::Graph) is therefore *not* the
+//! paper's object of study — it is the simulator's ground truth. This
+//! trait abstracts the three primitives the paper's crawler actually has,
+//! so samplers can run unchanged over an in-memory graph, a simulated
+//! crawler with failures, a caching layer, or (the roadmap's direction)
+//! sharded/remote backends:
+//!
+//! 1. **vertex-universe access** — the id space `0..num_vertices` that
+//!    random-vertex queries draw from ([`GraphAccess::num_vertices`]);
+//! 2. **neighborhood queries** — degree and neighbor lookup of a crawled
+//!    vertex ([`GraphAccess::degree`], [`GraphAccess::neighbors`],
+//!    [`GraphAccess::query_neighbor`]);
+//! 3. **global edge access** — uniform random edges, available on some
+//!    systems (Section 3's random-edge baseline) and needed by the
+//!    steady-state start oracle ([`GraphAccess::num_arcs`],
+//!    [`GraphAccess::arc_endpoints`]).
+//!
+//! ## How cost accounting maps to the paper's budget `B`
+//!
+//! The budget bookkeeping itself lives in the sampling crate
+//! (`frontier_sampling::Budget` / `CostModel`): every walk step costs
+//! `walk_step` (the paper's unit cost), every uniform vertex draw costs
+//! `uniform_vertex` (the paper's `c ≥ 1`, or `1/h` under a sparse id
+//! space with hit ratio `h`, Section 6.4), every random edge
+//! `random_edge`. What the *backend* controls is the multiplicative
+//! [`GraphAccess::cost_factor`] applied on top per [`QueryKind`]: a plain
+//! in-memory graph charges factor 1 (the paper's unitary-cost
+//! assumption), while a crawl backend can surcharge queries (rate limits,
+//! retries) without the samplers knowing. A sampler spends
+//! `base_cost(kind) × cost_factor(kind)` from its budget before issuing
+//! each query, which reproduces Algorithm 1's accounting: `m` walker
+//! initialisations pay `m·c` and the walk then takes `B − mc` steps.
+//!
+//! ## Failure semantics
+//!
+//! Real crawls lose queries. [`GraphAccess::query_neighbor`] returns a
+//! [`NeighborReply`] that distinguishes the three outcomes walkers must
+//! handle; in-memory backends always answer
+//! [`NeighborReply::Vertex`], so after monomorphization the failure
+//! branches vanish from the hot path (verified by the
+//! `access_overhead` bench).
+//!
+//! ## Contract
+//!
+//! * Vertex ids form the dense range `0..num_vertices()`.
+//! * `neighbors(v)` is sorted ascending, deduplicated, and self-loop
+//!   free; `degree(v) == neighbors(v).len()`; adjacency is symmetric.
+//! * `query_neighbor(v, i)` resolves the same vertex `neighbors(v)[i]`
+//!   would, but routes through the backend's failure/accounting model.
+//! * Implementations use interior mutability for statistics; methods take
+//!   `&self` so one backend can serve many concurrent read-only samplers.
+
+use crate::graph::{Arc, Graph};
+use crate::ids::{ArcId, GroupId, VertexId};
+
+/// The kinds of budget-charged queries a sampler issues, mirroring the
+/// three costs of the paper's Section 2/6.4 model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Querying a neighbor of an already-crawled vertex (one walk step;
+    /// the paper's unit cost).
+    NeighborStep,
+    /// Querying a uniformly random vertex id (the paper's cost `c`, or
+    /// `1/h` under hit ratio `h`).
+    UniformVertex,
+    /// Querying a uniformly random edge (cost 2 by default — two
+    /// endpoints — divided by the edge hit ratio).
+    RandomEdge,
+}
+
+/// Outcome of resolving one neighbor query through a backend.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum NeighborReply {
+    /// The query succeeded: the walker moves to this vertex and the edge
+    /// is reported as a sample.
+    Vertex(VertexId),
+    /// The crawler reached the vertex but the *response payload* was lost
+    /// (timeout after the move, dropped record): the walker still moves,
+    /// but no sample is reported. Budget is spent either way.
+    Lost(VertexId),
+    /// The target never responds (deleted account, dead host): the walker
+    /// stays where it is and no sample is reported. Budget is spent.
+    Unresponsive,
+}
+
+impl NeighborReply {
+    /// The vertex the walker occupies after this reply, if it moved.
+    pub fn moved_to(self) -> Option<VertexId> {
+        match self {
+            NeighborReply::Vertex(v) | NeighborReply::Lost(v) => Some(v),
+            NeighborReply::Unresponsive => None,
+        }
+    }
+}
+
+/// Abstract neighbor-query oracle over a (logical) symmetric graph.
+///
+/// See the [module docs](self) for the crawl model, cost accounting, and
+/// the implementation contract. Samplers and estimators in
+/// `frontier_sampling` are generic over this trait; backends:
+///
+/// | backend | where | models |
+/// |---------|-------|--------|
+/// | [`Graph`] / [`CsrAccess`] | this crate | zero-cost in-memory access |
+/// | `CrawlAccess` | `frontier_sampling::backend` | budget surcharges, query loss, dead vertices |
+/// | `CachedAccess<A>` | `frontier_sampling::backend` | LRU repeated-query deduplication |
+pub trait GraphAccess {
+    /// Borrowed or owned neighbor-list handle (`&[VertexId]` for
+    /// in-memory backends; owned buffers for future remote ones).
+    type Neighbors<'a>: AsRef<[VertexId]>
+    where
+        Self: 'a;
+
+    /// Size of the vertex id universe `|V|` (ids are `0..num_vertices`).
+    fn num_vertices(&self) -> usize;
+
+    /// Symmetric degree `deg(v)`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Sorted neighbor list of `v` in the symmetric closure.
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_>;
+
+    /// Resolves the `i`-th neighbor of `v` (`0 ≤ i < deg(v)`) as a crawl
+    /// query, routing through the backend's failure model. In-memory
+    /// backends always answer [`NeighborReply::Vertex`].
+    fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
+        NeighborReply::Vertex(self.nth_neighbor(v, i))
+    }
+
+    /// The `i`-th neighbor of `v` without failure modelling (topology
+    /// inspection, not a charged crawl query).
+    fn nth_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        self.neighbors(v).as_ref()[i]
+    }
+
+    /// Number of arcs of the symmetric closure, `|E| = vol(V)`.
+    fn num_arcs(&self) -> usize;
+
+    /// `vol(V) = Σ_v deg(v)` (equals [`Self::num_arcs`]).
+    fn volume(&self) -> usize {
+        self.num_arcs()
+    }
+
+    /// Endpoints of arc `a` (global random-edge access; backends without
+    /// it may panic — the samplers that need it say so in their docs).
+    fn arc_endpoints(&self, a: ArcId) -> Arc;
+
+    /// Whether the symmetric arc `(u, v)` exists.
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).as_ref().binary_search(&v).is_ok()
+    }
+
+    /// In-degree of `v` in the original directed graph `G_d` (vertex
+    /// metadata revealed by crawling `v`).
+    fn in_degree_orig(&self, v: VertexId) -> usize;
+
+    /// Out-degree of `v` in the original directed graph `G_d`.
+    fn out_degree_orig(&self, v: VertexId) -> usize;
+
+    /// Whether the directed edge `(u, v)` existed in `E_d`.
+    fn has_original_edge(&self, u: VertexId, v: VertexId) -> bool;
+
+    /// Group labels of `v` (Section 6.5 special-interest groups).
+    fn groups_of(&self, v: VertexId) -> &[GroupId];
+
+    /// Total number of distinct groups.
+    fn num_groups(&self) -> usize;
+
+    /// Multiplicative budget surcharge for `kind` queries; the sampler
+    /// charges `CostModel base × cost_factor`. Default: 1 (the paper's
+    /// unitary-cost crawler).
+    fn cost_factor(&self, kind: QueryKind) -> f64 {
+        let _ = kind;
+        1.0
+    }
+
+    /// Cumulative number of neighbor queries answered (0 for backends
+    /// that do not track queries).
+    fn queries_issued(&self) -> u64 {
+        0
+    }
+}
+
+/// Expands to the [`GraphAccess`] methods that delegate verbatim to an
+/// inner implementor reachable via the expression written with a `$g`
+/// placeholder for `self`. Used by every delegating backend (here and in
+/// `frontier_sampling::backend`) so a new trait method is added in one
+/// place.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! delegate_graph_access {
+    ($self_:ident => $g:expr) => {
+        #[inline]
+        fn num_vertices(&$self_) -> usize {
+            $g.num_vertices()
+        }
+        #[inline]
+        fn degree(&$self_, v: $crate::VertexId) -> usize {
+            $g.degree(v)
+        }
+        #[inline]
+        fn nth_neighbor(&$self_, v: $crate::VertexId, i: usize) -> $crate::VertexId {
+            $g.nth_neighbor(v, i)
+        }
+        #[inline]
+        fn num_arcs(&$self_) -> usize {
+            $g.num_arcs()
+        }
+        #[inline]
+        fn arc_endpoints(&$self_, a: $crate::ArcId) -> $crate::Arc {
+            $g.arc_endpoints(a)
+        }
+        #[inline]
+        fn has_edge(&$self_, u: $crate::VertexId, v: $crate::VertexId) -> bool {
+            $g.has_edge(u, v)
+        }
+        #[inline]
+        fn in_degree_orig(&$self_, v: $crate::VertexId) -> usize {
+            $g.in_degree_orig(v)
+        }
+        #[inline]
+        fn out_degree_orig(&$self_, v: $crate::VertexId) -> usize {
+            $g.out_degree_orig(v)
+        }
+        #[inline]
+        fn has_original_edge(&$self_, u: $crate::VertexId, v: $crate::VertexId) -> bool {
+            $g.has_original_edge(u, v)
+        }
+        #[inline]
+        fn groups_of(&$self_, v: $crate::VertexId) -> &[$crate::GroupId] {
+            $g.groups_of(v)
+        }
+        #[inline]
+        fn num_groups(&$self_) -> usize {
+            $g.num_groups()
+        }
+    };
+}
+
+impl GraphAccess for Graph {
+    type Neighbors<'a> = &'a [VertexId];
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        Graph::neighbors(self, v)
+    }
+
+    delegate_graph_access!(self => self);
+}
+
+/// Zero-cost [`GraphAccess`] wrapper over a borrowed CSR [`Graph`].
+///
+/// `Graph` itself implements the trait, so most call sites simply pass
+/// `&graph`; `CsrAccess` exists to *name* the in-memory backend in
+/// configuration enums, parity tests, and benchmarks (where it is
+/// measured against direct CSR access to confirm monomorphization erases
+/// the trait layer).
+#[derive(Copy, Clone, Debug)]
+pub struct CsrAccess<'g>(pub &'g Graph);
+
+impl<'g> CsrAccess<'g> {
+    /// Wraps a graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        CsrAccess(graph)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.0
+    }
+}
+
+impl GraphAccess for CsrAccess<'_> {
+    type Neighbors<'a>
+        = &'a [VertexId]
+    where
+        Self: 'a;
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.0.neighbors(v)
+    }
+
+    delegate_graph_access!(self => self.0);
+}
+
+impl<A: GraphAccess + ?Sized> GraphAccess for &A {
+    type Neighbors<'a>
+        = A::Neighbors<'a>
+    where
+        Self: 'a;
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+        (**self).neighbors(v)
+    }
+    #[inline]
+    fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
+        (**self).query_neighbor(v, i)
+    }
+    #[inline]
+    fn cost_factor(&self, kind: QueryKind) -> f64 {
+        (**self).cost_factor(kind)
+    }
+    #[inline]
+    fn queries_issued(&self) -> u64 {
+        (**self).queries_issued()
+    }
+
+    delegate_graph_access!(self => (**self));
+}
+
+/// `|N(u) ∩ N(v)|` over any backend (sorted-merge intersection); the
+/// generic counterpart of [`crate::triangles::shared_neighbors`].
+pub fn shared_neighbors_via<A: GraphAccess + ?Sized>(
+    access: &A,
+    u: VertexId,
+    v: VertexId,
+) -> usize {
+    let nu = access.neighbors(u);
+    let nv = access.neighbors(v);
+    let (mut a, mut b) = (nu.as_ref(), nv.as_ref());
+    if a.len() > b.len() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut count = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_undirected_pairs;
+
+    fn lollipop() -> Graph {
+        graph_from_undirected_pairs(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    fn check_backend<A: GraphAccess>(access: &A, graph: &Graph) {
+        assert_eq!(access.num_vertices(), graph.num_vertices());
+        assert_eq!(access.num_arcs(), graph.num_arcs());
+        assert_eq!(access.volume(), graph.volume());
+        for v in graph.vertices() {
+            assert_eq!(access.degree(v), graph.degree(v));
+            assert_eq!(access.neighbors(v).as_ref(), graph.neighbors(v));
+            assert_eq!(access.in_degree_orig(v), graph.in_degree_orig(v));
+            assert_eq!(access.out_degree_orig(v), graph.out_degree_orig(v));
+            assert_eq!(access.groups_of(v), graph.groups_of(v));
+            for i in 0..graph.degree(v) {
+                assert_eq!(access.nth_neighbor(v, i), graph.nth_neighbor(v, i));
+                assert_eq!(
+                    access.query_neighbor(v, i),
+                    NeighborReply::Vertex(graph.nth_neighbor(v, i))
+                );
+            }
+            for u in graph.vertices() {
+                assert_eq!(access.has_edge(v, u), graph.has_edge(v, u));
+                assert_eq!(
+                    access.has_original_edge(v, u),
+                    graph.has_original_edge(v, u)
+                );
+            }
+        }
+        for a in 0..graph.num_arcs() {
+            assert_eq!(access.arc_endpoints(a), graph.arc_endpoints(a));
+        }
+        assert_eq!(access.cost_factor(QueryKind::NeighborStep), 1.0);
+        assert_eq!(access.cost_factor(QueryKind::UniformVertex), 1.0);
+        assert_eq!(access.cost_factor(QueryKind::RandomEdge), 1.0);
+        assert_eq!(access.queries_issued(), 0);
+    }
+
+    #[test]
+    fn graph_implements_access() {
+        let g = lollipop();
+        check_backend(&g, &g);
+    }
+
+    #[test]
+    fn csr_access_delegates_exactly() {
+        let g = lollipop();
+        check_backend(&CsrAccess::new(&g), &g);
+        assert_eq!(CsrAccess::new(&g).graph().num_vertices(), 4);
+    }
+
+    #[test]
+    fn reference_blanket_impl() {
+        let g = lollipop();
+        check_backend(&&g, &g);
+        let csr = CsrAccess::new(&g);
+        check_backend(&&csr, &g);
+    }
+
+    #[test]
+    fn neighbor_reply_moved_to() {
+        let v = VertexId::new(3);
+        assert_eq!(NeighborReply::Vertex(v).moved_to(), Some(v));
+        assert_eq!(NeighborReply::Lost(v).moved_to(), Some(v));
+        assert_eq!(NeighborReply::Unresponsive.moved_to(), None);
+    }
+
+    #[test]
+    fn shared_neighbors_generic_matches_concrete() {
+        let g = lollipop();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(
+                    shared_neighbors_via(&g, u, v),
+                    crate::triangles::shared_neighbors(&g, u, v)
+                );
+            }
+        }
+    }
+}

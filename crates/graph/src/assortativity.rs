@@ -48,7 +48,10 @@ pub fn degree_assortativity(graph: &Graph, labels: DegreeLabels) -> Option<f64> 
         }
         DegreeLabels::Symmetric => {
             for arc in graph.arcs() {
-                acc.push(graph.degree(arc.source) as f64, graph.degree(arc.target) as f64);
+                acc.push(
+                    graph.degree(arc.source) as f64,
+                    graph.degree(arc.target) as f64,
+                );
             }
         }
     }

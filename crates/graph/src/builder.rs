@@ -105,11 +105,8 @@ impl GraphBuilder {
         let n = self.num_vertices;
 
         // Deduplicate the directed edge set E_d, dropping self-loops.
-        let mut directed: Vec<(u32, u32)> = self
-            .edges
-            .into_iter()
-            .filter(|&(u, v)| u != v)
-            .collect();
+        let mut directed: Vec<(u32, u32)> =
+            self.edges.into_iter().filter(|&(u, v)| u != v).collect();
         directed.sort_unstable();
         directed.dedup();
 

@@ -86,18 +86,17 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
         }
         let mut parts = text.split_ascii_whitespace();
         let tag = parts.next().unwrap();
-        let parse =
-            |s: Option<&str>, what: &str| -> Result<usize, IoError> {
-                s.ok_or_else(|| IoError::Parse {
-                    line: lineno,
-                    message: format!("missing {what}"),
-                })?
-                .parse::<usize>()
-                .map_err(|e| IoError::Parse {
-                    line: lineno,
-                    message: format!("bad {what}: {e}"),
-                })
-            };
+        let parse = |s: Option<&str>, what: &str| -> Result<usize, IoError> {
+            s.ok_or_else(|| IoError::Parse {
+                line: lineno,
+                message: format!("missing {what}"),
+            })?
+            .parse::<usize>()
+            .map_err(|e| IoError::Parse {
+                line: lineno,
+                message: format!("bad {what}: {e}"),
+            })
+        };
         match tag {
             "n" => {
                 let n = parse(parts.next(), "vertex count")?;

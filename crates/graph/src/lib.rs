@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod assortativity;
 pub mod bitset;
 pub mod builder;
@@ -63,6 +64,7 @@ pub mod triangles;
 pub mod weighted;
 pub mod weighted_io;
 
+pub use access::{shared_neighbors_via, CsrAccess, GraphAccess, NeighborReply, QueryKind};
 pub use assortativity::{degree_assortativity, DegreeLabels, MomentAccumulator};
 pub use bitset::BitSet;
 pub use builder::{graph_from_directed_pairs, graph_from_undirected_pairs, GraphBuilder};
@@ -74,8 +76,7 @@ pub use graph::{Arc, Graph};
 pub use ids::{ArcId, GroupId, VertexId};
 pub use labels::VertexGroups;
 pub use stats::{
-    average_neighbor_degree, ccdf, degree_distribution, degree_histogram, DegreeKind,
-    GraphSummary,
+    average_neighbor_degree, ccdf, degree_distribution, degree_histogram, DegreeKind, GraphSummary,
 };
 pub use subgraph::{induced_subgraph, SubgraphMap};
 pub use triangles::{global_clustering, local_clustering, shared_neighbors, total_triangles};

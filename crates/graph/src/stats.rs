@@ -9,10 +9,9 @@
 use crate::components::connected_components;
 use crate::graph::Graph;
 use crate::ids::VertexId;
-use serde::{Deserialize, Serialize};
 
 /// Which degree notion a distribution refers to.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum DegreeKind {
     /// Symmetric degree `deg(v)` in the closure `G`.
     Symmetric,
@@ -23,13 +22,18 @@ pub enum DegreeKind {
 }
 
 impl DegreeKind {
-    /// The degree of `v` under this notion.
+    /// The degree of `v` under this notion, via any
+    /// [`GraphAccess`](crate::access::GraphAccess) backend.
     #[inline]
-    pub fn degree_of(self, graph: &Graph, v: VertexId) -> usize {
+    pub fn degree_of<A: crate::access::GraphAccess + ?Sized>(
+        self,
+        access: &A,
+        v: VertexId,
+    ) -> usize {
         match self {
-            DegreeKind::Symmetric => graph.degree(v),
-            DegreeKind::InOriginal => graph.in_degree_orig(v),
-            DegreeKind::OutOriginal => graph.out_degree_orig(v),
+            DegreeKind::Symmetric => access.degree(v),
+            DegreeKind::InOriginal => access.in_degree_orig(v),
+            DegreeKind::OutOriginal => access.out_degree_orig(v),
         }
     }
 }
@@ -70,15 +74,11 @@ pub fn ccdf(theta: &[f64]) -> Vec<f64> {
 
 /// Average of a degree distribution `Σ i·θ_i`.
 pub fn distribution_mean(theta: &[f64]) -> f64 {
-    theta
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| i as f64 * t)
-        .sum()
+    theta.iter().enumerate().map(|(i, &t)| i as f64 * t).sum()
 }
 
 /// Summary row in the style of the paper's Table 1.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GraphSummary {
     /// Dataset name.
     pub name: String,

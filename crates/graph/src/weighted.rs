@@ -60,7 +60,10 @@ impl WeightedGraph {
         let mut acc: std::collections::HashMap<(usize, usize), f64> =
             std::collections::HashMap::new();
         for (u, v, w) in pairs {
-            assert!(u < n && v < n, "vertex out of range: ({u}, {v}) with n = {n}");
+            assert!(
+                u < n && v < n,
+                "vertex out of range: ({u}, {v}) with n = {n}"
+            );
             assert!(u != v, "self-loop ({u}, {u}) not supported");
             assert!(
                 w.is_finite() && w > 0.0,
@@ -87,7 +90,7 @@ impl WeightedGraph {
         let mut edges: Vec<(usize, usize, f64)> =
             acc.into_iter().map(|((u, v), w)| (u, v, w)).collect();
         // Deterministic layout regardless of hash order.
-        edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        edges.sort_unstable_by_key(|a| (a.0, a.1));
         for (u, v, w) in edges {
             targets[cursor[u]] = VertexId::new(v);
             weights[cursor[u]] = w;
@@ -240,7 +243,10 @@ impl WeightedGraph {
                 s += w;
             }
             if (s - self.strength(vid)).abs() > 1e-9 * s.max(1.0) {
-                return Err(format!("strength mismatch at {v}: {s} vs {}", self.strength(vid)));
+                return Err(format!(
+                    "strength mismatch at {v}: {s} vs {}",
+                    self.strength(vid)
+                ));
             }
         }
         Ok(())
@@ -256,10 +262,7 @@ mod tests {
 
     fn wg() -> WeightedGraph {
         // Triangle with weights 1, 2, 3 plus a pendant of weight 10.
-        WeightedGraph::from_weighted_pairs(
-            4,
-            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 10.0)],
-        )
+        WeightedGraph::from_weighted_pairs(4, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 10.0)])
     }
 
     #[test]

@@ -172,7 +172,13 @@ pub fn write_weighted_dot<W: Write>(
 fn sanitize_dot_id(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) || cleaned.is_empty() {
         format!("g_{cleaned}")
@@ -188,10 +194,7 @@ mod tests {
     use crate::ids::VertexId;
 
     fn wg() -> WeightedGraph {
-        WeightedGraph::from_weighted_pairs(
-            4,
-            [(0, 1, 1.0), (1, 2, 2.5), (0, 2, 3.0), (2, 3, 10.0)],
-        )
+        WeightedGraph::from_weighted_pairs(4, [(0, 1, 1.0), (1, 2, 2.5), (0, 2, 3.0), (2, 3, 10.0)])
     }
 
     #[test]
@@ -230,13 +233,13 @@ mod tests {
     #[test]
     fn reader_rejects_malformed() {
         for bad in [
-            "w 0 1",            // missing weight
-            "w 0 1 zero",       // unparsable weight
-            "w 0 1 -1.0",       // negative weight
-            "w 0 1 inf",        // non-finite
-            "w 1 1 1.0",        // self-loop
-            "x 0 1 1.0",        // unknown tag
-            "n 2\nw 0 5 1.0",   // out of range
+            "w 0 1",          // missing weight
+            "w 0 1 zero",     // unparsable weight
+            "w 0 1 -1.0",     // negative weight
+            "w 0 1 inf",      // non-finite
+            "w 1 1 1.0",      // self-loop
+            "x 0 1 1.0",      // unknown tag
+            "n 2\nw 0 5 1.0", // out of range
         ] {
             assert!(
                 read_weighted_edge_list(bad.as_bytes()).is_err(),

@@ -29,7 +29,9 @@ fn diagnose(graph: &Graph, method: &WalkMethod, replicas: usize, budget: f64) ->
             let mut rng = SmallRng::seed_from_u64(42 + r as u64);
             let mut edges = Vec::new();
             let mut b = Budget::new(budget);
-            method.sample_edges(graph, &CostModel::unit(), &mut b, &mut rng, |e| edges.push(e));
+            method.sample_edges(graph, &CostModel::unit(), &mut b, &mut rng, |e| {
+                edges.push(e)
+            });
             inverse_degree_series(graph, &edges)
         })
         .collect();
@@ -59,7 +61,11 @@ fn main() {
         "method", "ESS/n", "R-hat", "worst |Z|", "verdict"
     );
 
-    for method in [WalkMethod::single(), WalkMethod::multiple(64), WalkMethod::frontier(64)] {
+    for method in [
+        WalkMethod::single(),
+        WalkMethod::multiple(64),
+        WalkMethod::frontier(64),
+    ] {
         let d = diagnose(&graph, &method, replicas, budget);
         let worst_z = d
             .geweke
@@ -72,7 +78,11 @@ fn main() {
             d.efficiency(),
             d.r_hat.unwrap_or(f64::NAN),
             worst_z,
-            if d.looks_converged() { "converged" } else { "NOT MIXED" }
+            if d.looks_converged() {
+                "converged"
+            } else {
+                "NOT MIXED"
+            }
         );
     }
 

@@ -22,7 +22,12 @@ use rand::{Rng, SeedableRng};
 
 /// Grows `graph` by `new_vertices` preferential-attachment joiners with
 /// `edges_each` edges (plus some random densification among old users).
-fn grow<R: Rng + ?Sized>(graph: &Graph, new_vertices: usize, edges_each: usize, rng: &mut R) -> Graph {
+fn grow<R: Rng + ?Sized>(
+    graph: &Graph,
+    new_vertices: usize,
+    edges_each: usize,
+    rng: &mut R,
+) -> Graph {
     let n_old = graph.num_vertices();
     let n_new = n_old + new_vertices;
     let mut b = GraphBuilder::with_capacity(n_new, graph.num_original_edges() + 2 * new_vertices);

@@ -60,7 +60,11 @@ fn main() {
         sampler.sample_edges(graph, &cost, &mut budget, &mut rng, |e| {
             est.observe(graph, e)
         });
-        report("FS (m=100, 10% hit)", est.num_observed(), &ccdf(&est.distribution()));
+        report(
+            "FS (m=100, 10% hit)",
+            est.num_observed(),
+            &ccdf(&est.distribution()),
+        );
     }
 
     // Random vertex sampling at a 10% hit ratio.
@@ -88,7 +92,11 @@ fn main() {
         RandomEdgeSampler::new().sample_edges(graph, &cost, &mut budget, &mut rng, |e| {
             est.observe(graph, e)
         });
-        report("Random edge (1% hit)", est.num_observed(), &ccdf(&est.distribution()));
+        report(
+            "Random edge (1% hit)",
+            est.num_observed(),
+            &ccdf(&est.distribution()),
+        );
     }
 
     println!(

@@ -48,7 +48,10 @@ fn main() {
     let estimated = ccdf(&estimator.distribution());
     let truth = ccdf(&degree_distribution(&graph, DegreeKind::Symmetric));
 
-    println!("\n{:>8} {:>12} {:>12} {:>10}", "degree", "estimated", "true", "rel.err");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10}",
+        "degree", "estimated", "true", "rel.err"
+    );
     for degree in [4usize, 6, 8, 12, 16, 24, 32, 48, 64, 96] {
         let est = estimated.get(degree).copied().unwrap_or(0.0);
         let tru = truth.get(degree).copied().unwrap_or(0.0);

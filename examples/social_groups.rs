@@ -53,6 +53,7 @@ fn main() {
         });
         estimates.push(est.estimates());
     }
+    #[allow(clippy::needless_range_loop)] // parallel-indexes three method columns
     for g in 0..5usize {
         let truth = sizes.get(g).copied().unwrap_or(0) as f64 / n;
         println!(

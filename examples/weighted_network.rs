@@ -49,10 +49,9 @@ fn main() {
 
     // --- Ground truth: which vertices are "backbone" (high strength)? ---
     let threshold = 40.0;
-    let is_backbone =
-        |v: VertexId| -> bool { graph.strength(v) > threshold };
-    let true_fraction = graph.vertices().filter(|&v| is_backbone(v)).count() as f64
-        / graph.num_vertices() as f64;
+    let is_backbone = |v: VertexId| -> bool { graph.strength(v) > threshold };
+    let true_fraction =
+        graph.vertices().filter(|&v| is_backbone(v)).count() as f64 / graph.num_vertices() as f64;
     println!("true backbone fraction (strength > {threshold}): {true_fraction:.4}\n");
 
     // --- Crawl with weighted FS and estimate the fraction. --------------

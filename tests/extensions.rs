@@ -72,10 +72,7 @@ fn nb_frontier_estimates_degree_ccdf() {
     let got = est.ccdf();
     for (deg, (&t, &e)) in truth.iter().zip(got.iter()).enumerate() {
         if t > 0.05 {
-            assert!(
-                (e - t).abs() / t < 0.25,
-                "CCDF({deg}): {e} vs {t}"
-            );
+            assert!((e - t).abs() / t < 0.25, "CCDF({deg}): {e} vs {t}");
         }
     }
 }
@@ -145,9 +142,9 @@ fn knn_spectrum_matches_exact_on_replica() {
     });
     // Compare on well-populated buckets only.
     let mut checked = 0usize;
-    for k in 0..exact.len() {
+    for (k, &ex) in exact.iter().enumerate() {
         if est.bucket_count(k) >= 500 {
-            let (Some(t), Some(e)) = (exact[k], est.knn(k)) else {
+            let (Some(t), Some(e)) = (ex, est.knn(k)) else {
                 continue;
             };
             assert!((e - t).abs() / t < 0.15, "knn({k}): {e} vs {t}");

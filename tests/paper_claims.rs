@@ -5,12 +5,12 @@
 //! tests that should break if a refactor silently destroys the scientific
 //! content of the reproduction.
 
+use frontier_sampling::WalkMethod;
 use fs_experiments::experiments::common::{
     run_degree_error, DegreeErrorSpec, ErrorMetric, SamplingMethod,
 };
 use fs_experiments::ExpConfig;
 use fs_gen::datasets::DatasetKind;
-use frontier_sampling::WalkMethod;
 use fs_graph::stats::DegreeKind;
 
 fn cfg() -> ExpConfig {
@@ -44,7 +44,10 @@ fn claim_fs_beats_walkers_on_disconnected_graphs() {
     let fs = set.geometric_mean(&format!("FS (m={m})")).unwrap();
     let single = set.geometric_mean("SingleRW").unwrap();
     let multi = set.geometric_mean(&format!("MultipleRW (m={m})")).unwrap();
-    assert!(fs < single && fs < multi, "FS {fs}, SRW {single}, MRW {multi}");
+    assert!(
+        fs < single && fs < multi,
+        "FS {fs}, SRW {single}, MRW {multi}"
+    );
 }
 
 /// "Frontier sampling is more suitable than random vertex sampling to
@@ -94,7 +97,11 @@ fn claim_fs_transient_shorter_than_independent_walkers() {
     let mrw = worst_case_relative_deviation(&exact_arc_distribution_single(&lcc, b / k));
     let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
     let fs = worst_case_relative_deviation(&mc_arc_distribution_frontier(
-        &lcc, k, b - k, 30_000, &mut rng,
+        &lcc,
+        k,
+        b - k,
+        30_000,
+        &mut rng,
     ));
     assert!(
         fs * 2.0 < mrw,
@@ -113,11 +120,7 @@ fn claim_every_artifact_regenerates() {
     for e in fs_experiments::all_experiments() {
         let result = (e.run)(&cfg);
         assert_eq!(result.id, e.id);
-        assert!(
-            !result.tables.is_empty(),
-            "{} produced no tables",
-            e.id
-        );
+        assert!(!result.tables.is_empty(), "{} produced no tables", e.id);
         let rendered = result.to_string();
         assert!(rendered.contains(e.id));
     }
