@@ -22,16 +22,36 @@
 //!   motivates real crawl caches (walkers revisit hubs constantly —
 //!   stationary visit probability is `deg(v)/vol(V)`).
 //!
-//! Both backends use interior mutability for their statistics, keeping
-//! every [`GraphAccess`] method `&self` so one backend instance can serve
-//! many read-only samplers.
+//! Both backends use *thread-safe* interior mutability for their
+//! statistics, keeping every [`GraphAccess`] method `&self` so one
+//! backend instance can serve many concurrent walkers (the trait requires
+//! `Sync`; see [`crate::parallel`]):
+//!
+//! * [`CrawlAccess`] counts queries in sharded atomic counters
+//!   ([`fs_graph::ShardedCounter`]) — increments from N walker threads
+//!   land on distinct cache lines and always **sum exactly** to the
+//!   sequential totals (no lost updates; pinned by the concurrency
+//!   property tests). The fault RNG, present only when a loss model is
+//!   configured, sits behind a `Mutex`; fault *placement* under
+//!   concurrency is schedule-dependent (like a real flaky crawl), while
+//!   loss statistics remain exact.
+//! * [`CachedAccess`] keeps its LRU model behind lock stripes: vertex `v`
+//!   maps to stripe `v mod s`, so concurrent walkers touching different
+//!   stripes never contend. `new` uses a single stripe (bit-identical to
+//!   the historical sequential semantics); [`CachedAccess::with_stripes`]
+//!   splits the capacity for concurrent use. Hits + misses always equal
+//!   the number of logical fetches, concurrent or not.
 
 use crate::faults::{DeadVertexModel, SampleLossModel};
-use fs_graph::{Arc, ArcId, Graph, GraphAccess, GroupId, NeighborReply, QueryKind, VertexId};
+use fs_graph::{
+    Arc, ArcId, Graph, GraphAccess, GroupId, NeighborReply, QueryKind, ShardedCounter, VertexId,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Cumulative query statistics of a [`CrawlAccess`] backend.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -83,14 +103,16 @@ pub struct CrawlAccess<'g> {
     loss: Option<SampleLossModel>,
     dead: Option<DeadVertexModel>,
     /// Present iff `loss` is set — a fault-free crawler must not consume
-    /// randomness, so seeded walks stay identical to in-memory runs.
-    fault_rng: Option<RefCell<SmallRng>>,
+    /// randomness, so seeded walks stay identical to in-memory runs. The
+    /// mutex makes the faulty crawler shareable across walker threads;
+    /// fault-free backends never touch it.
+    fault_rng: Option<Mutex<SmallRng>>,
     step_surcharge: f64,
     vertex_surcharge: f64,
     edge_surcharge: f64,
-    neighbor_queries: Cell<u64>,
-    lost_replies: Cell<u64>,
-    unresponsive: Cell<u64>,
+    neighbor_queries: ShardedCounter,
+    lost_replies: ShardedCounter,
+    unresponsive: ShardedCounter,
 }
 
 impl<'g> CrawlAccess<'g> {
@@ -105,9 +127,9 @@ impl<'g> CrawlAccess<'g> {
             step_surcharge: 1.0,
             vertex_surcharge: 1.0,
             edge_surcharge: 1.0,
-            neighbor_queries: Cell::new(0),
-            lost_replies: Cell::new(0),
-            unresponsive: Cell::new(0),
+            neighbor_queries: ShardedCounter::new(),
+            lost_replies: ShardedCounter::new(),
+            unresponsive: ShardedCounter::new(),
         }
     }
 
@@ -117,7 +139,7 @@ impl<'g> CrawlAccess<'g> {
     /// RNG so loss patterns are reproducible per backend instance.
     pub fn with_sample_loss(mut self, p: f64, fault_seed: u64) -> Self {
         self.loss = Some(SampleLossModel::new(p));
-        self.fault_rng = Some(RefCell::new(SmallRng::seed_from_u64(fault_seed)));
+        self.fault_rng = Some(Mutex::new(SmallRng::seed_from_u64(fault_seed)));
         self
     }
 
@@ -156,7 +178,9 @@ impl<'g> CrawlAccess<'g> {
         self.graph
     }
 
-    /// Snapshot of the query statistics.
+    /// Snapshot of the query statistics. Exact once walker threads have
+    /// been joined; a snapshot racing live walkers may lag in-flight
+    /// increments.
     pub fn stats(&self) -> CrawlStats {
         CrawlStats {
             neighbor_queries: self.neighbor_queries.get(),
@@ -165,11 +189,12 @@ impl<'g> CrawlAccess<'g> {
         }
     }
 
-    /// Resets the query statistics (e.g. between Monte-Carlo runs).
+    /// Resets the query statistics (e.g. between Monte-Carlo runs). Must
+    /// not race live walkers.
     pub fn reset_stats(&self) {
-        self.neighbor_queries.set(0);
-        self.lost_replies.set(0);
-        self.unresponsive.set(0);
+        self.neighbor_queries.reset();
+        self.lost_replies.reset();
+        self.unresponsive.reset();
     }
 }
 
@@ -187,17 +212,21 @@ impl GraphAccess for CrawlAccess<'_> {
     fs_graph::delegate_graph_access!(self => self.graph);
 
     fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
-        self.neighbor_queries.set(self.neighbor_queries.get() + 1);
+        self.neighbor_queries.incr();
         let target = self.graph.nth_neighbor(v, i);
         if let Some(dead) = &self.dead {
             if dead.is_dead(target) {
-                self.unresponsive.set(self.unresponsive.get() + 1);
+                self.unresponsive.incr();
                 return NeighborReply::Unresponsive;
             }
         }
         if let (Some(loss), Some(rng)) = (&self.loss, &self.fault_rng) {
-            if rng.borrow_mut().gen_range(0.0..1.0) < loss.failure_prob {
-                self.lost_replies.set(self.lost_replies.get() + 1);
+            let lost = {
+                let mut rng = rng.lock().expect("fault RNG poisoned");
+                rng.gen_range(0.0..1.0) < loss.failure_prob
+            };
+            if lost {
+                self.lost_replies.incr();
                 return NeighborReply::Lost(target);
             }
         }
@@ -268,15 +297,28 @@ impl LruModel {
 ///
 /// Every per-vertex crawl fetch (`degree`, `neighbors`, `nth_neighbor`,
 /// `query_neighbor`) touches the simulated cache, with **consecutive
-/// touches of the same vertex coalesced into one logical fetch** — a
-/// walker that reads `degree(v)` and then resolves a neighbor of `v` in
-/// the same step fetched `v`'s adjacency list once, not twice, so only
-/// one cache probe is recorded. The decorator counts
+/// touches of the same vertex by the same thread coalesced into one
+/// logical fetch** — a walker that reads `degree(v)` and then resolves a
+/// neighbor of `v` in the same step fetched `v`'s adjacency list once,
+/// not twice, so only one cache probe is recorded. The decorator counts
 /// hits and misses and reports the [`CachedAccess::hit_ratio`]. Queries
 /// are **delegated unchanged** to the wrapped backend — the cache models
 /// dedup accounting (what a production crawler would *not* have to
 /// re-fetch), it does not change results, costs, or fault behaviour, so
 /// wrapping a backend never perturbs a seeded walk.
+///
+/// ## Concurrency
+///
+/// The LRU state lives behind **lock stripes**: vertex `v` maps to stripe
+/// `v mod s`, each stripe an independent LRU over its share of the
+/// capacity, so concurrent walkers touching different stripes never
+/// contend. [`CachedAccess::new`] uses a single stripe — bit-identical to
+/// the historical sequential LRU — and [`CachedAccess::with_stripes`]
+/// splits the capacity for multi-walker workloads. Hit/miss totals are
+/// kept in sharded atomic counters; `hits + misses` equals the number of
+/// logical fetches under any interleaving, though the *split* between
+/// them is schedule-dependent once walkers genuinely race (eviction order
+/// depends on interleaving, exactly as in a production cache).
 ///
 /// ```
 /// use frontier_sampling::backend::CachedAccess;
@@ -294,25 +336,76 @@ impl LruModel {
 #[derive(Debug)]
 pub struct CachedAccess<A> {
     inner: A,
-    lru: RefCell<LruModel>,
-    /// Vertex of the immediately preceding touch — consecutive touches
-    /// of one vertex are a single logical adjacency-list fetch.
-    last_fetch: Cell<Option<VertexId>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    /// Independent LRU stripes; vertex `v` lives in stripe `v % len`.
+    stripes: Box<[Mutex<LruModel>]>,
+    /// Total capacity across stripes, remembered for `with_stripes`.
+    capacity: usize,
+    /// Distinguishes this instance in the per-thread coalescing slot.
+    instance: u64,
+    hits: ShardedCounter,
+    misses: ShardedCounter,
+}
+
+/// Source of unique [`CachedAccess`] instance ids (for the thread-local
+/// coalescing slot).
+static NEXT_CACHE_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-`(thread, cache instance)` vertex of the immediately
+    /// preceding cache touch: instance id → vertex id. Keyed per
+    /// instance so that composed or interleaved decorators each keep
+    /// their own coalescing run (exactly the historical per-instance
+    /// `Cell` semantics), and per thread so each walker thread coalesces
+    /// its own consecutive touches without a lock on the hot path.
+    static LAST_CACHE_FETCH: RefCell<HashMap<u64, u64>> = RefCell::new(HashMap::new());
 }
 
 impl<A: GraphAccess> CachedAccess<A> {
-    /// Wraps `inner` with an LRU model holding `capacity` vertices.
+    /// Wraps `inner` with a single-stripe LRU model holding `capacity`
+    /// vertices (exact sequential LRU semantics).
     pub fn new(inner: A, capacity: usize) -> Self {
         assert!(capacity >= 1, "cache capacity must be at least 1");
         CachedAccess {
             inner,
-            lru: RefCell::new(LruModel::new(capacity)),
-            last_fetch: Cell::new(None),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            stripes: Box::new([Mutex::new(LruModel::new(capacity))]),
+            capacity,
+            instance: NEXT_CACHE_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            hits: ShardedCounter::new(),
+            misses: ShardedCounter::new(),
         }
+    }
+
+    /// Splits the cache into `stripes` independent lock stripes whose
+    /// capacities sum **exactly** to the configured capacity (the first
+    /// `capacity mod stripes` stripes hold one extra slot). Call before
+    /// serving queries — restriping discards hit/miss statistics and the
+    /// cached set. The union of the per-stripe LRUs approximates one
+    /// global LRU (stripe-local eviction instead of global recency
+    /// order), which is the same trade production segmented caches make.
+    ///
+    /// # Panics
+    /// If `stripes` is 0 or exceeds the capacity (a stripe cannot hold
+    /// less than one vertex).
+    pub fn with_stripes(mut self, stripes: usize) -> Self {
+        assert!(stripes >= 1, "need at least one stripe");
+        assert!(
+            stripes <= self.capacity,
+            "{stripes} stripes cannot share a capacity of {}",
+            self.capacity
+        );
+        let per_stripe = self.capacity / stripes;
+        let extra = self.capacity % stripes;
+        self.stripes = (0..stripes)
+            .map(|k| Mutex::new(LruModel::new(per_stripe + usize::from(k < extra))))
+            .collect();
+        self.hits = ShardedCounter::new();
+        self.misses = ShardedCounter::new();
+        self
+    }
+
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
     }
 
     /// The wrapped backend.
@@ -339,24 +432,53 @@ impl<A: GraphAccess> CachedAccess<A> {
         self.hits.get() as f64 / total as f64
     }
 
-    /// Number of distinct vertices currently modelled as cached.
+    /// Number of distinct vertices currently modelled as cached, summed
+    /// over the stripes.
     pub fn cached_vertices(&self) -> usize {
-        self.lru.borrow().stamps.len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("LRU stripe poisoned").stamps.len())
+            .sum()
     }
 
     fn touch(&self, v: VertexId) {
-        if self.last_fetch.get() == Some(v) {
-            // Same logical fetch as the previous probe (e.g. degree(v)
-            // followed by query_neighbor(v, ..) within one walk step);
-            // `v` is already most-recent in the LRU.
+        let vertex = v.index() as u64;
+        let coalesced = LAST_CACHE_FETCH.with(|slot| {
+            match slot.borrow_mut().insert(self.instance, vertex) {
+                // Same logical fetch as this thread's previous probe of
+                // this instance (e.g. degree(v) then query_neighbor(v,
+                // ..) within one walk step); `v` is already most-recent
+                // in its stripe.
+                Some(prev) => prev == vertex,
+                None => false,
+            }
+        });
+        if coalesced {
             return;
         }
-        self.last_fetch.set(Some(v));
-        if self.lru.borrow_mut().touch(v.index()) {
-            self.hits.set(self.hits.get() + 1);
+        let stripe = v.index() % self.stripes.len();
+        let hit = self.stripes[stripe]
+            .lock()
+            .expect("LRU stripe poisoned")
+            .touch(v.index());
+        if hit {
+            self.hits.incr();
         } else {
-            self.misses.set(self.misses.get() + 1);
+            self.misses.incr();
         }
+    }
+}
+
+impl<A> Drop for CachedAccess<A> {
+    /// Releases the dropping thread's coalescing slot for this instance.
+    /// Slots that *other* threads created (pool walker threads are
+    /// scoped, so theirs die with the thread) are reclaimed at those
+    /// threads' exit; instance ids are never reused, so a stale entry can
+    /// only waste its 16 bytes, never alias a live cache.
+    fn drop(&mut self) {
+        let _ = LAST_CACHE_FETCH.try_with(|slot| {
+            slot.borrow_mut().remove(&self.instance);
+        });
     }
 }
 
@@ -587,6 +709,37 @@ mod tests {
         let _ = cached.degree(VertexId::new(2));
         let _ = cached.degree(VertexId::new(1));
         assert_eq!((cached.hits(), cached.misses()), (1, 2));
+    }
+
+    #[test]
+    fn composed_caches_coalesce_independently() {
+        // Regression: the per-thread coalescing slot is keyed by cache
+        // instance, so nested decorators each coalesce their own
+        // consecutive touches — degree(v) + query_neighbor(v, ..) is one
+        // logical fetch *per layer*, exactly the historical per-instance
+        // semantics.
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let nested = CachedAccess::new(CachedAccess::new(&g, 10), 10);
+        let _ = nested.degree(VertexId::new(1));
+        let _ = nested.query_neighbor(VertexId::new(1), 0);
+        assert_eq!((nested.hits(), nested.misses()), (0, 1), "outer layer");
+        assert_eq!(
+            (nested.inner().hits(), nested.inner().misses()),
+            (0, 1),
+            "inner layer"
+        );
+        // Interleaving two sibling instances must not break either run:
+        // each instance's consecutive same-vertex touches stay one
+        // logical fetch (the historical per-instance `Cell` never saw
+        // other instances' touches).
+        let a = CachedAccess::new(&g, 10);
+        let b = CachedAccess::new(&g, 10);
+        for _ in 0..3 {
+            let _ = a.degree(VertexId::new(2));
+            let _ = b.degree(VertexId::new(2));
+        }
+        assert_eq!((a.hits(), a.misses()), (0, 1));
+        assert_eq!((b.hits(), b.misses()), (0, 1));
     }
 
     #[test]

@@ -42,6 +42,11 @@
 //!   machinery ([`theory`]); explicit `G^m` construction ([`cartesian`]);
 //!   exact and Monte-Carlo transient edge-sampling distributions
 //!   ([`transient`], Appendix B).
+//! * Concurrency: [`ParallelWalkerPool`] ([`parallel`]) executes the `m`
+//!   walkers of FS/MultipleRW — and independent chains for replication
+//!   and diagnostics — across threads on deterministic per-walker
+//!   SplitMix-derived RNG streams with an order-independent reduction,
+//!   so results are bit-identical for 1, 2, or N threads.
 //!
 //! ## Quickstart
 //!
@@ -90,6 +95,7 @@ pub mod metrics;
 pub mod mhrw;
 pub mod multiple;
 pub mod nbrw;
+pub mod parallel;
 pub mod rwj;
 pub mod single;
 pub mod start;
@@ -114,6 +120,7 @@ pub use method::WalkMethod;
 pub use mhrw::MetropolisHastingsRw;
 pub use multiple::{MultipleRw, Schedule};
 pub use nbrw::{NonBacktrackingFrontier, NonBacktrackingRw};
+pub use parallel::{stream_seed, ParallelWalkerPool, PoolRun, PoolStep};
 pub use rwj::{RandomWalkWithJumps, RwjEvent};
 pub use single::SingleRw;
 pub use start::StartPolicy;

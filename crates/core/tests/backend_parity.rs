@@ -13,10 +13,12 @@ use frontier_sampling::backend::{CachedAccess, CrawlAccess};
 use frontier_sampling::estimators::{
     ClusteringEstimator, DegreeDistributionEstimator, EdgeEstimator,
 };
+use frontier_sampling::parallel::{stream_seed, ParallelWalkerPool, PoolRun};
 use frontier_sampling::{
-    Budget, CostModel, FrontierSampler, GraphAccess, MetropolisHastingsRw, SingleRw,
+    Budget, CostModel, FrontierSampler, GraphAccess, MetropolisHastingsRw, MultipleRw, SingleRw,
+    StartPolicy,
 };
-use fs_graph::{CsrAccess, Graph};
+use fs_graph::{CsrAccess, Graph, VertexId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -175,6 +177,250 @@ fn cached_access_hit_accounting_matches_repeated_query_counts() {
         "hit count must equal repeated-query count"
     );
     assert_eq!(cached.cached_vertices(), distinct.len());
+}
+
+/// Folds a pooled run into a degree-distribution estimate over the
+/// canonical sample order (the pool's order-independent reduction).
+fn pool_estimate<A: GraphAccess>(access: &A, run: &PoolRun) -> Vec<f64> {
+    let mut est = DegreeDistributionEstimator::symmetric();
+    for e in run.edges() {
+        est.observe(access, e);
+    }
+    est.distribution()
+}
+
+/// `ParallelWalkerPool` determinism for FS: bit-identical `StepOutcome`
+/// traces and estimates at thread counts 1, 2, and 8, over both the
+/// in-memory and the fault-free crawl backend.
+#[test]
+fn pooled_frontier_bit_identical_at_1_2_8_threads() {
+    let g = fixture();
+    let fs = FrontierSampler::new(8);
+    let run_with = |access: &dyn Fn(&ParallelWalkerPool) -> PoolRun, threads: usize| {
+        access(&ParallelWalkerPool::with_threads(threads))
+    };
+    for (name, runner) in [
+        (
+            "csr",
+            Box::new(|pool: &ParallelWalkerPool| {
+                let mut budget = Budget::new(5_000.0);
+                pool.frontier(&fs, &CsrAccess::new(&g), &CostModel::unit(), &mut budget, 7)
+            }) as Box<dyn Fn(&ParallelWalkerPool) -> PoolRun>,
+        ),
+        (
+            "crawl",
+            Box::new(|pool: &ParallelWalkerPool| {
+                let crawler = CrawlAccess::new(&g);
+                let mut budget = Budget::new(5_000.0);
+                pool.frontier(&fs, &crawler, &CostModel::unit(), &mut budget, 7)
+            }),
+        ),
+    ] {
+        let one = run_with(&runner, 1);
+        let two = run_with(&runner, 2);
+        let eight = run_with(&runner, 8);
+        assert_eq!(one, two, "{name}: 1 vs 2 threads");
+        assert_eq!(one, eight, "{name}: 1 vs 8 threads");
+        assert!(!one.steps.is_empty(), "{name}: pooled FS emitted nothing");
+        assert_eq!(
+            pool_estimate(&g, &one),
+            pool_estimate(&g, &eight),
+            "{name}: estimates diverged"
+        );
+    }
+}
+
+/// Pooled FS must answer every query identically over CSR and the
+/// fault-free crawler (backend parity extends to the parallel engine).
+#[test]
+fn pooled_frontier_backend_parity() {
+    let g = fixture();
+    let fs = FrontierSampler::new(8);
+    let mut budget = Budget::new(5_000.0);
+    let pool = ParallelWalkerPool::with_threads(4);
+    let via_csr = pool.frontier(&fs, &CsrAccess::new(&g), &CostModel::unit(), &mut budget, 9);
+    let crawler = CrawlAccess::new(&g);
+    let mut budget = Budget::new(5_000.0);
+    let via_crawl = pool.frontier(&fs, &crawler, &CostModel::unit(), &mut budget, 9);
+    assert_eq!(via_csr, via_crawl, "pooled FS diverged across backends");
+    // The pool generates walker events speculatively past the budget
+    // horizon and truncates at the merge, so the crawler answers at
+    // least one query per retained event (the overshoot is the bounded
+    // cost of parallelism; see the parallel-module docs).
+    assert!(
+        crawler.stats().neighbor_queries >= via_crawl.steps.len() as u64,
+        "crawler must have answered every retained event"
+    );
+}
+
+/// `ParallelWalkerPool` determinism for MultipleRW, plus equality with
+/// the existing sequential path: walker `i` of the pool is exactly
+/// `SingleRw` from the same start on stream `i`, so the pooled
+/// EqualSplit run concatenates what the sequential per-walker samplers
+/// produce.
+#[test]
+fn pooled_multiple_rw_matches_sequential_per_walker_path() {
+    let g = fixture();
+    let m = 6;
+    let seed = 21;
+    let sampler = MultipleRw::new(m);
+    let run = |threads: usize| {
+        let mut budget = Budget::new(3_000.0);
+        ParallelWalkerPool::with_threads(threads).multiple_rw(
+            &sampler,
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            seed,
+        )
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "1 vs 2 threads");
+    assert_eq!(one, run(8), "1 vs 8 threads");
+
+    // Existing sequential path: walker i = SingleRw fixed at start i,
+    // seeded with stream i, budget = its quota (+1 start unit).
+    let quota = (3_000 - m) / m;
+    let mut sequential = Vec::new();
+    for (i, &start) in one.starts.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(stream_seed(seed, i as u64));
+        let mut budget = Budget::new(quota as f64 + 1.0);
+        SingleRw::with_start(StartPolicy::Fixed(vec![start])).sample_edges(
+            &g,
+            &CostModel::unit(),
+            &mut budget,
+            &mut rng,
+            |e| sequential.push((e.source.index(), e.target.index())),
+        );
+    }
+    let pooled: Vec<(usize, usize)> = one
+        .edges()
+        .map(|e| (e.source.index(), e.target.index()))
+        .collect();
+    assert_eq!(
+        pooled, sequential,
+        "pooled MultipleRW must replay the sequential per-walker walks"
+    );
+}
+
+/// `ParallelWalkerPool` determinism for single-chain samplers (SingleRW
+/// and MHRW ride the chain scheduler): any thread count reproduces the
+/// existing sequential sampler on the derived stream seed.
+#[test]
+fn pooled_chains_match_sequential_single_rw_and_mhrw() {
+    let g = fixture();
+    let seed = 33;
+    let chains = 5;
+    let run_single = |threads: usize| -> Vec<Vec<(usize, usize)>> {
+        ParallelWalkerPool::with_threads(threads).run_chains(chains, seed, |_, chain_seed| {
+            let mut rng = SmallRng::seed_from_u64(chain_seed);
+            let mut budget = Budget::new(1_000.0);
+            let mut edges = Vec::new();
+            SingleRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+                edges.push((e.source.index(), e.target.index()))
+            });
+            edges
+        })
+    };
+    let one = run_single(1);
+    assert_eq!(one, run_single(2));
+    assert_eq!(one, run_single(8));
+    // Chain i is literally the existing sequential sampler on stream i.
+    for (i, chain) in one.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(stream_seed(seed, i as u64));
+        let mut budget = Budget::new(1_000.0);
+        let mut expect = Vec::new();
+        SingleRw::new().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            expect.push((e.source.index(), e.target.index()))
+        });
+        assert_eq!(chain, &expect, "chain {i} diverged from sequential path");
+    }
+
+    let run_mhrw = |threads: usize| -> Vec<Vec<usize>> {
+        ParallelWalkerPool::with_threads(threads).run_chains(chains, seed, |_, chain_seed| {
+            let mut rng = SmallRng::seed_from_u64(chain_seed);
+            let mut budget = Budget::new(1_000.0);
+            let mut visits = Vec::new();
+            MetropolisHastingsRw::new().sample_vertices(
+                &g,
+                &CostModel::unit(),
+                &mut budget,
+                &mut rng,
+                |v| visits.push(v.index()),
+            );
+            visits
+        })
+    };
+    let one = run_mhrw(1);
+    assert_eq!(one, run_mhrw(2));
+    assert_eq!(one, run_mhrw(8));
+    assert!(one.iter().all(|c| !c.is_empty()));
+}
+
+/// Pooled FS is the Theorem 5.5 factorization of the same chain: its
+/// per-vertex visit distribution must agree with sequential
+/// `FrontierSampler` (they are not bit-identical — the randomness is
+/// factored per walker — but the science must match).
+#[test]
+fn pooled_frontier_distribution_matches_sequential_fs() {
+    let g = fs_graph::graph_from_undirected_pairs(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+    let steps = 200_000;
+    let mut pooled = [0f64; 4];
+    let mut budget = Budget::new(steps as f64);
+    let run = ParallelWalkerPool::with_threads(2).frontier(
+        &FrontierSampler::new(3),
+        &g,
+        &CostModel::unit(),
+        &mut budget,
+        41,
+    );
+    for e in run.edges() {
+        pooled[e.target.index()] += 1.0;
+    }
+    let mut sequential = [0f64; 4];
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut budget = Budget::new(steps as f64);
+    FrontierSampler::new(3).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        sequential[e.target.index()] += 1.0
+    });
+    let tp: f64 = pooled.iter().sum();
+    let ts: f64 = sequential.iter().sum();
+    for v in 0..4 {
+        let (p, s) = (pooled[v] / tp, sequential[v] / ts);
+        assert!((p - s).abs() < 0.01, "vertex {v}: pooled {p} vs seq {s}");
+    }
+}
+
+/// The pool must also preserve fixed starts (used by the disconnected-
+/// component experiments) — and keep both components alive like
+/// sequential FS does.
+#[test]
+fn pooled_frontier_keeps_disconnected_components_alive() {
+    let g =
+        fs_graph::graph_from_undirected_pairs(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+    let sampler = FrontierSampler::new(2)
+        .with_start(StartPolicy::Fixed(vec![VertexId::new(0), VertexId::new(3)]));
+    let mut budget = Budget::new(100_000.0);
+    let run = ParallelWalkerPool::with_threads(2).frontier(
+        &sampler,
+        &g,
+        &CostModel::unit(),
+        &mut budget,
+        17,
+    );
+    let (mut in_a, mut in_b) = (0usize, 0usize);
+    for e in run.edges() {
+        if e.source.index() < 3 {
+            in_a += 1;
+        } else {
+            in_b += 1;
+        }
+    }
+    let frac = in_a as f64 / (in_a + in_b) as f64;
+    assert!(
+        (frac - 0.5).abs() < 0.01,
+        "equal-volume components must be sampled equally, got {frac}"
+    );
 }
 
 #[test]

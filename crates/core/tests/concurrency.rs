@@ -1,0 +1,245 @@
+//! Concurrency property tests for the shared backends.
+//!
+//! The access layer's contract (PR: concurrent walker engine) is that one
+//! backend instance serves many walker threads with **exact statistics**:
+//! sharded atomic query/cost counters must sum to the sequential totals
+//! under any interleaving (no lost updates), and the cache decorator must
+//! classify every logical fetch as exactly one hit or miss
+//! (`hits + misses == total fetches`). These properties are what make the
+//! Monte-Carlo numbers trustworthy when replications run on N threads.
+
+use frontier_sampling::backend::{CachedAccess, CrawlAccess};
+use frontier_sampling::{Budget, CostModel, DeadVertexModel, GraphAccess, SingleRw};
+use fs_graph::{BitSet, GraphBuilder, NeighborReply, VertexId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: a connected random graph (spanning path + extra edges).
+fn connected_graph(max_n: usize) -> impl Strategy<Value = fs_graph::Graph> {
+    (4usize..max_n)
+        .prop_flat_map(|n| {
+            let extra = prop::collection::vec((0..n, 0..n), 0..2 * n);
+            (Just(n), extra)
+        })
+        .prop_map(|(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_undirected_edge(VertexId::new(i - 1), VertexId::new(i));
+            }
+            for (u, v) in extra {
+                if u != v {
+                    b.add_undirected_edge(VertexId::new(u), VertexId::new(v));
+                }
+            }
+            b.build()
+        })
+}
+
+/// Issues `queries` seeded random neighbor queries against `access`,
+/// returning how many were answered per [`NeighborReply`] variant.
+fn drive_queries<A: GraphAccess>(access: &A, seed: u64, queries: usize) -> (u64, u64, u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = access.num_vertices();
+    let (mut ok, mut lost, mut dead) = (0u64, 0u64, 0u64);
+    let mut issued = 0usize;
+    while issued < queries {
+        let v = VertexId::new(rng.gen_range(0..n));
+        let d = access.degree(v);
+        if d == 0 {
+            continue;
+        }
+        match access.query_neighbor(v, rng.gen_range(0..d)) {
+            NeighborReply::Vertex(_) => ok += 1,
+            NeighborReply::Lost(_) => lost += 1,
+            NeighborReply::Unresponsive => dead += 1,
+        }
+        issued += 1;
+    }
+    (ok, lost, dead)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N concurrent query drivers against one `CrawlAccess`: the sharded
+    /// query counter must equal the exact number of queries issued — the
+    /// same total a sequential run of the same workloads produces.
+    #[test]
+    fn crawl_counters_sum_exactly_under_concurrency(
+        g in connected_graph(24),
+        threads in 2usize..9,
+        per_thread in 50usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let shared = CrawlAccess::new(&g);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let shared = &shared;
+                scope.spawn(move || {
+                    drive_queries(shared, seed ^ t as u64, per_thread);
+                });
+            }
+        });
+        let sequential = CrawlAccess::new(&g);
+        for t in 0..threads {
+            drive_queries(&sequential, seed ^ t as u64, per_thread);
+        }
+        prop_assert_eq!(
+            shared.stats().neighbor_queries,
+            (threads * per_thread) as u64,
+            "lost updates in the sharded counter"
+        );
+        prop_assert_eq!(shared.stats().neighbor_queries, sequential.stats().neighbor_queries);
+        prop_assert_eq!(shared.queries_issued(), sequential.queries_issued());
+    }
+
+    /// With a dead-vertex model, every reply class is counted exactly:
+    /// per-thread observed outcomes sum to the backend's counters, under
+    /// any interleaving.
+    #[test]
+    fn crawl_reply_classes_account_exactly(
+        g in connected_graph(20),
+        threads in 2usize..7,
+        per_thread in 50usize..300,
+        seed in 0u64..1_000,
+    ) {
+        // Kill vertex 0 (always exists; the spanning path keeps the rest
+        // of the graph walkable for the query driver).
+        let mut dead = BitSet::new(g.num_vertices());
+        dead.set(0);
+        let shared = CrawlAccess::new(&g).with_dead_vertices(DeadVertexModel::from_set(dead));
+        let observed: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let shared = &shared;
+                    scope.spawn(move || drive_queries(shared, seed ^ t as u64, per_thread))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("driver panicked")).collect()
+        });
+        let ok: u64 = observed.iter().map(|o| o.0).sum();
+        let lost: u64 = observed.iter().map(|o| o.1).sum();
+        let dead_seen: u64 = observed.iter().map(|o| o.2).sum();
+        let stats = shared.stats();
+        prop_assert_eq!(stats.neighbor_queries, ok + lost + dead_seen);
+        prop_assert_eq!(stats.lost_replies, lost);
+        prop_assert_eq!(stats.unresponsive, dead_seen);
+    }
+
+    /// Loss statistics stay exact when the fault RNG is shared across
+    /// threads: the backend's lost counter equals the number of `Lost`
+    /// replies the drivers actually observed (placement is
+    /// schedule-dependent, the count is not).
+    #[test]
+    fn crawl_loss_counter_matches_observed_losses(
+        g in connected_graph(16),
+        threads in 2usize..6,
+        per_thread in 100usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let shared = CrawlAccess::new(&g).with_sample_loss(0.25, seed);
+        let observed: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let shared = &shared;
+                    scope.spawn(move || drive_queries(shared, seed ^ t as u64, per_thread))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("driver panicked")).collect()
+        });
+        let lost: u64 = observed.iter().map(|o| o.1).sum();
+        prop_assert_eq!(shared.stats().lost_replies, lost);
+        prop_assert_eq!(shared.stats().neighbor_queries, (threads * per_thread) as u64);
+    }
+
+    /// Striped `CachedAccess` under N concurrent walkers: every logical
+    /// fetch is classified as exactly one hit or miss. The drivers query
+    /// through `query_neighbor` only, and per-thread coalescing merges a
+    /// thread's consecutive same-vertex touches, so each thread can count
+    /// its own logical fetches exactly.
+    #[test]
+    fn cached_hits_plus_misses_equal_total_fetches(
+        g in connected_graph(24),
+        threads in 2usize..8,
+        per_thread in 50usize..300,
+        stripes in 1usize..5,
+        capacity in 4usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let cached = CachedAccess::new(&g, capacity).with_stripes(stripes);
+        let fetches: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let cached = &cached;
+                    scope.spawn(move || {
+                        // Replicates the decorator's per-thread coalescing
+                        // rule to predict this thread's logical fetches.
+                        let mut rng = SmallRng::seed_from_u64(seed ^ t as u64);
+                        let n = cached.num_vertices();
+                        let mut last = None;
+                        let mut logical = 0u64;
+                        for _ in 0..per_thread {
+                            let v = VertexId::new(rng.gen_range(0..n));
+                            let d = cached.degree(v);
+                            if last != Some(v) {
+                                logical += 1;
+                                last = Some(v);
+                            }
+                            if d > 0 {
+                                // Same vertex: coalesced into the fetch above.
+                                let _ = cached.query_neighbor(v, rng.gen_range(0..d));
+                            }
+                        }
+                        logical
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("walker panicked")).collect()
+        });
+        let total: u64 = fetches.iter().sum();
+        prop_assert_eq!(
+            cached.hits() + cached.misses(),
+            total,
+            "every logical fetch must be exactly one hit or one miss"
+        );
+        // Stripe capacities sum exactly to the configured capacity.
+        prop_assert!(cached.cached_vertices() <= capacity);
+    }
+
+    /// Concurrent walkers over a shared fault-free crawler: the query
+    /// counter equals the total number of walk steps the walkers took
+    /// (each step is exactly one neighbor query).
+    #[test]
+    fn concurrent_walkers_query_accounting(
+        g in connected_graph(24),
+        walkers in 2usize..7,
+        budget_units in 50usize..300,
+        seed in 0u64..1_000,
+    ) {
+        let shared = CrawlAccess::new(&g);
+        let steps: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..walkers)
+                .map(|w| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(seed ^ w as u64);
+                        let mut budget = Budget::new(budget_units as f64);
+                        let mut count = 0u64;
+                        SingleRw::new().sample_edges(
+                            shared,
+                            &CostModel::unit(),
+                            &mut budget,
+                            &mut rng,
+                            |_| count += 1,
+                        );
+                        count
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("walker panicked")).collect()
+        });
+        let total: u64 = steps.iter().sum();
+        prop_assert_eq!(shared.stats().neighbor_queries, total);
+    }
+}

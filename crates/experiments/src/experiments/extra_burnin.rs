@@ -116,8 +116,9 @@ mod tests {
         let mut cfg = ExpConfig::quick();
         // Replica seed pinned to a quick-scale Flickr instance whose
         // disconnectedness is pronounced enough for the Section-4.3
-        // trapping regime to show through 60 Monte-Carlo runs.
-        cfg.seed = 123;
+        // trapping regime to show through 60 Monte-Carlo runs (re-pinned
+        // when the engine moved to composable SplitMix stream seeds).
+        cfg.seed = 2;
         let out = compute(&cfg);
         let no_burn = out.single[0].1;
         let best_burn = out

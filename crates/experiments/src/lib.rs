@@ -36,5 +36,6 @@ pub mod series;
 pub mod table;
 
 pub use config::ExpConfig;
+pub use mc::{monte_carlo, monte_carlo_with};
 pub use registry::{all_experiments, find_experiment, ExpResult, Experiment};
 pub use table::TextTable;

@@ -1,10 +1,25 @@
 //! Parallel Monte-Carlo engine.
 //!
 //! The evaluation averages error metrics over thousands of independent
-//! runs ("CNMSE over 10,000 runs"). [`monte_carlo`] fans the runs out over
-//! all cores with `std::thread::scope`; each run receives a distinct
-//! deterministic seed, so results are reproducible regardless of thread
-//! count or interleaving.
+//! runs ("CNMSE over 10,000 runs"). [`monte_carlo`] fans the runs out
+//! over all cores through
+//! [`frontier_sampling::parallel::ParallelWalkerPool`] — the same
+//! deterministic chain scheduler the sampling crate uses for multi-walker
+//! execution — so replications parallelize *across* runs here while each
+//! run body is free to parallelize *within* itself (e.g.
+//! `ParallelWalkerPool::frontier` for a large FS run — the derivation
+//! composes: nested streams never alias). Each run receives the stream
+//! seed [`frontier_sampling::parallel::stream_seed`]`(base, run_index)` —
+//! the SplitMix64 output sequence seeded at `base` — so results are
+//! reproducible regardless of thread count or interleaving.
+//!
+//! The scheduler hands out run indices through an atomic cursor, so there
+//! are no per-thread chunks at all: `runs < threads` simply spawns fewer
+//! workers (a worker is never created without at least one run to
+//! execute — the historical chunked fan-out could spawn threads for
+//! empty trailing chunks when `runs % threads != 0`).
+
+use frontier_sampling::parallel::ParallelWalkerPool;
 
 /// Runs `runs` independent replications of `body` (given the run's seed)
 /// in parallel, returning the results in run order.
@@ -16,38 +31,29 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    if runs == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(runs);
-    let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
-    let chunk = runs.div_ceil(threads.max(1));
+    monte_carlo_with(&ParallelWalkerPool::new(), runs, base_seed, body)
+}
 
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let body = &body;
-            scope.spawn(move || {
-                for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    let run_index = t * chunk + i;
-                    // SplitMix-style seed derivation keeps streams
-                    // decorrelated.
-                    let seed = base_seed
-                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run_index as u64 + 1));
-                    *slot = Some(body(seed));
-                }
-            });
-        }
-    });
-
-    results.into_iter().map(|s| s.unwrap()).collect()
+/// [`monte_carlo`] on an explicit pool (tests pin thread-count
+/// independence with it; callers embedding the engine can bound its
+/// parallelism).
+pub fn monte_carlo_with<T, F>(
+    pool: &ParallelWalkerPool,
+    runs: usize,
+    base_seed: u64,
+    body: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    pool.run_chains(runs, base_seed, |_, seed| body(seed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frontier_sampling::parallel::{stream_seed, SPLITMIX_GOLDEN};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -60,6 +66,24 @@ mod tests {
         // Different base seed changes every stream.
         let out3 = monte_carlo(100, 2, |seed| seed);
         assert!(out.iter().zip(&out3).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn seed_derivation_is_the_pool_splitmix_stream() {
+        // Experiment outputs are seed-addressed; the engine must hand run
+        // i exactly stream_seed(base, i) — the SplitMix64 output
+        // sequence — which also composes safely with per-walker streams
+        // derived inside a run body.
+        let out = monte_carlo(5, 0xF5_2010, |seed| seed);
+        let mut state = 0xF5_2010u64;
+        for (i, &seed) in out.iter().enumerate() {
+            state = state.wrapping_add(SPLITMIX_GOLDEN);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            assert_eq!(seed, z ^ (z >> 31));
+            assert_eq!(seed, stream_seed(0xF5_2010, i as u64));
+        }
     }
 
     #[test]
@@ -81,5 +105,29 @@ mod tests {
     fn zero_runs() {
         let out: Vec<u64> = monte_carlo(0, 9, |s| s);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fewer_runs_than_threads() {
+        // Regression: the chunked scheduler could spawn a thread for an
+        // empty trailing chunk when runs < threads; the cursor scheduler
+        // must execute each run exactly once and return them in order,
+        // with results identical to the single-threaded pool.
+        for runs in 1..6 {
+            let wide = monte_carlo_with(&ParallelWalkerPool::with_threads(16), runs, 5, |s| s);
+            let narrow = monte_carlo_with(&ParallelWalkerPool::with_threads(1), runs, 5, |s| s);
+            assert_eq!(wide.len(), runs);
+            assert_eq!(wide, narrow);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let body = |seed: u64| seed.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17);
+        let reference = monte_carlo_with(&ParallelWalkerPool::with_threads(1), 64, 11, body);
+        for threads in [2, 3, 8] {
+            let out = monte_carlo_with(&ParallelWalkerPool::with_threads(threads), 64, 11, body);
+            assert_eq!(out, reference, "{threads} threads");
+        }
     }
 }

@@ -61,7 +61,13 @@
 //! * `query_neighbor(v, i)` resolves the same vertex `neighbors(v)[i]`
 //!   would, but routes through the backend's failure/accounting model.
 //! * Implementations use interior mutability for statistics; methods take
-//!   `&self` so one backend can serve many concurrent read-only samplers.
+//!   `&self`, and the trait requires `Sync`, so one backend instance can
+//!   serve many concurrent walkers (`frontier_sampling::parallel`).
+//!   Statistics must therefore be thread-safe — atomic or sharded
+//!   ([`crate::sharded::ShardedCounter`]) rather than `Cell`-based — and
+//!   counter *totals* must be exact under concurrency (no lost updates),
+//!   though the interleaving of replies may of course depend on the
+//!   schedule once the backend injects faults.
 
 use crate::graph::{Arc, Graph};
 use crate::ids::{ArcId, GroupId, VertexId};
@@ -117,7 +123,7 @@ impl NeighborReply {
 /// | [`Graph`] / [`CsrAccess`] | this crate | zero-cost in-memory access |
 /// | `CrawlAccess` | `frontier_sampling::backend` | budget surcharges, query loss, dead vertices |
 /// | `CachedAccess<A>` | `frontier_sampling::backend` | LRU repeated-query deduplication |
-pub trait GraphAccess {
+pub trait GraphAccess: Sync {
     /// Borrowed or owned neighbor-list handle (`&[VertexId]` for
     /// in-memory backends; owned buffers for future remote ones).
     type Neighbors<'a>: AsRef<[VertexId]>

@@ -57,6 +57,7 @@ pub mod graph;
 pub mod ids;
 pub mod io;
 pub mod labels;
+pub mod sharded;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
@@ -75,6 +76,7 @@ pub use components::{
 pub use graph::{Arc, Graph};
 pub use ids::{ArcId, GroupId, VertexId};
 pub use labels::VertexGroups;
+pub use sharded::ShardedCounter;
 pub use stats::{
     average_neighbor_degree, ccdf, degree_distribution, degree_histogram, DegreeKind, GraphSummary,
 };

@@ -50,6 +50,63 @@ fn claim_fs_beats_walkers_on_disconnected_graphs() {
     );
 }
 
+/// Statistical regression suite: golden error envelopes for the
+/// disconnected-components claim.
+///
+/// The ordering assertion above would still pass if a refactor degraded
+/// *every* method's accuracy by 10x; this test pins the absolute numbers.
+/// With fixed seeds the Monte-Carlo geometric-mean CNMSE of each method
+/// is fully deterministic (and, since the engine's per-run RNG streams
+/// are derived per replication, independent of thread count), so each
+/// value must stay inside a golden envelope captured from the current
+/// implementation. The ±25% relative tolerance absorbs legitimate
+/// floating-point reassociation (e.g. a different reduction order) while
+/// failing loudly on estimator-quality regressions, which move these
+/// numbers by integer factors.
+#[test]
+fn golden_cnmse_envelopes_on_disconnected_graph() {
+    let cfg = cfg();
+    let d = DatasetKind::Gab.generate(cfg.scale, cfg.seed);
+    let budget = d.graph.num_vertices() as f64 * 0.1;
+    let m = 50;
+    let spec = DegreeErrorSpec {
+        graph: &d.graph,
+        degree: DegreeKind::Symmetric,
+        budget,
+        methods: vec![
+            SamplingMethod::walk(WalkMethod::frontier(m)),
+            SamplingMethod::walk(WalkMethod::single()),
+            SamplingMethod::walk(WalkMethod::multiple(m)),
+        ],
+        metric: ErrorMetric::CnmseOfCcdf,
+    };
+    let set = run_degree_error(&spec, &cfg);
+    // (label, golden geometric-mean CNMSE) captured at PR "concurrent
+    // walker engine" time with runs = 50, seed = 0xF5_2010, scale 0.004.
+    let envelopes = [
+        (format!("FS (m={m})"), GOLDEN_FS),
+        ("SingleRW".to_string(), GOLDEN_SRW),
+        (format!("MultipleRW (m={m})"), GOLDEN_MRW),
+    ];
+    for (label, golden) in envelopes {
+        let got = set.geometric_mean(&label).unwrap();
+        let rel = (got - golden).abs() / golden;
+        assert!(
+            rel < 0.25,
+            "{label}: geometric-mean CNMSE {got} left its golden envelope \
+             {golden} ±25% — an estimator-quality regression (or an \
+             intentional change that must re-pin the golden values)"
+        );
+    }
+}
+
+/// Golden values for [`golden_cnmse_envelopes_on_disconnected_graph`]:
+/// the FS-beats-walkers gap is the paper's Figure 10 story (FS ~4.5x
+/// below SingleRW, ~3x below MultipleRW on the disconnected G_AB).
+const GOLDEN_FS: f64 = 0.195_402_976_491_904_38;
+const GOLDEN_SRW: f64 = 0.870_432_278_396_872_5;
+const GOLDEN_MRW: f64 = 0.567_097_700_608_421_6;
+
 /// "Frontier sampling is more suitable than random vertex sampling to
 /// sample the tail of the degree distribution."
 #[test]
