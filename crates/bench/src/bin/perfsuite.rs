@@ -1,0 +1,241 @@
+//! `perfsuite` — the tracked sampler-throughput baseline.
+//!
+//! Runs the four workhorse samplers (FS, SingleRW, MultipleRW, MHRW) at
+//! two or three Barabási–Albert graph scales, measures wall-clock
+//! steps-per-second on the in-memory CSR backend and queries-per-step on
+//! the query-counting `CrawlAccess` backend, and writes the results to
+//! `BENCH_samplers.json`. The committed copy of that file is the perf
+//! baseline this repository tracks: regenerate it on the same machine
+//! and compare before claiming (or reviewing) a hot-path change.
+//!
+//! ```text
+//! cargo run --release -p fs-bench --bin perfsuite            # full suite
+//! cargo run --release -p fs-bench --bin perfsuite -- --smoke # CI-sized
+//! cargo run --release -p fs-bench --bin perfsuite -- --out /tmp/b.json
+//! ```
+//!
+//! Timing method: each (sampler, scale) cell runs `reps` times after one
+//! warm-up; the JSON records the **best** rep (least scheduler noise, the
+//! number to compare across commits) and the mean. Queries/step comes
+//! from an exact counter, not timing, so it is machine-independent: a
+//! step primitive that issues more than one backend query per walk step
+//! shows up here as `queries_per_step > 1`.
+
+use frontier_sampling::backend::CrawlAccess;
+use frontier_sampling::{Budget, CostModel, WalkMethod};
+use fs_graph::{Graph, GraphAccess};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured (sampler, graph-scale) cell.
+struct Cell {
+    sampler: String,
+    graph: String,
+    num_vertices: usize,
+    /// Budget `B` handed to the run (starts + steps).
+    budget: usize,
+    /// Walk steps actually taken (the throughput denominator — the
+    /// budget also pays the m start draws).
+    steps: usize,
+    best_steps_per_sec: f64,
+    mean_steps_per_sec: f64,
+    queries_per_step: f64,
+}
+
+struct Config {
+    /// (label, |V|, BA attachment m, steps per run)
+    scales: Vec<(&'static str, usize, usize, usize)>,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut smoke = false;
+    let mut only: Option<String> = None;
+    let mut out = "BENCH_samplers.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--graph" => only = Some(args.next().expect("--graph needs a label")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perfsuite [--smoke] [--graph LABEL] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut scales = if smoke {
+        vec![("ba_10k", 10_000, 4, 20_000)]
+    } else {
+        vec![
+            ("ba_10k", 10_000, 4, 100_000),
+            ("ba_100k", 100_000, 5, 100_000),
+            ("ba_1m", 1_000_000, 5, 100_000),
+        ]
+    };
+    if let Some(label) = &only {
+        scales.retain(|&(l, ..)| l == label);
+        assert!(!scales.is_empty(), "unknown graph label {label}");
+    }
+    Config {
+        scales,
+        reps: if smoke { 3 } else { 5 },
+        out,
+    }
+}
+
+/// The samplers the baseline tracks, labelled as in the paper's figures.
+fn methods() -> Vec<(String, WalkMethod)> {
+    vec![
+        ("FS (m=100)".into(), WalkMethod::frontier(100)),
+        ("SingleRW".into(), WalkMethod::single()),
+        ("MultipleRW (m=100)".into(), WalkMethod::multiple(100)),
+    ]
+}
+
+/// Steps actually taken by a budgeted run (starts are paid from the same
+/// budget, so sampled edges < budget).
+fn run_once<A: GraphAccess>(method: &WalkMethod, access: &A, steps: usize, seed: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut budget = Budget::new(steps as f64);
+    let mut n = 0usize;
+    method.sample_edges(access, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        black_box(e.target);
+        n += 1;
+    });
+    n
+}
+
+fn mhrw_once<A: GraphAccess>(access: &A, steps: usize, seed: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut budget = Budget::new(steps as f64);
+    let mut n = 0usize;
+    frontier_sampling::MetropolisHastingsRw::new().sample_vertices(
+        access,
+        &CostModel::unit(),
+        &mut budget,
+        &mut rng,
+        |v| {
+            black_box(v);
+            n += 1;
+        },
+    );
+    n
+}
+
+fn measure(
+    label: &str,
+    graph_label: &str,
+    graph: &Graph,
+    budget: usize,
+    reps: usize,
+    run: &mut dyn FnMut() -> usize,
+    queries_per_step: f64,
+) -> Cell {
+    // One warm-up, which also reports the (deterministic, same-seed)
+    // number of walk steps the budget buys — the throughput denominator.
+    let steps = black_box(run());
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(run());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    Cell {
+        sampler: label.to_string(),
+        graph: graph_label.to_string(),
+        num_vertices: graph.num_vertices(),
+        budget,
+        steps,
+        best_steps_per_sec: steps as f64 / best,
+        mean_steps_per_sec: steps as f64 / mean,
+        queries_per_step,
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for &(graph_label, n, ba_m, steps) in &cfg.scales {
+        eprintln!("generating {graph_label} ({n} vertices)…");
+        let mut g_rng = SmallRng::seed_from_u64(0x5CA1E);
+        let graph = fs_gen::barabasi_albert(n, ba_m, &mut g_rng);
+
+        for (label, method) in methods() {
+            // Query accounting on the counting crawler (exact, not timed).
+            let crawler = CrawlAccess::new(&graph);
+            let taken = run_once(&method, &crawler, steps, 7);
+            let qps = crawler.queries_issued() as f64 / taken.max(1) as f64;
+            let cell = measure(
+                &label,
+                graph_label,
+                &graph,
+                steps,
+                cfg.reps,
+                &mut || run_once(&method, &graph, steps, 7),
+                qps,
+            );
+            eprintln!(
+                "  {label:<22} {graph_label:<8} {:>10.0} steps/s (best)  {:.3} queries/step",
+                cell.best_steps_per_sec, cell.queries_per_step
+            );
+            cells.push(cell);
+        }
+
+        // MHRW emits vertices, not edges; same timing protocol.
+        let crawler = CrawlAccess::new(&graph);
+        let taken = mhrw_once(&crawler, steps, 7);
+        let qps = crawler.queries_issued() as f64 / taken.max(1) as f64;
+        let cell = measure(
+            "MHRW",
+            graph_label,
+            &graph,
+            steps,
+            cfg.reps,
+            &mut || mhrw_once(&graph, steps, 7),
+            qps,
+        );
+        eprintln!(
+            "  {:<22} {graph_label:<8} {:>10.0} steps/s (best)  {:.3} queries/step",
+            "MHRW", cell.best_steps_per_sec, cell.queries_per_step
+        );
+        cells.push(cell);
+    }
+
+    let json = render_json(&cells);
+    std::fs::write(&cfg.out, json).expect("write baseline file");
+    eprintln!("wrote {}", cfg.out);
+}
+
+/// Hand-rolled JSON (the workspace is offline — no serde).
+fn render_json(cells: &[Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"suite\": \"samplers\",\n  \"unit\": \"steps/sec\",\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"sampler\": \"{}\", \"graph\": \"{}\", \"num_vertices\": {}, \
+             \"budget\": {}, \"steps\": {}, \"best_steps_per_sec\": {:.0}, \
+             \"mean_steps_per_sec\": {:.0}, \"queries_per_step\": {:.4}}}",
+            c.sampler,
+            c.graph,
+            c.num_vertices,
+            c.budget,
+            c.steps,
+            c.best_steps_per_sec,
+            c.mean_steps_per_sec,
+            c.queries_per_step
+        );
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -61,14 +61,23 @@ impl UniformSelectWalkers {
             return;
         }
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
+        let mut degrees: Vec<usize> = positions.iter().map(|&v| access.degree(v)).collect();
+        let mut rows: Vec<usize> = positions.iter().map(|&v| access.vertex_row(v)).collect();
         while budget.try_spend(step_cost) {
             let i = rng.gen_range(0..positions.len());
-            match walk::step(access, positions[i], rng) {
+            let stepped = walk::step_known(access, positions[i], degrees[i], rows[i], rng);
+            match stepped.outcome {
                 StepOutcome::Edge(edge) => {
                     positions[i] = edge.target;
+                    degrees[i] = stepped.degree_after;
+                    rows[i] = stepped.row_after;
                     sink(edge);
                 }
-                StepOutcome::Lost(edge) => positions[i] = edge.target,
+                StepOutcome::Lost(edge) => {
+                    positions[i] = edge.target;
+                    degrees[i] = stepped.degree_after;
+                    rows[i] = stepped.row_after;
+                }
                 StepOutcome::Bounced | StepOutcome::Isolated => {}
             }
         }

@@ -44,7 +44,8 @@
 
 use crate::faults::{DeadVertexModel, SampleLossModel};
 use fs_graph::{
-    Arc, ArcId, Graph, GraphAccess, GroupId, NeighborReply, QueryKind, ShardedCounter, VertexId,
+    Arc, ArcId, Graph, GraphAccess, GroupId, NeighborReply, QueryKind, ShardedCounter, StepReply,
+    VertexId,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -56,8 +57,15 @@ use std::sync::Mutex;
 /// Cumulative query statistics of a [`CrawlAccess`] backend.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CrawlStats {
-    /// Neighbor queries answered (every [`GraphAccess::query_neighbor`]).
+    /// Neighbor queries answered — one per walk step, whether issued
+    /// through [`GraphAccess::query_neighbor`] or the combined
+    /// [`GraphAccess::step_query`] (the fused pick + degree read is
+    /// still a *single* charged query, the Section 2 unit).
     pub neighbor_queries: u64,
+    /// Uniform-vertex queries answered ([`GraphAccess::query_vertex`]):
+    /// walker start draws and RWJ jump landings, including redraws that
+    /// hit unwalkable ids.
+    pub vertex_queries: u64,
     /// Queries whose response payload was lost in transit.
     pub lost_replies: u64,
     /// Queries that hit an unresponsive (dead) vertex.
@@ -111,6 +119,7 @@ pub struct CrawlAccess<'g> {
     vertex_surcharge: f64,
     edge_surcharge: f64,
     neighbor_queries: ShardedCounter,
+    vertex_queries: ShardedCounter,
     lost_replies: ShardedCounter,
     unresponsive: ShardedCounter,
 }
@@ -128,6 +137,7 @@ impl<'g> CrawlAccess<'g> {
             vertex_surcharge: 1.0,
             edge_surcharge: 1.0,
             neighbor_queries: ShardedCounter::new(),
+            vertex_queries: ShardedCounter::new(),
             lost_replies: ShardedCounter::new(),
             unresponsive: ShardedCounter::new(),
         }
@@ -184,6 +194,7 @@ impl<'g> CrawlAccess<'g> {
     pub fn stats(&self) -> CrawlStats {
         CrawlStats {
             neighbor_queries: self.neighbor_queries.get(),
+            vertex_queries: self.vertex_queries.get(),
             lost_replies: self.lost_replies.get(),
             unresponsive: self.unresponsive.get(),
         }
@@ -193,27 +204,16 @@ impl<'g> CrawlAccess<'g> {
     /// not race live walkers.
     pub fn reset_stats(&self) {
         self.neighbor_queries.reset();
+        self.vertex_queries.reset();
         self.lost_replies.reset();
         self.unresponsive.reset();
     }
-}
 
-impl GraphAccess for CrawlAccess<'_> {
-    type Neighbors<'a>
-        = &'a [VertexId]
-    where
-        Self: 'a;
-
-    #[inline]
-    fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        self.graph.neighbors(v)
-    }
-
-    fs_graph::delegate_graph_access!(self => self.graph);
-
-    fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
-        self.neighbor_queries.incr();
-        let target = self.graph.nth_neighbor(v, i);
+    /// Applies the fault models to a resolved neighbor target. Shared by
+    /// [`GraphAccess::query_neighbor`] and [`GraphAccess::step_query`] so
+    /// the two entry points stay behaviourally identical (same fault
+    /// stream, same counters — only the reply shape differs).
+    fn resolve_target(&self, target: VertexId) -> NeighborReply {
         if let Some(dead) = &self.dead {
             if dead.is_dead(target) {
                 self.unresponsive.incr();
@@ -232,6 +232,62 @@ impl GraphAccess for CrawlAccess<'_> {
         }
         NeighborReply::Vertex(target)
     }
+}
+
+impl GraphAccess for CrawlAccess<'_> {
+    type Neighbors<'a>
+        = &'a [VertexId]
+    where
+        Self: 'a;
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.graph.neighbors(v)
+    }
+
+    fs_graph::delegate_graph_access!(self => self.graph);
+
+    fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
+        self.neighbor_queries.incr();
+        self.resolve_target(self.graph.nth_neighbor(v, i))
+    }
+
+    fn step_query(&self, v: VertexId, i: usize) -> StepReply {
+        self.step_query_at(v, self.graph.row_start(v), i)
+    }
+
+    fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
+        // ONE charged query: crawling the i-th neighbor returns its full
+        // adjacency list, so the target's degree (and row handle) ships
+        // with the reply — the fix for the historical double round-trip
+        // (neighbor query followed by a separate degree read) that
+        // over-counted crawl work per walk step.
+        debug_assert_eq!(row, self.graph.row_start(v), "stale row handle");
+        self.neighbor_queries.incr();
+        let (target, target_degree, target_row) = self.graph.nth_neighbor_with_degree_at(row, i);
+        let reply = self.resolve_target(target);
+        match reply {
+            NeighborReply::Unresponsive => StepReply {
+                reply,
+                target_degree: 0,
+                target_row: 0,
+            },
+            _ => StepReply {
+                reply,
+                target_degree,
+                target_row,
+            },
+        }
+    }
+
+    fn vertex_row(&self, v: VertexId) -> usize {
+        self.graph.row_start(v)
+    }
+
+    fn query_vertex(&self, v: VertexId) -> usize {
+        self.vertex_queries.incr();
+        self.graph.degree(v)
+    }
 
     fn cost_factor(&self, kind: QueryKind) -> f64 {
         match kind {
@@ -242,7 +298,7 @@ impl GraphAccess for CrawlAccess<'_> {
     }
 
     fn queries_issued(&self) -> u64 {
-        self.neighbor_queries.get()
+        self.neighbor_queries.get() + self.vertex_queries.get()
     }
 }
 
@@ -507,6 +563,38 @@ impl<A: GraphAccess> GraphAccess for CachedAccess<A> {
     fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
         self.touch(v);
         self.inner.query_neighbor(v, i)
+    }
+    fn step_query(&self, v: VertexId, i: usize) -> StepReply {
+        // One lookup pair per step: the pick reads v's cached adjacency
+        // (coalesced with the arrival fetch of v) and the reply's degree
+        // is the fetch of the vertex stepped to — exactly the touches the
+        // historical degree(v) + query_neighbor(v, i) + degree(target)
+        // sequence produced, so hit/miss accounting is unchanged.
+        self.touch(v);
+        let out = self.inner.step_query(v, i);
+        if let Some(t) = out.reply.moved_to() {
+            self.touch(t);
+        }
+        out
+    }
+    fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
+        // A walker holding v's row handle still *logically* reads v's
+        // adjacency list for the pick — same touch pair as `step_query`.
+        self.touch(v);
+        let out = self.inner.step_query_at(v, row, i);
+        if let Some(t) = out.reply.moved_to() {
+            self.touch(t);
+        }
+        out
+    }
+    #[inline]
+    fn vertex_row(&self, v: VertexId) -> usize {
+        // Free topology read (handle bootstrap), not a modelled fetch.
+        self.inner.vertex_row(v)
+    }
+    fn query_vertex(&self, v: VertexId) -> usize {
+        self.touch(v);
+        self.inner.query_vertex(v)
     }
     #[inline]
     fn num_arcs(&self) -> usize {

@@ -132,12 +132,17 @@ impl Budget {
         self.spent += cost;
     }
 
-    /// How many items of cost `cost` still fit.
+    /// How many items of cost `cost` still fit, under the same `1e-9`
+    /// tolerance as [`Budget::try_spend`] — so a hoisted
+    /// `affordable`-then-`force_spend` loop takes exactly as many steps
+    /// as the per-step `try_spend` loop it replaces, including for
+    /// fractional costs that are not exactly representable (e.g. a 0.1
+    /// surcharge against a 9.0 remainder).
     pub fn affordable(&self, cost: f64) -> usize {
         if cost <= 0.0 {
             usize::MAX
         } else {
-            (self.remaining() / cost).floor() as usize
+            ((self.remaining() + 1e-9) / cost).floor() as usize
         }
     }
 }

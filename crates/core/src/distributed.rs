@@ -16,7 +16,7 @@
 use crate::budget::{Budget, CostModel};
 use crate::start::StartPolicy;
 use crate::walk::{self, StepOutcome};
-use fs_graph::{Arc, GraphAccess, QueryKind, VertexId};
+use fs_graph::{Arc, GraphAccess, QueryKind};
 use rand::Rng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -93,9 +93,14 @@ impl DistributedFs {
         }
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let mut positions = positions;
+        // Degrees and row handles ride along with positions (start
+        // crawls revealed them), so each event issues exactly one
+        // combined step query.
+        let mut degrees: Vec<usize> = positions.iter().map(|&v| access.degree(v)).collect();
+        let mut rows: Vec<usize> = positions.iter().map(|&v| access.vertex_row(v)).collect();
         let mut heap = BinaryHeap::with_capacity(positions.len());
-        for (i, &v) in positions.iter().enumerate() {
-            if let Some(t) = exp_holding_time(access, v, rng) {
+        for (i, &d) in degrees.iter().enumerate() {
+            if let Some(t) = walk::exp_holding_time(d, rng) {
                 heap.push(Clock { time: t, walker: i });
             }
         }
@@ -106,15 +111,23 @@ impl DistributedFs {
             // A degree-0 position yields no step: the walker's clock
             // simply never fires again. On faulty backends, a lost reply
             // or a bounce still rewinds the clock (the walker retries).
-            let outcome = walk::step(access, positions[walker], rng);
-            if let StepOutcome::Edge(edge) | StepOutcome::Lost(edge) = outcome {
+            let stepped = walk::step_known(
+                access,
+                positions[walker],
+                degrees[walker],
+                rows[walker],
+                rng,
+            );
+            if let StepOutcome::Edge(edge) | StepOutcome::Lost(edge) = stepped.outcome {
                 positions[walker] = edge.target;
+                degrees[walker] = stepped.degree_after;
+                rows[walker] = stepped.row_after;
             }
-            if let StepOutcome::Edge(edge) = outcome {
+            if let StepOutcome::Edge(edge) = stepped.outcome {
                 sink(edge);
             }
-            if !matches!(outcome, StepOutcome::Isolated) {
-                if let Some(dt) = exp_holding_time(access, positions[walker], rng) {
+            if !matches!(stepped.outcome, StepOutcome::Isolated) {
+                if let Some(dt) = walk::exp_holding_time(degrees[walker], rng) {
                     heap.push(Clock {
                         time: time + dt,
                         walker,
@@ -123,21 +136,6 @@ impl DistributedFs {
             }
         }
     }
-}
-
-/// Exponential holding time with rate `deg(v)`; `None` for isolated
-/// vertices (rate 0 → infinite holding time).
-fn exp_holding_time<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
-    access: &A,
-    v: VertexId,
-    rng: &mut R,
-) -> Option<f64> {
-    let d = access.degree(v);
-    if d == 0 {
-        return None;
-    }
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    Some(-u.ln() / d as f64)
 }
 
 #[cfg(test)]

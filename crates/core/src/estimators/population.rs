@@ -19,21 +19,98 @@ use super::EdgeEstimator;
 use fs_graph::{Arc, GraphAccess, VertexId};
 use std::collections::HashMap;
 
+/// Universe size above which the dense per-vertex counter array would
+/// cost more memory than the birthday-paradox sample sizes justify
+/// (4 bytes × 2²⁴ = 64 MiB); larger graphs fall back to the hash map.
+const DENSE_UNIVERSE_MAX: usize = 1 << 24;
+
+/// Per-vertex visit counters: a dense array when the vertex universe is
+/// known and small enough (walk samples hash-free on the hot path), a
+/// hash map otherwise. Both count identically — pinned by the parity
+/// test.
+#[derive(Clone, Debug)]
+enum VisitCounts {
+    /// Universe not yet known — decided on the first observation.
+    Undecided,
+    /// `counts[v]` indexed by vertex id (universe `0..n` known).
+    Dense(Vec<u32>),
+    /// Sparse fallback for huge or unknown universes.
+    Sparse(HashMap<VertexId, u32>),
+}
+
+impl VisitCounts {
+    /// Bumps `v`'s count and returns how often it was seen *before*.
+    fn bump(&mut self, v: VertexId, universe: usize) -> u32 {
+        if let VisitCounts::Undecided = self {
+            *self = if universe <= DENSE_UNIVERSE_MAX {
+                VisitCounts::Dense(vec![0; universe])
+            } else {
+                VisitCounts::Sparse(HashMap::new())
+            };
+        }
+        match self {
+            VisitCounts::Undecided => unreachable!("decided above"),
+            VisitCounts::Dense(counts) => {
+                // The universe can grow between observations (evolving
+                // graphs); the hash-map counter accepted any id, so the
+                // dense array must too.
+                if v.index() >= counts.len() {
+                    counts.resize(v.index() + 1, 0);
+                }
+                let slot = &mut counts[v.index()];
+                let seen = *slot;
+                *slot += 1;
+                seen
+            }
+            VisitCounts::Sparse(counts) => {
+                let slot = counts.entry(v).or_insert(0);
+                let seen = *slot;
+                *slot += 1;
+                seen
+            }
+        }
+    }
+}
+
 /// Streaming Katzir-style `|V|` estimator over stationary RW samples.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct PopulationSizeEstimator {
     degree_sum: f64,
     inv_degree_sum: f64,
     /// Times each vertex has been sampled (for collision counting).
-    counts: HashMap<VertexId, u32>,
+    counts: VisitCounts,
     collisions: u64,
     observed: usize,
 }
 
+impl Default for PopulationSizeEstimator {
+    fn default() -> Self {
+        PopulationSizeEstimator {
+            degree_sum: 0.0,
+            inv_degree_sum: 0.0,
+            counts: VisitCounts::Undecided,
+            collisions: 0,
+            observed: 0,
+        }
+    }
+}
+
 impl PopulationSizeEstimator {
-    /// Creates the estimator.
+    /// Creates the estimator. Visit counters use a dense per-vertex
+    /// array when the backend's vertex universe is small enough,
+    /// falling back to a hash map otherwise.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates the estimator with the hash-map counter regardless of
+    /// universe size (memory-constrained callers; also the reference
+    /// arm of the dense/sparse parity test).
+    pub fn with_sparse_counts() -> Self {
+        PopulationSizeEstimator {
+            counts: VisitCounts::Sparse(HashMap::new()),
+            ..Self::default()
+        }
     }
 
     /// Number of colliding sample pairs seen so far.
@@ -66,10 +143,8 @@ impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for PopulationSizeEstimator {
         self.observed += 1;
         self.degree_sum += d as f64;
         self.inv_degree_sum += 1.0 / d as f64;
-        let seen = self.counts.entry(v).or_insert(0);
         // Each previous occurrence of v forms one new colliding pair.
-        self.collisions += *seen as u64;
-        *seen += 1;
+        self.collisions += self.counts.bump(v, access.num_vertices()) as u64;
     }
 
     fn num_observed(&self) -> usize {
@@ -118,6 +193,28 @@ mod tests {
         }
         assert_eq!(est.collisions(), 0);
         assert!(est.estimate().is_none());
+    }
+
+    #[test]
+    fn dense_and_sparse_counters_agree_exactly() {
+        // The dense Vec<u32> fast path and the HashMap fallback must
+        // produce identical collision counts and estimates on the same
+        // sample stream.
+        let mut rng = SmallRng::seed_from_u64(303);
+        let g = fs_gen::barabasi_albert(1_000, 3, &mut rng);
+        let mut dense = PopulationSizeEstimator::new();
+        let mut sparse = PopulationSizeEstimator::with_sparse_counts();
+        let mut budget = Budget::new(5_000.0);
+        WalkMethod::frontier(5).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+            dense.observe(&g, e);
+            sparse.observe(&g, e);
+        });
+        assert!(matches!(dense.counts, VisitCounts::Dense(_)));
+        assert!(matches!(sparse.counts, VisitCounts::Sparse(_)));
+        assert!(dense.collisions() > 0, "walk too short to collide");
+        assert_eq!(dense.collisions(), sparse.collisions());
+        assert_eq!(dense.num_observed(), sparse.num_observed());
+        assert_eq!(dense.estimate(), sparse.estimate());
     }
 
     #[test]

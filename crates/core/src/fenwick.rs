@@ -1,19 +1,171 @@
-//! Fenwick (binary indexed) tree for dynamic weighted sampling.
+//! Fenwick (binary indexed) trees for dynamic weighted sampling.
 //!
 //! Frontier Sampling (Algorithm 1, line 4) selects a walker with
 //! probability proportional to its current vertex degree at *every* step,
 //! and the selected walker's weight changes after the move. A Fenwick tree
 //! gives `O(log m)` select-and-update, which keeps high-dimensional FS
 //! (`m = 1000`) cheap; a linear scan would dominate the whole simulation.
+//!
+//! Two variants live here:
+//!
+//! * [`IntFenwick`] — exact `u64` weights, the sampling hot path. Degrees
+//!   are integers, so integer arithmetic is both *exact* (no float
+//!   rounding in the selection distribution, updates never drift) and
+//!   faster: the descent is branchless (the tree is padded to a power of
+//!   two and each level's take/skip becomes a multiply-by-flag, so the
+//!   ~50/50 random descent stops costing a branch misprediction per
+//!   level), the running total is `tree[size]` (no `O(log n)` prefix
+//!   sum per step), and `set` is a single traversal against a shadow
+//!   value array.
+//! * [`FenwickTree`] — `f64` weights for the *weighted*-graph walkers
+//!   ([`crate::weighted`]), where edge weights are real-valued. Shares
+//!   the single-traversal `set` and `O(1)` `get` via shadow values.
 
 use rand::Rng;
 
-/// Fenwick tree over `n` non-negative weights supporting point updates
-/// and sampling an index with probability proportional to its weight.
+/// Fenwick tree over `n` non-negative **integer** weights supporting
+/// point assignment and sampling an index with probability proportional
+/// to its weight. The FS hot-path structure; see the [module
+/// docs](self).
+#[derive(Clone, Debug)]
+pub struct IntFenwick {
+    /// 1-based partial sums, padded to `size + 1` slots so the descent
+    /// runs over a full power of two with no bounds branch.
+    tree: Vec<u64>,
+    /// Shadow of the raw weights: `O(1)` `get`, single-traversal `set`.
+    values: Vec<u64>,
+    /// Number of live slots.
+    n: usize,
+    /// `n.next_power_of_two()` — the descent span; `tree[size]` is the
+    /// total.
+    size: usize,
+}
+
+impl IntFenwick {
+    /// Builds a tree from initial weights in `O(n)`.
+    pub fn new(weights: &[u64]) -> Self {
+        let n = weights.len();
+        let size = n.next_power_of_two();
+        let mut tree = vec![0u64; size + 1];
+        tree[1..=n].copy_from_slice(weights);
+        // O(n) bottom-up build: push each node's sum into its parent.
+        for i in 1..=size {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= size {
+                tree[parent] = tree[parent].wrapping_add(tree[i]);
+            }
+        }
+        IntFenwick {
+            tree,
+            values: weights.to_vec(),
+            n,
+            size,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total weight, in `O(1)` (the padded root holds the full sum).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.tree[self.size]
+    }
+
+    /// Current weight at `i`, in `O(1)`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.values[i]
+    }
+
+    /// Sum of weights at indices `0..len`.
+    pub fn prefix_sum(&self, len: usize) -> u64 {
+        debug_assert!(len <= self.n);
+        let mut idx = len;
+        let mut s = 0u64;
+        while idx > 0 {
+            s = s.wrapping_add(self.tree[idx]);
+            idx &= idx - 1;
+        }
+        s
+    }
+
+    /// Sets the weight at `i` to `w` in a **single traversal**: the
+    /// shadow array supplies the old value, so no prefix-sum reads are
+    /// needed. Negative deltas ride on wrapping arithmetic (partial sums
+    /// stay exact because the true sums are non-negative).
+    #[inline]
+    pub fn set(&mut self, i: usize, w: u64) {
+        debug_assert!(i < self.n);
+        let delta = w.wrapping_sub(self.values[i]);
+        if delta == 0 {
+            // Moving between equal-degree vertices — frequent on
+            // heavy-tailed graphs — leaves the tree untouched.
+            return;
+        }
+        self.values[i] = w;
+        let mut idx = i + 1;
+        while idx <= self.size {
+            self.tree[idx] = self.tree[idx].wrapping_add(delta);
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Finds the smallest index whose prefix sum exceeds `target`
+    /// (`0 ≤ target < total()`), in `O(log n)` with a **branchless**
+    /// descent: every level unconditionally reads its candidate subtree
+    /// sum and folds the take/skip decision into flag arithmetic, so the
+    /// data-dependent (≈ coin-flip) comparison never becomes a branch
+    /// misprediction.
+    #[inline]
+    pub fn find(&self, mut target: u64) -> usize {
+        debug_assert!(target < self.total().max(1));
+        let mut pos = 0usize;
+        // The root probe (half == size reads tree[size] == total >
+        // target) is provably never taken, so the descent starts one
+        // level down; pos + half then stays <= size at every level and
+        // the padded reads are always in bounds.
+        let mut half = self.size >> 1;
+        while half > 0 {
+            let t = self.tree[pos + half];
+            let take = (t <= target) as u64;
+            target -= t * take;
+            pos += half * take as usize;
+            half >>= 1;
+        }
+        pos.min(self.n - 1)
+    }
+
+    /// Samples an index with probability exactly proportional to its
+    /// weight.
+    ///
+    /// # Panics
+    /// Panics if the total weight is zero.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = self.total();
+        assert!(total > 0, "cannot sample from zero total weight");
+        self.find(rng.gen_range(0..total))
+    }
+}
+
+/// Fenwick tree over `n` non-negative `f64` weights supporting point
+/// updates and sampling an index with probability proportional to its
+/// weight. Used by the weighted-graph walkers; the unweighted hot path
+/// uses [`IntFenwick`].
 #[derive(Clone, Debug)]
 pub struct FenwickTree {
     /// 1-based partial sums.
     tree: Vec<f64>,
+    /// Shadow of the raw weights: `O(1)` `get`, single-traversal `set`.
+    values: Vec<f64>,
     n: usize,
 }
 
@@ -32,7 +184,11 @@ impl FenwickTree {
                 idx += idx & idx.wrapping_neg();
             }
         }
-        FenwickTree { tree, n }
+        FenwickTree {
+            tree,
+            values: weights.to_vec(),
+            n,
+        }
     }
 
     /// Number of slots.
@@ -62,14 +218,17 @@ impl FenwickTree {
         s
     }
 
-    /// Current weight at `i`.
+    /// Current weight at `i`, in `O(1)` (exact — the stored weight, not a
+    /// prefix-sum difference).
+    #[inline]
     pub fn get(&self, i: usize) -> f64 {
-        self.prefix_sum(i + 1) - self.prefix_sum(i)
+        self.values[i]
     }
 
     /// Adds `delta` (may be negative) to the weight at `i`.
     pub fn add(&mut self, i: usize, delta: f64) {
         debug_assert!(i < self.n);
+        self.values[i] += delta;
         let mut idx = i + 1;
         while idx <= self.n {
             self.tree[idx] += delta;
@@ -77,10 +236,17 @@ impl FenwickTree {
         }
     }
 
-    /// Sets the weight at `i` to `w`.
+    /// Sets the weight at `i` to `w` in a single traversal (the shadow
+    /// array supplies the old value — historically this cost two
+    /// `prefix_sum` walks plus the `add` walk).
     pub fn set(&mut self, i: usize, w: f64) {
-        let cur = self.get(i);
-        self.add(i, w - cur);
+        let delta = w - self.values[i];
+        self.values[i] = w;
+        let mut idx = i + 1;
+        while idx <= self.n {
+            self.tree[idx] += delta;
+            idx += idx & idx.wrapping_neg();
+        }
     }
 
     /// Finds the smallest index whose prefix sum exceeds `target`
@@ -203,5 +369,84 @@ mod tests {
                 acc += w;
             }
         }
+    }
+
+    #[test]
+    fn int_prefix_sums_and_updates() {
+        let mut t = IntFenwick::new(&[1, 2, 3, 4]);
+        assert_eq!(t.prefix_sum(0), 0);
+        assert_eq!(t.prefix_sum(3), 6);
+        assert_eq!(t.total(), 10);
+        assert_eq!(t.get(2), 3);
+        t.set(2, 0); // negative delta rides on wrapping arithmetic
+        assert_eq!(t.total(), 7);
+        assert_eq!(t.get(2), 0);
+        t.set(0, 100);
+        assert_eq!(t.total(), 106);
+        assert_eq!(t.prefix_sum(4), 106);
+    }
+
+    #[test]
+    fn int_find_boundaries_and_zero_slots() {
+        let t = IntFenwick::new(&[2, 0, 3]);
+        assert_eq!(t.find(0), 0);
+        assert_eq!(t.find(1), 0);
+        assert_eq!(t.find(2), 2); // zero-weight slot 1 skipped
+        assert_eq!(t.find(4), 2);
+        // Trailing zero-weight padding must never be selected.
+        let t = IntFenwick::new(&[5, 7, 1]);
+        for target in 0..13 {
+            assert!(t.find(target) < 3);
+        }
+    }
+
+    #[test]
+    fn int_find_matches_linear_scan_across_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 8, 9, 13, 100] {
+            let weights: Vec<u64> = (0..n).map(|i| ((i * 7 + 3) % 5) as u64 + 1).collect();
+            let t = IntFenwick::new(&weights);
+            let total: u64 = weights.iter().sum();
+            assert_eq!(t.total(), total);
+            for target in 0..total {
+                let mut acc = 0u64;
+                let expect = weights
+                    .iter()
+                    .position(|&w| {
+                        acc += w;
+                        target < acc
+                    })
+                    .unwrap();
+                assert_eq!(t.find(target), expect, "n={n} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_sampling_matches_weights() {
+        let weights = [1u64, 0, 2, 7];
+        let t = IntFenwick::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(94);
+        let mut counts = [0usize; 4];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let expect = weights[i] as f64 / 10.0;
+            assert!((emp - expect).abs() < 0.01, "slot {i}: {emp} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn int_single_slot_and_empty() {
+        let t = IntFenwick::new(&[3]);
+        let mut rng = SmallRng::seed_from_u64(95);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+        let e = IntFenwick::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.total(), 0);
     }
 }

@@ -21,11 +21,16 @@
 //! uniformly sampled vertices starts FS *near* steady state — the property
 //! that makes it robust to disconnected components.
 //!
-//! The walker-selection step uses a Fenwick tree ([`crate::fenwick`]) for
-//! `O(log m)` select/update.
+//! The walker-selection step uses an exact integer Fenwick tree
+//! ([`crate::fenwick::IntFenwick`]) for `O(log m)` select/update —
+//! degrees are integers, so selection probabilities are exact and the
+//! branchless descent keeps high-dimensional FS cheap. The tree doubles
+//! as the per-walker degree store, so one combined
+//! [`fs_graph::GraphAccess::step_query`] per step is the only backend
+//! round-trip (Section 2's one-query-per-crawl cost model, exactly).
 
 use crate::budget::{Budget, CostModel};
-use crate::fenwick::FenwickTree;
+use crate::fenwick::IntFenwick;
 use crate::start::StartPolicy;
 use crate::walk::{self, StepOutcome};
 use fs_graph::{Arc, GraphAccess, QueryKind, VertexId};
@@ -87,23 +92,35 @@ impl FrontierSampler {
             None => return,
         };
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
-        while budget.try_spend(step_cost) {
+        // Hoist the budget arithmetic out of the hot loop: the number of
+        // affordable steps is fixed up front and each attempt — including
+        // a final Isolated one — costs one step, exactly as the
+        // historical per-step `try_spend` charged.
+        let affordable = budget.affordable(step_cost);
+        let mut attempts = 0usize;
+        while attempts < affordable {
+            attempts += 1;
             match frontier.step_outcome(access, rng) {
                 StepOutcome::Edge(edge) => sink(edge),
                 StepOutcome::Lost(_) | StepOutcome::Bounced => {}
                 StepOutcome::Isolated => break,
             }
         }
+        budget.force_spend(attempts as f64 * step_cost);
     }
 }
 
 /// The live FS state: walker positions plus the degree-weighted selection
-/// tree. Exposed so sample-path experiments and the theory tests can
-/// drive FS step by step.
+/// tree (which doubles as the exact per-walker degree cache). Exposed so
+/// sample-path experiments and the theory tests can drive FS step by
+/// step.
 #[derive(Clone, Debug)]
 pub struct Frontier {
     positions: Vec<VertexId>,
-    weights: FenwickTree,
+    /// Per-walker backend row handles, threaded from reply to reply
+    /// alongside the degrees (which live in the selection tree).
+    rows: Vec<usize>,
+    weights: IntFenwick,
 }
 
 impl Frontier {
@@ -125,9 +142,10 @@ impl Frontier {
 
     /// Builds the state from explicit walker positions.
     pub fn from_positions<A: GraphAccess + ?Sized>(access: &A, positions: Vec<VertexId>) -> Self {
-        let degrees: Vec<f64> = positions.iter().map(|&v| access.degree(v) as f64).collect();
+        let degrees: Vec<u64> = positions.iter().map(|&v| access.degree(v) as u64).collect();
         Frontier {
-            weights: FenwickTree::new(&degrees),
+            weights: IntFenwick::new(&degrees),
+            rows: positions.iter().map(|&v| access.vertex_row(v)).collect(),
             positions,
         }
     }
@@ -139,7 +157,7 @@ impl Frontier {
 
     /// `Σ_{v ∈ L} deg(v)` — the size of the edge frontier `|e(L)|`.
     pub fn frontier_volume(&self) -> f64 {
-        self.weights.total()
+        self.weights.total() as f64
     }
 
     /// One FS step (Algorithm 1 lines 4–6): selects a walker
@@ -170,16 +188,23 @@ impl Frontier {
         access: &A,
         rng: &mut R,
     ) -> StepOutcome {
-        if self.weights.total() <= 0.0 {
+        let total = self.weights.total();
+        if total == 0 {
             return StepOutcome::Isolated;
         }
-        let i = self.weights.sample(rng);
-        let outcome = walk::step(access, self.positions[i], rng);
-        if let StepOutcome::Edge(edge) | StepOutcome::Lost(edge) = outcome {
+        // Select the walker and read its degree from the selection tree
+        // itself (`O(1)` shadow read) — the one backend query of this
+        // step is the combined pick + landing-degree resolution inside
+        // `step_known`, entered through the walker's carried row handle.
+        let i = self.weights.find(rng.gen_range(0..total));
+        let d = self.weights.get(i) as usize;
+        let stepped = walk::step_known(access, self.positions[i], d, self.rows[i], rng);
+        if let StepOutcome::Edge(edge) | StepOutcome::Lost(edge) = stepped.outcome {
             self.positions[i] = edge.target;
-            self.weights.set(i, access.degree(edge.target) as f64);
+            self.rows[i] = stepped.row_after;
+            self.weights.set(i, stepped.degree_after as u64);
         }
-        outcome
+        stepped.outcome
     }
 
     /// Migrates the frontier onto a **new snapshot** of an evolving
@@ -212,12 +237,17 @@ impl Frontier {
                 }
             }
         }
-        let degrees: Vec<f64> = self
+        let degrees: Vec<u64> = self
             .positions
             .iter()
-            .map(|&v| new_access.degree(v) as f64)
+            .map(|&v| new_access.degree(v) as u64)
             .collect();
-        self.weights = FenwickTree::new(&degrees);
+        self.weights = IntFenwick::new(&degrees);
+        self.rows = self
+            .positions
+            .iter()
+            .map(|&v| new_access.vertex_row(v))
+            .collect();
     }
 }
 

@@ -114,7 +114,7 @@ pub use diagnostics::ChainDiagnostics;
 pub use distributed::DistributedFs;
 pub use edge_sampling::RandomEdgeSampler;
 pub use faults::{DeadVertexModel, SampleLossModel};
-pub use fenwick::FenwickTree;
+pub use fenwick::{FenwickTree, IntFenwick};
 pub use frontier::{Frontier, FrontierSampler};
 pub use method::WalkMethod;
 pub use mhrw::MetropolisHastingsRw;

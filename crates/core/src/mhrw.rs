@@ -12,7 +12,7 @@
 
 use crate::budget::{Budget, CostModel};
 use crate::start::StartPolicy;
-use fs_graph::{GraphAccess, NeighborReply, QueryKind, VertexId};
+use fs_graph::{GraphAccess, NeighborReply, QueryKind, StepReply, VertexId};
 use rand::Rng;
 
 /// Metropolis–Hastings random walk emitting one (uniformly distributed)
@@ -40,6 +40,12 @@ impl MetropolisHastingsRw {
     /// Runs the walk; every step (accepted or rejected) costs one
     /// `walk_step` and emits the walker's position after the step.
     ///
+    /// Each proposal is **one** combined backend query
+    /// ([`fs_graph::GraphAccess::step_query`]): crawling the proposed
+    /// neighbor reveals its degree, which is exactly what the acceptance
+    /// test `min(1, deg(u)/deg(w))` needs — historically this paid a
+    /// second candidate-degree round-trip per proposal.
+    ///
     /// Backend faults map naturally onto Metropolis–Hastings: an
     /// unresponsive proposal is a forced rejection (the walker stays, the
     /// step is emitted as usual — rejections always re-emit the current
@@ -59,21 +65,29 @@ impl MetropolisHastingsRw {
         };
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let mut current = start;
+        let mut d = access.degree(start);
+        let mut row = access.vertex_row(start);
         while budget.try_spend(step_cost) {
-            let d = access.degree(current);
             if d == 0 {
                 break;
             }
-            let (proposal, report) = match access.query_neighbor(current, rng.gen_range(0..d)) {
+            let StepReply {
+                reply,
+                target_degree,
+                target_row,
+            } = access.step_query_at(current, row, rng.gen_range(0..d));
+            let (proposal, report) = match reply {
                 NeighborReply::Vertex(w) => (Some(w), true),
                 NeighborReply::Lost(w) => (Some(w), false),
                 NeighborReply::Unresponsive => (None, true),
             };
             if let Some(proposal) = proposal {
-                let dp = access.degree(proposal).max(1);
+                let dp = target_degree.max(1);
                 let accept = d as f64 / dp as f64;
                 if accept >= 1.0 || rng.gen_range(0.0..1.0) < accept {
                     current = proposal;
+                    d = target_degree;
+                    row = target_row;
                 }
             }
             if report {

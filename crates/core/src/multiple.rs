@@ -81,11 +81,16 @@ impl MultipleRw {
                 let per_walker = budget.affordable(step_cost) / starts.len();
                 for &start in &starts {
                     let mut v = start;
+                    let mut d = access.degree(start);
+                    let mut row = access.vertex_row(start);
                     for _ in 0..per_walker {
                         if !budget.try_spend(step_cost) {
                             return;
                         }
-                        match walk::step(access, v, rng) {
+                        let stepped = walk::step_known(access, v, d, row, rng);
+                        d = stepped.degree_after;
+                        row = stepped.row_after;
+                        match stepped.outcome {
                             StepOutcome::Edge(edge) => {
                                 v = edge.target;
                                 sink(edge);
@@ -99,12 +104,22 @@ impl MultipleRw {
             }
             Schedule::Interleaved => {
                 let mut positions = starts;
+                let mut degrees: Vec<usize> = positions.iter().map(|&v| access.degree(v)).collect();
+                let mut rows: Vec<usize> =
+                    positions.iter().map(|&v| access.vertex_row(v)).collect();
                 'outer: loop {
-                    for v in positions.iter_mut() {
+                    for ((v, d), row) in positions
+                        .iter_mut()
+                        .zip(degrees.iter_mut())
+                        .zip(rows.iter_mut())
+                    {
                         if !budget.try_spend(step_cost) {
                             break 'outer;
                         }
-                        match walk::step(access, *v, rng) {
+                        let stepped = walk::step_known(access, *v, *d, *row, rng);
+                        *d = stepped.degree_after;
+                        *row = stepped.row_after;
+                        match stepped.outcome {
                             StepOutcome::Edge(edge) => {
                                 *v = edge.target;
                                 sink(edge);

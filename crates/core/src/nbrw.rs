@@ -21,31 +21,40 @@
 //! FS in the `extra_nbrw` experiment.
 
 use crate::budget::{Budget, CostModel};
-use crate::fenwick::FenwickTree;
+use crate::fenwick::IntFenwick;
 use crate::start::StartPolicy;
-use crate::walk::StepOutcome;
-use fs_graph::{Arc, GraphAccess, NeighborReply, QueryKind, VertexId};
+use crate::walk::{StepOutcome, Stepped};
+use fs_graph::{Arc, GraphAccess, QueryKind, VertexId};
 use rand::Rng;
 
-/// Takes one non-backtracking step from `cur`, where `prev` is the vertex
-/// the walker occupied before `cur` (`None` at the start of the walk).
+/// Takes one non-backtracking step from `cur`, whose degree `d` the
+/// caller tracks (previous step's [`Stepped::degree_after`]); `prev` is
+/// the vertex the walker occupied before `cur` (`None` at the start of
+/// the walk).
 ///
 /// Chooses uniformly among the neighbors of `cur` other than `prev`
 /// (index peeks are free topology reads; the accepted pick is then
-/// resolved as one charged crawl query through
-/// [`GraphAccess::query_neighbor`]); falls back to backtracking when
-/// `prev` is the only neighbor. [`StepOutcome::Isolated`] only for
-/// isolated vertices.
+/// resolved as one charged combined query through
+/// [`GraphAccess::step_query`], which also hands back the landing
+/// degree); falls back to backtracking when `prev` is the only neighbor.
+/// [`StepOutcome::Isolated`] only for isolated vertices.
 #[inline]
-pub fn nb_step<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
+pub fn nb_step_known<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
     access: &A,
     cur: VertexId,
+    d: usize,
+    row: usize,
     prev: Option<VertexId>,
     rng: &mut R,
-) -> StepOutcome {
-    let d = access.degree(cur);
+) -> Stepped {
+    debug_assert_eq!(d, access.degree(cur), "caller-tracked degree diverged");
+    debug_assert_eq!(row, access.vertex_row(cur), "caller-tracked row diverged");
     if d == 0 {
-        return StepOutcome::Isolated;
+        return Stepped {
+            outcome: StepOutcome::Isolated,
+            degree_after: 0,
+            row_after: row,
+        };
     }
     let pick = match prev {
         // Degree 1 forces the return move; otherwise resample until the
@@ -60,17 +69,27 @@ pub fn nb_step<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
         },
         _ => rng.gen_range(0..d),
     };
-    match access.query_neighbor(cur, pick) {
-        NeighborReply::Vertex(next) => StepOutcome::Edge(Arc {
-            source: cur,
-            target: next,
-        }),
-        NeighborReply::Lost(next) => StepOutcome::Lost(Arc {
-            source: cur,
-            target: next,
-        }),
-        NeighborReply::Unresponsive => StepOutcome::Bounced,
-    }
+    crate::walk::resolve_stepped(cur, d, row, access.step_query_at(cur, row, pick))
+}
+
+/// [`nb_step_known`] without prior degree/row knowledge (tests and
+/// one-shot callers).
+#[inline]
+pub fn nb_step<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
+    access: &A,
+    cur: VertexId,
+    prev: Option<VertexId>,
+    rng: &mut R,
+) -> StepOutcome {
+    nb_step_known(
+        access,
+        cur,
+        access.degree(cur),
+        access.vertex_row(cur),
+        prev,
+        rng,
+    )
+    .outcome
 }
 
 /// Single-walker non-backtracking random walk.
@@ -137,9 +156,14 @@ impl NonBacktrackingRw {
         };
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let mut cur = start;
+        let mut d = access.degree(start);
+        let mut row = access.vertex_row(start);
         let mut prev = None;
         while budget.try_spend(step_cost) {
-            match nb_step(access, cur, prev, rng) {
+            let stepped = nb_step_known(access, cur, d, row, prev, rng);
+            d = stepped.degree_after;
+            row = stepped.row_after;
+            match stepped.outcome {
                 StepOutcome::Edge(edge) => {
                     prev = Some(cur);
                     cur = edge.target;
@@ -201,26 +225,32 @@ impl NonBacktrackingFrontier {
             return;
         }
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
-        let degrees: Vec<f64> = positions.iter().map(|&v| access.degree(v) as f64).collect();
-        let mut weights = FenwickTree::new(&degrees);
+        let degrees: Vec<u64> = positions.iter().map(|&v| access.degree(v) as u64).collect();
+        let mut weights = IntFenwick::new(&degrees);
+        let mut rows: Vec<usize> = positions.iter().map(|&v| access.vertex_row(v)).collect();
         let mut positions = positions;
         let mut prevs: Vec<Option<VertexId>> = vec![None; positions.len()];
         while budget.try_spend(step_cost) {
-            if weights.total() <= 0.0 {
+            let total = weights.total();
+            if total == 0 {
                 break;
             }
-            let i = weights.sample(rng);
-            match nb_step(access, positions[i], prevs[i], rng) {
+            let i = weights.find(rng.gen_range(0..total));
+            let d = weights.get(i) as usize;
+            let stepped = nb_step_known(access, positions[i], d, rows[i], prevs[i], rng);
+            match stepped.outcome {
                 StepOutcome::Edge(edge) => {
                     prevs[i] = Some(positions[i]);
                     positions[i] = edge.target;
-                    weights.set(i, access.degree(edge.target) as f64);
+                    rows[i] = stepped.row_after;
+                    weights.set(i, stepped.degree_after as u64);
                     sink(edge);
                 }
                 StepOutcome::Lost(edge) => {
                     prevs[i] = Some(positions[i]);
                     positions[i] = edge.target;
-                    weights.set(i, access.degree(edge.target) as f64);
+                    rows[i] = stepped.row_after;
+                    weights.set(i, stepped.degree_after as u64);
                 }
                 StepOutcome::Bounced => {}
                 StepOutcome::Isolated => break,

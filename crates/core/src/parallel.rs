@@ -67,7 +67,7 @@ use crate::multiple::{MultipleRw, Schedule};
 use crate::walk::{self, StepOutcome};
 use fs_graph::{Arc, GraphAccess, QueryKind, VertexId};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The SplitMix64 golden-ratio increment.
@@ -267,11 +267,18 @@ impl ParallelWalkerPool {
         self.for_each_walker(&mut traces, |i, trace| {
             let mut rng = SmallRng::seed_from_u64(stream_seed(base_seed, i as u64));
             let mut pos = starts[i];
+            let mut deg = access.degree(pos);
+            let mut row = access.vertex_row(pos);
             for _ in 0..quotas[i] {
-                let outcome = walk::step(access, pos, &mut rng);
+                let stepped = walk::step_known(access, pos, deg, row, &mut rng);
+                let outcome = stepped.outcome;
                 trace.push(outcome);
                 match outcome {
-                    StepOutcome::Edge(e) | StepOutcome::Lost(e) => pos = e.target,
+                    StepOutcome::Edge(e) | StepOutcome::Lost(e) => {
+                        pos = e.target;
+                        deg = stepped.degree_after;
+                        row = stepped.row_after;
+                    }
                     StepOutcome::Bounced => {}
                     // EqualSplit stops the walker for good; Interleaved
                     // keeps burning its turns (matching the sequential
@@ -423,8 +430,15 @@ impl ParallelWalkerPool {
 
 /// Resumable event generator for one FS walker (Theorem 5.5): a simple
 /// random walk on its own RNG stream with `Exp(deg)` holding times.
+/// Carries its current degree from reply to reply, so every event issues
+/// exactly one combined backend query (`step_query`) — the holding-time
+/// rate is the degree the previous reply already revealed.
 struct FsWalkerGen {
     pos: VertexId,
+    /// Degree of `pos`, threaded from the previous step's reply.
+    deg: usize,
+    /// Row handle of `pos`, threaded alongside the degree.
+    row: usize,
     rng: SmallRng,
     /// Absolute time of the next step, `None` once the walker is stuck on
     /// a degree-0 vertex (rate 0 → the clock never fires again).
@@ -436,9 +450,13 @@ struct FsWalkerGen {
 impl FsWalkerGen {
     fn new<A: GraphAccess + ?Sized>(access: &A, pos: VertexId, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let next_fire = exp_holding_time(access, pos, &mut rng);
+        let deg = access.degree(pos);
+        let row = access.vertex_row(pos);
+        let next_fire = walk::exp_holding_time(deg, &mut rng);
         FsWalkerGen {
             pos,
+            deg,
+            row,
             rng,
             next_fire,
             events: Vec::new(),
@@ -453,34 +471,23 @@ impl FsWalkerGen {
             if t > t_hi {
                 break;
             }
-            let outcome = walk::step(access, self.pos, &mut self.rng);
-            self.events.push((t, outcome));
-            match outcome {
-                StepOutcome::Edge(e) | StepOutcome::Lost(e) => self.pos = e.target,
+            let stepped = walk::step_known(access, self.pos, self.deg, self.row, &mut self.rng);
+            self.events.push((t, stepped.outcome));
+            match stepped.outcome {
+                StepOutcome::Edge(e) | StepOutcome::Lost(e) => {
+                    self.pos = e.target;
+                    self.deg = stepped.degree_after;
+                    self.row = stepped.row_after;
+                }
                 StepOutcome::Bounced => {}
                 StepOutcome::Isolated => {
                     self.next_fire = None;
                     return;
                 }
             }
-            self.next_fire = exp_holding_time(access, self.pos, &mut self.rng).map(|dt| t + dt);
+            self.next_fire = walk::exp_holding_time(self.deg, &mut self.rng).map(|dt| t + dt);
         }
     }
-}
-
-/// Exponential holding time with rate `deg(v)`; `None` (and no RNG draw)
-/// for isolated vertices. Mirrors `crate::distributed`.
-fn exp_holding_time<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
-    access: &A,
-    v: VertexId,
-    rng: &mut R,
-) -> Option<f64> {
-    let d = access.degree(v);
-    if d == 0 {
-        return None;
-    }
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    Some(-u.ln() / d as f64)
 }
 
 #[cfg(test)]

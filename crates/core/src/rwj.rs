@@ -126,30 +126,39 @@ impl RandomWalkWithJumps {
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let jump_cost = cost.uniform_vertex * access.cost_factor(QueryKind::UniformVertex);
         let mut v = start;
+        let mut deg = access.degree(start);
+        let mut row = access.vertex_row(start);
         loop {
-            let d = access.degree(v) as f64;
+            let d = deg as f64;
             let jump = self.alpha > 0.0 && rng.gen_range(0.0..d + self.alpha) < self.alpha;
             if jump {
-                // Redraw until a walkable vertex lands; each try costs a
-                // uniform-vertex query.
+                // Redraw until a walkable vertex lands; each try is a
+                // charged uniform-vertex crawl (`query_vertex`), whose
+                // reply carries the landing degree.
                 let mut landed = None;
                 while budget.try_spend(jump_cost) {
                     let cand = VertexId::new(rng.gen_range(0..n));
-                    if access.degree(cand) > 0 {
-                        landed = Some(cand);
+                    let cand_deg = access.query_vertex(cand);
+                    if cand_deg > 0 {
+                        landed = Some((cand, cand_deg));
                         break;
                     }
                 }
-                let Some(to) = landed else {
+                let Some((to, to_deg)) = landed else {
                     return; // budget died mid-jump
                 };
                 sink(RwjEvent::Jump { from: v, to });
                 v = to;
+                deg = to_deg;
+                row = access.vertex_row(to);
             } else {
                 if !budget.try_spend(step_cost) {
                     return;
                 }
-                match crate::walk::step(access, v, rng) {
+                let stepped = crate::walk::step_known(access, v, deg, row, rng);
+                deg = stepped.degree_after;
+                row = stepped.row_after;
+                match stepped.outcome {
                     StepOutcome::Edge(edge) => {
                         v = edge.target;
                         sink(RwjEvent::Walk(edge));

@@ -53,9 +53,17 @@ impl SingleRw {
             return;
         };
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
+        // The start crawl revealed the walker's degree and row handle;
+        // from here every step is one combined query that hands back the
+        // next pair.
         let mut v = start;
+        let mut d = access.degree(start);
+        let mut row = access.vertex_row(start);
         while budget.try_spend(step_cost) {
-            match walk::step(access, v, rng) {
+            let stepped = walk::step_known(access, v, d, row, rng);
+            d = stepped.degree_after;
+            row = stepped.row_after;
+            match stepped.outcome {
                 StepOutcome::Edge(edge) => {
                     v = edge.target;
                     sink(edge);

@@ -64,7 +64,11 @@ impl StartPolicy {
                     v
                 }
             };
-            if access.degree(v) > 0 {
+            // Resolving the drawn id is a charged uniform-vertex crawl:
+            // query-counting backends record it (the Section 2 identity
+            // `total queries = starts + walk steps`), and the revealed
+            // degree is the walkability check.
+            if access.query_vertex(v) > 0 {
                 starts.push(v);
             }
             // Degree-0 vertices burn the cost and are redrawn, except for

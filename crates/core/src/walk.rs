@@ -4,11 +4,24 @@
 //! outgoing edge `(v_i, u)` uniformly at random … and adds it to the
 //! sequence of sampled edges." All walk-based samplers reduce to this
 //! primitive, issued against any [`GraphAccess`] backend — the uniform
-//! neighbor pick is routed through
-//! [`GraphAccess::query_neighbor`], so backends can model query loss and
+//! neighbor pick is routed through the **combined step query**
+//! [`GraphAccess::step_query`], so backends can model query loss and
 //! dead vertices without the walkers knowing.
+//!
+//! ## The single-query hot loop
+//!
+//! The paper's cost model charges one query per crawled vertex, and that
+//! one query returns the full neighbor list — hence the degree — of the
+//! vertex stepped to. [`step_known`] mirrors this exactly: the caller
+//! passes the degree of its current vertex (learned when it arrived
+//! there) and receives the degree of wherever it lands, so a walker in
+//! steady state issues **exactly one backend query per step** — no
+//! `degree` round-trip before the pick, none after the move. On the CSR
+//! backend the fused read is also measurably faster (one offsets load
+//! pair serves pick + degree; see `fs_graph::Csr::step_to` and the
+//! `BENCH_samplers.json` baseline).
 
-use fs_graph::{Arc, GraphAccess, NeighborReply, VertexId};
+use fs_graph::{Arc, GraphAccess, NeighborReply, StepReply, VertexId};
 use rand::Rng;
 
 /// Outcome of one attempted random-walk step.
@@ -45,31 +58,114 @@ impl StepOutcome {
     }
 }
 
-/// Takes one random-walk step from `v` over `access`: picks an incident
-/// edge uniformly and resolves it through the backend's failure model.
-/// In-memory backends only ever produce [`StepOutcome::Edge`] or
-/// [`StepOutcome::Isolated`].
+/// One attempted step together with the degree and row handle of the
+/// walker's resulting position — the state a single-query walker threads
+/// from step to step.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Stepped {
+    /// What the step produced.
+    pub outcome: StepOutcome,
+    /// Degree of the vertex the walker occupies **after** the step: the
+    /// combined reply's `target_degree` when it moved, the caller's own
+    /// degree when it bounced, 0 when isolated. Feed this back as the
+    /// next step's `d`.
+    pub degree_after: usize,
+    /// Backend row handle of the vertex the walker occupies after the
+    /// step ([`StepReply::target_row`] when it moved, the caller's own
+    /// handle otherwise). Feed this back as the next step's `row`.
+    pub row_after: usize,
+}
+
+/// Takes one random-walk step from `v`, whose degree `d` and row handle
+/// `row` the caller already knows (from arriving at `v` — the previous
+/// step's [`Stepped`], or `access.degree(v)` / `access.vertex_row(v)`
+/// at the start crawl): picks an incident edge uniformly and resolves
+/// pick + landing degree + landing row through the backend as **one**
+/// combined query. The hot-path primitive; in-memory backends only ever
+/// produce [`StepOutcome::Edge`] or [`StepOutcome::Isolated`].
+#[inline]
+pub fn step_known<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
+    access: &A,
+    v: VertexId,
+    d: usize,
+    row: usize,
+    rng: &mut R,
+) -> Stepped {
+    debug_assert_eq!(d, access.degree(v), "caller-tracked degree diverged");
+    debug_assert_eq!(row, access.vertex_row(v), "caller-tracked row diverged");
+    if d == 0 {
+        return Stepped {
+            outcome: StepOutcome::Isolated,
+            degree_after: 0,
+            row_after: row,
+        };
+    }
+    resolve_stepped(v, d, row, access.step_query_at(v, row, rng.gen_range(0..d)))
+}
+
+/// Folds one combined reply into the walker state after the step. The
+/// single home of the fault taxonomy's threading rules: a moved walker
+/// (`Vertex`/`Lost`) adopts the reply's degree and row, an
+/// `Unresponsive` target reveals nothing so the walker keeps the
+/// caller's `d`/`row`. Shared by [`step_known`] and
+/// [`crate::nbrw::nb_step_known`].
+#[inline]
+pub(crate) fn resolve_stepped(v: VertexId, d: usize, row: usize, reply: StepReply) -> Stepped {
+    let StepReply {
+        reply,
+        target_degree,
+        target_row,
+    } = reply;
+    match reply {
+        NeighborReply::Vertex(next) => Stepped {
+            outcome: StepOutcome::Edge(Arc {
+                source: v,
+                target: next,
+            }),
+            degree_after: target_degree,
+            row_after: target_row,
+        },
+        NeighborReply::Lost(next) => Stepped {
+            outcome: StepOutcome::Lost(Arc {
+                source: v,
+                target: next,
+            }),
+            degree_after: target_degree,
+            row_after: target_row,
+        },
+        NeighborReply::Unresponsive => Stepped {
+            outcome: StepOutcome::Bounced,
+            degree_after: d,
+            row_after: row,
+        },
+    }
+}
+
+/// Takes one random-walk step from `v` over `access` without prior
+/// degree/row knowledge (convenience for one-shot callers and tests;
+/// hot loops thread both through [`step_known`] instead).
 #[inline]
 pub fn step<A: GraphAccess + ?Sized, R: Rng + ?Sized>(
     access: &A,
     v: VertexId,
     rng: &mut R,
 ) -> StepOutcome {
-    let d = access.degree(v);
+    step_known(access, v, access.degree(v), access.vertex_row(v), rng).outcome
+}
+
+/// Exponential holding time with rate `d = deg(v)` for the
+/// continuous-time FS factorization (Theorem 5.5); `None` — and no RNG
+/// draw — for isolated vertices (rate 0 → the clock never fires).
+/// Shared by [`crate::distributed::DistributedFs`] and
+/// [`crate::parallel::ParallelWalkerPool`] so the two engines cannot
+/// drift apart in the distribution that makes them equivalent.
+#[inline]
+pub(crate) fn exp_holding_time<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Option<f64> {
     if d == 0 {
-        return StepOutcome::Isolated;
+        return None;
     }
-    match access.query_neighbor(v, rng.gen_range(0..d)) {
-        NeighborReply::Vertex(next) => StepOutcome::Edge(Arc {
-            source: v,
-            target: next,
-        }),
-        NeighborReply::Lost(next) => StepOutcome::Lost(Arc {
-            source: v,
-            target: next,
-        }),
-        NeighborReply::Unresponsive => StepOutcome::Bounced,
-    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    Some(-u.ln() / d as f64)
 }
 
 /// An edge-sink callback, fed every sampled edge in order.

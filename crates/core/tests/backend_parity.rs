@@ -144,14 +144,13 @@ fn cached_access_hit_accounting_matches_repeated_query_counts() {
     SingleRw::new().sample_edges(&cached, &CostModel::unit(), &mut budget, &mut rng, |e| {
         edges.push(e)
     });
-    // Replay the walker's backend fetches. Per step the walker probes
-    // degree(source) and query_neighbor(source, i); the decorator
-    // coalesces consecutive same-vertex touches into one logical fetch,
-    // and the start draw's degree check coalesces into the first step,
-    // so the fetch sequence is exactly one probe per edge source (the
-    // graph has no self-loops, so consecutive sources always differ).
-    // With no eviction the hit/miss split depends only on totals and
-    // distinct vertices.
+    // Replay the walker's backend fetches. Per step the combined
+    // `step_query` touches the source (coalesced with the previous
+    // step's landing fetch — the graph has no self-loops, so consecutive
+    // sources always differ) and the vertex stepped to, whose adjacency
+    // the reply reveals. The chain therefore costs one logical fetch per
+    // edge source plus the final landing. With no eviction the hit/miss
+    // split depends only on totals and distinct vertices.
     let mut distinct = std::collections::HashSet::new();
     let mut fetches = 0u64;
     let mut probe = |v: usize| {
@@ -160,6 +159,9 @@ fn cached_access_hit_accounting_matches_repeated_query_counts() {
     };
     for e in &edges {
         probe(e.source.index());
+    }
+    if let Some(last) = edges.last() {
+        probe(last.target.index());
     }
     assert_eq!(
         cached.hits() + cached.misses(),

@@ -1,7 +1,7 @@
 //! Property-based tests of sampler and estimator invariants.
 
 use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
-use frontier_sampling::{Budget, CostModel, FenwickTree, WalkMethod};
+use frontier_sampling::{Budget, CostModel, FenwickTree, IntFenwick, WalkMethod};
 use fs_graph::{GraphBuilder, VertexId};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -144,6 +144,54 @@ proptest! {
                 }
                 lo += w;
             }
+        }
+    }
+
+    /// Integer Fenwick tree agrees with a naive linear-scan oracle under
+    /// random updates: prefix sums, O(1) gets, the O(1) cached total, and
+    /// the branchless find() as the exact inverse of prefix summing.
+    #[test]
+    fn int_fenwick_matches_naive(
+        init in prop::collection::vec(0u64..10, 1..40),
+        updates in prop::collection::vec((0usize..40, 0u64..10), 0..30),
+    ) {
+        let mut naive = init.clone();
+        let mut tree = IntFenwick::new(&init);
+        for (i, w) in updates {
+            let i = i % naive.len();
+            naive[i] = w;
+            tree.set(i, w);
+        }
+        let mut acc = 0u64;
+        for (i, &w) in naive.iter().enumerate() {
+            prop_assert_eq!(tree.prefix_sum(i), acc);
+            prop_assert_eq!(tree.get(i), w);
+            acc += w;
+        }
+        prop_assert_eq!(tree.total(), acc);
+        // find(t) must return the exact slot a linear scan selects for
+        // every target — the sampling-index distribution is therefore
+        // exactly weight-proportional, not just approximately.
+        for target in 0..acc {
+            let mut cum = 0u64;
+            let expect = naive.iter().position(|&w| { cum += w; target < cum }).unwrap();
+            prop_assert_eq!(tree.find(target), expect, "target {}", target);
+        }
+    }
+
+    /// Both Fenwick variants select the same index for the same sampling
+    /// fraction (the integer tree is the f64 tree made exact).
+    #[test]
+    fn fenwick_variants_select_identically(
+        weights in prop::collection::vec(0u64..100, 1..50),
+    ) {
+        let total: u64 = weights.iter().sum();
+        if total == 0 { return; }
+        let int_tree = IntFenwick::new(&weights);
+        let f64_tree = FenwickTree::new(
+            &weights.iter().map(|&w| w as f64).collect::<Vec<_>>());
+        for target in 0..total {
+            prop_assert_eq!(int_tree.find(target), f64_tree.find(target as f64));
         }
     }
 

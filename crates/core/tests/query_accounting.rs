@@ -1,0 +1,131 @@
+//! The Section 2 budget identity, pinned.
+//!
+//! The paper charges one query per crawled vertex: initialising a walker
+//! at a uniformly drawn vertex is one query, and every walk step — which
+//! returns the full neighbor list, hence the degree, of the vertex
+//! stepped to — is one query. With the combined
+//! [`fs_graph::GraphAccess::step_query`] primitive the simulated crawler
+//! charges **exactly** that: under `CostModel::unit()` on a graph with no
+//! unwalkable ids,
+//!
+//! ```text
+//! total queries = initial starts + walk steps = B
+//! ```
+//!
+//! These tests fail if any sampler regresses to paying a second backend
+//! round-trip per step (degree probes before the pick, candidate-degree
+//! reads after it) or stops charging start draws.
+
+use frontier_sampling::backend::CrawlAccess;
+use frontier_sampling::{Budget, CostModel, GraphAccess, MetropolisHastingsRw, WalkMethod};
+use fs_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Connected BA fixture: no degree-0 vertices, so every uniform draw is
+/// a valid start and the identity has no redraw term.
+fn fixture() -> Graph {
+    let mut rng = SmallRng::seed_from_u64(0xACC7);
+    fs_gen::barabasi_albert(2_000, 3, &mut rng)
+}
+
+/// Runs an edge sampler for budget `b` and returns (starts, steps).
+fn run_edges(method: &WalkMethod, crawler: &CrawlAccess<'_>, b: f64, m: usize) -> (u64, u64) {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut budget = Budget::new(b);
+    let mut steps = 0u64;
+    method.sample_edges(crawler, &CostModel::unit(), &mut budget, &mut rng, |_| {
+        steps += 1;
+    });
+    (m as u64, steps)
+}
+
+#[test]
+fn fs_charges_exactly_one_query_per_start_and_step() {
+    let g = fixture();
+    let crawler = CrawlAccess::new(&g);
+    let b = 1_000.0;
+    let m = 50;
+    let (starts, steps) = run_edges(&WalkMethod::frontier(m), &crawler, b, m);
+    let stats = crawler.stats();
+    assert_eq!(starts + steps, b as u64, "Algorithm 1: n goes to B − mc");
+    assert_eq!(stats.vertex_queries, starts, "one query per walker start");
+    assert_eq!(stats.neighbor_queries, steps, "one query per walk step");
+    assert_eq!(
+        crawler.queries_issued(),
+        starts + steps,
+        "the Section 2 budget identity: total queries == starts + steps"
+    );
+}
+
+#[test]
+fn single_rw_charges_exactly_one_query_per_start_and_step() {
+    let g = fixture();
+    let crawler = CrawlAccess::new(&g);
+    let b = 1_000.0;
+    let (starts, steps) = run_edges(&WalkMethod::single(), &crawler, b, 1);
+    assert_eq!(starts + steps, b as u64);
+    assert_eq!(crawler.stats().vertex_queries, starts);
+    assert_eq!(crawler.stats().neighbor_queries, steps);
+    assert_eq!(crawler.queries_issued(), starts + steps);
+}
+
+#[test]
+fn mhrw_charges_exactly_one_query_per_proposal() {
+    // MHRW historically paid neighbor query + candidate-degree read per
+    // proposal; the combined query folds the acceptance test's degree
+    // into the proposal crawl.
+    let g = fixture();
+    let crawler = CrawlAccess::new(&g);
+    let b = 1_000.0;
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut budget = Budget::new(b);
+    let mut emitted = 0u64;
+    MetropolisHastingsRw::new().sample_vertices(
+        &crawler,
+        &CostModel::unit(),
+        &mut budget,
+        &mut rng,
+        |_| emitted += 1,
+    );
+    let stats = crawler.stats();
+    assert_eq!(1 + emitted, b as u64, "1 start + B − 1 proposals");
+    assert_eq!(stats.vertex_queries, 1);
+    assert_eq!(stats.neighbor_queries, emitted, "one query per proposal");
+    assert_eq!(crawler.queries_issued(), b as u64);
+}
+
+#[test]
+fn multiple_rw_charges_exactly_one_query_per_start_and_step() {
+    let g = fixture();
+    let crawler = CrawlAccess::new(&g);
+    // B = 1000, m = 10, c = 1: each walker takes ⌊990/10⌋ = 99 steps.
+    let (starts, steps) = run_edges(&WalkMethod::multiple(10), &crawler, 1_000.0, 10);
+    assert_eq!(steps, 990);
+    assert_eq!(crawler.stats().vertex_queries, starts);
+    assert_eq!(crawler.stats().neighbor_queries, steps);
+    assert_eq!(crawler.queries_issued(), starts + steps);
+}
+
+#[test]
+fn rejected_start_redraws_are_charged_queries() {
+    // One isolated vertex: uniform draws that land on it burn a charged
+    // vertex query and redraw — queries_issued exceeds starts + steps by
+    // exactly the redraw count.
+    let g = fs_graph::graph_from_undirected_pairs(3, [(0, 1)]);
+    let crawler = CrawlAccess::new(&g);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut budget = Budget::new(200.0);
+    let mut steps = 0u64;
+    WalkMethod::single().sample_edges(&crawler, &CostModel::unit(), &mut budget, &mut rng, |_| {
+        steps += 1
+    });
+    let stats = crawler.stats();
+    assert!(stats.vertex_queries >= 1);
+    assert_eq!(stats.neighbor_queries, steps);
+    assert_eq!(
+        stats.vertex_queries + stats.neighbor_queries,
+        budget.spent() as u64,
+        "every spent budget unit is a charged query"
+    );
+}

@@ -1,13 +1,17 @@
-//! Per-process dataset cache.
+//! Per-process dataset and ground-truth caches.
 //!
 //! Several experiments share the same replica (Flickr appears in eight of
 //! them); generating each once per `(kind, scale, seed)` keeps the full
 //! suite fast. The cache also materialises the LCC variants used by
-//! Figures 4/11 and Table 4.
+//! Figures 4/11 and Table 4, and — via [`ground_truth`] — the true
+//! statistics every error metric compares against (degree densities and
+//! CCDFs, volume, component sizes), so Monte-Carlo comparisons stop
+//! recomputing identical truths per experiment invocation.
 
 use fs_gen::datasets::{Dataset, DatasetKind};
-use fs_graph::components::largest_connected_component;
-use fs_graph::{Graph, GraphSummary};
+use fs_graph::components::{connected_components, largest_connected_component};
+use fs_graph::stats::{degree_distribution, DegreeKind};
+use fs_graph::{ccdf, Graph, GraphSummary};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -63,9 +67,114 @@ fn fetch(kind: DatasetKind, scale: f64, seed: u64, lcc: bool) -> Arc<Dataset> {
     Arc::clone(entry)
 }
 
-/// Clears the cache (tests only; avoids cross-test memory growth).
+/// Memoized ground-truth statistics of one dataset replica: everything
+/// the error metrics compare estimates against. Computed once per
+/// `(kind, scale, seed, lcc)` per process — Monte-Carlo experiments call
+/// [`ground_truth`] instead of re-deriving these per invocation.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// `vol(V) = Σ_v deg(v)` (= number of arcs of the closure).
+    pub volume: usize,
+    /// Connected-component sizes, descending (the paper's LCC fraction
+    /// is `component_sizes[0] / |V|`).
+    pub component_sizes: Vec<usize>,
+    /// True degree densities `θ`, indexed by [`DegreeKind`].
+    densities: [Vec<f64>; 3],
+    /// True degree CCDFs `γ`, indexed by [`DegreeKind`].
+    ccdfs: [Vec<f64>; 3],
+}
+
+fn kind_index(kind: DegreeKind) -> usize {
+    match kind {
+        DegreeKind::Symmetric => 0,
+        DegreeKind::InOriginal => 1,
+        DegreeKind::OutOriginal => 2,
+    }
+}
+
+impl GroundTruth {
+    /// Computes every tracked statistic of `graph` (one `O(V + E)` pass
+    /// per statistic; done once per cached dataset).
+    pub fn compute(graph: &Graph) -> Self {
+        let densities = [
+            degree_distribution(graph, DegreeKind::Symmetric),
+            degree_distribution(graph, DegreeKind::InOriginal),
+            degree_distribution(graph, DegreeKind::OutOriginal),
+        ];
+        let ccdfs = [
+            ccdf(&densities[0]),
+            ccdf(&densities[1]),
+            ccdf(&densities[2]),
+        ];
+        let cc = connected_components(graph);
+        let mut component_sizes: Vec<usize> = (0..cc.num_components())
+            .map(|c| cc.size(c as u32))
+            .collect();
+        component_sizes.sort_unstable_by(|a, b| b.cmp(a));
+        GroundTruth {
+            volume: graph.volume(),
+            component_sizes,
+            densities,
+            ccdfs,
+        }
+    }
+
+    /// True density `θ` of the chosen degree notion (index = degree).
+    pub fn density(&self, kind: DegreeKind) -> &[f64] {
+        &self.densities[kind_index(kind)]
+    }
+
+    /// True CCDF `γ` of the chosen degree notion.
+    pub fn ccdf(&self, kind: DegreeKind) -> &[f64] {
+        &self.ccdfs[kind_index(kind)]
+    }
+
+    /// True density at one degree, 0 beyond the observed range.
+    pub fn theta(&self, kind: DegreeKind, degree: usize) -> f64 {
+        self.density(kind).get(degree).copied().unwrap_or(0.0)
+    }
+}
+
+static TRUTH_CACHE: OnceLock<Mutex<HashMap<Key, Arc<GroundTruth>>>> = OnceLock::new();
+
+fn truth_cache() -> &'static Mutex<HashMap<Key, Arc<GroundTruth>>> {
+    TRUTH_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the (cached) ground truth of the replica of `kind` at `scale`
+/// and `seed`.
+pub fn ground_truth(kind: DatasetKind, scale: f64, seed: u64) -> Arc<GroundTruth> {
+    fetch_truth(kind, scale, seed, false)
+}
+
+/// Returns the (cached) ground truth of the replica's largest connected
+/// component.
+pub fn ground_truth_lcc(kind: DatasetKind, scale: f64, seed: u64) -> Arc<GroundTruth> {
+    fetch_truth(kind, scale, seed, true)
+}
+
+fn fetch_truth(kind: DatasetKind, scale: f64, seed: u64, lcc: bool) -> Arc<GroundTruth> {
+    let key = Key {
+        kind,
+        scale_ppm: (scale * 1e6).round() as u64,
+        seed,
+        lcc,
+    };
+    if let Some(hit) = truth_cache().lock().unwrap().get(&key) {
+        return Arc::clone(hit);
+    }
+    // Compute outside the lock (one traversal pass per statistic).
+    let d = fetch(kind, scale, seed, lcc);
+    let value = Arc::new(GroundTruth::compute(&d.graph));
+    let mut guard = truth_cache().lock().unwrap();
+    let entry = guard.entry(key).or_insert_with(|| Arc::clone(&value));
+    Arc::clone(entry)
+}
+
+/// Clears the caches (tests only; avoids cross-test memory growth).
 pub fn clear_cache() {
     cache().lock().unwrap().clear();
+    truth_cache().lock().unwrap().clear();
 }
 
 /// Convenience: the graph of a cached dataset.
@@ -107,6 +216,36 @@ mod tests {
         assert!(lcc.graph.num_vertices() <= full.graph.num_vertices());
         assert!(fs_graph::is_connected(&lcc.graph));
         assert_eq!(lcc.summary.num_components, 1);
+    }
+
+    #[test]
+    fn ground_truth_memoized_and_correct() {
+        clear_cache();
+        let t1 = ground_truth(DatasetKind::Gab, 0.002, 5);
+        let t2 = ground_truth(DatasetKind::Gab, 0.002, 5);
+        assert!(Arc::ptr_eq(&t1, &t2), "second fetch must hit the cache");
+        let d = dataset(DatasetKind::Gab, 0.002, 5);
+        assert_eq!(t1.volume, d.graph.volume());
+        assert_eq!(
+            t1.component_sizes.iter().sum::<usize>(),
+            d.graph.num_vertices()
+        );
+        assert!(t1.component_sizes.windows(2).all(|w| w[0] >= w[1]));
+        for kind in [
+            DegreeKind::Symmetric,
+            DegreeKind::InOriginal,
+            DegreeKind::OutOriginal,
+        ] {
+            assert_eq!(t1.density(kind), degree_distribution(&d.graph, kind));
+            assert_eq!(t1.ccdf(kind), ccdf(&degree_distribution(&d.graph, kind)));
+        }
+        // The LCC variant is keyed separately and matches the LCC graph.
+        let lcc_truth = ground_truth_lcc(DatasetKind::Gab, 0.002, 5);
+        assert_eq!(lcc_truth.component_sizes.len(), 1);
+        assert_eq!(
+            lcc_truth.component_sizes[0],
+            dataset_lcc(DatasetKind::Gab, 0.002, 5).graph.num_vertices()
+        );
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub(crate) fn sweep(cfg: &ExpConfig) -> Vec<(usize, f64)> {
             budget,
             methods: vec![SamplingMethod::walk(WalkMethod::frontier(m))],
             metric: ErrorMetric::CnmseOfCcdf,
+            truth: Some(crate::datasets::ground_truth(
+                DatasetKind::Flickr,
+                cfg.scale,
+                cfg.seed,
+            )),
         };
         let set = run_degree_error(&spec, cfg);
         if let Some(err) = set.geometric_mean(&format!("FS (m={m})")) {

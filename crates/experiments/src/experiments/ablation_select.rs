@@ -16,7 +16,7 @@ use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
 use frontier_sampling::metrics::nmse;
 use frontier_sampling::{Budget, CostModel, FrontierSampler, UniformSelectWalkers};
 use fs_gen::datasets::DatasetKind;
-use fs_graph::stats::{degree_distribution, DegreeKind};
+use fs_graph::stats::DegreeKind;
 
 pub(crate) struct Outcome {
     pub fs_nmse: f64,
@@ -27,8 +27,8 @@ pub(crate) struct Outcome {
 pub(crate) fn compute(cfg: &ExpConfig) -> Outcome {
     let d = dataset(DatasetKind::Gab, cfg.scale, cfg.seed);
     let g = &d.graph;
-    let truth = degree_distribution(g, DegreeKind::Symmetric);
-    let theta10 = truth.get(10).copied().unwrap_or(0.0);
+    let gt = crate::datasets::ground_truth(DatasetKind::Gab, cfg.scale, cfg.seed);
+    let theta10 = gt.theta(DegreeKind::Symmetric, 10);
     let budget = g.num_vertices() as f64 * scaled_budget_fraction();
     let m = 50;
 

@@ -144,15 +144,29 @@ pub struct DegreeErrorSpec<'a> {
     pub methods: Vec<SamplingMethod>,
     /// Error metric.
     pub metric: ErrorMetric,
+    /// Memoized ground truth of `graph`
+    /// ([`crate::datasets::ground_truth`]); `None` recomputes from the
+    /// graph (ad-hoc graphs outside the dataset cache).
+    pub truth: Option<std::sync::Arc<crate::datasets::GroundTruth>>,
 }
 
 /// Runs the Monte-Carlo comparison and returns one error series per
 /// method over log-spaced degrees.
 pub fn run_degree_error(spec: &DegreeErrorSpec<'_>, cfg: &ExpConfig) -> SeriesSet {
-    let truth_density = degree_distribution(spec.graph, spec.degree);
-    let truth: Vec<f64> = match spec.metric {
-        ErrorMetric::CnmseOfCcdf => ccdf(&truth_density),
-        ErrorMetric::NmseOfDensity => truth_density.clone(),
+    if let Some(gt) = &spec.truth {
+        // Catch full-graph/LCC (or wrong-dataset) mispairings: the
+        // memoized truth must describe exactly the graph under study.
+        debug_assert_eq!(
+            gt.volume,
+            spec.graph.volume(),
+            "memoized ground truth does not match spec.graph"
+        );
+    }
+    let truth: Vec<f64> = match (&spec.truth, spec.metric) {
+        (Some(gt), ErrorMetric::CnmseOfCcdf) => gt.ccdf(spec.degree).to_vec(),
+        (Some(gt), ErrorMetric::NmseOfDensity) => gt.density(spec.degree).to_vec(),
+        (None, ErrorMetric::CnmseOfCcdf) => ccdf(&degree_distribution(spec.graph, spec.degree)),
+        (None, ErrorMetric::NmseOfDensity) => degree_distribution(spec.graph, spec.degree),
     };
     let max_degree = truth.len().saturating_sub(1);
     let xs = log_spaced_degrees(max_degree);
@@ -310,6 +324,7 @@ mod tests {
                 SamplingMethod::walk(WalkMethod::frontier(2)),
             ],
             metric: ErrorMetric::CnmseOfCcdf,
+            truth: None,
         };
         let cfg = ExpConfig {
             runs: 30,
@@ -335,6 +350,7 @@ mod tests {
                 budget,
                 methods: vec![SamplingMethod::walk(WalkMethod::single())],
                 metric: ErrorMetric::CnmseOfCcdf,
+                truth: None,
             };
             let cfg = ExpConfig {
                 runs: 60,

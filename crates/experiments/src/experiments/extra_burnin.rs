@@ -18,7 +18,7 @@ use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
 use frontier_sampling::metrics::nmse;
 use frontier_sampling::{Budget, CostModel, SingleRw, WalkMethod};
 use fs_gen::datasets::DatasetKind;
-use fs_graph::stats::{degree_distribution, DegreeKind};
+use fs_graph::stats::DegreeKind;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -36,8 +36,8 @@ pub(crate) struct Outcome {
 pub(crate) fn compute(cfg: &ExpConfig) -> Outcome {
     let d = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
     let g = &d.graph;
-    let truth = degree_distribution(g, DegreeKind::InOriginal);
-    let theta1 = truth.get(1).copied().unwrap_or(0.0);
+    let gt = crate::datasets::ground_truth(DatasetKind::Flickr, cfg.scale, cfg.seed);
+    let theta1 = gt.theta(DegreeKind::InOriginal, 1);
     let budget = g.num_vertices() as f64 * scaled_budget_fraction();
     let runs = cfg.effective_runs();
 

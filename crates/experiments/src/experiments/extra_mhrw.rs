@@ -24,14 +24,15 @@ use frontier_sampling::estimators::{
 use frontier_sampling::metrics::per_bucket_nmse;
 use frontier_sampling::{Budget, CostModel, MetropolisHastingsRw, WalkMethod};
 use fs_gen::datasets::DatasetKind;
-use fs_graph::stats::{degree_distribution, DegreeKind};
+use fs_graph::stats::DegreeKind;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 pub(crate) fn series(cfg: &ExpConfig) -> (SeriesSet, usize) {
     let d = dataset_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
     let g = &d.graph;
-    let truth_ccdf = fs_graph::ccdf(&degree_distribution(g, DegreeKind::InOriginal));
+    let gt = crate::datasets::ground_truth_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
+    let truth_ccdf = gt.ccdf(DegreeKind::InOriginal);
     let budget = g.num_vertices() as f64 * scaled_budget_fraction();
     let m = fs_dimension(budget);
     let runs = cfg.effective_runs();
@@ -49,7 +50,7 @@ pub(crate) fn series(cfg: &ExpConfig) -> (SeriesSet, usize) {
         });
         est.ccdf()
     });
-    let mhrw_err = per_bucket_nmse(&mhrw_runs, &truth_ccdf);
+    let mhrw_err = per_bucket_nmse(&mhrw_runs, truth_ccdf);
     set.add_fn("MHRW", |x| mhrw_err.get(x).copied().flatten());
 
     // Reweighted RW and FS.
@@ -63,7 +64,7 @@ pub(crate) fn series(cfg: &ExpConfig) -> (SeriesSet, usize) {
             });
             est.ccdf()
         });
-        let err = per_bucket_nmse(&runs_est, &truth_ccdf);
+        let err = per_bucket_nmse(&runs_est, truth_ccdf);
         set.add_fn(method.label(), move |x| err.get(x).copied().flatten());
     }
     (set, m)

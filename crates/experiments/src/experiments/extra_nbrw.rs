@@ -22,7 +22,7 @@ use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
 use frontier_sampling::metrics::per_bucket_nmse;
 use frontier_sampling::{Budget, CostModel, WalkMethod};
 use fs_gen::datasets::DatasetKind;
-use fs_graph::stats::{degree_distribution, DegreeKind};
+use fs_graph::stats::DegreeKind;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -38,8 +38,9 @@ fn arms(m: usize) -> Vec<WalkMethod> {
 
 pub(crate) fn series(cfg: &ExpConfig) -> (SeriesSet, f64, usize) {
     let d = dataset_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
+    let gt = crate::datasets::ground_truth_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
     let g = &d.graph;
-    let truth_ccdf = fs_graph::ccdf(&degree_distribution(g, DegreeKind::InOriginal));
+    let truth_ccdf = gt.ccdf(DegreeKind::InOriginal);
     let budget = g.num_vertices() as f64 * scaled_budget_fraction();
     let m = fs_dimension(budget);
     let runs = cfg.effective_runs();
@@ -56,7 +57,7 @@ pub(crate) fn series(cfg: &ExpConfig) -> (SeriesSet, f64, usize) {
             });
             est.ccdf()
         });
-        let err = per_bucket_nmse(&est_runs, &truth_ccdf);
+        let err = per_bucket_nmse(&est_runs, truth_ccdf);
         set.add_fn(method.label(), move |x| err.get(x).copied().flatten());
     }
     (set, budget, m)

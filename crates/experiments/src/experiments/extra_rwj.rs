@@ -25,7 +25,7 @@ use frontier_sampling::metrics::per_bucket_nmse;
 use frontier_sampling::rwj::RwjDegreeDistributionEstimator;
 use frontier_sampling::{Budget, CostModel, RandomWalkWithJumps, WalkMethod};
 use fs_gen::datasets::DatasetKind;
-use fs_graph::stats::{degree_distribution, DegreeKind};
+use fs_graph::stats::DegreeKind;
 use fs_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -75,14 +75,15 @@ fn one_price_point(
 
 pub(crate) fn series(cfg: &ExpConfig) -> (SeriesSet, SeriesSet, f64, usize) {
     let d = dataset(DatasetKind::Gab, cfg.scale, cfg.seed);
+    let gt = crate::datasets::ground_truth(DatasetKind::Gab, cfg.scale, cfg.seed);
     let g = &d.graph;
-    let truth_ccdf = fs_graph::ccdf(&degree_distribution(g, DegreeKind::Symmetric));
+    let truth_ccdf = gt.ccdf(DegreeKind::Symmetric);
     let budget = g.num_vertices() as f64 * scaled_budget_fraction();
     let m = fs_dimension(budget);
-    let unit = one_price_point(g, &truth_ccdf, &CostModel::unit(), budget, m, cfg);
+    let unit = one_price_point(g, truth_ccdf, &CostModel::unit(), budget, m, cfg);
     let pricey = one_price_point(
         g,
-        &truth_ccdf,
+        truth_ccdf,
         &CostModel::unit().with_vertex_hit_ratio(0.1),
         budget,
         m,

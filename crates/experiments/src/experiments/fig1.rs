@@ -19,6 +19,7 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
     let d = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
     let budget = d.graph.num_vertices() as f64 / 10.0;
 
+    let truth = crate::datasets::ground_truth(DatasetKind::Flickr, cfg.scale, cfg.seed);
     let spec = DegreeErrorSpec {
         graph: &d.graph,
         degree: DegreeKind::InOriginal,
@@ -28,6 +29,7 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
             SamplingMethod::walk(WalkMethod::multiple(10)),
         ],
         metric: ErrorMetric::CnmseOfCcdf,
+        truth: Some(truth),
     };
     let set = run_degree_error(&spec, cfg);
 

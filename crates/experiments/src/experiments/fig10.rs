@@ -14,7 +14,8 @@ use fs_graph::stats::DegreeKind;
 /// Runs the Figure 10 reproduction.
 pub fn run(cfg: &ExpConfig) -> ExpResult {
     let d = dataset(DatasetKind::Gab, cfg.scale, cfg.seed);
-    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::Symmetric, cfg);
+    let truth = crate::datasets::ground_truth(DatasetKind::Gab, cfg.scale, cfg.seed);
+    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::Symmetric, cfg, Some(truth));
 
     let mut result = ExpResult::new(
         "fig10",
@@ -38,7 +39,8 @@ mod tests {
     fn fs_dominates_on_gab() {
         let cfg = ExpConfig::quick();
         let d = dataset(DatasetKind::Gab, cfg.scale, cfg.seed);
-        let (set, _, m) = ccdf_three_methods(&d.graph, DegreeKind::Symmetric, &cfg);
+        let truth = crate::datasets::ground_truth(DatasetKind::Gab, cfg.scale, cfg.seed);
+        let (set, _, m) = ccdf_three_methods(&d.graph, DegreeKind::Symmetric, &cfg, Some(truth));
         let fs = set.geometric_mean(&format!("FS (m={m})")).unwrap();
         let single = set.geometric_mean("SingleRW").unwrap();
         let multi = set.geometric_mean(&format!("MultipleRW (m={m})")).unwrap();

@@ -33,6 +33,11 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
             SamplingMethod::walk(WalkMethod::multiple(m).with_start(StartPolicy::SteadyState)),
         ],
         metric: ErrorMetric::CnmseOfCcdf,
+        truth: Some(crate::datasets::ground_truth(
+            DatasetKind::Flickr,
+            cfg.scale,
+            cfg.seed,
+        )),
     };
     let set = run_degree_error(&spec, cfg);
 
@@ -71,7 +76,9 @@ mod tests {
 
         // Uniform-start MultipleRW error (Figure 5 arm).
         let d = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
-        let (uniform_set, _, m) = ccdf_three_methods(&d.graph, DegreeKind::InOriginal, &cfg);
+        let truth = crate::datasets::ground_truth(DatasetKind::Flickr, cfg.scale, cfg.seed);
+        let (uniform_set, _, m) =
+            ccdf_three_methods(&d.graph, DegreeKind::InOriginal, &cfg, Some(truth));
         let label = format!("MultipleRW (m={m})");
         let uniform_err = uniform_set.geometric_mean(&label).unwrap();
 

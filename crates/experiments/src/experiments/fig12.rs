@@ -35,6 +35,11 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
             SamplingMethod::RandomVertex { hit_ratio: 1.0 },
         ],
         metric: ErrorMetric::NmseOfDensity,
+        truth: Some(crate::datasets::ground_truth(
+            DatasetKind::Flickr,
+            cfg.scale,
+            cfg.seed,
+        )),
     };
     let mut set = run_degree_error(&spec, cfg);
 
@@ -111,6 +116,11 @@ mod tests {
                 SamplingMethod::RandomVertex { hit_ratio: 1.0 },
             ],
             metric: ErrorMetric::NmseOfDensity,
+            truth: Some(crate::datasets::ground_truth(
+                DatasetKind::Flickr,
+                cfg.scale,
+                cfg.seed,
+            )),
         };
         let theta = degree_distribution(&d.graph, DegreeKind::InOriginal);
         (run_degree_error(&spec, cfg), distribution_mean(&theta), m)

@@ -35,6 +35,11 @@ pub fn run(cfg: &ExpConfig) -> ExpResult {
             SamplingMethod::RandomVertex { hit_ratio: 0.1 },
         ],
         metric: ErrorMetric::CnmseOfCcdf,
+        truth: Some(crate::datasets::ground_truth(
+            DatasetKind::LiveJournal,
+            cfg.scale,
+            cfg.seed,
+        )),
     };
     let set = run_degree_error(&spec, cfg);
 
@@ -83,6 +88,11 @@ mod tests {
                 SamplingMethod::RandomVertex { hit_ratio: 0.1 },
             ],
             metric: ErrorMetric::CnmseOfCcdf,
+            truth: Some(crate::datasets::ground_truth(
+                DatasetKind::LiveJournal,
+                cfg.scale,
+                cfg.seed,
+            )),
         };
         let set = run_degree_error(&spec, &cfg);
         let fs = set

@@ -16,11 +16,14 @@ use frontier_sampling::WalkMethod;
 use fs_gen::datasets::DatasetKind;
 use fs_graph::stats::DegreeKind;
 
-/// Shared runner for Figures 4, 5 (and 11's uniform-start arm).
+/// Shared runner for Figures 4, 5 (and 11's uniform-start arm). `truth`
+/// is the memoized ground truth of `graph` where it comes from the
+/// dataset cache.
 pub(crate) fn ccdf_three_methods(
     graph: &fs_graph::Graph,
     degree: DegreeKind,
     cfg: &ExpConfig,
+    truth: Option<std::sync::Arc<crate::datasets::GroundTruth>>,
 ) -> (SeriesSet, f64, usize) {
     let budget = graph.num_vertices() as f64 * scaled_budget_fraction();
     let m = fs_dimension(budget);
@@ -34,6 +37,7 @@ pub(crate) fn ccdf_three_methods(
             SamplingMethod::walk(WalkMethod::multiple(m)),
         ],
         metric: ErrorMetric::CnmseOfCcdf,
+        truth,
     };
     (run_degree_error(&spec, cfg), budget, m)
 }
@@ -52,7 +56,8 @@ pub(crate) fn summarize_three(result: &mut ExpResult, set: &SeriesSet, m: usize)
 /// Runs the Figure 4 reproduction.
 pub fn run(cfg: &ExpConfig) -> ExpResult {
     let d = dataset_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
-    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::InOriginal, cfg);
+    let truth = crate::datasets::ground_truth_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
+    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::InOriginal, cfg, Some(truth));
 
     let mut result = ExpResult::new(
         "fig4",
@@ -81,7 +86,8 @@ mod tests {
     fn fs_competitive_on_lcc() {
         let cfg = ExpConfig::quick();
         let d = dataset_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
-        let (set, _, m) = ccdf_three_methods(&d.graph, DegreeKind::InOriginal, &cfg);
+        let truth = crate::datasets::ground_truth_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
+        let (set, _, m) = ccdf_three_methods(&d.graph, DegreeKind::InOriginal, &cfg, Some(truth));
         let fs = set.geometric_mean(&format!("FS (m={m})")).unwrap();
         let single = set.geometric_mean("SingleRW").unwrap();
         let multi = set.geometric_mean(&format!("MultipleRW (m={m})")).unwrap();

@@ -13,7 +13,8 @@ use fs_graph::stats::DegreeKind;
 /// Runs the Figure 5 reproduction.
 pub fn run(cfg: &ExpConfig) -> ExpResult {
     let d = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
-    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::InOriginal, cfg);
+    let truth = crate::datasets::ground_truth(DatasetKind::Flickr, cfg.scale, cfg.seed);
+    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::InOriginal, cfg, Some(truth));
 
     let mut result = ExpResult::new(
         "fig5",
@@ -44,9 +45,13 @@ mod tests {
         let cfg = ExpConfig::quick();
 
         let full = dataset(DatasetKind::Flickr, cfg.scale, cfg.seed);
-        let (set_full, _, m_full) = ccdf_three_methods(&full.graph, DegreeKind::InOriginal, &cfg);
+        let full_truth = crate::datasets::ground_truth(DatasetKind::Flickr, cfg.scale, cfg.seed);
+        let (set_full, _, m_full) =
+            ccdf_three_methods(&full.graph, DegreeKind::InOriginal, &cfg, Some(full_truth));
         let lcc = dataset_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
-        let (set_lcc, _, m_lcc) = ccdf_three_methods(&lcc.graph, DegreeKind::InOriginal, &cfg);
+        let lcc_truth = crate::datasets::ground_truth_lcc(DatasetKind::Flickr, cfg.scale, cfg.seed);
+        let (set_lcc, _, m_lcc) =
+            ccdf_three_methods(&lcc.graph, DegreeKind::InOriginal, &cfg, Some(lcc_truth));
 
         let fs_full = set_full
             .geometric_mean(&format!("FS (m={m_full})"))

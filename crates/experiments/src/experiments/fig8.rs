@@ -14,7 +14,8 @@ use fs_graph::stats::DegreeKind;
 /// Runs the Figure 8 reproduction.
 pub fn run(cfg: &ExpConfig) -> ExpResult {
     let d = dataset(DatasetKind::LiveJournal, cfg.scale, cfg.seed);
-    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::OutOriginal, cfg);
+    let truth = crate::datasets::ground_truth(DatasetKind::LiveJournal, cfg.scale, cfg.seed);
+    let (set, budget, m) = ccdf_three_methods(&d.graph, DegreeKind::OutOriginal, cfg, Some(truth));
 
     let mut result = ExpResult::new(
         "fig8",
@@ -42,7 +43,8 @@ mod tests {
     fn fs_beats_multiplerw_and_tracks_singlerw() {
         let cfg = ExpConfig::quick();
         let d = dataset(DatasetKind::LiveJournal, cfg.scale, cfg.seed);
-        let (set, _, m) = ccdf_three_methods(&d.graph, DegreeKind::OutOriginal, &cfg);
+        let truth = crate::datasets::ground_truth(DatasetKind::LiveJournal, cfg.scale, cfg.seed);
+        let (set, _, m) = ccdf_three_methods(&d.graph, DegreeKind::OutOriginal, &cfg, Some(truth));
         let small = |x: usize| x <= 10;
         let fs = set
             .geometric_mean_where(&format!("FS (m={m})"), small)

@@ -112,6 +112,33 @@ impl NeighborReply {
     }
 }
 
+/// Outcome of one **combined step query** ([`GraphAccess::step_query`]):
+/// the neighbor resolution plus the degree of the vertex stepped to.
+///
+/// This is the paper's Section 2 query shape: crawling a vertex returns
+/// its full neighbor list, so the degree of wherever the walker lands is
+/// part of the *same* charged query, never a second round-trip. The
+/// walkers carry the degree forward, which is what lets every sampler
+/// issue exactly one backend query per step.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StepReply {
+    /// How the neighbor query resolved.
+    pub reply: NeighborReply,
+    /// Degree of the vertex the walker moved to ([`NeighborReply::Vertex`]
+    /// or [`NeighborReply::Lost`]); 0 for [`NeighborReply::Unresponsive`]
+    /// (an unresponsive vertex reveals nothing — the walker keeps the
+    /// degree of where it already stands).
+    pub target_degree: usize,
+    /// Backend-defined **row handle** of the vertex moved to — the
+    /// walker-side stand-in for "I am holding this vertex's neighbor
+    /// list". CSR backends return the target's row start (its
+    /// `offsets[t]`, loaded for the degree anyway), so the *next* step
+    /// via [`GraphAccess::step_query_at`] skips the `offsets[v]` lookup
+    /// entirely. Backends without a natural handle return 0 and ignore
+    /// the handle on the way back in. 0 when the walker did not move.
+    pub target_row: usize,
+}
+
 /// Abstract neighbor-query oracle over a (logical) symmetric graph.
 ///
 /// See the [module docs](self) for the crawl model, cost accounting, and
@@ -144,6 +171,57 @@ pub trait GraphAccess: Sync {
     /// backends always answer [`NeighborReply::Vertex`].
     fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
         NeighborReply::Vertex(self.nth_neighbor(v, i))
+    }
+
+    /// The hot-path step primitive: resolves the `i`-th neighbor of `v`
+    /// **and** the degree of the vertex stepped to as **one charged crawl
+    /// query** (Section 2: a query returns the full neighbor list, hence
+    /// the degree). Walkers that carry their current degree forward never
+    /// need a separate `degree` round-trip per step.
+    ///
+    /// Backends must keep this consistent with [`Self::query_neighbor`]
+    /// (same failure model, same accounting: exactly one counted query)
+    /// and are encouraged to override it with a fused read — the CSR
+    /// implementation resolves pick + degree from one offsets load pair.
+    fn step_query(&self, v: VertexId, i: usize) -> StepReply {
+        let reply = self.query_neighbor(v, i);
+        let (target_degree, target_row) = reply
+            .moved_to()
+            .map_or((0, 0), |t| (self.degree(t), self.vertex_row(t)));
+        StepReply {
+            reply,
+            target_degree,
+            target_row,
+        }
+    }
+
+    /// [`Self::step_query`] for a walker that also carries its **row
+    /// handle** (the previous reply's [`StepReply::target_row`], or
+    /// [`Self::vertex_row`] at the start crawl). Semantically identical
+    /// to `step_query(v, i)` — same failure model, same single charged
+    /// query — but a CSR backend resolves it in 2 dependent loads
+    /// instead of 3 (`row` replaces the `offsets[v]` lookup).
+    fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
+        let _ = row;
+        self.step_query(v, i)
+    }
+
+    /// Row handle of `v` for [`Self::step_query_at`] (free topology
+    /// read, not a charged query): the CSR row start for in-memory
+    /// backends, 0 for backends without a natural handle.
+    fn vertex_row(&self, v: VertexId) -> usize {
+        let _ = v;
+        0
+    }
+
+    /// Resolves a uniformly drawn vertex id as a crawl query, returning
+    /// the degree its profile reveals (0 ⇒ the id is unwalkable and the
+    /// caller redraws). Start-vertex draws and RWJ jump landings route
+    /// through this so query-counting backends can charge them — the
+    /// Section 2 budget identity `total queries = starts + walk steps`
+    /// depends on it. Plain in-memory backends answer from topology.
+    fn query_vertex(&self, v: VertexId) -> usize {
+        self.degree(v)
     }
 
     /// The `i`-th neighbor of `v` without failure modelling (topology
@@ -193,8 +271,12 @@ pub trait GraphAccess: Sync {
         1.0
     }
 
-    /// Cumulative number of neighbor queries answered (0 for backends
-    /// that do not track queries).
+    /// Cumulative number of charged crawl queries answered — neighbor
+    /// steps ([`Self::query_neighbor`] / [`Self::step_query`]) plus
+    /// uniform-vertex draws ([`Self::query_vertex`]). 0 for backends that
+    /// do not track queries. Under [`crate::access`]'s combined-query
+    /// model this equals `initial starts + walk steps` for the paper's
+    /// walkers (the Section 2 budget identity).
     fn queries_issued(&self) -> u64 {
         0
     }
@@ -264,6 +346,27 @@ impl GraphAccess for Graph {
         Graph::neighbors(self, v)
     }
 
+    #[inline]
+    fn step_query(&self, v: VertexId, i: usize) -> StepReply {
+        self.step_query_at(v, self.row_start(v), i)
+    }
+
+    #[inline]
+    fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
+        debug_assert_eq!(row, self.row_start(v), "stale row handle");
+        let (target, target_degree, target_row) = self.nth_neighbor_with_degree_at(row, i);
+        StepReply {
+            reply: NeighborReply::Vertex(target),
+            target_degree,
+            target_row,
+        }
+    }
+
+    #[inline]
+    fn vertex_row(&self, v: VertexId) -> usize {
+        self.row_start(v)
+    }
+
     delegate_graph_access!(self => self);
 }
 
@@ -300,6 +403,21 @@ impl GraphAccess for CsrAccess<'_> {
         self.0.neighbors(v)
     }
 
+    #[inline]
+    fn step_query(&self, v: VertexId, i: usize) -> StepReply {
+        self.0.step_query(v, i)
+    }
+
+    #[inline]
+    fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
+        self.0.step_query_at(v, row, i)
+    }
+
+    #[inline]
+    fn vertex_row(&self, v: VertexId) -> usize {
+        self.0.vertex_row(v)
+    }
+
     delegate_graph_access!(self => self.0);
 }
 
@@ -316,6 +434,22 @@ impl<A: GraphAccess + ?Sized> GraphAccess for &A {
     #[inline]
     fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
         (**self).query_neighbor(v, i)
+    }
+    #[inline]
+    fn step_query(&self, v: VertexId, i: usize) -> StepReply {
+        (**self).step_query(v, i)
+    }
+    #[inline]
+    fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
+        (**self).step_query_at(v, row, i)
+    }
+    #[inline]
+    fn vertex_row(&self, v: VertexId) -> usize {
+        (**self).vertex_row(v)
+    }
+    #[inline]
+    fn query_vertex(&self, v: VertexId) -> usize {
+        (**self).query_vertex(v)
     }
     #[inline]
     fn cost_factor(&self, kind: QueryKind) -> f64 {
@@ -377,12 +511,21 @@ mod tests {
             assert_eq!(access.in_degree_orig(v), graph.in_degree_orig(v));
             assert_eq!(access.out_degree_orig(v), graph.out_degree_orig(v));
             assert_eq!(access.groups_of(v), graph.groups_of(v));
+            assert_eq!(access.query_vertex(v), graph.degree(v));
             for i in 0..graph.degree(v) {
                 assert_eq!(access.nth_neighbor(v, i), graph.nth_neighbor(v, i));
                 assert_eq!(
                     access.query_neighbor(v, i),
                     NeighborReply::Vertex(graph.nth_neighbor(v, i))
                 );
+                let t = graph.nth_neighbor(v, i);
+                let expect = StepReply {
+                    reply: NeighborReply::Vertex(t),
+                    target_degree: graph.degree(t),
+                    target_row: graph.row_start(t),
+                };
+                assert_eq!(access.step_query(v, i), expect);
+                assert_eq!(access.step_query_at(v, access.vertex_row(v), i), expect);
             }
             for u in graph.vertices() {
                 assert_eq!(access.has_edge(v, u), graph.has_edge(v, u));

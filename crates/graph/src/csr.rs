@@ -82,6 +82,48 @@ impl Csr {
         self.offsets[v.index()] + i
     }
 
+    /// The `i`-th neighbor of `v` together with that neighbor's degree —
+    /// the combined step read of the sampling hot loop. One `offsets[v]`
+    /// load locates the target; the two adjacent `offsets[t..t+2]` loads
+    /// are its degree, so a walk step costs 4 dependent loads instead of
+    /// the 6 that separate `degree(v)` + `nth_neighbor` + `degree(t)`
+    /// calls perform.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i >= degree(v)`.
+    #[inline]
+    pub fn step_to(&self, v: VertexId, i: usize) -> (VertexId, usize) {
+        debug_assert!(i < self.degree(v));
+        let t = self.targets[self.offsets[v.index()] + i];
+        (t, self.offsets[t.index() + 1] - self.offsets[t.index()])
+    }
+
+    /// [`Csr::step_to`] for a walker that carries its row start (the
+    /// `offsets[v]` it learned when it arrived at `v`): resolves
+    /// `(target, target degree, target row start)` in **2 dependent
+    /// loads** — `targets[row + i]`, then the adjacent
+    /// `offsets[t..t+2]` pair, which doubles as the next step's row
+    /// handle. The shortest pointer chase a CSR walk step can make.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `row` is not a valid row start or `i`
+    /// overruns the row.
+    #[inline]
+    pub fn step_at(&self, row: ArcId, i: usize) -> (VertexId, usize, ArcId) {
+        debug_assert!(row + i < self.targets.len());
+        #[cfg(debug_assertions)]
+        {
+            // `row` must be the start of its owner's row and `i` must
+            // stay inside it (O(log V) owner lookups, debug only).
+            let owner = self.arc_source(row);
+            debug_assert_eq!(self.offsets[owner.index()], row, "not a row start");
+            debug_assert_eq!(self.arc_source(row + i), owner, "i overruns the row");
+        }
+        let t = self.targets[row + i];
+        let t_row = self.offsets[t.index()];
+        (t, self.offsets[t.index() + 1] - t_row, t_row)
+    }
+
     /// First arc id out of `v` (the CSR row start).
     #[inline]
     pub fn row_start(&self, v: VertexId) -> ArcId {

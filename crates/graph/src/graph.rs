@@ -124,6 +124,29 @@ impl Graph {
         self.csr.neighbors(v)[i]
     }
 
+    /// The `i`-th neighbor of `v` and that neighbor's degree, in one CSR
+    /// read (see [`crate::csr::Csr::step_to`]). The hot-path primitive
+    /// behind [`crate::GraphAccess::step_query`].
+    #[inline]
+    pub fn nth_neighbor_with_degree(&self, v: VertexId, i: usize) -> (VertexId, usize) {
+        self.csr.step_to(v, i)
+    }
+
+    /// Row-handle step (see [`crate::csr::Csr::step_at`]): `(target,
+    /// target degree, target row)` from a walker-carried row start. The
+    /// primitive behind [`crate::GraphAccess::step_query_at`].
+    #[inline]
+    pub fn nth_neighbor_with_degree_at(&self, row: ArcId, i: usize) -> (VertexId, usize, ArcId) {
+        self.csr.step_at(row, i)
+    }
+
+    /// CSR row start of `v` (the walker-carried handle consumed by
+    /// [`Graph::nth_neighbor_with_degree_at`]).
+    #[inline]
+    pub fn row_start(&self, v: VertexId) -> ArcId {
+        self.csr.row_start(v)
+    }
+
     /// `vol(V) = Σ_v deg(v)`.
     #[inline]
     pub fn volume(&self) -> usize {

@@ -65,7 +65,9 @@ pub mod triangles;
 pub mod weighted;
 pub mod weighted_io;
 
-pub use access::{shared_neighbors_via, CsrAccess, GraphAccess, NeighborReply, QueryKind};
+pub use access::{
+    shared_neighbors_via, CsrAccess, GraphAccess, NeighborReply, QueryKind, StepReply,
+};
 pub use assortativity::{degree_assortativity, DegreeLabels, MomentAccumulator};
 pub use bitset::BitSet;
 pub use builder::{graph_from_directed_pairs, graph_from_undirected_pairs, GraphBuilder};

@@ -39,6 +39,7 @@ fn claim_fs_beats_walkers_on_disconnected_graphs() {
             SamplingMethod::walk(WalkMethod::multiple(m)),
         ],
         metric: ErrorMetric::CnmseOfCcdf,
+        truth: None,
     };
     let set = run_degree_error(&spec, &cfg);
     let fs = set.geometric_mean(&format!("FS (m={m})")).unwrap();
@@ -79,6 +80,7 @@ fn golden_cnmse_envelopes_on_disconnected_graph() {
             SamplingMethod::walk(WalkMethod::multiple(m)),
         ],
         metric: ErrorMetric::CnmseOfCcdf,
+        truth: None,
     };
     let set = run_degree_error(&spec, &cfg);
     // (label, golden geometric-mean CNMSE) captured at PR "concurrent
@@ -124,6 +126,7 @@ fn claim_fs_beats_random_vertex_on_the_tail() {
             SamplingMethod::RandomVertex { hit_ratio: 1.0 },
         ],
         metric: ErrorMetric::NmseOfDensity,
+        truth: None,
     };
     let set = run_degree_error(&spec, &cfg);
     let avg = graph.num_arcs() as f64 / graph.num_vertices() as f64;
