@@ -20,6 +20,15 @@
 //! from an exact counter, not timing, so it is machine-independent: a
 //! step primitive that issues more than one backend query per walk step
 //! shows up here as `queries_per_step > 1`.
+//!
+//! The suite also tracks the **storage layer** (`fs-store`): per scale
+//! it saves the graph as a text edge list and as a binary store, then
+//! times `load_text` (parse + rebuild) vs `load_store` (checksummed
+//! owned load) vs `mmap_open` (zero-copy `MmapGraph`), records an
+//! FS(m=100) throughput cell on the mmap backend, and — untimed —
+//! asserts the round-trip is structurally exact and a seeded FS walk on
+//! the mmap backend is bit-identical to the CSR backend. The committed
+//! numbers pin the "binary store ≥ 10x faster than text parse" claim.
 
 use frontier_sampling::backend::CrawlAccess;
 use frontier_sampling::{Budget, CostModel, WalkMethod};
@@ -43,6 +52,21 @@ struct Cell {
     best_steps_per_sec: f64,
     mean_steps_per_sec: f64,
     queries_per_step: f64,
+}
+
+/// One measured loader row: seconds to materialise a usable graph from
+/// each persistence form (best-of-reps and mean, like the sampler
+/// cells).
+struct LoaderCell {
+    graph: String,
+    text_bytes: u64,
+    store_bytes: u64,
+    load_text_best_s: f64,
+    load_text_mean_s: f64,
+    load_store_best_s: f64,
+    load_store_mean_s: f64,
+    mmap_open_best_s: f64,
+    mmap_open_mean_s: f64,
 }
 
 struct Config {
@@ -160,20 +184,151 @@ fn measure(
     }
 }
 
+/// Times `run` like the sampler cells: one untimed warm-up, then `reps`
+/// timed repetitions; returns (best, mean) seconds.
+fn time_loader(reps: usize, run: &mut dyn FnMut()) -> (f64, f64) {
+    run();
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    (best, mean)
+}
+
+/// Seeded FS(m=100) walk trace over any backend — the bit-identity
+/// probe the storage section asserts with (untimed).
+fn fs_trace<A: GraphAccess>(access: &A, steps: usize, seed: u64) -> Vec<(u32, u32)> {
+    let method = WalkMethod::frontier(100);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut budget = Budget::new(steps as f64);
+    let mut trace = Vec::new();
+    method.sample_edges(access, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        trace.push((e.source.raw(), e.target.raw()));
+    });
+    trace
+}
+
+/// The storage-layer measurements for one scale: loader timings, the
+/// FS-over-mmap throughput cell, and the untimed round-trip/parity
+/// assertions. Returns (mmap FS cell, loader row).
+fn storage_cells(
+    graph_label: &str,
+    graph: &Graph,
+    steps: usize,
+    reps: usize,
+    fs_qps: f64,
+    dir: &std::path::Path,
+) -> (Cell, LoaderCell) {
+    let text_path = dir.join(format!("{graph_label}.el"));
+    let store_path = dir.join(format!("{graph_label}.fsg"));
+    fs_graph::io::save_edge_list(graph, &text_path).expect("write text edge list");
+    fs_store::write_store(graph, &store_path).expect("write store");
+    let text_bytes = std::fs::metadata(&text_path).unwrap().len();
+    let store_bytes = std::fs::metadata(&store_path).unwrap().len();
+
+    // Round-trip exactness (the acceptance gate, untimed): the owned
+    // reload is structurally identical and a seeded FS walk on the mmap
+    // backend is bit-identical to the in-memory CSR backend.
+    let reloaded = fs_store::load_store(&store_path).expect("load store");
+    assert_eq!(
+        reloaded.csr().offsets(),
+        graph.csr().offsets(),
+        "{graph_label}: reloaded offsets diverged"
+    );
+    assert_eq!(
+        reloaded.csr().targets(),
+        graph.csr().targets(),
+        "{graph_label}: reloaded targets diverged"
+    );
+    assert_eq!(reloaded.num_original_edges(), graph.num_original_edges());
+    let mmap = fs_store::MmapGraph::open(&store_path).expect("open store");
+    let probe_steps = steps.min(20_000);
+    assert_eq!(
+        fs_trace(graph, probe_steps, 7),
+        fs_trace(&mmap, probe_steps, 7),
+        "{graph_label}: FS walk on mmap backend diverged from CSR"
+    );
+
+    // Loader timings.
+    let loader_reps = reps.min(3);
+    let (text_best, text_mean) = time_loader(loader_reps, &mut || {
+        black_box(fs_graph::io::load_edge_list(&text_path).expect("load text"));
+    });
+    let (store_best, store_mean) = time_loader(loader_reps, &mut || {
+        black_box(fs_store::load_store(&store_path).expect("load store"));
+    });
+    let (mmap_best, mmap_mean) = time_loader(loader_reps, &mut || {
+        black_box(fs_store::MmapGraph::open(&store_path).expect("mmap open"));
+    });
+    eprintln!(
+        "  {:<22} {graph_label:<8} text {:>8.3}s  store {:>8.3}s ({:>5.1}x)  mmap {:>10.6}s ({:.0}x)",
+        "loaders (best)",
+        text_best,
+        store_best,
+        text_best / store_best,
+        mmap_best,
+        text_best / mmap_best,
+    );
+    let loader = LoaderCell {
+        graph: graph_label.to_string(),
+        text_bytes,
+        store_bytes,
+        load_text_best_s: text_best,
+        load_text_mean_s: text_mean,
+        load_store_best_s: store_best,
+        load_store_mean_s: store_mean,
+        mmap_open_best_s: mmap_best,
+        mmap_open_mean_s: mmap_mean,
+    };
+
+    // FS(m=100) throughput on the mmap backend — same protocol as the
+    // in-memory cells; queries/step is backend-independent accounting,
+    // reported from the CSR run's exact counter.
+    let method = WalkMethod::frontier(100);
+    let cell = measure(
+        "FS (m=100) @mmap",
+        graph_label,
+        graph,
+        steps,
+        reps,
+        &mut || run_once(&method, &mmap, steps, 7),
+        fs_qps,
+    );
+    eprintln!(
+        "  {:<22} {graph_label:<8} {:>10.0} steps/s (best)  {:.3} queries/step",
+        "FS (m=100) @mmap", cell.best_steps_per_sec, cell.queries_per_step
+    );
+
+    std::fs::remove_file(&text_path).ok();
+    std::fs::remove_file(&store_path).ok();
+    (cell, loader)
+}
+
 fn main() {
     let cfg = parse_args();
     let mut cells: Vec<Cell> = Vec::new();
+    let mut loaders: Vec<LoaderCell> = Vec::new();
+    let tmp_dir = std::env::temp_dir().join(format!("fs_perfsuite_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp_dir).expect("create temp dir");
 
     for &(graph_label, n, ba_m, steps) in &cfg.scales {
         eprintln!("generating {graph_label} ({n} vertices)…");
         let mut g_rng = SmallRng::seed_from_u64(0x5CA1E);
         let graph = fs_gen::barabasi_albert(n, ba_m, &mut g_rng);
+        let mut fs_qps = 1.0;
 
         for (label, method) in methods() {
             // Query accounting on the counting crawler (exact, not timed).
             let crawler = CrawlAccess::new(&graph);
             let taken = run_once(&method, &crawler, steps, 7);
             let qps = crawler.queries_issued() as f64 / taken.max(1) as f64;
+            if label.starts_with("FS") {
+                fs_qps = qps;
+            }
             let cell = measure(
                 &label,
                 graph_label,
@@ -208,15 +363,21 @@ fn main() {
             "MHRW", cell.best_steps_per_sec, cell.queries_per_step
         );
         cells.push(cell);
+
+        // Storage layer: loader timings + FS over the mmap backend.
+        let (cell, loader) = storage_cells(graph_label, &graph, steps, cfg.reps, fs_qps, &tmp_dir);
+        cells.push(cell);
+        loaders.push(loader);
     }
 
-    let json = render_json(&cells);
+    std::fs::remove_dir_all(&tmp_dir).ok();
+    let json = render_json(&cells, &loaders);
     std::fs::write(&cfg.out, json).expect("write baseline file");
     eprintln!("wrote {}", cfg.out);
 }
 
 /// Hand-rolled JSON (the workspace is offline — no serde).
-fn render_json(cells: &[Cell]) -> String {
+fn render_json(cells: &[Cell], loaders: &[LoaderCell]) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"suite\": \"samplers\",\n  \"unit\": \"steps/sec\",\n  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -235,6 +396,29 @@ fn render_json(cells: &[Cell]) -> String {
             c.queries_per_step
         );
         s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"loaders\": [\n");
+    for (i, l) in loaders.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"graph\": \"{}\", \"text_bytes\": {}, \"store_bytes\": {}, \
+             \"load_text_best_s\": {:.6}, \"load_text_mean_s\": {:.6}, \
+             \"load_store_best_s\": {:.6}, \"load_store_mean_s\": {:.6}, \
+             \"mmap_open_best_s\": {:.6}, \"mmap_open_mean_s\": {:.6}, \
+             \"speedup_store_vs_text\": {:.1}, \"speedup_mmap_vs_text\": {:.1}}}",
+            l.graph,
+            l.text_bytes,
+            l.store_bytes,
+            l.load_text_best_s,
+            l.load_text_mean_s,
+            l.load_store_best_s,
+            l.load_store_mean_s,
+            l.mmap_open_best_s,
+            l.mmap_open_mean_s,
+            l.load_text_best_s / l.load_store_best_s,
+            l.load_text_best_s / l.mmap_open_best_s,
+        );
+        s.push_str(if i + 1 < loaders.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -425,6 +425,135 @@ fn pooled_frontier_keeps_disconnected_components_alive() {
     );
 }
 
+/// Writes the fixture to a store file and memory-maps it back: the
+/// fourth backend. The temp file lives until the guard drops.
+fn mmap_fixture(tag: &str) -> (MmapFixture, fs_store::MmapGraph) {
+    let path = std::env::temp_dir().join(format!("fs_parity_{}_{tag}.fsg", std::process::id()));
+    fs_store::write_store(&fixture(), &path).expect("write store");
+    let mmap = fs_store::MmapGraph::open(&path).expect("open store");
+    (MmapFixture(path), mmap)
+}
+
+struct MmapFixture(std::path::PathBuf);
+
+impl Drop for MmapFixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Seeded FS over the mmap-backed store is bit-identical to the
+/// in-memory CSR backend: same walk trace, same estimates.
+#[test]
+fn frontier_sampler_identical_over_mmap_and_csr() {
+    let g = fixture();
+    let (_guard, mmap) = mmap_fixture("fs");
+    let fs = FrontierSampler::new(8);
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        fs.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let a = run_edges(&CsrAccess::new(&g), 7, runner);
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        fs.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let b = run_edges(&mmap, 7, runner);
+    assert_eq!(a.0, b.0, "walk traces diverged");
+    assert_eq!(a.1, b.1, "degree-distribution estimates diverged");
+    assert_eq!(a.2, b.2, "clustering estimates diverged");
+    assert!(!a.0.is_empty());
+}
+
+/// SingleRW parity on the mmap backend.
+#[test]
+fn single_rw_identical_over_mmap_and_csr() {
+    let g = fixture();
+    let (_guard, mmap) = mmap_fixture("srw");
+    let sampler = SingleRw::new();
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        sampler.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let a = run_edges(&CsrAccess::new(&g), 11, runner);
+    let runner = |access: &_, budget: &mut Budget, rng: &mut SmallRng, sink: &mut dyn FnMut(_)| {
+        sampler.sample_edges(access, &CostModel::unit(), budget, rng, sink)
+    };
+    let b = run_edges(&mmap, 11, runner);
+    assert_eq!(a, b, "SingleRW diverged over mmap");
+}
+
+/// MHRW parity on the mmap backend (vertex traces).
+#[test]
+fn mhrw_identical_over_mmap_and_csr() {
+    let g = fixture();
+    let (_guard, mmap) = mmap_fixture("mhrw");
+    let collect = |run: &dyn Fn(&mut SmallRng, &mut Vec<usize>)| {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut visits = Vec::new();
+        run(&mut rng, &mut visits);
+        visits
+    };
+    let csr = CsrAccess::new(&g);
+    let a = collect(&|rng, visits| {
+        let mut budget = Budget::new(5_000.0);
+        MetropolisHastingsRw::new().sample_vertices(
+            &csr,
+            &CostModel::unit(),
+            &mut budget,
+            rng,
+            |v| visits.push(v.index()),
+        );
+    });
+    let b = collect(&|rng, visits| {
+        let mut budget = Budget::new(5_000.0);
+        MetropolisHastingsRw::new().sample_vertices(
+            &mmap,
+            &CostModel::unit(),
+            &mut budget,
+            rng,
+            |v| visits.push(v.index()),
+        );
+    });
+    assert_eq!(a, b, "MHRW vertex traces diverged over mmap");
+    assert!(!a.is_empty());
+}
+
+/// Pooled FS on the mmap backend: bit-identical at 1/2/8 threads
+/// (`MmapGraph` is `Sync`, so one mapping serves all walkers) and
+/// bit-identical to the pooled run over the in-memory CSR.
+#[test]
+fn pooled_frontier_on_mmap_bit_identical_at_1_2_8_threads() {
+    let g = fixture();
+    let (_guard, mmap) = mmap_fixture("pool");
+    let fs = FrontierSampler::new(8);
+    let run = |threads: usize| {
+        let mut budget = Budget::new(5_000.0);
+        ParallelWalkerPool::with_threads(threads).frontier(
+            &fs,
+            &mmap,
+            &CostModel::unit(),
+            &mut budget,
+            7,
+        )
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "mmap pool: 1 vs 2 threads");
+    assert_eq!(one, run(8), "mmap pool: 1 vs 8 threads");
+    assert!(!one.steps.is_empty(), "pooled FS over mmap emitted nothing");
+    let mut budget = Budget::new(5_000.0);
+    let via_csr = ParallelWalkerPool::with_threads(4).frontier(
+        &fs,
+        &CsrAccess::new(&g),
+        &CostModel::unit(),
+        &mut budget,
+        7,
+    );
+    assert_eq!(one, via_csr, "pooled FS diverged between mmap and CSR");
+    assert_eq!(
+        pool_estimate(&mmap, &one),
+        pool_estimate(&g, &via_csr),
+        "pooled estimates diverged between mmap and CSR"
+    );
+}
+
 #[test]
 fn walk_method_dispatch_is_backend_agnostic() {
     use frontier_sampling::WalkMethod;

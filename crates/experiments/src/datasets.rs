@@ -171,10 +171,109 @@ fn fetch_truth(kind: DatasetKind, scale: f64, seed: u64, lcc: bool) -> Arc<Groun
     Arc::clone(entry)
 }
 
+/// A dataset loaded from a binary `.fsg` store file rather than
+/// generated — how the harness runs on *real* crawls (converted once
+/// with `graphstore convert`) instead of synthetic replicas.
+#[derive(Debug)]
+pub struct StoredDataset {
+    /// Where the store file lives.
+    pub path: std::path::PathBuf,
+    /// The store's content digest (see [`fs_store::file_digest`]) — the
+    /// cache key, so re-converting a file invalidates stale entries.
+    pub digest: u64,
+    /// The loaded graph.
+    pub graph: Graph,
+    /// Measured Table-1 style summary.
+    pub summary: GraphSummary,
+}
+
+static STORE_CACHE: OnceLock<Mutex<HashMap<u64, Arc<StoredDataset>>>> = OnceLock::new();
+static STORE_TRUTH_CACHE: OnceLock<Mutex<HashMap<u64, Arc<GroundTruth>>>> = OnceLock::new();
+
+fn store_cache() -> &'static Mutex<HashMap<u64, Arc<StoredDataset>>> {
+    STORE_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn store_truth_cache() -> &'static Mutex<HashMap<u64, Arc<GroundTruth>>> {
+    STORE_TRUTH_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Loads (and memoizes) the dataset in the store file at `path`.
+///
+/// The cache is keyed by the store's **content digest**, not its path:
+/// two paths holding the same converted graph share one entry, and
+/// overwriting a file with a different graph misses the stale entry.
+/// Reading the digest costs `O(sections)` I/O, so repeated calls on an
+/// unchanged multi-gigabyte store cost microseconds.
+pub fn dataset_from_store(path: impl AsRef<std::path::Path>) -> Result<Arc<StoredDataset>, String> {
+    let path = path.as_ref();
+    let digest = fs_store::file_digest(path).map_err(|e| e.to_string())?;
+    if let Some(hit) = store_cache().lock().unwrap().get(&digest) {
+        return Ok(Arc::clone(hit));
+    }
+    // The file at this path changed (or is new): evict entries for
+    // superseded digests of the same path, so the documented
+    // "re-convert in place, rerun" workflow doesn't pin every
+    // historical graph and truth in memory for the process lifetime.
+    {
+        // Compare canonical paths (best effort): 'data/g.fsg' and its
+        // absolute or symlinked spelling are the same file and must
+        // evict each other's superseded entries.
+        let canon = |p: &std::path::Path| std::fs::canonicalize(p).unwrap_or_else(|_| p.into());
+        let target = canon(path);
+        let mut graphs = store_cache().lock().unwrap();
+        let stale: Vec<u64> = graphs
+            .values()
+            .filter(|d| d.digest != digest && canon(&d.path) == target)
+            .map(|d| d.digest)
+            .collect();
+        for key in &stale {
+            graphs.remove(key);
+        }
+        drop(graphs);
+        let mut truths = store_truth_cache().lock().unwrap();
+        for key in &stale {
+            truths.remove(key);
+        }
+    }
+    // Load outside the lock (store loads verify checksums).
+    let graph = fs_store::load_store(path).map_err(|e| e.to_string())?;
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let value = Arc::new(StoredDataset {
+        path: path.to_path_buf(),
+        digest,
+        summary: GraphSummary::compute(format!("store:{name}"), &graph),
+        graph,
+    });
+    let mut guard = store_cache().lock().unwrap();
+    let entry = guard.entry(digest).or_insert_with(|| Arc::clone(&value));
+    Ok(Arc::clone(entry))
+}
+
+/// Returns the (memoized) ground truth of the store file at `path`,
+/// keyed by the same content digest as [`dataset_from_store`].
+pub fn ground_truth_from_store(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Arc<GroundTruth>, String> {
+    let d = dataset_from_store(path)?;
+    if let Some(hit) = store_truth_cache().lock().unwrap().get(&d.digest) {
+        return Ok(Arc::clone(hit));
+    }
+    let value = Arc::new(GroundTruth::compute(&d.graph));
+    let mut guard = store_truth_cache().lock().unwrap();
+    let entry = guard.entry(d.digest).or_insert_with(|| Arc::clone(&value));
+    Ok(Arc::clone(entry))
+}
+
 /// Clears the caches (tests only; avoids cross-test memory growth).
 pub fn clear_cache() {
     cache().lock().unwrap().clear();
     truth_cache().lock().unwrap().clear();
+    store_cache().lock().unwrap().clear();
+    store_truth_cache().lock().unwrap().clear();
 }
 
 /// Convenience: the graph of a cached dataset.
@@ -246,6 +345,46 @@ mod tests {
             lcc_truth.component_sizes[0],
             dataset_lcc(DatasetKind::Gab, 0.002, 5).graph.num_vertices()
         );
+    }
+
+    #[test]
+    fn store_datasets_cached_by_content_digest() {
+        use rand::SeedableRng;
+        clear_cache();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fs_exp_store_{}.fsg", std::process::id()));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let g = fs_gen::barabasi_albert(300, 3, &mut rng);
+        fs_store::write_store(&g, &path).unwrap();
+
+        let a = dataset_from_store(&path).unwrap();
+        let b = dataset_from_store(&path).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same digest must hit the cache");
+        assert_eq!(a.graph.num_arcs(), g.num_arcs());
+        assert!(a.summary.name.starts_with("store:"));
+
+        let truth = ground_truth_from_store(&path).unwrap();
+        assert!(Arc::ptr_eq(
+            &truth,
+            &ground_truth_from_store(&path).unwrap()
+        ));
+        assert_eq!(truth.volume, g.volume());
+        assert_eq!(
+            truth.density(DegreeKind::Symmetric),
+            degree_distribution(&g, DegreeKind::Symmetric)
+        );
+
+        // Overwriting the file with a different graph must miss the
+        // stale entry — the key is content, not path.
+        let g2 = fs_gen::barabasi_albert(200, 2, &mut rng);
+        fs_store::write_store(&g2, &path).unwrap();
+        let c = dataset_from_store(&path).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "changed content must re-load");
+        assert_eq!(c.graph.num_vertices(), 200);
+        assert_ne!(a.digest, c.digest);
+
+        std::fs::remove_file(&path).ok();
+        assert!(dataset_from_store(&path).is_err(), "missing file errors");
     }
 
     #[test]

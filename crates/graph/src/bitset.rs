@@ -22,6 +22,34 @@ impl BitSet {
         }
     }
 
+    /// Rebuilds a bit set from its packed word array (the form a binary
+    /// store file persists). `words` must hold exactly
+    /// `len.div_ceil(64)` entries and any tail bits past `len` in the
+    /// last word must be zero, so that equal sets have equal words.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self, String> {
+        if words.len() != len.div_ceil(64) {
+            return Err(format!(
+                "{} words cannot back {len} bits (need {})",
+                words.len(),
+                len.div_ceil(64)
+            ));
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err("tail bits past len must be zero".into());
+                }
+            }
+        }
+        Ok(BitSet { words, len })
+    }
+
+    /// The packed word array (bit `i` is word `i / 64`, bit `i % 64`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of bits in the set.
     #[inline]
     pub fn len(&self) -> usize {

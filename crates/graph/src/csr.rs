@@ -48,6 +48,31 @@ impl Csr {
         Csr { offsets, targets }
     }
 
+    /// Rebuilds a CSR directly from its flat arrays (the layout a binary
+    /// store file persists). Cheap `O(V + E)` structural checks —
+    /// monotone offsets with the right bookends, per-row sorted/deduped
+    /// in-range targets, no self-loops — guard against corrupt input;
+    /// symmetry is *not* checked here (that is `O(E log deg)` and the
+    /// caller's contract, re-verified by `Graph::validate` in tests).
+    pub fn from_raw_parts(offsets: Vec<usize>, targets: Vec<VertexId>) -> Result<Self, String> {
+        let n = check_offsets_shape(&offsets, targets.len())?;
+        check_adjacency_rows(&offsets, &targets, n)?;
+        Ok(Csr { offsets, targets })
+    }
+
+    /// The raw offsets array (`num_vertices + 1` entries; row `v` is
+    /// `targets[offsets[v]..offsets[v+1]]`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw flat targets array (one entry per arc, CSR order).
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -152,6 +177,70 @@ impl Csr {
             .ok()
             .map(|i| self.offsets[u.index()] + i)
     }
+}
+
+/// Shared shape check for every CSR-style `(offsets, items)` pair the
+/// binary store persists (adjacency, group labels, weights): offsets
+/// non-empty, bookended by `0` and `items_len`, monotone non-decreasing.
+/// Returns the row count. One home for the invariant, so the adjacency,
+/// label, and weighted validators cannot drift apart.
+pub(crate) fn check_offsets_shape(offsets: &[usize], items_len: usize) -> Result<usize, String> {
+    if offsets.is_empty() {
+        return Err("offsets must have at least one entry".into());
+    }
+    let n = offsets.len() - 1;
+    if offsets[0] != 0 || offsets[n] != items_len {
+        return Err(format!(
+            "offset bookends broken: [{}, {}] with {} items",
+            offsets[0], offsets[n], items_len
+        ));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err("offsets not monotone".into());
+    }
+    Ok(n)
+}
+
+/// Shared per-row check: every row strictly ascending (sorted and
+/// deduplicated). `offsets` must already satisfy
+/// [`check_offsets_shape`].
+pub(crate) fn check_sorted_rows<T: PartialOrd>(
+    offsets: &[usize],
+    items: &[T],
+    n: usize,
+) -> Result<(), String> {
+    for v in 0..n {
+        if !items[offsets[v]..offsets[v + 1]]
+            .windows(2)
+            .all(|w| w[0] < w[1])
+        {
+            return Err(format!("row {v} not sorted/deduplicated"));
+        }
+    }
+    Ok(())
+}
+
+/// Shared adjacency-row check: [`check_sorted_rows`] plus in-range
+/// targets and no self-loops — what both the unweighted and weighted
+/// CSR rebuilds require.
+pub(crate) fn check_adjacency_rows(
+    offsets: &[usize],
+    targets: &[VertexId],
+    n: usize,
+) -> Result<(), String> {
+    check_sorted_rows(offsets, targets, n)?;
+    for v in 0..n {
+        let row = &targets[offsets[v]..offsets[v + 1]];
+        if let Some(&last) = row.last() {
+            if last.index() >= n {
+                return Err(format!("row {v} targets out of range (max {last})"));
+            }
+        }
+        if row.binary_search(&VertexId::new(v)).is_ok() {
+            return Err(format!("self-loop at {v}"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

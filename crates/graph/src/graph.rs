@@ -66,6 +66,79 @@ impl Graph {
         }
     }
 
+    /// Reassembles a graph from the parts a binary store file persists
+    /// (see the `fs-store` crate): the symmetric-closure CSR, the per-arc
+    /// original-edge flags, the original in-/out-degree tables, and the
+    /// group labels.
+    ///
+    /// Cheap `O(V)` shape checks guard the table lengths; the CSR itself
+    /// is validated by [`crate::csr::Csr::from_raw_parts`]. Symmetry and
+    /// flag/degree consistency are the writer's contract (checksummed on
+    /// disk, re-verified by [`Graph::validate`] in tests and by
+    /// `graphstore verify`), not re-derived on every load.
+    pub fn from_raw_parts(
+        csr: Csr,
+        arc_in_original: BitSet,
+        in_degree_orig: Vec<u32>,
+        out_degree_orig: Vec<u32>,
+        num_original_edges: usize,
+        groups: VertexGroups,
+    ) -> Result<Self, String> {
+        if arc_in_original.len() != csr.num_arcs() {
+            return Err(format!(
+                "arc flag table sized {} for {} arcs",
+                arc_in_original.len(),
+                csr.num_arcs()
+            ));
+        }
+        if in_degree_orig.len() != csr.num_vertices() || out_degree_orig.len() != csr.num_vertices()
+        {
+            return Err("degree tables sized for a different vertex count".into());
+        }
+        if groups.num_vertices() != csr.num_vertices() {
+            return Err("group table sized for a different vertex count".into());
+        }
+        if num_original_edges > csr.num_arcs() {
+            return Err(format!(
+                "{num_original_edges} original edges exceed {} arcs",
+                csr.num_arcs()
+            ));
+        }
+        Ok(Graph::from_parts(
+            csr,
+            arc_in_original,
+            in_degree_orig,
+            out_degree_orig,
+            num_original_edges,
+            groups,
+        ))
+    }
+
+    /// The underlying CSR adjacency (read access to the raw
+    /// offsets/targets arrays, used by binary serialization).
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Per-arc original-edge flags (bit `a` ⇔ arc `a` existed in `E_d`).
+    #[inline]
+    pub fn arc_flags(&self) -> &BitSet {
+        &self.arc_in_original
+    }
+
+    /// The original in-degree table (one `u32` per vertex).
+    #[inline]
+    pub fn in_degrees_orig(&self) -> &[u32] {
+        &self.in_degree_orig
+    }
+
+    /// The original out-degree table (one `u32` per vertex).
+    #[inline]
+    pub fn out_degrees_orig(&self) -> &[u32] {
+        &self.out_degree_orig
+    }
+
     /// Number of vertices `|V|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {

@@ -7,7 +7,13 @@
 use std::fmt;
 
 /// Identifier of a vertex: a dense index in `0..Graph::num_vertices()`.
+///
+/// `repr(transparent)` guarantees the layout of `VertexId` is exactly
+/// that of `u32`, so a `&[u32]` (e.g. a memory-mapped CSR targets
+/// section in `fs-store`) can be reinterpreted as `&[VertexId]` without
+/// copying.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct VertexId(u32);
 
 impl VertexId {

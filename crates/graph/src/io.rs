@@ -15,6 +15,11 @@
 //! The format round-trips everything [`Graph`] stores: vertex count,
 //! directed edge set `E_d`, and group labels. Undirected graphs are stored
 //! as the two directed arcs.
+//!
+//! For compatibility with real public edge lists, bare `src<TAB>dst` /
+//! `src dst` lines (SNAP style, no `e` prefix) are accepted as directed
+//! edges too, with the vertex count inferred when no `n` header is
+//! present.
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
@@ -53,6 +58,107 @@ impl From<io::Error> for IoError {
     }
 }
 
+/// One parsed line of the edge-list dialect — the **single home** of
+/// the text grammar. Both [`read_edge_list`] and `fs-store`'s streaming
+/// ingestion consume this parser, which is what guarantees the two
+/// conversion paths accept identical inputs and load identical graphs
+/// (`fs-store` pins the resulting files byte-for-byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeListRecord {
+    /// Declared vertex count (`n N`); the last declaration wins.
+    Vertices(usize),
+    /// Directed edge (`e u v` or a bare SNAP-style `u v` pair).
+    /// Self-loops are reported and dropped by the builder, but still
+    /// raise the inferred vertex count.
+    Edge(u32, u32),
+    /// Group membership (`g v group`).
+    Group(u32, u32),
+    /// Comment (`#` / `%`) or blank line.
+    Blank,
+}
+
+/// Parses one line of the edge-list dialect. Ids must fit `u32` (the
+/// `VertexId`/`GroupId` representation — oversized ids are a
+/// line-numbered error, never a silent wrap) and declared vertex counts
+/// must keep every id representable.
+pub fn parse_edge_list_line(line: &str, lineno: usize) -> Result<EdgeListRecord, IoError> {
+    let text = line.trim();
+    // `%` comments for KONECT-style dumps, matching the SNAP reader.
+    if text.is_empty() || text.starts_with('#') || text.starts_with('%') {
+        return Ok(EdgeListRecord::Blank);
+    }
+    let mut parts = text.split_ascii_whitespace();
+    let tag = parts.next().unwrap();
+    let mut wide = |what: &str| -> Result<u64, IoError> {
+        parts
+            .next()
+            .ok_or_else(|| IoError::Parse {
+                line: lineno,
+                message: format!("missing {what}"),
+            })?
+            .parse::<u64>()
+            .map_err(|e| IoError::Parse {
+                line: lineno,
+                message: format!("bad {what}: {e}"),
+            })
+    };
+    let narrow = |raw: u64, what: &str| -> Result<u32, IoError> {
+        u32::try_from(raw).map_err(|_| IoError::Parse {
+            line: lineno,
+            message: format!("{what} {raw} overflows u32 ids"),
+        })
+    };
+    match tag {
+        "n" => {
+            let n = wide("vertex count")?;
+            if n > u32::MAX as u64 + 1 {
+                return Err(IoError::Parse {
+                    line: lineno,
+                    message: format!("vertex count {n} overflows u32 ids"),
+                });
+            }
+            Ok(EdgeListRecord::Vertices(n as usize))
+        }
+        "e" => {
+            let u = wide("source")?;
+            let v = wide("target")?;
+            Ok(EdgeListRecord::Edge(
+                narrow(u, "source")?,
+                narrow(v, "target")?,
+            ))
+        }
+        "g" => {
+            let v = wide("vertex")?;
+            let g = wide("group")?;
+            Ok(EdgeListRecord::Group(
+                narrow(v, "vertex")?,
+                narrow(g, "group")?,
+            ))
+        }
+        // SNAP-style bare `src dst` line (tab or space separated, no
+        // `e` prefix): real public edge lists (SNAP / KONECT dumps)
+        // load without preprocessing. Ids are used as-is (dense-id
+        // convention of this format; use `read_snap_edge_list` for
+        // sparse-id compaction). Trailing fields (timestamps, weights)
+        // are ignored, as they are after `e u v`.
+        tag if tag.bytes().all(|b| b.is_ascii_digit()) => {
+            let u = tag.parse::<u64>().map_err(|e| IoError::Parse {
+                line: lineno,
+                message: format!("bad source: {e}"),
+            })?;
+            let v = wide("target")?;
+            Ok(EdgeListRecord::Edge(
+                narrow(u, "source")?,
+                narrow(v, "target")?,
+            ))
+        }
+        other => Err(IoError::Parse {
+            line: lineno,
+            message: format!("unknown record tag '{other}'"),
+        }),
+    }
+}
+
 /// Writes `graph` to `writer` in the edge-list format.
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
@@ -69,76 +175,47 @@ pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads a graph in the edge-list format from `reader`.
+/// Reads a graph in the edge-list format from `reader` (the dialect of
+/// [`parse_edge_list_line`], including SNAP-style bare `src dst` pairs
+/// with an inferred vertex count).
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
     let r = BufReader::new(reader);
-    let mut builder: Option<GraphBuilder> = None;
-    let mut pending_edges: Vec<(usize, usize)> = Vec::new();
-    let mut pending_groups: Vec<(usize, u32)> = Vec::new();
+    let mut declared: Option<usize> = None;
+    let mut pending_edges: Vec<(u32, u32)> = Vec::new();
+    let mut pending_groups: Vec<(u32, u32)> = Vec::new();
     let mut max_seen: usize = 0;
 
     for (idx, line) in r.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let text = line.trim();
-        if text.is_empty() || text.starts_with('#') {
-            continue;
-        }
-        let mut parts = text.split_ascii_whitespace();
-        let tag = parts.next().unwrap();
-        let parse = |s: Option<&str>, what: &str| -> Result<usize, IoError> {
-            s.ok_or_else(|| IoError::Parse {
-                line: lineno,
-                message: format!("missing {what}"),
-            })?
-            .parse::<usize>()
-            .map_err(|e| IoError::Parse {
-                line: lineno,
-                message: format!("bad {what}: {e}"),
-            })
-        };
-        match tag {
-            "n" => {
-                let n = parse(parts.next(), "vertex count")?;
-                builder = Some(GraphBuilder::new(n));
-            }
-            "e" => {
-                let u = parse(parts.next(), "source")?;
-                let v = parse(parts.next(), "target")?;
-                max_seen = max_seen.max(u + 1).max(v + 1);
+        match parse_edge_list_line(&line?, idx + 1)? {
+            EdgeListRecord::Blank => {}
+            EdgeListRecord::Vertices(n) => declared = Some(n),
+            EdgeListRecord::Edge(u, v) => {
+                max_seen = max_seen.max(u.max(v) as usize + 1);
                 pending_edges.push((u, v));
             }
-            "g" => {
-                let v = parse(parts.next(), "vertex")?;
-                let g = parse(parts.next(), "group")?;
-                max_seen = max_seen.max(v + 1);
-                pending_groups.push((v, g as u32));
-            }
-            other => {
-                return Err(IoError::Parse {
-                    line: lineno,
-                    message: format!("unknown record tag '{other}'"),
-                })
+            EdgeListRecord::Group(v, g) => {
+                max_seen = max_seen.max(v as usize + 1);
+                pending_groups.push((v, g));
             }
         }
     }
 
-    let mut b = builder.unwrap_or_else(|| GraphBuilder::new(max_seen));
-    if b.num_vertices() < max_seen {
+    let n = declared.unwrap_or(max_seen);
+    if n < max_seen {
         return Err(IoError::Parse {
             line: 0,
             message: format!(
-                "declared {} vertices but records reference vertex {}",
-                b.num_vertices(),
+                "declared {n} vertices but records reference vertex {}",
                 max_seen - 1
             ),
         });
     }
+    let mut b = GraphBuilder::with_capacity(n, pending_edges.len());
     for (u, v) in pending_edges {
-        b.add_edge(VertexId::new(u), VertexId::new(v));
+        b.add_edge(VertexId::from(u), VertexId::from(v));
     }
     for (v, g) in pending_groups {
-        b.add_group(VertexId::new(v), g);
+        b.add_group(VertexId::from(v), g);
     }
     Ok(b.build())
 }
@@ -283,6 +360,90 @@ mod tests {
     fn missing_field_rejected() {
         assert!(read_edge_list("e 0\n".as_bytes()).is_err());
         assert!(read_edge_list("g 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bare_pairs_accepted_as_edges() {
+        // SNAP-style lines, tab and space separated, mixed with comments.
+        let text = "# snap dump\n0\t1\n1 2\n2\t0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_original_edges(), 3);
+        assert!(g.has_original_edge(v(2), v(0)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn bare_pairs_mix_with_tagged_records() {
+        let text = "n 5\n0 1\ne 1 2\ng 4 7\n3\t4\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_original_edges(), 3);
+        assert_eq!(g.groups_of(v(4)), &[7]);
+    }
+
+    #[test]
+    fn bare_pairs_ignore_trailing_fields() {
+        let g = read_edge_list("0 1 1367\n1 2 99 x\n".as_bytes()).unwrap();
+        assert_eq!(g.num_original_edges(), 2);
+    }
+
+    #[test]
+    fn bare_pair_errors_keep_line_numbers() {
+        let err = read_edge_list("e 0 1\n\n5 x\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("target"), "unexpected message {message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = read_edge_list("7\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+        // A non-numeric tag is still rejected, not silently skipped.
+        assert!(read_edge_list("edge 0 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_ids_rejected_not_wrapped() {
+        // Ids must fit u32 (the VertexId/GroupId representation); a
+        // silent wrap would load a structurally wrong graph. The
+        // streaming ingest path shares this parser, so both conversion
+        // routes reject identically.
+        for text in [
+            "e 0 4294967296\n",
+            "g 0 4294967296\n",
+            "4294967296 1\n",
+            "n 4294967297\n",
+        ] {
+            match read_edge_list(text.as_bytes()) {
+                Err(IoError::Parse { line, message }) => {
+                    assert_eq!(line, 1);
+                    assert!(message.contains("overflows"), "message: {message}");
+                }
+                other => panic!("{text:?} should be rejected, got {other:?}"),
+            }
+        }
+        // The largest representable universe is still accepted (parser
+        // level — actually building a 2^32-vertex graph is a 30+ GiB
+        // allocation, not a unit test).
+        assert_eq!(
+            parse_edge_list_line("n 4294967296", 1).unwrap(),
+            EdgeListRecord::Vertices(4_294_967_296)
+        );
+        assert_eq!(
+            parse_edge_list_line("e 4294967295 0", 1).unwrap(),
+            EdgeListRecord::Edge(u32::MAX, 0)
+        );
+    }
+
+    #[test]
+    fn bare_pairs_respect_declared_count() {
+        let err = read_edge_list("n 2\n0 5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
     }
 
     #[test]

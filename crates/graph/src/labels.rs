@@ -48,6 +48,36 @@ impl VertexGroups {
         }
     }
 
+    /// Rebuilds the table from its CSR arrays (the form a binary store
+    /// file persists): monotone `offsets` with `num_vertices + 1`
+    /// entries and per-vertex sorted/deduplicated `labels`. The distinct
+    /// label count is recomputed, so a round-tripped table always equals
+    /// its source. Checks are `O(V + memberships log memberships)`.
+    pub fn from_raw_parts(offsets: Vec<usize>, labels: Vec<GroupId>) -> Result<Self, String> {
+        let n = crate::csr::check_offsets_shape(&offsets, labels.len())?;
+        crate::csr::check_sorted_rows(&offsets, &labels, n)?;
+        let mut distinct: Vec<GroupId> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        Ok(VertexGroups {
+            offsets,
+            labels,
+            num_groups: distinct.len(),
+        })
+    }
+
+    /// The raw offsets array (`num_vertices + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat label array (CSR order, parallel to [`Self::offsets`]).
+    #[inline]
+    pub fn labels(&self) -> &[GroupId] {
+        &self.labels
+    }
+
     /// Number of vertices the table covers.
     pub fn num_vertices(&self) -> usize {
         self.offsets.len() - 1

@@ -129,6 +129,69 @@ impl WeightedGraph {
         Self::from_weighted_pairs(graph.num_vertices(), pairs)
     }
 
+    /// Rebuilds a weighted graph from its CSR arrays (the form a binary
+    /// store file persists). Per-vertex prefix sums and strengths are
+    /// recomputed in the same left-to-right order
+    /// [`WeightedGraph::from_weighted_pairs`] uses, so a round-tripped
+    /// graph is bit-identical to its source. `O(V + E)` structural checks
+    /// (monotone offsets, in-range sorted targets, finite positive
+    /// weights) guard against corrupt input; weight symmetry is the
+    /// writer's contract, re-checked by [`WeightedGraph::validate`] in
+    /// tests.
+    pub fn from_csr_parts(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Vec<f64>,
+    ) -> Result<Self, String> {
+        let n = crate::csr::check_offsets_shape(&offsets, targets.len())?;
+        crate::csr::check_adjacency_rows(&offsets, &targets, n)?;
+        if weights.len() != targets.len() {
+            return Err(format!(
+                "{} weights for {} arcs",
+                weights.len(),
+                targets.len()
+            ));
+        }
+        if let Some(&w) = weights.iter().find(|w| !(w.is_finite() && **w > 0.0)) {
+            return Err(format!("weights must be finite and positive, got {w}"));
+        }
+        let mut prefix = vec![0.0f64; targets.len()];
+        let mut strengths = vec![0.0f64; n];
+        for v in 0..n {
+            let mut run = 0.0;
+            for i in offsets[v]..offsets[v + 1] {
+                run += weights[i];
+                prefix[i] = run;
+            }
+            strengths[v] = run;
+        }
+        Ok(WeightedGraph {
+            offsets,
+            targets,
+            weights,
+            prefix,
+            strengths,
+        })
+    }
+
+    /// The raw offsets array (`num_vertices + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw flat targets array (one entry per arc, CSR order).
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// The raw per-arc weight array (parallel to [`Self::targets`]).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.offsets.len() - 1

@@ -1,0 +1,150 @@
+//! Owned deserialization of store files.
+//!
+//! [`load_store`] / [`load_weighted_store`] read a container back into
+//! the in-memory [`Graph`] / [`WeightedGraph`] types. Unlike
+//! [`crate::MmapGraph::open`], these read the whole file anyway, so they
+//! also verify every section checksum — an owned load of a bit-rotted
+//! file fails with [`StoreError::Checksum`] instead of deserializing
+//! garbage.
+
+use crate::format::{
+    parse_layout, resolve_sections, verify_checksums, Layout, StoreError, StoreKind,
+};
+use fs_graph::{BitSet, Graph, VertexGroups, VertexId, WeightedGraph};
+use std::ops::Range;
+use std::path::Path;
+
+fn decode_u64s(bytes: &[u8], range: &Range<usize>) -> Vec<u64> {
+    bytes[range.clone()]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn decode_u32s(bytes: &[u8], range: &Range<usize>) -> Vec<u32> {
+    bytes[range.clone()]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn decode_usizes(bytes: &[u8], range: &Range<usize>, what: &str) -> Result<Vec<usize>, StoreError> {
+    bytes[range.clone()]
+        .chunks_exact(8)
+        .map(|c| {
+            let v = u64::from_le_bytes(c.try_into().unwrap());
+            usize::try_from(v)
+                .map_err(|_| StoreError::Format(format!("{what} entry {v} overflows usize")))
+        })
+        .collect()
+}
+
+fn structural(e: String) -> StoreError {
+    StoreError::Format(e)
+}
+
+/// Loads a [`StoreKind::Graph`] container into an owned [`Graph`],
+/// verifying every section checksum along the way (the file is read in
+/// full regardless).
+pub fn load_store(path: impl AsRef<Path>) -> Result<Graph, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let layout = parse_layout(&bytes, bytes.len())?;
+    if layout.header.kind != StoreKind::Graph {
+        return Err(StoreError::Format(
+            "not a graph store (use load_weighted_store)".into(),
+        ));
+    }
+    verify_checksums(&bytes, &layout)?;
+    let sections = resolve_sections(&layout)?;
+    let h = layout.header;
+
+    let offsets = decode_usizes(&bytes, &sections.offsets, "offsets")?;
+    let targets: Vec<VertexId> = decode_u32s(&bytes, &sections.targets)
+        .into_iter()
+        .map(VertexId::from)
+        .collect();
+    let csr = fs_graph::csr::Csr::from_raw_parts(offsets, targets).map_err(structural)?;
+    let flags = BitSet::from_words(
+        decode_u64s(&bytes, sections.arc_flags.as_ref().unwrap()),
+        h.num_arcs,
+    )
+    .map_err(structural)?;
+    let in_deg = decode_u32s(&bytes, sections.in_degrees.as_ref().unwrap());
+    let out_deg = decode_u32s(&bytes, sections.out_degrees.as_ref().unwrap());
+    let groups = match (&sections.group_offsets, &sections.group_labels) {
+        (Some(go), Some(gl)) => VertexGroups::from_raw_parts(
+            decode_usizes(&bytes, go, "group offsets")?,
+            decode_u32s(&bytes, gl),
+        )
+        .map_err(structural)?,
+        _ => VertexGroups::empty(h.num_vertices),
+    };
+    if groups.num_groups() != h.num_groups {
+        return Err(StoreError::Format(format!(
+            "{} distinct group labels, header records {}",
+            groups.num_groups(),
+            h.num_groups
+        )));
+    }
+    Graph::from_raw_parts(csr, flags, in_deg, out_deg, h.num_original_edges, groups)
+        .map_err(structural)
+}
+
+/// Loads a [`StoreKind::Weighted`] container into an owned
+/// [`WeightedGraph`], verifying checksums. The rebuilt graph is
+/// bit-identical to what [`crate::write_weighted_store`] serialized
+/// (weights travel as `f64` bit patterns; prefix sums are recomputed in
+/// the construction order).
+pub fn load_weighted_store(path: impl AsRef<Path>) -> Result<WeightedGraph, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let layout = parse_layout(&bytes, bytes.len())?;
+    if layout.header.kind != StoreKind::Weighted {
+        return Err(StoreError::Format(
+            "not a weighted store (use load_store)".into(),
+        ));
+    }
+    verify_checksums(&bytes, &layout)?;
+    let sections = resolve_sections(&layout)?;
+    let offsets = decode_usizes(&bytes, &sections.offsets, "offsets")?;
+    let targets: Vec<VertexId> = decode_u32s(&bytes, &sections.targets)
+        .into_iter()
+        .map(VertexId::from)
+        .collect();
+    let weights: Vec<f64> = decode_u64s(&bytes, sections.edge_weights.as_ref().unwrap())
+        .into_iter()
+        .map(f64::from_bits)
+        .collect();
+    WeightedGraph::from_csr_parts(offsets, targets, weights).map_err(structural)
+}
+
+/// Reads and validates only the metadata of a store file (header +
+/// section table) — what `graphstore inspect` prints.
+pub fn inspect(path: impl AsRef<Path>) -> Result<Layout, StoreError> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len() as usize;
+    // Metadata is tiny (72 + 32·8 bytes at most in v1); read generously.
+    let mut head = Vec::with_capacity(4096);
+    file.by_ref().take(4096).read_to_end(&mut head)?;
+    parse_layout(&head, file_len)
+}
+
+/// Full verification of a store file of either kind: metadata, section
+/// checksums, and deep structural invariants. Returns the layout for
+/// reporting.
+pub fn verify_store(path: impl AsRef<Path>) -> Result<Layout, StoreError> {
+    let meta = inspect(path.as_ref())?;
+    match meta.header.kind {
+        StoreKind::Graph => {
+            let g = crate::MmapGraph::open(path.as_ref())?;
+            g.verify()?;
+        }
+        StoreKind::Weighted => {
+            // The owned loader checksums and structurally validates;
+            // validate() additionally checks weight symmetry.
+            let wg = load_weighted_store(path.as_ref())?;
+            wg.validate().map_err(structural)?;
+        }
+    }
+    Ok(meta)
+}

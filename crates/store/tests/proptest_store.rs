@@ -1,0 +1,165 @@
+//! Property-based tests: arbitrary graphs round-trip through the store,
+//! and arbitrary single-byte corruption of a valid store is always a
+//! clean error (or provably harmless), never a panic from deep inside
+//! the accessors — the "fail cleanly, never UB" contract.
+
+use fs_graph::{GraphAccess, GraphBuilder, VertexId, WeightedGraph};
+use fs_store::{load_store, load_weighted_store, write_store, write_weighted_store, MmapGraph};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> TempPath {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        TempPath(
+            std::env::temp_dir().join(format!("fs_store_prop_{}_{tag}_{id}", std::process::id())),
+        )
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Strategy: a labeled directed graph as raw (n, edges, labels).
+#[allow(clippy::type_complexity)]
+fn graph_input(
+    max_n: usize,
+    max_e: usize,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<(usize, u32)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..max_e);
+        let labels = prop::collection::vec((0..n, 0u32..6), 0..12);
+        (Just(n), edges, labels)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)], labels: &[(usize, u32)]) -> fs_graph::Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(VertexId::new(u), VertexId::new(v));
+    }
+    for &(v, g) in labels {
+        b.add_group(VertexId::new(v), g);
+    }
+    b.build()
+}
+
+/// Structural equality of a backend against the source graph, across
+/// every accessor the store persists.
+fn assert_matches<A: GraphAccess>(access: &A, expected: &fs_graph::Graph) {
+    assert_eq!(access.num_vertices(), expected.num_vertices());
+    assert_eq!(access.num_arcs(), expected.num_arcs());
+    assert_eq!(access.num_groups(), expected.num_groups());
+    for u in expected.vertices() {
+        assert_eq!(access.neighbors(u).as_ref(), expected.neighbors(u));
+        assert_eq!(access.in_degree_orig(u), expected.in_degree_orig(u));
+        assert_eq!(access.out_degree_orig(u), expected.out_degree_orig(u));
+        assert_eq!(access.groups_of(u), expected.groups_of(u));
+        for i in 0..expected.degree(u) {
+            assert_eq!(
+                access.step_query(u, i),
+                GraphAccess::step_query(expected, u, i)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Graph → store → `load_store` and `MmapGraph` both reproduce the
+    /// source exactly, and the reloaded graph passes full validation.
+    #[test]
+    fn roundtrip_preserves_structure((n, edges, labels) in graph_input(24, 80)) {
+        let g = build(n, &edges, &labels);
+        let path = TempPath::new("rt");
+        write_store(&g, &path.0).unwrap();
+        let loaded = load_store(&path.0).unwrap();
+        prop_assert!(loaded.validate().is_ok());
+        assert_matches(&loaded, &g);
+        prop_assert_eq!(loaded.num_original_edges(), g.num_original_edges());
+        let m = MmapGraph::open(&path.0).unwrap();
+        prop_assert!(m.verify().is_ok());
+        assert_matches(&m, &g);
+    }
+
+    /// Weighted variant: bit-exact CSR + weights round-trip.
+    #[test]
+    fn weighted_roundtrip_bit_exact(
+        n in 2usize..16,
+        raw in prop::collection::vec((0usize..16, 0usize..16, 1u32..1000), 1..40),
+    ) {
+        // Seed one guaranteed edge so the graph is never empty, then
+        // keep whatever generated pairs are in range.
+        let mut pairs: Vec<(usize, usize, f64)> = vec![(0, 1, 2.5)];
+        pairs.extend(
+            raw.iter()
+                .filter(|&&(u, v, _)| u < n && v < n && u != v)
+                .map(|&(u, v, w)| (u, v, w as f64 / 16.0)),
+        );
+        let wg = WeightedGraph::from_weighted_pairs(n, pairs);
+        let path = TempPath::new("wrt");
+        write_weighted_store(&wg, &path.0).unwrap();
+        let loaded = load_weighted_store(&path.0).unwrap();
+        prop_assert!(loaded.validate().is_ok());
+        prop_assert_eq!(loaded.offsets(), wg.offsets());
+        prop_assert_eq!(loaded.targets(), wg.targets());
+        let bits: Vec<u64> = loaded.weights().iter().map(|w| w.to_bits()).collect();
+        let want: Vec<u64> = wg.weights().iter().map(|w| w.to_bits()).collect();
+        prop_assert_eq!(bits, want);
+    }
+
+    /// Single-byte corruption anywhere in the file: the checksum-
+    /// verifying owned loader either (a) fails with a clean error or
+    /// (b) succeeds because the byte was structurally dead (padding),
+    /// in which case the bytes it decodes must still equal the source.
+    /// `MmapGraph::open` + `verify` must likewise never panic.
+    #[test]
+    fn single_byte_corruption_fails_cleanly(
+        (n, edges, labels) in graph_input(12, 30),
+        position in 0.0f64..1.0,
+        mask in 1u32..256,
+    ) {
+        let mask = mask as u8;
+        let g = build(n, &edges, &labels);
+        let path = TempPath::new("flip");
+        write_store(&g, &path.0).unwrap();
+        let mut bytes = std::fs::read(&path.0).unwrap();
+        let at = ((bytes.len() - 1) as f64 * position) as usize;
+        bytes[at] ^= mask;
+        std::fs::write(&path.0, &bytes).unwrap();
+        // A clean error is the expected outcome; an Ok means the byte
+        // was structurally dead (padding), so content must be intact.
+        if let Ok(loaded) = load_store(&path.0) {
+            assert_matches(&loaded, &g);
+        }
+        if let Ok(m) = MmapGraph::open(&path.0) {
+            if m.verify().is_ok() {
+                assert_matches(&m, &g);
+            }
+        }
+    }
+
+    /// Truncation at any length is a clean open/load error.
+    #[test]
+    fn truncation_fails_cleanly(
+        (n, edges, labels) in graph_input(12, 30),
+        position in 0.0f64..1.0,
+    ) {
+        let g = build(n, &edges, &labels);
+        let path = TempPath::new("trunc");
+        write_store(&g, &path.0).unwrap();
+        let bytes = std::fs::read(&path.0).unwrap();
+        let keep = ((bytes.len() - 1) as f64 * position) as usize;
+        std::fs::write(&path.0, &bytes[..keep]).unwrap();
+        prop_assert!(MmapGraph::open(&path.0).is_err());
+        prop_assert!(load_store(&path.0).is_err());
+    }
+}

@@ -6,6 +6,9 @@
 //!
 //! * [`graph`] — the CSR graph substrate (`fs-graph`);
 //! * [`gen`] — random graph generators and dataset replicas (`fs-gen`);
+//! * [`store`] — the zero-copy binary graph store: `.fsg` container,
+//!   mmap-backed `MmapGraph` backend, external-memory ingestion
+//!   (`fs-store`);
 //! * [`sampling`] — Frontier Sampling, the companion walkers, budgets,
 //!   estimators, metrics, and theory (`frontier-sampling`);
 //! * [`experiments`] — the per-figure/per-table reproduction harness
@@ -17,6 +20,7 @@
 pub use frontier_sampling as sampling;
 pub use fs_gen as gen;
 pub use fs_graph as graph;
+pub use fs_store as store;
 
 /// The reproduction harness (`fs-experiments`).
 pub use fs_experiments as experiments;
