@@ -1,0 +1,437 @@
+//! `loadgen` — concurrent-client load generator for `fs-serve`.
+//!
+//! Drives `N` jobs through the estimation service with `C` clients
+//! keeping `C` jobs in flight at all times, records per-job latency
+//! (submit → terminal) and aggregate throughput, and writes a JSON
+//! summary compatible with the committed `BENCH_samplers.json`
+//! (`"serve"` section).
+//!
+//! ```text
+//! # in-process server over a store directory (the CI smoke shape):
+//! loadgen --spawn --root stores --store ba.fsg --jobs 64 --concurrency 32
+//!
+//! # against a running server:
+//! loadgen --addr 127.0.0.1:8080 --store ba.fsg --jobs 64 --concurrency 32
+//! ```
+//!
+//! `--verify` additionally submits one seeded job (sequential and at
+//! `pool_threads=8`) and asserts the served estimate is bit-identical
+//! to the direct library call over the same store file — the serving
+//! layer's determinism guarantee, checked against a *real* server.
+//! `--shutdown-after` posts `/v1/shutdown` at the end (lets CI stop a
+//! background server without signals).
+
+use frontier_sampling::runner::{
+    ChunkStatus, ChunkedRunner, EstimateSnapshot, EstimatorSpec, JobEstimator, Sample, SamplerSpec,
+};
+use frontier_sampling::{Budget, CostModel, FrontierSampler, MultipleRw, ParallelWalkerPool};
+use fs_serve::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen (--spawn --root DIR | --addr HOST:PORT) --store NAME \
+         [--jobs N] [--concurrency C] [--budget B] [--sampler fs] [--m M] \
+         [--estimator avg_degree] [--seed-base S] [--out FILE] [--verify --root DIR] \
+         [--shutdown-after]"
+    );
+    std::process::exit(2);
+}
+
+/// One blocking HTTP/1.1 exchange over a fresh connection.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .map_err(|e| format!("write: {e}"))?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed response: {text:?}"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn get_json(addr: &str, path: &str) -> Result<Json, String> {
+    let (status, body) = http(addr, "GET", path, "")?;
+    if status != 200 {
+        return Err(format!("GET {path}: {status} {body}"));
+    }
+    json::parse(&body).map_err(|e| e.to_string())
+}
+
+struct JobParams {
+    store: String,
+    sampler: String,
+    m: usize,
+    budget: f64,
+    estimator: String,
+}
+
+fn submit_job(
+    addr: &str,
+    p: &JobParams,
+    seed: u64,
+    pool_threads: Option<usize>,
+) -> Result<u64, String> {
+    let pool = match pool_threads {
+        Some(t) => format!(",\"pool_threads\":{t}"),
+        None => String::new(),
+    };
+    let body = format!(
+        "{{\"store\":\"{}\",\"sampler\":\"{}\",\"m\":{},\"budget\":{},\"seed\":{seed},\
+         \"estimator\":\"{}\"{pool}}}",
+        p.store, p.sampler, p.m, p.budget, p.estimator
+    );
+    let (status, text) = http(addr, "POST", "/v1/jobs", &body)?;
+    if status != 202 {
+        return Err(format!("submit: {status} {text}"));
+    }
+    json::parse(&text)
+        .ok()
+        .and_then(|d| d.get("id").and_then(|v| v.as_u64()))
+        .ok_or_else(|| format!("submit: no id in {text}"))
+}
+
+fn wait_job(addr: &str, id: u64) -> Result<Json, String> {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let doc = get_json(addr, &format!("/v1/jobs/{id}"))?;
+        let phase = doc
+            .get("phase")
+            .and_then(|v| v.as_str())
+            .ok_or("job doc without phase")?
+            .to_string();
+        match phase.as_str() {
+            "done" => return Ok(doc),
+            "failed" | "cancelled" => {
+                return Err(format!("job {id} ended {phase}: {}", doc.encode()))
+            }
+            _ => {}
+        }
+        if Instant::now() > deadline {
+            return Err(format!("job {id} timed out"));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Extracts (num_observed, scalar bits, vector bits) from a final doc.
+fn wire_bits(doc: &Json) -> (u64, Option<u64>, Option<Vec<u64>>) {
+    let est = doc.get("estimate").expect("estimate");
+    (
+        est.get("num_observed")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0),
+        est.get("scalar").and_then(|v| v.as_f64()).map(f64::to_bits),
+        est.get("vector").and_then(|v| v.as_arr()).map(|items| {
+            items
+                .iter()
+                .map(|x| x.as_f64().unwrap_or(f64::NAN).to_bits())
+                .collect()
+        }),
+    )
+}
+
+fn snapshot_bits(s: &EstimateSnapshot) -> (u64, Option<u64>, Option<Vec<u64>>) {
+    (
+        s.num_observed,
+        s.scalar.map(f64::to_bits),
+        s.vector
+            .as_ref()
+            .map(|v| v.iter().map(|x| x.to_bits()).collect()),
+    )
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let mut root: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut spawn = false;
+    let mut store = "ba.fsg".to_string();
+    let mut jobs = 64usize;
+    let mut concurrency = 32usize;
+    let mut budget = 20_000.0f64;
+    let mut sampler = "fs".to_string();
+    let mut m = 16usize;
+    let mut estimator = "avg_degree".to_string();
+    let mut seed_base = 1_000u64;
+    let mut out: Option<String> = None;
+    let mut verify = false;
+    let mut shutdown_after = false;
+
+    use fs_bench::parsed_arg as parsed;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next(),
+            "--addr" => addr = args.next(),
+            "--spawn" => spawn = true,
+            "--store" => store = parsed(args.next(), "--store"),
+            "--jobs" => jobs = parsed(args.next(), "--jobs"),
+            "--concurrency" => concurrency = parsed(args.next(), "--concurrency"),
+            "--budget" => budget = parsed(args.next(), "--budget"),
+            "--sampler" => sampler = parsed(args.next(), "--sampler"),
+            "--m" => m = parsed(args.next(), "--m"),
+            "--estimator" => estimator = parsed(args.next(), "--estimator"),
+            "--seed-base" => seed_base = parsed(args.next(), "--seed-base"),
+            "--out" => out = args.next(),
+            "--verify" => verify = true,
+            "--shutdown-after" => shutdown_after = true,
+            _ => usage(),
+        }
+    }
+
+    // Start (or find) the server.
+    let spawned = if spawn {
+        let Some(root) = root.as_deref() else {
+            eprintln!("--spawn requires --root DIR");
+            std::process::exit(2);
+        };
+        let mut config = fs_serve::Config::new(root);
+        config.conn_workers = 8;
+        config.job_workers = 4;
+        let server = fs_serve::Server::start(config).expect("start server");
+        eprintln!("spawned server on {}", server.addr());
+        Some(server)
+    } else {
+        None
+    };
+    let addr = match (&spawned, addr) {
+        (Some(server), _) => server.addr().to_string(),
+        (None, Some(a)) => a,
+        (None, None) => usage(),
+    };
+
+    let health = get_json(&addr, "/healthz").expect("server health");
+    eprintln!("server healthy: {}", health.encode());
+
+    // ---- The burst: C clients keep C jobs in flight until N ran. ----
+    let params = Arc::new(JobParams {
+        store: store.clone(),
+        sampler: sampler.clone(),
+        m,
+        budget,
+        estimator: estimator.clone(),
+    });
+    let next = Arc::new(AtomicUsize::new(0));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let peak_in_flight = Arc::new(AtomicUsize::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let addr_arc = Arc::new(addr.clone());
+    let handles: Vec<_> = (0..concurrency)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let in_flight = Arc::clone(&in_flight);
+            let peak = Arc::clone(&peak_in_flight);
+            let failures = Arc::clone(&failures);
+            let params = Arc::clone(&params);
+            let addr = Arc::clone(&addr_arc);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        return latencies;
+                    }
+                    let t0 = Instant::now();
+                    let live = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak.fetch_max(live, Ordering::Relaxed);
+                    let outcome = submit_job(&addr, &params, seed_base + i as u64, None)
+                        .and_then(|id| wait_job(&addr, id));
+                    in_flight.fetch_sub(1, Ordering::Relaxed);
+                    match outcome {
+                        Ok(_) => latencies.push(t0.elapsed().as_secs_f64() * 1e3),
+                        Err(e) => {
+                            eprintln!("job {i} failed: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(jobs);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread panicked"));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let completed = latencies.len();
+    let failed = failures.load(Ordering::Relaxed);
+
+    // ---- Optional determinism verification against the library. ----
+    let mut verified = Json::Null;
+    if verify {
+        let Some(root) = root.as_deref() else {
+            eprintln!("--verify requires --root DIR (to open the store directly)");
+            std::process::exit(2);
+        };
+        let graph = fs_store::MmapGraph::open(std::path::Path::new(root).join(&store))
+            .expect("open store for verification");
+        let vseed = 424_242u64;
+        // Verify the sampler the burst actually used (jobs are
+        // submitted without an alpha field, which the server reads as
+        // 0.0 — match that here).
+        let spec = SamplerSpec::parse(&sampler, m, 0.0).expect("sampler");
+        let est_spec = EstimatorSpec::parse(&estimator).expect("estimator");
+
+        // Sequential reference.
+        let mut est = JobEstimator::new(est_spec, &spec).expect("combo");
+        let mut runner = ChunkedRunner::new(&spec, &graph, &CostModel::unit(), budget, vseed);
+        while runner.run_chunk(usize::MAX, |s| est.observe(&graph, s)) == ChunkStatus::InProgress {}
+        let seq_expect = snapshot_bits(&est.snapshot());
+        let vp = JobParams {
+            store: store.clone(),
+            sampler: sampler.clone(),
+            m,
+            budget,
+            estimator: estimator.clone(),
+        };
+        let doc = submit_job(&addr, &vp, vseed, None)
+            .and_then(|id| wait_job(&addr, id))
+            .expect("verification job (sequential)");
+        assert_eq!(
+            wire_bits(&doc),
+            seq_expect,
+            "SEQUENTIAL DETERMINISM VIOLATION: served != library"
+        );
+
+        // Pooled reference at 8 threads (FS/MultipleRW only — the pool
+        // has no factorization for the other walkers).
+        let pooled = match spec {
+            SamplerSpec::Frontier { m } => {
+                let pool = ParallelWalkerPool::with_threads(8);
+                let mut pbudget = Budget::new(budget);
+                Some(pool.frontier(
+                    &FrontierSampler::new(m),
+                    &graph,
+                    &CostModel::unit(),
+                    &mut pbudget,
+                    vseed,
+                ))
+            }
+            SamplerSpec::Multiple { m } => {
+                let pool = ParallelWalkerPool::with_threads(8);
+                let mut pbudget = Budget::new(budget);
+                Some(pool.multiple_rw(
+                    &MultipleRw::new(m),
+                    &graph,
+                    &CostModel::unit(),
+                    &mut pbudget,
+                    vseed,
+                ))
+            }
+            _ => None,
+        };
+        if let Some(run) = pooled {
+            let mut est = JobEstimator::new(est_spec, &spec).expect("combo");
+            for edge in run.edges() {
+                est.observe(&graph, Sample::Edge(edge));
+            }
+            let pool_expect = snapshot_bits(&est.snapshot());
+            let doc = submit_job(&addr, &vp, vseed, Some(8))
+                .and_then(|id| wait_job(&addr, id))
+                .expect("verification job (pooled)");
+            assert_eq!(
+                wire_bits(&doc),
+                pool_expect,
+                "POOLED DETERMINISM VIOLATION: served != library"
+            );
+            eprintln!(
+                "verified: seeded {sampler} job bit-identical to library (sequential + pooled@8)"
+            );
+        } else {
+            eprintln!("verified: seeded {sampler} job bit-identical to library (sequential)");
+        }
+        verified = Json::Bool(true);
+    }
+
+    if shutdown_after {
+        let _ = http(&addr, "POST", "/v1/shutdown", "");
+        eprintln!("posted /v1/shutdown");
+    }
+    if let Some(server) = spawned {
+        server.shutdown();
+        eprintln!("spawned server shut down cleanly");
+    }
+
+    let summary = Json::obj([
+        ("suite", Json::from("serve-loadgen")),
+        ("store", Json::from(store)),
+        ("sampler", Json::from(sampler)),
+        ("m", Json::from(m)),
+        ("estimator", Json::from(estimator)),
+        ("budget_per_job", Json::Num(budget)),
+        ("jobs", Json::from(jobs)),
+        ("concurrency", Json::from(concurrency)),
+        (
+            "peak_in_flight",
+            Json::from(peak_in_flight.load(Ordering::Relaxed)),
+        ),
+        ("completed", Json::from(completed)),
+        ("failed", Json::from(failed)),
+        ("wall_s", Json::Num((wall_s * 1e3).round() / 1e3)),
+        (
+            "throughput_jobs_per_sec",
+            Json::Num((completed as f64 / wall_s * 10.0).round() / 10.0),
+        ),
+        (
+            "steps_per_sec_aggregate",
+            Json::Num((completed as f64 * budget / wall_s).round()),
+        ),
+        (
+            "latency_ms",
+            Json::obj([
+                (
+                    "p50",
+                    Json::Num((percentile(&latencies, 0.50) * 10.0).round() / 10.0),
+                ),
+                (
+                    "p95",
+                    Json::Num((percentile(&latencies, 0.95) * 10.0).round() / 10.0),
+                ),
+                (
+                    "max",
+                    Json::Num((percentile(&latencies, 1.0) * 10.0).round() / 10.0),
+                ),
+            ]),
+        ),
+        ("verified_bit_identical", verified),
+    ]);
+    let text = summary.encode();
+    println!("{text}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{text}\n")).expect("write summary");
+        eprintln!("wrote {path}");
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -22,15 +22,7 @@ fn main() {
     let mut ba_m = 4usize;
     let mut seed = 0x5CA1Eu64;
     let mut out: Option<String> = None;
-    fn parsed<T: std::str::FromStr>(value: Option<String>, name: &str) -> T {
-        match value.as_deref().map(str::parse) {
-            Some(Ok(v)) => v,
-            _ => {
-                eprintln!("bad or missing value for {name}");
-                std::process::exit(2);
-            }
-        }
-    }
+    use fs_bench::parsed_arg as parsed;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {

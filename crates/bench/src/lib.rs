@@ -7,6 +7,18 @@ use fs_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// Parses a CLI flag value, exiting with a usage error when missing or
+/// malformed. Shared by the `mkgraph` and `loadgen` binaries.
+pub fn parsed_arg<T: std::str::FromStr>(value: Option<String>, name: &str) -> T {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("bad or missing value for {name}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// A mid-size Barabási–Albert fixture (50k vertices, m = 5).
 pub fn ba_fixture() -> Graph {
     let mut rng = SmallRng::seed_from_u64(0xBEEF);

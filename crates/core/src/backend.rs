@@ -439,16 +439,19 @@ impl<A: GraphAccess> CachedAccess<A> {
     /// global LRU (stripe-local eviction instead of global recency
     /// order), which is the same trade production segmented caches make.
     ///
+    /// A stripe cannot hold less than one vertex, so when `stripes`
+    /// exceeds the capacity the stripe count is **clamped to the
+    /// capacity** — every stripe stays usable (a zero-capacity stripe
+    /// would evict each entry on insert, silently turning every fetch of
+    /// the vertices it owns into a miss) and the total capacity is
+    /// preserved exactly. Callers sizing stripes from a thread count
+    /// need not cross-check it against the cache size.
+    ///
     /// # Panics
-    /// If `stripes` is 0 or exceeds the capacity (a stripe cannot hold
-    /// less than one vertex).
+    /// If `stripes` is 0.
     pub fn with_stripes(mut self, stripes: usize) -> Self {
         assert!(stripes >= 1, "need at least one stripe");
-        assert!(
-            stripes <= self.capacity,
-            "{stripes} stripes cannot share a capacity of {}",
-            self.capacity
-        );
+        let stripes = stripes.min(self.capacity);
         let per_stripe = self.capacity / stripes;
         let extra = self.capacity % stripes;
         self.stripes = (0..stripes)
@@ -861,6 +864,62 @@ mod tests {
             edges
         };
         assert_eq!(run_plain(), run_cached());
+    }
+
+    #[test]
+    fn with_stripes_distributes_capacity_exactly() {
+        // Odd (capacity, stripes) pairs, including stripes > capacity
+        // (clamped) and non-dividing splits: the per-stripe capacities
+        // must sum exactly to the configured capacity and no stripe may
+        // end up with zero slots.
+        for (capacity, stripes) in [
+            (1usize, 1usize),
+            (1, 4),
+            (2, 3),
+            (3, 2),
+            (5, 3),
+            (7, 16),
+            (13, 5),
+            (64, 7),
+            (100, 100),
+        ] {
+            let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+            let cached = CachedAccess::new(&g, capacity).with_stripes(stripes);
+            assert_eq!(
+                cached.stripe_count(),
+                stripes.min(capacity),
+                "({capacity}, {stripes}): stripe count"
+            );
+            let caps: Vec<usize> = cached
+                .stripes
+                .iter()
+                .map(|s| s.lock().unwrap().capacity)
+                .collect();
+            assert!(
+                caps.iter().all(|&c| c >= 1),
+                "({capacity}, {stripes}): zero-capacity stripe in {caps:?}"
+            );
+            assert_eq!(
+                caps.iter().sum::<usize>(),
+                capacity,
+                "({capacity}, {stripes}): total capacity drifted: {caps:?}"
+            );
+            // Capacities differ by at most one (balanced split).
+            let (lo, hi) = (caps.iter().min().unwrap(), caps.iter().max().unwrap());
+            assert!(hi - lo <= 1, "({capacity}, {stripes}): unbalanced {caps:?}");
+        }
+    }
+
+    #[test]
+    fn more_stripes_than_capacity_still_caches() {
+        // Regression: stripes > capacity historically panicked; clamped
+        // stripes must behave like a working cache (a revisit is a hit).
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let cached = CachedAccess::new(&g, 2).with_stripes(8);
+        let _ = cached.degree(VertexId::new(0));
+        let _ = cached.degree(VertexId::new(1));
+        let _ = cached.degree(VertexId::new(0));
+        assert_eq!((cached.hits(), cached.misses()), (1, 2));
     }
 
     #[test]

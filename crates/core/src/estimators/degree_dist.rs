@@ -20,6 +20,7 @@ use fs_graph::{Arc, GraphAccess, VertexId};
 
 /// Degree-distribution estimator over RW/RE edge samples (eq. 7 per
 /// degree bucket).
+#[derive(Clone, Debug)]
 pub struct DegreeDistributionEstimator {
     kind: DegreeKind,
     /// `weighted[i] = Σ 1/deg(v_k)` over samples with labeled degree `i`.

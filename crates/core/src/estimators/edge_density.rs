@@ -43,10 +43,13 @@ impl<F> EdgeLabelDensityEstimator<F> {
         self.in_star
     }
 
-    /// Density estimate `p̂_l`; `None` while `B* = 0`.
+    /// Density estimate `p̂_l`; `None` while `B* = 0` or when `label`
+    /// is outside the `0..num_labels` range this estimator tracks (an
+    /// untracked label has no estimate — explicitly undefined rather
+    /// than a panic on inputs a request can now carry).
     pub fn estimate(&self, label: usize) -> Option<f64> {
         if self.in_star > 0 {
-            Some(self.counts[label] as f64 / self.in_star as f64)
+            Some(*self.counts.get(label)? as f64 / self.in_star as f64)
         } else {
             None
         }

@@ -95,10 +95,12 @@ impl GroupDensityEstimator {
     }
 
     /// Estimated density `θ̂_g` of group `g`; `None` before any
-    /// observation.
+    /// observation or when `g` is outside the `0..num_groups` range this
+    /// estimator tracks (explicitly undefined rather than a panic on
+    /// inputs a request can now carry).
     pub fn estimate(&self, g: GroupId) -> Option<f64> {
         if self.inv_degree_sum > 0.0 {
-            Some(self.weighted_hits[g as usize] / self.inv_degree_sum)
+            Some(self.weighted_hits.get(g as usize)? / self.inv_degree_sum)
         } else {
             None
         }
@@ -171,10 +173,11 @@ impl VertexSampleGroupEstimator {
         }
     }
 
-    /// Density estimate for group `g`.
+    /// Density estimate for group `g`; `None` before any sample or for
+    /// a group id outside the tracked range.
     pub fn estimate(&self, g: GroupId) -> Option<f64> {
         if self.total > 0 {
-            Some(self.hits[g as usize] as f64 / self.total as f64)
+            Some(*self.hits.get(g as usize)? as f64 / self.total as f64)
         } else {
             None
         }

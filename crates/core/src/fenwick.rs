@@ -43,7 +43,19 @@ pub struct IntFenwick {
 
 impl IntFenwick {
     /// Builds a tree from initial weights in `O(n)`.
+    ///
+    /// # Panics
+    /// Panics if the weight sum overflows `u64`: the partial sums ride on
+    /// wrapping arithmetic internally, so an unchecked overflow would
+    /// silently corrupt every subsequent selection probability instead of
+    /// failing where the bad input arrived.
     pub fn new(weights: &[u64]) -> Self {
+        let mut checked = 0u64;
+        for &w in weights {
+            checked = checked
+                .checked_add(w)
+                .expect("IntFenwick weight sum overflows u64");
+        }
         let n = weights.len();
         let size = n.next_power_of_two();
         let mut tree = vec![0u64; size + 1];
@@ -101,9 +113,19 @@ impl IntFenwick {
     /// shadow array supplies the old value, so no prefix-sum reads are
     /// needed. Negative deltas ride on wrapping arithmetic (partial sums
     /// stay exact because the true sums are non-negative).
+    ///
+    /// # Panics
+    /// Panics if the new total would overflow `u64` — a wrapped total
+    /// would silently skew every later draw, so the overflow fails
+    /// loudly at the update that caused it (one `O(1)` checked add; the
+    /// old value never exceeds the cached total, so the subtraction is
+    /// exact).
     #[inline]
     pub fn set(&mut self, i: usize, w: u64) {
         debug_assert!(i < self.n);
+        (self.total() - self.values[i])
+            .checked_add(w)
+            .expect("IntFenwick weight sum overflows u64");
         let delta = w.wrapping_sub(self.values[i]);
         if delta == 0 {
             // Moving between equal-degree vertices — frequent on
@@ -169,13 +191,31 @@ pub struct FenwickTree {
     n: usize,
 }
 
+/// Rejects weights that would poison an f64 Fenwick tree: a negative
+/// weight breaks the prefix-sum inversion `find` relies on, and a single
+/// NaN propagates through every partial sum it touches, turning all
+/// later draws into `find(NaN)` garbage. Checked on **every** write
+/// (`new`/`set`/`add`), not just in debug builds — the weighted walkers
+/// feed user-supplied edge weights here. (`w >= 0.0` is false for NaN,
+/// so the one comparison covers both.)
+#[inline]
+fn check_f64_weight(w: f64) {
+    assert!(
+        w >= 0.0 && w.is_finite(),
+        "FenwickTree weights must be finite and non-negative, got {w}"
+    );
+}
+
 impl FenwickTree {
     /// Builds a tree from initial weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is NaN, infinite, or negative.
     pub fn new(weights: &[f64]) -> Self {
         let n = weights.len();
         let mut tree = vec![0.0; n + 1];
         for (i, &w) in weights.iter().enumerate() {
-            debug_assert!(w >= 0.0, "weights must be non-negative");
+            check_f64_weight(w);
             let mut idx = i + 1;
             // Standard O(n log n) build; construction cost is negligible
             // next to the walk itself.
@@ -226,8 +266,13 @@ impl FenwickTree {
     }
 
     /// Adds `delta` (may be negative) to the weight at `i`.
+    ///
+    /// # Panics
+    /// Panics if the resulting weight would be NaN, infinite, or
+    /// negative.
     pub fn add(&mut self, i: usize, delta: f64) {
         debug_assert!(i < self.n);
+        check_f64_weight(self.values[i] + delta);
         self.values[i] += delta;
         let mut idx = i + 1;
         while idx <= self.n {
@@ -239,7 +284,11 @@ impl FenwickTree {
     /// Sets the weight at `i` to `w` in a single traversal (the shadow
     /// array supplies the old value — historically this cost two
     /// `prefix_sum` walks plus the `add` walk).
+    ///
+    /// # Panics
+    /// Panics if `w` is NaN, infinite, or negative.
     pub fn set(&mut self, i: usize, w: f64) {
+        check_f64_weight(w);
         let delta = w - self.values[i];
         self.values[i] = w;
         let mut idx = i + 1;
@@ -437,6 +486,64 @@ mod tests {
             let expect = weights[i] as f64 / 10.0;
             assert!((emp - expect).abs() < 0.01, "slot {i}: {emp} vs {expect}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn int_new_overflow_fails_loudly() {
+        let _ = IntFenwick::new(&[u64::MAX, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn int_set_overflow_fails_loudly() {
+        let mut t = IntFenwick::new(&[u64::MAX - 5, 3]);
+        t.set(1, 7); // total would be u64::MAX + 2
+    }
+
+    #[test]
+    fn int_set_at_the_brink_is_exact() {
+        // Totals up to exactly u64::MAX are legal; only the wrap panics.
+        let mut t = IntFenwick::new(&[u64::MAX - 5, 3]);
+        t.set(1, 5);
+        assert_eq!(t.total(), u64::MAX);
+        t.set(1, 0);
+        assert_eq!(t.total(), u64::MAX - 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn f64_set_rejects_nan() {
+        let mut t = FenwickTree::new(&[1.0, 2.0]);
+        t.set(0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn f64_set_rejects_negative() {
+        let mut t = FenwickTree::new(&[1.0, 2.0]);
+        t.set(1, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn f64_new_rejects_nan() {
+        let _ = FenwickTree::new(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn f64_add_rejects_negative_result() {
+        let mut t = FenwickTree::new(&[1.0, 2.0]);
+        t.add(0, -3.0);
+    }
+
+    #[test]
+    fn f64_add_negative_delta_with_valid_result_ok() {
+        let mut t = FenwickTree::new(&[5.0, 2.0]);
+        t.add(0, -5.0);
+        assert_eq!(t.get(0), 0.0);
+        assert_eq!(t.total(), 2.0);
     }
 
     #[test]

@@ -96,6 +96,7 @@ pub mod mhrw;
 pub mod multiple;
 pub mod nbrw;
 pub mod parallel;
+pub mod runner;
 pub mod rwj;
 pub mod single;
 pub mod start;
@@ -121,6 +122,9 @@ pub use mhrw::MetropolisHastingsRw;
 pub use multiple::{MultipleRw, Schedule};
 pub use nbrw::{NonBacktrackingFrontier, NonBacktrackingRw};
 pub use parallel::{stream_seed, ParallelWalkerPool, PoolRun, PoolStep};
+pub use runner::{
+    ChunkStatus, ChunkedRunner, EstimateSnapshot, EstimatorSpec, JobEstimator, Sample, SamplerSpec,
+};
 pub use rwj::{RandomWalkWithJumps, RwjEvent};
 pub use single::SingleRw;
 pub use start::StartPolicy;

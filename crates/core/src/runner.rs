@@ -1,0 +1,928 @@
+//! Chunked, cancellable sampling runs with streaming estimator
+//! snapshots — the execution engine behind the serving layer.
+//!
+//! Every sampler in this crate runs to budget exhaustion inside one
+//! `sample_edges`/`sample_vertices` call, which is the right shape for
+//! experiments but not for a server: a long job must report progress,
+//! surface *partial* estimates, and stop promptly when cancelled.
+//! [`ChunkedRunner`] re-exposes the six serving-relevant samplers (FS,
+//! SingleRW, MultipleRW, MHRW, NBRW, RWJ) as resumable state machines:
+//! [`ChunkedRunner::run_chunk`] advances the walk by at most `n`
+//! attempts and returns, so a driver can interleave snapshotting,
+//! cancellation checks, and other jobs between chunks.
+//!
+//! ## Determinism contract
+//!
+//! A chunked run with seed `s` consumes its RNG **exactly** like the
+//! one-shot library call with seed `s` — same start draws, same step
+//! draws, same budget accounting — so the emitted sample stream is
+//! bit-identical whatever the chunk size (pinned by the
+//! `chunked_runner` integration test, chunk sizes 1 through ∞). This is
+//! the guarantee that lets a server advertise: *a job with seed `s`
+//! equals the library call with seed `s`*.
+//!
+//! [`JobEstimator`] pairs the runner with the estimator suite: it
+//! consumes the runner's [`Sample`] stream (edges for the edge
+//! samplers, visited vertices for MHRW/RWJ, each with the statistically
+//! correct reweighting) and produces cheap [`EstimateSnapshot`]s at any
+//! point mid-run — every defined value finite, every undefined value an
+//! explicit `None`, never NaN (see the estimator audit tests).
+
+use crate::budget::{Budget, CostModel};
+use crate::estimators::{
+    AssortativityEstimator, AverageDegreeEstimator, ClusteringEstimator,
+    DegreeDistributionEstimator, EdgeEstimator, PopulationSizeEstimator,
+    VertexSampleDegreeEstimator,
+};
+use crate::frontier::{Frontier, FrontierSampler};
+use crate::rwj::RwjDegreeDistributionEstimator;
+use crate::start::StartPolicy;
+use crate::walk::{self, StepOutcome};
+use fs_graph::stats::DegreeKind;
+use fs_graph::{Arc, GraphAccess, NeighborReply, QueryKind, StepReply, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which sampler a job runs, with its parameters. The six methods the
+/// serving layer exposes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SamplerSpec {
+    /// Frontier Sampling with dimension `m`.
+    Frontier {
+        /// FS dimension `m ≥ 1`.
+        m: usize,
+    },
+    /// Single random walk.
+    Single,
+    /// `m` independent walkers (the paper's equal-split schedule).
+    Multiple {
+        /// Number of walkers `m ≥ 1`.
+        m: usize,
+    },
+    /// Metropolis–Hastings RW (uniform vertex samples).
+    Mhrw,
+    /// Non-backtracking single walker.
+    Nbrw,
+    /// Random walk with uniform jumps.
+    Rwj {
+        /// Jump weight `α ≥ 0`.
+        alpha: f64,
+    },
+}
+
+impl SamplerSpec {
+    /// Parses the wire name used by the serving layer (`"fs"`,
+    /// `"single"`, `"multiple"`, `"mhrw"`, `"nbrw"`, `"rwj"`), taking
+    /// `m`/`alpha` from the request.
+    pub fn parse(name: &str, m: usize, alpha: f64) -> Result<SamplerSpec, String> {
+        match name {
+            "fs" => {
+                if m < 1 {
+                    return Err("fs requires m >= 1".into());
+                }
+                Ok(SamplerSpec::Frontier { m })
+            }
+            "single" => Ok(SamplerSpec::Single),
+            "multiple" => {
+                if m < 1 {
+                    return Err("multiple requires m >= 1".into());
+                }
+                Ok(SamplerSpec::Multiple { m })
+            }
+            "mhrw" => Ok(SamplerSpec::Mhrw),
+            "nbrw" => Ok(SamplerSpec::Nbrw),
+            "rwj" => {
+                if !(alpha >= 0.0 && alpha.is_finite()) {
+                    return Err("rwj requires a finite alpha >= 0".into());
+                }
+                Ok(SamplerSpec::Rwj { alpha })
+            }
+            other => Err(format!(
+                "unknown sampler '{other}' (expected fs|single|multiple|mhrw|nbrw|rwj)"
+            )),
+        }
+    }
+
+    /// Figure-legend style label.
+    pub fn label(&self) -> String {
+        match self {
+            SamplerSpec::Frontier { m } => format!("FS (m={m})"),
+            SamplerSpec::Single => "SingleRW".to_string(),
+            SamplerSpec::Multiple { m } => format!("MultipleRW (m={m})"),
+            SamplerSpec::Mhrw => "MHRW".to_string(),
+            SamplerSpec::Nbrw => "NBRW".to_string(),
+            SamplerSpec::Rwj { alpha } => format!("RWJ (alpha={alpha})"),
+        }
+    }
+
+    /// Whether this sampler's native output is visited vertices (MHRW,
+    /// RWJ) rather than sampled edges.
+    pub fn emits_vertices(&self) -> bool {
+        matches!(self, SamplerSpec::Mhrw | SamplerSpec::Rwj { .. })
+    }
+}
+
+/// One element of a job's sample stream.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Sample {
+    /// A sampled edge (FS, SingleRW, MultipleRW, NBRW).
+    Edge(Arc),
+    /// A visited vertex (MHRW, RWJ).
+    Vertex(VertexId),
+}
+
+/// What a [`ChunkedRunner::run_chunk`] call left behind.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ChunkStatus {
+    /// The run has more work; call `run_chunk` again.
+    InProgress,
+    /// Budget exhausted (or the walk is stuck): the run is complete.
+    Finished,
+}
+
+/// Per-method resumable state. Each variant mirrors its sampler's
+/// sequential loop **exactly** — same RNG draws in the same order, same
+/// budget spends — just suspendable between attempts.
+enum State {
+    /// Start draw failed (budget below one start): nothing to run.
+    Drained,
+    Single {
+        v: VertexId,
+        d: usize,
+        row: usize,
+    },
+    Frontier {
+        frontier: Frontier,
+        /// Fixed step quota computed at init (Algorithm 1's `B − mc`).
+        affordable: usize,
+        attempts: usize,
+    },
+    Multiple {
+        starts: Vec<VertexId>,
+        per_walker: usize,
+        /// Current walker index.
+        w: usize,
+        /// Attempts taken by the current walker.
+        taken: usize,
+        v: VertexId,
+        d: usize,
+        row: usize,
+    },
+    Mhrw {
+        v: VertexId,
+        d: usize,
+        row: usize,
+    },
+    Nbrw {
+        v: VertexId,
+        d: usize,
+        row: usize,
+        prev: Option<VertexId>,
+    },
+    Rwj {
+        alpha: f64,
+        jump_cost: f64,
+        v: VertexId,
+        d: usize,
+        row: usize,
+    },
+}
+
+/// A resumable, cancellable sampling run over any [`GraphAccess`]
+/// backend. See the [module docs](self) for the determinism contract.
+pub struct ChunkedRunner<'a, A: GraphAccess + ?Sized> {
+    access: &'a A,
+    rng: SmallRng,
+    budget: Budget,
+    step_cost: f64,
+    state: State,
+    steps_done: u64,
+    finished: bool,
+}
+
+impl<'a, A: GraphAccess + ?Sized> ChunkedRunner<'a, A> {
+    /// Starts a run: draws the start vertices (charging the budget
+    /// exactly as the one-shot sampler would) and freezes the per-method
+    /// step quotas. `seed` fixes the whole run.
+    pub fn new(
+        spec: &SamplerSpec,
+        access: &'a A,
+        cost: &CostModel,
+        budget_total: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut budget = Budget::new(budget_total);
+        let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
+        let start = StartPolicy::Uniform;
+        let state = match *spec {
+            SamplerSpec::Frontier { m } => {
+                match Frontier::init(
+                    &FrontierSampler::new(m),
+                    access,
+                    cost,
+                    &mut budget,
+                    &mut rng,
+                ) {
+                    Some(frontier) => {
+                        let affordable = budget.affordable(step_cost);
+                        State::Frontier {
+                            frontier,
+                            affordable,
+                            attempts: 0,
+                        }
+                    }
+                    None => State::Drained,
+                }
+            }
+            SamplerSpec::Single => match start
+                .draw(access, 1, cost, &mut budget, &mut rng)
+                .first()
+                .copied()
+            {
+                Some(v) => State::Single {
+                    v,
+                    d: access.degree(v),
+                    row: access.vertex_row(v),
+                },
+                None => State::Drained,
+            },
+            SamplerSpec::Multiple { m } => {
+                let starts = start.draw(access, m, cost, &mut budget, &mut rng);
+                if starts.is_empty() {
+                    State::Drained
+                } else {
+                    let per_walker = budget.affordable(step_cost) / starts.len();
+                    let v = starts[0];
+                    State::Multiple {
+                        d: access.degree(v),
+                        row: access.vertex_row(v),
+                        v,
+                        starts,
+                        per_walker,
+                        w: 0,
+                        taken: 0,
+                    }
+                }
+            }
+            SamplerSpec::Mhrw => match start
+                .draw(access, 1, cost, &mut budget, &mut rng)
+                .first()
+                .copied()
+            {
+                Some(v) => State::Mhrw {
+                    v,
+                    d: access.degree(v),
+                    row: access.vertex_row(v),
+                },
+                None => State::Drained,
+            },
+            SamplerSpec::Nbrw => match start
+                .draw(access, 1, cost, &mut budget, &mut rng)
+                .first()
+                .copied()
+            {
+                Some(v) => State::Nbrw {
+                    v,
+                    d: access.degree(v),
+                    row: access.vertex_row(v),
+                    prev: None,
+                },
+                None => State::Drained,
+            },
+            SamplerSpec::Rwj { alpha } => match start
+                .draw(access, 1, cost, &mut budget, &mut rng)
+                .first()
+                .copied()
+            {
+                Some(v) => State::Rwj {
+                    alpha,
+                    jump_cost: cost.uniform_vertex * access.cost_factor(QueryKind::UniformVertex),
+                    v,
+                    d: access.degree(v),
+                    row: access.vertex_row(v),
+                },
+                None => State::Drained,
+            },
+        };
+        let finished = matches!(state, State::Drained);
+        ChunkedRunner {
+            access,
+            rng,
+            budget,
+            step_cost,
+            state,
+            steps_done: 0,
+            finished,
+        }
+    }
+
+    /// Whether the run is complete.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Walk attempts executed so far (the job's progress numerator).
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Fraction of the budget consumed, in `[0, 1]`. FS defers its bulk
+    /// spend to completion (mirroring the sequential sampler's single
+    /// `force_spend`), so the in-flight estimate charges pending
+    /// attempts at the step cost.
+    pub fn progress(&self) -> f64 {
+        if self.finished {
+            return 1.0;
+        }
+        let total = self.budget.total();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let pending = match &self.state {
+            State::Frontier { attempts, .. } => *attempts as f64 * self.step_cost,
+            _ => 0.0,
+        };
+        ((self.budget.spent() + pending) / total).clamp(0.0, 1.0)
+    }
+
+    /// Budget spent so far (final value equals the one-shot sampler's).
+    pub fn budget_spent(&self) -> f64 {
+        self.budget.spent()
+    }
+
+    /// Advances the run by at most `max_attempts` walk attempts,
+    /// feeding every produced sample to `sink`. Returns whether the run
+    /// completed. Attempts that produce no sample (lost replies,
+    /// bounces, MH rejections re-emitting the current vertex — which
+    /// *do* produce a sample — or isolated stalls) still count toward
+    /// the chunk, so a chunk always terminates.
+    pub fn run_chunk(&mut self, max_attempts: usize, mut sink: impl FnMut(Sample)) -> ChunkStatus {
+        if self.finished {
+            return ChunkStatus::Finished;
+        }
+        let mut left = max_attempts;
+        while left > 0 {
+            left -= 1;
+            let done = self.one_attempt(&mut sink);
+            if done {
+                self.finished = true;
+                return ChunkStatus::Finished;
+            }
+            self.steps_done += 1;
+        }
+        ChunkStatus::InProgress
+    }
+
+    /// One attempt of the method's sequential loop body. Returns `true`
+    /// when the run just completed (the attempt may or may not have
+    /// executed).
+    fn one_attempt(&mut self, sink: &mut impl FnMut(Sample)) -> bool {
+        let access = self.access;
+        match &mut self.state {
+            State::Drained => true,
+            // Mirrors `SingleRw::sample_edges`.
+            State::Single { v, d, row } => {
+                if !self.budget.try_spend(self.step_cost) {
+                    return true;
+                }
+                let stepped = walk::step_known(access, *v, *d, *row, &mut self.rng);
+                *d = stepped.degree_after;
+                *row = stepped.row_after;
+                match stepped.outcome {
+                    StepOutcome::Edge(edge) => {
+                        *v = edge.target;
+                        sink(Sample::Edge(edge));
+                        false
+                    }
+                    StepOutcome::Lost(edge) => {
+                        *v = edge.target;
+                        false
+                    }
+                    StepOutcome::Bounced => false,
+                    StepOutcome::Isolated => true,
+                }
+            }
+            // Mirrors `FrontierSampler::sample_edges`: fixed quota
+            // computed at init, one deferred `force_spend` at the end.
+            State::Frontier {
+                frontier,
+                affordable,
+                attempts,
+            } => {
+                if *attempts >= *affordable {
+                    self.budget.force_spend(*attempts as f64 * self.step_cost);
+                    return true;
+                }
+                *attempts += 1;
+                match frontier.step_outcome(access, &mut self.rng) {
+                    StepOutcome::Edge(edge) => {
+                        sink(Sample::Edge(edge));
+                        false
+                    }
+                    StepOutcome::Lost(_) | StepOutcome::Bounced => false,
+                    StepOutcome::Isolated => {
+                        self.budget.force_spend(*attempts as f64 * self.step_cost);
+                        true
+                    }
+                }
+            }
+            // Mirrors `MultipleRw::sample_edges` (EqualSplit): walker
+            // `w` runs its whole `per_walker` quota, then the next
+            // walker re-initialises from its start vertex.
+            State::Multiple {
+                starts,
+                per_walker,
+                w,
+                taken,
+                v,
+                d,
+                row,
+            } => {
+                loop {
+                    if *w >= starts.len() {
+                        return true;
+                    }
+                    if *taken < *per_walker {
+                        break;
+                    }
+                    *w += 1;
+                    *taken = 0;
+                    if *w < starts.len() {
+                        *v = starts[*w];
+                        *d = access.degree(*v);
+                        *row = access.vertex_row(*v);
+                    }
+                }
+                if !self.budget.try_spend(self.step_cost) {
+                    return true;
+                }
+                *taken += 1;
+                let stepped = walk::step_known(access, *v, *d, *row, &mut self.rng);
+                *d = stepped.degree_after;
+                *row = stepped.row_after;
+                match stepped.outcome {
+                    StepOutcome::Edge(edge) => {
+                        *v = edge.target;
+                        sink(Sample::Edge(edge));
+                    }
+                    StepOutcome::Lost(edge) => *v = edge.target,
+                    StepOutcome::Bounced => {}
+                    // The sequential loop `break`s this walker; the next
+                    // attempt advances to the following walker.
+                    StepOutcome::Isolated => *taken = *per_walker,
+                }
+                false
+            }
+            // Mirrors `MetropolisHastingsRw::sample_vertices`.
+            State::Mhrw { v, d, row } => {
+                if !self.budget.try_spend(self.step_cost) {
+                    return true;
+                }
+                if *d == 0 {
+                    return true;
+                }
+                let StepReply {
+                    reply,
+                    target_degree,
+                    target_row,
+                } = access.step_query_at(*v, *row, self.rng.gen_range(0..*d));
+                let (proposal, report) = match reply {
+                    NeighborReply::Vertex(w) => (Some(w), true),
+                    NeighborReply::Lost(w) => (Some(w), false),
+                    NeighborReply::Unresponsive => (None, true),
+                };
+                if let Some(proposal) = proposal {
+                    let dp = target_degree.max(1);
+                    let accept = *d as f64 / dp as f64;
+                    if accept >= 1.0 || self.rng.gen_range(0.0..1.0) < accept {
+                        *v = proposal;
+                        *d = target_degree;
+                        *row = target_row;
+                    }
+                }
+                if report {
+                    sink(Sample::Vertex(*v));
+                }
+                false
+            }
+            // Mirrors `NonBacktrackingRw::sample_edges`.
+            State::Nbrw { v, d, row, prev } => {
+                if !self.budget.try_spend(self.step_cost) {
+                    return true;
+                }
+                let stepped =
+                    crate::nbrw::nb_step_known(access, *v, *d, *row, *prev, &mut self.rng);
+                *d = stepped.degree_after;
+                *row = stepped.row_after;
+                match stepped.outcome {
+                    StepOutcome::Edge(edge) => {
+                        *prev = Some(*v);
+                        *v = edge.target;
+                        sink(Sample::Edge(edge));
+                        false
+                    }
+                    StepOutcome::Lost(edge) => {
+                        *prev = Some(*v);
+                        *v = edge.target;
+                        false
+                    }
+                    StepOutcome::Bounced => false,
+                    StepOutcome::Isolated => true,
+                }
+            }
+            // Mirrors `RandomWalkWithJumps::sample` (visits sink).
+            State::Rwj {
+                alpha,
+                jump_cost,
+                v,
+                d,
+                row,
+            } => {
+                let df = *d as f64;
+                let jump = *alpha > 0.0 && self.rng.gen_range(0.0..df + *alpha) < *alpha;
+                if jump {
+                    let n = access.num_vertices();
+                    let mut landed = None;
+                    while self.budget.try_spend(*jump_cost) {
+                        let cand = VertexId::new(self.rng.gen_range(0..n));
+                        let cand_deg = access.query_vertex(cand);
+                        if cand_deg > 0 {
+                            landed = Some((cand, cand_deg));
+                            break;
+                        }
+                    }
+                    let Some((to, to_deg)) = landed else {
+                        return true; // budget died mid-jump
+                    };
+                    sink(Sample::Vertex(to));
+                    *v = to;
+                    *d = to_deg;
+                    *row = access.vertex_row(to);
+                    false
+                } else {
+                    if !self.budget.try_spend(self.step_cost) {
+                        return true;
+                    }
+                    let stepped = walk::step_known(access, *v, *d, *row, &mut self.rng);
+                    *d = stepped.degree_after;
+                    *row = stepped.row_after;
+                    match stepped.outcome {
+                        StepOutcome::Edge(edge) => {
+                            *v = edge.target;
+                            sink(Sample::Vertex(edge.target));
+                            false
+                        }
+                        StepOutcome::Lost(edge) => {
+                            *v = edge.target;
+                            false
+                        }
+                        StepOutcome::Bounced => false,
+                        StepOutcome::Isolated => true,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Which estimate a job reports.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EstimatorSpec {
+    /// Harmonic-mean average degree (`1/S`).
+    AverageDegree,
+    /// Degree distribution `θ̂` (vector estimate).
+    DegreeDist,
+    /// Degree CCDF `γ̂` (vector estimate).
+    Ccdf,
+    /// Assortative mixing coefficient `r̂`.
+    Assortativity,
+    /// Global clustering coefficient `Ĉ`.
+    Clustering,
+    /// Katzir-style population size `|V̂|`.
+    PopulationSize,
+}
+
+impl EstimatorSpec {
+    /// Parses the wire name used by the serving layer.
+    pub fn parse(name: &str) -> Result<EstimatorSpec, String> {
+        Ok(match name {
+            "avg_degree" => EstimatorSpec::AverageDegree,
+            "degree_dist" => EstimatorSpec::DegreeDist,
+            "ccdf" => EstimatorSpec::Ccdf,
+            "assortativity" => EstimatorSpec::Assortativity,
+            "clustering" => EstimatorSpec::Clustering,
+            "pop_size" => EstimatorSpec::PopulationSize,
+            other => {
+                return Err(format!(
+                    "unknown estimator '{other}' (expected avg_degree|degree_dist|ccdf|assortativity|clustering|pop_size)"
+                ))
+            }
+        })
+    }
+
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EstimatorSpec::AverageDegree => "avg_degree",
+            EstimatorSpec::DegreeDist => "degree_dist",
+            EstimatorSpec::Ccdf => "ccdf",
+            EstimatorSpec::Assortativity => "assortativity",
+            EstimatorSpec::Clustering => "clustering",
+            EstimatorSpec::PopulationSize => "pop_size",
+        }
+    }
+}
+
+/// A cheap, always-finite snapshot of a job's current estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimateSnapshot {
+    /// Samples consumed so far.
+    pub num_observed: u64,
+    /// Scalar estimate, when the estimator is scalar-valued and
+    /// defined. Guaranteed finite.
+    pub scalar: Option<f64>,
+    /// Vector estimate (degree distribution / CCDF), when defined.
+    /// Every entry finite.
+    pub vector: Option<Vec<f64>>,
+}
+
+/// Internal estimator state, chosen per (estimator, sampler) pair so
+/// each sample stream gets the statistically correct reweighting.
+#[derive(Debug)]
+enum EstState {
+    /// Edge-stream estimators (eq. 5/7 reweighting).
+    EdgeAvgDeg(AverageDegreeEstimator),
+    EdgeDegreeDist(DegreeDistributionEstimator),
+    EdgeAssort(AssortativityEstimator),
+    EdgeClust(ClusteringEstimator),
+    EdgePop(PopulationSizeEstimator),
+    /// MHRW vertex stream: uniform over vertices, no reweighting.
+    MhrwDegreeDist(VertexSampleDegreeEstimator),
+    MhrwAvgDeg {
+        sum: f64,
+        n: u64,
+    },
+    /// RWJ visit stream: `1/(deg + α)` reweighting.
+    RwjDegreeDist(RwjDegreeDistributionEstimator),
+    RwjAvgDeg {
+        alpha: f64,
+        weighted_degree: f64,
+        weight_sum: f64,
+        n: u64,
+    },
+}
+
+/// Streaming estimator for one job: consumes the runner's [`Sample`]s
+/// and produces [`EstimateSnapshot`]s on demand.
+#[derive(Debug)]
+pub struct JobEstimator {
+    spec: EstimatorSpec,
+    state: EstState,
+}
+
+impl JobEstimator {
+    /// Builds the estimator for a (sampler, estimator) pair, or
+    /// explains why the combination is statistically unsupported (e.g.
+    /// edge-based clustering over MHRW's vertex stream).
+    pub fn new(spec: EstimatorSpec, sampler: &SamplerSpec) -> Result<JobEstimator, String> {
+        let state = match sampler {
+            SamplerSpec::Frontier { .. }
+            | SamplerSpec::Single
+            | SamplerSpec::Multiple { .. }
+            | SamplerSpec::Nbrw => match spec {
+                EstimatorSpec::AverageDegree => EstState::EdgeAvgDeg(AverageDegreeEstimator::new()),
+                EstimatorSpec::DegreeDist | EstimatorSpec::Ccdf => {
+                    EstState::EdgeDegreeDist(DegreeDistributionEstimator::symmetric())
+                }
+                EstimatorSpec::Assortativity => EstState::EdgeAssort(AssortativityEstimator::new()),
+                EstimatorSpec::Clustering => EstState::EdgeClust(ClusteringEstimator::new()),
+                EstimatorSpec::PopulationSize => EstState::EdgePop(PopulationSizeEstimator::new()),
+            },
+            SamplerSpec::Mhrw => match spec {
+                EstimatorSpec::AverageDegree => EstState::MhrwAvgDeg { sum: 0.0, n: 0 },
+                EstimatorSpec::DegreeDist | EstimatorSpec::Ccdf => EstState::MhrwDegreeDist(
+                    VertexSampleDegreeEstimator::new(DegreeKind::Symmetric),
+                ),
+                other => {
+                    return Err(format!(
+                        "estimator '{}' needs an edge sample stream; MHRW emits uniform vertices \
+                         (supported: avg_degree, degree_dist, ccdf)",
+                        other.name()
+                    ))
+                }
+            },
+            SamplerSpec::Rwj { alpha } => match spec {
+                EstimatorSpec::AverageDegree => EstState::RwjAvgDeg {
+                    alpha: *alpha,
+                    weighted_degree: 0.0,
+                    weight_sum: 0.0,
+                    n: 0,
+                },
+                EstimatorSpec::DegreeDist | EstimatorSpec::Ccdf => EstState::RwjDegreeDist(
+                    RwjDegreeDistributionEstimator::new(*alpha, DegreeKind::Symmetric),
+                ),
+                other => {
+                    return Err(format!(
+                        "estimator '{}' needs an edge sample stream; RWJ emits visited vertices \
+                         (supported: avg_degree, degree_dist, ccdf)",
+                        other.name()
+                    ))
+                }
+            },
+        };
+        Ok(JobEstimator { spec, state })
+    }
+
+    /// The estimator this job reports.
+    pub fn spec(&self) -> EstimatorSpec {
+        self.spec
+    }
+
+    /// Consumes one sample. Edge estimators ignore vertex samples and
+    /// vice versa (the runner never produces the mismatched kind).
+    pub fn observe<A: GraphAccess + ?Sized>(&mut self, access: &A, sample: Sample) {
+        match (&mut self.state, sample) {
+            (EstState::EdgeAvgDeg(e), Sample::Edge(arc)) => e.observe(access, arc),
+            (EstState::EdgeDegreeDist(e), Sample::Edge(arc)) => e.observe(access, arc),
+            (EstState::EdgeAssort(e), Sample::Edge(arc)) => e.observe(access, arc),
+            (EstState::EdgeClust(e), Sample::Edge(arc)) => e.observe(access, arc),
+            (EstState::EdgePop(e), Sample::Edge(arc)) => e.observe(access, arc),
+            (EstState::MhrwDegreeDist(e), Sample::Vertex(v)) => e.observe(access, v),
+            (EstState::MhrwAvgDeg { sum, n }, Sample::Vertex(v)) => {
+                *sum += access.degree(v) as f64;
+                *n += 1;
+            }
+            (EstState::RwjDegreeDist(e), Sample::Vertex(v)) => e.observe(access, v),
+            (
+                EstState::RwjAvgDeg {
+                    alpha,
+                    weighted_degree,
+                    weight_sum,
+                    n,
+                },
+                Sample::Vertex(v),
+            ) => {
+                let d = access.degree(v) as f64;
+                if d + *alpha > 0.0 {
+                    // Self-normalised importance weights 1/(deg + α):
+                    // Σ d·w / Σ w → the plain average degree under RWJ's
+                    // deg+α stationary law.
+                    let w = 1.0 / (d + *alpha);
+                    *weighted_degree += d * w;
+                    *weight_sum += w;
+                }
+                *n += 1;
+            }
+            _ => debug_assert!(false, "sample kind does not match estimator"),
+        }
+    }
+
+    /// Current estimate. Cheap for scalars; `O(max degree)` for the
+    /// distribution estimators.
+    pub fn snapshot(&self) -> EstimateSnapshot {
+        let ccdf = self.spec == EstimatorSpec::Ccdf;
+        match &self.state {
+            EstState::EdgeAvgDeg(e) => EstimateSnapshot {
+                num_observed: e.num_observed() as u64,
+                scalar: e.estimate(),
+                vector: None,
+            },
+            EstState::EdgeDegreeDist(e) => EstimateSnapshot {
+                num_observed: EdgeEstimator::<fs_graph::Graph>::num_observed(e) as u64,
+                scalar: None,
+                vector: nonempty(if ccdf { e.ccdf() } else { e.distribution() }),
+            },
+            EstState::EdgeAssort(e) => EstimateSnapshot {
+                num_observed: e.num_observed() as u64,
+                scalar: e.estimate(),
+                vector: None,
+            },
+            EstState::EdgeClust(e) => EstimateSnapshot {
+                num_observed: e.num_observed() as u64,
+                scalar: e.estimate(),
+                vector: None,
+            },
+            EstState::EdgePop(e) => EstimateSnapshot {
+                num_observed: e.num_observed() as u64,
+                scalar: e.estimate(),
+                vector: None,
+            },
+            EstState::MhrwDegreeDist(e) => EstimateSnapshot {
+                num_observed: e.num_observed(),
+                scalar: None,
+                vector: nonempty(if ccdf { e.ccdf() } else { e.distribution() }),
+            },
+            EstState::MhrwAvgDeg { sum, n } => EstimateSnapshot {
+                num_observed: *n,
+                scalar: if *n > 0 { Some(sum / *n as f64) } else { None },
+                vector: None,
+            },
+            EstState::RwjDegreeDist(e) => EstimateSnapshot {
+                num_observed: e.num_observed() as u64,
+                scalar: None,
+                vector: nonempty(if ccdf { e.ccdf() } else { e.distribution() }),
+            },
+            EstState::RwjAvgDeg {
+                weighted_degree,
+                weight_sum,
+                n,
+                ..
+            } => EstimateSnapshot {
+                num_observed: *n,
+                scalar: if *weight_sum > 0.0 {
+                    Some(weighted_degree / weight_sum)
+                } else {
+                    None
+                },
+                vector: None,
+            },
+        }
+    }
+}
+
+fn nonempty(v: Vec<f64>) -> Option<Vec<f64>> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_graph::graph_from_undirected_pairs;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            SamplerSpec::parse("fs", 7, 0.0),
+            Ok(SamplerSpec::Frontier { m: 7 })
+        );
+        assert_eq!(
+            SamplerSpec::parse("single", 0, 0.0),
+            Ok(SamplerSpec::Single)
+        );
+        assert!(SamplerSpec::parse("fs", 0, 0.0).is_err());
+        assert!(SamplerSpec::parse("rwj", 1, f64::NAN).is_err());
+        assert!(SamplerSpec::parse("teleport", 1, 0.0).is_err());
+        assert_eq!(
+            EstimatorSpec::parse("avg_degree"),
+            Ok(EstimatorSpec::AverageDegree)
+        );
+        assert!(EstimatorSpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn unsupported_combinations_are_rejected_with_reason() {
+        let err = JobEstimator::new(EstimatorSpec::Clustering, &SamplerSpec::Mhrw).unwrap_err();
+        assert!(err.contains("MHRW"), "{err}");
+        let err = JobEstimator::new(
+            EstimatorSpec::Assortativity,
+            &SamplerSpec::Rwj { alpha: 1.0 },
+        )
+        .unwrap_err();
+        assert!(err.contains("RWJ"), "{err}");
+        assert!(JobEstimator::new(EstimatorSpec::Ccdf, &SamplerSpec::Mhrw).is_ok());
+    }
+
+    #[test]
+    fn zero_budget_run_finishes_immediately() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        for spec in [
+            SamplerSpec::Frontier { m: 3 },
+            SamplerSpec::Single,
+            SamplerSpec::Multiple { m: 2 },
+            SamplerSpec::Mhrw,
+            SamplerSpec::Nbrw,
+            SamplerSpec::Rwj { alpha: 1.0 },
+        ] {
+            let mut runner = ChunkedRunner::new(&spec, &g, &CostModel::unit(), 0.0, 9);
+            assert!(runner.finished(), "{}", spec.label());
+            let mut samples = 0usize;
+            assert_eq!(
+                runner.run_chunk(100, |_| samples += 1),
+                ChunkStatus::Finished
+            );
+            assert_eq!(samples, 0);
+            assert_eq!(runner.progress(), 1.0);
+        }
+    }
+
+    #[test]
+    fn progress_is_monotone_and_bounded() {
+        let g = graph_from_undirected_pairs(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let spec = SamplerSpec::Frontier { m: 2 };
+        let mut runner = ChunkedRunner::new(&spec, &g, &CostModel::unit(), 200.0, 3);
+        let mut last = runner.progress();
+        assert!((0.0..=1.0).contains(&last));
+        while runner.run_chunk(17, |_| {}) == ChunkStatus::InProgress {
+            let p = runner.progress();
+            assert!(p >= last - 1e-12, "progress went backwards: {last} -> {p}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+        assert_eq!(runner.progress(), 1.0);
+    }
+}

@@ -42,7 +42,10 @@ impl StartPolicy {
         let n = access.num_vertices();
         assert!(n > 0, "cannot start walkers on an empty graph");
         let draw_cost = cost.uniform_vertex * access.cost_factor(QueryKind::UniformVertex);
-        let mut starts = Vec::with_capacity(m);
+        // Capacity hint only — the budget may cap the draws well below
+        // `m`, and an absurd `m` (untrusted request input) must not
+        // become a huge up-front allocation request.
+        let mut starts = Vec::with_capacity(m.min(1 << 16));
         let mut fixed_idx = 0usize;
         while starts.len() < m {
             if !budget.try_spend(draw_cost) {

@@ -1,0 +1,210 @@
+//! Regression tests: no estimator may leak NaN/∞ (or panic) on the
+//! degenerate inputs a serving layer can now receive — budgets too
+//! small to complete a single step (`B ≤ starts`), sample streams whose
+//! vertices are all isolated, empty degree buckets in
+//! `ccdf()`/`degree_dist`, and out-of-range label/group queries. Every
+//! defined estimate must be finite; every undefined one must be an
+//! explicit `None`/empty value, never a silent NaN.
+
+use frontier_sampling::estimators::{
+    AssortativityEstimator, AverageDegreeEstimator, ClusteringEstimator,
+    DegreeDistributionEstimator, DensityWithError, EdgeEstimator, EdgeLabelDensityEstimator,
+    GroupDensityEstimator, NeighborDegreeEstimator, PopulationSizeEstimator,
+    VertexLabelDensityEstimator, VertexSampleDegreeEstimator,
+};
+use frontier_sampling::{Budget, CostModel, WalkMethod};
+use fs_graph::stats::DegreeKind;
+use fs_graph::{graph_from_undirected_pairs, Arc, Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn assert_all_finite(values: &[f64], what: &str) {
+    for (i, v) in values.iter().enumerate() {
+        assert!(v.is_finite(), "{what}[{i}] = {v} is not finite");
+    }
+}
+
+/// A graph with an isolated vertex (id 3) next to a triangle.
+fn triangle_plus_isolated() -> Graph {
+    graph_from_undirected_pairs(4, [(0, 1), (1, 2), (0, 2)])
+}
+
+/// Arcs whose *target* is the isolated vertex — the "all-isolated start
+/// vertices" stream a fault-injecting or corrupted backend can produce.
+fn isolated_target_stream() -> Vec<Arc> {
+    (0..5)
+        .map(|i| Arc {
+            source: VertexId::new(i % 3),
+            target: VertexId::new(3),
+        })
+        .collect()
+}
+
+#[test]
+fn zero_completed_steps_budget_at_most_starts() {
+    // B = 3 with m = 5 walkers at unit start cost: the budget dies
+    // during the start draws, zero walk steps complete, estimators see
+    // nothing. Everything must stay explicitly undefined — no NaN.
+    let g = triangle_plus_isolated();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut budget = Budget::new(3.0);
+    let mut deg = DegreeDistributionEstimator::symmetric();
+    let mut avg = AverageDegreeEstimator::new();
+    let mut assort = AssortativityEstimator::new();
+    let mut clust = ClusteringEstimator::new();
+    WalkMethod::frontier(5).sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        deg.observe(&g, e);
+        avg.observe(&g, e);
+        assort.observe(&g, e);
+        clust.observe(&g, e);
+    });
+    assert_eq!(EdgeEstimator::<Graph>::num_observed(&deg), 0);
+    assert!(deg.distribution().is_empty());
+    assert!(deg.ccdf().is_empty());
+    assert_eq!(deg.theta(2), 0.0);
+    assert!(avg.estimate().is_none());
+    assert!(avg.naive_biased_estimate().is_none());
+    assert!(assort.estimate().is_none());
+    assert!(clust.estimate().is_none());
+}
+
+#[test]
+fn all_isolated_targets_yield_explicit_none_not_nan() {
+    let g = triangle_plus_isolated();
+    let stream = isolated_target_stream();
+
+    let mut deg = DegreeDistributionEstimator::symmetric();
+    let mut avg = AverageDegreeEstimator::new();
+    let mut group = GroupDensityEstimator::new(4);
+    let mut vlabel = VertexLabelDensityEstimator::new(|_: &Graph, _| true);
+    let mut pop = PopulationSizeEstimator::new();
+    let mut err = DensityWithError::new();
+    for &arc in &stream {
+        deg.observe(&g, arc);
+        avg.observe(&g, arc);
+        group.observe(&g, arc);
+        vlabel.observe(&g, arc);
+        pop.observe(&g, arc);
+        err.observe(&g, arc, true);
+    }
+    // Degree-0 targets carry no 1/deg weight: every ratio estimator must
+    // report "undefined", not 0/0.
+    assert!(deg.distribution().is_empty());
+    assert_eq!(deg.theta(0), 0.0);
+    assert!(avg.estimate().is_none());
+    assert!(group.estimate(0).is_none());
+    assert_all_finite(&group.estimates(), "group.estimates");
+    assert!(vlabel.estimate().is_none());
+    assert!(pop.estimate().is_none());
+    assert!(err.estimate().is_none());
+    assert!(err.standard_error().is_none());
+    assert!(err.confidence_interval(2.0).is_none());
+}
+
+#[test]
+fn empty_buckets_in_degree_dist_and_ccdf_are_finite() {
+    // Star: degrees are only 1 and 4 — buckets 0, 2, 3 stay empty.
+    let g = graph_from_undirected_pairs(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+    let mut est = DegreeDistributionEstimator::symmetric();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut budget = Budget::new(2_000.0);
+    WalkMethod::single().sample_edges(&g, &CostModel::unit(), &mut budget, &mut rng, |e| {
+        est.observe(&g, e)
+    });
+    let theta = est.distribution();
+    assert_all_finite(&theta, "theta");
+    assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert_eq!(theta[0], 0.0, "empty bucket must be exactly zero");
+    assert_eq!(theta[2], 0.0);
+    assert_eq!(theta[3], 0.0);
+    let gamma = est.ccdf();
+    assert_all_finite(&gamma, "ccdf");
+    for w in gamma.windows(2) {
+        assert!(w[0] >= w[1] - 1e-12, "ccdf not monotone: {gamma:?}");
+    }
+    // Out-of-range buckets are defined as zero, not a panic or NaN.
+    assert_eq!(est.theta(10_000), 0.0);
+
+    // The empty distribution round-trips through ccdf unharmed.
+    assert!(fs_graph::ccdf(&[]).is_empty());
+
+    // Vertex-sample variant: same empty-bucket guarantees.
+    let mut vest = VertexSampleDegreeEstimator::new(DegreeKind::Symmetric);
+    vest.observe(&g, VertexId::new(0));
+    vest.observe(&g, VertexId::new(1));
+    let vtheta = vest.distribution();
+    assert_all_finite(&vtheta, "vertex theta");
+    assert_eq!(vtheta[0], 0.0);
+    assert_eq!(vtheta[2], 0.0);
+    assert_all_finite(&vest.ccdf(), "vertex ccdf");
+}
+
+#[test]
+fn out_of_range_labels_and_groups_are_none_not_panic() {
+    let g = triangle_plus_isolated();
+    let arc = Arc {
+        source: VertexId::new(0),
+        target: VertexId::new(1),
+    };
+
+    let mut group = GroupDensityEstimator::new(2);
+    group.observe(&g, arc);
+    assert!(group.estimate(0).unwrap().is_finite());
+    assert!(group.estimate(2).is_none(), "untracked group id");
+    assert!(group.estimate(u32::MAX).is_none());
+
+    let mut edge = EdgeLabelDensityEstimator::new(2, |_: &Graph, _: Arc| Some(0));
+    edge.observe(&g, arc);
+    assert!(edge.estimate(0).unwrap().is_finite());
+    assert!(edge.estimate(2).is_none(), "untracked label index");
+    assert!(edge.estimate(usize::MAX).is_none());
+
+    // knn of never-seen buckets stays None.
+    let mut knn = NeighborDegreeEstimator::new();
+    knn.observe(&g, arc);
+    assert!(knn.knn(0).is_none());
+    assert!(knn.knn(9_999).is_none());
+    assert!(knn.knn(2).unwrap().is_finite());
+}
+
+#[test]
+fn labeler_reporting_out_of_range_label_is_counted_but_harmless() {
+    // A labeler may claim a label index beyond num_labels (service-side
+    // misconfiguration): the edge still counts toward B*, the bogus
+    // index is ignored, and every tracked estimate stays finite.
+    let g = triangle_plus_isolated();
+    let arc = Arc {
+        source: VertexId::new(0),
+        target: VertexId::new(1),
+    };
+    let mut est = EdgeLabelDensityEstimator::new(2, |_: &Graph, _: Arc| Some(7));
+    est.observe(&g, arc);
+    assert_eq!(est.num_in_labeled_subset(), 1);
+    assert_eq!(est.estimate(0), Some(0.0));
+    assert_all_finite(&est.estimates(), "edge estimates");
+}
+
+#[test]
+fn single_observation_ratio_estimators_are_finite() {
+    // One completed step is the smallest defined state; every Some must
+    // already be finite there (the 1/deg weights cannot cancel).
+    let g = triangle_plus_isolated();
+    let arc = Arc {
+        source: VertexId::new(0),
+        target: VertexId::new(1),
+    };
+    let mut deg = DegreeDistributionEstimator::symmetric();
+    let mut avg = AverageDegreeEstimator::new();
+    let mut clust = ClusteringEstimator::new();
+    deg.observe(&g, arc);
+    avg.observe(&g, arc);
+    clust.observe(&g, arc);
+    assert_all_finite(&deg.distribution(), "theta after 1 observation");
+    assert!(avg.estimate().unwrap().is_finite());
+    assert!(clust.estimate().unwrap().is_finite());
+    // Assortativity stays None on degenerate (single-point) marginals
+    // rather than dividing by a zero variance.
+    let mut assort = AssortativityEstimator::new();
+    assort.observe(&g, arc);
+    assert!(assort.estimate().is_none());
+}

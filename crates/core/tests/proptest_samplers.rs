@@ -195,6 +195,74 @@ proptest! {
         }
     }
 
+    /// Overflow can never silently wrap an `IntFenwick`: construction
+    /// either yields the exact (u128-verified) total or panics, decided
+    /// only by whether the true sum fits `u64`.
+    #[test]
+    fn int_fenwick_overflow_is_loud(
+        mut weights in prop::collection::vec(0u64..u64::MAX / 8, 1..12),
+        huge_at in 0usize..12,
+        huge in (u64::MAX / 2)..u64::MAX,
+    ) {
+        let at = huge_at % weights.len();
+        weights[at] = huge;
+        let exact: u128 = weights.iter().map(|&w| w as u128).sum();
+        let built = std::panic::catch_unwind(|| IntFenwick::new(&weights));
+        if exact <= u64::MAX as u128 {
+            prop_assert_eq!(built.expect("sum fits u64").total(), exact as u64);
+        } else {
+            prop_assert!(built.is_err(), "overflowing sum must fail loudly");
+        }
+    }
+
+    /// `IntFenwick::set` refuses updates that would overflow the total,
+    /// and accepts everything up to exactly `u64::MAX`.
+    #[test]
+    fn int_fenwick_set_overflow_is_loud(
+        init in prop::collection::vec(0u64..1000, 1..12),
+        slot in 0usize..12,
+        w in (u64::MAX - 20_000)..u64::MAX,
+    ) {
+        let slot = slot % init.len();
+        let mut tree = IntFenwick::new(&init);
+        let exact: u128 = init.iter().map(|&x| x as u128).sum::<u128>()
+            - init[slot] as u128 + w as u128;
+        let outcome = std::panic::catch_unwind(
+            std::panic::AssertUnwindSafe(|| tree.set(slot, w)));
+        if exact <= u64::MAX as u128 {
+            prop_assert!(outcome.is_ok());
+            prop_assert_eq!(tree.total(), exact as u64);
+        } else {
+            prop_assert!(outcome.is_err(), "overflowing set must fail loudly");
+        }
+    }
+
+    /// The f64 tree rejects NaN / negative / infinite weights at `set`
+    /// — and the rejected write leaves the tree untouched.
+    #[test]
+    fn f64_fenwick_rejects_poison_at_set(
+        init in prop::collection::vec(0.0f64..10.0, 1..20),
+        slot in 0usize..20,
+        poison_kind in 0u32..3,
+    ) {
+        let slot = slot % init.len();
+        let mut tree = FenwickTree::new(&init);
+        let poison = match poison_kind {
+            0 => f64::NAN,
+            1 => -1.0e-3,
+            _ => f64::INFINITY,
+        };
+        let outcome = std::panic::catch_unwind(
+            std::panic::AssertUnwindSafe(|| tree.set(slot, poison)));
+        prop_assert!(outcome.is_err(), "poison weight {poison} must be rejected");
+        let total: f64 = init.iter().sum();
+        prop_assert!((tree.total() - total).abs() < 1e-9,
+            "rejected write corrupted the tree");
+        for (i, &w) in init.iter().enumerate() {
+            prop_assert!((tree.get(i) - w).abs() < 1e-12);
+        }
+    }
+
     /// Lemma 5.3's pmf is a probability distribution for arbitrary
     /// consistent parameters.
     #[test]

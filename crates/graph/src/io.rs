@@ -184,17 +184,29 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
     let mut pending_edges: Vec<(u32, u32)> = Vec::new();
     let mut pending_groups: Vec<(u32, u32)> = Vec::new();
     let mut max_seen: usize = 0;
+    // Line that first referenced the highest vertex id — the line a
+    // declared-too-small error points at. Shared contract with the
+    // streaming `fs-store` ingester: same message, same line number
+    // (pinned by the store crate's dialect-parity test).
+    let mut max_line: usize = 0;
 
     for (idx, line) in r.lines().enumerate() {
         match parse_edge_list_line(&line?, idx + 1)? {
             EdgeListRecord::Blank => {}
             EdgeListRecord::Vertices(n) => declared = Some(n),
             EdgeListRecord::Edge(u, v) => {
-                max_seen = max_seen.max(u.max(v) as usize + 1);
+                let hi = u.max(v) as usize + 1;
+                if hi > max_seen {
+                    max_seen = hi;
+                    max_line = idx + 1;
+                }
                 pending_edges.push((u, v));
             }
             EdgeListRecord::Group(v, g) => {
-                max_seen = max_seen.max(v as usize + 1);
+                if v as usize + 1 > max_seen {
+                    max_seen = v as usize + 1;
+                    max_line = idx + 1;
+                }
                 pending_groups.push((v, g));
             }
         }
@@ -203,7 +215,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
     let n = declared.unwrap_or(max_seen);
     if n < max_seen {
         return Err(IoError::Parse {
-            line: 0,
+            line: max_line,
             message: format!(
                 "declared {n} vertices but records reference vertex {}",
                 max_seen - 1

@@ -1,0 +1,114 @@
+//! `fs-serve` — serve estimation jobs over a directory of `.fsg`
+//! stores.
+//!
+//! ```text
+//! fs-serve --root stores [--addr 127.0.0.1:8080] [--conn-workers 4]
+//!          [--job-workers 2] [--max-queue 256] [--store-capacity 8]
+//! ```
+//!
+//! Prints `listening on <addr>` to stderr once bound (port 0 picks an
+//! ephemeral port — useful for scripts). Runs until `POST
+//! /v1/shutdown` arrives or stdin reaches EOF / reads a line saying
+//! `shutdown`, then drains connections, cancels in-flight jobs at
+//! their next chunk, joins every worker, and exits 0 — no signal
+//! handling needed, so orchestrating from CI is one pipe away.
+
+use fs_serve::{Config, Server};
+use std::io::BufRead;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fs-serve --root DIR [--addr HOST:PORT] [--conn-workers N] \
+         [--job-workers N] [--max-queue N] [--store-capacity N] [--no-stdin]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut root: Option<String> = None;
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut conn_workers = 4usize;
+    let mut job_workers = 2usize;
+    let mut max_queue = 256usize;
+    let mut store_capacity = 8usize;
+    // Background processes have no useful stdin (it may be closed,
+    // which reads as instant EOF): --no-stdin leaves HTTP shutdown as
+    // the only trigger.
+    let mut watch_stdin = true;
+
+    fn parsed<T: std::str::FromStr>(value: Option<String>, name: &str) -> T {
+        match value.as_deref().map(str::parse) {
+            Some(Ok(v)) => v,
+            _ => {
+                eprintln!("bad or missing value for {name}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next(),
+            "--addr" => addr = parsed(args.next(), "--addr"),
+            "--conn-workers" => conn_workers = parsed(args.next(), "--conn-workers"),
+            "--job-workers" => job_workers = parsed(args.next(), "--job-workers"),
+            "--max-queue" => max_queue = parsed(args.next(), "--max-queue"),
+            "--store-capacity" => store_capacity = parsed(args.next(), "--store-capacity"),
+            "--no-stdin" => watch_stdin = false,
+            _ => usage(),
+        }
+    }
+    let root = root.unwrap_or_else(|| usage());
+    if !std::path::Path::new(&root).is_dir() {
+        eprintln!("--root {root}: not a directory");
+        std::process::exit(2);
+    }
+
+    let mut config = Config::new(&root);
+    config.addr = addr;
+    config.conn_workers = conn_workers.max(1);
+    config.job_workers = job_workers.max(1);
+    config.max_queue = max_queue.max(1);
+    config.store_capacity = store_capacity.max(1);
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("listening on {}", server.addr());
+
+    // Shutdown sources: HTTP (POST /v1/shutdown) polled here, or stdin
+    // EOF / a "shutdown" line (lets CI stop the server by closing a
+    // pipe, no signals required).
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    if watch_stdin {
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) if l.trim() == "shutdown" => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send(());
+        });
+    } else {
+        // Keep the sender alive so recv_timeout never disconnects.
+        std::mem::forget(tx);
+    }
+    loop {
+        if server.shutdown_requested() {
+            break;
+        }
+        match rx.recv_timeout(std::time::Duration::from_millis(200)) {
+            Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+        }
+    }
+    eprintln!("shutting down");
+    server.shutdown();
+}

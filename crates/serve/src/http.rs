@@ -1,0 +1,315 @@
+//! A minimal, hardened HTTP/1.1 request/response layer over any
+//! `Read`/`Write` stream — no dependencies, no async. Exactly what a
+//! job-submission API needs and nothing more:
+//!
+//! * request line + headers + `Content-Length` body, with hard limits
+//!   on line length, header count, and body size (oversized bodies are
+//!   rejected *before* being read);
+//! * responses are always `Connection: close` with an exact
+//!   `Content-Length`, so clients never need chunked decoding;
+//! * parse failures map to typed errors the server turns into 4xx
+//!   responses instead of killing the connection silently.
+
+use std::io::{BufRead, Write};
+
+/// Parsing limits (defense against hostile or broken clients).
+#[derive(Copy, Clone, Debug)]
+pub struct Limits {
+    /// Longest accepted request/header line in bytes.
+    pub max_line: usize,
+    /// Maximum number of headers.
+    pub max_headers: usize,
+    /// Maximum accepted body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 256 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, …
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Lower-cased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Connection closed before a complete request arrived. An
+    /// immediate close (zero bytes) is a normal client disconnect.
+    Closed,
+    /// Malformed request line / headers.
+    BadRequest(String),
+    /// Declared body exceeds [`Limits::max_body`].
+    PayloadTooLarge,
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, bounded by
+/// `max_line`. Returns `None` at clean EOF before any byte.
+fn read_line(stream: &mut impl BufRead, max_line: usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("truncated line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header line".into()))?;
+                    return Ok(Some(text));
+                }
+                line.push(byte[0]);
+                if line.len() > max_line {
+                    return Err(HttpError::BadRequest("header line too long".into()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads one request. `Err(Closed)` means the client hung up before
+/// sending anything — not an error worth logging.
+pub fn read_request(stream: &mut impl BufRead, limits: &Limits) -> Result<Request, HttpError> {
+    let Some(request_line) = read_line(stream, limits.max_line)? else {
+        return Err(HttpError::Closed);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line".into()));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version '{version}'"
+        )));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!("bad method '{method}'")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("bad target '{target}'")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let Some(line) = read_line(stream, limits.max_line)? else {
+            return Err(HttpError::BadRequest("truncated headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::BadRequest("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header '{line}'")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name.is_empty() {
+            return Err(HttpError::BadRequest("empty header name".into()));
+        }
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length '{value}'")))?;
+        }
+        if name == "transfer-encoding" {
+            // Chunked bodies are not supported; refusing them loudly is
+            // safer than desynchronising on the stream.
+            return Err(HttpError::BadRequest(
+                "transfer-encoding not supported; send content-length".into(),
+            ));
+        }
+        headers.push((name, value));
+    }
+    if content_length > limits.max_body {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::BadRequest("body shorter than content-length".into())
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP status line this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response with exact `Content-Length` and
+/// `Connection: close`.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw), &Limits::default())
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = b"POST /v1/jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.header("HOST"), Some("h"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: h\n\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/9.9\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::BadRequest(_))),
+                "{:?} should be a bad request",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_error() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn oversized_body_rejected_without_reading_it() {
+        let limits = Limits {
+            max_body: 8,
+            ..Limits::default()
+        };
+        // Declared 1 GiB body, only headers sent: must fail fast.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n";
+        let got = read_request(&mut BufReader::new(&raw[..]), &limits);
+        assert!(matches!(got, Err(HttpError::PayloadTooLarge)));
+    }
+
+    #[test]
+    fn line_length_limit() {
+        let limits = Limits {
+            max_line: 32,
+            ..Limits::default()
+        };
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        let got = read_request(&mut BufReader::new(raw.as_bytes()), &limits);
+        assert!(matches!(got, Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn response_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "{\"error\":\"nope\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("content-length: 16\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"nope\"}"));
+    }
+}

@@ -1,0 +1,554 @@
+//! Job lifecycle: a bounded worker pool executing sampling jobs over
+//! shared mmap stores, with incremental progress, partial estimates,
+//! cancellation, and clean shutdown.
+//!
+//! ## Lifecycle
+//!
+//! `submit` validates the spec (sampler/estimator compatibility, store
+//! existence — both fail fast with a client error), resolves the store
+//! to an `Arc<MmapGraph>` handle (held for the job's whole life, so
+//! registry eviction can never unmap it mid-run), and enqueues.
+//! `workers` threads pop jobs and drive a
+//! [`frontier_sampling::runner::ChunkedRunner`] chunk by chunk; after
+//! every chunk the shared state gets a fresh progress figure and
+//! estimator snapshot (what `GET /v1/jobs/{id}` serves as *partial*
+//! results), and the cancel/shutdown flags are honoured. Pooled jobs
+//! are the one exception to chunk-granular cancellation: the pool's
+//! event-generation phase runs to completion before the (cancellable,
+//! chunked) estimator feed — which is why pooled budgets are capped at
+//! submit, keeping that phase seconds at worst.
+//!
+//! ## Determinism
+//!
+//! Sequential jobs inherit the runner's contract: seed `s` ⇒
+//! bit-identical to the library call with seed `s`. Pooled jobs
+//! (`pool_threads`, FS and MultipleRW only) run
+//! [`ParallelWalkerPool::frontier`]/[`ParallelWalkerPool::multiple_rw`],
+//! which are bit-identical at every thread count — so a pooled job's
+//! result is a pure function of `(store content, spec, seed)`, not of
+//! the server's thread schedule. Pinned end-to-end by the
+//! `determinism` integration test.
+
+use crate::registry::{RegistryError, StoreRegistry};
+use frontier_sampling::runner::{
+    ChunkStatus, ChunkedRunner, EstimateSnapshot, EstimatorSpec, JobEstimator, Sample, SamplerSpec,
+};
+use frontier_sampling::{Budget, CostModel, FrontierSampler, MultipleRw, ParallelWalkerPool};
+use fs_store::MmapGraph;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A validated job specification.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Store file name under the registry root.
+    pub store: String,
+    /// Sampling method.
+    pub sampler: SamplerSpec,
+    /// Budget `B` in query units.
+    pub budget: f64,
+    /// RNG seed — fixes the result bit-for-bit.
+    pub seed: u64,
+    /// Which estimate to report.
+    pub estimator: EstimatorSpec,
+    /// `Some(t)`: run on the deterministic walker pool with `t`
+    /// threads (FS and MultipleRW only). `None`: sequential.
+    pub pool_threads: Option<usize>,
+}
+
+/// Where a job is in its life.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting for a worker.
+    Queued,
+    /// Executing.
+    Running,
+    /// Completed; the estimate is final.
+    Done,
+    /// Aborted by error.
+    Failed,
+    /// Cancelled by the client or by server shutdown.
+    Cancelled,
+}
+
+impl JobPhase {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job has reached a terminal phase.
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobPhase::Done | JobPhase::Failed | JobPhase::Cancelled
+        )
+    }
+}
+
+/// Mutable job state behind the shared lock.
+struct JobState {
+    phase: JobPhase,
+    error: Option<String>,
+    steps_done: u64,
+    progress: f64,
+    snapshot: Option<EstimateSnapshot>,
+}
+
+struct JobShared {
+    spec: JobSpec,
+    store_digest: u64,
+    state: Mutex<JobState>,
+    cancel: AtomicBool,
+}
+
+/// A read-only snapshot of one job, for serialization.
+#[derive(Clone, Debug)]
+pub struct JobView {
+    /// Job id.
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Content digest of the store the job runs over.
+    pub store_digest: u64,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Failure reason, when `phase == Failed`.
+    pub error: Option<String>,
+    /// Walk attempts completed.
+    pub steps_done: u64,
+    /// Budget fraction consumed, `[0, 1]`.
+    pub progress: f64,
+    /// Latest estimate — partial while running, final when done.
+    pub estimate: Option<EstimateSnapshot>,
+}
+
+/// Rejection reasons for `submit`.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Spec invalid (bad sampler/estimator combination, bad budget,
+    /// pooled execution for an unsupported sampler).
+    Invalid(String),
+    /// Store resolution failed.
+    Store(RegistryError),
+    /// The queue is full — back-pressure, try again later.
+    QueueFull,
+    /// The manager is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(m) => write!(f, "{m}"),
+            SubmitError::Store(e) => write!(f, "{e}"),
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+type QueueItem = (u64, Arc<JobShared>, Arc<MmapGraph>);
+
+struct ManagerInner {
+    queue: VecDeque<QueueItem>,
+    shutdown: bool,
+}
+
+/// The bounded job worker pool. See the [module docs](self).
+pub struct JobManager {
+    registry: Arc<StoreRegistry>,
+    jobs: Mutex<HashMap<u64, Arc<JobShared>>>,
+    inner: Mutex<ManagerInner>,
+    wake: Condvar,
+    next_id: AtomicU64,
+    max_queue: usize,
+    /// Attempts per chunk between snapshot/cancel checks.
+    chunk: usize,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Completed jobs retained before the oldest are pruned.
+const MAX_RETAINED_JOBS: usize = 10_000;
+
+/// Extra headroom before a prune pass actually runs (amortisation).
+const RETENTION_SLACK: usize = 1_024;
+
+/// Upper bound on `m` for FS/MultipleRW jobs: walker state is `O(m)`,
+/// and `m` beyond the budget buys nothing (each start costs budget).
+const MAX_WALKERS: usize = 1_000_000;
+
+/// Upper bound on `pool_threads` (the pool clamps to `min(t, m)` per
+/// stage, but there is no reason to accept absurd values).
+const MAX_POOL_THREADS: usize = 256;
+
+/// Budget cap for pooled jobs — bounds the uninterruptible pool
+/// generation phase so cancellation/shutdown latency stays small (a
+/// 100M-step FS walk completes in seconds on this class of hardware).
+const MAX_POOLED_BUDGET: f64 = 1e8;
+
+impl JobManager {
+    /// Starts `workers` job threads over `registry`. `max_queue` bounds
+    /// queued-but-not-running jobs (back-pressure surface).
+    pub fn start(
+        registry: Arc<StoreRegistry>,
+        workers: usize,
+        max_queue: usize,
+    ) -> Arc<JobManager> {
+        assert!(workers >= 1, "need at least one job worker");
+        let manager = Arc::new(JobManager {
+            registry,
+            jobs: Mutex::new(HashMap::new()),
+            inner: Mutex::new(ManagerInner {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            max_queue,
+            chunk: 8_192,
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let m = Arc::clone(&manager);
+            handles.push(std::thread::spawn(move || m.worker_loop()));
+        }
+        *manager.workers.lock().expect("workers poisoned") = handles;
+        manager
+    }
+
+    /// Validates and enqueues a job; returns its id.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        if !(spec.budget.is_finite() && spec.budget >= 0.0) {
+            return Err(SubmitError::Invalid(format!(
+                "budget must be a finite non-negative number, got {}",
+                spec.budget
+            )));
+        }
+        // Untrusted `m` sizes walker-state allocations; a petabyte
+        // `Vec` request would abort the process (allocation failure is
+        // not a catchable panic), so bound it server-side.
+        if let SamplerSpec::Frontier { m } | SamplerSpec::Multiple { m } = spec.sampler {
+            if m > MAX_WALKERS {
+                return Err(SubmitError::Invalid(format!(
+                    "m = {m} exceeds the server limit of {MAX_WALKERS} walkers"
+                )));
+            }
+        }
+        if let Some(t) = spec.pool_threads {
+            if t < 1 {
+                return Err(SubmitError::Invalid("pool_threads must be >= 1".into()));
+            }
+            if t > MAX_POOL_THREADS {
+                return Err(SubmitError::Invalid(format!(
+                    "pool_threads = {t} exceeds the server limit of {MAX_POOL_THREADS}"
+                )));
+            }
+            if !matches!(
+                spec.sampler,
+                SamplerSpec::Frontier { .. } | SamplerSpec::Multiple { .. }
+            ) {
+                return Err(SubmitError::Invalid(format!(
+                    "pooled execution supports fs and multiple, not {}",
+                    spec.sampler.label()
+                )));
+            }
+            // The pool generates its whole event stream before the
+            // chunked (cancellable) feed phase, so the walk phase runs
+            // uninterruptible — bound it so cancellation and shutdown
+            // stay prompt. Sequential jobs cancel at every chunk and
+            // take any budget.
+            if spec.budget > MAX_POOLED_BUDGET {
+                return Err(SubmitError::Invalid(format!(
+                    "pooled jobs are capped at a budget of {MAX_POOLED_BUDGET:.0} \
+                     (the pool's generation phase is not cancellable); \
+                     drop pool_threads for larger budgets"
+                )));
+            }
+        }
+        // Dry-run the estimator pairing so incompatible combinations
+        // fail at submit, not mid-job.
+        JobEstimator::new(spec.estimator, &spec.sampler).map_err(SubmitError::Invalid)?;
+        let (digest, graph) = self.registry.get(&spec.store).map_err(SubmitError::Store)?;
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(JobShared {
+            spec,
+            store_digest: digest,
+            state: Mutex::new(JobState {
+                phase: JobPhase::Queued,
+                error: None,
+                steps_done: 0,
+                progress: 0.0,
+                snapshot: None,
+            }),
+            cancel: AtomicBool::new(false),
+        });
+        {
+            let mut inner = self.inner.lock().expect("manager poisoned");
+            if inner.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if inner.queue.len() >= self.max_queue {
+                return Err(SubmitError::QueueFull);
+            }
+            inner.queue.push_back((id, Arc::clone(&shared), graph));
+        }
+        let mut jobs = self.jobs.lock().expect("jobs poisoned");
+        jobs.insert(id, shared);
+        // Bound retention: drop the oldest *terminal* jobs beyond the
+        // cap. The slack amortizes the O(len) scan (which touches every
+        // job's state lock) over many submits instead of paying it on
+        // each one once the cap is reached.
+        if jobs.len() > MAX_RETAINED_JOBS + RETENTION_SLACK {
+            let mut terminal: Vec<u64> = jobs
+                .iter()
+                .filter(|(_, j)| j.state.lock().expect("job poisoned").phase.terminal())
+                .map(|(&id, _)| id)
+                .collect();
+            terminal.sort_unstable();
+            let excess = jobs.len().saturating_sub(MAX_RETAINED_JOBS);
+            for id in terminal.into_iter().take(excess) {
+                jobs.remove(&id);
+            }
+        }
+        drop(jobs);
+        self.wake.notify_one();
+        Ok(id)
+    }
+
+    /// Snapshot of one job.
+    pub fn view(&self, id: u64) -> Option<JobView> {
+        let shared = {
+            let jobs = self.jobs.lock().expect("jobs poisoned");
+            Arc::clone(jobs.get(&id)?)
+        };
+        let state = shared.state.lock().expect("job poisoned");
+        Some(JobView {
+            id,
+            spec: shared.spec.clone(),
+            store_digest: shared.store_digest,
+            phase: state.phase,
+            error: state.error.clone(),
+            steps_done: state.steps_done,
+            progress: state.progress,
+            estimate: state.snapshot.clone(),
+        })
+    }
+
+    /// Requests cancellation. Returns the job's phase after the
+    /// request, or `None` for unknown ids. Queued jobs flip to
+    /// `Cancelled` immediately; running jobs stop at their next chunk
+    /// boundary.
+    pub fn cancel(&self, id: u64) -> Option<JobPhase> {
+        let shared = {
+            let jobs = self.jobs.lock().expect("jobs poisoned");
+            Arc::clone(jobs.get(&id)?)
+        };
+        shared.cancel.store(true, Ordering::Relaxed);
+        // If still queued, remove from the queue and finalise here.
+        let mut inner = self.inner.lock().expect("manager poisoned");
+        if let Some(at) = inner.queue.iter().position(|(qid, _, _)| *qid == id) {
+            inner.queue.remove(at);
+            drop(inner);
+            let mut state = shared.state.lock().expect("job poisoned");
+            state.phase = JobPhase::Cancelled;
+            return Some(JobPhase::Cancelled);
+        }
+        drop(inner);
+        let phase = shared.state.lock().expect("job poisoned").phase;
+        Some(phase)
+    }
+
+    /// Jobs currently queued or running (the in-flight count the load
+    /// generator reports against).
+    pub fn in_flight(&self) -> usize {
+        let jobs = self.jobs.lock().expect("jobs poisoned");
+        jobs.values()
+            .filter(|j| !j.state.lock().expect("job poisoned").phase.terminal())
+            .count()
+    }
+
+    /// Clean shutdown: stop accepting, cancel queued jobs, signal
+    /// running jobs to stop at their next chunk, join every worker.
+    pub fn shutdown(&self) {
+        let drained: Vec<QueueItem> = {
+            let mut inner = self.inner.lock().expect("manager poisoned");
+            inner.shutdown = true;
+            inner.queue.drain(..).collect()
+        };
+        for (_, shared, _) in drained {
+            shared.cancel.store(true, Ordering::Relaxed);
+            let mut state = shared.state.lock().expect("job poisoned");
+            state.phase = JobPhase::Cancelled;
+        }
+        // Running jobs observe the cancel flag at the next chunk.
+        {
+            let jobs = self.jobs.lock().expect("jobs poisoned");
+            for shared in jobs.values() {
+                shared.cancel.store(true, Ordering::Relaxed);
+            }
+        }
+        self.wake.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let item = {
+                let mut inner = self.inner.lock().expect("manager poisoned");
+                loop {
+                    if let Some(item) = inner.queue.pop_front() {
+                        break Some(item);
+                    }
+                    if inner.shutdown {
+                        break None;
+                    }
+                    inner = self.wake.wait(inner).expect("manager poisoned");
+                }
+            };
+            let Some((_, shared, graph)) = item else {
+                return;
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_job(&shared, &graph)
+            }));
+            if let Err(panic) = outcome {
+                let message = panic
+                    .downcast_ref::<String>()
+                    .map(|s| s.as_str())
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("job panicked");
+                let mut state = shared.state.lock().expect("job poisoned");
+                state.phase = JobPhase::Failed;
+                state.error = Some(format!("internal error: {message}"));
+            }
+        }
+    }
+
+    fn run_job(&self, shared: &JobShared, graph: &MmapGraph) {
+        {
+            let mut state = shared.state.lock().expect("job poisoned");
+            if shared.cancel.load(Ordering::Relaxed) {
+                state.phase = JobPhase::Cancelled;
+                return;
+            }
+            state.phase = JobPhase::Running;
+        }
+        let spec = &shared.spec;
+        let mut estimator =
+            JobEstimator::new(spec.estimator, &spec.sampler).expect("validated at submit");
+
+        let cancelled = if let Some(threads) = spec.pool_threads {
+            self.run_pooled(shared, graph, threads, &mut estimator)
+        } else {
+            self.run_sequential(shared, graph, &mut estimator)
+        };
+
+        let mut state = shared.state.lock().expect("job poisoned");
+        state.snapshot = Some(estimator.snapshot());
+        if cancelled {
+            state.phase = JobPhase::Cancelled;
+        } else {
+            state.progress = 1.0;
+            state.phase = JobPhase::Done;
+        }
+    }
+
+    /// Sequential chunked execution; returns whether cancelled.
+    fn run_sequential(
+        &self,
+        shared: &JobShared,
+        graph: &MmapGraph,
+        estimator: &mut JobEstimator,
+    ) -> bool {
+        let spec = &shared.spec;
+        let mut runner = ChunkedRunner::new(
+            &spec.sampler,
+            graph,
+            &CostModel::unit(),
+            spec.budget,
+            spec.seed,
+        );
+        loop {
+            if shared.cancel.load(Ordering::Relaxed) {
+                return true;
+            }
+            let status = runner.run_chunk(self.chunk, |sample| estimator.observe(graph, sample));
+            let mut state = shared.state.lock().expect("job poisoned");
+            state.steps_done = runner.steps_done();
+            state.progress = runner.progress();
+            state.snapshot = Some(estimator.snapshot());
+            drop(state);
+            if status == ChunkStatus::Finished {
+                return false;
+            }
+        }
+    }
+
+    /// Pooled execution (deterministic at any thread count); returns
+    /// whether cancelled.
+    fn run_pooled(
+        &self,
+        shared: &JobShared,
+        graph: &MmapGraph,
+        threads: usize,
+        estimator: &mut JobEstimator,
+    ) -> bool {
+        let spec = &shared.spec;
+        // The generation phase below is uninterruptible (its length is
+        // bounded by the pooled-budget cap at submit); honour a cancel
+        // that arrived while the job was queued.
+        if shared.cancel.load(Ordering::Relaxed) {
+            return true;
+        }
+        let pool = ParallelWalkerPool::with_threads(threads);
+        let mut budget = Budget::new(spec.budget);
+        let run = match spec.sampler {
+            SamplerSpec::Frontier { m } => pool.frontier(
+                &FrontierSampler::new(m),
+                graph,
+                &CostModel::unit(),
+                &mut budget,
+                spec.seed,
+            ),
+            SamplerSpec::Multiple { m } => pool.multiple_rw(
+                &MultipleRw::new(m),
+                graph,
+                &CostModel::unit(),
+                &mut budget,
+                spec.seed,
+            ),
+            _ => unreachable!("validated at submit"),
+        };
+        let total = run.steps.len().max(1);
+        let mut fed = 0usize;
+        for step_chunk in run.steps.chunks(self.chunk) {
+            if shared.cancel.load(Ordering::Relaxed) {
+                return true;
+            }
+            for step in step_chunk {
+                if let Some(edge) = step.outcome.sampled() {
+                    estimator.observe(graph, Sample::Edge(edge));
+                }
+            }
+            fed += step_chunk.len();
+            let mut state = shared.state.lock().expect("job poisoned");
+            state.steps_done = fed as u64;
+            state.progress = fed as f64 / total as f64;
+            state.snapshot = Some(estimator.snapshot());
+        }
+        false
+    }
+}

@@ -1,0 +1,54 @@
+//! # fs-serve — a dependency-free estimation service over mmap stores
+//!
+//! The paper's output is *estimates from budgeted crawls* (Ribeiro &
+//! Towsley, IMC 2010, §2/§4); this crate is the layer that serves them:
+//! a threaded HTTP/1.1 service (`std::net` only — the build environment
+//! has no registry access, so everything from JSON to the protocol
+//! parser is hand-rolled and hardened) that schedules sampling jobs
+//! over shared memory-mapped `.fsg` graph stores and streams results.
+//!
+//! * [`registry::StoreRegistry`] — content-digest-keyed LRU of open
+//!   [`fs_store::MmapGraph`]s; concurrent readers; eviction safe under
+//!   in-flight jobs (handles are `Arc`s).
+//! * [`jobs::JobManager`] — bounded worker pool executing
+//!   [`frontier_sampling::runner::ChunkedRunner`] jobs chunk by chunk:
+//!   incremental progress, partial estimates, cancellation, clean
+//!   shutdown with jobs in flight.
+//! * [`server::Server`] — the HTTP surface: `POST /v1/jobs`,
+//!   `GET /v1/jobs/{id}`, `GET /v1/stores`, `GET /healthz`,
+//!   `DELETE /v1/jobs/{id}`, `POST /v1/shutdown`.
+//! * [`json`] / [`http`] — the minimal wire layers (shortest-round-trip
+//!   float encoding: estimates survive the wire bit for bit).
+//!
+//! ## Determinism guarantee
+//!
+//! A job submitted with seed `s` returns results **bit-identical** to
+//! the equivalent direct library call with seed `s` — sequential
+//! (`ChunkedRunner` contract) and pooled (`ParallelWalkerPool`'s
+//! thread-count-independent reductions). Pinned end-to-end by the
+//! `determinism` integration test.
+//!
+//! ## Quickstart
+//!
+//! ```text
+//! graphstore convert graph.el stores/graph.fsg     # build a store
+//! fs-serve --root stores --addr 127.0.0.1:8080     # serve it
+//! curl -X POST localhost:8080/v1/jobs -d \
+//!   '{"store":"graph.fsg","sampler":"fs","m":16,"budget":100000,
+//!     "seed":7,"estimator":"avg_degree"}'
+//! curl localhost:8080/v1/jobs/1                    # poll progress
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod jobs;
+pub mod json;
+pub mod registry;
+pub mod server;
+
+pub use jobs::{JobManager, JobPhase, JobSpec, JobView, SubmitError};
+pub use json::Json;
+pub use registry::{RegistryError, StoreInfo, StoreRegistry};
+pub use server::{Config, Server};

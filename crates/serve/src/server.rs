@@ -1,0 +1,457 @@
+//! The HTTP server: a `TcpListener` accept loop feeding a bounded pool
+//! of connection workers, routing onto the [`StoreRegistry`] and
+//! [`JobManager`].
+//!
+//! ## API
+//!
+//! | method & path        | meaning                                       |
+//! |----------------------|-----------------------------------------------|
+//! | `GET /healthz`       | liveness + worker/queue stats                 |
+//! | `GET /v1/stores`     | list `.fsg` stores under the root             |
+//! | `POST /v1/jobs`      | submit a job (JSON body; `202` + `{"id": …}`) |
+//! | `GET /v1/jobs/{id}`  | job status, progress, partial/final estimate  |
+//! | `DELETE /v1/jobs/{id}` | cancel                                      |
+//! | `POST /v1/shutdown`  | graceful shutdown (also via [`Server::shutdown`]) |
+//!
+//! Job body: `{"store": "name.fsg", "sampler": "fs", "m": 16,
+//! "alpha": 1.0, "budget": 10000, "seed": 7, "estimator":
+//! "avg_degree", "pool_threads": 8}` — `m`/`alpha`/`pool_threads`
+//! optional where the sampler ignores them.
+//!
+//! ## Shutdown
+//!
+//! `shutdown()` (or `POST /v1/shutdown`) stops the acceptor, drains
+//! connection workers, cancels queued jobs, interrupts running jobs at
+//! their next chunk boundary, and joins every thread — jobs in flight
+//! end `cancelled`, never wedged (pinned by the protocol tests).
+
+use crate::http::{self, HttpError, Limits, Request};
+use crate::jobs::{JobManager, JobPhase, JobSpec, JobView, SubmitError};
+use crate::json::{self, Json};
+use crate::registry::{RegistryError, StoreRegistry};
+use frontier_sampling::runner::{EstimatorSpec, SamplerSpec};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Directory holding `.fsg` stores.
+    pub root: PathBuf,
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Connection worker threads.
+    pub conn_workers: usize,
+    /// Job worker threads.
+    pub job_workers: usize,
+    /// Maximum queued jobs (back-pressure → `429`).
+    pub max_queue: usize,
+    /// Maximum stores kept mapped.
+    pub store_capacity: usize,
+    /// HTTP parsing limits.
+    pub limits: Limits,
+}
+
+impl Config {
+    /// Sensible defaults over `root`, binding an ephemeral local port.
+    pub fn new(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            addr: "127.0.0.1:0".to_string(),
+            conn_workers: 4,
+            job_workers: 2,
+            max_queue: 256,
+            store_capacity: 8,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`].
+pub struct Server {
+    addr: std::net::SocketAddr,
+    /// Draining: `POST /v1/shutdown` sets it; requests answer `503`
+    /// but connections are still served (the owner decides when to
+    /// actually stop).
+    shutdown_flag: Arc<AtomicBool>,
+    /// Hard stop: set only by [`Server::shutdown`]; the acceptor exits.
+    quit_flag: Arc<AtomicBool>,
+    manager: Arc<JobManager>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    conn_workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    registry: Arc<StoreRegistry>,
+    manager: Arc<JobManager>,
+    shutdown_flag: Arc<AtomicBool>,
+    limits: Limits,
+    job_workers: usize,
+}
+
+impl Server {
+    /// Binds, spawns the workers, and starts accepting.
+    pub fn start(config: Config) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(StoreRegistry::new(&config.root, config.store_capacity));
+        let manager =
+            JobManager::start(Arc::clone(&registry), config.job_workers, config.max_queue);
+        let shutdown_flag = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            registry,
+            manager: Arc::clone(&manager),
+            shutdown_flag: Arc::clone(&shutdown_flag),
+            limits: config.limits,
+            job_workers: config.job_workers,
+        });
+
+        // Bounded handoff: the acceptor blocks when every connection
+        // worker is busy and the channel is full — back-pressure at the
+        // TCP accept queue rather than unbounded thread growth.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.conn_workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut conn_workers = Vec::with_capacity(config.conn_workers);
+        for _ in 0..config.conn_workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            conn_workers.push(std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = rx.lock().expect("conn rx poisoned");
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => handle_connection(stream, &shared),
+                    Err(_) => return, // channel closed: shutdown
+                }
+            }));
+        }
+
+        let quit_flag = Arc::new(AtomicBool::new(false));
+        let accept_flag = Arc::clone(&quit_flag);
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // tx drops here, closing the worker channel.
+        });
+
+        Ok(Server {
+            addr,
+            shutdown_flag,
+            quit_flag,
+            manager,
+            acceptor: Some(acceptor),
+            conn_workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Whether a client asked for shutdown (`POST /v1/shutdown`). The
+    /// owner should then call [`Server::shutdown`] to drain and join.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_flag.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: see the [module docs](self). Idempotent.
+    pub fn shutdown(mut self) {
+        self.shutdown_flag.store(true, Ordering::SeqCst);
+        self.quit_flag.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.conn_workers.drain(..) {
+            let _ = h.join();
+        }
+        self.manager.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    // A slow-loris client must not pin a worker forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let request = match http::read_request(&mut reader, &shared.limits) {
+        Ok(request) => request,
+        Err(HttpError::Closed) => return,
+        Err(HttpError::PayloadTooLarge) => {
+            let body = error_body("request body too large");
+            let _ = http::write_response(&mut writer, 413, &body);
+            drain_unread(reader);
+            return;
+        }
+        Err(HttpError::BadRequest(message)) => {
+            let body = error_body(&format!("malformed request: {message}"));
+            let _ = http::write_response(&mut writer, 400, &body);
+            drain_unread(reader);
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    let (status, body) = route(&request, shared);
+    let _ = http::write_response(&mut writer, status, &body);
+}
+
+/// Consumes (bounded, briefly) whatever request bytes the client is
+/// still sending after an early error response. Closing with unread
+/// data pending makes the kernel send RST, which can discard the
+/// already-written response before the client reads it — draining
+/// first lets the 4xx actually arrive.
+fn drain_unread(mut reader: BufReader<TcpStream>) {
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let mut sink = [0u8; 8192];
+    let mut drained = 0usize;
+    while drained < 4 * 1024 * 1024 {
+        match std::io::Read::read(&mut reader, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj([("error", Json::from(message))]).encode()
+}
+
+fn route(request: &Request, shared: &Shared) -> (u16, String) {
+    if shared.shutdown_flag.load(Ordering::SeqCst) {
+        return (503, error_body("server is shutting down"));
+    }
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => (
+            200,
+            Json::obj([
+                ("status", Json::from("ok")),
+                ("open_stores", Json::from(shared.registry.open_count())),
+                ("in_flight_jobs", Json::from(shared.manager.in_flight())),
+                ("job_workers", Json::from(shared.job_workers)),
+            ])
+            .encode(),
+        ),
+        ("GET", "/v1/stores") => match shared.registry.list() {
+            Ok(infos) => {
+                let items: Vec<Json> = infos
+                    .into_iter()
+                    .map(|i| {
+                        Json::obj([
+                            ("name", Json::from(i.name)),
+                            ("digest", Json::from(format!("{:016x}", i.digest))),
+                            ("num_vertices", Json::from(i.num_vertices)),
+                            ("num_arcs", Json::from(i.num_arcs)),
+                            ("open", Json::from(i.open)),
+                        ])
+                    })
+                    .collect();
+                (200, Json::obj([("stores", Json::Arr(items))]).encode())
+            }
+            Err(e) => (500, error_body(&format!("cannot list stores: {e}"))),
+        },
+        ("POST", "/v1/jobs") => submit_job(request, shared),
+        ("POST", "/v1/shutdown") => {
+            shared.shutdown_flag.store(true, Ordering::SeqCst);
+            (
+                202,
+                Json::obj([("status", Json::from("shutting down"))]).encode(),
+            )
+        }
+        _ => {
+            if let Some(id_text) = path.strip_prefix("/v1/jobs/") {
+                let Ok(id) = id_text.parse::<u64>() else {
+                    return (400, error_body(&format!("bad job id '{id_text}'")));
+                };
+                return match method {
+                    "GET" => match shared.manager.view(id) {
+                        Some(view) => (200, job_json(&view).encode()),
+                        None => (404, error_body(&format!("no job {id}"))),
+                    },
+                    "DELETE" => match shared.manager.cancel(id) {
+                        Some(phase) => (
+                            200,
+                            Json::obj([
+                                ("id", Json::from(id)),
+                                ("phase", Json::from(phase.name())),
+                            ])
+                            .encode(),
+                        ),
+                        None => (404, error_body(&format!("no job {id}"))),
+                    },
+                    _ => (405, error_body("use GET or DELETE on /v1/jobs/{id}")),
+                };
+            }
+            match path {
+                "/healthz" | "/v1/stores" | "/v1/jobs" | "/v1/shutdown" => (
+                    405,
+                    error_body(&format!("method {method} not allowed on {path}")),
+                ),
+                _ => (404, error_body(&format!("no route for {path}"))),
+            }
+        }
+    }
+}
+
+fn submit_job(request: &Request, shared: &Shared) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return (400, error_body("body is not UTF-8"));
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let spec = match parse_job_spec(&doc) {
+        Ok(spec) => spec,
+        Err(message) => return (400, error_body(&message)),
+    };
+    match shared.manager.submit(spec) {
+        Ok(id) => (
+            202,
+            Json::obj([("id", Json::from(id)), ("phase", Json::from("queued"))]).encode(),
+        ),
+        Err(SubmitError::Invalid(m)) => (400, error_body(&m)),
+        Err(SubmitError::Store(RegistryError::NotFound(n))) => {
+            (404, error_body(&format!("no store named '{n}'")))
+        }
+        Err(SubmitError::Store(e)) => (400, error_body(&e.to_string())),
+        Err(SubmitError::QueueFull) => (429, error_body("job queue is full; retry later")),
+        Err(SubmitError::ShuttingDown) => (503, error_body("server is shutting down")),
+    }
+}
+
+fn parse_job_spec(doc: &Json) -> Result<JobSpec, String> {
+    let field_str = |name: &str| -> Result<&str, String> {
+        doc.get(name)
+            .ok_or_else(|| format!("missing field '{name}'"))?
+            .as_str()
+            .ok_or_else(|| format!("field '{name}' must be a string"))
+    };
+    let store = field_str("store")?.to_string();
+    let sampler_name = field_str("sampler")?;
+    let estimator_name = field_str("estimator")?;
+    let budget = doc
+        .get("budget")
+        .ok_or("missing field 'budget'")?
+        .as_f64()
+        .ok_or("field 'budget' must be a number")?;
+    let seed = doc
+        .get("seed")
+        .ok_or("missing field 'seed'")?
+        .as_u64()
+        .ok_or("field 'seed' must be a non-negative integer")?;
+    let m = match doc.get("m") {
+        None | Some(Json::Null) => 1,
+        Some(v) => v
+            .as_u64()
+            .ok_or("field 'm' must be a non-negative integer")? as usize,
+    };
+    let alpha = match doc.get("alpha") {
+        None | Some(Json::Null) => 0.0,
+        Some(v) => v.as_f64().ok_or("field 'alpha' must be a number")?,
+    };
+    let pool_threads = match doc.get("pool_threads") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("field 'pool_threads' must be a non-negative integer")? as usize,
+        ),
+    };
+    for (key, _) in match doc {
+        Json::Obj(pairs) => pairs.iter(),
+        _ => return Err("body must be a JSON object".into()),
+    } {
+        if !matches!(
+            key.as_str(),
+            "store" | "sampler" | "estimator" | "budget" | "seed" | "m" | "alpha" | "pool_threads"
+        ) {
+            return Err(format!("unknown field '{key}'"));
+        }
+    }
+    let sampler = SamplerSpec::parse(sampler_name, m, alpha)?;
+    let estimator = EstimatorSpec::parse(estimator_name)?;
+    Ok(JobSpec {
+        store,
+        sampler,
+        budget,
+        seed,
+        estimator,
+        pool_threads,
+    })
+}
+
+/// Serializes a job view. Estimate floats use shortest-round-trip
+/// encoding, so clients recover server-side values bit for bit.
+fn job_json(view: &JobView) -> Json {
+    let estimate = match &view.estimate {
+        None => Json::Null,
+        Some(snapshot) => Json::obj([
+            ("num_observed", Json::from(snapshot.num_observed)),
+            (
+                "scalar",
+                snapshot.scalar.map(Json::Num).unwrap_or(Json::Null),
+            ),
+            (
+                "vector",
+                snapshot
+                    .vector
+                    .as_ref()
+                    .map(|v| Json::Arr(v.iter().map(|&x| Json::Num(x)).collect()))
+                    .unwrap_or(Json::Null),
+            ),
+        ]),
+    };
+    Json::obj([
+        ("id", Json::from(view.id)),
+        ("phase", Json::from(view.phase.name())),
+        (
+            "error",
+            view.error.as_deref().map(Json::from).unwrap_or(Json::Null),
+        ),
+        ("store", Json::from(view.spec.store.clone())),
+        (
+            "store_digest",
+            Json::from(format!("{:016x}", view.store_digest)),
+        ),
+        ("sampler", Json::from(view.spec.sampler.label())),
+        ("estimator", Json::from(view.spec.estimator.name())),
+        ("budget", Json::Num(view.spec.budget)),
+        ("seed", Json::from(view.spec.seed)),
+        (
+            "pool_threads",
+            view.spec
+                .pool_threads
+                .map(|t| Json::from(t as u64))
+                .unwrap_or(Json::Null),
+        ),
+        ("steps_done", Json::from(view.steps_done)),
+        ("progress", Json::Num(view.progress)),
+        ("final", Json::from(view.phase == JobPhase::Done)),
+        ("estimate", estimate),
+    ])
+}

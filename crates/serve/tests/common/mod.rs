@@ -1,0 +1,87 @@
+//! Shared fixtures for the serve integration tests: a temp store
+//! directory and a dependency-free HTTP client.
+
+use fs_serve::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+/// Creates a temp directory holding one BA graph store named
+/// `ba.fsg`, returning the directory path.
+pub fn store_dir(tag: &str, vertices: usize, seed: u64) -> PathBuf {
+    use rand::SeedableRng;
+    let dir = std::env::temp_dir().join(format!(
+        "fs_serve_test_{tag}_{}_{}",
+        std::process::id(),
+        seed
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let g = fs_gen::barabasi_albert(vertices, 3, &mut rng);
+    fs_store::write_store(&g, dir.join("ba.fsg")).unwrap();
+    dir
+}
+
+/// One HTTP request over a fresh connection; returns (status, body).
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let body = body.unwrap_or("");
+    // Write errors are tolerated: the server may respond and close
+    // before consuming the whole request.
+    let _ = write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    read_response(&mut stream)
+}
+
+#[allow(dead_code)] // used by the protocol suite only
+/// Sends raw bytes and reads whatever comes back (for malformed-input
+/// tests).
+pub fn raw_request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.write_all(raw);
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Parses a response body as JSON.
+pub fn parse(body: &str) -> Json {
+    json::parse(body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e}"))
+}
+
+/// Polls `GET /v1/jobs/{id}` until the phase is terminal; returns the
+/// final document.
+pub fn wait_terminal(addr: SocketAddr, id: u64) -> Json {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/v1/jobs/{id}"), None);
+        assert_eq!(status, 200, "poll failed: {body}");
+        let doc = parse(&body);
+        let phase = doc.get("phase").unwrap().as_str().unwrap();
+        if ["done", "failed", "cancelled"].contains(&phase) {
+            return doc;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job {id} never finished"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}

@@ -204,16 +204,23 @@ pub fn ingest_edge_list(
     // ---- Pass 1: count, validate, learn the universe. -------------
     let mut declared: Option<usize> = None;
     let mut max_seen: usize = 0; // max id + 1
+                                 // Line that first referenced the highest vertex id — a
+                                 // declared-too-small error points there, exactly like the in-memory
+                                 // `read_edge_list` (pinned by the dialect-parity test).
+    let mut max_line: usize = 0;
     let mut counts: Vec<u64> = Vec::new(); // arc records per owner
     let mut group_records: Vec<(u32, u32)> = Vec::new();
     let mut total_records: u64 = 0;
-    let lines = scan(input, |record, _lineno| {
+    let lines = scan(input, |record, lineno| {
         match record {
             Record::Blank => {}
             Record::Vertices(n) => declared = Some(n),
             Record::Edge(u, v) => {
                 let hi = u.max(v) as usize;
-                max_seen = max_seen.max(hi + 1);
+                if hi + 1 > max_seen {
+                    max_seen = hi + 1;
+                    max_line = lineno;
+                }
                 // Self-loops raise the inferred vertex count but
                 // produce no arcs, exactly as in `GraphBuilder`.
                 if u != v {
@@ -226,7 +233,10 @@ pub fn ingest_edge_list(
                 }
             }
             Record::Group(v, g) => {
-                max_seen = max_seen.max(v as usize + 1);
+                if v as usize + 1 > max_seen {
+                    max_seen = v as usize + 1;
+                    max_line = lineno;
+                }
                 group_records.push((v, g));
             }
         }
@@ -235,10 +245,13 @@ pub fn ingest_edge_list(
     let n = match declared {
         Some(d) => {
             if d < max_seen {
-                return Err(StoreError::Format(format!(
-                    "declared {d} vertices but records reference vertex {}",
-                    max_seen - 1
-                )));
+                return line_err(
+                    max_line,
+                    format!(
+                        "declared {d} vertices but records reference vertex {}",
+                        max_seen - 1
+                    ),
+                );
             }
             d
         }

@@ -11,6 +11,8 @@
 //!   (`fs-store`);
 //! * [`sampling`] — Frontier Sampling, the companion walkers, budgets,
 //!   estimators, metrics, and theory (`frontier-sampling`);
+//! * [`serve`] — the dependency-free HTTP estimation service over mmap
+//!   stores (`fs-serve`);
 //! * [`experiments`] — the per-figure/per-table reproduction harness
 //!   (`fs-experiments`).
 //!
@@ -20,6 +22,7 @@
 pub use frontier_sampling as sampling;
 pub use fs_gen as gen;
 pub use fs_graph as graph;
+pub use fs_serve as serve;
 pub use fs_store as store;
 
 /// The reproduction harness (`fs-experiments`).
