@@ -29,15 +29,76 @@
 //! asserts the round-trip is structurally exact and a seeded FS walk on
 //! the mmap backend is bit-identical to the CSR backend. The committed
 //! numbers pin the "binary store ≥ 10x faster than text parse" claim.
+//!
+//! The batched cells (`@batch`, `@mmap+thp`) run the lockstep SoA
+//! engine on one thread, so their delta against the sequential rows is
+//! the batching/prefetch win; a query-accounting gate aborts the run if
+//! the batched engine ever issues materially more backend queries per
+//! retained step than the sequential loop. A `header` object records
+//! git revision, core count and hugepage status so two baseline files
+//! can be compared knowing where the numbers came from.
 
 use frontier_sampling::backend::CrawlAccess;
-use frontier_sampling::{Budget, CostModel, WalkMethod};
+use frontier_sampling::{
+    Budget, CostModel, FrontierSampler, MultipleRw, ParallelWalkerPool, WalkMethod,
+};
 use fs_graph::{Graph, GraphAccess};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Machine/commit provenance recorded at the top of the JSON so two
+/// baseline files can be compared knowing whether the numbers came from
+/// the same code and the same kind of machine.
+struct RunHeader {
+    git_rev: String,
+    nproc: usize,
+    /// `HugePages_Total` from `/proc/meminfo` (explicit 2 MiB pool).
+    hugepages_total: u64,
+    /// The bracketed mode in
+    /// `/sys/kernel/mm/transparent_hugepage/enabled`.
+    thp: String,
+}
+
+impl RunHeader {
+    fn collect() -> RunHeader {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        let nproc = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let hugepages_total = std::fs::read_to_string("/proc/meminfo")
+            .ok()
+            .and_then(|meminfo| {
+                meminfo
+                    .lines()
+                    .find(|l| l.starts_with("HugePages_Total:"))
+                    .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
+            })
+            .unwrap_or(0);
+        let thp = std::fs::read_to_string("/sys/kernel/mm/transparent_hugepage/enabled")
+            .ok()
+            .and_then(|s| {
+                let open = s.find('[')?;
+                let close = s[open..].find(']')? + open;
+                Some(s[open + 1..close].to_string())
+            })
+            .unwrap_or_else(|| "unavailable".to_string());
+        RunHeader {
+            git_rev,
+            nproc,
+            hugepages_total,
+            thp,
+        }
+    }
+}
 
 /// One measured (sampler, graph-scale) cell.
 struct Cell {
@@ -135,6 +196,56 @@ fn run_once<A: GraphAccess>(method: &WalkMethod, access: &A, steps: usize, seed:
     n
 }
 
+/// FS on the lockstep batched engine (one thread so the cell measures
+/// the SoA/prefetch win, not parallelism). Returns attempted steps —
+/// the same denominator as the sequential cells on a fault-free
+/// backend.
+fn pool_fs_once<A: GraphAccess + ?Sized>(access: &A, steps: usize, seed: u64) -> usize {
+    let mut budget = Budget::new(steps as f64);
+    let run = ParallelWalkerPool::with_threads(1).frontier(
+        &FrontierSampler::new(100),
+        access,
+        &CostModel::unit(),
+        &mut budget,
+        seed,
+    );
+    for e in run.edges() {
+        black_box(e.target);
+    }
+    run.steps.len()
+}
+
+/// MultipleRW on the lockstep batched engine, same protocol.
+fn pool_mrw_once<A: GraphAccess + ?Sized>(access: &A, steps: usize, seed: u64) -> usize {
+    let mut budget = Budget::new(steps as f64);
+    let run = ParallelWalkerPool::with_threads(1).multiple_rw(
+        &MultipleRw::new(100),
+        access,
+        &CostModel::unit(),
+        &mut budget,
+        seed,
+    );
+    for e in run.edges() {
+        black_box(e.target);
+    }
+    run.steps.len()
+}
+
+/// The batched-engine query-overhead gate: a batched cell that issues
+/// materially more backend queries per retained step than the
+/// sequential loop (`1 + starts/steps`, plus `slack` for FS's bounded
+/// speculative horizon overshoot) is a regression, and the suite fails
+/// loudly rather than committing the number.
+fn gate_queries_per_step(label: &str, qps: f64, starts: usize, taken: usize, slack: f64) {
+    let bound = (1.0 + starts as f64 / taken.max(1) as f64) * slack + 1e-9;
+    assert!(
+        qps <= bound,
+        "{label}: queries_per_step {qps:.4} exceeds {bound:.4} \
+         ({starts} starts over {taken} steps, slack {slack}) — \
+         the batched engine is over-querying the backend"
+    );
+}
+
 fn mhrw_once<A: GraphAccess>(access: &A, steps: usize, seed: u64) -> usize {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut budget = Budget::new(steps as f64);
@@ -212,17 +323,35 @@ fn fs_trace<A: GraphAccess>(access: &A, steps: usize, seed: u64) -> Vec<(u32, u3
     trace
 }
 
+/// Seeded batched-FS edge trace — the parity probe for the hugepage
+/// cell (the batched engine must be bit-identical across backings).
+fn pool_fs_trace<A: GraphAccess + ?Sized>(access: &A, steps: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut budget = Budget::new(steps as f64);
+    let run = ParallelWalkerPool::with_threads(1).frontier(
+        &FrontierSampler::new(100),
+        access,
+        &CostModel::unit(),
+        &mut budget,
+        seed,
+    );
+    run.edges()
+        .map(|e| (e.source.raw(), e.target.raw()))
+        .collect()
+}
+
 /// The storage-layer measurements for one scale: loader timings, the
-/// FS-over-mmap throughput cell, and the untimed round-trip/parity
-/// assertions. Returns (mmap FS cell, loader row).
+/// FS-over-mmap throughput cells (plain and hugepage-advised), and the
+/// untimed round-trip/parity assertions. Returns (mmap FS cells,
+/// loader row).
 fn storage_cells(
     graph_label: &str,
     graph: &Graph,
     steps: usize,
     reps: usize,
     fs_qps: f64,
+    fs_batch_qps: f64,
     dir: &std::path::Path,
-) -> (Cell, LoaderCell) {
+) -> (Vec<Cell>, LoaderCell) {
     let text_path = dir.join(format!("{graph_label}.el"));
     let store_path = dir.join(format!("{graph_label}.fsg"));
     fs_graph::io::save_edge_list(graph, &text_path).expect("write text edge list");
@@ -302,10 +431,41 @@ fn storage_cells(
         "  {:<22} {graph_label:<8} {:>10.0} steps/s (best)  {:.3} queries/step",
         "FS (m=100) @mmap", cell.best_steps_per_sec, cell.queries_per_step
     );
+    let mut out_cells = vec![cell];
+
+    // Batched FS over a hugepage-advised mapping. `Try` degrades to a
+    // plain file mapping when the machine has no hugepage pool (the
+    // JSON header records which case this run hit), so the cell always
+    // measures — and the walk must be bit-identical either way.
+    let mmap_thp = fs_store::MmapGraph::open_with(&store_path, fs_store::HugepageMode::Try)
+        .expect("open store with hugepage advice");
+    assert_eq!(
+        pool_fs_trace(graph, probe_steps, 7),
+        pool_fs_trace(&mmap_thp, probe_steps, 7),
+        "{graph_label}: batched FS walk on {:?}-backed mmap diverged from CSR",
+        mmap_thp.backing()
+    );
+    let cell = measure(
+        "FS (m=100) @mmap+thp",
+        graph_label,
+        graph,
+        steps,
+        reps,
+        &mut || pool_fs_once(&mmap_thp, steps, 7),
+        fs_batch_qps,
+    );
+    eprintln!(
+        "  {:<22} {graph_label:<8} {:>10.0} steps/s (best)  {:.3} queries/step  [{:?}]",
+        "FS (m=100) @mmap+thp",
+        cell.best_steps_per_sec,
+        cell.queries_per_step,
+        mmap_thp.backing()
+    );
+    out_cells.push(cell);
 
     std::fs::remove_file(&text_path).ok();
     std::fs::remove_file(&store_path).ok();
-    (cell, loader)
+    (out_cells, loader)
 }
 
 fn main() {
@@ -320,6 +480,7 @@ fn main() {
         let mut g_rng = SmallRng::seed_from_u64(0x5CA1E);
         let graph = fs_gen::barabasi_albert(n, ba_m, &mut g_rng);
         let mut fs_qps = 1.0;
+        let fs_batch_qps;
 
         for (label, method) in methods() {
             // Query accounting on the counting crawler (exact, not timed).
@@ -345,6 +506,56 @@ fn main() {
             cells.push(cell);
         }
 
+        // Batched lockstep cells (single thread: the delta against the
+        // sequential FS/MultipleRW rows above is the SoA + software
+        // prefetch win, not parallelism). The query gate fails the run
+        // if batching ever starts over-querying the backend.
+        {
+            let crawler = CrawlAccess::new(&graph);
+            let taken = pool_fs_once(&crawler, steps, 7);
+            let qps = crawler.queries_issued() as f64 / taken.max(1) as f64;
+            // FS generates events speculatively to a horizon; the
+            // adaptive schedule keeps the overshoot to a few percent.
+            gate_queries_per_step("FS (m=100) @batch", qps, 100, taken, 1.15);
+            fs_batch_qps = qps;
+            let cell = measure(
+                "FS (m=100) @batch",
+                graph_label,
+                &graph,
+                steps,
+                cfg.reps,
+                &mut || pool_fs_once(&graph, steps, 7),
+                qps,
+            );
+            eprintln!(
+                "  {:<22} {graph_label:<8} {:>10.0} steps/s (best)  {:.3} queries/step",
+                "FS (m=100) @batch", cell.best_steps_per_sec, cell.queries_per_step
+            );
+            cells.push(cell);
+
+            let crawler = CrawlAccess::new(&graph);
+            let taken = pool_mrw_once(&crawler, steps, 7);
+            let qps = crawler.queries_issued() as f64 / taken.max(1) as f64;
+            // Independent walkers have no speculative horizon: the
+            // batched engine must query exactly like the sequential
+            // loop, one query per step plus the start draws.
+            gate_queries_per_step("MultipleRW (m=100) @batch", qps, 100, taken, 1.0);
+            let cell = measure(
+                "MultipleRW (m=100) @batch",
+                graph_label,
+                &graph,
+                steps,
+                cfg.reps,
+                &mut || pool_mrw_once(&graph, steps, 7),
+                qps,
+            );
+            eprintln!(
+                "  {:<22} {graph_label:<8} {:>10.0} steps/s (best)  {:.3} queries/step",
+                "MultipleRW (m=100) @batch", cell.best_steps_per_sec, cell.queries_per_step
+            );
+            cells.push(cell);
+        }
+
         // MHRW emits vertices, not edges; same timing protocol.
         let crawler = CrawlAccess::new(&graph);
         let taken = mhrw_once(&crawler, steps, 7);
@@ -364,22 +575,37 @@ fn main() {
         );
         cells.push(cell);
 
-        // Storage layer: loader timings + FS over the mmap backend.
-        let (cell, loader) = storage_cells(graph_label, &graph, steps, cfg.reps, fs_qps, &tmp_dir);
-        cells.push(cell);
+        // Storage layer: loader timings + FS over the mmap backends.
+        let (store_cells, loader) = storage_cells(
+            graph_label,
+            &graph,
+            steps,
+            cfg.reps,
+            fs_qps,
+            fs_batch_qps,
+            &tmp_dir,
+        );
+        cells.extend(store_cells);
         loaders.push(loader);
     }
 
     std::fs::remove_dir_all(&tmp_dir).ok();
-    let json = render_json(&cells, &loaders);
+    let json = render_json(&RunHeader::collect(), &cells, &loaders);
     std::fs::write(&cfg.out, json).expect("write baseline file");
     eprintln!("wrote {}", cfg.out);
 }
 
 /// Hand-rolled JSON (the workspace is offline — no serde).
-fn render_json(cells: &[Cell], loaders: &[LoaderCell]) -> String {
+fn render_json(header: &RunHeader, cells: &[Cell], loaders: &[LoaderCell]) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"suite\": \"samplers\",\n  \"unit\": \"steps/sec\",\n  \"results\": [\n");
+    s.push_str("{\n  \"suite\": \"samplers\",\n  \"unit\": \"steps/sec\",\n");
+    let _ = writeln!(
+        s,
+        "  \"header\": {{\"git_rev\": \"{}\", \"nproc\": {}, \"hugepages_total\": {}, \
+         \"transparent_hugepages\": \"{}\"}},",
+        header.git_rev, header.nproc, header.hugepages_total, header.thp
+    );
+    s.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             s,

@@ -1,0 +1,269 @@
+//! Static alias tables for O(1) weighted draws.
+//!
+//! The crate has two weighted-sampling regimes. Frontier Sampling's
+//! walker selection re-weights after *every* step, so it lives on the
+//! dynamic [`crate::fenwick::IntFenwick`] (`O(log m)` select-and-update).
+//! Start-vertex draws are the opposite shape: the weight vector (vertex
+//! degrees for the steady-state policy, edge strengths for weighted
+//! walks) is **frozen** for the whole batch of draws, which is exactly
+//! Vose's alias method's sweet spot — `O(n)` once to build the table,
+//! then every draw is two RNG outputs and two array reads, no descent.
+//!
+//! ## Exactness
+//!
+//! Like [`IntFenwick`](crate::fenwick::IntFenwick), the table works in
+//! exact integer arithmetic: weights are `u64`, the total is a *checked*
+//! sum, and the per-slot scaling `w[i]·n` is done in `u128` so nothing
+//! rounds. The construction maintains the invariant
+//!
+//! ```text
+//! cut[i] + Σ_{j : alias[j] = i} (T − cut[j])  =  w[i] · n
+//! ```
+//!
+//! (`T` the weight total, `n` the slot count), which makes
+//! `P(draw = i) = w[i]/T` an integer identity rather than a float
+//! approximation — the `alias_exact_mass_identity` proptest checks the
+//! invariant itself, no sampling tolerance involved. Real-valued weights
+//! enter through [`AliasTable::from_f64`], a fixed-point quantization
+//! whose relative error is bounded and documented there.
+
+use rand::Rng;
+
+/// Vose alias table over `n` non-negative **integer** weights: `O(n)`
+/// build, exact `O(1)` draws with two RNG outputs. See the [module
+/// docs](self).
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// `cut[i]` ∈ `[0, total]`: a draw `(i, y)` stays on `i` iff
+    /// `y < cut[i]`, else it takes `alias[i]`.
+    cut: Vec<u64>,
+    /// Donor column: where the slack of column `i` goes.
+    alias: Vec<usize>,
+    /// Original weights (kept for `get`/validation; one word per slot,
+    /// same footprint class as `IntFenwick`'s shadow array).
+    values: Vec<u64>,
+    /// Checked weight total `T`.
+    total: u64,
+}
+
+impl AliasTable {
+    /// Builds the table from integer weights in `O(n)`.
+    ///
+    /// # Panics
+    /// Panics if the weight sum overflows `u64` — same loud-failure
+    /// policy as `IntFenwick::new`, for the same reason: a wrapped total
+    /// would silently skew every later draw.
+    pub fn new(weights: &[u64]) -> Self {
+        let mut total = 0u64;
+        for &w in weights {
+            total = total
+                .checked_add(w)
+                .expect("AliasTable weight sum overflows u64");
+        }
+        let n = weights.len();
+        let t = u128::from(total);
+        // Scaled columns w[i]·n in u128: never overflows (u64 × usize),
+        // never rounds. Column i is "small" while its remaining mass is
+        // below one full column (T), "large" while above.
+        let mut scaled: Vec<u128> = weights.iter().map(|&w| u128::from(w) * n as u128).collect();
+        let mut cut = vec![0u64; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < t {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Column s is finalized: its own mass, topped up to T from
+            // donor l. (scaled[s] < t ≤ u64-range since t ≤ u64::MAX.)
+            cut[s] = scaled[s] as u64;
+            alias[s] = l;
+            scaled[l] -= t - scaled[s];
+            if scaled[l] < t {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers hold exactly T each up to integer slack that sums to
+        // zero; they keep their own column in full. (With exact
+        // arithmetic the slack is *actually* zero for large leftovers;
+        // small leftovers only occur when total == 0.)
+        for &i in large.iter().chain(small.iter()) {
+            cut[i] = total;
+            alias[i] = i;
+        }
+        AliasTable {
+            cut,
+            alias,
+            values: weights.to_vec(),
+            total,
+        }
+    }
+
+    /// Builds the table from real-valued weights by fixed-point
+    /// quantization: weights are scaled so the largest maps near
+    /// `u64::MAX / (2n)` and rounded to integers, keeping the checked
+    /// total comfortably inside `u64`. The relative quantization error
+    /// per weight is at most `n / u64::MAX · max_w / w` — below `2⁻⁵⁰`
+    /// for any table under a million slots — and exact zeros stay zero.
+    ///
+    /// # Panics
+    /// Panics if any weight is NaN, infinite, or negative (the
+    /// `FenwickTree` weight contract).
+    pub fn from_f64(weights: &[f64]) -> Self {
+        let mut max_w = 0.0f64;
+        for &w in weights {
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "AliasTable weights must be finite and non-negative, got {w}"
+            );
+            max_w = max_w.max(w);
+        }
+        if max_w == 0.0 {
+            return AliasTable::new(&vec![0u64; weights.len()]);
+        }
+        let scale = (u64::MAX / weights.len().max(1) as u64 / 2) as f64 / max_w;
+        let fixed: Vec<u64> = weights
+            .iter()
+            .map(|&w| (w * scale).round() as u64)
+            .collect();
+        AliasTable::new(&fixed)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total weight `T`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Weight at slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.values[i]
+    }
+
+    /// Samples a slot with probability **exactly** `w[i] / total`: one
+    /// uniform column pick, one uniform threshold draw.
+    ///
+    /// # Panics
+    /// Panics if the total weight is zero.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(self.total > 0, "cannot sample from zero total weight");
+        let i = rng.gen_range(0..self.values.len());
+        let y = rng.gen_range(0..self.total);
+        if y < self.cut[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// The mass the table assigns slot `i`, reconstructed from the
+    /// `cut`/`alias` columns, in units of `1/(n·T)`. Equals `w[i]·n`
+    /// whenever the construction is correct — exposed so tests can
+    /// verify exactness as an integer identity instead of a sampling
+    /// tolerance.
+    pub fn column_mass(&self, i: usize) -> u128 {
+        let mut mass = u128::from(self.cut[i]);
+        for (j, &a) in self.alias.iter().enumerate() {
+            if a == i && j != i {
+                mass += u128::from(self.total) - u128::from(self.cut[j]);
+            }
+        }
+        mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mass_identity_small_tables() {
+        for weights in [
+            vec![1u64, 2, 3, 4],
+            vec![7],
+            vec![0, 0, 5],
+            vec![1, 1, 1, 1, 1],
+            vec![u64::MAX / 4, u64::MAX / 4, u64::MAX / 2],
+        ] {
+            let t = AliasTable::new(&weights);
+            let n = weights.len() as u128;
+            for (i, &w) in weights.iter().enumerate() {
+                assert_eq!(
+                    t.column_mass(i),
+                    u128::from(w) * n,
+                    "slot {i} of {weights:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let weights = [1u64, 0, 2, 7];
+        let t = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(96);
+        let mut counts = [0usize; 4];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight slot drawn");
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let expect = weights[i] as f64 / 10.0;
+            assert!((emp - expect).abs() < 0.01, "slot {i}: {emp} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn from_f64_zero_and_uniform() {
+        let t = AliasTable::from_f64(&[0.0, 0.0]);
+        assert_eq!(t.total(), 0);
+        let t = AliasTable::from_f64(&[0.5, 0.5, 0.5]);
+        let n = t.len() as u128;
+        for i in 0..3 {
+            assert_eq!(t.column_mass(i), u128::from(t.get(i)) * n);
+            assert_eq!(t.get(i), t.get(0), "uniform weights must quantize equally");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn new_overflow_fails_loudly() {
+        let _ = AliasTable::new(&[u64::MAX, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn zero_total_sample_fails_loudly() {
+        let t = AliasTable::new(&[0, 0]);
+        let mut rng = SmallRng::seed_from_u64(97);
+        t.sample(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_f64_rejects_nan() {
+        let _ = AliasTable::from_f64(&[1.0, f64::NAN]);
+    }
+}

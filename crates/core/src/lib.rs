@@ -79,7 +79,9 @@
 
 pub mod ablation;
 pub mod adaptive;
+pub mod alias;
 pub mod backend;
+pub mod batch;
 pub mod budget;
 pub mod cartesian;
 pub mod coverage;
@@ -108,7 +110,9 @@ pub mod weighted;
 
 pub use ablation::UniformSelectWalkers;
 pub use adaptive::{AdaptiveFrontier, AdaptiveOutcome};
+pub use alias::AliasTable;
 pub use backend::{CachedAccess, CrawlAccess, CrawlStats};
+pub use batch::{FsEventBatch, WalkerBatch};
 pub use budget::{Budget, CostModel};
 pub use coverage::CoverageTracker;
 pub use diagnostics::ChainDiagnostics;

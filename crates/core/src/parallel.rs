@@ -55,20 +55,36 @@
 //! One cost of the FS factorization: walkers generate events
 //! *speculatively* up to a virtual-time horizon and the merge truncates
 //! to the budget, so a query-counting backend sees slightly more queries
-//! than retained events (bounded by the final doubling round). For
+//! than retained events (a few percent under the adaptive horizon
+//! schedule, which sizes windows from the measured event rate). For
 //! simulation throughput that overshoot is irrelevant; when the query
 //! count itself is the object of study (crawl-cost experiments), use the
 //! sequential [`FrontierSampler`]/[`crate::distributed::DistributedFs`],
 //! which query exactly once per budget unit.
 
+use crate::batch::{FsEventBatch, WalkerBatch};
 use crate::budget::{Budget, CostModel};
 use crate::frontier::FrontierSampler;
 use crate::multiple::{MultipleRw, Schedule};
-use crate::walk::{self, StepOutcome};
+use crate::walk::StepOutcome;
+use fs_graph::csr::STEP_PIPELINE_WIDTH;
 use fs_graph::{Arc, GraphAccess, QueryKind, VertexId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Initial-horizon headroom of the FS event schedule: the first window
+/// assumes the event rate stays near the starting frontier volume and
+/// adds 5% so a typical run finishes in one window. Kept deliberately
+/// tight — every event past the budget is a speculative backend query
+/// the merge then discards.
+const FS_HORIZON_HEADROOM: f64 = 1.05;
+
+/// Growth headroom of follow-up windows: the deficit is re-estimated
+/// from the *measured* event rate and padded by 10%. (The historical
+/// schedule doubled the horizon instead, which made the final window
+/// overshoot the budget by up to 2× in speculative queries.)
+pub(crate) const FS_GROWTH_HEADROOM: f64 = 1.10;
 
 /// The SplitMix64 golden-ratio increment.
 pub const SPLITMIX_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -134,6 +150,7 @@ impl PoolRun {
 #[derive(Clone, Debug)]
 pub struct ParallelWalkerPool {
     threads: usize,
+    batch_width: usize,
 }
 
 impl Default for ParallelWalkerPool {
@@ -143,24 +160,48 @@ impl Default for ParallelWalkerPool {
 }
 
 impl ParallelWalkerPool {
-    /// A pool sized to the machine (`available_parallelism`).
+    /// A pool sized to the machine (`available_parallelism`), stepping
+    /// walkers in lockstep groups of
+    /// [`STEP_PIPELINE_WIDTH`](fs_graph::csr::STEP_PIPELINE_WIDTH).
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        ParallelWalkerPool { threads }
+        ParallelWalkerPool {
+            threads,
+            batch_width: STEP_PIPELINE_WIDTH,
+        }
     }
 
     /// A pool with an explicit thread count (`1` runs everything inline
     /// on the calling thread). Results never depend on this number.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
-        ParallelWalkerPool { threads }
+        ParallelWalkerPool {
+            threads,
+            batch_width: STEP_PIPELINE_WIDTH,
+        }
+    }
+
+    /// Sets the lockstep group width of the batched stepping engine
+    /// (`1` degenerates to scalar stepping). Results never depend on
+    /// this number — it only controls how many independent walkers'
+    /// memory loads are in flight at once (pinned by the `batch_parity`
+    /// integration test at widths 1/8/16).
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        assert!(width >= 1, "need at least one lane per batch");
+        self.batch_width = width;
+        self
     }
 
     /// The configured thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured lockstep group width.
+    pub fn batch_width(&self) -> usize {
+        self.batch_width
     }
 
     /// Runs `chains` independent chain bodies, handing body `i` its index
@@ -260,38 +301,57 @@ impl ParallelWalkerPool {
             Schedule::Interleaved => (0..m).map(|i| per + usize::from(i < rem)).collect(),
         };
 
-        let mut traces: Vec<Vec<StepOutcome>> = Vec::with_capacity(m);
-        for _ in 0..m {
-            traces.push(Vec::new());
+        // Walkers are packed into SoA lockstep groups of `batch_width`
+        // lanes; each group is one work unit. Lockstep stepping batches
+        // the backend queries (overlapping the walkers' CSR load chains)
+        // while leaving every walker's RNG stream untouched, so traces
+        // are bit-identical to scalar stepping at any width.
+        let seeds: Vec<u64> = (0..m).map(|i| stream_seed(base_seed, i as u64)).collect();
+        struct MrwGroup {
+            base: usize,
+            batch: WalkerBatch,
+            traces: Vec<Vec<StepOutcome>>,
+            /// Lanes retired early (EqualSplit walkers that went
+            /// isolated; Interleaved keeps burning their turns, matching
+            /// the sequential loop, where an isolated walker still
+            /// spends budget each round without consuming randomness).
+            halted: Vec<bool>,
         }
-        self.for_each_walker(&mut traces, |i, trace| {
-            let mut rng = SmallRng::seed_from_u64(stream_seed(base_seed, i as u64));
-            let mut pos = starts[i];
-            let mut deg = access.degree(pos);
-            let mut row = access.vertex_row(pos);
-            for _ in 0..quotas[i] {
-                let stepped = walk::step_known(access, pos, deg, row, &mut rng);
-                let outcome = stepped.outcome;
-                trace.push(outcome);
-                match outcome {
-                    StepOutcome::Edge(e) | StepOutcome::Lost(e) => {
-                        pos = e.target;
-                        deg = stepped.degree_after;
-                        row = stepped.row_after;
-                    }
-                    StepOutcome::Bounced => {}
-                    // EqualSplit stops the walker for good; Interleaved
-                    // keeps burning its turns (matching the sequential
-                    // loop, where an isolated walker still spends budget
-                    // each round without consuming randomness).
-                    StepOutcome::Isolated => {
-                        if sampler.schedule == Schedule::EqualSplit {
-                            break;
-                        }
+        let mut groups: Vec<MrwGroup> = starts
+            .chunks(self.batch_width)
+            .zip(seeds.chunks(self.batch_width))
+            .enumerate()
+            .map(|(g, (s, sd))| MrwGroup {
+                base: g * self.batch_width,
+                batch: WalkerBatch::new(access, s, sd),
+                traces: vec![Vec::new(); s.len()],
+                halted: vec![false; s.len()],
+            })
+            .collect();
+        let equal_split = sampler.schedule == Schedule::EqualSplit;
+        self.for_each_walker(&mut groups, |_, grp| {
+            let mut due: Vec<usize> = Vec::with_capacity(grp.traces.len());
+            loop {
+                due.clear();
+                for lane in 0..grp.traces.len() {
+                    if !grp.halted[lane] && grp.traces[lane].len() < quotas[grp.base + lane] {
+                        due.push(lane);
                     }
                 }
+                if due.is_empty() {
+                    break;
+                }
+                let traces = &mut grp.traces;
+                let halted = &mut grp.halted;
+                grp.batch.step_lanes(access, &due, |lane, stepped, _| {
+                    traces[lane].push(stepped.outcome);
+                    if stepped.outcome == StepOutcome::Isolated && equal_split {
+                        halted[lane] = true;
+                    }
+                });
             }
         });
+        let traces: Vec<Vec<StepOutcome>> = groups.into_iter().flat_map(|g| g.traces).collect();
 
         // Canonical reduction + exact budget spend.
         let mut steps = Vec::with_capacity(traces.iter().map(Vec::len).sum());
@@ -343,29 +403,61 @@ impl ParallelWalkerPool {
         let step_cost = cost.walk_step * access.cost_factor(QueryKind::NeighborStep);
         let n_steps = budget.affordable(step_cost);
 
-        let mut walkers: Vec<FsWalkerGen> = starts
-            .iter()
+        // Walkers are packed into lockstep groups ([`FsEventBatch`]);
+        // each group is one work unit generating its lanes' event
+        // streams in batched steps, so up to `batch_width` independent
+        // CSR load chains are in flight per group at any moment.
+        let seeds: Vec<u64> = (0..starts.len())
+            .map(|i| stream_seed(base_seed, i as u64))
+            .collect();
+        struct FsGroup {
+            base: usize,
+            engine: FsEventBatch,
+            events: Vec<(f64, usize, StepOutcome)>,
+        }
+        let mut groups: Vec<FsGroup> = starts
+            .chunks(self.batch_width)
+            .zip(seeds.chunks(self.batch_width))
             .enumerate()
-            .map(|(i, &pos)| FsWalkerGen::new(access, pos, stream_seed(base_seed, i as u64)))
+            .map(|(g, (s, sd))| FsGroup {
+                base: g * self.batch_width,
+                engine: FsEventBatch::new(access, s, sd),
+                events: Vec::new(),
+            })
             .collect();
 
         // Generate each walker's event stream far enough in virtual time
         // that the merged prefix holds `n_steps` events. The initial
         // horizon assumes the event rate stays near the starting frontier
-        // volume Σ deg(start_i); doubling covers the drift.
+        // volume Σ deg(start_i); follow-up windows close the remaining
+        // deficit at the *measured* rate. Every event is generated at a
+        // fixed point of its walker's stream, so the output is invariant
+        // to this schedule — only the speculative-query overshoot
+        // changes, and the headroom constants keep it at a few percent
+        // where doubling horizons overshot by up to 2×.
         let volume: f64 = starts.iter().map(|&v| access.degree(v) as f64).sum();
         let mut t_hi = if volume > 0.0 {
-            2.0 * (n_steps.max(1) as f64) / volume
+            FS_HORIZON_HEADROOM * (n_steps.max(1) as f64) / volume
         } else {
             1.0
         };
         loop {
-            self.for_each_walker(&mut walkers, |_, w| w.advance(access, t_hi));
-            let total: usize = walkers.iter().map(|w| w.events.len()).sum();
-            if total >= n_steps || walkers.iter().all(|w| w.next_fire.is_none()) {
+            self.for_each_walker(&mut groups, |_, grp| {
+                let base = grp.base;
+                let events = &mut grp.events;
+                grp.engine
+                    .advance(access, t_hi, |lane, t, o| events.push((t, base + lane, o)));
+            });
+            let total: usize = groups.iter().map(|g| g.events.len()).sum();
+            if total >= n_steps || groups.iter().all(|g| g.engine.all_stuck()) {
                 break;
             }
-            t_hi *= 2.0;
+            let rate = if total > 0 {
+                total as f64 / t_hi
+            } else {
+                volume
+            };
+            t_hi += FS_GROWTH_HEADROOM * (n_steps - total) as f64 / rate.max(f64::MIN_POSITIVE);
         }
 
         // Order-independent reduction: merge by (event time, walker id).
@@ -374,11 +466,8 @@ impl ParallelWalkerPool {
         // times are positive), so the key is unique — unstable ordering
         // is safe, and selecting the budget prefix before sorting keeps
         // the reduction O(E + B log B) instead of O(E log E).
-        let mut merged: Vec<(f64, usize, StepOutcome)> = walkers
-            .iter()
-            .enumerate()
-            .flat_map(|(i, w)| w.events.iter().map(move |&(t, o)| (t, i, o)))
-            .collect();
+        let mut merged: Vec<(f64, usize, StepOutcome)> =
+            groups.into_iter().flat_map(|g| g.events).collect();
         let key = |a: &(f64, usize, StepOutcome), b: &(f64, usize, StepOutcome)| {
             a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
         };
@@ -425,68 +514,6 @@ impl ParallelWalkerPool {
                 });
             }
         });
-    }
-}
-
-/// Resumable event generator for one FS walker (Theorem 5.5): a simple
-/// random walk on its own RNG stream with `Exp(deg)` holding times.
-/// Carries its current degree from reply to reply, so every event issues
-/// exactly one combined backend query (`step_query`) — the holding-time
-/// rate is the degree the previous reply already revealed.
-struct FsWalkerGen {
-    pos: VertexId,
-    /// Degree of `pos`, threaded from the previous step's reply.
-    deg: usize,
-    /// Row handle of `pos`, threaded alongside the degree.
-    row: usize,
-    rng: SmallRng,
-    /// Absolute time of the next step, `None` once the walker is stuck on
-    /// a degree-0 vertex (rate 0 → the clock never fires again).
-    next_fire: Option<f64>,
-    /// `(event time, outcome)` of every step taken so far.
-    events: Vec<(f64, StepOutcome)>,
-}
-
-impl FsWalkerGen {
-    fn new<A: GraphAccess + ?Sized>(access: &A, pos: VertexId, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let deg = access.degree(pos);
-        let row = access.vertex_row(pos);
-        let next_fire = walk::exp_holding_time(deg, &mut rng);
-        FsWalkerGen {
-            pos,
-            deg,
-            row,
-            rng,
-            next_fire,
-            events: Vec::new(),
-        }
-    }
-
-    /// Generates events up to absolute time `t_hi`. Resumable: the next
-    /// firing time is computed as soon as its predecessor resolves, so
-    /// the RNG stream is consumed identically however the horizon grows.
-    fn advance<A: GraphAccess + ?Sized>(&mut self, access: &A, t_hi: f64) {
-        while let Some(t) = self.next_fire {
-            if t > t_hi {
-                break;
-            }
-            let stepped = walk::step_known(access, self.pos, self.deg, self.row, &mut self.rng);
-            self.events.push((t, stepped.outcome));
-            match stepped.outcome {
-                StepOutcome::Edge(e) | StepOutcome::Lost(e) => {
-                    self.pos = e.target;
-                    self.deg = stepped.degree_after;
-                    self.row = stepped.row_after;
-                }
-                StepOutcome::Bounced => {}
-                StepOutcome::Isolated => {
-                    self.next_fire = None;
-                    return;
-                }
-            }
-            self.next_fire = walk::exp_holding_time(self.deg, &mut self.rng).map(|dt| t + dt);
-        }
     }
 }
 

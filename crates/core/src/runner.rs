@@ -21,6 +21,15 @@
 //! the guarantee that lets a server advertise: *a job with seed `s`
 //! equals the library call with seed `s`*.
 //!
+//! For Frontier Sampling the reference call is
+//! [`crate::parallel::ParallelWalkerPool::frontier`] with the same seed
+//! (itself bit-identical at every thread count and batch width): the
+//! runner drives the same per-walker exponential-clock streams
+//! ([`crate::batch::FsEventBatch`]) through the same `(time, walker)`
+//! merge, just window-by-window so chunks stay prompt and memory
+//! bounded. The other five methods mirror their sequential
+//! single-RNG loops as before.
+//!
 //! [`JobEstimator`] pairs the runner with the estimator suite: it
 //! consumes the runner's [`Sample`] stream (edges for the edge
 //! samplers, visited vertices for MHRW/RWJ, each with the statistically
@@ -28,13 +37,14 @@
 //! point mid-run — every defined value finite, every undefined value an
 //! explicit `None`, never NaN (see the estimator audit tests).
 
+use crate::batch::FsEventBatch;
 use crate::budget::{Budget, CostModel};
 use crate::estimators::{
     AssortativityEstimator, AverageDegreeEstimator, ClusteringEstimator,
     DegreeDistributionEstimator, EdgeEstimator, PopulationSizeEstimator,
     VertexSampleDegreeEstimator,
 };
-use crate::frontier::{Frontier, FrontierSampler};
+use crate::parallel::{stream_seed, FS_GROWTH_HEADROOM};
 use crate::rwj::RwjDegreeDistributionEstimator;
 use crate::start::StartPolicy;
 use crate::walk::{self, StepOutcome};
@@ -42,6 +52,13 @@ use fs_graph::stats::DegreeKind;
 use fs_graph::{Arc, GraphAccess, NeighborReply, QueryKind, StepReply, VertexId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Target event count per FS virtual-time window. Bounds the per-refill
+/// latency (a `run_chunk(1)` call never generates much more than this
+/// many speculative events) and the buffer memory, while staying large
+/// enough that the lockstep batch engine amortises its fill/apply
+/// passes.
+const FS_RUNNER_WINDOW: usize = 4096;
 
 /// Which sampler a job runs, with its parameters. The six methods the
 /// serving layer exposes.
@@ -152,10 +169,30 @@ enum State {
         row: usize,
     },
     Frontier {
-        frontier: Frontier,
+        /// The `m` walkers as lockstep exponential-clock lanes
+        /// ([`FsEventBatch`], Theorem 5.5) — the same engine
+        /// [`crate::parallel::ParallelWalkerPool::frontier`] runs, so the
+        /// emitted stream is bit-identical to the pool's at any chunk
+        /// size. Events are generated window-by-window in virtual time
+        /// (windows partition the time axis, so the global
+        /// `(time, walker)` order is preserved across windows) and
+        /// buffered sorted; memory stays `O(window + m)`.
+        engine: FsEventBatch,
+        /// Virtual-time high edge of the last generated window.
+        t_hi: f64,
+        /// Starting frontier volume `Σ deg(start_i)` — the event-rate
+        /// estimate before any event has fired.
+        volume: f64,
+        /// Events generated so far (measured-rate numerator).
+        generated: u64,
+        /// Current window's events, sorted by `(time, walker)`.
+        buffer: Vec<(f64, usize, StepOutcome)>,
+        /// Next unemitted event in `buffer`.
+        cursor: usize,
         /// Fixed step quota computed at init (Algorithm 1's `B − mc`).
-        affordable: usize,
-        attempts: usize,
+        n_steps: usize,
+        /// Events emitted so far; the deferred spend at completion.
+        emitted: usize,
     },
     Multiple {
         starts: Vec<VertexId>,
@@ -217,22 +254,27 @@ impl<'a, A: GraphAccess + ?Sized> ChunkedRunner<'a, A> {
         let start = StartPolicy::Uniform;
         let state = match *spec {
             SamplerSpec::Frontier { m } => {
-                match Frontier::init(
-                    &FrontierSampler::new(m),
-                    access,
-                    cost,
-                    &mut budget,
-                    &mut rng,
-                ) {
-                    Some(frontier) => {
-                        let affordable = budget.affordable(step_cost);
-                        State::Frontier {
-                            frontier,
-                            affordable,
-                            attempts: 0,
-                        }
+                // Same start draw as `Frontier::init` / the pool (both
+                // consume only the base-seed RNG), then per-walker
+                // SplitMix streams exactly like `pool.frontier(seed)`.
+                let starts = start.draw(access, m, cost, &mut budget, &mut rng);
+                if starts.is_empty() {
+                    State::Drained
+                } else {
+                    let seeds: Vec<u64> = (0..starts.len())
+                        .map(|i| stream_seed(seed, i as u64))
+                        .collect();
+                    let volume = starts.iter().map(|&v| access.degree(v) as f64).sum();
+                    State::Frontier {
+                        engine: FsEventBatch::new(access, &starts, &seeds),
+                        t_hi: 0.0,
+                        volume,
+                        generated: 0,
+                        buffer: Vec::new(),
+                        cursor: 0,
+                        n_steps: budget.affordable(step_cost),
+                        emitted: 0,
                     }
-                    None => State::Drained,
                 }
             }
             SamplerSpec::Single => match start
@@ -340,7 +382,7 @@ impl<'a, A: GraphAccess + ?Sized> ChunkedRunner<'a, A> {
             return 1.0;
         }
         let pending = match &self.state {
-            State::Frontier { attempts, .. } => *attempts as f64 * self.step_cost,
+            State::Frontier { emitted, .. } => *emitted as f64 * self.step_cost,
             _ => 0.0,
         };
         ((self.budget.spent() + pending) / total).clamp(0.0, 1.0)
@@ -403,29 +445,62 @@ impl<'a, A: GraphAccess + ?Sized> ChunkedRunner<'a, A> {
                     StepOutcome::Isolated => true,
                 }
             }
-            // Mirrors `FrontierSampler::sample_edges`: fixed quota
-            // computed at init, one deferred `force_spend` at the end.
+            // Mirrors `ParallelWalkerPool::frontier`: the superposed
+            // exponential-clock event stream in `(time, walker)` order,
+            // fixed quota computed at init, one deferred `force_spend`
+            // at the end. Each attempt emits the next buffered event,
+            // refilling the buffer from the next virtual-time window
+            // when it runs dry.
             State::Frontier {
-                frontier,
-                affordable,
-                attempts,
+                engine,
+                t_hi,
+                volume,
+                generated,
+                buffer,
+                cursor,
+                n_steps,
+                emitted,
             } => {
-                if *attempts >= *affordable {
-                    self.budget.force_spend(*attempts as f64 * self.step_cost);
+                if *emitted >= *n_steps {
+                    self.budget.force_spend(*emitted as f64 * self.step_cost);
                     return true;
                 }
-                *attempts += 1;
-                match frontier.step_outcome(access, &mut self.rng) {
-                    StepOutcome::Edge(edge) => {
-                        sink(Sample::Edge(edge));
-                        false
+                if *cursor >= buffer.len() {
+                    buffer.clear();
+                    *cursor = 0;
+                    while buffer.is_empty() && !engine.all_stuck() {
+                        // Size the window for a bounded batch of events
+                        // at the measured rate (starting volume until
+                        // anything has fired), padded like the pool's
+                        // growth windows so most refills need one pass.
+                        let target = (*n_steps - *emitted).clamp(64, FS_RUNNER_WINDOW);
+                        let rate = if *generated > 0 {
+                            *generated as f64 / *t_hi
+                        } else {
+                            *volume
+                        };
+                        let t_next = *t_hi
+                            + FS_GROWTH_HEADROOM * target as f64 / rate.max(f64::MIN_POSITIVE);
+                        engine.advance(access, t_next, |lane, t, o| buffer.push((t, lane, o)));
+                        *t_hi = t_next;
                     }
-                    StepOutcome::Lost(_) | StepOutcome::Bounced => false,
-                    StepOutcome::Isolated => {
-                        self.budget.force_spend(*attempts as f64 * self.step_cost);
-                        true
+                    if buffer.is_empty() {
+                        // Every lane stuck: the run ends short of quota,
+                        // spending only what was actually emitted (the
+                        // pool's `merged.len() < n_steps` endgame).
+                        self.budget.force_spend(*emitted as f64 * self.step_cost);
+                        return true;
                     }
+                    *generated += buffer.len() as u64;
+                    buffer.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
                 }
+                let (_, _, outcome) = buffer[*cursor];
+                *cursor += 1;
+                *emitted += 1;
+                if let StepOutcome::Edge(edge) = outcome {
+                    sink(Sample::Edge(edge));
+                }
+                false
             }
             // Mirrors `MultipleRw::sample_edges` (EqualSplit): walker
             // `w` runs its whole `per_walker` quota, then the next

@@ -22,6 +22,7 @@
 //! (including the reduction: unit weights reproduce the unweighted
 //! samplers' distributions).
 
+use crate::alias::AliasTable;
 use crate::budget::{Budget, CostModel};
 use crate::fenwick::FenwickTree;
 use fs_graph::{VertexId, WeightedArc, WeightedGraph};
@@ -69,7 +70,16 @@ impl WeightedStart {
     ) -> Vec<VertexId> {
         let n = graph.num_vertices();
         assert!(n > 0, "cannot start walkers on an empty graph");
-        let total = graph.total_strength();
+        // The strength vector is frozen for the whole batch of draws —
+        // the static-weight regime [`AliasTable`] exists for: one O(n)
+        // build, then O(1) per draw instead of an O(n) CDF scan.
+        let alias = match self {
+            WeightedStart::SteadyState => {
+                let strengths: Vec<f64> = graph.vertices().map(|v| graph.strength(v)).collect();
+                Some(AliasTable::from_f64(&strengths))
+            }
+            _ => None,
+        };
         let mut starts = Vec::with_capacity(m);
         let mut fixed_idx = 0usize;
         while starts.len() < m {
@@ -79,19 +89,7 @@ impl WeightedStart {
             let v = match self {
                 WeightedStart::Uniform => VertexId::new(rng.gen_range(0..n)),
                 WeightedStart::SteadyState => {
-                    // Inverse-CDF over strengths; O(n) per draw is fine
-                    // for the control experiments this exists for.
-                    let mut x = rng.gen_range(0.0..total);
-                    let mut pick = VertexId::new(n - 1);
-                    for v in graph.vertices() {
-                        let s = graph.strength(v);
-                        if x < s {
-                            pick = v;
-                            break;
-                        }
-                        x -= s;
-                    }
-                    pick
+                    VertexId::new(alias.as_ref().expect("alias built above").sample(rng))
                 }
                 WeightedStart::Fixed(list) => {
                     assert!(!list.is_empty(), "fixed start list is empty");

@@ -6,8 +6,8 @@
 
 use frontier_sampling::runner::{ChunkStatus, ChunkedRunner, Sample, SamplerSpec};
 use frontier_sampling::{
-    Budget, CostModel, MetropolisHastingsRw, MultipleRw, NonBacktrackingRw, RandomWalkWithJumps,
-    SingleRw,
+    Budget, CostModel, FrontierSampler, MetropolisHastingsRw, MultipleRw, NonBacktrackingRw,
+    ParallelWalkerPool, RandomWalkWithJumps, SingleRw, StepOutcome,
 };
 use fs_graph::Graph;
 use rand::rngs::SmallRng;
@@ -31,13 +31,24 @@ fn library_samples(
     let mut out = Vec::new();
     match *spec {
         SamplerSpec::Frontier { m } => {
-            frontier_sampling::FrontierSampler::new(m).sample_edges(
+            // FS's reference is the exponential-clock pool (itself
+            // bit-identical at every thread count and batch width); the
+            // runner replays its per-walker streams and (time, walker)
+            // merge. Re-pinned from the sequential shared-RNG sampler
+            // when the runner moved to the batched engine — the two are
+            // distribution-identical but factorize randomness
+            // differently.
+            let run = ParallelWalkerPool::new().frontier(
+                &FrontierSampler::new(m),
                 g,
                 &cost,
                 &mut budget,
-                &mut rng,
-                |e| out.push(Sample::Edge(e)),
+                seed,
             );
+            out.extend(run.steps.iter().filter_map(|s| match s.outcome {
+                StepOutcome::Edge(e) => Some(Sample::Edge(e)),
+                _ => None,
+            }));
         }
         SamplerSpec::Single => {
             SingleRw::new().sample_edges(g, &cost, &mut budget, &mut rng, |e| {

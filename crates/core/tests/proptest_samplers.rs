@@ -1,7 +1,7 @@
 //! Property-based tests of sampler and estimator invariants.
 
 use frontier_sampling::estimators::{DegreeDistributionEstimator, EdgeEstimator};
-use frontier_sampling::{Budget, CostModel, FenwickTree, IntFenwick, WalkMethod};
+use frontier_sampling::{AliasTable, Budget, CostModel, FenwickTree, IntFenwick, WalkMethod};
 use fs_graph::{GraphBuilder, VertexId};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -260,6 +260,55 @@ proptest! {
             "rejected write corrupted the tree");
         for (i, &w) in init.iter().enumerate() {
             prop_assert!((tree.get(i) - w).abs() < 1e-12);
+        }
+    }
+
+    /// Vose construction exactness: for arbitrary weight vectors, the
+    /// mass every alias column assigns slot `i` (reconstructed from the
+    /// `cut`/`alias` arrays) equals `w[i]·n` — the same number a linear
+    /// scan of the raw weights produces — as an *integer identity*, so
+    /// `P(draw = i) = w[i]/T` holds with no sampling tolerance.
+    #[test]
+    fn alias_exact_mass_identity(
+        weights in prop::collection::vec(0u64..1_000_000, 1..40),
+    ) {
+        let table = AliasTable::new(&weights);
+        let n = weights.len() as u128;
+        let linear_total: u64 = weights.iter().sum();
+        prop_assert_eq!(table.total(), linear_total);
+        for (i, &w) in weights.iter().enumerate() {
+            prop_assert_eq!(table.column_mass(i), u128::from(w) * n,
+                "slot {} of {:?}", i, weights);
+        }
+    }
+
+    /// Alias draws never land on zero-weight slots, and the alias slot
+    /// probabilities agree with the f64 `FenwickTree` built from the
+    /// *same* weight vector: both structures must encode `w[i]/T`, one
+    /// in fixed point, one in floating point.
+    #[test]
+    fn alias_agrees_with_f64_fenwick(
+        weights in prop::collection::vec(0.0f64..100.0, 1..40),
+        seed in 0u64..1000,
+    ) {
+        let table = AliasTable::from_f64(&weights);
+        let tree = FenwickTree::new(&weights);
+        if tree.total() <= 0.0 {
+            prop_assert_eq!(table.total(), 0);
+        } else {
+            let n = table.len() as f64;
+            let scale = table.total() as f64 * n;
+            for (i, &_w) in weights.iter().enumerate() {
+                let alias_p = table.column_mass(i) as f64 / scale;
+                let fenwick_p = tree.get(i) / tree.total();
+                prop_assert!((alias_p - fenwick_p).abs() < 1e-9,
+                    "slot {} of {:?}: alias {} vs fenwick {}", i, weights, alias_p, fenwick_p);
+            }
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                let pick = table.sample(&mut rng);
+                prop_assert!(weights[pick] > 0.0, "drew zero-weight slot {}", pick);
+            }
         }
     }
 

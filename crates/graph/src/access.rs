@@ -139,6 +139,47 @@ pub struct StepReply {
     pub target_row: usize,
 }
 
+/// One walker's pending step inside a [`GraphAccess::step_query_batch`]
+/// call: the inputs of a [`GraphAccess::step_query_at`] (`vertex`,
+/// `row`, `neighbor` pick) plus the `reply` slot the backend fills.
+///
+/// The batched engine (`frontier_sampling::batch`) keeps 8–16 of these
+/// in flight per call so a CSR backend can overlap every slot's
+/// dependent load chain with software prefetch instead of serializing
+/// one cache miss chain per walker.
+#[derive(Copy, Clone, Debug)]
+pub struct StepSlot {
+    /// The walker's current vertex.
+    pub vertex: VertexId,
+    /// The walker's carried row handle (see [`StepReply::target_row`]).
+    pub row: usize,
+    /// The neighbor pick `i` (`0 ≤ i < deg(vertex)`), drawn by the
+    /// caller *before* the batch call so per-walker RNG order is
+    /// independent of batching.
+    pub neighbor: usize,
+    /// Output: filled by the backend exactly as `step_query_at(vertex,
+    /// row, neighbor)` would.
+    pub reply: StepReply,
+}
+
+impl StepSlot {
+    /// A slot awaiting resolution for walker state `(vertex, row)` and
+    /// neighbor pick `i`.
+    #[inline]
+    pub fn new(vertex: VertexId, row: usize, i: usize) -> Self {
+        StepSlot {
+            vertex,
+            row,
+            neighbor: i,
+            reply: StepReply {
+                reply: NeighborReply::Unresponsive,
+                target_degree: 0,
+                target_row: 0,
+            },
+        }
+    }
+}
+
 /// Abstract neighbor-query oracle over a (logical) symmetric graph.
 ///
 /// See the [module docs](self) for the crawl model, cost accounting, and
@@ -204,6 +245,24 @@ pub trait GraphAccess: Sync {
     fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
         let _ = row;
         self.step_query(v, i)
+    }
+
+    /// Resolves a batch of step queries — one [`Self::step_query_at`]
+    /// per slot, filling each [`StepSlot::reply`] in place.
+    ///
+    /// Semantically this is exactly a loop over `step_query_at` (the
+    /// default implementation *is* that loop, which keeps accounting
+    /// and failure-model backends correct with no extra work), and the
+    /// results must be bit-identical to the sequential calls in slot
+    /// order. CSR-shaped backends override it with a software-pipelined
+    /// pass — prefetch every slot's `targets[row + i]` line, then every
+    /// target's `offsets[t..]` line, then resolve — so the dependent
+    /// load chains of up to 16 interleaved walkers overlap instead of
+    /// serializing (see `Csr::step_at_batch`).
+    fn step_query_batch(&self, slots: &mut [StepSlot]) {
+        for slot in slots {
+            slot.reply = self.step_query_at(slot.vertex, slot.row, slot.neighbor);
+        }
     }
 
     /// Row handle of `v` for [`Self::step_query_at`] (free topology
@@ -367,6 +426,11 @@ impl GraphAccess for Graph {
         self.row_start(v)
     }
 
+    #[inline]
+    fn step_query_batch(&self, slots: &mut [StepSlot]) {
+        self.step_batch(slots);
+    }
+
     delegate_graph_access!(self => self);
 }
 
@@ -418,6 +482,11 @@ impl GraphAccess for CsrAccess<'_> {
         self.0.vertex_row(v)
     }
 
+    #[inline]
+    fn step_query_batch(&self, slots: &mut [StepSlot]) {
+        self.0.step_query_batch(slots);
+    }
+
     delegate_graph_access!(self => self.0);
 }
 
@@ -442,6 +511,10 @@ impl<A: GraphAccess + ?Sized> GraphAccess for &A {
     #[inline]
     fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
         (**self).step_query_at(v, row, i)
+    }
+    #[inline]
+    fn step_query_batch(&self, slots: &mut [StepSlot]) {
+        (**self).step_query_batch(slots)
     }
     #[inline]
     fn vertex_row(&self, v: VertexId) -> usize {
@@ -542,6 +615,17 @@ mod tests {
         assert_eq!(access.cost_factor(QueryKind::UniformVertex), 1.0);
         assert_eq!(access.cost_factor(QueryKind::RandomEdge), 1.0);
         assert_eq!(access.queries_issued(), 0);
+        // The batched path must resolve every slot exactly as the
+        // scalar call would, at any batch length.
+        let mut slots: Vec<StepSlot> = graph
+            .vertices()
+            .flat_map(|v| (0..graph.degree(v)).map(move |i| (v, i)))
+            .map(|(v, i)| StepSlot::new(v, graph.row_start(v), i))
+            .collect();
+        access.step_query_batch(&mut slots);
+        for s in &slots {
+            assert_eq!(s.reply, access.step_query_at(s.vertex, s.row, s.neighbor));
+        }
     }
 
     #[test]

@@ -15,7 +15,16 @@
 //! * `has_arc(u, v)` — binary search inside the sorted neighbor slice (used
 //!   by triangle counting).
 
+use crate::access::{NeighborReply, StepReply, StepSlot};
 use crate::ids::{ArcId, VertexId};
+use crate::prefetch::prefetch_read;
+
+/// Number of step queries the batched CSR pipeline keeps in flight at
+/// once ([`Csr::step_at_batch`]). Sized to the memory-level parallelism
+/// a single core sustains (≈10–16 outstanding line fills): wide enough
+/// to cover the dependent-load latency, small enough that the prefetched
+/// lines are still resident when their pass-3 consumer runs.
+pub const STEP_PIPELINE_WIDTH: usize = 16;
 
 /// CSR adjacency of the symmetric closure.
 #[derive(Clone, Debug)]
@@ -147,6 +156,52 @@ impl Csr {
         let t = self.targets[row + i];
         let t_row = self.offsets[t.index()];
         (t, self.offsets[t.index() + 1] - t_row, t_row)
+    }
+
+    /// Batched [`Csr::step_at`]: resolves every slot's step query with a
+    /// three-pass software pipeline, bit-identical to calling `step_at`
+    /// per slot in order.
+    ///
+    /// Each step is a *dependent* two-load chain (`targets[row + i]` →
+    /// `offsets[t..t+2]`), so a lone walker pays two serialized cache
+    /// misses per step on graphs beyond the last-level cache. Working in
+    /// groups of [`STEP_PIPELINE_WIDTH`] slots, the passes issue each
+    /// level's loads for *all* slots before any slot's next level runs:
+    ///
+    /// 1. prefetch `targets[row + i]` for every slot;
+    /// 2. read the targets (lines now in flight), prefetch each target's
+    ///    `offsets[t]` line;
+    /// 3. read the offsets pairs and fill the replies.
+    ///
+    /// The chains of all in-flight slots overlap, bounded by the core's
+    /// memory-level parallelism rather than its memory latency.
+    pub fn step_at_batch(&self, slots: &mut [StepSlot]) {
+        for group in slots.chunks_mut(STEP_PIPELINE_WIDTH) {
+            #[cfg(debug_assertions)]
+            for s in group.iter() {
+                // Same row-handle validation as the scalar `step_at`.
+                debug_assert!(s.row + s.neighbor < self.targets.len());
+                let owner = self.arc_source(s.row);
+                debug_assert_eq!(self.offsets[owner.index()], s.row, "not a row start");
+                debug_assert_eq!(self.arc_source(s.row + s.neighbor), owner, "i overruns row");
+            }
+            let mut picked = [VertexId::new(0); STEP_PIPELINE_WIDTH];
+            for s in group.iter() {
+                prefetch_read(&self.targets[s.row + s.neighbor]);
+            }
+            for (t, s) in picked.iter_mut().zip(group.iter()) {
+                *t = self.targets[s.row + s.neighbor];
+                prefetch_read(&self.offsets[t.index()]);
+            }
+            for (&t, s) in picked.iter().zip(group.iter_mut()) {
+                let t_row = self.offsets[t.index()];
+                s.reply = StepReply {
+                    reply: NeighborReply::Vertex(t),
+                    target_degree: self.offsets[t.index() + 1] - t_row,
+                    target_row: t_row,
+                };
+            }
+        }
     }
 
     /// First arc id out of `v` (the CSR row start).

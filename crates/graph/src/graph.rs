@@ -220,6 +220,15 @@ impl Graph {
         self.csr.row_start(v)
     }
 
+    /// Batched row-handle step (see [`crate::csr::Csr::step_at_batch`]):
+    /// resolves every slot's step query with the software-pipelined
+    /// prefetch pass. The primitive behind
+    /// [`crate::GraphAccess::step_query_batch`].
+    #[inline]
+    pub fn step_batch(&self, slots: &mut [crate::StepSlot]) {
+        self.csr.step_at_batch(slots)
+    }
+
     /// `vol(V) = Σ_v deg(v)`.
     #[inline]
     pub fn volume(&self) -> usize {

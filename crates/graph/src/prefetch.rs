@@ -1,0 +1,63 @@
+//! Software prefetch for the batched stepping hot path.
+//!
+//! Each CSR walk step is a dependent two-load chain (`targets[row + i]`
+//! → `offsets[t..t+2]`), so a single walker is memory-latency-bound on
+//! graphs that outgrow the last-level cache. The batched engine
+//! ([`crate::access::GraphAccess::step_query_batch`]) breaks the chain
+//! across walkers: it issues [`prefetch_read`] for *every* walker's next
+//! cache line before any walker's dependent load executes, turning `W`
+//! serialized misses into `W` overlapped ones.
+//!
+//! # Safety
+//!
+//! This module is the only `unsafe` in `fs-graph`. `_mm_prefetch` is an
+//! `unsafe` intrinsic purely because every `core::arch` intrinsic is; a
+//! prefetch is architecturally a **hint with no memory effects** — it
+//! cannot fault, cannot write, and cannot change program semantics even
+//! if handed a dangling pointer (the x86 manuals specify PREFETCHh
+//! ignores faulting addresses). We still only ever pass pointers derived
+//! from live references, so the argument never relies on that last
+//! property.
+
+/// Hints the CPU to pull the cache line holding `*r` toward L1.
+///
+/// Purely a scheduling hint: no memory effect, no fault, no semantic
+/// change — see the module docs for the safety argument.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[inline(always)]
+pub fn prefetch_read<T>(r: &T) {
+    // SAFETY: `_mm_prefetch` has no memory effects (pure scheduling
+    // hint, cannot fault); the pointer is derived from a valid reference
+    // and is only hinted, never dereferenced.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+            (r as *const T).cast::<i8>(),
+        );
+    }
+}
+
+/// Hints the CPU to pull the cache line holding `*r` toward L1.
+///
+/// No-op on architectures without a portable prefetch intrinsic; the
+/// batched stepping engine stays correct either way (the prefetch only
+/// hides latency, it never carries data).
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+pub fn prefetch_read<T>(r: &T) {
+    let _ = r;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prefetch_read;
+
+    #[test]
+    fn prefetch_is_semantically_invisible() {
+        let data = vec![7u64; 1024];
+        for x in &data {
+            prefetch_read(x);
+        }
+        assert!(data.iter().all(|&x| x == 7));
+    }
+}

@@ -4,7 +4,13 @@
 //! ```text
 //! fs-serve --root stores [--addr 127.0.0.1:8080] [--conn-workers 4]
 //!          [--job-workers 2] [--max-queue 256] [--store-capacity 8]
+//!          [--hugepages off|try|require]
 //! ```
+//!
+//! `--hugepages try` backs store mappings with 2 MiB pages when the
+//! kernel provides them (explicit `MAP_HUGETLB` pool, else transparent
+//! hugepage advice) and silently falls back to plain mappings
+//! otherwise; `require` fails the job instead of falling back.
 //!
 //! Prints `listening on <addr>` to stderr once bound (port 0 picks an
 //! ephemeral port — useful for scripts). Runs until `POST
@@ -19,7 +25,8 @@ use std::io::BufRead;
 fn usage() -> ! {
     eprintln!(
         "usage: fs-serve --root DIR [--addr HOST:PORT] [--conn-workers N] \
-         [--job-workers N] [--max-queue N] [--store-capacity N] [--no-stdin]"
+         [--job-workers N] [--max-queue N] [--store-capacity N] \
+         [--hugepages off|try|require] [--no-stdin]"
     );
     std::process::exit(2);
 }
@@ -31,6 +38,7 @@ fn main() {
     let mut job_workers = 2usize;
     let mut max_queue = 256usize;
     let mut store_capacity = 8usize;
+    let mut hugepages = fs_store::HugepageMode::Off;
     // Background processes have no useful stdin (it may be closed,
     // which reads as instant EOF): --no-stdin leaves HTTP shutdown as
     // the only trigger.
@@ -54,6 +62,17 @@ fn main() {
             "--job-workers" => job_workers = parsed(args.next(), "--job-workers"),
             "--max-queue" => max_queue = parsed(args.next(), "--max-queue"),
             "--store-capacity" => store_capacity = parsed(args.next(), "--store-capacity"),
+            "--hugepages" => {
+                hugepages = match args.next().as_deref() {
+                    Some("off") => fs_store::HugepageMode::Off,
+                    Some("try") => fs_store::HugepageMode::Try,
+                    Some("require") => fs_store::HugepageMode::Require,
+                    _ => {
+                        eprintln!("bad or missing value for --hugepages (off|try|require)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--no-stdin" => watch_stdin = false,
             _ => usage(),
         }
@@ -70,6 +89,7 @@ fn main() {
     config.job_workers = job_workers.max(1);
     config.max_queue = max_queue.max(1);
     config.store_capacity = store_capacity.max(1);
+    config.hugepages = hugepages;
 
     let server = match Server::start(config) {
         Ok(s) => s,

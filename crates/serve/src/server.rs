@@ -51,6 +51,10 @@ pub struct Config {
     pub max_queue: usize,
     /// Maximum stores kept mapped.
     pub store_capacity: usize,
+    /// Hugepage policy for store mappings ([`fs_store::HugepageMode`]):
+    /// `Off` (default), `Try` (hugepages when available, transparent
+    /// fallback otherwise), or `Require`.
+    pub hugepages: fs_store::HugepageMode,
     /// HTTP parsing limits.
     pub limits: Limits,
 }
@@ -65,6 +69,7 @@ impl Config {
             job_workers: 2,
             max_queue: 256,
             store_capacity: 8,
+            hugepages: fs_store::HugepageMode::Off,
             limits: Limits::default(),
         }
     }
@@ -98,7 +103,10 @@ impl Server {
     pub fn start(config: Config) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let registry = Arc::new(StoreRegistry::new(&config.root, config.store_capacity));
+        let registry = Arc::new(
+            StoreRegistry::new(&config.root, config.store_capacity)
+                .with_hugepages(config.hugepages),
+        );
         let manager =
             JobManager::start(Arc::clone(&registry), config.job_workers, config.max_queue);
         let shutdown_flag = Arc::new(AtomicBool::new(false));

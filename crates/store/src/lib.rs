@@ -50,6 +50,6 @@ mod writer;
 
 pub use format::{file_digest, Layout, SectionId, StoreError, StoreKind};
 pub use ingest::{ingest_edge_list, IngestOptions, IngestReport};
-pub use mmap::{Mmap, MmapGraph};
+pub use mmap::{HugepageMode, MapBacking, Mmap, MmapGraph};
 pub use reader::{inspect, load_store, load_weighted_store, verify_store};
 pub use writer::{write_store, write_weighted_store};
