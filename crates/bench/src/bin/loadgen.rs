@@ -14,10 +14,23 @@
 //! loadgen --addr 127.0.0.1:8080 --store ba.fsg --jobs 64 --concurrency 32
 //! ```
 //!
+//! Each client thread drives one persistent keep-alive connection
+//! (submit + poll share the socket), matching the reactor's intended
+//! hot path.
+//!
 //! `--verify` additionally submits one seeded job (sequential and at
 //! `pool_threads=8`) and asserts the served estimate is bit-identical
 //! to the direct library call over the same store file — the serving
 //! layer's determinism guarantee, checked against a *real* server.
+//! `--cache-phase` re-runs the whole burst with identical specs after
+//! the cold phase: every job must hit the deterministic result cache,
+//! return estimate bits identical to its cold twin, and the phase as a
+//! whole must beat the cold throughput by `--min-cache-speedup`
+//! (default 10×) — otherwise loadgen exits nonzero.
+//! `--stream-probe` opens a chunked `/v1/jobs/{id}/stream` on a
+//! deliberately unbounded job and leaves it in flight across shutdown,
+//! asserting the stream still ends with a clean terminal line (the
+//! two-stage drain, exercised end to end).
 //! `--shutdown-after` posts `/v1/shutdown` at the end (lets CI stop a
 //! background server without signals).
 
@@ -37,18 +50,21 @@ fn usage() -> ! {
         "usage: loadgen (--spawn --root DIR | --addr HOST:PORT) --store NAME \
          [--jobs N] [--concurrency C] [--budget B] [--sampler fs] [--m M] \
          [--estimator avg_degree] [--seed-base S] [--out FILE] [--verify --root DIR] \
-         [--shutdown-after]"
+         [--cache-phase] [--min-cache-speedup X] [--stream-probe] [--shutdown-after]"
     );
     std::process::exit(2);
 }
 
-/// One blocking HTTP/1.1 exchange over a fresh connection.
+/// One blocking HTTP/1.1 exchange over a fresh connection. Sends
+/// `connection: close` — the server defaults to keep-alive, and this
+/// helper frames the response by EOF.
 fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\n\r\n{}",
+        "{method} {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n{}",
         body.len(),
         body
     )
@@ -69,6 +85,104 @@ fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String
     Ok((status, body))
 }
 
+/// A persistent keep-alive connection — the hot-path client. Responses
+/// are framed by `content-length` (or chunked transfer for streams),
+/// never by EOF, so one socket serves a whole job sequence.
+struct Client {
+    writer: TcpStream,
+    reader: std::io::BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        writer.set_nodelay(true).ok();
+        writer.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        let reader = std::io::BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+        Ok(Client { writer, reader })
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: &str) -> Result<(), String> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .map_err(|e| format!("write: {e}"))
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        use std::io::BufRead;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed by server".into());
+        }
+        Ok(line)
+    }
+
+    /// Status + lowercased header lines, leaving the reader at the body.
+    fn read_head(&mut self) -> Result<(u16, Vec<String>), String> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.get(..3))
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let line = line.trim_end().to_ascii_lowercase();
+            if line.is_empty() {
+                break;
+            }
+            headers.push(line);
+        }
+        Ok((status, headers))
+    }
+
+    /// One round trip over the persistent connection.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        self.send(method, path, body)?;
+        let (status, headers) = self.read_head()?;
+        let length: usize = headers
+            .iter()
+            .find_map(|h| h.strip_prefix("content-length:"))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| format!("no content-length in {headers:?}"))?;
+        let mut buf = vec![0u8; length];
+        self.reader
+            .read_exact(&mut buf)
+            .map_err(|e| format!("read body: {e}"))?;
+        String::from_utf8(buf)
+            .map(|body| (status, body))
+            .map_err(|e| e.to_string())
+    }
+
+    /// Reads one chunked-transfer chunk; `None` is the terminator.
+    fn read_chunk(&mut self) -> Result<Option<String>, String> {
+        let size_line = self.read_line()?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| format!("bad chunk size line {size_line:?}"))?;
+        if size == 0 {
+            self.read_line()?; // trailing CRLF
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; size + 2]; // payload + CRLF
+        self.reader
+            .read_exact(&mut payload)
+            .map_err(|e| format!("read chunk: {e}"))?;
+        payload.truncate(size);
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|e| e.to_string())
+    }
+}
+
 fn get_json(addr: &str, path: &str) -> Result<Json, String> {
     let (status, body) = http(addr, "GET", path, "")?;
     if status != 200 {
@@ -85,12 +199,15 @@ struct JobParams {
     estimator: String,
 }
 
+/// Encodes a job body, submits it over the persistent connection, and
+/// returns (id, phase-at-submit). A cache hit reports `done` directly
+/// in the submit response — no polling round trip at all.
 fn submit_job(
-    addr: &str,
+    client: &mut Client,
     p: &JobParams,
     seed: u64,
     pool_threads: Option<usize>,
-) -> Result<u64, String> {
+) -> Result<(u64, String), String> {
     let pool = match pool_threads {
         Some(t) => format!(",\"pool_threads\":{t}"),
         None => String::new(),
@@ -100,20 +217,31 @@ fn submit_job(
          \"estimator\":\"{}\"{pool}}}",
         p.store, p.sampler, p.m, p.budget, p.estimator
     );
-    let (status, text) = http(addr, "POST", "/v1/jobs", &body)?;
+    let (status, text) = client.request("POST", "/v1/jobs", &body)?;
     if status != 202 {
         return Err(format!("submit: {status} {text}"));
     }
-    json::parse(&text)
-        .ok()
-        .and_then(|d| d.get("id").and_then(|v| v.as_u64()))
-        .ok_or_else(|| format!("submit: no id in {text}"))
+    let doc = json::parse(&text).map_err(|e| e.to_string())?;
+    let id = doc
+        .get("id")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("submit: no id in {text}"))?;
+    let phase = doc
+        .get("phase")
+        .and_then(|v| v.as_str())
+        .unwrap_or("queued")
+        .to_string();
+    Ok((id, phase))
 }
 
-fn wait_job(addr: &str, id: u64) -> Result<Json, String> {
+fn wait_job(client: &mut Client, id: u64) -> Result<Json, String> {
     let deadline = Instant::now() + Duration::from_secs(600);
     loop {
-        let doc = get_json(addr, &format!("/v1/jobs/{id}"))?;
+        let (status, body) = client.request("GET", &format!("/v1/jobs/{id}"), "")?;
+        if status != 200 {
+            return Err(format!("GET /v1/jobs/{id}: {status} {body}"));
+        }
+        let doc = json::parse(&body).map_err(|e| e.to_string())?;
         let phase = doc
             .get("phase")
             .and_then(|v| v.as_str())
@@ -131,6 +259,17 @@ fn wait_job(addr: &str, id: u64) -> Result<Json, String> {
         }
         std::thread::sleep(Duration::from_millis(2));
     }
+}
+
+/// Runs one job start to finish over the persistent connection.
+fn run_job(
+    client: &mut Client,
+    p: &JobParams,
+    seed: u64,
+    pool_threads: Option<usize>,
+) -> Result<Json, String> {
+    let (id, _) = submit_job(client, p, seed, pool_threads)?;
+    wait_job(client, id)
 }
 
 /// Extracts (num_observed, scalar bits, vector bits) from a final doc.
@@ -168,6 +307,100 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+type Bits = (u64, Option<u64>, Option<Vec<u64>>);
+
+/// One burst's outcome. `bits[i]` holds job `i`'s estimate bits (the
+/// cache phase compares them against the cold phase's, job by job).
+struct Burst {
+    latencies: Vec<f64>,
+    completed: usize,
+    failed: u64,
+    wall_s: f64,
+    peak: usize,
+    bits: Vec<Option<Bits>>,
+}
+
+/// `C` clients keep `C` jobs in flight until `N` ran, each client on
+/// one persistent keep-alive connection (a transport error drops the
+/// connection; the next job reconnects).
+fn run_burst(
+    addr: &str,
+    params: &Arc<JobParams>,
+    jobs: usize,
+    concurrency: usize,
+    seed_base: u64,
+) -> Burst {
+    let next = Arc::new(AtomicUsize::new(0));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let peak_in_flight = Arc::new(AtomicUsize::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let addr_arc = Arc::new(addr.to_string());
+    let handles: Vec<_> = (0..concurrency)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let in_flight = Arc::clone(&in_flight);
+            let peak = Arc::clone(&peak_in_flight);
+            let failures = Arc::clone(&failures);
+            let params = Arc::clone(params);
+            let addr = Arc::clone(&addr_arc);
+            std::thread::spawn(move || {
+                let mut results: Vec<(usize, f64, Bits)> = Vec::new();
+                let mut client: Option<Client> = None;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        return results;
+                    }
+                    let t0 = Instant::now();
+                    let live = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak.fetch_max(live, Ordering::Relaxed);
+                    let outcome = (|| {
+                        if client.is_none() {
+                            client = Some(Client::connect(&addr)?);
+                        }
+                        run_job(
+                            client.as_mut().expect("client"),
+                            &params,
+                            seed_base + i as u64,
+                            None,
+                        )
+                    })();
+                    in_flight.fetch_sub(1, Ordering::Relaxed);
+                    match outcome {
+                        Ok(doc) => {
+                            results.push((i, t0.elapsed().as_secs_f64() * 1e3, wire_bits(&doc)));
+                        }
+                        Err(e) => {
+                            eprintln!("job {i} failed: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            client = None;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::with_capacity(jobs);
+    let mut bits: Vec<Option<Bits>> = vec![None; jobs];
+    for h in handles {
+        for (i, ms, b) in h.join().expect("client thread panicked") {
+            latencies.push(ms);
+            bits[i] = Some(b);
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Burst {
+        completed: latencies.len(),
+        failed: failures.load(Ordering::Relaxed),
+        wall_s,
+        peak: peak_in_flight.load(Ordering::Relaxed),
+        latencies,
+        bits,
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let mut root: Option<String> = None;
@@ -183,6 +416,9 @@ fn main() {
     let mut seed_base = 1_000u64;
     let mut out: Option<String> = None;
     let mut verify = false;
+    let mut cache_phase = false;
+    let mut min_cache_speedup = 10.0f64;
+    let mut stream_probe = false;
     let mut shutdown_after = false;
 
     use fs_bench::parsed_arg as parsed;
@@ -202,6 +438,9 @@ fn main() {
             "--seed-base" => seed_base = parsed(args.next(), "--seed-base"),
             "--out" => out = args.next(),
             "--verify" => verify = true,
+            "--cache-phase" => cache_phase = true,
+            "--min-cache-speedup" => min_cache_speedup = parsed(args.next(), "--min-cache-speedup"),
+            "--stream-probe" => stream_probe = true,
             "--shutdown-after" => shutdown_after = true,
             _ => usage(),
         }
@@ -231,7 +470,7 @@ fn main() {
     let health = get_json(&addr, "/healthz").expect("server health");
     eprintln!("server healthy: {}", health.encode());
 
-    // ---- The burst: C clients keep C jobs in flight until N ran. ----
+    // ---- Cold burst: C clients keep C jobs in flight until N ran. ----
     let params = Arc::new(JobParams {
         store: store.clone(),
         sampler: sampler.clone(),
@@ -239,52 +478,63 @@ fn main() {
         budget,
         estimator: estimator.clone(),
     });
-    let next = Arc::new(AtomicUsize::new(0));
-    let in_flight = Arc::new(AtomicUsize::new(0));
-    let peak_in_flight = Arc::new(AtomicUsize::new(0));
-    let failures = Arc::new(AtomicU64::new(0));
-    let started = Instant::now();
-    let addr_arc = Arc::new(addr.clone());
-    let handles: Vec<_> = (0..concurrency)
-        .map(|_| {
-            let next = Arc::clone(&next);
-            let in_flight = Arc::clone(&in_flight);
-            let peak = Arc::clone(&peak_in_flight);
-            let failures = Arc::clone(&failures);
-            let params = Arc::clone(&params);
-            let addr = Arc::clone(&addr_arc);
-            std::thread::spawn(move || {
-                let mut latencies = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs {
-                        return latencies;
-                    }
-                    let t0 = Instant::now();
-                    let live = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-                    peak.fetch_max(live, Ordering::Relaxed);
-                    let outcome = submit_job(&addr, &params, seed_base + i as u64, None)
-                        .and_then(|id| wait_job(&addr, id));
-                    in_flight.fetch_sub(1, Ordering::Relaxed);
-                    match outcome {
-                        Ok(_) => latencies.push(t0.elapsed().as_secs_f64() * 1e3),
-                        Err(e) => {
-                            eprintln!("job {i} failed: {e}");
-                            failures.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            })
-        })
-        .collect();
-    let mut latencies: Vec<f64> = Vec::with_capacity(jobs);
-    for h in handles {
-        latencies.extend(h.join().expect("client thread panicked"));
+    let cold = run_burst(&addr, &params, jobs, concurrency, seed_base);
+    eprintln!(
+        "cold phase: {}/{jobs} jobs, {:.1} jobs/s, p50 {:.1} ms",
+        cold.completed,
+        cold.completed as f64 / cold.wall_s,
+        percentile(&cold.latencies, 0.5)
+    );
+    let mut total_failed = cold.failed;
+
+    // ---- Cache phase: the identical burst again — every job must hit
+    // the result cache, match its cold twin bit for bit, and the phase
+    // must clear the speedup bar. ----
+    let mut cached_summary = Json::Null;
+    if cache_phase {
+        let warm = run_burst(&addr, &params, jobs, concurrency, seed_base);
+        total_failed += warm.failed;
+        let mismatched = cold
+            .bits
+            .iter()
+            .zip(warm.bits.iter())
+            .filter(|(a, b)| matches!((a, b), (Some(a), Some(b)) if a != b))
+            .count();
+        if mismatched > 0 {
+            eprintln!(
+                "CACHE BYTE-IDENTITY VIOLATION: {mismatched} cached jobs differ from their cold twins"
+            );
+            std::process::exit(1);
+        }
+        let cold_tp = cold.completed as f64 / cold.wall_s;
+        let warm_tp = warm.completed as f64 / warm.wall_s;
+        let speedup = warm_tp / cold_tp.max(1e-9);
+        eprintln!(
+            "cache phase: {:.0} jobs/s vs cold {:.0} jobs/s ({speedup:.1}x), estimates bit-identical",
+            warm_tp, cold_tp
+        );
+        if speedup < min_cache_speedup {
+            eprintln!("CACHE SPEEDUP TOO LOW: {speedup:.1}x < required {min_cache_speedup}x");
+            std::process::exit(1);
+        }
+        cached_summary = Json::obj([
+            ("jobs", Json::from(warm.completed)),
+            ("wall_s", Json::Num((warm.wall_s * 1e3).round() / 1e3)),
+            (
+                "throughput_jobs_per_sec",
+                Json::Num((warm_tp * 10.0).round() / 10.0),
+            ),
+            (
+                "latency_ms_p50",
+                Json::Num((percentile(&warm.latencies, 0.50) * 100.0).round() / 100.0),
+            ),
+            (
+                "speedup_vs_cold",
+                Json::Num((speedup * 10.0).round() / 10.0),
+            ),
+            ("bit_identical_to_cold", Json::Bool(true)),
+        ]);
     }
-    let wall_s = started.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.total_cmp(b));
-    let completed = latencies.len();
-    let failed = failures.load(Ordering::Relaxed);
 
     // ---- Optional determinism verification against the library. ----
     let mut verified = Json::Null;
@@ -314,9 +564,8 @@ fn main() {
             budget,
             estimator: estimator.clone(),
         };
-        let doc = submit_job(&addr, &vp, vseed, None)
-            .and_then(|id| wait_job(&addr, id))
-            .expect("verification job (sequential)");
+        let mut vclient = Client::connect(&addr).expect("verify connect");
+        let doc = run_job(&mut vclient, &vp, vseed, None).expect("verification job (sequential)");
         assert_eq!(
             wire_bits(&doc),
             seq_expect,
@@ -356,9 +605,8 @@ fn main() {
                 est.observe(&graph, Sample::Edge(edge));
             }
             let pool_expect = snapshot_bits(&est.snapshot());
-            let doc = submit_job(&addr, &vp, vseed, Some(8))
-                .and_then(|id| wait_job(&addr, id))
-                .expect("verification job (pooled)");
+            let doc =
+                run_job(&mut vclient, &vp, vseed, Some(8)).expect("verification job (pooled)");
             assert_eq!(
                 wire_bits(&doc),
                 pool_expect,
@@ -373,12 +621,91 @@ fn main() {
         verified = Json::Bool(true);
     }
 
+    // ---- Stream probe: a chunked stream left in flight across
+    // shutdown must still end with a terminal line and a clean chunk
+    // terminator. ----
+    let probe_state = if stream_probe {
+        let mut pc = Client::connect(&addr).expect("probe connect");
+        let probe_params = JobParams {
+            store: store.clone(),
+            sampler: sampler.clone(),
+            m,
+            // Deliberately unbounded: only cancellation (DELETE or the
+            // shutdown sequence) ends this job.
+            budget: 1e9,
+            estimator: estimator.clone(),
+        };
+        let (pid, _) = submit_job(&mut pc, &probe_params, 777_777, None).expect("probe submit");
+        pc.send("GET", &format!("/v1/jobs/{pid}/stream"), "")
+            .expect("probe stream request");
+        let (status, headers) = pc.read_head().expect("probe stream head");
+        assert_eq!(status, 200, "probe stream head: {headers:?}");
+        assert!(
+            headers.iter().any(|h| h == "transfer-encoding: chunked"),
+            "probe stream not chunked: {headers:?}"
+        );
+        let first = pc
+            .read_chunk()
+            .expect("probe first line")
+            .expect("probe stream ended before shutdown");
+        assert!(
+            json::parse(first.trim_end()).is_ok(),
+            "probe line is not JSON: {first:?}"
+        );
+        eprintln!("stream probe: job {pid} streaming");
+        Some((pc, pid))
+    } else {
+        None
+    };
+
     if shutdown_after {
         let _ = http(&addr, "POST", "/v1/shutdown", "");
         eprintln!("posted /v1/shutdown");
     }
-    if let Some(server) = spawned {
-        server.shutdown();
+    // An owned server runs its two-stage shutdown on a side thread so
+    // the probe stream (if any) is genuinely in flight while the
+    // server drains — the scenario the reactor's quit-grace exists for.
+    let owned_shutdown = spawned.map(|server| std::thread::spawn(move || server.shutdown()));
+
+    let mut probe_summary = Json::Null;
+    if let Some((mut pc, pid)) = probe_state {
+        if owned_shutdown.is_none() && !shutdown_after {
+            // Nothing will stop the unbounded job for us: cancel it.
+            let _ = http(&addr, "DELETE", &format!("/v1/jobs/{pid}"), "");
+        }
+        let mut lines = 1u64;
+        let mut last: Option<Json> = None;
+        loop {
+            match pc.read_chunk() {
+                Ok(Some(line)) => {
+                    lines += 1;
+                    last = json::parse(line.trim_end()).ok();
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("STREAM PROBE BROKEN: stream died without terminator: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let phase = last
+            .as_ref()
+            .and_then(|d| d.get("phase"))
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        if !matches!(phase.as_str(), "done" | "cancelled" | "failed") {
+            eprintln!("STREAM PROBE: last line is not terminal (phase {phase})");
+            std::process::exit(1);
+        }
+        eprintln!("stream probe: {lines} lines, clean terminator, terminal phase '{phase}'");
+        probe_summary = Json::obj([
+            ("lines", Json::from(lines)),
+            ("terminal_phase", Json::from(phase)),
+        ]);
+    }
+    if let Some(handle) = owned_shutdown {
+        handle.join().expect("server shutdown thread");
         eprintln!("spawned server shut down cleanly");
     }
 
@@ -391,38 +718,37 @@ fn main() {
         ("budget_per_job", Json::Num(budget)),
         ("jobs", Json::from(jobs)),
         ("concurrency", Json::from(concurrency)),
-        (
-            "peak_in_flight",
-            Json::from(peak_in_flight.load(Ordering::Relaxed)),
-        ),
-        ("completed", Json::from(completed)),
-        ("failed", Json::from(failed)),
-        ("wall_s", Json::Num((wall_s * 1e3).round() / 1e3)),
+        ("peak_in_flight", Json::from(cold.peak)),
+        ("completed", Json::from(cold.completed)),
+        ("failed", Json::from(total_failed)),
+        ("wall_s", Json::Num((cold.wall_s * 1e3).round() / 1e3)),
         (
             "throughput_jobs_per_sec",
-            Json::Num((completed as f64 / wall_s * 10.0).round() / 10.0),
+            Json::Num((cold.completed as f64 / cold.wall_s * 10.0).round() / 10.0),
         ),
         (
             "steps_per_sec_aggregate",
-            Json::Num((completed as f64 * budget / wall_s).round()),
+            Json::Num((cold.completed as f64 * budget / cold.wall_s).round()),
         ),
         (
             "latency_ms",
             Json::obj([
                 (
                     "p50",
-                    Json::Num((percentile(&latencies, 0.50) * 10.0).round() / 10.0),
+                    Json::Num((percentile(&cold.latencies, 0.50) * 10.0).round() / 10.0),
                 ),
                 (
                     "p95",
-                    Json::Num((percentile(&latencies, 0.95) * 10.0).round() / 10.0),
+                    Json::Num((percentile(&cold.latencies, 0.95) * 10.0).round() / 10.0),
                 ),
                 (
                     "max",
-                    Json::Num((percentile(&latencies, 1.0) * 10.0).round() / 10.0),
+                    Json::Num((percentile(&cold.latencies, 1.0) * 10.0).round() / 10.0),
                 ),
             ]),
         ),
+        ("cached", cached_summary),
+        ("stream_probe", probe_summary),
         ("verified_bit_identical", verified),
     ]);
     let text = summary.encode();
@@ -431,7 +757,7 @@ fn main() {
         std::fs::write(&path, format!("{text}\n")).expect("write summary");
         eprintln!("wrote {path}");
     }
-    if failed > 0 {
+    if total_failed > 0 {
         std::process::exit(1);
     }
 }

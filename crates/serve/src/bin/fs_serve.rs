@@ -4,8 +4,14 @@
 //! ```text
 //! fs-serve --root stores [--addr 127.0.0.1:8080] [--conn-workers 4]
 //!          [--job-workers 2] [--max-queue 256] [--store-capacity 8]
-//!          [--hugepages off|try|require]
+//!          [--hugepages off|try|require] [--cache-capacity 4096]
+//!          [--cache-mb 64]
 //! ```
+//!
+//! `--cache-capacity` bounds the deterministic result cache in entries
+//! (`0` disables caching), `--cache-mb` in megabytes; a repeated
+//! `(store, spec, seed)` submit completes instantly with the cached —
+//! byte-identical — estimate.
 //!
 //! `--hugepages try` backs store mappings with 2 MiB pages when the
 //! kernel provides them (explicit `MAP_HUGETLB` pool, else transparent
@@ -26,7 +32,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fs-serve --root DIR [--addr HOST:PORT] [--conn-workers N] \
          [--job-workers N] [--max-queue N] [--store-capacity N] \
-         [--hugepages off|try|require] [--no-stdin]"
+         [--hugepages off|try|require] [--cache-capacity N] [--cache-mb N] \
+         [--no-stdin]"
     );
     std::process::exit(2);
 }
@@ -39,6 +46,8 @@ fn main() {
     let mut max_queue = 256usize;
     let mut store_capacity = 8usize;
     let mut hugepages = fs_store::HugepageMode::Off;
+    let mut cache_capacity = 4_096usize;
+    let mut cache_mb = 64usize;
     // Background processes have no useful stdin (it may be closed,
     // which reads as instant EOF): --no-stdin leaves HTTP shutdown as
     // the only trigger.
@@ -62,6 +71,8 @@ fn main() {
             "--job-workers" => job_workers = parsed(args.next(), "--job-workers"),
             "--max-queue" => max_queue = parsed(args.next(), "--max-queue"),
             "--store-capacity" => store_capacity = parsed(args.next(), "--store-capacity"),
+            "--cache-capacity" => cache_capacity = parsed(args.next(), "--cache-capacity"),
+            "--cache-mb" => cache_mb = parsed(args.next(), "--cache-mb"),
             "--hugepages" => {
                 hugepages = match args.next().as_deref() {
                     Some("off") => fs_store::HugepageMode::Off,
@@ -90,6 +101,8 @@ fn main() {
     config.max_queue = max_queue.max(1);
     config.store_capacity = store_capacity.max(1);
     config.hugepages = hugepages;
+    config.cache_entries = cache_capacity;
+    config.cache_bytes = cache_mb.saturating_mul(1024 * 1024).max(1);
 
     let server = match Server::start(config) {
         Ok(s) => s,

@@ -1,0 +1,473 @@
+//! Deterministic result cache: completed estimates keyed by
+//! `(store digest, canonicalized job spec, seed)`.
+//!
+//! ## Why caching is sound here
+//!
+//! Every job result in this system is a **pure function** of the store
+//! content, the job spec, and the seed: sequential jobs inherit the
+//! `ChunkedRunner` bit-identity contract, pooled jobs inherit the
+//! thread-count-independent `ParallelWalkerPool` reductions. Ribeiro &
+//! Towsley's estimators depend only on the budget-`B` sample path, and
+//! the sample path depends only on `(graph, spec, seed)` — so a cached
+//! response is byte-equal to a recomputed one, forever. The cache is an
+//! optimization with **zero** freshness semantics to manage.
+//!
+//! ## Key canonicalization
+//!
+//! The key must equate exactly the spec pairs that are guaranteed to
+//! produce identical results, and nothing more:
+//!
+//! * the **store content digest**, never the file name — a rewritten
+//!   store gets a new digest from the registry's open-time checksum, so
+//!   stale results for the old bytes can never be served for the new
+//!   ones (invalidation-by-digest is structural, not evented);
+//! * sampler **variant and parameters**, with `alpha` compared by IEEE
+//!   bit pattern (`f64::to_bits`) — the RNG consumes the exact bits;
+//! * `budget` by bit pattern, for the same reason;
+//! * the `seed` and the estimator variant;
+//! * a **pooled flag**: pooled and sequential runs of the same spec are
+//!   proven bit-identical *to their own reference paths*; FS pooled vs
+//!   sequential factorize the event stream differently, so the cache
+//!   conservatively keys them apart rather than assuming cross-path
+//!   equality. (`pool_threads`'s *count* is deliberately excluded: the
+//!   pool is bit-identical at every thread count.)
+//!
+//! ## Bounds
+//!
+//! LRU over both an entry count and a byte budget (vector estimates —
+//! degree distributions over power-law graphs — dominate the bytes).
+//! Recency is a monotone stamp per entry plus a stamp-ordered index, so
+//! get/insert are `O(log n)` with no unsafe pointer chasing.
+
+use frontier_sampling::runner::{EstimateSnapshot, EstimatorSpec, SamplerSpec};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Canonical cache key. See the [module docs](self) for what each
+/// field buys.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    digest: u64,
+    sampler: SamplerKey,
+    budget_bits: u64,
+    seed: u64,
+    estimator: u8,
+    pooled: bool,
+}
+
+/// `SamplerSpec` with float parameters canonicalized to bit patterns
+/// (hashable, `Eq`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum SamplerKey {
+    Frontier(usize),
+    Single,
+    Multiple(usize),
+    Mhrw,
+    Nbrw,
+    Rwj(u64),
+}
+
+impl CacheKey {
+    /// Builds the canonical key for one job.
+    pub fn new(
+        digest: u64,
+        sampler: &SamplerSpec,
+        budget: f64,
+        seed: u64,
+        estimator: EstimatorSpec,
+        pooled: bool,
+    ) -> CacheKey {
+        let sampler = match *sampler {
+            SamplerSpec::Frontier { m } => SamplerKey::Frontier(m),
+            SamplerSpec::Single => SamplerKey::Single,
+            SamplerSpec::Multiple { m } => SamplerKey::Multiple(m),
+            SamplerSpec::Mhrw => SamplerKey::Mhrw,
+            SamplerSpec::Nbrw => SamplerKey::Nbrw,
+            SamplerSpec::Rwj { alpha } => SamplerKey::Rwj(alpha.to_bits()),
+        };
+        let estimator = match estimator {
+            EstimatorSpec::AverageDegree => 0,
+            EstimatorSpec::DegreeDist => 1,
+            EstimatorSpec::Ccdf => 2,
+            EstimatorSpec::Assortativity => 3,
+            EstimatorSpec::Clustering => 4,
+            EstimatorSpec::PopulationSize => 5,
+        };
+        CacheKey {
+            digest,
+            sampler,
+            budget_bits: budget.to_bits(),
+            seed,
+            estimator,
+            pooled,
+        }
+    }
+
+    /// The store content digest this key is bound to.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+/// A completed job's terminal output — everything `GET /v1/jobs/{id}`
+/// reports beyond lifecycle bookkeeping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedResult {
+    /// The final estimate snapshot.
+    pub snapshot: EstimateSnapshot,
+    /// Walk attempts the original run completed.
+    pub steps_done: u64,
+}
+
+impl CachedResult {
+    /// Approximate heap + struct footprint, for the byte budget.
+    fn weight(&self) -> usize {
+        let vec_bytes = self
+            .snapshot
+            .vector
+            .as_ref()
+            .map_or(0, |v| v.len() * std::mem::size_of::<f64>());
+        std::mem::size_of::<CachedResult>() + std::mem::size_of::<CacheKey>() + vec_bytes
+    }
+}
+
+/// Counters for `/healthz` and the loadgen A/B.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a result.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries written.
+    pub inserts: u64,
+    /// Entries dropped by the LRU bounds.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Approximate live bytes.
+    pub bytes: usize,
+}
+
+struct Entry {
+    result: CachedResult,
+    weight: usize,
+    stamp: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    /// Recency index: stamp → key. Stamps are unique (monotone counter
+    /// under the same lock), so `BTreeMap` is a faithful LRU order.
+    by_stamp: BTreeMap<u64, CacheKey>,
+    bytes: usize,
+    next_stamp: u64,
+    inserts: u64,
+    evictions: u64,
+}
+
+/// The process-wide deterministic result cache. Thread-safe; all
+/// operations take one short critical section.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    max_entries: usize,
+    max_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An LRU cache bounded by `max_entries` entries and (approximately)
+    /// `max_bytes` bytes. `max_entries == 0` disables caching entirely
+    /// (every lookup misses, every insert is dropped).
+    pub fn new(max_entries: usize, max_bytes: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                by_stamp: BTreeMap::new(),
+                bytes: 0,
+                next_stamp: 0,
+                inserts: 0,
+                evictions: 0,
+            }),
+            max_entries,
+            max_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a completed result, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let inner = &mut *inner;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                inner.by_stamp.remove(&entry.stamp);
+                entry.stamp = inner.next_stamp;
+                inner.next_stamp += 1;
+                inner.by_stamp.insert(entry.stamp, key.clone());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.result.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a completed result, then enforces the LRU
+    /// bounds. An entry larger than the whole byte budget is dropped
+    /// rather than cached alone.
+    pub fn insert(&self, key: CacheKey, result: CachedResult) {
+        if self.max_entries == 0 {
+            return;
+        }
+        let weight = result.weight();
+        if weight > self.max_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let inner = &mut *inner;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.by_stamp.remove(&old.stamp);
+            inner.bytes -= old.weight;
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.bytes += weight;
+        inner.inserts += 1;
+        inner.by_stamp.insert(stamp, key.clone());
+        inner.map.insert(
+            key,
+            Entry {
+                result,
+                weight,
+                stamp,
+            },
+        );
+        while inner.map.len() > self.max_entries || inner.bytes > self.max_bytes {
+            let Some((&stamp, _)) = inner.by_stamp.iter().next() else {
+                break;
+            };
+            let key = inner.by_stamp.remove(&stamp).expect("index consistent");
+            let entry = inner.map.remove(&key).expect("map consistent");
+            inner.bytes -= entry.weight;
+            inner.evictions += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: inner.inserts,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(observed: u64, scalar: f64) -> EstimateSnapshot {
+        EstimateSnapshot {
+            num_observed: observed,
+            scalar: Some(scalar),
+            vector: None,
+        }
+    }
+
+    fn result(observed: u64) -> CachedResult {
+        CachedResult {
+            snapshot: snap(observed, observed as f64),
+            steps_done: observed,
+        }
+    }
+
+    fn key(digest: u64, seed: u64) -> CacheKey {
+        CacheKey::new(
+            digest,
+            &SamplerSpec::Frontier { m: 16 },
+            20_000.0,
+            seed,
+            EstimatorSpec::AverageDegree,
+            false,
+        )
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_result() {
+        let cache = ResultCache::new(16, 1 << 20);
+        cache.insert(key(1, 7), result(42));
+        assert_eq!(cache.get(&key(1, 7)), Some(result(42)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 0, 1));
+    }
+
+    #[test]
+    fn every_spec_dimension_is_part_of_the_key() {
+        let cache = ResultCache::new(64, 1 << 20);
+        let base = CacheKey::new(
+            1,
+            &SamplerSpec::Frontier { m: 16 },
+            20_000.0,
+            7,
+            EstimatorSpec::AverageDegree,
+            false,
+        );
+        cache.insert(base.clone(), result(1));
+        let variants = [
+            // different digest (store rewritten)
+            CacheKey::new(
+                2,
+                &SamplerSpec::Frontier { m: 16 },
+                20_000.0,
+                7,
+                EstimatorSpec::AverageDegree,
+                false,
+            ),
+            // different sampler parameter
+            CacheKey::new(
+                1,
+                &SamplerSpec::Frontier { m: 17 },
+                20_000.0,
+                7,
+                EstimatorSpec::AverageDegree,
+                false,
+            ),
+            // different sampler variant with the same parameter
+            CacheKey::new(
+                1,
+                &SamplerSpec::Multiple { m: 16 },
+                20_000.0,
+                7,
+                EstimatorSpec::AverageDegree,
+                false,
+            ),
+            // different budget
+            CacheKey::new(
+                1,
+                &SamplerSpec::Frontier { m: 16 },
+                20_001.0,
+                7,
+                EstimatorSpec::AverageDegree,
+                false,
+            ),
+            // different seed
+            CacheKey::new(
+                1,
+                &SamplerSpec::Frontier { m: 16 },
+                20_000.0,
+                8,
+                EstimatorSpec::AverageDegree,
+                false,
+            ),
+            // different estimator
+            CacheKey::new(
+                1,
+                &SamplerSpec::Frontier { m: 16 },
+                20_000.0,
+                7,
+                EstimatorSpec::Clustering,
+                false,
+            ),
+            // pooled execution path
+            CacheKey::new(
+                1,
+                &SamplerSpec::Frontier { m: 16 },
+                20_000.0,
+                7,
+                EstimatorSpec::AverageDegree,
+                true,
+            ),
+        ];
+        for variant in &variants {
+            assert_ne!(variant, &base);
+            assert_eq!(cache.get(variant), None, "{variant:?} must miss");
+        }
+        assert_eq!(cache.get(&base), Some(result(1)));
+    }
+
+    #[test]
+    fn alpha_is_keyed_by_bit_pattern() {
+        let k = |alpha: f64| {
+            CacheKey::new(
+                1,
+                &SamplerSpec::Rwj { alpha },
+                1e4,
+                7,
+                EstimatorSpec::AverageDegree,
+                false,
+            )
+        };
+        // 0.0 == -0.0 under IEEE comparison but the RNG path consumes
+        // the bits, so the canonical key must distinguish them.
+        assert_ne!(k(0.0), k(-0.0));
+        assert_eq!(k(0.25), k(0.25));
+    }
+
+    #[test]
+    fn entry_count_lru_evicts_the_coldest() {
+        let cache = ResultCache::new(2, 1 << 20);
+        cache.insert(key(1, 1), result(1));
+        cache.insert(key(1, 2), result(2));
+        // Touch seed-1 so seed-2 is now the coldest.
+        assert!(cache.get(&key(1, 1)).is_some());
+        cache.insert(key(1, 3), result(3));
+        assert_eq!(cache.get(&key(1, 2)), None, "coldest entry evicted");
+        assert!(cache.get(&key(1, 1)).is_some());
+        assert!(cache.get(&key(1, 3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_oversized_entries_are_refused() {
+        let big = CachedResult {
+            snapshot: EstimateSnapshot {
+                num_observed: 1,
+                scalar: None,
+                vector: Some(vec![0.0; 1000]), // 8000 heap bytes
+            },
+            steps_done: 1,
+        };
+        let fixed = result(0).weight();
+        // Budget fits exactly one big entry (plus fixed overhead).
+        let cache = ResultCache::new(1024, fixed + 8_000);
+        cache.insert(key(1, 1), big.clone());
+        cache.insert(key(1, 2), big.clone());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "byte budget holds one big entry");
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(cache.get(&key(1, 2)), Some(big));
+        // An entry bigger than the whole budget is refused outright.
+        let cache = ResultCache::new(1024, 64);
+        cache.insert(key(1, 3), result(3));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0, 1 << 20);
+        cache.insert(key(1, 1), result(1));
+        assert_eq!(cache.get(&key(1, 1)), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_keeps_byte_accounting_consistent() {
+        let cache = ResultCache::new(8, 1 << 20);
+        cache.insert(key(1, 1), result(1));
+        let before = cache.stats().bytes;
+        cache.insert(key(1, 1), result(2));
+        assert_eq!(cache.stats().bytes, before, "same-weight replace");
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.get(&key(1, 1)), Some(result(2)));
+    }
+}

@@ -29,6 +29,7 @@
 //! the server's thread schedule. Pinned end-to-end by the
 //! `determinism` integration test.
 
+use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::registry::{RegistryError, StoreRegistry};
 use frontier_sampling::runner::{
     ChunkStatus, ChunkedRunner, EstimateSnapshot, EstimatorSpec, JobEstimator, Sample, SamplerSpec,
@@ -37,7 +38,7 @@ use frontier_sampling::{Budget, CostModel, FrontierSampler, MultipleRw, Parallel
 use fs_store::MmapGraph;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A validated job specification.
 #[derive(Clone, Debug)]
@@ -105,8 +106,15 @@ struct JobState {
 struct JobShared {
     spec: JobSpec,
     store_digest: u64,
+    /// The job was answered from the result cache (no sampling ran).
+    cached: bool,
     state: Mutex<JobState>,
     cancel: AtomicBool,
+    /// Bumped after every observable state change; stream subscribers
+    /// use it as a cheap "anything new since generation g?" cursor.
+    /// Starts at 1 so a fresh subscriber (cursor 0) always sees the
+    /// initial state.
+    generation: AtomicU64,
 }
 
 /// A read-only snapshot of one job, for serialization.
@@ -128,6 +136,12 @@ pub struct JobView {
     pub progress: f64,
     /// Latest estimate — partial while running, final when done.
     pub estimate: Option<EstimateSnapshot>,
+    /// The result came from the deterministic result cache (the job
+    /// completed at submit without sampling).
+    pub cached: bool,
+    /// State-change counter at the time of this view. Monotone per
+    /// job; a view with a larger generation is never older.
+    pub generation: u64,
 }
 
 /// Rejection reasons for `submit`.
@@ -155,6 +169,21 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
+/// What a cancellation request found. The HTTP layer maps these to the
+/// documented lifecycle status codes (see `DELETE /v1/jobs/{id}` in
+/// DESIGN.md): `NotFound` → 404, `Terminal` → 409, `Cancelled` → 200.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// No job with that id (never existed, or pruned by retention).
+    NotFound,
+    /// The job already finished as `Done` or `Failed` — there is
+    /// nothing left to cancel, and the result stands.
+    Terminal(JobPhase),
+    /// The job is now (or already was) cancelled. Double-cancel is
+    /// idempotent and lands here.
+    Cancelled,
+}
+
 type QueueItem = (u64, Arc<JobShared>, Arc<MmapGraph>);
 
 struct ManagerInner {
@@ -165,6 +194,7 @@ struct ManagerInner {
 /// The bounded job worker pool. See the [module docs](self).
 pub struct JobManager {
     registry: Arc<StoreRegistry>,
+    cache: Arc<ResultCache>,
     jobs: Mutex<HashMap<u64, Arc<JobShared>>>,
     inner: Mutex<ManagerInner>,
     wake: Condvar,
@@ -173,6 +203,10 @@ pub struct JobManager {
     /// Attempts per chunk between snapshot/cancel checks.
     chunk: usize,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Called (outside all locks) after every observable job-state
+    /// change — the reactor hangs its wake pipe here so streaming
+    /// connections learn about fresh snapshots without polling.
+    update_hook: OnceLock<Box<dyn Fn() + Send + Sync>>,
 }
 
 /// Completed jobs retained before the oldest are pruned.
@@ -195,16 +229,20 @@ const MAX_POOL_THREADS: usize = 256;
 const MAX_POOLED_BUDGET: f64 = 1e8;
 
 impl JobManager {
-    /// Starts `workers` job threads over `registry`. `max_queue` bounds
-    /// queued-but-not-running jobs (back-pressure surface).
+    /// Starts `workers` job threads over `registry`, with completed
+    /// results published to (and submits answered from) `cache`.
+    /// `max_queue` bounds queued-but-not-running jobs (back-pressure
+    /// surface).
     pub fn start(
         registry: Arc<StoreRegistry>,
+        cache: Arc<ResultCache>,
         workers: usize,
         max_queue: usize,
     ) -> Arc<JobManager> {
         assert!(workers >= 1, "need at least one job worker");
         let manager = Arc::new(JobManager {
             registry,
+            cache,
             jobs: Mutex::new(HashMap::new()),
             inner: Mutex::new(ManagerInner {
                 queue: VecDeque::new(),
@@ -215,6 +253,7 @@ impl JobManager {
             max_queue,
             chunk: 8_192,
             workers: Mutex::new(Vec::new()),
+            update_hook: OnceLock::new(),
         });
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -223,6 +262,28 @@ impl JobManager {
         }
         *manager.workers.lock().expect("workers poisoned") = handles;
         manager
+    }
+
+    /// Installs the state-change hook (at most once — later calls are
+    /// ignored). The reactor registers its wake pipe here.
+    pub fn set_update_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        let _ = self.update_hook.set(hook);
+    }
+
+    /// Publishes a state change: bump the job's generation, then fire
+    /// the hook. Callers must have dropped the job's state lock — the
+    /// hook runs arbitrary reactor-side code.
+    fn touch(&self, shared: &JobShared) {
+        shared.generation.fetch_add(1, Ordering::Release);
+        if let Some(hook) = self.update_hook.get() {
+            hook();
+        }
+    }
+
+    /// Shared hit/miss counters of the result cache this manager
+    /// publishes to.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
     }
 
     /// Validates and enqueues a job; returns its id.
@@ -277,12 +338,54 @@ impl JobManager {
         // Dry-run the estimator pairing so incompatible combinations
         // fail at submit, not mid-job.
         JobEstimator::new(spec.estimator, &spec.sampler).map_err(SubmitError::Invalid)?;
+
+        // Result-cache fast path: the digest-only probe is O(1) I/O
+        // (no store open), and the result is a pure function of
+        // (digest, spec, seed) — a hit completes the job at submit,
+        // byte-identical to a fresh run.
+        let probe_digest = self
+            .registry
+            .digest(&spec.store)
+            .map_err(SubmitError::Store)?;
+        let key = CacheKey::new(
+            probe_digest,
+            &spec.sampler,
+            spec.budget,
+            spec.seed,
+            spec.estimator,
+            spec.pool_threads.is_some(),
+        );
+        if let Some(hit) = self.cache.get(&key) {
+            if self.inner.lock().expect("manager poisoned").shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::new(JobShared {
+                spec,
+                store_digest: probe_digest,
+                cached: true,
+                state: Mutex::new(JobState {
+                    phase: JobPhase::Done,
+                    error: None,
+                    steps_done: hit.steps_done,
+                    progress: 1.0,
+                    snapshot: Some(hit.snapshot),
+                }),
+                cancel: AtomicBool::new(false),
+                generation: AtomicU64::new(1),
+            });
+            self.insert_job(id, Arc::clone(&shared));
+            self.touch(&shared);
+            return Ok(id);
+        }
+
         let (digest, graph) = self.registry.get(&spec.store).map_err(SubmitError::Store)?;
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(JobShared {
             spec,
             store_digest: digest,
+            cached: false,
             state: Mutex::new(JobState {
                 phase: JobPhase::Queued,
                 error: None,
@@ -291,6 +394,7 @@ impl JobManager {
                 snapshot: None,
             }),
             cancel: AtomicBool::new(false),
+            generation: AtomicU64::new(1),
         });
         {
             let mut inner = self.inner.lock().expect("manager poisoned");
@@ -302,12 +406,19 @@ impl JobManager {
             }
             inner.queue.push_back((id, Arc::clone(&shared), graph));
         }
+        self.insert_job(id, shared);
+        self.wake.notify_one();
+        Ok(id)
+    }
+
+    /// Registers a job in the id map and prunes retention: drop the
+    /// oldest *terminal* jobs beyond the cap. The slack amortizes the
+    /// O(len) scan (which touches every job's state lock) over many
+    /// submits instead of paying it on each one once the cap is
+    /// reached.
+    fn insert_job(&self, id: u64, shared: Arc<JobShared>) {
         let mut jobs = self.jobs.lock().expect("jobs poisoned");
         jobs.insert(id, shared);
-        // Bound retention: drop the oldest *terminal* jobs beyond the
-        // cap. The slack amortizes the O(len) scan (which touches every
-        // job's state lock) over many submits instead of paying it on
-        // each one once the cap is reached.
         if jobs.len() > MAX_RETAINED_JOBS + RETENTION_SLACK {
             let mut terminal: Vec<u64> = jobs
                 .iter()
@@ -320,9 +431,6 @@ impl JobManager {
                 jobs.remove(&id);
             }
         }
-        drop(jobs);
-        self.wake.notify_one();
-        Ok(id)
     }
 
     /// Snapshot of one job.
@@ -331,6 +439,11 @@ impl JobManager {
             let jobs = self.jobs.lock().expect("jobs poisoned");
             Arc::clone(jobs.get(&id)?)
         };
+        // Generation before state: a racing update between the two
+        // reads can only make the view *newer* than its generation
+        // claims, so a subscriber that stores this generation as its
+        // cursor never skips a change.
+        let generation = shared.generation.load(Ordering::Acquire);
         let state = shared.state.lock().expect("job poisoned");
         Some(JobView {
             id,
@@ -341,18 +454,42 @@ impl JobManager {
             steps_done: state.steps_done,
             progress: state.progress,
             estimate: state.snapshot.clone(),
+            cached: shared.cached,
+            generation,
         })
     }
 
-    /// Requests cancellation. Returns the job's phase after the
-    /// request, or `None` for unknown ids. Queued jobs flip to
-    /// `Cancelled` immediately; running jobs stop at their next chunk
-    /// boundary.
-    pub fn cancel(&self, id: u64) -> Option<JobPhase> {
+    /// A job's current state-change counter, without cloning the view.
+    pub fn generation(&self, id: u64) -> Option<u64> {
+        let jobs = self.jobs.lock().expect("jobs poisoned");
+        Some(jobs.get(&id)?.generation.load(Ordering::Acquire))
+    }
+
+    /// Requests cancellation. Queued jobs flip to `Cancelled`
+    /// immediately; running jobs stop at their next chunk boundary;
+    /// terminal jobs are reported as such (`Done`/`Failed` cannot be
+    /// cancelled; repeated cancels are idempotent). See
+    /// [`CancelOutcome`] for the HTTP mapping.
+    pub fn cancel(&self, id: u64) -> CancelOutcome {
         let shared = {
             let jobs = self.jobs.lock().expect("jobs poisoned");
-            Arc::clone(jobs.get(&id)?)
+            match jobs.get(&id) {
+                Some(shared) => Arc::clone(shared),
+                None => return CancelOutcome::NotFound,
+            }
         };
+        // Refuse to clobber a finished result: only non-terminal jobs
+        // (or already-cancelled ones, idempotently) accept the flag.
+        {
+            let state = shared.state.lock().expect("job poisoned");
+            match state.phase {
+                JobPhase::Done | JobPhase::Failed => {
+                    return CancelOutcome::Terminal(state.phase);
+                }
+                JobPhase::Cancelled => return CancelOutcome::Cancelled,
+                JobPhase::Queued | JobPhase::Running => {}
+            }
+        }
         shared.cancel.store(true, Ordering::Relaxed);
         // If still queued, remove from the queue and finalise here.
         let mut inner = self.inner.lock().expect("manager poisoned");
@@ -361,11 +498,20 @@ impl JobManager {
             drop(inner);
             let mut state = shared.state.lock().expect("job poisoned");
             state.phase = JobPhase::Cancelled;
-            return Some(JobPhase::Cancelled);
+            drop(state);
+            self.touch(&shared);
+            return CancelOutcome::Cancelled;
         }
         drop(inner);
+        // Running (the worker flips the phase at its next chunk) or
+        // already terminal from a race — either way the cancel request
+        // has done all it can.
         let phase = shared.state.lock().expect("job poisoned").phase;
-        Some(phase)
+        self.touch(&shared);
+        match phase {
+            JobPhase::Done | JobPhase::Failed => CancelOutcome::Terminal(phase),
+            _ => CancelOutcome::Cancelled,
+        }
     }
 
     /// Jobs currently queued or running (the in-flight count the load
@@ -389,6 +535,8 @@ impl JobManager {
             shared.cancel.store(true, Ordering::Relaxed);
             let mut state = shared.state.lock().expect("job poisoned");
             state.phase = JobPhase::Cancelled;
+            drop(state);
+            self.touch(&shared);
         }
         // Running jobs observe the cancel flag at the next chunk.
         {
@@ -433,6 +581,8 @@ impl JobManager {
                 let mut state = shared.state.lock().expect("job poisoned");
                 state.phase = JobPhase::Failed;
                 state.error = Some(format!("internal error: {message}"));
+                drop(state);
+                self.touch(&shared);
             }
         }
     }
@@ -442,10 +592,13 @@ impl JobManager {
             let mut state = shared.state.lock().expect("job poisoned");
             if shared.cancel.load(Ordering::Relaxed) {
                 state.phase = JobPhase::Cancelled;
+                drop(state);
+                self.touch(shared);
                 return;
             }
             state.phase = JobPhase::Running;
         }
+        self.touch(shared);
         let spec = &shared.spec;
         let mut estimator =
             JobEstimator::new(spec.estimator, &spec.sampler).expect("validated at submit");
@@ -456,14 +609,36 @@ impl JobManager {
             self.run_sequential(shared, graph, &mut estimator)
         };
 
+        let snapshot = estimator.snapshot();
         let mut state = shared.state.lock().expect("job poisoned");
-        state.snapshot = Some(estimator.snapshot());
+        state.snapshot = Some(snapshot.clone());
         if cancelled {
             state.phase = JobPhase::Cancelled;
+            drop(state);
         } else {
             state.progress = 1.0;
             state.phase = JobPhase::Done;
+            let steps_done = state.steps_done;
+            drop(state);
+            // Publish to the result cache: the run is complete and the
+            // result is a pure function of (digest, spec, seed), so
+            // future identical submits answer from here byte-for-byte.
+            self.cache.insert(
+                CacheKey::new(
+                    shared.store_digest,
+                    &spec.sampler,
+                    spec.budget,
+                    spec.seed,
+                    spec.estimator,
+                    spec.pool_threads.is_some(),
+                ),
+                CachedResult {
+                    snapshot,
+                    steps_done,
+                },
+            );
         }
+        self.touch(shared);
     }
 
     /// Sequential chunked execution; returns whether cancelled.
@@ -494,6 +669,7 @@ impl JobManager {
             if status == ChunkStatus::Finished {
                 return false;
             }
+            self.touch(shared);
         }
     }
 
@@ -548,6 +724,8 @@ impl JobManager {
             state.steps_done = fed as u64;
             state.progress = fed as f64 / total as f64;
             state.snapshot = Some(estimator.snapshot());
+            drop(state);
+            self.touch(shared);
         }
         false
     }

@@ -2,11 +2,15 @@
 //!
 //! The paper's output is *estimates from budgeted crawls* (Ribeiro &
 //! Towsley, IMC 2010, §2/§4); this crate is the layer that serves them:
-//! a threaded HTTP/1.1 service (`std::net` only — the build environment
-//! has no registry access, so everything from JSON to the protocol
-//! parser is hand-rolled and hardened) that schedules sampling jobs
-//! over shared memory-mapped `.fsg` graph stores and streams results.
+//! an event-driven HTTP/1.1 service (std + a scoped epoll shim — the
+//! build environment has no registry access, so everything from JSON to
+//! the protocol parser is hand-rolled and hardened) that schedules
+//! sampling jobs over shared memory-mapped `.fsg` graph stores, streams
+//! incremental estimates, and caches deterministic results.
 //!
+//! * [`reactor::Reactor`] — single-threaded epoll reactor: keep-alive,
+//!   strictly ordered pipelining, partial-write continuation, chunked
+//!   streaming subscriptions.
 //! * [`registry::StoreRegistry`] — content-digest-keyed LRU of open
 //!   [`fs_store::MmapGraph`]s; concurrent readers; eviction safe under
 //!   in-flight jobs (handles are `Arc`s).
@@ -14,9 +18,13 @@
 //!   [`frontier_sampling::runner::ChunkedRunner`] jobs chunk by chunk:
 //!   incremental progress, partial estimates, cancellation, clean
 //!   shutdown with jobs in flight.
+//! * [`cache::ResultCache`] — LRU-bounded deterministic result cache
+//!   keyed on `(store digest, canonicalized spec, seed)`; hits complete
+//!   jobs at submission, byte-identical to a recompute.
 //! * [`server::Server`] — the HTTP surface: `POST /v1/jobs`,
-//!   `GET /v1/jobs/{id}`, `GET /v1/stores`, `GET /healthz`,
-//!   `DELETE /v1/jobs/{id}`, `POST /v1/shutdown`.
+//!   `GET /v1/jobs/{id}`, `GET /v1/jobs/{id}/stream` (chunked NDJSON),
+//!   `GET /v1/stores`, `GET /healthz`, `DELETE /v1/jobs/{id}`,
+//!   `POST /v1/shutdown`.
 //! * [`json`] / [`http`] — the minimal wire layers (shortest-round-trip
 //!   float encoding: estimates survive the wire bit for bit).
 //!
@@ -40,15 +48,23 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `forbid` became `deny` when the serving tier moved to an epoll
+// reactor: the one `#[allow(unsafe_code)]` is the scoped syscall shim
+// in `reactor::sys`, which carries a written safety argument (same
+// discipline as the mmap shim in fs-store). Everything else stays
+// safe code, enforced at the module level.
+#![deny(unsafe_code)]
 
+pub mod cache;
 pub mod http;
 pub mod jobs;
 pub mod json;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 
-pub use jobs::{JobManager, JobPhase, JobSpec, JobView, SubmitError};
+pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
+pub use jobs::{CancelOutcome, JobManager, JobPhase, JobSpec, JobView, SubmitError};
 pub use json::Json;
 pub use registry::{RegistryError, StoreInfo, StoreRegistry};
 pub use server::{Config, Server};

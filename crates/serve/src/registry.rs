@@ -129,6 +129,23 @@ impl StoreRegistry {
         Ok(self.root.join(name))
     }
 
+    /// Resolves `name` to its current content digest **without**
+    /// opening or mapping the store (`O(1)` I/O: header + section
+    /// table). The result-cache fast path uses this so a cache hit
+    /// costs no `O(V)` open — and because the digest is read fresh
+    /// from the file, a rewritten store misses the old entries by
+    /// construction.
+    pub fn digest(&self, name: &str) -> Result<u64, RegistryError> {
+        let path = self.resolve(name)?;
+        if !path.is_file() {
+            return Err(RegistryError::NotFound(name.to_string()));
+        }
+        fs_store::file_digest(&path).map_err(|cause| RegistryError::Unreadable {
+            name: name.to_string(),
+            cause,
+        })
+    }
+
     /// Opens (or returns the cached mapping of) the store named `name`,
     /// returning its content digest and a shared handle. The handle
     /// stays valid after eviction — jobs hold it for their whole run.

@@ -1,40 +1,54 @@
-//! The HTTP server: a `TcpListener` accept loop feeding a bounded pool
-//! of connection workers, routing onto the [`StoreRegistry`] and
-//! [`JobManager`].
+//! The HTTP server: an epoll [`Reactor`] (keep-alive + pipelining +
+//! chunked streaming) routing onto the [`StoreRegistry`], the
+//! [`JobManager`], and the deterministic [`ResultCache`].
 //!
 //! ## API
 //!
-//! | method & path        | meaning                                       |
-//! |----------------------|-----------------------------------------------|
-//! | `GET /healthz`       | liveness + worker/queue stats                 |
-//! | `GET /v1/stores`     | list `.fsg` stores under the root             |
-//! | `POST /v1/jobs`      | submit a job (JSON body; `202` + `{"id": …}`) |
-//! | `GET /v1/jobs/{id}`  | job status, progress, partial/final estimate  |
-//! | `DELETE /v1/jobs/{id}` | cancel                                      |
-//! | `POST /v1/shutdown`  | graceful shutdown (also via [`Server::shutdown`]) |
+//! | method & path                | meaning                                       |
+//! |------------------------------|-----------------------------------------------|
+//! | `GET /healthz`               | liveness + worker/queue/cache stats           |
+//! | `GET /v1/stores`             | list `.fsg` stores under the root             |
+//! | `POST /v1/jobs`              | submit a job (JSON body; `202` + `{"id": …}`) |
+//! | `GET /v1/jobs/{id}`          | job status, progress, partial/final estimate  |
+//! | `GET /v1/jobs/{id}/stream`   | chunked NDJSON: one line per fresh snapshot   |
+//! | `DELETE /v1/jobs/{id}`       | cancel (`200`; `404` unknown, `409` terminal) |
+//! | `POST /v1/shutdown`          | graceful shutdown (also via [`Server::shutdown`]) |
 //!
 //! Job body: `{"store": "name.fsg", "sampler": "fs", "m": 16,
 //! "alpha": 1.0, "budget": 10000, "seed": 7, "estimator":
 //! "avg_degree", "pool_threads": 8}` — `m`/`alpha`/`pool_threads`
 //! optional where the sampler ignores them.
 //!
+//! ## Job lifecycle status codes (pinned by `protocol.rs`)
+//!
+//! * `GET /v1/jobs/{id}` — `200` for any known job (including one
+//!   completed instantly from the result cache, where the body carries
+//!   `"cached": true`), `404` for unknown ids.
+//! * `DELETE /v1/jobs/{id}` — `200` when the job is now cancelled
+//!   (queued, running, or *already cancelled* — double-cancel is
+//!   idempotent), `409` when it already finished `done`/`failed` (the
+//!   result stands; nothing to cancel), `404` for unknown ids.
+//!
 //! ## Shutdown
 //!
-//! `shutdown()` (or `POST /v1/shutdown`) stops the acceptor, drains
-//! connection workers, cancels queued jobs, interrupts running jobs at
-//! their next chunk boundary, and joins every thread — jobs in flight
-//! end `cancelled`, never wedged (pinned by the protocol tests).
+//! Two stages: `POST /v1/shutdown` flips the drain flag — new requests
+//! answer `503` while connections stay open. [`Server::shutdown`] then
+//! cancels jobs (in-flight streams see the terminal snapshot and end
+//! their chunked bodies cleanly), signals the reactor to quit, and
+//! joins every thread — jobs in flight end `cancelled`, never wedged
+//! (pinned by the protocol tests).
 
-use crate::http::{self, HttpError, Limits, Request};
-use crate::jobs::{JobManager, JobPhase, JobSpec, JobView, SubmitError};
+use crate::cache::ResultCache;
+use crate::http::Limits;
+use crate::jobs::{CancelOutcome, JobManager, JobPhase, JobSpec, JobView, SubmitError};
 use crate::json::{self, Json};
+use crate::reactor::{Action, AppLogic, Reactor, StreamEvent, Waker};
 use crate::registry::{RegistryError, StoreRegistry};
 use frontier_sampling::runner::{EstimatorSpec, SamplerSpec};
-use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -43,7 +57,9 @@ pub struct Config {
     pub root: PathBuf,
     /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
     pub addr: String,
-    /// Connection worker threads.
+    /// Retained for configuration compatibility with the threaded
+    /// server; the epoll reactor multiplexes every connection on one
+    /// thread, so this knob is ignored.
     pub conn_workers: usize,
     /// Job worker threads.
     pub job_workers: usize,
@@ -57,6 +73,10 @@ pub struct Config {
     pub hugepages: fs_store::HugepageMode,
     /// HTTP parsing limits.
     pub limits: Limits,
+    /// Result-cache entry bound (`0` disables caching).
+    pub cache_entries: usize,
+    /// Result-cache byte bound.
+    pub cache_bytes: usize,
 }
 
 impl Config {
@@ -71,6 +91,8 @@ impl Config {
             store_capacity: 8,
             hugepages: fs_store::HugepageMode::Off,
             limits: Limits::default(),
+            cache_entries: 4_096,
+            cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -83,23 +105,26 @@ pub struct Server {
     /// but connections are still served (the owner decides when to
     /// actually stop).
     shutdown_flag: Arc<AtomicBool>,
-    /// Hard stop: set only by [`Server::shutdown`]; the acceptor exits.
+    /// Hard stop: set only by [`Server::shutdown`]; the reactor exits.
     quit_flag: Arc<AtomicBool>,
     manager: Arc<JobManager>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    conn_workers: Vec<std::thread::JoinHandle<()>>,
+    waker: Waker,
+    reactor: Option<std::thread::JoinHandle<()>>,
 }
 
-struct Shared {
+/// The application half handed to the reactor: pure routing, no
+/// blocking work (jobs run on the manager's worker pool).
+struct Logic {
     registry: Arc<StoreRegistry>,
     manager: Arc<JobManager>,
+    cache: Arc<ResultCache>,
     shutdown_flag: Arc<AtomicBool>,
-    limits: Limits,
     job_workers: usize,
 }
 
 impl Server {
-    /// Binds, spawns the workers, and starts accepting.
+    /// Binds, spawns the job workers and the reactor, and starts
+    /// accepting.
     pub fn start(config: Config) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -107,64 +132,35 @@ impl Server {
             StoreRegistry::new(&config.root, config.store_capacity)
                 .with_hugepages(config.hugepages),
         );
-        let manager =
-            JobManager::start(Arc::clone(&registry), config.job_workers, config.max_queue);
+        let cache = Arc::new(ResultCache::new(config.cache_entries, config.cache_bytes));
+        let manager = JobManager::start(
+            Arc::clone(&registry),
+            Arc::clone(&cache),
+            config.job_workers,
+            config.max_queue,
+        );
         let shutdown_flag = Arc::new(AtomicBool::new(false));
-        let shared = Arc::new(Shared {
+        let quit_flag = Arc::new(AtomicBool::new(false));
+        let logic = Arc::new(Logic {
             registry,
             manager: Arc::clone(&manager),
+            cache,
             shutdown_flag: Arc::clone(&shutdown_flag),
-            limits: config.limits,
             job_workers: config.job_workers,
         });
-
-        // Bounded handoff: the acceptor blocks when every connection
-        // worker is busy and the channel is full — back-pressure at the
-        // TCP accept queue rather than unbounded thread growth.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.conn_workers * 2);
-        let rx = Arc::new(Mutex::new(rx));
-        let mut conn_workers = Vec::with_capacity(config.conn_workers);
-        for _ in 0..config.conn_workers {
-            let rx = Arc::clone(&rx);
-            let shared = Arc::clone(&shared);
-            conn_workers.push(std::thread::spawn(move || loop {
-                let stream = {
-                    let guard = rx.lock().expect("conn rx poisoned");
-                    guard.recv()
-                };
-                match stream {
-                    Ok(stream) => handle_connection(stream, &shared),
-                    Err(_) => return, // channel closed: shutdown
-                }
-            }));
-        }
-
-        let quit_flag = Arc::new(AtomicBool::new(false));
-        let accept_flag = Arc::clone(&quit_flag);
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => {
-                        if tx.send(s).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => continue,
-                }
-            }
-            // tx drops here, closing the worker channel.
-        });
-
+        let (waker, handle) =
+            Reactor::spawn(listener, logic, config.limits, Arc::clone(&quit_flag))?;
+        // Job workers poke the reactor after every chunk so streaming
+        // connections learn about fresh snapshots without polling.
+        let hook_waker = waker.clone();
+        manager.set_update_hook(Box::new(move || hook_waker.wake()));
         Ok(Server {
             addr,
             shutdown_flag,
             quit_flag,
             manager,
-            acceptor: Some(acceptor),
-            conn_workers,
+            waker,
+            reactor: Some(handle),
         })
     }
 
@@ -181,65 +177,19 @@ impl Server {
 
     /// Graceful shutdown: see the [module docs](self). Idempotent.
     pub fn shutdown(mut self) {
+        // Stage 1: drain — new requests answer 503.
         self.shutdown_flag.store(true, Ordering::SeqCst);
-        self.quit_flag.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with one throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        for h in self.conn_workers.drain(..) {
-            let _ = h.join();
-        }
+        // Stage 2: stop the jobs. Running jobs flip to `cancelled` at
+        // their next chunk; each flip wakes the reactor, so in-flight
+        // streams emit the terminal snapshot and end their chunked
+        // bodies *before* the reactor is told to quit.
         self.manager.shutdown();
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    // A slow-loris client must not pin a worker forever.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    let request = match http::read_request(&mut reader, &shared.limits) {
-        Ok(request) => request,
-        Err(HttpError::Closed) => return,
-        Err(HttpError::PayloadTooLarge) => {
-            let body = error_body("request body too large");
-            let _ = http::write_response(&mut writer, 413, &body);
-            drain_unread(reader);
-            return;
-        }
-        Err(HttpError::BadRequest(message)) => {
-            let body = error_body(&format!("malformed request: {message}"));
-            let _ = http::write_response(&mut writer, 400, &body);
-            drain_unread(reader);
-            return;
-        }
-        Err(HttpError::Io(_)) => return,
-    };
-    let (status, body) = route(&request, shared);
-    let _ = http::write_response(&mut writer, status, &body);
-}
-
-/// Consumes (bounded, briefly) whatever request bytes the client is
-/// still sending after an early error response. Closing with unread
-/// data pending makes the kernel send RST, which can discard the
-/// already-written response before the client reads it — draining
-/// first lets the 4xx actually arrive.
-fn drain_unread(mut reader: BufReader<TcpStream>) {
-    let _ = reader
-        .get_ref()
-        .set_read_timeout(Some(std::time::Duration::from_millis(250)));
-    let mut sink = [0u8; 8192];
-    let mut drained = 0usize;
-    while drained < 4 * 1024 * 1024 {
-        match std::io::Read::read(&mut reader, &mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => drained += n,
+        // Stage 3: quit the reactor; it grace-drains pending output
+        // (including those stream terminators) and joins.
+        self.quit_flag.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
         }
     }
 }
@@ -248,108 +198,197 @@ fn error_body(message: &str) -> String {
     Json::obj([("error", Json::from(message))]).encode()
 }
 
-fn route(request: &Request, shared: &Shared) -> (u16, String) {
-    if shared.shutdown_flag.load(Ordering::SeqCst) {
-        return (503, error_body("server is shutting down"));
-    }
-    let path = request.path.as_str();
-    let method = request.method.as_str();
-    match (method, path) {
-        ("GET", "/healthz") => (
-            200,
-            Json::obj([
-                ("status", Json::from("ok")),
-                ("open_stores", Json::from(shared.registry.open_count())),
-                ("in_flight_jobs", Json::from(shared.manager.in_flight())),
-                ("job_workers", Json::from(shared.job_workers)),
-            ])
-            .encode(),
-        ),
-        ("GET", "/v1/stores") => match shared.registry.list() {
-            Ok(infos) => {
-                let items: Vec<Json> = infos
-                    .into_iter()
-                    .map(|i| {
-                        Json::obj([
-                            ("name", Json::from(i.name)),
-                            ("digest", Json::from(format!("{:016x}", i.digest))),
-                            ("num_vertices", Json::from(i.num_vertices)),
-                            ("num_arcs", Json::from(i.num_arcs)),
-                            ("open", Json::from(i.open)),
-                        ])
-                    })
-                    .collect();
-                (200, Json::obj([("stores", Json::Arr(items))]).encode())
-            }
-            Err(e) => (500, error_body(&format!("cannot list stores: {e}"))),
-        },
-        ("POST", "/v1/jobs") => submit_job(request, shared),
-        ("POST", "/v1/shutdown") => {
-            shared.shutdown_flag.store(true, Ordering::SeqCst);
-            (
-                202,
-                Json::obj([("status", Json::from("shutting down"))]).encode(),
-            )
-        }
-        _ => {
-            if let Some(id_text) = path.strip_prefix("/v1/jobs/") {
-                let Ok(id) = id_text.parse::<u64>() else {
-                    return (400, error_body(&format!("bad job id '{id_text}'")));
-                };
-                return match method {
-                    "GET" => match shared.manager.view(id) {
-                        Some(view) => (200, job_json(&view).encode()),
-                        None => (404, error_body(&format!("no job {id}"))),
-                    },
-                    "DELETE" => match shared.manager.cancel(id) {
-                        Some(phase) => (
-                            200,
-                            Json::obj([
-                                ("id", Json::from(id)),
-                                ("phase", Json::from(phase.name())),
-                            ])
-                            .encode(),
-                        ),
-                        None => (404, error_body(&format!("no job {id}"))),
-                    },
-                    _ => (405, error_body("use GET or DELETE on /v1/jobs/{id}")),
-                };
-            }
-            match path {
-                "/healthz" | "/v1/stores" | "/v1/jobs" | "/v1/shutdown" => (
-                    405,
-                    error_body(&format!("method {method} not allowed on {path}")),
-                ),
-                _ => (404, error_body(&format!("no route for {path}"))),
-            }
-        }
+fn respond(status: u16, body: String) -> Action {
+    Action::Respond {
+        status,
+        body,
+        close: false,
     }
 }
 
-fn submit_job(request: &Request, shared: &Shared) -> (u16, String) {
-    let Ok(text) = std::str::from_utf8(&request.body) else {
-        return (400, error_body("body is not UTF-8"));
-    };
-    let doc = match json::parse(text) {
-        Ok(doc) => doc,
-        Err(e) => return (400, error_body(&e.to_string())),
-    };
-    let spec = match parse_job_spec(&doc) {
-        Ok(spec) => spec,
-        Err(message) => return (400, error_body(&message)),
-    };
-    match shared.manager.submit(spec) {
-        Ok(id) => (
-            202,
-            Json::obj([("id", Json::from(id)), ("phase", Json::from("queued"))]).encode(),
-        ),
-        Err(SubmitError::Invalid(m)) => (400, error_body(&m)),
-        Err(SubmitError::Store(RegistryError::NotFound(n))) => {
-            (404, error_body(&format!("no store named '{n}'")))
+impl AppLogic for Logic {
+    fn handle(&self, request: &crate::http::Request) -> Action {
+        if self.shutdown_flag.load(Ordering::SeqCst) {
+            return respond(503, error_body("server is shutting down"));
         }
-        Err(SubmitError::Store(e)) => (400, error_body(&e.to_string())),
-        Err(SubmitError::QueueFull) => (429, error_body("job queue is full; retry later")),
-        Err(SubmitError::ShuttingDown) => (503, error_body("server is shutting down")),
+        let path = request.path.as_str();
+        let method = request.method.as_str();
+        match (method, path) {
+            ("GET", "/healthz") => {
+                let cache = self.cache.stats();
+                respond(
+                    200,
+                    Json::obj([
+                        ("status", Json::from("ok")),
+                        ("open_stores", Json::from(self.registry.open_count())),
+                        ("in_flight_jobs", Json::from(self.manager.in_flight())),
+                        ("job_workers", Json::from(self.job_workers)),
+                        (
+                            "cache",
+                            Json::obj([
+                                ("hits", Json::from(cache.hits)),
+                                ("misses", Json::from(cache.misses)),
+                                ("entries", Json::from(cache.entries)),
+                                ("bytes", Json::from(cache.bytes)),
+                                ("evictions", Json::from(cache.evictions)),
+                            ]),
+                        ),
+                    ])
+                    .encode(),
+                )
+            }
+            ("GET", "/v1/stores") => match self.registry.list() {
+                Ok(infos) => {
+                    let items: Vec<Json> = infos
+                        .into_iter()
+                        .map(|i| {
+                            Json::obj([
+                                ("name", Json::from(i.name)),
+                                ("digest", Json::from(format!("{:016x}", i.digest))),
+                                ("num_vertices", Json::from(i.num_vertices)),
+                                ("num_arcs", Json::from(i.num_arcs)),
+                                ("open", Json::from(i.open)),
+                            ])
+                        })
+                        .collect();
+                    respond(200, Json::obj([("stores", Json::Arr(items))]).encode())
+                }
+                Err(e) => respond(500, error_body(&format!("cannot list stores: {e}"))),
+            },
+            ("POST", "/v1/jobs") => self.submit_job(request),
+            ("POST", "/v1/shutdown") => {
+                self.shutdown_flag.store(true, Ordering::SeqCst);
+                respond(
+                    202,
+                    Json::obj([("status", Json::from("shutting down"))]).encode(),
+                )
+            }
+            _ => {
+                if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                    return self.job_route(method, rest);
+                }
+                match path {
+                    "/healthz" | "/v1/stores" | "/v1/jobs" | "/v1/shutdown" => respond(
+                        405,
+                        error_body(&format!("method {method} not allowed on {path}")),
+                    ),
+                    _ => respond(404, error_body(&format!("no route for {path}"))),
+                }
+            }
+        }
+    }
+
+    fn stream_poll(&self, job: u64, last_gen: &mut u64) -> StreamEvent {
+        let Some(view) = self.manager.view(job) else {
+            // Pruned by retention mid-stream: terminate rather than
+            // hang the subscriber.
+            return StreamEvent::End(error_body(&format!("job {job} no longer exists")));
+        };
+        if view.phase.terminal() {
+            *last_gen = view.generation;
+            return StreamEvent::End(job_json(&view).encode());
+        }
+        if view.generation > *last_gen {
+            *last_gen = view.generation;
+            return StreamEvent::Chunk(job_json(&view).encode());
+        }
+        StreamEvent::Idle
+    }
+
+    fn error_body(&self, message: &str) -> String {
+        error_body(message)
+    }
+}
+
+impl Logic {
+    /// Routes `/v1/jobs/{id}` and `/v1/jobs/{id}/stream`.
+    fn job_route(&self, method: &str, rest: &str) -> Action {
+        let (id_text, stream) = match rest.strip_suffix("/stream") {
+            Some(prefix) => (prefix, true),
+            None => (rest, false),
+        };
+        let Ok(id) = id_text.parse::<u64>() else {
+            return respond(400, error_body(&format!("bad job id '{id_text}'")));
+        };
+        match (method, stream) {
+            ("GET", false) => match self.manager.view(id) {
+                Some(view) => respond(200, job_json(&view).encode()),
+                None => respond(404, error_body(&format!("no job {id}"))),
+            },
+            ("GET", true) => {
+                if self.manager.view(id).is_none() {
+                    return respond(404, error_body(&format!("no job {id}")));
+                }
+                Action::Stream { job: id }
+            }
+            ("DELETE", false) => match self.manager.cancel(id) {
+                CancelOutcome::NotFound => respond(404, error_body(&format!("no job {id}"))),
+                CancelOutcome::Terminal(phase) => respond(
+                    409,
+                    Json::obj([
+                        ("id", Json::from(id)),
+                        ("phase", Json::from(phase.name())),
+                        (
+                            "error",
+                            Json::from(format!(
+                                "job {id} already finished as {}; nothing to cancel",
+                                phase.name()
+                            )),
+                        ),
+                    ])
+                    .encode(),
+                ),
+                CancelOutcome::Cancelled => respond(
+                    200,
+                    Json::obj([
+                        ("id", Json::from(id)),
+                        ("phase", Json::from(JobPhase::Cancelled.name())),
+                    ])
+                    .encode(),
+                ),
+            },
+            ("DELETE", true) => respond(405, error_body("DELETE the job, not its stream")),
+            _ => respond(405, error_body("use GET or DELETE on /v1/jobs/{id}")),
+        }
+    }
+
+    fn submit_job(&self, request: &crate::http::Request) -> Action {
+        let Ok(text) = std::str::from_utf8(&request.body) else {
+            return respond(400, error_body("body is not UTF-8"));
+        };
+        let doc = match json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => return respond(400, error_body(&e.to_string())),
+        };
+        let spec = match parse_job_spec(&doc) {
+            Ok(spec) => spec,
+            Err(message) => return respond(400, error_body(&message)),
+        };
+        match self.manager.submit(spec) {
+            Ok(id) => {
+                // A cache hit completes the job at submit; report the
+                // actual phase so clients need not poll a done job.
+                let phase = self
+                    .manager
+                    .view(id)
+                    .map(|v| v.phase)
+                    .unwrap_or(JobPhase::Queued);
+                respond(
+                    202,
+                    Json::obj([("id", Json::from(id)), ("phase", Json::from(phase.name()))])
+                        .encode(),
+                )
+            }
+            Err(SubmitError::Invalid(m)) => respond(400, error_body(&m)),
+            Err(SubmitError::Store(RegistryError::NotFound(n))) => {
+                respond(404, error_body(&format!("no store named '{n}'")))
+            }
+            Err(SubmitError::Store(e)) => respond(400, error_body(&e.to_string())),
+            Err(SubmitError::QueueFull) => {
+                respond(429, error_body("job queue is full; retry later"))
+            }
+            Err(SubmitError::ShuttingDown) => respond(503, error_body("server is shutting down")),
+        }
     }
 }
 
@@ -414,7 +453,9 @@ fn parse_job_spec(doc: &Json) -> Result<JobSpec, String> {
 }
 
 /// Serializes a job view. Estimate floats use shortest-round-trip
-/// encoding, so clients recover server-side values bit for bit.
+/// encoding, so clients recover server-side values bit for bit — and a
+/// cache-hit job's estimate is **byte-identical** to the original run's
+/// (the `cached`/`id` bookkeeping fields differ; the payload does not).
 fn job_json(view: &JobView) -> Json {
     let estimate = match &view.estimate {
         None => Json::Null,
@@ -459,6 +500,7 @@ fn job_json(view: &JobView) -> Json {
         ),
         ("steps_done", Json::from(view.steps_done)),
         ("progress", Json::Num(view.progress)),
+        ("cached", Json::from(view.cached)),
         ("final", Json::from(view.phase == JobPhase::Done)),
         ("estimate", estimate),
     ])

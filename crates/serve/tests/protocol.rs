@@ -4,9 +4,9 @@
 
 mod common;
 
-use common::{parse, raw_request, request, store_dir, wait_terminal};
+use common::{parse, raw_request, request, store_dir, wait_terminal, Session};
 use frontier_sampling::runner::{EstimatorSpec, SamplerSpec};
-use fs_serve::{Config, JobPhase, JobSpec, Server, StoreRegistry, SubmitError};
+use fs_serve::{Config, JobPhase, JobSpec, ResultCache, Server, StoreRegistry, SubmitError};
 use std::sync::Arc;
 
 #[test]
@@ -335,7 +335,8 @@ fn manager_level_shutdown_cancels_in_flight_jobs() {
     // are assertable after shutdown.
     let dir = store_dir("proto_mgr", 500, 8);
     let registry = Arc::new(StoreRegistry::new(&dir, 2));
-    let manager = fs_serve::JobManager::start(registry, 1, 8);
+    let cache = Arc::new(ResultCache::new(64, 1 << 20));
+    let manager = fs_serve::JobManager::start(registry, cache, 1, 8);
     let running = manager
         .submit(JobSpec {
             store: "ba.fsg".into(),
@@ -375,6 +376,235 @@ fn manager_level_shutdown_cancels_in_flight_jobs() {
         pool_threads: None,
     });
     assert!(matches!(refused, Err(SubmitError::ShuttingDown)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn job_lifecycle_status_codes_are_stable() {
+    let dir = store_dir("proto_lifecycle", 300, 11);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+    let spec = "{\"store\":\"ba.fsg\",\"sampler\":\"fs\",\"m\":4,\"budget\":2000,\
+                \"seed\":5,\"estimator\":\"avg_degree\"}";
+
+    // A completed job: GET is 200, DELETE is 409 (the result stands).
+    let (status, text) = request(addr, "POST", "/v1/jobs", Some(spec));
+    assert_eq!(status, 202, "{text}");
+    let done_id = parse(&text).get("id").unwrap().as_u64().unwrap();
+    wait_terminal(addr, done_id);
+    let (status, body) = request(addr, "GET", &format!("/v1/jobs/{done_id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(parse(&body).get("cached").unwrap().as_bool(), Some(false));
+    let (status, body) = request(addr, "DELETE", &format!("/v1/jobs/{done_id}"), None);
+    assert_eq!(status, 409, "DELETE on done job: {body}");
+    let doc = parse(&body);
+    assert_eq!(doc.get("phase").unwrap().as_str().unwrap(), "done");
+    assert!(doc.get("error").is_some());
+    // Still 409 on repeat, and the job is untouched.
+    let (status, _) = request(addr, "DELETE", &format!("/v1/jobs/{done_id}"), None);
+    assert_eq!(status, 409);
+    let (_, body) = request(addr, "GET", &format!("/v1/jobs/{done_id}"), None);
+    assert_eq!(parse(&body).get("phase").unwrap().as_str().unwrap(), "done");
+
+    // The identical spec completes from the result cache: GET is a
+    // plain 200 with `cached: true`, and cancelling it is still 409.
+    let (status, text) = request(addr, "POST", "/v1/jobs", Some(spec));
+    assert_eq!(status, 202, "{text}");
+    let hit = parse(&text);
+    let hit_id = hit.get("id").unwrap().as_u64().unwrap();
+    assert_ne!(hit_id, done_id);
+    assert_eq!(hit.get("phase").unwrap().as_str().unwrap(), "done");
+    let (status, body) = request(addr, "GET", &format!("/v1/jobs/{hit_id}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(parse(&body).get("cached").unwrap().as_bool(), Some(true));
+    let (status, _) = request(addr, "DELETE", &format!("/v1/jobs/{hit_id}"), None);
+    assert_eq!(status, 409);
+
+    // A running job: DELETE is 200, and double-cancel stays 200
+    // (idempotent).
+    let endless = "{\"store\":\"ba.fsg\",\"sampler\":\"single\",\"budget\":1000000000,\
+                   \"seed\":6,\"estimator\":\"avg_degree\"}";
+    let (status, text) = request(addr, "POST", "/v1/jobs", Some(endless));
+    assert_eq!(status, 202, "{text}");
+    let run_id = parse(&text).get("id").unwrap().as_u64().unwrap();
+    let (status, body) = request(addr, "DELETE", &format!("/v1/jobs/{run_id}"), None);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        wait_terminal(addr, run_id)
+            .get("phase")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "cancelled"
+    );
+    let (status, body) = request(addr, "DELETE", &format!("/v1/jobs/{run_id}"), None);
+    assert_eq!(status, 200, "double-cancel must stay 200: {body}");
+    assert_eq!(
+        parse(&body).get("phase").unwrap().as_str().unwrap(),
+        "cancelled"
+    );
+
+    // Unknown ids are 404 for both verbs.
+    let (status, _) = request(addr, "GET", "/v1/jobs/123456789", None);
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "DELETE", "/v1/jobs/123456789", None);
+    assert_eq!(status, 404);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_alive_session_pipelines_in_order() {
+    let dir = store_dir("proto_keepalive", 200, 12);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+
+    // Many sequential round trips over ONE socket.
+    let mut session = Session::connect(addr);
+    for _ in 0..50 {
+        let (status, body) = session.roundtrip("GET", "/healthz", None);
+        assert_eq!(status, 200);
+        assert_eq!(parse(&body).get("status").unwrap().as_str().unwrap(), "ok");
+    }
+
+    // A pipelined burst: write 40 requests before reading anything,
+    // then require the 40 responses to come back in request order
+    // (the 404 bodies echo their distinct paths).
+    for i in 0..20 {
+        session.send("GET", "/healthz", None);
+        session.send("GET", &format!("/pipelined-{i}"), None);
+    }
+    for i in 0..20 {
+        let (status, _) = session.read_response();
+        assert_eq!(status, 200);
+        let (status, body) = session.read_response();
+        assert_eq!(status, 404);
+        assert!(
+            body.contains(&format!("/pipelined-{i}")),
+            "response {i} out of order: {body}"
+        );
+    }
+
+    // App-level errors (bad JSON spec) keep the connection alive —
+    // framing was fine, so there is nothing to distrust.
+    let (status, _) = session.roundtrip("POST", "/v1/jobs", Some("{\"store\":\"ba.fsg\"}"));
+    assert_eq!(status, 400);
+    let (status, _) = session.roundtrip("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn smuggling_shaped_framing_is_rejected_with_close() {
+    let dir = store_dir("proto_smuggle", 200, 13);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+    // Every framing ambiguity must draw a 400 AND close the
+    // connection — `raw_request` reads to EOF, so a server that kept
+    // the connection open would hang this test, and a poisoned parser
+    // must never route the trailing smuggled request.
+    let smuggled = "GET /admin HTTP/1.1\r\n\r\n";
+    for raw in [
+        format!("POST /v1/jobs HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\n{{}}{smuggled}"),
+        format!("POST /v1/jobs HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 29\r\n\r\n{{}}{smuggled}"),
+        format!("POST /v1/jobs HTTP/1.1\r\ncontent-length: +2\r\n\r\n{{}}{smuggled}"),
+        format!("POST /v1/jobs HTTP/1.1\r\ncontent-length: 99999999999999999999\r\n\r\n{smuggled}"),
+        format!("POST /v1/jobs HTTP/1.1\r\ncontent-length: 0x2\r\n\r\n{{}}{smuggled}"),
+        format!("POST /v1/jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n{smuggled}"),
+        format!("POST /v1/jobs HTTP/1.1\r\ntransfer-encoding: identity\r\ncontent-length: 2\r\n\r\n{{}}{smuggled}"),
+        format!("POST /v1/jobs HTTP/1.1\r\ncontent-length : 2\r\n\r\n{{}}{smuggled}"),
+    ] {
+        let (status, text) = raw_request(addr, raw.as_bytes());
+        assert_eq!(status, 400, "{raw:?} → {text}");
+        // Exactly one response came back: the poisoned parser did not
+        // route the smuggled request.
+        assert!(
+            !text.contains("HTTP/1.1"),
+            "{raw:?}: smuggled request was answered: {text}"
+        );
+    }
+    let (status, _) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "server must stay healthy");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Declares `setsockopt(2)` to shrink the client's receive buffer —
+/// the test crate carries its own scoped FFI (the library itself
+/// denies unsafe outside the reactor's epoll shim).
+#[allow(unsafe_code)]
+mod tiny_rcvbuf {
+    use std::os::fd::AsRawFd;
+
+    extern "C" {
+        fn setsockopt(
+            fd: std::os::raw::c_int,
+            level: std::os::raw::c_int,
+            optname: std::os::raw::c_int,
+            optval: *const std::os::raw::c_void,
+            optlen: u32,
+        ) -> std::os::raw::c_int;
+    }
+
+    const SOL_SOCKET: std::os::raw::c_int = 1;
+    const SO_RCVBUF: std::os::raw::c_int = 8;
+
+    /// Caps the socket's receive buffer (Linux doubles the value and
+    /// enforces a floor; the point is "small", not exact).
+    pub fn shrink(sock: &impl AsRawFd, bytes: i32) {
+        // SAFETY: the fd is live (borrowed from an open socket), and
+        // the option value is a stack i32 read synchronously by the
+        // kernel.
+        let rc = unsafe {
+            setsockopt(
+                sock.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&bytes) as *const i32 as *const std::os::raw::c_void,
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        assert_eq!(rc, 0, "setsockopt(SO_RCVBUF) failed");
+    }
+}
+
+#[test]
+fn response_writer_survives_tiny_rcvbuf_dribble() {
+    // Pin the partial-write continuation path: a peer with a tiny
+    // receive window pipelines far more response bytes than any kernel
+    // buffer holds, so the server must hit EAGAIN mid-response and
+    // resume on EPOLLOUT — repeatedly — without corrupting or
+    // reordering a single byte.
+    let dir = store_dir("proto_dribble", 200, 14);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+
+    // 64 KiB: far below the 5 MB backlog (guaranteeing repeated EAGAIN
+    // parks on the server) but at least one loopback-MSS segment, so
+    // TCP keeps streaming instead of degenerating into persist-timer
+    // probes.
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    tiny_rcvbuf::shrink(&stream, 64 * 1024);
+    let mut session = Session::from_stream(stream);
+    // ~30k distinct 404s ≈ 5 MB of responses — past the write
+    // high-water mark and any default socket buffer.
+    const N: usize = 30_000;
+    for i in 0..N {
+        session.send("GET", &format!("/dribble-{i}"), None);
+    }
+    for i in 0..N {
+        let (status, body) = session.read_response();
+        assert_eq!(status, 404);
+        assert!(
+            body.contains(&format!("/dribble-{i}")),
+            "response {i} corrupted or out of order: {body}"
+        );
+    }
+    // The connection is still perfectly usable.
+    let (status, _) = session.roundtrip("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
 
