@@ -33,6 +33,25 @@
 //! two-stage drain, exercised end to end).
 //! `--shutdown-after` posts `/v1/shutdown` at the end (lets CI stop a
 //! background server without signals).
+//!
+//! ## Robustness knobs (the recovery/chaos suite)
+//!
+//! `--max-retries R` (default 4) bounds per-job retries on *retryable*
+//! failures — transport errors, `429` back-pressure, `503`
+//! drain/replay — with capped exponential backoff (50 ms · 2^attempt,
+//! capped at 2 s) plus deterministic jitter seeded from
+//! `(seed-base, job index, attempt)`, so a chaos run's retry schedule
+//! replays exactly. `0` means fail-fast. Retrying a whole job is safe:
+//! results are pure functions of `(store, spec, seed)`, so a duplicate
+//! submit is at worst a cache hit.
+//!
+//! `--submit-only` submits the burst's jobs without waiting and prints
+//! `submitted FIRST:LAST` — stage one of the CI crash test (SIGKILL
+//! the server mid-burst). `--recovery-probe FIRST:LAST` is stage two:
+//! after the restart it polls every id through connection refusals and
+//! replay `503`s until `done`, then recomputes each estimate with the
+//! library and requires bit-identity — the crash must be invisible in
+//! the results.
 
 use frontier_sampling::runner::{
     ChunkStatus, ChunkedRunner, EstimateSnapshot, EstimatorSpec, JobEstimator, Sample, SamplerSpec,
@@ -50,7 +69,8 @@ fn usage() -> ! {
         "usage: loadgen (--spawn --root DIR | --addr HOST:PORT) --store NAME \
          [--jobs N] [--concurrency C] [--budget B] [--sampler fs] [--m M] \
          [--estimator avg_degree] [--seed-base S] [--out FILE] [--verify --root DIR] \
-         [--cache-phase] [--min-cache-speedup X] [--stream-probe] [--shutdown-after]"
+         [--cache-phase] [--min-cache-speedup X] [--stream-probe] [--shutdown-after] \
+         [--max-retries R] [--submit-only] [--recovery-probe FIRST:LAST --root DIR]"
     );
     std::process::exit(2);
 }
@@ -299,6 +319,66 @@ fn snapshot_bits(s: &EstimateSnapshot) -> (u64, Option<u64>, Option<Vec<u64>>) {
     )
 }
 
+/// Whether a failure is worth retrying: transport-level errors (the
+/// peer may be restarting, or a chaos failpoint reset the socket) and
+/// the two transient HTTP statuses — `429` back-pressure and `503`
+/// drain/replay. Anything else (4xx validation, job `failed`) is a
+/// real answer and retrying would only mask it.
+fn retryable(e: &str) -> bool {
+    if e.contains(": 429 ") || e.contains(": 503 ") {
+        return true;
+    }
+    e.starts_with("connect ")
+        || e.starts_with("write:")
+        || e.starts_with("read:")
+        || e.starts_with("read body:")
+        || e.starts_with("read chunk:")
+        || e.contains("connection closed")
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Capped exponential backoff with deterministic jitter: base
+/// 50 ms · 2^attempt capped at 2 s, jittered over ±half by a
+/// splitmix64 stream keyed on `(seed-base, job index, attempt)` — a
+/// repeated chaos run sleeps the exact same schedule.
+fn backoff(attempt: u32, key: u64) -> Duration {
+    let base = 50u64.saturating_mul(1 << attempt.min(5)).min(2_000);
+    let jitter = splitmix64(key) % (base / 2 + 1);
+    Duration::from_millis(base / 2 + jitter)
+}
+
+/// Runs `work` up to `1 + max_retries` times, backing off between
+/// retryable failures. `key` seeds the deterministic jitter.
+fn with_retries<T>(
+    max_retries: u32,
+    key: u64,
+    label: &str,
+    mut work: impl FnMut() -> Result<T, String>,
+) -> Result<T, String> {
+    let mut attempt = 0u32;
+    loop {
+        match work() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < max_retries && retryable(&e) => {
+                attempt += 1;
+                let pause = backoff(attempt, key ^ u64::from(attempt));
+                eprintln!(
+                    "{label}: retryable failure ({e}); retry {attempt}/{max_retries} in {} ms",
+                    pause.as_millis()
+                );
+                std::thread::sleep(pause);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -329,6 +409,7 @@ fn run_burst(
     jobs: usize,
     concurrency: usize,
     seed_base: u64,
+    max_retries: u32,
 ) -> Burst {
     let next = Arc::new(AtomicUsize::new(0));
     let in_flight = Arc::new(AtomicUsize::new(0));
@@ -355,7 +436,12 @@ fn run_burst(
                     let t0 = Instant::now();
                     let live = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
                     peak.fetch_max(live, Ordering::Relaxed);
-                    let outcome = (|| {
+                    // Retrying the whole job (not just the failing
+                    // round trip) is safe: the result is a pure
+                    // function of (store, spec, seed), so a duplicate
+                    // submit is at worst a result-cache hit.
+                    let retry_key = splitmix64(seed_base ^ ((i as u64) << 16));
+                    let outcome = with_retries(max_retries, retry_key, &format!("job {i}"), || {
                         if client.is_none() {
                             client = Some(Client::connect(&addr)?);
                         }
@@ -365,7 +451,8 @@ fn run_burst(
                             seed_base + i as u64,
                             None,
                         )
-                    })();
+                        .inspect_err(|_| client = None)
+                    });
                     in_flight.fetch_sub(1, Ordering::Relaxed);
                     match outcome {
                         Ok(doc) => {
@@ -401,6 +488,94 @@ fn run_burst(
     }
 }
 
+/// Stage two of the crash test: after a SIGKILL + restart, every job
+/// submitted before the crash must reach `done` with estimate bits
+/// identical to the direct library run — the crash must be invisible
+/// in the results. Polls through connection refusals (server still
+/// starting) and `503`s (journal replay in progress); exits nonzero on
+/// any non-`done` outcome or bit mismatch.
+///
+/// The sampler/estimator parameters come from the CLI flags (the job
+/// document reports the sampler as a display label, not a wire name);
+/// each job's `seed` and `budget` are taken from its served document.
+fn run_recovery_probe(addr: &str, root: Option<&str>, p: &JobParams, first: u64, last: u64) {
+    let Some(root) = root else {
+        eprintln!("--recovery-probe requires --root DIR (to open the store directly)");
+        std::process::exit(2);
+    };
+    let graph = fs_store::MmapGraph::open(std::path::Path::new(root).join(&p.store))
+        .expect("open store for recovery verification");
+    let spec = SamplerSpec::parse(&p.sampler, p.m, 0.0).expect("sampler");
+    let est_spec = EstimatorSpec::parse(&p.estimator).expect("estimator");
+
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut verified = 0u64;
+    for id in first..=last {
+        // One-shot connections: the probe must survive the server
+        // being gone entirely between polls.
+        let doc = loop {
+            match http(addr, "GET", &format!("/v1/jobs/{id}"), "") {
+                Ok((200, body)) => {
+                    let doc = json::parse(&body).expect("job doc");
+                    let phase = doc
+                        .get("phase")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("?")
+                        .to_string();
+                    match phase.as_str() {
+                        "done" => break doc,
+                        "queued" | "running" => {}
+                        other => {
+                            eprintln!("RECOVERY PROBE: job {id} ended '{other}': {}", doc.encode());
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                Ok((503, _)) => {} // restart drain or journal replay
+                Ok((status, body)) => {
+                    eprintln!("RECOVERY PROBE: GET /v1/jobs/{id}: {status} {body}");
+                    std::process::exit(1);
+                }
+                Err(e) => eprintln!("recovery probe: job {id}: {e} (server restarting?)"),
+            }
+            if Instant::now() > deadline {
+                eprintln!("RECOVERY PROBE: job {id} never reached a terminal phase");
+                std::process::exit(1);
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        };
+        let seed = doc
+            .get("seed")
+            .and_then(|v| v.as_u64())
+            .expect("job doc seed");
+        let job_budget = doc
+            .get("budget")
+            .and_then(|v| v.as_f64())
+            .expect("job doc budget");
+        let mut est = JobEstimator::new(est_spec, &spec).expect("combo");
+        let mut runner = ChunkedRunner::new(&spec, &graph, &CostModel::unit(), job_budget, seed);
+        while runner.run_chunk(usize::MAX, |s| est.observe(&graph, s)) == ChunkStatus::InProgress {}
+        if wire_bits(&doc) != snapshot_bits(&est.snapshot()) {
+            eprintln!(
+                "RECOVERY BIT-IDENTITY VIOLATION: job {id} (seed {seed}) differs from the \
+                 uninterrupted library run"
+            );
+            std::process::exit(1);
+        }
+        verified += 1;
+    }
+    if let Ok(health) = get_json(addr, "/healthz") {
+        eprintln!(
+            "recovery probe: healthz after recovery: {}",
+            health.encode()
+        );
+    }
+    eprintln!(
+        "recovery probe: jobs {first}..={last} all done, {verified} estimates bit-identical \
+         to the uninterrupted run"
+    );
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let mut root: Option<String> = None;
@@ -420,6 +595,9 @@ fn main() {
     let mut min_cache_speedup = 10.0f64;
     let mut stream_probe = false;
     let mut shutdown_after = false;
+    let mut max_retries = 4u32;
+    let mut submit_only = false;
+    let mut recovery_probe: Option<String> = None;
 
     use fs_bench::parsed_arg as parsed;
     let mut args = std::env::args().skip(1);
@@ -442,6 +620,9 @@ fn main() {
             "--min-cache-speedup" => min_cache_speedup = parsed(args.next(), "--min-cache-speedup"),
             "--stream-probe" => stream_probe = true,
             "--shutdown-after" => shutdown_after = true,
+            "--max-retries" => max_retries = parsed(args.next(), "--max-retries"),
+            "--submit-only" => submit_only = true,
+            "--recovery-probe" => recovery_probe = args.next(),
             _ => usage(),
         }
     }
@@ -467,10 +648,34 @@ fn main() {
         (None, None) => usage(),
     };
 
+    // ---- Recovery probe: stage two of the crash test (the server may
+    // still be restarting or replaying — tolerate both). ----
+    if let Some(range) = recovery_probe {
+        let Some((first, last)) = range
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<u64>().ok()?)))
+        else {
+            eprintln!("bad --recovery-probe value '{range}' (want FIRST:LAST)");
+            std::process::exit(2);
+        };
+        let probe_params = JobParams {
+            store: store.clone(),
+            sampler: sampler.clone(),
+            m,
+            budget,
+            estimator: estimator.clone(),
+        };
+        run_recovery_probe(&addr, root.as_deref(), &probe_params, first, last);
+        if shutdown_after {
+            let _ = http(&addr, "POST", "/v1/shutdown", "");
+            eprintln!("posted /v1/shutdown");
+        }
+        return;
+    }
+
     let health = get_json(&addr, "/healthz").expect("server health");
     eprintln!("server healthy: {}", health.encode());
 
-    // ---- Cold burst: C clients keep C jobs in flight until N ran. ----
     let params = Arc::new(JobParams {
         store: store.clone(),
         sampler: sampler.clone(),
@@ -478,7 +683,32 @@ fn main() {
         budget,
         estimator: estimator.clone(),
     });
-    let cold = run_burst(&addr, &params, jobs, concurrency, seed_base);
+
+    // ---- Submit-only: stage one of the crash test — load the queue,
+    // print the id range, and leave without collecting results (the
+    // harness SIGKILLs the server while these jobs are in flight). ----
+    if submit_only {
+        let mut client = Client::connect(&addr).expect("connect");
+        let mut first: Option<u64> = None;
+        let mut last = 0u64;
+        for i in 0..jobs {
+            let key = splitmix64(seed_base ^ ((i as u64) << 16) ^ 0xB007);
+            let (id, _) = with_retries(max_retries, key, &format!("submit {i}"), || {
+                submit_job(&mut client, &params, seed_base + i as u64, None)
+            })
+            .expect("submit-only: submission failed");
+            first.get_or_insert(id);
+            last = id;
+        }
+        let first = first.expect("submitted at least one job");
+        eprintln!("submit-only: {jobs} jobs queued, ids {first}..={last}");
+        // Stdout is the machine-readable contract the harness captures.
+        println!("submitted {first}:{last}");
+        return;
+    }
+
+    // ---- Cold burst: C clients keep C jobs in flight until N ran. ----
+    let cold = run_burst(&addr, &params, jobs, concurrency, seed_base, max_retries);
     eprintln!(
         "cold phase: {}/{jobs} jobs, {:.1} jobs/s, p50 {:.1} ms",
         cold.completed,
@@ -492,7 +722,7 @@ fn main() {
     // must clear the speedup bar. ----
     let mut cached_summary = Json::Null;
     if cache_phase {
-        let warm = run_burst(&addr, &params, jobs, concurrency, seed_base);
+        let warm = run_burst(&addr, &params, jobs, concurrency, seed_base, max_retries);
         total_failed += warm.failed;
         let mismatched = cold
             .bits

@@ -37,6 +37,24 @@ use fs_graph::{GraphAccess, StepSlot, VertexId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// One lane's full resumable state, as captured by
+/// [`WalkerBatch::lane_states`] and restored by
+/// [`WalkerBatch::from_lane_states`]. Degree and row are stored
+/// verbatim (not re-derived from the backend) so a restored lane
+/// continues exactly the trajectory it was on — including lanes whose
+/// replies came from a degraded backend.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LaneState {
+    /// Current vertex.
+    pub vertex: VertexId,
+    /// Degree of `vertex` as last reported to this lane.
+    pub degree: usize,
+    /// Backend row handle of `vertex` as last reported.
+    pub row: usize,
+    /// The lane's RNG stream state ([`SmallRng::state`]).
+    pub rng: [u64; 4],
+}
+
 /// Hot walker state as parallel arrays, stepped in lockstep. See the
 /// [module docs](self).
 #[derive(Debug)]
@@ -69,6 +87,32 @@ impl WalkerBatch {
             degree: starts.iter().map(|&v| access.degree(v)).collect(),
             row: starts.iter().map(|&v| access.vertex_row(v)).collect(),
             rng: seeds.iter().map(|&s| SmallRng::seed_from_u64(s)).collect(),
+            slots: Vec::new(),
+            slot_lanes: Vec::new(),
+        }
+    }
+
+    /// Captures every lane's resumable state for checkpointing.
+    pub fn lane_states(&self) -> Vec<LaneState> {
+        (0..self.len())
+            .map(|lane| LaneState {
+                vertex: self.vertex[lane],
+                degree: self.degree[lane],
+                row: self.row[lane],
+                rng: self.rng[lane].state(),
+            })
+            .collect()
+    }
+
+    /// Rebuilds a batch from captured lane states. The scratch arrays
+    /// start empty (they are per-call state), so stepping a restored
+    /// batch is bit-identical to stepping the original.
+    pub fn from_lane_states(lanes: &[LaneState]) -> Self {
+        WalkerBatch {
+            vertex: lanes.iter().map(|l| l.vertex).collect(),
+            degree: lanes.iter().map(|l| l.degree).collect(),
+            row: lanes.iter().map(|l| l.row).collect(),
+            rng: lanes.iter().map(|l| SmallRng::from_state(l.rng)).collect(),
             slots: Vec::new(),
             slot_lanes: Vec::new(),
         }
@@ -184,6 +228,25 @@ impl FsEventBatch {
             .collect();
         FsEventBatch {
             batch,
+            next_fire,
+            due: Vec::new(),
+        }
+    }
+
+    /// Captures the group's resumable state: each lane's walker state
+    /// plus its pending clock.
+    pub fn checkpoint(&self) -> (Vec<LaneState>, Vec<Option<f64>>) {
+        (self.batch.lane_states(), self.next_fire.clone())
+    }
+
+    /// Rebuilds a group from [`FsEventBatch::checkpoint`] output.
+    ///
+    /// # Panics
+    /// Panics if `lanes` and `next_fire` differ in length.
+    pub fn from_checkpoint(lanes: &[LaneState], next_fire: Vec<Option<f64>>) -> Self {
+        assert_eq!(lanes.len(), next_fire.len(), "one clock per lane");
+        FsEventBatch {
+            batch: WalkerBatch::from_lane_states(lanes),
             next_fire,
             due: Vec::new(),
         }

@@ -86,6 +86,16 @@ impl Budget {
         Budget { total, spent: 0.0 }
     }
 
+    /// Rebuilds a budget mid-run from checkpointed accounting. `spent`
+    /// is restored verbatim (not clamped), so a resumed run's remaining
+    /// head-room — and therefore every later `try_spend` outcome — is
+    /// bit-identical to the uninterrupted run's.
+    pub fn resume(total: f64, spent: f64) -> Self {
+        assert!(total >= 0.0, "budget must be non-negative");
+        assert!(spent.is_finite(), "spent must be finite");
+        Budget { total, spent }
+    }
+
     /// Budget expressed as a fraction of the vertex count, the paper's
     /// convention (`B = |V|/100` etc.).
     pub fn fraction_of_vertices<A: fs_graph::GraphAccess + ?Sized>(

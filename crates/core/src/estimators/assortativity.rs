@@ -41,6 +41,19 @@ impl AssortativityEstimator {
     pub fn num_observed(&self) -> usize {
         self.observed
     }
+
+    /// Raw accumulators for exact checkpointing (runner serialization).
+    pub(crate) fn checkpoint_state(&self) -> ([f64; 6], usize) {
+        (self.moments.state(), self.observed)
+    }
+
+    /// Rebuilds the estimator from checkpointed accumulators.
+    pub(crate) fn from_checkpoint_state(moments: [f64; 6], observed: usize) -> Self {
+        AssortativityEstimator {
+            moments: MomentAccumulator::from_state(moments),
+            observed,
+        }
+    }
 }
 
 impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for AssortativityEstimator {

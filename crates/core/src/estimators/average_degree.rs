@@ -51,6 +51,24 @@ impl AverageDegreeEstimator {
     pub fn num_observed(&self) -> usize {
         self.observed
     }
+
+    /// Raw accumulators for exact checkpointing (runner serialization).
+    pub(crate) fn checkpoint_state(&self) -> (f64, f64, usize) {
+        (self.inv_degree_sum, self.degree_sum, self.observed)
+    }
+
+    /// Rebuilds the estimator from checkpointed accumulators.
+    pub(crate) fn from_checkpoint_state(
+        inv_degree_sum: f64,
+        degree_sum: f64,
+        observed: usize,
+    ) -> Self {
+        AverageDegreeEstimator {
+            inv_degree_sum,
+            degree_sum,
+            observed,
+        }
+    }
 }
 
 impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for AverageDegreeEstimator {

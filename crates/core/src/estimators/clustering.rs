@@ -60,6 +60,20 @@ impl ClusteringEstimator {
     pub fn num_observed(&self) -> usize {
         self.observed
     }
+
+    /// Raw accumulators for exact checkpointing (runner serialization).
+    pub(crate) fn checkpoint_state(&self) -> (f64, f64, usize) {
+        (self.numerator, self.denominator, self.observed)
+    }
+
+    /// Rebuilds the estimator from checkpointed accumulators.
+    pub(crate) fn from_checkpoint_state(numerator: f64, denominator: f64, observed: usize) -> Self {
+        ClusteringEstimator {
+            numerator,
+            denominator,
+            observed,
+        }
+    }
 }
 
 impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for ClusteringEstimator {

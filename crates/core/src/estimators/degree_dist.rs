@@ -84,6 +84,31 @@ impl DegreeDistributionEstimator {
     pub fn num_observed(&self) -> usize {
         self.observed
     }
+
+    /// Raw accumulators for exact checkpointing (runner serialization).
+    pub(crate) fn checkpoint_state(&self) -> (DegreeKind, &[f64], f64, usize) {
+        (
+            self.kind,
+            &self.weighted,
+            self.inv_degree_sum,
+            self.observed,
+        )
+    }
+
+    /// Rebuilds the estimator from checkpointed accumulators.
+    pub(crate) fn from_checkpoint_state(
+        kind: DegreeKind,
+        weighted: Vec<f64>,
+        inv_degree_sum: f64,
+        observed: usize,
+    ) -> Self {
+        DegreeDistributionEstimator {
+            kind,
+            weighted,
+            inv_degree_sum,
+            observed,
+        }
+    }
 }
 
 impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for DegreeDistributionEstimator {
@@ -164,6 +189,20 @@ impl VertexSampleDegreeEstimator {
     /// Number of vertices observed.
     pub fn num_observed(&self) -> u64 {
         self.total
+    }
+
+    /// Raw accumulators for exact checkpointing (runner serialization).
+    pub(crate) fn checkpoint_state(&self) -> (DegreeKind, &[u64], u64) {
+        (self.kind, &self.counts, self.total)
+    }
+
+    /// Rebuilds the estimator from checkpointed accumulators.
+    pub(crate) fn from_checkpoint_state(kind: DegreeKind, counts: Vec<u64>, total: u64) -> Self {
+        VertexSampleDegreeEstimator {
+            kind,
+            counts,
+            total,
+        }
     }
 }
 

@@ -131,6 +131,96 @@ impl PopulationSizeEstimator {
     pub fn num_observed(&self) -> usize {
         self.observed
     }
+
+    /// Raw accumulators for exact checkpointing (runner serialization).
+    /// The visit counters are captured as their mode plus the nonzero
+    /// `(vertex index, count)` entries sorted by index, so the encoding
+    /// is canonical whatever the in-memory representation.
+    pub(crate) fn checkpoint_state(&self) -> PopulationCheckpoint {
+        let (counts_mode, dense_len, mut entries) = match &self.counts {
+            VisitCounts::Undecided => (0u8, 0usize, Vec::new()),
+            VisitCounts::Dense(counts) => (
+                1u8,
+                counts.len(),
+                counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i as u64, c))
+                    .collect(),
+            ),
+            VisitCounts::Sparse(counts) => (
+                2u8,
+                0usize,
+                counts
+                    .iter()
+                    .map(|(&v, &c)| (v.index() as u64, c))
+                    .collect(),
+            ),
+        };
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        PopulationCheckpoint {
+            degree_sum: self.degree_sum,
+            inv_degree_sum: self.inv_degree_sum,
+            counts_mode,
+            dense_len,
+            entries,
+            collisions: self.collisions,
+            observed: self.observed,
+        }
+    }
+
+    /// Rebuilds the estimator from checkpointed accumulators; `Err` on
+    /// a mode byte or entry the counters cannot represent.
+    pub(crate) fn from_checkpoint_state(ck: PopulationCheckpoint) -> Result<Self, String> {
+        let counts = match ck.counts_mode {
+            0 => {
+                if !ck.entries.is_empty() {
+                    return Err("undecided visit counters with entries".into());
+                }
+                VisitCounts::Undecided
+            }
+            1 => {
+                let mut counts = vec![0u32; ck.dense_len];
+                for &(i, c) in &ck.entries {
+                    let slot = counts
+                        .get_mut(i as usize)
+                        .ok_or("dense visit entry out of range")?;
+                    *slot = c;
+                }
+                VisitCounts::Dense(counts)
+            }
+            2 => VisitCounts::Sparse(
+                ck.entries
+                    .iter()
+                    .map(|&(i, c)| (VertexId::new(i as usize), c))
+                    .collect(),
+            ),
+            other => return Err(format!("unknown visit-counter mode {other}")),
+        };
+        Ok(PopulationSizeEstimator {
+            degree_sum: ck.degree_sum,
+            inv_degree_sum: ck.inv_degree_sum,
+            counts,
+            collisions: ck.collisions,
+            observed: ck.observed,
+        })
+    }
+}
+
+/// Exact checkpoint of a [`PopulationSizeEstimator`] (crate-internal;
+/// see [`crate::runner::JobEstimator`] serialization).
+pub(crate) struct PopulationCheckpoint {
+    pub degree_sum: f64,
+    pub inv_degree_sum: f64,
+    /// 0 = undecided, 1 = dense, 2 = sparse.
+    pub counts_mode: u8,
+    /// Universe length of the dense array (mode 1 only).
+    pub dense_len: usize,
+    /// Nonzero `(vertex index, count)` pairs, sorted by index.
+    pub entries: Vec<(u64, u32)>,
+    pub collisions: u64,
+    pub observed: usize,
 }
 
 impl<A: GraphAccess + ?Sized> EdgeEstimator<A> for PopulationSizeEstimator {

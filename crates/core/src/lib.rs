@@ -84,6 +84,7 @@ pub mod backend;
 pub mod batch;
 pub mod budget;
 pub mod cartesian;
+pub mod checkpoint;
 pub mod coverage;
 pub mod diagnostics;
 pub mod distributed;
@@ -112,8 +113,9 @@ pub use ablation::UniformSelectWalkers;
 pub use adaptive::{AdaptiveFrontier, AdaptiveOutcome};
 pub use alias::AliasTable;
 pub use backend::{CachedAccess, CrawlAccess, CrawlStats};
-pub use batch::{FsEventBatch, WalkerBatch};
+pub use batch::{FsEventBatch, LaneState, WalkerBatch};
 pub use budget::{Budget, CostModel};
+pub use checkpoint::CheckpointError;
 pub use coverage::CoverageTracker;
 pub use diagnostics::ChainDiagnostics;
 pub use distributed::DistributedFs;

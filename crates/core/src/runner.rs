@@ -39,6 +39,8 @@
 
 use crate::batch::FsEventBatch;
 use crate::budget::{Budget, CostModel};
+use crate::checkpoint::{CheckpointError, Decoder, Encoder};
+use crate::estimators::population::PopulationCheckpoint;
 use crate::estimators::{
     AssortativityEstimator, AverageDegreeEstimator, ClusteringEstimator,
     DegreeDistributionEstimator, EdgeEstimator, PopulationSizeEstimator,
@@ -229,6 +231,7 @@ enum State {
 /// backend. See the [module docs](self) for the determinism contract.
 pub struct ChunkedRunner<'a, A: GraphAccess + ?Sized> {
     access: &'a A,
+    spec: SamplerSpec,
     rng: SmallRng,
     budget: Budget,
     step_cost: f64,
@@ -350,6 +353,7 @@ impl<'a, A: GraphAccess + ?Sized> ChunkedRunner<'a, A> {
         let finished = matches!(state, State::Drained);
         ChunkedRunner {
             access,
+            spec: spec.clone(),
             rng,
             budget,
             step_cost,
@@ -661,6 +665,438 @@ impl<'a, A: GraphAccess + ?Sized> ChunkedRunner<'a, A> {
     }
 }
 
+/// Magic bytes of a serialized [`ChunkedRunner`] ("Frontier Sampling
+/// Runner Checkpoint").
+const RUNNER_MAGIC: [u8; 4] = *b"FSRC";
+/// Newest runner checkpoint layout this build reads and writes.
+const RUNNER_VERSION: u32 = 1;
+
+fn put_vertex(enc: &mut Encoder, v: VertexId) {
+    enc.put_usize(v.index());
+}
+
+fn take_vertex(dec: &mut Decoder<'_>) -> Result<VertexId, CheckpointError> {
+    Ok(VertexId::new(dec.take_usize()?))
+}
+
+fn put_arc(enc: &mut Encoder, arc: Arc) {
+    put_vertex(enc, arc.source);
+    put_vertex(enc, arc.target);
+}
+
+fn take_arc(dec: &mut Decoder<'_>) -> Result<Arc, CheckpointError> {
+    Ok(Arc {
+        source: take_vertex(dec)?,
+        target: take_vertex(dec)?,
+    })
+}
+
+fn put_outcome(enc: &mut Encoder, outcome: StepOutcome) {
+    match outcome {
+        StepOutcome::Edge(arc) => {
+            enc.put_u8(0);
+            put_arc(enc, arc);
+        }
+        StepOutcome::Lost(arc) => {
+            enc.put_u8(1);
+            put_arc(enc, arc);
+        }
+        StepOutcome::Bounced => enc.put_u8(2),
+        StepOutcome::Isolated => enc.put_u8(3),
+    }
+}
+
+fn take_outcome(dec: &mut Decoder<'_>) -> Result<StepOutcome, CheckpointError> {
+    Ok(match dec.take_u8()? {
+        0 => StepOutcome::Edge(take_arc(dec)?),
+        1 => StepOutcome::Lost(take_arc(dec)?),
+        2 => StepOutcome::Bounced,
+        3 => StepOutcome::Isolated,
+        t => {
+            return Err(CheckpointError::Malformed(format!(
+                "unknown step outcome tag {t}"
+            )))
+        }
+    })
+}
+
+fn put_opt_f64(enc: &mut Encoder, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            enc.put_u8(1);
+            enc.put_f64(x);
+        }
+        None => enc.put_u8(0),
+    }
+}
+
+fn take_opt_f64(dec: &mut Decoder<'_>) -> Result<Option<f64>, CheckpointError> {
+    Ok(match dec.take_u8()? {
+        0 => None,
+        1 => Some(dec.take_f64()?),
+        t => {
+            return Err(CheckpointError::Malformed(format!(
+                "unknown option tag {t}"
+            )))
+        }
+    })
+}
+
+fn put_sampler(enc: &mut Encoder, spec: &SamplerSpec) {
+    match *spec {
+        SamplerSpec::Frontier { m } => {
+            enc.put_u8(0);
+            enc.put_usize(m);
+        }
+        SamplerSpec::Single => enc.put_u8(1),
+        SamplerSpec::Multiple { m } => {
+            enc.put_u8(2);
+            enc.put_usize(m);
+        }
+        SamplerSpec::Mhrw => enc.put_u8(3),
+        SamplerSpec::Nbrw => enc.put_u8(4),
+        SamplerSpec::Rwj { alpha } => {
+            enc.put_u8(5);
+            enc.put_f64(alpha);
+        }
+    }
+}
+
+fn take_sampler(dec: &mut Decoder<'_>) -> Result<SamplerSpec, CheckpointError> {
+    Ok(match dec.take_u8()? {
+        0 => SamplerSpec::Frontier {
+            m: dec.take_usize()?,
+        },
+        1 => SamplerSpec::Single,
+        2 => SamplerSpec::Multiple {
+            m: dec.take_usize()?,
+        },
+        3 => SamplerSpec::Mhrw,
+        4 => SamplerSpec::Nbrw,
+        5 => SamplerSpec::Rwj {
+            alpha: dec.take_f64()?,
+        },
+        t => {
+            return Err(CheckpointError::Malformed(format!(
+                "unknown sampler tag {t}"
+            )))
+        }
+    })
+}
+
+fn take_rng(dec: &mut Decoder<'_>) -> Result<SmallRng, CheckpointError> {
+    let mut s = [0u64; 4];
+    for word in &mut s {
+        *word = dec.take_u64()?;
+    }
+    Ok(SmallRng::from_state(s))
+}
+
+impl<'a, A: GraphAccess + ?Sized> ChunkedRunner<'a, A> {
+    /// Serializes the runner's full state machine — sampler spec, base
+    /// RNG stream, budget cursor, per-method walker state (including
+    /// FS's lockstep lanes, per-lane RNG streams, pending exponential
+    /// clocks, and buffered event window) — into a versioned,
+    /// checksummed blob.
+    ///
+    /// The contract, pinned by the `checkpoint_resume` proptests:
+    /// [`ChunkedRunner::resume`] over these bytes continues the run
+    /// **bit-identically** to never having paused, at any chunk
+    /// boundary.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_header(RUNNER_MAGIC, RUNNER_VERSION);
+        put_sampler(&mut enc, &self.spec);
+        for word in self.rng.state() {
+            enc.put_u64(word);
+        }
+        enc.put_f64(self.budget.total());
+        enc.put_f64(self.budget.spent());
+        enc.put_f64(self.step_cost);
+        enc.put_u64(self.steps_done);
+        enc.put_u8(self.finished as u8);
+        match &self.state {
+            State::Drained => enc.put_u8(0),
+            State::Single { v, d, row } => {
+                enc.put_u8(1);
+                put_vertex(&mut enc, *v);
+                enc.put_usize(*d);
+                enc.put_usize(*row);
+            }
+            State::Frontier {
+                engine,
+                t_hi,
+                volume,
+                generated,
+                buffer,
+                cursor,
+                n_steps,
+                emitted,
+            } => {
+                enc.put_u8(2);
+                let (lanes, fires) = engine.checkpoint();
+                enc.put_usize(lanes.len());
+                for lane in &lanes {
+                    put_vertex(&mut enc, lane.vertex);
+                    enc.put_usize(lane.degree);
+                    enc.put_usize(lane.row);
+                    for word in lane.rng {
+                        enc.put_u64(word);
+                    }
+                }
+                for fire in &fires {
+                    put_opt_f64(&mut enc, *fire);
+                }
+                enc.put_f64(*t_hi);
+                enc.put_f64(*volume);
+                enc.put_u64(*generated);
+                enc.put_usize(buffer.len());
+                for &(t, lane, outcome) in buffer {
+                    enc.put_f64(t);
+                    enc.put_usize(lane);
+                    put_outcome(&mut enc, outcome);
+                }
+                enc.put_usize(*cursor);
+                enc.put_usize(*n_steps);
+                enc.put_usize(*emitted);
+            }
+            State::Multiple {
+                starts,
+                per_walker,
+                w,
+                taken,
+                v,
+                d,
+                row,
+            } => {
+                enc.put_u8(3);
+                enc.put_usize(starts.len());
+                for &s in starts {
+                    put_vertex(&mut enc, s);
+                }
+                enc.put_usize(*per_walker);
+                enc.put_usize(*w);
+                enc.put_usize(*taken);
+                put_vertex(&mut enc, *v);
+                enc.put_usize(*d);
+                enc.put_usize(*row);
+            }
+            State::Mhrw { v, d, row } => {
+                enc.put_u8(4);
+                put_vertex(&mut enc, *v);
+                enc.put_usize(*d);
+                enc.put_usize(*row);
+            }
+            State::Nbrw { v, d, row, prev } => {
+                enc.put_u8(5);
+                put_vertex(&mut enc, *v);
+                enc.put_usize(*d);
+                enc.put_usize(*row);
+                match prev {
+                    Some(p) => {
+                        enc.put_u8(1);
+                        put_vertex(&mut enc, *p);
+                    }
+                    None => enc.put_u8(0),
+                }
+            }
+            State::Rwj {
+                alpha,
+                jump_cost,
+                v,
+                d,
+                row,
+            } => {
+                enc.put_u8(6);
+                enc.put_f64(*alpha);
+                enc.put_f64(*jump_cost);
+                put_vertex(&mut enc, *v);
+                enc.put_usize(*d);
+                enc.put_usize(*row);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Rebuilds a runner from [`ChunkedRunner::serialize`] bytes,
+    /// continuing the run bit-identically to never having paused.
+    ///
+    /// `spec` must be the sampler the checkpoint was taken for and
+    /// `access` must present the **same graph content** the original
+    /// run observed (the serving layer enforces this by store digest);
+    /// a spec mismatch is detected here, a corrupt blob is rejected by
+    /// checksum before any field is trusted.
+    pub fn resume(
+        spec: &SamplerSpec,
+        access: &'a A,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let (mut dec, _version) =
+            Decoder::with_checked_header(bytes, RUNNER_MAGIC, RUNNER_VERSION)?;
+        let stored = take_sampler(&mut dec)?;
+        if stored != *spec {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint was taken for sampler {} but resume requested {}",
+                stored.label(),
+                spec.label()
+            )));
+        }
+        let rng = take_rng(&mut dec)?;
+        let total = dec.take_f64()?;
+        let spent = dec.take_f64()?;
+        if !total.is_finite() || total < 0.0 || !spent.is_finite() {
+            return Err(CheckpointError::Malformed("invalid budget cursor".into()));
+        }
+        let budget = Budget::resume(total, spent);
+        let step_cost = dec.take_f64()?;
+        if !step_cost.is_finite() || step_cost < 0.0 {
+            return Err(CheckpointError::Malformed("invalid step cost".into()));
+        }
+        let steps_done = dec.take_u64()?;
+        let finished = match dec.take_u8()? {
+            0 => false,
+            1 => true,
+            t => {
+                return Err(CheckpointError::Malformed(format!(
+                    "invalid finished flag {t}"
+                )))
+            }
+        };
+        let state = match dec.take_u8()? {
+            0 => State::Drained,
+            1 => State::Single {
+                v: take_vertex(&mut dec)?,
+                d: dec.take_usize()?,
+                row: dec.take_usize()?,
+            },
+            2 => {
+                let n_lanes = dec.take_usize()?;
+                if n_lanes > MAX_CHECKPOINT_LANES {
+                    return Err(CheckpointError::Malformed(format!(
+                        "implausible lane count {n_lanes}"
+                    )));
+                }
+                let mut lanes = Vec::with_capacity(n_lanes);
+                for _ in 0..n_lanes {
+                    let vertex = take_vertex(&mut dec)?;
+                    let degree = dec.take_usize()?;
+                    let row = dec.take_usize()?;
+                    let mut rng = [0u64; 4];
+                    for word in &mut rng {
+                        *word = dec.take_u64()?;
+                    }
+                    lanes.push(crate::batch::LaneState {
+                        vertex,
+                        degree,
+                        row,
+                        rng,
+                    });
+                }
+                let mut fires = Vec::with_capacity(n_lanes);
+                for _ in 0..n_lanes {
+                    fires.push(take_opt_f64(&mut dec)?);
+                }
+                let t_hi = dec.take_f64()?;
+                let volume = dec.take_f64()?;
+                let generated = dec.take_u64()?;
+                let n_buffered = dec.take_usize()?;
+                if n_buffered > MAX_CHECKPOINT_BUFFER {
+                    return Err(CheckpointError::Malformed(format!(
+                        "implausible buffer length {n_buffered}"
+                    )));
+                }
+                let mut buffer = Vec::with_capacity(n_buffered);
+                for _ in 0..n_buffered {
+                    let t = dec.take_f64()?;
+                    let lane = dec.take_usize()?;
+                    let outcome = take_outcome(&mut dec)?;
+                    buffer.push((t, lane, outcome));
+                }
+                let cursor = dec.take_usize()?;
+                if cursor > buffer.len() {
+                    return Err(CheckpointError::Malformed("buffer cursor past end".into()));
+                }
+                State::Frontier {
+                    engine: FsEventBatch::from_checkpoint(&lanes, fires),
+                    t_hi,
+                    volume,
+                    generated,
+                    buffer,
+                    cursor,
+                    n_steps: dec.take_usize()?,
+                    emitted: dec.take_usize()?,
+                }
+            }
+            3 => {
+                let n_starts = dec.take_usize()?;
+                if n_starts > MAX_CHECKPOINT_LANES {
+                    return Err(CheckpointError::Malformed(format!(
+                        "implausible walker count {n_starts}"
+                    )));
+                }
+                let mut starts = Vec::with_capacity(n_starts);
+                for _ in 0..n_starts {
+                    starts.push(take_vertex(&mut dec)?);
+                }
+                State::Multiple {
+                    starts,
+                    per_walker: dec.take_usize()?,
+                    w: dec.take_usize()?,
+                    taken: dec.take_usize()?,
+                    v: take_vertex(&mut dec)?,
+                    d: dec.take_usize()?,
+                    row: dec.take_usize()?,
+                }
+            }
+            4 => State::Mhrw {
+                v: take_vertex(&mut dec)?,
+                d: dec.take_usize()?,
+                row: dec.take_usize()?,
+            },
+            5 => State::Nbrw {
+                v: take_vertex(&mut dec)?,
+                d: dec.take_usize()?,
+                row: dec.take_usize()?,
+                prev: match dec.take_u8()? {
+                    0 => None,
+                    1 => Some(take_vertex(&mut dec)?),
+                    t => return Err(CheckpointError::Malformed(format!("invalid prev tag {t}"))),
+                },
+            },
+            6 => State::Rwj {
+                alpha: dec.take_f64()?,
+                jump_cost: dec.take_f64()?,
+                v: take_vertex(&mut dec)?,
+                d: dec.take_usize()?,
+                row: dec.take_usize()?,
+            },
+            t => {
+                return Err(CheckpointError::Malformed(format!(
+                    "unknown runner state tag {t}"
+                )))
+            }
+        };
+        dec.finish()?;
+        Ok(ChunkedRunner {
+            access,
+            spec: stored,
+            rng,
+            budget,
+            step_cost,
+            state,
+            steps_done,
+            finished,
+        })
+    }
+}
+
+/// Decode-time plausibility bound on walker/lane counts — far above the
+/// serving layer's `MAX_WALKERS`, low enough that a forged length field
+/// cannot drive a huge allocation before failing.
+const MAX_CHECKPOINT_LANES: usize = 1 << 28;
+/// Same bound for the FS event buffer (sized by `FS_RUNNER_WINDOW` plus
+/// one refill overshoot in practice).
+const MAX_CHECKPOINT_BUFFER: usize = 1 << 28;
+
 /// Which estimate a job reports.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum EstimatorSpec {
@@ -913,6 +1349,325 @@ impl JobEstimator {
                 vector: None,
             },
         }
+    }
+    /// Serializes the estimator's accumulators into a versioned,
+    /// checksummed blob. Every `f64` is stored as its exact bit
+    /// pattern, and the population estimator's visit counters are
+    /// captured canonically, so [`JobEstimator::resume`] +
+    /// further observations reproduce the uninterrupted run's final
+    /// snapshot bit-for-bit.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_header(ESTIMATOR_MAGIC, ESTIMATOR_VERSION);
+        enc.put_u8(self.spec.checkpoint_tag());
+        match &self.state {
+            EstState::EdgeAvgDeg(e) => {
+                enc.put_u8(0);
+                let (inv_degree_sum, degree_sum, observed) = e.checkpoint_state();
+                enc.put_f64(inv_degree_sum);
+                enc.put_f64(degree_sum);
+                enc.put_usize(observed);
+            }
+            EstState::EdgeDegreeDist(e) => {
+                enc.put_u8(1);
+                let (kind, weighted, inv_degree_sum, observed) = e.checkpoint_state();
+                put_degree_kind(&mut enc, kind);
+                put_f64_slice(&mut enc, weighted);
+                enc.put_f64(inv_degree_sum);
+                enc.put_usize(observed);
+            }
+            EstState::EdgeAssort(e) => {
+                enc.put_u8(2);
+                let (moments, observed) = e.checkpoint_state();
+                for m in moments {
+                    enc.put_f64(m);
+                }
+                enc.put_usize(observed);
+            }
+            EstState::EdgeClust(e) => {
+                enc.put_u8(3);
+                let (numerator, denominator, observed) = e.checkpoint_state();
+                enc.put_f64(numerator);
+                enc.put_f64(denominator);
+                enc.put_usize(observed);
+            }
+            EstState::EdgePop(e) => {
+                enc.put_u8(4);
+                let ck = e.checkpoint_state();
+                enc.put_f64(ck.degree_sum);
+                enc.put_f64(ck.inv_degree_sum);
+                enc.put_u8(ck.counts_mode);
+                enc.put_usize(ck.dense_len);
+                enc.put_usize(ck.entries.len());
+                for &(i, c) in &ck.entries {
+                    enc.put_u64(i);
+                    enc.put_u32(c);
+                }
+                enc.put_u64(ck.collisions);
+                enc.put_usize(ck.observed);
+            }
+            EstState::MhrwDegreeDist(e) => {
+                enc.put_u8(5);
+                let (kind, counts, total) = e.checkpoint_state();
+                put_degree_kind(&mut enc, kind);
+                enc.put_usize(counts.len());
+                for &c in counts {
+                    enc.put_u64(c);
+                }
+                enc.put_u64(total);
+            }
+            EstState::MhrwAvgDeg { sum, n } => {
+                enc.put_u8(6);
+                enc.put_f64(*sum);
+                enc.put_u64(*n);
+            }
+            EstState::RwjDegreeDist(e) => {
+                enc.put_u8(7);
+                let (alpha, kind, weighted, weight_sum, observed) = e.checkpoint_state();
+                enc.put_f64(alpha);
+                put_degree_kind(&mut enc, kind);
+                put_f64_slice(&mut enc, weighted);
+                enc.put_f64(weight_sum);
+                enc.put_usize(observed);
+            }
+            EstState::RwjAvgDeg {
+                alpha,
+                weighted_degree,
+                weight_sum,
+                n,
+            } => {
+                enc.put_u8(8);
+                enc.put_f64(*alpha);
+                enc.put_f64(*weighted_degree);
+                enc.put_f64(*weight_sum);
+                enc.put_u64(*n);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Rebuilds an estimator from [`JobEstimator::serialize`] bytes.
+    /// The stored estimator spec must match `spec`, and the stored
+    /// state shape must be the one [`JobEstimator::new`] would choose
+    /// for `(spec, sampler)` — so a checkpoint can never be replayed
+    /// into a statistically different reweighting.
+    pub fn resume(
+        spec: EstimatorSpec,
+        sampler: &SamplerSpec,
+        bytes: &[u8],
+    ) -> Result<JobEstimator, CheckpointError> {
+        let (mut dec, _version) =
+            Decoder::with_checked_header(bytes, ESTIMATOR_MAGIC, ESTIMATOR_VERSION)?;
+        let stored_tag = dec.take_u8()?;
+        let stored = EstimatorSpec::from_checkpoint_tag(stored_tag).ok_or_else(|| {
+            CheckpointError::Malformed(format!("unknown estimator tag {stored_tag}"))
+        })?;
+        if stored != spec {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint was taken for estimator '{}' but resume requested '{}'",
+                stored.name(),
+                spec.name()
+            )));
+        }
+        let template = JobEstimator::new(spec, sampler).map_err(CheckpointError::Malformed)?;
+        let state = match dec.take_u8()? {
+            0 => {
+                let inv_degree_sum = dec.take_f64()?;
+                let degree_sum = dec.take_f64()?;
+                let observed = dec.take_usize()?;
+                EstState::EdgeAvgDeg(AverageDegreeEstimator::from_checkpoint_state(
+                    inv_degree_sum,
+                    degree_sum,
+                    observed,
+                ))
+            }
+            1 => {
+                let kind = take_degree_kind(&mut dec)?;
+                let weighted = take_f64_vec(&mut dec)?;
+                let inv_degree_sum = dec.take_f64()?;
+                let observed = dec.take_usize()?;
+                EstState::EdgeDegreeDist(DegreeDistributionEstimator::from_checkpoint_state(
+                    kind,
+                    weighted,
+                    inv_degree_sum,
+                    observed,
+                ))
+            }
+            2 => {
+                let mut moments = [0.0f64; 6];
+                for m in &mut moments {
+                    *m = dec.take_f64()?;
+                }
+                let observed = dec.take_usize()?;
+                EstState::EdgeAssort(AssortativityEstimator::from_checkpoint_state(
+                    moments, observed,
+                ))
+            }
+            3 => {
+                let numerator = dec.take_f64()?;
+                let denominator = dec.take_f64()?;
+                let observed = dec.take_usize()?;
+                EstState::EdgeClust(ClusteringEstimator::from_checkpoint_state(
+                    numerator,
+                    denominator,
+                    observed,
+                ))
+            }
+            4 => {
+                let degree_sum = dec.take_f64()?;
+                let inv_degree_sum = dec.take_f64()?;
+                let counts_mode = dec.take_u8()?;
+                let dense_len = dec.take_usize()?;
+                let n_entries = dec.take_usize()?;
+                if dense_len > MAX_CHECKPOINT_BUFFER || n_entries > MAX_CHECKPOINT_BUFFER {
+                    return Err(CheckpointError::Malformed(
+                        "implausible visit-counter size".into(),
+                    ));
+                }
+                let mut entries = Vec::with_capacity(n_entries);
+                for _ in 0..n_entries {
+                    let i = dec.take_u64()?;
+                    let c = dec.take_u32()?;
+                    entries.push((i, c));
+                }
+                let collisions = dec.take_u64()?;
+                let observed = dec.take_usize()?;
+                EstState::EdgePop(
+                    PopulationSizeEstimator::from_checkpoint_state(PopulationCheckpoint {
+                        degree_sum,
+                        inv_degree_sum,
+                        counts_mode,
+                        dense_len,
+                        entries,
+                        collisions,
+                        observed,
+                    })
+                    .map_err(CheckpointError::Malformed)?,
+                )
+            }
+            5 => {
+                let kind = take_degree_kind(&mut dec)?;
+                let n_counts = dec.take_usize()?;
+                if n_counts > MAX_CHECKPOINT_BUFFER {
+                    return Err(CheckpointError::Malformed(
+                        "implausible histogram length".into(),
+                    ));
+                }
+                let mut counts = Vec::with_capacity(n_counts);
+                for _ in 0..n_counts {
+                    counts.push(dec.take_u64()?);
+                }
+                let total = dec.take_u64()?;
+                EstState::MhrwDegreeDist(VertexSampleDegreeEstimator::from_checkpoint_state(
+                    kind, counts, total,
+                ))
+            }
+            6 => EstState::MhrwAvgDeg {
+                sum: dec.take_f64()?,
+                n: dec.take_u64()?,
+            },
+            7 => {
+                let alpha = dec.take_f64()?;
+                let kind = take_degree_kind(&mut dec)?;
+                let weighted = take_f64_vec(&mut dec)?;
+                let weight_sum = dec.take_f64()?;
+                let observed = dec.take_usize()?;
+                EstState::RwjDegreeDist(RwjDegreeDistributionEstimator::from_checkpoint_state(
+                    alpha, kind, weighted, weight_sum, observed,
+                ))
+            }
+            8 => EstState::RwjAvgDeg {
+                alpha: dec.take_f64()?,
+                weighted_degree: dec.take_f64()?,
+                weight_sum: dec.take_f64()?,
+                n: dec.take_u64()?,
+            },
+            t => {
+                return Err(CheckpointError::Malformed(format!(
+                    "unknown estimator state tag {t}"
+                )))
+            }
+        };
+        if std::mem::discriminant(&state) != std::mem::discriminant(&template.state) {
+            return Err(CheckpointError::Malformed(
+                "checkpointed state does not match the (sampler, estimator) pairing".into(),
+            ));
+        }
+        dec.finish()?;
+        Ok(JobEstimator { spec, state })
+    }
+}
+
+/// Magic bytes of a serialized [`JobEstimator`].
+const ESTIMATOR_MAGIC: [u8; 4] = *b"FSEC";
+/// Newest estimator checkpoint layout this build reads and writes.
+const ESTIMATOR_VERSION: u32 = 1;
+
+fn put_degree_kind(enc: &mut Encoder, kind: DegreeKind) {
+    enc.put_u8(match kind {
+        DegreeKind::Symmetric => 0,
+        DegreeKind::InOriginal => 1,
+        DegreeKind::OutOriginal => 2,
+    });
+}
+
+fn take_degree_kind(dec: &mut Decoder<'_>) -> Result<DegreeKind, CheckpointError> {
+    Ok(match dec.take_u8()? {
+        0 => DegreeKind::Symmetric,
+        1 => DegreeKind::InOriginal,
+        2 => DegreeKind::OutOriginal,
+        t => {
+            return Err(CheckpointError::Malformed(format!(
+                "unknown degree kind {t}"
+            )))
+        }
+    })
+}
+
+fn put_f64_slice(enc: &mut Encoder, v: &[f64]) {
+    enc.put_usize(v.len());
+    for &x in v {
+        enc.put_f64(x);
+    }
+}
+
+fn take_f64_vec(dec: &mut Decoder<'_>) -> Result<Vec<f64>, CheckpointError> {
+    let n = dec.take_usize()?;
+    if n > MAX_CHECKPOINT_BUFFER {
+        return Err(CheckpointError::Malformed(
+            "implausible vector length".into(),
+        ));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(dec.take_f64()?);
+    }
+    Ok(v)
+}
+
+impl EstimatorSpec {
+    /// Stable one-byte tag used by the checkpoint format.
+    fn checkpoint_tag(self) -> u8 {
+        match self {
+            EstimatorSpec::AverageDegree => 0,
+            EstimatorSpec::DegreeDist => 1,
+            EstimatorSpec::Ccdf => 2,
+            EstimatorSpec::Assortativity => 3,
+            EstimatorSpec::Clustering => 4,
+            EstimatorSpec::PopulationSize => 5,
+        }
+    }
+
+    /// Inverse of [`EstimatorSpec::checkpoint_tag`].
+    fn from_checkpoint_tag(tag: u8) -> Option<EstimatorSpec> {
+        Some(match tag {
+            0 => EstimatorSpec::AverageDegree,
+            1 => EstimatorSpec::DegreeDist,
+            2 => EstimatorSpec::Ccdf,
+            3 => EstimatorSpec::Assortativity,
+            4 => EstimatorSpec::Clustering,
+            5 => EstimatorSpec::PopulationSize,
+            _ => return None,
+        })
     }
 }
 

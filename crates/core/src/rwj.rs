@@ -231,6 +231,34 @@ impl RwjDegreeDistributionEstimator {
         self.observed
     }
 
+    /// Raw accumulators for exact checkpointing (runner serialization).
+    pub(crate) fn checkpoint_state(&self) -> (f64, DegreeKind, &[f64], f64, usize) {
+        (
+            self.alpha,
+            self.kind,
+            &self.weighted,
+            self.weight_sum,
+            self.observed,
+        )
+    }
+
+    /// Rebuilds the estimator from checkpointed accumulators.
+    pub(crate) fn from_checkpoint_state(
+        alpha: f64,
+        kind: DegreeKind,
+        weighted: Vec<f64>,
+        weight_sum: f64,
+        observed: usize,
+    ) -> Self {
+        RwjDegreeDistributionEstimator {
+            alpha,
+            kind,
+            weighted,
+            weight_sum,
+            observed,
+        }
+    }
+
     /// Estimated distribution `θ̂` (index = degree).
     pub fn distribution(&self) -> Vec<f64> {
         if self.weight_sum <= 0.0 {

@@ -1,0 +1,299 @@
+//! The durability contract: pausing a [`ChunkedRunner`] (and its
+//! [`JobEstimator`]) at **any** chunk boundary via
+//! `serialize`/`resume` continues the run bit-identically to never
+//! having paused — same sample stream, same budget accounting, same
+//! final estimate down to the last f64 bit, for all six samplers. And
+//! the corruption discipline: a flipped byte or truncated checkpoint
+//! must fail loudly at `resume`, never rebuild a silently wrong state
+//! machine.
+
+use frontier_sampling::runner::{
+    ChunkStatus, ChunkedRunner, EstimateSnapshot, EstimatorSpec, JobEstimator, Sample, SamplerSpec,
+};
+use frontier_sampling::CostModel;
+use fs_graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn fixture() -> Graph {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    fs_gen::barabasi_albert(250, 3, &mut rng)
+}
+
+fn all_specs() -> Vec<SamplerSpec> {
+    vec![
+        SamplerSpec::Frontier { m: 5 },
+        SamplerSpec::Single,
+        SamplerSpec::Multiple { m: 4 },
+        SamplerSpec::Mhrw,
+        SamplerSpec::Nbrw,
+        SamplerSpec::Rwj { alpha: 2.0 },
+    ]
+}
+
+/// Estimators each sampler's stream supports, in checkpoint-worthy
+/// variety (every `EstState` variant is covered across the six).
+fn supported_estimators(spec: &SamplerSpec) -> Vec<EstimatorSpec> {
+    if spec.emits_vertices() {
+        vec![
+            EstimatorSpec::AverageDegree,
+            EstimatorSpec::DegreeDist,
+            EstimatorSpec::Ccdf,
+        ]
+    } else {
+        vec![
+            EstimatorSpec::AverageDegree,
+            EstimatorSpec::DegreeDist,
+            EstimatorSpec::Ccdf,
+            EstimatorSpec::Assortativity,
+            EstimatorSpec::Clustering,
+            EstimatorSpec::PopulationSize,
+        ]
+    }
+}
+
+/// Exact-bits view of a snapshot, so comparisons catch any f64 drift.
+fn snapshot_bits(s: &EstimateSnapshot) -> (u64, Option<u64>, Option<Vec<u64>>) {
+    (
+        s.num_observed,
+        s.scalar.map(f64::to_bits),
+        s.vector
+            .as_ref()
+            .map(|v| v.iter().map(|x| x.to_bits()).collect()),
+    )
+}
+
+struct RunResult {
+    samples: Vec<Sample>,
+    snapshot: (u64, Option<u64>, Option<Vec<u64>>),
+    budget_spent: u64,
+    steps_done: u64,
+}
+
+/// Runs to completion with no pause.
+fn uninterrupted(
+    g: &Graph,
+    spec: &SamplerSpec,
+    est: EstimatorSpec,
+    budget: f64,
+    seed: u64,
+    chunk: usize,
+) -> RunResult {
+    let mut runner = ChunkedRunner::new(spec, g, &CostModel::unit(), budget, seed);
+    let mut estimator = JobEstimator::new(est, spec).expect("supported pairing");
+    let mut samples = Vec::new();
+    while runner.run_chunk(chunk, |s| {
+        estimator.observe(g, s);
+        samples.push(s);
+    }) == ChunkStatus::InProgress
+    {}
+    RunResult {
+        samples,
+        snapshot: snapshot_bits(&estimator.snapshot()),
+        budget_spent: runner.budget_spent().to_bits(),
+        steps_done: runner.steps_done(),
+    }
+}
+
+/// Runs `pause_after` chunks, serializes runner + estimator, resumes
+/// from the bytes alone, and completes.
+fn paused_and_resumed(
+    g: &Graph,
+    spec: &SamplerSpec,
+    est: EstimatorSpec,
+    budget: f64,
+    seed: u64,
+    chunk: usize,
+    pause_after: usize,
+) -> RunResult {
+    let mut runner = ChunkedRunner::new(spec, g, &CostModel::unit(), budget, seed);
+    let mut estimator = JobEstimator::new(est, spec).expect("supported pairing");
+    let mut samples = Vec::new();
+    let mut paused = false;
+    for _ in 0..pause_after {
+        if runner.run_chunk(chunk, |s| {
+            estimator.observe(g, s);
+            samples.push(s);
+        }) == ChunkStatus::Finished
+        {
+            paused = true; // finished before the pause point: nothing to resume
+            break;
+        }
+    }
+    if !paused {
+        let runner_bytes = runner.serialize();
+        let est_bytes = estimator.serialize();
+        drop(runner);
+        drop(estimator);
+        let mut runner = ChunkedRunner::resume(spec, g, &runner_bytes).expect("resume runner");
+        let mut estimator = JobEstimator::resume(est, spec, &est_bytes).expect("resume estimator");
+        // A checkpoint of the resumed runner must be byte-identical to
+        // the one it was built from (serialize ∘ resume = id).
+        assert_eq!(
+            runner.serialize(),
+            runner_bytes,
+            "runner round-trip drifted"
+        );
+        assert_eq!(
+            estimator.serialize(),
+            est_bytes,
+            "estimator round-trip drifted"
+        );
+        while runner.run_chunk(chunk, |s| {
+            estimator.observe(g, s);
+            samples.push(s);
+        }) == ChunkStatus::InProgress
+        {}
+        return RunResult {
+            samples,
+            snapshot: snapshot_bits(&estimator.snapshot()),
+            budget_spent: runner.budget_spent().to_bits(),
+            steps_done: runner.steps_done(),
+        };
+    }
+    RunResult {
+        samples,
+        snapshot: snapshot_bits(&estimator.snapshot()),
+        budget_spent: runner.budget_spent().to_bits(),
+        steps_done: runner.steps_done(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Serialize-at-a-random-chunk-boundary then resume == never
+    /// paused, for every sampler and a rotating estimator.
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted(
+        seed in 0u64..10_000,
+        budget in 60u32..400,
+        chunk in 1usize..64,
+        pause_after in 1usize..40,
+        est_pick in 0usize..6,
+    ) {
+        let g = fixture();
+        for spec in all_specs() {
+            let ests = supported_estimators(&spec);
+            let est = ests[est_pick % ests.len()];
+            let straight = uninterrupted(&g, &spec, est, budget as f64, seed, chunk);
+            let resumed =
+                paused_and_resumed(&g, &spec, est, budget as f64, seed, chunk, pause_after);
+            prop_assert_eq!(
+                &resumed.samples, &straight.samples,
+                "sample stream diverged for {} after pause", spec.label()
+            );
+            prop_assert_eq!(
+                &resumed.snapshot, &straight.snapshot,
+                "final estimate diverged for {} / {}", spec.label(), est.name()
+            );
+            prop_assert_eq!(resumed.budget_spent, straight.budget_spent);
+            prop_assert_eq!(resumed.steps_done, straight.steps_done);
+        }
+    }
+
+    /// Any single flipped byte in a runner or estimator checkpoint is
+    /// rejected by `resume` — corruption can never resume wrong.
+    #[test]
+    fn corrupted_checkpoints_fail_loudly(
+        seed in 0u64..10_000,
+        pause_after in 1usize..20,
+        corrupt_seed in 0u64..1_000_000,
+    ) {
+        let g = fixture();
+        let mut corrupt_rng = SmallRng::seed_from_u64(corrupt_seed);
+        for spec in all_specs() {
+            let est = supported_estimators(&spec)[0];
+            let mut runner = ChunkedRunner::new(&spec, &g, &CostModel::unit(), 300.0, seed);
+            let mut estimator = JobEstimator::new(est, &spec).unwrap();
+            for _ in 0..pause_after {
+                if runner.run_chunk(16, |s| estimator.observe(&g, s)) == ChunkStatus::Finished {
+                    break;
+                }
+            }
+            for bytes in [runner.serialize(), estimator.serialize()] {
+                // Random single-byte flip.
+                let mut flipped = bytes.clone();
+                let i = corrupt_rng.gen_range(0..flipped.len());
+                let bit = corrupt_rng.gen_range(0..8u32);
+                flipped[i] ^= 1 << bit;
+                prop_assert!(
+                    ChunkedRunner::resume(&spec, &g, &flipped).is_err(),
+                    "byte flip at {} resumed a runner for {}", i, spec.label()
+                );
+                prop_assert!(
+                    JobEstimator::resume(est, &spec, &flipped).is_err(),
+                    "byte flip at {} resumed an estimator for {}", i, spec.label()
+                );
+                // Random truncation (strictly shorter than the blob).
+                let keep = corrupt_rng.gen_range(0..bytes.len());
+                prop_assert!(
+                    ChunkedRunner::resume(&spec, &g, &bytes[..keep]).is_err(),
+                    "truncation to {} resumed a runner for {}", keep, spec.label()
+                );
+                prop_assert!(
+                    JobEstimator::resume(est, &spec, &bytes[..keep]).is_err(),
+                    "truncation to {} resumed an estimator for {}", keep, spec.label()
+                );
+            }
+        }
+    }
+}
+
+/// Cross-wiring checkpoints must be rejected: a runner blob is not an
+/// estimator blob, a checkpoint for one sampler cannot resume another,
+/// and an estimator checkpoint cannot switch reweighting.
+#[test]
+fn mismatched_checkpoints_are_rejected() {
+    let g = fixture();
+    let fs = SamplerSpec::Frontier { m: 3 };
+    let single = SamplerSpec::Single;
+    let mut runner = ChunkedRunner::new(&fs, &g, &CostModel::unit(), 200.0, 7);
+    let mut estimator = JobEstimator::new(EstimatorSpec::AverageDegree, &fs).unwrap();
+    runner.run_chunk(32, |s| estimator.observe(&g, s));
+    let runner_bytes = runner.serialize();
+    let est_bytes = estimator.serialize();
+
+    // Wrong blob type.
+    assert!(ChunkedRunner::resume(&fs, &g, &est_bytes).is_err());
+    assert!(JobEstimator::resume(EstimatorSpec::AverageDegree, &fs, &runner_bytes).is_err());
+    // Wrong sampler spec.
+    assert!(ChunkedRunner::resume(&single, &g, &runner_bytes).is_err());
+    assert!(ChunkedRunner::resume(&SamplerSpec::Frontier { m: 4 }, &g, &runner_bytes).is_err());
+    // Wrong estimator spec, and a pairing whose state shape differs
+    // (MHRW avg_degree is scalar accumulators, not the edge estimator).
+    assert!(JobEstimator::resume(EstimatorSpec::Clustering, &fs, &est_bytes).is_err());
+    assert!(
+        JobEstimator::resume(EstimatorSpec::AverageDegree, &SamplerSpec::Mhrw, &est_bytes).is_err()
+    );
+    // Empty and garbage blobs.
+    assert!(ChunkedRunner::resume(&fs, &g, &[]).is_err());
+    assert!(ChunkedRunner::resume(&fs, &g, b"not a checkpoint at all").is_err());
+}
+
+/// A finished runner checkpoints and resumes too (the journal may
+/// checkpoint right at completion); the resumed runner reports
+/// finished without emitting anything further.
+#[test]
+fn finished_runner_round_trips() {
+    let g = fixture();
+    for spec in all_specs() {
+        let mut runner = ChunkedRunner::new(&spec, &g, &CostModel::unit(), 80.0, 11);
+        while runner.run_chunk(64, |_| {}) == ChunkStatus::InProgress {}
+        let bytes = runner.serialize();
+        let mut resumed = ChunkedRunner::resume(&spec, &g, &bytes).expect("resume finished");
+        assert!(resumed.finished(), "{}", spec.label());
+        assert_eq!(resumed.steps_done(), runner.steps_done());
+        assert_eq!(
+            resumed.budget_spent().to_bits(),
+            runner.budget_spent().to_bits()
+        );
+        let mut emitted = 0usize;
+        assert_eq!(
+            resumed.run_chunk(100, |_| emitted += 1),
+            ChunkStatus::Finished
+        );
+        assert_eq!(emitted, 0);
+    }
+}

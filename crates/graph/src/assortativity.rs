@@ -101,6 +101,24 @@ impl MomentAccumulator {
         }
         Some(cov / (var_x.sqrt() * var_y.sqrt()))
     }
+
+    /// The six raw moment sums `[n, Σx, Σy, Σx², Σy², Σxy]`, for exact
+    /// (bit-preserving) checkpointing of a streaming accumulation.
+    pub fn state(&self) -> [f64; 6] {
+        [self.n, self.sx, self.sy, self.sxx, self.syy, self.sxy]
+    }
+
+    /// Rebuilds an accumulator from [`MomentAccumulator::state`] output.
+    pub fn from_state(s: [f64; 6]) -> Self {
+        MomentAccumulator {
+            n: s[0],
+            sx: s[1],
+            sy: s[2],
+            sxx: s[3],
+            syy: s[4],
+            sxy: s[5],
+        }
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,7 @@ pub mod bitset;
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod failpoint;
 pub mod graph;
 pub mod ids;
 pub mod io;

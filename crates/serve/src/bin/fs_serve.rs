@@ -5,8 +5,24 @@
 //! fs-serve --root stores [--addr 127.0.0.1:8080] [--conn-workers 4]
 //!          [--job-workers 2] [--max-queue 256] [--store-capacity 8]
 //!          [--hugepages off|try|require] [--cache-capacity 4096]
-//!          [--cache-mb 64]
+//!          [--cache-mb 64] [--journal-dir DIR]
 //! ```
+//!
+//! `--journal-dir` arms crash recovery: every accepted job is recorded
+//! in an append-only journal (`DIR/jobs.fsjl`), running jobs checkpoint
+//! periodically, and a restart over the same directory replays the
+//! journal — finished jobs reappear with their exact results, and
+//! incomplete ones resume (from their last checkpoint when one
+//! survived) with estimates bit-identical to an uninterrupted run. The
+//! server answers `503` with `"replaying": true` until recovery
+//! completes.
+//!
+//! The chaos harness arms from the environment: `FS_FAILPOINTS`
+//! (`site=fault:prob,…;…`) and `FS_FAILPOINT_SEED` inject
+//! deterministic I/O faults at the registered sites (`reactor.read`,
+//! `reactor.write`, `journal.append`, `store.step`, `store.mmap_open`,
+//! `store.write`). A malformed spec refuses startup — a chaos run
+//! should never silently run fault-free.
 //!
 //! `--cache-capacity` bounds the deterministic result cache in entries
 //! (`0` disables caching), `--cache-mb` in megabytes; a repeated
@@ -33,7 +49,7 @@ fn usage() -> ! {
         "usage: fs-serve --root DIR [--addr HOST:PORT] [--conn-workers N] \
          [--job-workers N] [--max-queue N] [--store-capacity N] \
          [--hugepages off|try|require] [--cache-capacity N] [--cache-mb N] \
-         [--no-stdin]"
+         [--journal-dir DIR] [--no-stdin]"
     );
     std::process::exit(2);
 }
@@ -48,6 +64,7 @@ fn main() {
     let mut hugepages = fs_store::HugepageMode::Off;
     let mut cache_capacity = 4_096usize;
     let mut cache_mb = 64usize;
+    let mut journal_dir: Option<String> = None;
     // Background processes have no useful stdin (it may be closed,
     // which reads as instant EOF): --no-stdin leaves HTTP shutdown as
     // the only trigger.
@@ -73,6 +90,7 @@ fn main() {
             "--store-capacity" => store_capacity = parsed(args.next(), "--store-capacity"),
             "--cache-capacity" => cache_capacity = parsed(args.next(), "--cache-capacity"),
             "--cache-mb" => cache_mb = parsed(args.next(), "--cache-mb"),
+            "--journal-dir" => journal_dir = args.next(),
             "--hugepages" => {
                 hugepages = match args.next().as_deref() {
                     Some("off") => fs_store::HugepageMode::Off,
@@ -94,6 +112,17 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Chaos harness: a malformed FS_FAILPOINTS spec refuses startup —
+    // a chaos run must never silently proceed fault-free.
+    match fs_graph::failpoint::configure_from_env() {
+        Ok(false) => {}
+        Ok(true) => eprintln!("failpoints armed from FS_FAILPOINTS"),
+        Err(e) => {
+            eprintln!("bad FS_FAILPOINTS: {e}");
+            std::process::exit(2);
+        }
+    }
+
     let mut config = Config::new(&root);
     config.addr = addr;
     config.conn_workers = conn_workers.max(1);
@@ -103,6 +132,7 @@ fn main() {
     config.hugepages = hugepages;
     config.cache_entries = cache_capacity;
     config.cache_bytes = cache_mb.saturating_mul(1024 * 1024).max(1);
+    config.journal_dir = journal_dir.map(std::path::PathBuf::from);
 
     let server = match Server::start(config) {
         Ok(s) => s,

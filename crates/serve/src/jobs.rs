@@ -30,6 +30,7 @@
 //! `determinism` integration test.
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::journal::{JobCheckpoint, Journal, Replay};
 use crate::registry::{RegistryError, StoreRegistry};
 use frontier_sampling::runner::{
     ChunkStatus, ChunkedRunner, EstimateSnapshot, EstimatorSpec, JobEstimator, Sample, SamplerSpec,
@@ -110,6 +111,9 @@ struct JobShared {
     cached: bool,
     state: Mutex<JobState>,
     cancel: AtomicBool,
+    /// A journal checkpoint to resume from (crash recovery). Taken by
+    /// the worker when the job starts; `None` for fresh jobs.
+    resume: Mutex<Option<JobCheckpoint>>,
     /// Bumped after every observable state change; stream subscribers
     /// use it as a cheap "anything new since generation g?" cursor.
     /// Starts at 1 so a fresh subscriber (cursor 0) always sees the
@@ -195,6 +199,9 @@ struct ManagerInner {
 pub struct JobManager {
     registry: Arc<StoreRegistry>,
     cache: Arc<ResultCache>,
+    /// Crash-safe job journal (`--journal-dir`); `None` runs
+    /// journal-free with identical behaviour minus durability.
+    journal: Option<Arc<Journal>>,
     jobs: Mutex<HashMap<u64, Arc<JobShared>>>,
     inner: Mutex<ManagerInner>,
     wake: Condvar,
@@ -228,21 +235,30 @@ const MAX_POOL_THREADS: usize = 256;
 /// 100M-step FS walk completes in seconds on this class of hardware).
 const MAX_POOLED_BUDGET: f64 = 1e8;
 
+/// Sequential jobs write a journal checkpoint every this many chunks
+/// (~32k attempts at the default chunk size): frequent enough that a
+/// crash re-does seconds of work, rare enough that serializing walker
+/// state never shows up in the profile.
+const JOURNAL_CHECKPOINT_CHUNKS: u64 = 4;
+
 impl JobManager {
     /// Starts `workers` job threads over `registry`, with completed
     /// results published to (and submits answered from) `cache`.
     /// `max_queue` bounds queued-but-not-running jobs (back-pressure
-    /// surface).
+    /// surface). With a `journal`, every submit/checkpoint/terminal is
+    /// recorded for crash recovery (see [`crate::journal`]).
     pub fn start(
         registry: Arc<StoreRegistry>,
         cache: Arc<ResultCache>,
         workers: usize,
         max_queue: usize,
+        journal: Option<Arc<Journal>>,
     ) -> Arc<JobManager> {
         assert!(workers >= 1, "need at least one job worker");
         let manager = Arc::new(JobManager {
             registry,
             cache,
+            journal,
             jobs: Mutex::new(HashMap::new()),
             inner: Mutex::new(ManagerInner {
                 queue: VecDeque::new(),
@@ -369,11 +385,24 @@ impl JobManager {
                     error: None,
                     steps_done: hit.steps_done,
                     progress: 1.0,
-                    snapshot: Some(hit.snapshot),
+                    snapshot: Some(hit.snapshot.clone()),
                 }),
                 cancel: AtomicBool::new(false),
+                resume: Mutex::new(None),
                 generation: AtomicU64::new(1),
             });
+            // A cache hit is born terminal: journal submit + terminal
+            // together so a restart re-registers the finished job.
+            if let Some(journal) = &self.journal {
+                journal.submit(id, &shared.spec, probe_digest);
+                journal.terminal(
+                    id,
+                    JobPhase::Done,
+                    None,
+                    hit.steps_done,
+                    Some(&hit.snapshot),
+                );
+            }
             self.insert_job(id, Arc::clone(&shared));
             self.touch(&shared);
             return Ok(id);
@@ -394,6 +423,7 @@ impl JobManager {
                 snapshot: None,
             }),
             cancel: AtomicBool::new(false),
+            resume: Mutex::new(None),
             generation: AtomicU64::new(1),
         });
         {
@@ -406,9 +436,152 @@ impl JobManager {
             }
             inner.queue.push_back((id, Arc::clone(&shared), graph));
         }
+        // Journal only *accepted* submits (a 429/503 rejection must not
+        // resurrect on replay). Worker records racing ahead of this
+        // append are harmless: replay aggregates per id across the
+        // whole file, so record order never matters.
+        if let Some(journal) = &self.journal {
+            journal.submit(id, &shared.spec, digest);
+        }
         self.insert_job(id, shared);
         self.wake.notify_one();
         Ok(id)
+    }
+
+    /// Re-registers everything a journal replay found, then resumes the
+    /// incomplete jobs. Called once at startup, before the listener
+    /// starts answering (the server serves 503 while this runs).
+    ///
+    /// * Jobs with a terminal record reappear in `GET /v1/jobs/{id}`
+    ///   with their journaled outcome; a `Done` estimate also warms the
+    ///   result cache, so identical re-submits answer from it.
+    /// * Incomplete jobs re-pin their store **by content digest** — if
+    ///   the file changed or vanished since the crash, the job fails
+    ///   loudly instead of silently computing over different bits —
+    ///   and re-enqueue (bypassing `max_queue`: these jobs were already
+    ///   accepted once, back-pressure does not apply twice), carrying
+    ///   their last checkpoint when one survived.
+    pub fn restore(&self, replay: Replay) {
+        // Ids handed out after restart must never collide with
+        // journaled ones, even if replay itself then fails a job.
+        self.next_id.fetch_max(replay.next_id, Ordering::Relaxed);
+        let stats = self.journal.as_ref().map(|j| Arc::clone(j.stats()));
+        for job in replay.jobs {
+            let id = job.id;
+            if let Some(terminal) = job.terminal {
+                // Finished before the crash: re-register the outcome.
+                if terminal.phase == JobPhase::Done {
+                    if let Some(snapshot) = &terminal.snapshot {
+                        self.cache.insert(
+                            CacheKey::new(
+                                job.digest,
+                                &job.spec.sampler,
+                                job.spec.budget,
+                                job.spec.seed,
+                                job.spec.estimator,
+                                job.spec.pool_threads.is_some(),
+                            ),
+                            CachedResult {
+                                snapshot: snapshot.clone(),
+                                steps_done: terminal.steps_done,
+                            },
+                        );
+                    }
+                }
+                let shared = Arc::new(JobShared {
+                    spec: job.spec,
+                    store_digest: job.digest,
+                    cached: false,
+                    state: Mutex::new(JobState {
+                        phase: terminal.phase,
+                        error: terminal.error,
+                        steps_done: terminal.steps_done,
+                        progress: if terminal.phase == JobPhase::Done {
+                            1.0
+                        } else {
+                            0.0
+                        },
+                        snapshot: terminal.snapshot,
+                    }),
+                    cancel: AtomicBool::new(false),
+                    resume: Mutex::new(None),
+                    generation: AtomicU64::new(1),
+                });
+                self.insert_job(id, Arc::clone(&shared));
+                if let Some(stats) = &stats {
+                    stats.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+                }
+                self.touch(&shared);
+                continue;
+            }
+            // Incomplete: re-pin the store and re-run.
+            let pinned = match self.registry.get(&job.spec.store) {
+                Ok((digest, graph)) if digest == job.digest => Ok(graph),
+                Ok((digest, _)) => Err(format!(
+                    "store {} changed since the crash (digest {digest:016x}, \
+                     job ran over {:016x}); refusing to resume over different bits",
+                    job.spec.store, job.digest
+                )),
+                Err(e) => Err(format!(
+                    "store {} unavailable after restart: {e}",
+                    job.spec.store
+                )),
+            };
+            let steps_done = job.checkpoint.as_ref().map_or(0, |ck| ck.steps_done);
+            match pinned {
+                Ok(graph) => {
+                    let shared = Arc::new(JobShared {
+                        spec: job.spec,
+                        store_digest: job.digest,
+                        cached: false,
+                        state: Mutex::new(JobState {
+                            phase: JobPhase::Queued,
+                            error: None,
+                            steps_done,
+                            progress: 0.0,
+                            snapshot: None,
+                        }),
+                        cancel: AtomicBool::new(false),
+                        resume: Mutex::new(job.checkpoint),
+                        generation: AtomicU64::new(1),
+                    });
+                    {
+                        let mut inner = self.inner.lock().expect("manager poisoned");
+                        inner.queue.push_back((id, Arc::clone(&shared), graph));
+                    }
+                    self.insert_job(id, Arc::clone(&shared));
+                    if let Some(stats) = &stats {
+                        stats.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.wake.notify_one();
+                    self.touch(&shared);
+                }
+                Err(error) => {
+                    let shared = Arc::new(JobShared {
+                        spec: job.spec,
+                        store_digest: job.digest,
+                        cached: false,
+                        state: Mutex::new(JobState {
+                            phase: JobPhase::Failed,
+                            error: Some(error.clone()),
+                            steps_done,
+                            progress: 0.0,
+                            snapshot: None,
+                        }),
+                        cancel: AtomicBool::new(false),
+                        resume: Mutex::new(None),
+                        generation: AtomicU64::new(1),
+                    });
+                    // Journal the failure so the next restart reports it
+                    // instead of retrying a store that is gone for good.
+                    if let Some(journal) = &self.journal {
+                        journal.terminal(id, JobPhase::Failed, Some(&error), steps_done, None);
+                    }
+                    self.insert_job(id, Arc::clone(&shared));
+                    self.touch(&shared);
+                }
+            }
+        }
     }
 
     /// Registers a job in the id map and prunes retention: drop the
@@ -498,7 +671,11 @@ impl JobManager {
             drop(inner);
             let mut state = shared.state.lock().expect("job poisoned");
             state.phase = JobPhase::Cancelled;
+            let steps_done = state.steps_done;
             drop(state);
+            if let Some(journal) = &self.journal {
+                journal.terminal(id, JobPhase::Cancelled, None, steps_done, None);
+            }
             self.touch(&shared);
             return CancelOutcome::Cancelled;
         }
@@ -531,11 +708,15 @@ impl JobManager {
             inner.shutdown = true;
             inner.queue.drain(..).collect()
         };
-        for (_, shared, _) in drained {
+        for (id, shared, _) in drained {
             shared.cancel.store(true, Ordering::Relaxed);
             let mut state = shared.state.lock().expect("job poisoned");
             state.phase = JobPhase::Cancelled;
+            let steps_done = state.steps_done;
             drop(state);
+            if let Some(journal) = &self.journal {
+                journal.terminal(id, JobPhase::Cancelled, None, steps_done, None);
+            }
             self.touch(&shared);
         }
         // Running jobs observe the cancel flag at the next chunk.
@@ -566,11 +747,11 @@ impl JobManager {
                     inner = self.wake.wait(inner).expect("manager poisoned");
                 }
             };
-            let Some((_, shared, graph)) = item else {
+            let Some((id, shared, graph)) = item else {
                 return;
             };
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.run_job(&shared, &graph)
+                self.run_job(id, &shared, &graph)
             }));
             if let Err(panic) = outcome {
                 let message = panic
@@ -578,21 +759,30 @@ impl JobManager {
                     .map(|s| s.as_str())
                     .or_else(|| panic.downcast_ref::<&str>().copied())
                     .unwrap_or("job panicked");
+                let error = format!("internal error: {message}");
                 let mut state = shared.state.lock().expect("job poisoned");
                 state.phase = JobPhase::Failed;
-                state.error = Some(format!("internal error: {message}"));
+                state.error = Some(error.clone());
+                let steps_done = state.steps_done;
                 drop(state);
+                if let Some(journal) = &self.journal {
+                    journal.terminal(id, JobPhase::Failed, Some(&error), steps_done, None);
+                }
                 self.touch(&shared);
             }
         }
     }
 
-    fn run_job(&self, shared: &JobShared, graph: &MmapGraph) {
+    fn run_job(&self, id: u64, shared: &JobShared, graph: &MmapGraph) {
         {
             let mut state = shared.state.lock().expect("job poisoned");
             if shared.cancel.load(Ordering::Relaxed) {
                 state.phase = JobPhase::Cancelled;
+                let steps_done = state.steps_done;
                 drop(state);
+                if let Some(journal) = &self.journal {
+                    journal.terminal(id, JobPhase::Cancelled, None, steps_done, None);
+                }
                 self.touch(shared);
                 return;
             }
@@ -606,7 +796,7 @@ impl JobManager {
         let cancelled = if let Some(threads) = spec.pool_threads {
             self.run_pooled(shared, graph, threads, &mut estimator)
         } else {
-            self.run_sequential(shared, graph, &mut estimator)
+            self.run_sequential(id, shared, graph, &mut estimator)
         };
 
         let snapshot = estimator.snapshot();
@@ -614,12 +804,19 @@ impl JobManager {
         state.snapshot = Some(snapshot.clone());
         if cancelled {
             state.phase = JobPhase::Cancelled;
+            let steps_done = state.steps_done;
             drop(state);
+            if let Some(journal) = &self.journal {
+                journal.terminal(id, JobPhase::Cancelled, None, steps_done, None);
+            }
         } else {
             state.progress = 1.0;
             state.phase = JobPhase::Done;
             let steps_done = state.steps_done;
             drop(state);
+            if let Some(journal) = &self.journal {
+                journal.terminal(id, JobPhase::Done, None, steps_done, Some(&snapshot));
+            }
             // Publish to the result cache: the run is complete and the
             // result is a pure function of (digest, spec, seed), so
             // future identical submits answer from here byte-for-byte.
@@ -642,20 +839,60 @@ impl JobManager {
     }
 
     /// Sequential chunked execution; returns whether cancelled.
+    ///
+    /// A job carrying a journal checkpoint restarts from it —
+    /// bit-identical to never having paused (the runner's resume
+    /// contract). A checkpoint that fails validation (corrupt blob,
+    /// spec drift) is discarded and the job re-runs from scratch,
+    /// which determinism makes bit-identical too: recovery never has
+    /// a wrong answer, only a slower one.
     fn run_sequential(
         &self,
+        id: u64,
         shared: &JobShared,
         graph: &MmapGraph,
         estimator: &mut JobEstimator,
     ) -> bool {
         let spec = &shared.spec;
-        let mut runner = ChunkedRunner::new(
-            &spec.sampler,
-            graph,
-            &CostModel::unit(),
-            spec.budget,
-            spec.seed,
-        );
+        let checkpoint = shared.resume.lock().expect("job poisoned").take();
+        let mut runner = None;
+        if let Some(ck) = checkpoint {
+            match (
+                ChunkedRunner::resume(&spec.sampler, graph, &ck.runner),
+                JobEstimator::resume(spec.estimator, &spec.sampler, &ck.estimator),
+            ) {
+                (Ok(r), Ok(e)) => {
+                    if let Some(journal) = &self.journal {
+                        journal
+                            .stats()
+                            .resumed_from_checkpoint
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    *estimator = e;
+                    runner = Some(r);
+                }
+                (r, e) => {
+                    // Runner and estimator state come from the same
+                    // record; using half a checkpoint would desync the
+                    // sample stream from the accumulators.
+                    let cause = r
+                        .err()
+                        .map(|x| x.to_string())
+                        .unwrap_or_else(|| e.err().map(|x| x.to_string()).unwrap_or_default());
+                    eprintln!("job {id}: checkpoint rejected ({cause}); re-running from scratch");
+                }
+            }
+        }
+        let mut runner = runner.unwrap_or_else(|| {
+            ChunkedRunner::new(
+                &spec.sampler,
+                graph,
+                &CostModel::unit(),
+                spec.budget,
+                spec.seed,
+            )
+        });
+        let mut chunks_since_checkpoint = 0u64;
         loop {
             if shared.cancel.load(Ordering::Relaxed) {
                 return true;
@@ -668,6 +905,18 @@ impl JobManager {
             drop(state);
             if status == ChunkStatus::Finished {
                 return false;
+            }
+            if let Some(journal) = &self.journal {
+                chunks_since_checkpoint += 1;
+                if chunks_since_checkpoint >= JOURNAL_CHECKPOINT_CHUNKS {
+                    chunks_since_checkpoint = 0;
+                    journal.checkpoint(
+                        id,
+                        runner.steps_done(),
+                        &runner.serialize(),
+                        &estimator.serialize(),
+                    );
+                }
             }
             self.touch(shared);
         }

@@ -21,6 +21,11 @@
 //! * [`cache::ResultCache`] — LRU-bounded deterministic result cache
 //!   keyed on `(store digest, canonicalized spec, seed)`; hits complete
 //!   jobs at submission, byte-identical to a recompute.
+//! * [`journal::Journal`] — crash-safe job journal (`--journal-dir`):
+//!   append-only, checksum-framed, fsync-disciplined. On restart the
+//!   server replays it, re-registers finished jobs, and resumes
+//!   incomplete ones from their last checkpoint — estimates across a
+//!   SIGKILL are bit-identical to an uninterrupted run.
 //! * [`server::Server`] — the HTTP surface: `POST /v1/jobs`,
 //!   `GET /v1/jobs/{id}`, `GET /v1/jobs/{id}/stream` (chunked NDJSON),
 //!   `GET /v1/stores`, `GET /healthz`, `DELETE /v1/jobs/{id}`,
@@ -58,6 +63,7 @@
 pub mod cache;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod json;
 pub mod reactor;
 pub mod registry;
@@ -65,6 +71,7 @@ pub mod server;
 
 pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 pub use jobs::{CancelOutcome, JobManager, JobPhase, JobSpec, JobView, SubmitError};
+pub use journal::{DurabilityStats, Journal, Replay};
 pub use json::Json;
 pub use registry::{RegistryError, StoreInfo, StoreRegistry};
 pub use server::{Config, Server};

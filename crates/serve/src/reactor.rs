@@ -41,14 +41,65 @@
 //! work.
 
 use crate::http::{self, HttpError, Limits, Request, RequestParser};
+use fs_graph::failpoint::{self, Fault};
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Failpoint site consulted before every connection read.
+pub const READ_SITE: &str = "reactor.read";
+/// Failpoint site consulted before every connection write.
+pub const WRITE_SITE: &str = "reactor.write";
+
+/// A connection read routed through the failpoint registry. The chaos
+/// suite uses this to make every socket flaky — `EINTR` storms,
+/// spurious `EAGAIN`, short reads — and the reactor's continuation
+/// arms must keep all of them invisible to clients (level-triggered
+/// epoll re-reports readiness, so a deferred byte is never lost).
+/// Injected hard errors close the connection, exactly like a real
+/// peer reset.
+fn fp_read(stream: &TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut s = stream;
+    match failpoint::check(READ_SITE) {
+        Some(Fault::Eintr) => Err(ErrorKind::Interrupted.into()),
+        Some(Fault::Eagain) => Err(ErrorKind::WouldBlock.into()),
+        Some(Fault::ShortRead) => {
+            let cap = (buf.len() / 2).max(1);
+            s.read(&mut buf[..cap])
+        }
+        Some(Fault::Enospc | Fault::Error) => Err(std::io::Error::new(
+            ErrorKind::ConnectionReset,
+            "injected read error (failpoint reactor.read)",
+        )),
+        // Write-flavoured faults have no read analogue.
+        Some(Fault::ShortWrite) | None => s.read(buf),
+    }
+}
+
+/// The write-side twin of [`fp_read`]: short writes and `EAGAIN` park
+/// the remainder behind `EPOLLOUT` (continuation, never data loss —
+/// the same path a tiny receive window exercises).
+fn fp_write(stream: &TcpStream, data: &[u8]) -> std::io::Result<usize> {
+    let mut s = stream;
+    match failpoint::check(WRITE_SITE) {
+        Some(Fault::Eintr) => Err(ErrorKind::Interrupted.into()),
+        Some(Fault::Eagain) => Err(ErrorKind::WouldBlock.into()),
+        Some(Fault::ShortWrite) => {
+            let cap = (data.len() / 2).max(1);
+            s.write(&data[..cap])
+        }
+        Some(Fault::Enospc | Fault::Error) => Err(std::io::Error::new(
+            ErrorKind::ConnectionReset,
+            "injected write error (failpoint reactor.write)",
+        )),
+        Some(Fault::ShortRead) | None => s.write(data),
+    }
+}
 
 /// Thin safe wrapper over the four `epoll(7)` libc entry points.
 ///
@@ -464,7 +515,7 @@ impl Reactor {
         if conn.read_closed {
             // Half-closed: drain-and-discard so RDHUP stops firing.
             let mut sink = [0u8; 4096];
-            while matches!((&conn.stream).read(&mut sink), Ok(n) if n > 0) {}
+            while matches!(fp_read(&conn.stream, &mut sink), Ok(n) if n > 0) {}
             return;
         }
         let mut buf = [0u8; 16 * 1024];
@@ -477,7 +528,7 @@ impl Reactor {
             {
                 break;
             }
-            match (&conn.stream).read(&mut buf) {
+            match fp_read(&conn.stream, &mut buf) {
                 Ok(0) => {
                     peer_closed = true;
                     break;
@@ -638,7 +689,7 @@ impl Reactor {
             return;
         };
         while conn.wpos < conn.wbuf.len() {
-            match (&conn.stream).write(&conn.wbuf[conn.wpos..]) {
+            match fp_write(&conn.stream, &conn.wbuf[conn.wpos..]) {
                 Ok(0) => {
                     self.close_conn(fd);
                     return;

@@ -41,6 +41,7 @@
 use crate::cache::ResultCache;
 use crate::http::Limits;
 use crate::jobs::{CancelOutcome, JobManager, JobPhase, JobSpec, JobView, SubmitError};
+use crate::journal::{DurabilityStats, Journal};
 use crate::json::{self, Json};
 use crate::reactor::{Action, AppLogic, Reactor, StreamEvent, Waker};
 use crate::registry::{RegistryError, StoreRegistry};
@@ -77,6 +78,9 @@ pub struct Config {
     pub cache_entries: usize,
     /// Result-cache byte bound.
     pub cache_bytes: usize,
+    /// Directory for the crash-safe job journal (`--journal-dir`).
+    /// `None` runs journal-free: identical behaviour, no durability.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Config {
@@ -93,6 +97,7 @@ impl Config {
             limits: Limits::default(),
             cache_entries: 4_096,
             cache_bytes: 64 * 1024 * 1024,
+            journal_dir: None,
         }
     }
 }
@@ -119,12 +124,20 @@ struct Logic {
     manager: Arc<JobManager>,
     cache: Arc<ResultCache>,
     shutdown_flag: Arc<AtomicBool>,
+    /// Journal replay still in progress: every route answers `503`
+    /// with `"replaying": true` until recovery finishes, so clients
+    /// never observe a half-restored job table.
+    replaying: Arc<AtomicBool>,
+    /// Durability counters, when a journal is configured.
+    durability: Option<Arc<DurabilityStats>>,
     job_workers: usize,
 }
 
 impl Server {
     /// Binds, spawns the job workers and the reactor, and starts
-    /// accepting.
+    /// accepting. With [`Config::journal_dir`] set, opens (or replays)
+    /// the job journal first: the listener answers `503` until every
+    /// journaled job is re-registered and incomplete ones re-enqueued.
     pub fn start(config: Config) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -133,19 +146,31 @@ impl Server {
                 .with_hugepages(config.hugepages),
         );
         let cache = Arc::new(ResultCache::new(config.cache_entries, config.cache_bytes));
+        let (journal, replay, durability) = match &config.journal_dir {
+            None => (None, None, None),
+            Some(dir) => {
+                let stats = Arc::new(DurabilityStats::default());
+                let (journal, replay) = Journal::open(dir, Arc::clone(&stats))?;
+                (Some(Arc::new(journal)), Some(replay), Some(stats))
+            }
+        };
         let manager = JobManager::start(
             Arc::clone(&registry),
             Arc::clone(&cache),
             config.job_workers,
             config.max_queue,
+            journal,
         );
         let shutdown_flag = Arc::new(AtomicBool::new(false));
         let quit_flag = Arc::new(AtomicBool::new(false));
+        let replaying = Arc::new(AtomicBool::new(replay.is_some()));
         let logic = Arc::new(Logic {
             registry,
             manager: Arc::clone(&manager),
             cache,
             shutdown_flag: Arc::clone(&shutdown_flag),
+            replaying: Arc::clone(&replaying),
+            durability,
             job_workers: config.job_workers,
         });
         let (waker, handle) =
@@ -154,6 +179,16 @@ impl Server {
         // connections learn about fresh snapshots without polling.
         let hook_waker = waker.clone();
         manager.set_update_hook(Box::new(move || hook_waker.wake()));
+        // Restore off-thread: re-pinning stores mmaps real files, and
+        // the listener should answer (503) rather than hang meanwhile.
+        if let Some(replay) = replay {
+            let restore_manager = Arc::clone(&manager);
+            let restore_flag = Arc::clone(&replaying);
+            std::thread::spawn(move || {
+                restore_manager.restore(replay);
+                restore_flag.store(false, Ordering::SeqCst);
+            });
+        }
         Ok(Server {
             addr,
             shutdown_flag,
@@ -211,31 +246,59 @@ impl AppLogic for Logic {
         if self.shutdown_flag.load(Ordering::SeqCst) {
             return respond(503, error_body("server is shutting down"));
         }
+        if self.replaying.load(Ordering::SeqCst) {
+            // Recovery in progress: a half-restored job table would
+            // 404 ids that are about to reappear. The structured body
+            // lets clients (and the load generator's retry loop) tell
+            // this apart from a drain 503 and retry.
+            return respond(
+                503,
+                Json::obj([
+                    ("error", Json::from("journal replay in progress; retry")),
+                    ("replaying", Json::from(true)),
+                ])
+                .encode(),
+            );
+        }
         let path = request.path.as_str();
         let method = request.method.as_str();
         match (method, path) {
             ("GET", "/healthz") => {
                 let cache = self.cache.stats();
-                respond(
-                    200,
-                    Json::obj([
-                        ("status", Json::from("ok")),
-                        ("open_stores", Json::from(self.registry.open_count())),
-                        ("in_flight_jobs", Json::from(self.manager.in_flight())),
-                        ("job_workers", Json::from(self.job_workers)),
-                        (
-                            "cache",
-                            Json::obj([
-                                ("hits", Json::from(cache.hits)),
-                                ("misses", Json::from(cache.misses)),
-                                ("entries", Json::from(cache.entries)),
-                                ("bytes", Json::from(cache.bytes)),
-                                ("evictions", Json::from(cache.evictions)),
-                            ]),
-                        ),
-                    ])
-                    .encode(),
-                )
+                let mut fields = vec![
+                    ("status", Json::from("ok")),
+                    ("open_stores", Json::from(self.registry.open_count())),
+                    ("in_flight_jobs", Json::from(self.manager.in_flight())),
+                    ("job_workers", Json::from(self.job_workers)),
+                    (
+                        "cache",
+                        Json::obj([
+                            ("hits", Json::from(cache.hits)),
+                            ("misses", Json::from(cache.misses)),
+                            ("entries", Json::from(cache.entries)),
+                            ("bytes", Json::from(cache.bytes)),
+                            ("evictions", Json::from(cache.evictions)),
+                        ]),
+                    ),
+                ];
+                if let Some(d) = &self.durability {
+                    let load =
+                        |c: &std::sync::atomic::AtomicU64| Json::from(c.load(Ordering::Relaxed));
+                    fields.push((
+                        "durability",
+                        Json::obj([
+                            ("records_replayed", load(&d.records_replayed)),
+                            ("torn_truncated", load(&d.torn_truncated)),
+                            ("jobs_resumed", load(&d.jobs_resumed)),
+                            ("jobs_recovered", load(&d.jobs_recovered)),
+                            ("resumed_from_checkpoint", load(&d.resumed_from_checkpoint)),
+                            ("checkpoints_written", load(&d.checkpoints_written)),
+                            ("appends_failed", load(&d.appends_failed)),
+                            ("degraded", Json::from(d.degraded.load(Ordering::Relaxed))),
+                        ]),
+                    ));
+                }
+                respond(200, Json::obj(fields).encode())
             }
             ("GET", "/v1/stores") => match self.registry.list() {
                 Ok(infos) => {

@@ -336,7 +336,7 @@ fn manager_level_shutdown_cancels_in_flight_jobs() {
     let dir = store_dir("proto_mgr", 500, 8);
     let registry = Arc::new(StoreRegistry::new(&dir, 2));
     let cache = Arc::new(ResultCache::new(64, 1 << 20));
-    let manager = fs_serve::JobManager::start(registry, cache, 1, 8);
+    let manager = fs_serve::JobManager::start(registry, cache, 1, 8, None);
     let running = manager
         .submit(JobSpec {
             store: "ba.fsg".into(),

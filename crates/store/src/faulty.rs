@@ -1,0 +1,171 @@
+//! A [`GraphAccess`] wrapper that degrades replies under the seeded
+//! failpoint registry — the store-level arm of the chaos harness.
+//!
+//! [`FaultyStoreAccess`] delegates everything to the wrapped backend,
+//! but consults the `store.step` failpoint site on every step/neighbor
+//! query. An injected fault degrades the reply the way the paper's
+//! crawl model already anticipates (PR 1's `CrawlAccess`):
+//!
+//! * [`Fault::ShortRead`] / [`Fault::ShortWrite`] → the walker moves
+//!   but the sample payload is dropped ([`NeighborReply::Lost`]);
+//! * any other fault → the target never answers
+//!   ([`NeighborReply::Unresponsive`]).
+//!
+//! Every sampler and estimator in the workspace is specified over
+//! exactly these replies, so the chaos suite can storm the stack with
+//! deterministic reply faults and assert the invariants that matter:
+//! no panic, finite estimates, budget fully accounted. Topology
+//! metadata (`degree`, `vertex_row`, `num_vertices`, …) is served
+//! undegraded — it models what the crawler already holds, not a new
+//! network round-trip.
+
+use fs_graph::failpoint::{self, Fault};
+use fs_graph::{
+    Arc, ArcId, GraphAccess, GroupId, NeighborReply, QueryKind, StepReply, StepSlot, VertexId,
+};
+
+/// Failpoint site consulted once per step/neighbor query.
+pub const STEP_SITE: &str = "store.step";
+
+/// See the [module docs](self).
+pub struct FaultyStoreAccess<A> {
+    inner: A,
+}
+
+impl<A: GraphAccess> FaultyStoreAccess<A> {
+    /// Wraps `inner`; with the failpoint registry disarmed this is a
+    /// zero-behavior-change pass-through.
+    pub fn new(inner: A) -> Self {
+        FaultyStoreAccess { inner }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Degrades one resolved reply according to the injected fault.
+    fn degrade(reply: StepReply, fault: Fault) -> StepReply {
+        match fault {
+            Fault::ShortRead | Fault::ShortWrite => match reply.reply {
+                NeighborReply::Vertex(v) => StepReply {
+                    reply: NeighborReply::Lost(v),
+                    ..reply
+                },
+                // Already lost or unresponsive: nothing left to drop.
+                _ => reply,
+            },
+            _ => StepReply {
+                reply: NeighborReply::Unresponsive,
+                target_degree: 0,
+                target_row: 0,
+            },
+        }
+    }
+}
+
+impl<A: GraphAccess> GraphAccess for FaultyStoreAccess<A> {
+    type Neighbors<'a>
+        = A::Neighbors<'a>
+    where
+        Self: 'a;
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.inner.degree(v)
+    }
+
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+        self.inner.neighbors(v)
+    }
+
+    fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
+        self.step_query(v, i).reply
+    }
+
+    fn step_query(&self, v: VertexId, i: usize) -> StepReply {
+        let reply = self.inner.step_query(v, i);
+        match failpoint::check(STEP_SITE) {
+            Some(fault) => Self::degrade(reply, fault),
+            None => reply,
+        }
+    }
+
+    fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
+        let reply = self.inner.step_query_at(v, row, i);
+        match failpoint::check(STEP_SITE) {
+            Some(fault) => Self::degrade(reply, fault),
+            None => reply,
+        }
+    }
+
+    fn step_query_batch(&self, slots: &mut [StepSlot]) {
+        self.inner.step_query_batch(slots);
+        if failpoint::armed() {
+            for slot in slots {
+                if let Some(fault) = failpoint::check(STEP_SITE) {
+                    slot.reply = Self::degrade(slot.reply, fault);
+                }
+            }
+        }
+    }
+
+    fn vertex_row(&self, v: VertexId) -> usize {
+        self.inner.vertex_row(v)
+    }
+
+    fn query_vertex(&self, v: VertexId) -> usize {
+        self.inner.query_vertex(v)
+    }
+
+    fn nth_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        self.inner.nth_neighbor(v, i)
+    }
+
+    fn num_arcs(&self) -> usize {
+        self.inner.num_arcs()
+    }
+
+    fn volume(&self) -> usize {
+        self.inner.volume()
+    }
+
+    fn arc_endpoints(&self, a: ArcId) -> Arc {
+        self.inner.arc_endpoints(a)
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.inner.has_edge(u, v)
+    }
+
+    fn in_degree_orig(&self, v: VertexId) -> usize {
+        self.inner.in_degree_orig(v)
+    }
+
+    fn out_degree_orig(&self, v: VertexId) -> usize {
+        self.inner.out_degree_orig(v)
+    }
+
+    fn has_original_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.inner.has_original_edge(u, v)
+    }
+
+    fn groups_of(&self, v: VertexId) -> &[GroupId] {
+        self.inner.groups_of(v)
+    }
+
+    fn num_groups(&self) -> usize {
+        self.inner.num_groups()
+    }
+
+    fn cost_factor(&self, kind: QueryKind) -> f64 {
+        self.inner.cost_factor(kind)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.inner.queries_issued()
+    }
+}

@@ -42,14 +42,16 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod faulty;
 pub mod format;
 pub mod ingest;
 pub mod mmap;
 pub mod reader;
 mod writer;
 
+pub use faulty::FaultyStoreAccess;
 pub use format::{file_digest, Layout, SectionId, StoreError, StoreKind};
 pub use ingest::{ingest_edge_list, IngestOptions, IngestReport};
 pub use mmap::{HugepageMode, MapBacking, Mmap, MmapGraph};
 pub use reader::{inspect, load_store, load_weighted_store, verify_store};
-pub use writer::{write_store, write_weighted_store};
+pub use writer::{write_store, write_weighted_store, WRITE_SITE};

@@ -410,6 +410,11 @@ impl MmapGraph {
         path: impl AsRef<Path>,
         hugepages: HugepageMode,
     ) -> Result<MmapGraph, StoreError> {
+        if fs_graph::failpoint::check("store.mmap_open").is_some() {
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected mmap-open failure (failpoint store.mmap_open)",
+            )));
+        }
         let file = File::open(path.as_ref())?;
         let map = Mmap::map_with(&file, hugepages)?;
         let bytes = map.as_slice();

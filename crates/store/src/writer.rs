@@ -12,10 +12,17 @@ use crate::format::{
     fnv1a, Fnv1a, SectionId, StoreError, StoreKind, HEADER_LEN, MAGIC, SECTION_ALIGN,
     SECTION_ENTRY_LEN, VERSION,
 };
+use fs_graph::failpoint::{self, Fault};
 use fs_graph::{Graph, WeightedGraph};
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
+
+/// Failpoint site consulted while assembling a store file: an injected
+/// fault aborts the write mid-file, and the staging discipline must
+/// leave nothing behind — no half-written store under the target name,
+/// no stranded `.tmp` sibling.
+pub const WRITE_SITE: &str = "store.write";
 
 /// Where a section's payload bytes live while the file is assembled.
 pub(crate) enum SectionData {
@@ -127,6 +134,18 @@ pub(crate) fn assemble(
         w.write_all(&head)?;
         w.write_all(&header_hash.to_le_bytes())?;
         w.write_all(&table)?;
+        // Chaos hook: fail after real bytes hit the staging file, so
+        // the partial-write-invisibility guarantee is what's tested,
+        // not an early-exit shortcut.
+        if let Some(fault) = failpoint::check(WRITE_SITE) {
+            if fault == Fault::ShortWrite {
+                w.write_all(&[0u8; 7])?;
+                let _ = w.flush();
+            }
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "injected write failure (failpoint {WRITE_SITE}: {fault:?})"
+            ))));
+        }
         let mut written = table_end;
         for ((_, data), &(_, offset, len, _)) in sections.into_iter().zip(&entries) {
             let pad = offset as usize - written;
@@ -157,6 +176,15 @@ pub(crate) fn assemble(
     }
     std::fs::rename(&tmp_path, path)?;
     guard.0 = None;
+    // The rename is only durable once the directory entry is: fsync
+    // the parent directory, or a power loss can roll the publish back
+    // (old file or nothing) after the caller was told the store
+    // exists. Same discipline as the serve journal's fsync points.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()?;
     Ok(())
 }
 
