@@ -33,6 +33,10 @@
 //! two-stage drain, exercised end to end).
 //! `--shutdown-after` posts `/v1/shutdown` at the end (lets CI stop a
 //! background server without signals).
+//! `--latency-out FILE` writes the cold burst's full per-job latency
+//! distribution as JSON: exact p50/p90/p99/p999 percentiles from the
+//! sorted sample plus the log2-bucketed `fs-obs` histogram the serving
+//! tier itself exports, cross-checked against each other.
 //!
 //! ## Robustness knobs (the recovery/chaos suite)
 //!
@@ -68,7 +72,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen (--spawn --root DIR | --addr HOST:PORT) --store NAME \
          [--jobs N] [--concurrency C] [--budget B] [--sampler fs] [--m M] \
-         [--estimator avg_degree] [--seed-base S] [--out FILE] [--verify --root DIR] \
+         [--estimator avg_degree] [--seed-base S] [--out FILE] [--latency-out FILE] \
+         [--verify --root DIR] \
          [--cache-phase] [--min-cache-speedup X] [--stream-probe] [--shutdown-after] \
          [--max-retries R] [--submit-only] [--recovery-probe FIRST:LAST --root DIR]"
     );
@@ -379,6 +384,67 @@ fn with_retries<T>(
     }
 }
 
+/// Writes the burst's latency distribution as JSON: exact percentiles
+/// from the sorted sample alongside the same log2-bucketed histogram
+/// shape the server exports at `/metrics` — built client-side from the
+/// identical `fs-obs` code, so the two views are directly comparable.
+fn write_latency_out(path: &str, latencies_ms: &[f64]) {
+    let hist = fs_obs::Histogram::new();
+    for &ms in latencies_ms {
+        hist.record((ms * 1e3).round() as u64);
+    }
+    let snap = hist.snapshot();
+    assert_eq!(
+        snap.count(),
+        latencies_ms.len() as u64,
+        "latency histogram lost samples"
+    );
+    // Cross-check: the histogram's bucketed quantile can only round a
+    // value *up* to its bucket's upper bound, never below the exact
+    // sample percentile.
+    for q in [0.5, 0.9, 0.99] {
+        let exact_us = percentile(latencies_ms, q) * 1e3;
+        let bucketed_us = snap.quantile(q) as f64;
+        assert!(
+            bucketed_us >= exact_us.floor(),
+            "histogram p{q}: bucket bound {bucketed_us} below exact {exact_us}"
+        );
+    }
+    let round2 = |v: f64| Json::Num((v * 100.0).round() / 100.0);
+    let mut buckets = Vec::new();
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        buckets.push(Json::obj([
+            ("le_us", Json::from(fs_obs::hist::bucket_upper(i))),
+            ("count", Json::from(cumulative)),
+        ]));
+    }
+    let doc = Json::obj([
+        ("suite", Json::from("serve-latency")),
+        ("unit", Json::from("ms")),
+        ("jobs", Json::from(latencies_ms.len())),
+        ("p50", round2(percentile(latencies_ms, 0.50))),
+        ("p90", round2(percentile(latencies_ms, 0.90))),
+        ("p99", round2(percentile(latencies_ms, 0.99))),
+        ("p999", round2(percentile(latencies_ms, 0.999))),
+        ("max", round2(percentile(latencies_ms, 1.0))),
+        (
+            "histogram_us",
+            Json::obj([
+                ("count", Json::from(snap.count())),
+                ("sum", Json::from(snap.sum)),
+                ("buckets", Json::Arr(buckets)),
+            ]),
+        ),
+    ]);
+    std::fs::write(path, format!("{}\n", doc.encode())).expect("write latency-out");
+    eprintln!("wrote {path}");
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -590,6 +656,7 @@ fn main() {
     let mut estimator = "avg_degree".to_string();
     let mut seed_base = 1_000u64;
     let mut out: Option<String> = None;
+    let mut latency_out: Option<String> = None;
     let mut verify = false;
     let mut cache_phase = false;
     let mut min_cache_speedup = 10.0f64;
@@ -615,6 +682,7 @@ fn main() {
             "--estimator" => estimator = parsed(args.next(), "--estimator"),
             "--seed-base" => seed_base = parsed(args.next(), "--seed-base"),
             "--out" => out = args.next(),
+            "--latency-out" => latency_out = args.next(),
             "--verify" => verify = true,
             "--cache-phase" => cache_phase = true,
             "--min-cache-speedup" => min_cache_speedup = parsed(args.next(), "--min-cache-speedup"),
@@ -716,6 +784,9 @@ fn main() {
         percentile(&cold.latencies, 0.5)
     );
     let mut total_failed = cold.failed;
+    if let Some(path) = &latency_out {
+        write_latency_out(path, &cold.latencies);
+    }
 
     // ---- Cache phase: the identical burst again — every job must hit
     // the result cache, match its cold twin bit for bit, and the phase
@@ -968,8 +1039,16 @@ fn main() {
                     Json::Num((percentile(&cold.latencies, 0.50) * 10.0).round() / 10.0),
                 ),
                 (
+                    "p90",
+                    Json::Num((percentile(&cold.latencies, 0.90) * 10.0).round() / 10.0),
+                ),
+                (
                     "p95",
                     Json::Num((percentile(&cold.latencies, 0.95) * 10.0).round() / 10.0),
+                ),
+                (
+                    "p99",
+                    Json::Num((percentile(&cold.latencies, 0.99) * 10.0).round() / 10.0),
                 ),
                 (
                     "max",

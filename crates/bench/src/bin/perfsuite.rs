@@ -21,6 +21,15 @@
 //! step primitive that issues more than one backend query per walk step
 //! shows up here as `queries_per_step > 1`.
 //!
+//! The `obs_overhead` section is the observability tier's cost pin: the
+//! identical seeded FS run timed bare vs wrapped in the query-counting
+//! `CountedAccess` tap every served job arms, with a bit-identity
+//! assertion (instrumentation must not perturb the walk). Two rows per
+//! scale: `sequential` charges the counter once per step (the worst
+//! case, reported for visibility) and `batched` charges once per
+//! lockstep batch — the serving tier's hot engine, where a best-of-reps
+//! overhead above 2% prints a loud warning.
+//!
 //! The suite also tracks the **storage layer** (`fs-store`): per scale
 //! it saves the graph as a text edge list and as a binary store, then
 //! times `load_text` (parse + rebuild) vs `load_store` (checksummed
@@ -42,11 +51,12 @@ use frontier_sampling::backend::CrawlAccess;
 use frontier_sampling::{
     Budget, CostModel, FrontierSampler, MultipleRw, ParallelWalkerPool, WalkMethod,
 };
-use fs_graph::{Graph, GraphAccess};
+use fs_graph::{CountedAccess, Graph, GraphAccess, ShardedCounter};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Machine/commit provenance recorded at the top of the JSON so two
@@ -113,6 +123,22 @@ struct Cell {
     best_steps_per_sec: f64,
     mean_steps_per_sec: f64,
     queries_per_step: f64,
+}
+
+/// One A/B row of the instrumentation-overhead probe: the same seeded
+/// FS run timed bare vs wrapped in the serving tier's query-counting
+/// [`CountedAccess`] tap.
+struct ObsCell {
+    graph: String,
+    /// `sequential` (per-step taps, the worst case) or `batched` (one
+    /// tap per lockstep batch — the serving tier's hot engine).
+    mode: &'static str,
+    bare_steps_per_sec: f64,
+    counted_steps_per_sec: f64,
+    /// `counted/bare - 1` on best-of-reps times; negative means the
+    /// wrapped run happened to be faster (noise).
+    overhead_frac: f64,
+    queries_counted: u64,
 }
 
 /// One measured loader row: seconds to materialise a usable graph from
@@ -244,6 +270,122 @@ fn gate_queries_per_step(label: &str, qps: f64, starts: usize, taken: usize, sla
          ({starts} starts over {taken} steps, slack {slack}) — \
          the batched engine is over-querying the backend"
     );
+}
+
+/// Times one A/B pair (bare vs [`CountedAccess`]-wrapped) and reports
+/// the overhead; a best-of-reps overhead above 2% prints a loud
+/// warning (no hard gate — single-machine scheduler noise at these run
+/// lengths can exceed the effect).
+fn obs_ab(
+    graph_label: &str,
+    mode: &'static str,
+    reps: usize,
+    warn_above_target: bool,
+    bare_run: &mut dyn FnMut() -> usize,
+    counted_run: &mut dyn FnMut() -> usize,
+    queries_counted: u64,
+) -> ObsCell {
+    // Same protocol as `measure`: one warm-up (which reports the
+    // deterministic step count), then best of `reps` timed runs.
+    let best_rate = |run: &mut dyn FnMut() -> usize| {
+        let steps = black_box(run());
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            black_box(run());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        steps as f64 / best
+    };
+    let bare = best_rate(bare_run);
+    let counted = best_rate(counted_run);
+    let overhead = bare / counted.max(f64::MIN_POSITIVE) - 1.0;
+    eprintln!(
+        "  obs A/B ({mode:<10})   {graph_label:<8} bare {bare:>10.0} vs counted \
+         {counted:>10.0} steps/s ({:+.2}% overhead)",
+        overhead * 100.0
+    );
+    if warn_above_target && overhead > 0.02 {
+        eprintln!(
+            "  WARNING: {graph_label} ({mode}): CountedAccess overhead {:.2}% exceeds the 2% target",
+            overhead * 100.0
+        );
+    }
+    ObsCell {
+        graph: graph_label.to_string(),
+        mode,
+        bare_steps_per_sec: bare,
+        counted_steps_per_sec: counted,
+        overhead_frac: overhead,
+        queries_counted,
+    }
+}
+
+/// The instrumentation-overhead A/B: the identical seeded FS(m=100)
+/// run timed bare and wrapped in [`CountedAccess`] — the exact tap the
+/// serving tier arms on every job for `fs_access_queries_total`. The
+/// wrapper holds no RNG, so the two walks are bit-identical by
+/// construction (asserted on a probe prefix); the only delta a timer
+/// can see is the pinned-shard atomic add per charged query. Two rows
+/// per scale: `sequential` (a tap per step — the worst case, visible
+/// on cache-hot small graphs) and `batched` (a tap per lockstep batch
+/// — the serving tier's hot engine, where the tap amortizes to
+/// nothing).
+fn obs_overhead_cells(graph_label: &str, graph: &Graph, steps: usize, reps: usize) -> Vec<ObsCell> {
+    let method = WalkMethod::frontier(100);
+    let probe_steps = steps.min(20_000);
+    let counter = Arc::new(ShardedCounter::new());
+    let counted = CountedAccess::new(graph, Arc::clone(&counter));
+    assert_eq!(
+        fs_trace(graph, probe_steps, 7),
+        fs_trace(&counted, probe_steps, 7),
+        "{graph_label}: FS walk under CountedAccess diverged from bare backend"
+    );
+    assert_eq!(
+        pool_fs_trace(graph, probe_steps, 7),
+        pool_fs_trace(&counted, probe_steps, 7),
+        "{graph_label}: batched FS walk under CountedAccess diverged from bare backend"
+    );
+    // Deterministic accounting: the same seeded run charges the same
+    // query count every time.
+    counter.reset();
+    run_once(&method, &counted, steps, 7);
+    let seq_queries = counter.get();
+    counter.reset();
+    run_once(&method, &counted, steps, 7);
+    assert_eq!(
+        seq_queries,
+        counter.get(),
+        "{graph_label}: CountedAccess query count is not deterministic"
+    );
+    let seq = obs_ab(
+        graph_label,
+        "sequential",
+        reps,
+        false,
+        &mut || run_once(&method, graph, steps, 7),
+        &mut || run_once(&method, &counted, steps, 7),
+        seq_queries,
+    );
+    counter.reset();
+    pool_fs_once(&counted, steps, 7);
+    let batch_queries = counter.get();
+    // The 2% target is pinned on the batched engine — the serving
+    // tier's actual hot path since the lockstep rework. The sequential
+    // row is the per-step worst case and is expected to sit above it
+    // on cache-hot small graphs: reported, never warned on. Smoke-length
+    // runs finish in a couple of milliseconds, where scheduler noise
+    // swamps a 2% effect, so the warning is reserved for full runs.
+    let batch = obs_ab(
+        graph_label,
+        "batched",
+        reps,
+        steps >= 100_000,
+        &mut || pool_fs_once(graph, steps, 7),
+        &mut || pool_fs_once(&counted, steps, 7),
+        batch_queries,
+    );
+    vec![seq, batch]
 }
 
 fn mhrw_once<A: GraphAccess>(access: &A, steps: usize, seed: u64) -> usize {
@@ -472,6 +614,7 @@ fn main() {
     let cfg = parse_args();
     let mut cells: Vec<Cell> = Vec::new();
     let mut loaders: Vec<LoaderCell> = Vec::new();
+    let mut obs_cells: Vec<ObsCell> = Vec::new();
     let tmp_dir = std::env::temp_dir().join(format!("fs_perfsuite_{}", std::process::id()));
     std::fs::create_dir_all(&tmp_dir).expect("create temp dir");
 
@@ -587,16 +730,25 @@ fn main() {
         );
         cells.extend(store_cells);
         loaders.push(loader);
+
+        // Instrumentation-overhead A/B: the serving tier's armed
+        // query-counting tap vs the bare backend, same seeded run.
+        obs_cells.extend(obs_overhead_cells(graph_label, &graph, steps, cfg.reps));
     }
 
     std::fs::remove_dir_all(&tmp_dir).ok();
-    let json = render_json(&RunHeader::collect(), &cells, &loaders);
+    let json = render_json(&RunHeader::collect(), &cells, &loaders, &obs_cells);
     std::fs::write(&cfg.out, json).expect("write baseline file");
     eprintln!("wrote {}", cfg.out);
 }
 
 /// Hand-rolled JSON (the workspace is offline — no serde).
-fn render_json(header: &RunHeader, cells: &[Cell], loaders: &[LoaderCell]) -> String {
+fn render_json(
+    header: &RunHeader,
+    cells: &[Cell],
+    loaders: &[LoaderCell],
+    obs_cells: &[ObsCell],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"suite\": \"samplers\",\n  \"unit\": \"steps/sec\",\n");
     let _ = writeln!(
@@ -645,6 +797,22 @@ fn render_json(header: &RunHeader, cells: &[Cell], loaders: &[LoaderCell]) -> St
             l.load_text_best_s / l.mmap_open_best_s,
         );
         s.push_str(if i + 1 < loaders.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"obs_overhead\": [\n");
+    for (i, o) in obs_cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"graph\": \"{}\", \"mode\": \"{}\", \"bare_steps_per_sec\": {:.0}, \
+             \"counted_steps_per_sec\": {:.0}, \"overhead_frac\": {:.4}, \
+             \"queries_counted\": {}}}",
+            o.graph,
+            o.mode,
+            o.bare_steps_per_sec,
+            o.counted_steps_per_sec,
+            o.overhead_frac,
+            o.queries_counted
+        );
+        s.push_str(if i + 1 < obs_cells.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -143,6 +143,28 @@ impl PoolRun {
     pub fn sampled_count(&self) -> usize {
         self.edges().count()
     }
+
+    /// Observability summary of the run — walker count, attempted
+    /// steps, reported samples. Pure observation over the recorded
+    /// event stream.
+    pub fn profile(&self) -> PoolRunProfile {
+        PoolRunProfile {
+            walkers: self.starts.len(),
+            attempts: self.steps.len(),
+            sampled: self.sampled_count(),
+        }
+    }
+}
+
+/// Profiling view of a completed [`PoolRun`] (see [`PoolRun::profile`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PoolRunProfile {
+    /// Number of walkers in the run.
+    pub walkers: usize,
+    /// Attempted steps in the canonical event stream.
+    pub attempts: usize,
+    /// Attempts that reported a sample.
+    pub sampled: usize,
 }
 
 /// A deterministic thread pool for multi-walker sampling and independent

@@ -227,6 +227,22 @@ enum State {
     },
 }
 
+/// A point-in-time profiling view of a [`ChunkedRunner`], read between
+/// chunks by the serving tier (steps/s, queries/step, budget
+/// burn-down). Observation only: taking one has no behavioral effect
+/// on the run.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RunnerProfile {
+    /// Walk attempts executed.
+    pub steps_done: u64,
+    /// Budget consumed so far.
+    pub budget_spent: f64,
+    /// The total budget `B`.
+    pub budget_total: f64,
+    /// Backend-reported charged queries (0 for non-counting backends).
+    pub queries_issued: u64,
+}
+
 /// A resumable, cancellable sampling run over any [`GraphAccess`]
 /// backend. See the [module docs](self) for the determinism contract.
 pub struct ChunkedRunner<'a, A: GraphAccess + ?Sized> {
@@ -395,6 +411,31 @@ impl<'a, A: GraphAccess + ?Sized> ChunkedRunner<'a, A> {
     /// Budget spent so far (final value equals the one-shot sampler's).
     pub fn budget_spent(&self) -> f64 {
         self.budget.spent()
+    }
+
+    /// The budget `B` this run was created with.
+    pub fn budget_total(&self) -> f64 {
+        self.budget.total()
+    }
+
+    /// Charged crawl queries the backend has answered (0 for backends
+    /// that do not count — wrap them in [`fs_graph::CountedAccess`] to
+    /// arm counting). Under the combined-query model this equals
+    /// `starts + walk steps` at unit costs (Section 2's identity).
+    pub fn queries_issued(&self) -> u64 {
+        self.access.queries_issued()
+    }
+
+    /// One read-only profiling snapshot: everything the serving tier's
+    /// per-job profile reports, taken between chunks. Pure observation
+    /// — no RNG, no budget mutation, no state change.
+    pub fn profile(&self) -> RunnerProfile {
+        RunnerProfile {
+            steps_done: self.steps_done,
+            budget_spent: self.budget.spent(),
+            budget_total: self.budget.total(),
+            queries_issued: self.queries_issued(),
+        }
     }
 
     /// Advances the run by at most `max_attempts` walk attempts,
@@ -1248,6 +1289,13 @@ impl JobEstimator {
     /// The estimator this job reports.
     pub fn spec(&self) -> EstimatorSpec {
         self.spec
+    }
+
+    /// Samples consumed so far — the profiling hook the serving tier
+    /// reads per chunk (queries/sample follows by dividing into the
+    /// runner's [`ChunkedRunner::queries_issued`]).
+    pub fn num_observed(&self) -> u64 {
+        self.snapshot().num_observed
     }
 
     /// Consumes one sample. Edge estimators ignore vertex samples and

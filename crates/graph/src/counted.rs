@@ -1,0 +1,192 @@
+//! Query-counting access layer: wrap any backend, count every charged
+//! crawl query.
+//!
+//! [`CountedAccess`] is the observability tap of the access layer: it
+//! delegates every [`GraphAccess`] method to the wrapped backend
+//! unchanged and bumps a shared [`ShardedCounter`] for each **charged**
+//! query — neighbor steps ([`GraphAccess::query_neighbor`] /
+//! [`GraphAccess::step_query`] / [`GraphAccess::step_query_at`] /
+//! [`GraphAccess::step_query_batch`], one per slot) and uniform-vertex
+//! draws ([`GraphAccess::query_vertex`]). Free topology reads
+//! (`neighbors`, `degree`, `vertex_row`, …) stay uncounted, exactly as
+//! the module-level accounting contract in [`crate::access`] draws the
+//! line.
+//!
+//! The wrapper is **provably free of behavioral effect**: it holds no
+//! RNG, never alters a reply, and adds one relaxed atomic add on a
+//! thread-local shard per query (one per *batch* on the batched path).
+//! The serving tier threads its process-wide
+//! `fs_access_queries_total` counter through here, and the perfsuite's
+//! `obs_overhead` A/B pins the armed cost on the hot path.
+//!
+//! Under the combined-query model, the counter total equals the paper's
+//! Section 2 budget identity `starts + walk steps` at unit costs — so
+//! `/metrics` exposes exactly the `B` axis of every cost-normalized
+//! error curve.
+
+use crate::access::{GraphAccess, NeighborReply, QueryKind, StepReply, StepSlot};
+use crate::ids::VertexId;
+use crate::sharded::ShardedCounter;
+use std::sync::Arc;
+
+/// A [`GraphAccess`] wrapper counting charged queries into a shared
+/// [`ShardedCounter`]. See the [module docs](self).
+pub struct CountedAccess<A> {
+    inner: A,
+    counter: Arc<ShardedCounter>,
+    /// Shard pinned at construction so the per-step `incr` skips the
+    /// thread-local shard lookup (roughly half the tap's measured
+    /// cost). Adds stay atomic, so cross-thread use only concentrates
+    /// contention — it never loses counts — and the batched path
+    /// touches the shard once per batch anyway.
+    shard: usize,
+}
+
+impl<A> CountedAccess<A> {
+    /// Wraps `inner`, counting into `counter` (shared so a metrics
+    /// registry can read the running total while jobs are live).
+    pub fn new(inner: A, counter: Arc<ShardedCounter>) -> CountedAccess<A> {
+        let shard = crate::sharded::home_shard();
+        CountedAccess {
+            inner,
+            counter,
+            shard,
+        }
+    }
+
+    /// The shared counter handle.
+    pub fn counter(&self) -> &Arc<ShardedCounter> {
+        &self.counter
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Unwraps the backend.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: GraphAccess> GraphAccess for CountedAccess<A> {
+    type Neighbors<'a>
+        = A::Neighbors<'a>
+    where
+        Self: 'a;
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+        self.inner.neighbors(v)
+    }
+
+    #[inline]
+    fn query_neighbor(&self, v: VertexId, i: usize) -> NeighborReply {
+        self.counter.add_at(self.shard, 1);
+        self.inner.query_neighbor(v, i)
+    }
+
+    #[inline]
+    fn step_query(&self, v: VertexId, i: usize) -> StepReply {
+        self.counter.add_at(self.shard, 1);
+        self.inner.step_query(v, i)
+    }
+
+    #[inline]
+    fn step_query_at(&self, v: VertexId, row: usize, i: usize) -> StepReply {
+        self.counter.add_at(self.shard, 1);
+        self.inner.step_query_at(v, row, i)
+    }
+
+    #[inline]
+    fn step_query_batch(&self, slots: &mut [StepSlot]) {
+        // One sharded add per batch: exact conservation (the batch is
+        // semantically `slots.len()` charged queries) at 1/16th the
+        // touch rate of the scalar path.
+        self.counter.add_at(self.shard, slots.len() as u64);
+        self.inner.step_query_batch(slots);
+    }
+
+    #[inline]
+    fn vertex_row(&self, v: VertexId) -> usize {
+        self.inner.vertex_row(v)
+    }
+
+    #[inline]
+    fn query_vertex(&self, v: VertexId) -> usize {
+        self.counter.add_at(self.shard, 1);
+        self.inner.query_vertex(v)
+    }
+
+    #[inline]
+    fn volume(&self) -> usize {
+        self.inner.volume()
+    }
+
+    #[inline]
+    fn cost_factor(&self, kind: QueryKind) -> f64 {
+        self.inner.cost_factor(kind)
+    }
+
+    /// This layer's own exact count of charged queries. Equals the
+    /// wrapped backend's count when it tracks queries too (both see
+    /// the same charged calls), so the wrapper never double-reports.
+    fn queries_issued(&self) -> u64 {
+        self.counter.get()
+    }
+
+    crate::delegate_graph_access!(self => self.inner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> crate::graph::Graph {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(VertexId::new(u), VertexId::new(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn charged_queries_count_and_free_reads_do_not() {
+        let g = diamond();
+        let counter = Arc::new(ShardedCounter::new());
+        let access = CountedAccess::new(&g, Arc::clone(&counter));
+
+        // Free topology reads: no charge.
+        assert_eq!(access.num_vertices(), 4);
+        assert_eq!(access.degree(VertexId::new(0)), 2);
+        assert_eq!(access.neighbors(VertexId::new(0)).as_ref().len(), 2);
+        let _ = access.vertex_row(VertexId::new(0));
+        assert_eq!(access.queries_issued(), 0);
+
+        // Charged queries: one each, replies bit-identical to the
+        // unwrapped backend's.
+        let direct = g.step_query(VertexId::new(0), 1);
+        assert_eq!(access.step_query(VertexId::new(0), 1), direct);
+        assert_eq!(
+            access.query_neighbor(VertexId::new(0), 0),
+            g.query_neighbor(VertexId::new(0), 0)
+        );
+        assert_eq!(access.query_vertex(VertexId::new(3)), 2);
+        assert_eq!(access.queries_issued(), 3);
+
+        // Batched: one charge per slot.
+        let mut slots = [
+            StepSlot::new(VertexId::new(0), access.vertex_row(VertexId::new(0)), 0),
+            StepSlot::new(VertexId::new(3), access.vertex_row(VertexId::new(3)), 1),
+        ];
+        let mut reference = slots;
+        access.step_query_batch(&mut slots);
+        g.step_query_batch(&mut reference);
+        assert_eq!(slots[0].reply, reference[0].reply);
+        assert_eq!(slots[1].reply, reference[1].reply);
+        assert_eq!(access.queries_issued(), 5);
+        assert_eq!(counter.get(), 5, "shared handle sees the same total");
+    }
+}

@@ -46,6 +46,19 @@ pub enum Fault {
 }
 
 impl Fault {
+    /// The spec-grammar name of this fault kind (also what trip hooks
+    /// report as the decision).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::Eintr => "eintr",
+            Fault::Eagain => "eagain",
+            Fault::ShortRead => "short_read",
+            Fault::ShortWrite => "short_write",
+            Fault::Enospc => "enospc",
+            Fault::Error => "error",
+        }
+    }
+
     fn parse(name: &str) -> Result<Fault, String> {
         Ok(match name {
             "eintr" => Fault::Eintr,
@@ -76,6 +89,26 @@ struct Registry {
 static ARMED: AtomicBool = AtomicBool::new(false);
 static INJECTED_TOTAL: AtomicU64 = AtomicU64::new(0);
 static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+static TRIP_HOOK: Mutex<Option<TripHook>> = Mutex::new(None);
+
+/// A trip observer: `(site, seed, hit index, injected fault)`. Invoked
+/// only when a fault is actually injected — together with the spec,
+/// these four values replay the exact fault schedule, which is what
+/// makes a chaos run reconstructible from telemetry alone.
+pub type TripHook = Box<dyn Fn(&str, u64, u64, Fault) + Send + Sync>;
+
+/// Installs the process-wide trip observer (e.g. an `fs-obs` trace
+/// ring), replacing any previous one. The hook runs on the failing
+/// thread *outside* the registry lock but must not call back into
+/// [`set_trip_hook`]/[`clear_trip_hook`].
+pub fn set_trip_hook(hook: impl Fn(&str, u64, u64, Fault) + Send + Sync + 'static) {
+    *TRIP_HOOK.lock().expect("failpoint trip hook poisoned") = Some(Box::new(hook));
+}
+
+/// Removes the trip observer.
+pub fn clear_trip_hook() {
+    *TRIP_HOOK.lock().expect("failpoint trip hook poisoned") = None;
+}
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -194,24 +227,40 @@ pub fn check(site: &str) -> Option<Fault> {
 
 #[cold]
 fn check_slow(site: &str) -> Option<Fault> {
-    let mut guard = REGISTRY.lock().expect("failpoint registry poisoned");
-    let reg = guard.as_mut()?;
-    let seed = reg.seed;
-    let entry = reg.sites.get_mut(site)?;
-    let hit = entry.hits;
-    entry.hits += 1;
-    let mut state = seed ^ fnv1a64(site.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let word = splitmix64(&mut state);
-    let mut u = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-    for &(fault, p) in &entry.faults {
-        if u < p {
-            entry.injected += 1;
-            INJECTED_TOTAL.fetch_add(1, Ordering::Relaxed);
-            return Some(fault);
+    let (seed, hit, decision) = {
+        let mut guard = REGISTRY.lock().expect("failpoint registry poisoned");
+        let reg = guard.as_mut()?;
+        let seed = reg.seed;
+        let entry = reg.sites.get_mut(site)?;
+        let hit = entry.hits;
+        entry.hits += 1;
+        let mut state = seed ^ fnv1a64(site.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let word = splitmix64(&mut state);
+        let mut u = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let mut decision = None;
+        for &(fault, p) in &entry.faults {
+            if u < p {
+                entry.injected += 1;
+                INJECTED_TOTAL.fetch_add(1, Ordering::Relaxed);
+                decision = Some(fault);
+                break;
+            }
+            u -= p;
         }
-        u -= p;
+        (seed, hit, decision)
+    };
+    // The trip observer runs outside the registry lock so it can do
+    // real work (render a trace event) without serializing other sites.
+    if let Some(fault) = decision {
+        if let Some(hook) = TRIP_HOOK
+            .lock()
+            .expect("failpoint trip hook poisoned")
+            .as_ref()
+        {
+            hook(site, seed, hit, fault);
+        }
     }
-    None
+    decision
 }
 
 /// Total faults injected since the registry was last configured.

@@ -55,6 +55,7 @@ pub mod assortativity;
 pub mod bitset;
 pub mod builder;
 pub mod components;
+pub mod counted;
 pub mod csr;
 pub mod failpoint;
 pub mod graph;
@@ -80,6 +81,7 @@ pub use components::{
     connected_components, is_bipartite, is_connected, largest_connected_component,
     ConnectedComponents,
 };
+pub use counted::CountedAccess;
 pub use graph::{Arc, Graph};
 pub use ids::{ArcId, GroupId, VertexId};
 pub use labels::VertexGroups;

@@ -1,0 +1,205 @@
+//! Exact log2-bucketed histograms with order-independent merge.
+//!
+//! A histogram is 65 `AtomicU64` buckets — bucket 0 holds the value 0,
+//! bucket `k` (1 ≤ k ≤ 64) holds values in `[2^(k-1), 2^k - 1]` — plus
+//! a running sum. Everything is an **exact integer count**: recording
+//! is two relaxed `fetch_add`s, snapshots are plain `u64` arrays, and
+//! merging snapshots is element-wise integer addition, which is
+//! commutative and associative — `merge(a, b)` equals `merge(b, a)`
+//! bit for bit, so per-thread or per-shard histograms can be combined
+//! in any order (the same argument as
+//! [`fs_graph::ShardedCounter`]'s shard sum).
+//!
+//! Quantiles are read from a snapshot by walking the cumulative counts
+//! and reporting the matched bucket's inclusive upper bound — a
+//! conservative (never under-reporting) estimate with factor-of-two
+//! resolution, which is what a latency log wants: cheap, mergeable,
+//! and never falsely flattering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of `value`: 0 for 0, else `64 - leading_zeros`, so
+/// bucket `k` covers `[2^(k-1), 2^k - 1]`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A concurrent log2-bucketed histogram. See the [module docs](self).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Two relaxed atomic adds; no locks, no
+    /// RNG, no allocation. The sum wraps on `u64` overflow (≈ 580 000
+    /// years of microseconds) rather than panicking on a hot path.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counts. Exact once all recording
+    /// threads have quiesced; during concurrent recording each bucket
+    /// is individually exact but the set is not a single atomic cut
+    /// (same contract as [`fs_graph::ShardedCounter::get`]).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Plain-integer snapshot of a [`Histogram`]; the mergeable, readable
+/// form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded values (wrapping).
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Element-wise sum of two snapshots. Integer addition per bucket:
+    /// commutative, associative, and lossless, so shard/thread
+    /// histograms merge in any order to the identical result.
+    pub fn merge(&self, other: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].wrapping_add(other.buckets[i])),
+            sum: self.sum.wrapping_add(other.sum),
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) as the inclusive upper bound of
+    /// the bucket holding the `ceil(q·count)`-th observation — an
+    /// upper estimate with factor-of-two resolution. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(i)), i, "lower bound of {i}");
+            assert_eq!(bucket_index(bucket_upper(i)), i, "upper bound of {i}");
+        }
+    }
+
+    #[test]
+    fn record_and_quantile() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum, 1104);
+        assert_eq!(s.quantile(0.0), 0);
+        // Rank ceil(0.8·6) = 5 → 100, in [64, 127] → upper bound 127.
+        assert_eq!(s.quantile(0.8), 127);
+        // 1000 lands in [512, 1023] → upper bound 1023.
+        assert_eq!(s.quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_lossless() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v * 7);
+            b.record(v * 13 + 1);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let ab = sa.merge(&sb);
+        let ba = sb.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 200);
+        assert_eq!(ab.sum, sa.sum + sb.sum);
+    }
+}

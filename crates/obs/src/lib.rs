@@ -1,0 +1,47 @@
+//! # fs-obs — observability substrate for the sampling/serving stack
+//!
+//! The paper's method is *budget accounting*: an estimate is only
+//! comparable if you know exactly how many queries `B` it consumed
+//! (Ribeiro & Towsley, IMC 2010, §2). This crate makes that accounting
+//! — and the serving tier built around it — observable without
+//! perturbing it:
+//!
+//! * [`metrics::Registry`] — a named-metric registry over lock-free
+//!   sharded counters ([`fs_graph::ShardedCounter`]), gauges, and
+//!   exact log2-bucketed histograms ([`hist::Histogram`]), rendered in
+//!   Prometheus text exposition format (`GET /metrics` in `fs-serve`).
+//! * [`trace::TraceRing`] — wide-event structured tracing: a bounded
+//!   in-memory ring of JSON trace events with monotonic timestamps and
+//!   per-job span ids, drained via `GET /v1/trace`, optionally teed to
+//!   an NDJSON file sink ([`sink::TraceSink`]) with the job journal's
+//!   append discipline (truncate-back on failed appends, degraded mode
+//!   instead of corrupt tails).
+//!
+//! ## The no-behavioral-effect contract
+//!
+//! Every primitive here is **observe-only**:
+//!
+//! * nothing consumes RNG state — timestamps come from a monotonic
+//!   clock, counters from `fetch_add`;
+//! * nothing blocks a hot path — counter increments are one relaxed
+//!   atomic add on a thread-local shard, histogram records are two;
+//! * nothing feeds back into sampling decisions — the registry and the
+//!   ring are write-mostly sinks read only by the HTTP surface.
+//!
+//! The serve-layer bit-identity gates (`determinism.rs`,
+//! `loadgen --verify`) run with all of this armed, and the perfsuite
+//! A/B (`obs_overhead` cells in `BENCH_samplers.json`) pins the
+//! hot-path cost of the armed access-layer counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram, BUCKETS};
+pub use metrics::{Gauge, Registry};
+pub use sink::TraceSink;
+pub use trace::{FieldValue, TraceRing, DEFAULT_CAPACITY};

@@ -1,0 +1,324 @@
+//! Named-metric registry with Prometheus text exposition.
+//!
+//! The registry is the **single source of truth** for every counter the
+//! serving tier reports: `GET /metrics` renders it as Prometheus text
+//! exposition (format 0.0.4) and `/healthz` is a thin JSON view over
+//! [`Registry::value`] — a counter cannot be added to one surface and
+//! forgotten in the other, because both surfaces enumerate the same
+//! registry.
+//!
+//! Three metric shapes:
+//!
+//! * **counters** — monotone totals. Hot-path counters hand out an
+//!   [`fs_graph::ShardedCounter`] handle (one relaxed add on a
+//!   thread-local shard per increment); counters whose truth already
+//!   lives elsewhere (journal [`std::sync::atomic::AtomicU64`]s, cache
+//!   stats) register a *reader closure* instead of duplicating state —
+//!   the registry reads the owner, never the other way around.
+//! * **gauges** — current levels (open stores, in-flight jobs), either
+//!   a settable [`Gauge`] or a reader closure.
+//! * **histograms** — [`crate::hist::Histogram`] handles, rendered with
+//!   cumulative `le` buckets, `_sum`, and `_count`.
+//!
+//! Registration is idempotent by name for handle-backed metrics (the
+//! existing handle is returned), so a restarting subsystem can re-wire
+//! without double-registering; re-registering under a different shape
+//! panics — that is a wiring bug, not a runtime condition.
+
+use crate::hist::{bucket_upper, Histogram, BUCKETS};
+use fs_graph::ShardedCounter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A settable level metric (current value, not a monotone total).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the current value.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts from the current value (saturating at 0).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+type Reader = Box<dyn Fn() -> u64 + Send + Sync>;
+
+enum Source {
+    Counter(Arc<ShardedCounter>),
+    CounterFn(Reader),
+    Gauge(Arc<Gauge>),
+    GaugeFn(Reader),
+    Histogram(Arc<Histogram>),
+}
+
+impl Source {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Source::Counter(_) | Source::CounterFn(_) => "counter",
+            Source::Gauge(_) | Source::GaugeFn(_) => "gauge",
+            Source::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Metric {
+    name: String,
+    help: String,
+    source: Source,
+}
+
+/// The process-wide metric registry. See the [module docs](self).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, source: Source) -> Option<Source> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        if let Some(existing) = metrics.iter().find(|m| m.name == name) {
+            let (have, want) = (existing.source.type_name(), source.type_name());
+            assert_eq!(
+                have, want,
+                "metric '{name}' re-registered as a {want} (was {have})"
+            );
+            match &existing.source {
+                Source::Counter(c) => return Some(Source::Counter(Arc::clone(c))),
+                Source::Gauge(g) => return Some(Source::Gauge(Arc::clone(g))),
+                Source::Histogram(h) => return Some(Source::Histogram(Arc::clone(h))),
+                // A reader closure re-registered by name: keep the
+                // first — the owner it reads is the same subsystem.
+                Source::CounterFn(_) | Source::GaugeFn(_) => return None,
+            }
+        }
+        metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            source,
+        });
+        None
+    }
+
+    /// Registers (or retrieves) a hot-path counter, returning its
+    /// sharded handle.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<ShardedCounter> {
+        let fresh = Arc::new(ShardedCounter::new());
+        match self.register(name, help, Source::Counter(Arc::clone(&fresh))) {
+            Some(Source::Counter(existing)) => existing,
+            Some(_) => unreachable!("type checked in register"),
+            None => fresh,
+        }
+    }
+
+    /// Registers a counter whose value is read from its owner on
+    /// scrape (journal atomics, cache stats — state that already
+    /// exists and must not be duplicated).
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        read: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register(name, help, Source::CounterFn(Box::new(read)));
+    }
+
+    /// Registers (or retrieves) a settable gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let fresh = Arc::new(Gauge::new());
+        match self.register(name, help, Source::Gauge(Arc::clone(&fresh))) {
+            Some(Source::Gauge(existing)) => existing,
+            Some(_) => unreachable!("type checked in register"),
+            None => fresh,
+        }
+    }
+
+    /// Registers a gauge read from its owner on scrape.
+    pub fn gauge_fn(&self, name: &str, help: &str, read: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.register(name, help, Source::GaugeFn(Box::new(read)));
+    }
+
+    /// Registers (or retrieves) a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let fresh = Arc::new(Histogram::new());
+        match self.register(name, help, Source::Histogram(Arc::clone(&fresh))) {
+            Some(Source::Histogram(existing)) => existing,
+            Some(_) => unreachable!("type checked in register"),
+            None => fresh,
+        }
+    }
+
+    /// Reads one metric's current value by name — the `/healthz` JSON
+    /// view goes through here, so both surfaces see the same number.
+    /// Histograms report their observation count.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| match &m.source {
+                Source::Counter(c) => c.get(),
+                Source::CounterFn(f) | Source::GaugeFn(f) => f(),
+                Source::Gauge(g) => g.get(),
+                Source::Histogram(h) => h.count(),
+            })
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format
+    /// (0.0.4). Metrics are sorted by name, so the output is stable
+    /// across scrapes modulo the values themselves.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut order: Vec<usize> = (0..metrics.len()).collect();
+        order.sort_by(|&a, &b| metrics[a].name.cmp(&metrics[b].name));
+        let mut out = String::with_capacity(metrics.len() * 96);
+        for i in order {
+            let m = &metrics[i];
+            out.push_str("# HELP ");
+            out.push_str(&m.name);
+            out.push(' ');
+            out.push_str(&m.help);
+            out.push_str("\n# TYPE ");
+            out.push_str(&m.name);
+            out.push(' ');
+            out.push_str(m.source.type_name());
+            out.push('\n');
+            match &m.source {
+                Source::Counter(c) => render_scalar(&mut out, &m.name, c.get()),
+                Source::CounterFn(f) | Source::GaugeFn(f) => render_scalar(&mut out, &m.name, f()),
+                Source::Gauge(g) => render_scalar(&mut out, &m.name, g.get()),
+                Source::Histogram(h) => render_histogram(&mut out, &m.name, h),
+            }
+        }
+        out
+    }
+}
+
+fn render_scalar(out: &mut String, name: &str, value: u64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let snap = h.snapshot();
+    let mut cumulative = 0u64;
+    let highest = snap
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0, |i| (i + 1).min(BUCKETS - 1));
+    for (i, &c) in snap.buckets.iter().enumerate().take(highest + 1) {
+        cumulative += c;
+        out.push_str(name);
+        out.push_str("_bucket{le=\"");
+        out.push_str(&bucket_upper(i).to_string());
+        out.push_str("\"} ");
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    let total = snap.count();
+    out.push_str(name);
+    out.push_str("_bucket{le=\"+Inf\"} ");
+    out.push_str(&total.to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_sum ");
+    out.push_str(&snap.sum.to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count ");
+    out.push_str(&total.to_string());
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_covers_all_shapes() {
+        let reg = Registry::new();
+        let jobs = reg.counter("fs_jobs_done_total", "Jobs completed.");
+        jobs.add(3);
+        let level = reg.gauge("fs_conns_open", "Open connections.");
+        level.set(2);
+        reg.counter_fn("fs_replays_total", "Records replayed.", || 7);
+        let h = reg.histogram("fs_chunk_latency_us", "Chunk latency.");
+        h.record(5);
+        h.record(900);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE fs_jobs_done_total counter\nfs_jobs_done_total 3\n"));
+        assert!(text.contains("# TYPE fs_conns_open gauge\nfs_conns_open 2\n"));
+        assert!(text.contains("fs_replays_total 7\n"));
+        assert!(text.contains("fs_chunk_latency_us_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("fs_chunk_latency_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("fs_chunk_latency_us_sum 905\n"));
+        assert!(text.contains("fs_chunk_latency_us_count 2\n"));
+        // Sorted by name: histogram block precedes the counters.
+        let pos = |s: &str| text.find(s).unwrap();
+        assert!(pos("fs_chunk_latency_us") < pos("fs_conns_open"));
+        assert!(pos("fs_conns_open") < pos("fs_jobs_done_total"));
+    }
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("fs_x_total", "x");
+        a.incr();
+        let b = reg.counter("fs_x_total", "x");
+        b.incr();
+        assert_eq!(reg.value("fs_x_total"), Some(2), "same underlying counter");
+        assert_eq!(reg.value("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn shape_conflicts_panic() {
+        let reg = Registry::new();
+        reg.counter("fs_x_total", "x");
+        reg.gauge("fs_x_total", "x");
+    }
+
+    #[test]
+    fn gauge_arithmetic_saturates() {
+        let g = Gauge::new();
+        g.add(2);
+        g.sub(5);
+        assert_eq!(g.get(), 0);
+        g.set(9);
+        assert_eq!(g.get(), 9);
+    }
+}

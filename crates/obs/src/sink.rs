@@ -1,0 +1,165 @@
+//! Append-only NDJSON trace sink with the job journal's write
+//! discipline.
+//!
+//! The frame format is the simplest self-synchronizing one there is:
+//! one JSON object per `\n`-terminated line. A reader resynchronizes
+//! by discarding any final line without a trailing newline — the
+//! NDJSON analogue of the journal's checksum-framed tail scan.
+//!
+//! What this module actually borrows from `fs_serve::journal` is the
+//! **append discipline**, which is where torn frames come from in the
+//! first place:
+//!
+//! * each event is appended as **one** `write_all` of `line + "\n"` at
+//!   a tracked offset — never interleaved partial writes;
+//! * a failed or short append **truncates back** to the last known-good
+//!   offset (and re-seeks), so a transient `ENOSPC`/`EINTR` burst can
+//!   never leave a half-line in the middle of the file;
+//! * if the truncate itself fails, the sink turns **degraded**: it
+//!   stops writing and says so, rather than guessing at the file
+//!   state. Tracing is telemetry — a broken sink must never take the
+//!   serving path down with it, so all failure handling is absorption,
+//!   not propagation.
+//!
+//! Durability is deliberately weaker than the journal's: trace lines
+//! are not fsynced (losing the last events in a crash is acceptable;
+//! losing accepted jobs is not).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// An append-only NDJSON file sink. See the [module docs](self).
+pub struct TraceSink {
+    file: File,
+    /// Offset of the end of the last fully written line.
+    len: u64,
+    degraded: bool,
+}
+
+impl TraceSink {
+    /// Opens (creating if needed) `path` for appending. An existing
+    /// file is continued — a torn final line from a previous crash is
+    /// truncated away first, exactly like the journal's tail scan.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<TraceSink> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut len = file.metadata()?.len();
+        if len > 0 {
+            // Scan back for the last newline; drop any torn tail.
+            use std::io::Read;
+            let tail_start = len.saturating_sub(1 << 16);
+            file.seek(SeekFrom::Start(tail_start))?;
+            let mut tail = Vec::new();
+            file.read_to_end(&mut tail)?;
+            let good = match tail.iter().rposition(|&b| b == b'\n') {
+                Some(i) => tail_start + i as u64 + 1,
+                // No newline in the scanned window: if the window is
+                // the whole file the content is one torn line; if not,
+                // the file is malformed beyond repair-by-truncate —
+                // keep it and append after a fresh newline boundary.
+                None if tail_start == 0 => 0,
+                None => len,
+            };
+            if good < len {
+                file.set_len(good)?;
+                len = good;
+            }
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok(TraceSink {
+            file,
+            len,
+            degraded: false,
+        })
+    }
+
+    /// Appends one event line. Infallible by design: failures truncate
+    /// back to the last good offset or degrade the sink (see the
+    /// [module docs](self)).
+    pub fn append(&mut self, line: &str) {
+        if self.degraded {
+            return;
+        }
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        match self.file.write_all(&framed) {
+            Ok(()) => self.len += framed.len() as u64,
+            Err(_) => {
+                // Partial write possible: restore the last good frame
+                // boundary, or stop writing entirely.
+                let restored = self.file.set_len(self.len).is_ok()
+                    && self.file.seek(SeekFrom::Start(self.len)).is_ok();
+                if !restored {
+                    self.degraded = true;
+                }
+            }
+        }
+    }
+
+    /// Whether the sink has stopped writing after an unrecoverable
+    /// append failure.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Bytes of fully framed lines written (or inherited) so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the sink holds no complete line yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fs_obs_sink_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("trace.ndjson")
+    }
+
+    #[test]
+    fn appends_are_line_framed() {
+        let path = tmp("frame");
+        std::fs::remove_file(&path).ok();
+        let mut sink = TraceSink::open(&path).unwrap();
+        sink.append("{\"a\":1}");
+        sink.append("{\"b\":2}");
+        assert_eq!(sink.len(), 16);
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp("torn");
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"torn\":").unwrap();
+        let sink = TraceSink::open(&path).unwrap();
+        assert_eq!(sink.len(), 16, "torn tail dropped");
+        drop(sink);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"a\":1}\n{\"b\":2}\n"
+        );
+    }
+
+    #[test]
+    fn fully_torn_file_resets_to_empty() {
+        let path = tmp("all_torn");
+        std::fs::write(&path, "{\"never finished").unwrap();
+        let sink = TraceSink::open(&path).unwrap();
+        assert_eq!(sink.len(), 0);
+        assert!(sink.is_empty());
+    }
+}

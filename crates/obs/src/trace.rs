@@ -1,0 +1,289 @@
+//! Wide-event structured tracing: a bounded in-memory ring of JSON
+//! events.
+//!
+//! Every interesting transition in the stack — job lifecycle, reactor
+//! I/O, registry opens/evictions, journal appends/replays, failpoint
+//! trips — is recorded as one **wide event**: a flat JSON object with
+//! a monotonic timestamp (`ts_us`, microseconds since the ring's
+//! creation — wall-clock-free, so tracing can never perturb or depend
+//! on system time), a process-unique sequence number (`seq`), an event
+//! `kind` (dotted `subsystem.transition` names), and an optional `span`
+//! carrying the job id so every event of one job can be correlated
+//! across layers.
+//!
+//! Events are rendered to their JSON line **at record time** and stored
+//! as strings: the ring is a bounded `VecDeque` that drops its oldest
+//! line when full (`dropped` counts the loss — telemetry never
+//! backpressures the system it watches), `GET /v1/trace` drains it as
+//! NDJSON, and an optional [`crate::sink::TraceSink`] tees every line
+//! to an append-only file with the job journal's write discipline.
+//!
+//! Recording takes one short mutex section on the ring. This is
+//! deliberate: trace points sit on *control-plane* edges (per chunk,
+//! per connection event, per journal record), never inside the
+//! per-step sampling loop, so contention is bounded by chunk rate,
+//! not step rate.
+
+use crate::sink::TraceSink;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default ring capacity (events retained for `GET /v1/trace`).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A field value of a wide event.
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered via `Display`; trace fields are diagnostics,
+    /// not round-trip estimates).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (JSON-escaped on render).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+struct Ring {
+    lines: VecDeque<String>,
+    sink: Option<TraceSink>,
+}
+
+/// The bounded trace ring. See the [module docs](self).
+pub struct TraceRing {
+    epoch: Instant,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl TraceRing {
+    /// A ring retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                lines: VecDeque::new(),
+                sink: None,
+            }),
+        }
+    }
+
+    /// Attaches an NDJSON file sink; every subsequent event is teed to
+    /// it in addition to the ring.
+    pub fn set_sink(&self, sink: TraceSink) {
+        self.ring.lock().expect("trace ring poisoned").sink = Some(sink);
+    }
+
+    /// Microseconds since the ring's epoch (monotonic).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records one wide event. `span` is the job id for job-scoped
+    /// events; `fields` are flat key/value pairs appended to the
+    /// object. Never blocks on the sink's durability and never fails:
+    /// a full ring drops its oldest event and counts it in
+    /// [`TraceRing::dropped`].
+    pub fn record(&self, kind: &str, span: Option<u64>, fields: &[(&str, FieldValue)]) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"ts_us\":");
+        line.push_str(&self.now_us().to_string());
+        line.push_str(",\"seq\":");
+        line.push_str(&seq.to_string());
+        line.push_str(",\"kind\":\"");
+        escape_into(&mut line, kind);
+        line.push('"');
+        if let Some(span) = span {
+            line.push_str(",\"span\":");
+            line.push_str(&span.to_string());
+        }
+        for (key, value) in fields {
+            line.push_str(",\"");
+            escape_into(&mut line, key);
+            line.push_str("\":");
+            match value {
+                FieldValue::U64(v) => line.push_str(&v.to_string()),
+                FieldValue::I64(v) => line.push_str(&v.to_string()),
+                FieldValue::F64(v) if v.is_finite() => line.push_str(&v.to_string()),
+                FieldValue::F64(_) => line.push_str("null"),
+                FieldValue::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(v) => {
+                    line.push('"');
+                    escape_into(&mut line, v);
+                    line.push('"');
+                }
+            }
+        }
+        line.push('}');
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if let Some(sink) = ring.sink.as_mut() {
+            sink.append(&line);
+        }
+        if ring.lines.len() >= self.capacity {
+            ring.lines.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.lines.push_back(line);
+    }
+
+    /// Removes and returns every retained event line, oldest first.
+    pub fn drain(&self) -> Vec<String> {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        ring.lines.drain(..).collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring poisoned").lines.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped to the capacity bound since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> TraceRing {
+        TraceRing::new(DEFAULT_CAPACITY)
+    }
+}
+
+/// Escapes `s` into `out` per JSON string rules (quote, backslash,
+/// control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_one_json_object_per_line() {
+        let ring = TraceRing::new(8);
+        ring.record(
+            "job.submitted",
+            Some(3),
+            &[
+                ("store", FieldValue::from("a.fsg")),
+                ("budget", FieldValue::from(20_000.0)),
+                ("pooled", FieldValue::from(false)),
+            ],
+        );
+        let lines = ring.drain();
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with("{\"ts_us\":"));
+        assert!(line.contains("\"seq\":0"));
+        assert!(line.contains("\"kind\":\"job.submitted\""));
+        assert!(line.contains("\"span\":3"));
+        assert!(line.contains("\"store\":\"a.fsg\""));
+        assert!(line.contains("\"budget\":20000"));
+        assert!(line.contains("\"pooled\":false"));
+        assert!(line.ends_with('}'));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.record("tick", None, &[("i", FieldValue::from(i))]);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let lines = ring.drain();
+        assert!(lines[0].contains("\"i\":6"), "oldest retained is i=6");
+        assert!(lines[3].contains("\"i\":9"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ring = TraceRing::new(2);
+        ring.record("err", None, &[("msg", FieldValue::from("a\"b\\c\nd"))]);
+        let line = ring.drain().remove(0);
+        assert!(line.contains("\"msg\":\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn timestamps_and_seq_are_monotone() {
+        let ring = TraceRing::new(8);
+        ring.record("a", None, &[]);
+        ring.record("b", None, &[]);
+        let lines = ring.drain();
+        let seq_of = |l: &str| {
+            let i = l.find("\"seq\":").unwrap() + 6;
+            l[i..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+        };
+        assert_eq!(seq_of(&lines[0]), "0");
+        assert_eq!(seq_of(&lines[1]), "1");
+    }
+}

@@ -1,0 +1,92 @@
+//! Failpoint trips must land in the trace ring with site, seed, and
+//! decision — so a chaos run is replayable from telemetry alone
+//! (same spec + seed + hit sequence ⇒ same fault schedule).
+
+use fs_graph::failpoint::{self, ArmedGuard};
+use fs_obs::{FieldValue, TraceRing};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// The failpoint registry and trip hook are process-global; serialize
+/// the tests that arm them.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Wires the process-global failpoint trip hook into `ring`, the same
+/// way `fs-serve` does at startup.
+fn install_hook(ring: &Arc<TraceRing>) {
+    let ring = Arc::clone(ring);
+    failpoint::set_trip_hook(move |site, seed, hit, fault| {
+        ring.record(
+            "failpoint.trip",
+            None,
+            &[
+                ("site", FieldValue::from(site)),
+                ("seed", FieldValue::from(seed)),
+                ("hit", FieldValue::from(hit)),
+                ("decision", FieldValue::from(fault.name())),
+            ],
+        );
+    });
+}
+
+#[test]
+fn armed_guard_trips_are_visible_in_the_ring() {
+    let _serial = lock();
+    let ring = Arc::new(TraceRing::new(64));
+    install_hook(&ring);
+
+    {
+        let _armed = ArmedGuard::new("journal.append=enospc:1.0", 77);
+        for _ in 0..3 {
+            assert_eq!(
+                failpoint::check("journal.append"),
+                Some(failpoint::Fault::Enospc)
+            );
+        }
+        // A site that never fires must not trace.
+        assert_eq!(failpoint::check("not.configured"), None);
+    }
+    failpoint::clear_trip_hook();
+
+    let lines = ring.drain();
+    assert_eq!(lines.len(), 3, "one event per injected fault");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(line.contains("\"kind\":\"failpoint.trip\""), "{line}");
+        assert!(line.contains("\"site\":\"journal.append\""), "{line}");
+        assert!(line.contains("\"seed\":77"), "{line}");
+        assert!(line.contains(&format!("\"hit\":{i}")), "{line}");
+        assert!(line.contains("\"decision\":\"enospc\""), "{line}");
+    }
+}
+
+#[test]
+fn probabilistic_trips_match_the_injected_counters() {
+    let _serial = lock();
+    let ring = Arc::new(TraceRing::new(1024));
+    install_hook(&ring);
+
+    let injected = {
+        let _armed = ArmedGuard::new("io=eintr:0.3,short_read:0.2", 42);
+        for _ in 0..200 {
+            let _ = failpoint::check("io");
+        }
+        failpoint::injected_total()
+    };
+    failpoint::clear_trip_hook();
+
+    let lines = ring.drain();
+    assert_eq!(
+        lines.len() as u64,
+        injected,
+        "every injected fault traced, nothing else"
+    );
+    assert!(lines.iter().all(|l| l.contains("\"site\":\"io\"")));
+    assert!(lines.iter().any(|l| l.contains("\"decision\":\"eintr\"")));
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"decision\":\"short_read\"")));
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the log2 histogram: bucket boundaries,
+//! exact count conservation under concurrent recording, and
+//! order-independent merge.
+
+use fs_obs::hist::{bucket_index, bucket_lower, bucket_upper};
+use fs_obs::{HistSnapshot, Histogram, BUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in the bucket whose `[lower, upper]` range
+    /// contains it, and bucket ranges tile `u64` without gaps or
+    /// overlaps.
+    #[test]
+    fn bucket_boundaries_pin_the_log2_rule(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+        // The log2 rule itself: bucket k (k ≥ 1) is [2^(k-1), 2^k - 1].
+        if v > 0 {
+            prop_assert_eq!(i, 64 - v.leading_zeros() as usize);
+        }
+        // Adjacent buckets tile: upper(i) + 1 == lower(i + 1).
+        if i + 1 < BUCKETS {
+            prop_assert_eq!(bucket_upper(i) + 1, bucket_lower(i + 1));
+        }
+    }
+
+    /// Exact count conservation under concurrent recording: N threads
+    /// recording disjoint value sets lose nothing — the quiesced
+    /// snapshot holds exactly the union, bucket by bucket and in sum.
+    #[test]
+    fn concurrent_recording_conserves_counts(
+        per_thread in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 1..200), 2..6)
+    ) {
+        let hist = Arc::new(Histogram::new());
+        let mut expected = HistSnapshot::empty();
+        for values in &per_thread {
+            for &v in values {
+                expected.buckets[bucket_index(v)] += 1;
+                expected.sum = expected.sum.wrapping_add(v);
+            }
+        }
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|values| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for v in values {
+                        hist.record(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.buckets, expected.buckets);
+        prop_assert_eq!(snap.sum, expected.sum);
+        prop_assert_eq!(hist.count(), expected.count());
+    }
+
+    /// Merge is order-independent bit for bit: merge(a, b) == merge(b, a),
+    /// merging with the empty snapshot is the identity, and counts/sums
+    /// are conserved exactly.
+    #[test]
+    fn merge_is_order_independent(
+        a_vals in prop::collection::vec(0u64..u64::MAX, 0..300),
+        b_vals in prop::collection::vec(0u64..u64::MAX, 0..300),
+    ) {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for &v in &a_vals { a.record(v); }
+        for &v in &b_vals { b.record(v); }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let ab = sa.merge(&sb);
+        let ba = sb.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), sa.count() + sb.count());
+        prop_assert_eq!(ab.sum, sa.sum.wrapping_add(sb.sum));
+        prop_assert_eq!(&sa.merge(&HistSnapshot::empty()), &sa);
+        // Associativity too — three-way merges reduce the same in any
+        // grouping, which is what lets shards combine in any order.
+        let c = Histogram::new();
+        c.record(42);
+        let sc = c.snapshot();
+        prop_assert_eq!(&sa.merge(&sb).merge(&sc), &sc.merge(&sb).merge(&sa));
+    }
+
+    /// Quantiles are conservative: the reported bound is ≥ the exact
+    /// quantile value and within a factor of two of it (the bucket
+    /// resolution contract).
+    #[test]
+    fn quantile_bounds_the_exact_order_statistic(
+        mut vals in prop::collection::vec(1u64..1_000_000_000, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &vals { h.record(v); }
+        vals.sort_unstable();
+        let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+        let exact = vals[rank - 1];
+        let est = h.snapshot().quantile(q);
+        prop_assert!(est >= exact, "estimate {est} under-reports exact {exact}");
+        prop_assert!(est / 2 < exact, "estimate {est} beyond 2x of exact {exact}");
+    }
+}

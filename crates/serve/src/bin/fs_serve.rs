@@ -5,8 +5,15 @@
 //! fs-serve --root stores [--addr 127.0.0.1:8080] [--conn-workers 4]
 //!          [--job-workers 2] [--max-queue 256] [--store-capacity 8]
 //!          [--hugepages off|try|require] [--cache-capacity 4096]
-//!          [--cache-mb 64] [--journal-dir DIR]
+//!          [--cache-mb 64] [--journal-dir DIR] [--trace-log FILE]
 //! ```
+//!
+//! Observability: `GET /metrics` renders every operational counter,
+//! gauge, and latency histogram in Prometheus text exposition format;
+//! `GET /v1/trace` drains the in-memory wide-event ring as NDJSON.
+//! `--trace-log FILE` additionally appends every trace event to FILE
+//! as it happens (NDJSON, crash-tolerant appends), surviving the
+//! ring's bounded retention.
 //!
 //! `--journal-dir` arms crash recovery: every accepted job is recorded
 //! in an append-only journal (`DIR/jobs.fsjl`), running jobs checkpoint
@@ -49,7 +56,7 @@ fn usage() -> ! {
         "usage: fs-serve --root DIR [--addr HOST:PORT] [--conn-workers N] \
          [--job-workers N] [--max-queue N] [--store-capacity N] \
          [--hugepages off|try|require] [--cache-capacity N] [--cache-mb N] \
-         [--journal-dir DIR] [--no-stdin]"
+         [--journal-dir DIR] [--trace-log FILE] [--no-stdin]"
     );
     std::process::exit(2);
 }
@@ -65,6 +72,7 @@ fn main() {
     let mut cache_capacity = 4_096usize;
     let mut cache_mb = 64usize;
     let mut journal_dir: Option<String> = None;
+    let mut trace_log: Option<String> = None;
     // Background processes have no useful stdin (it may be closed,
     // which reads as instant EOF): --no-stdin leaves HTTP shutdown as
     // the only trigger.
@@ -91,6 +99,7 @@ fn main() {
             "--cache-capacity" => cache_capacity = parsed(args.next(), "--cache-capacity"),
             "--cache-mb" => cache_mb = parsed(args.next(), "--cache-mb"),
             "--journal-dir" => journal_dir = args.next(),
+            "--trace-log" => trace_log = args.next(),
             "--hugepages" => {
                 hugepages = match args.next().as_deref() {
                     Some("off") => fs_store::HugepageMode::Off,
@@ -133,6 +142,7 @@ fn main() {
     config.cache_entries = cache_capacity;
     config.cache_bytes = cache_mb.saturating_mul(1024 * 1024).max(1);
     config.journal_dir = journal_dir.map(std::path::PathBuf::from);
+    config.trace_log = trace_log.map(std::path::PathBuf::from);
 
     let server = match Server::start(config) {
         Ok(s) => s,

@@ -422,10 +422,23 @@ fn reason(status: u16) -> &'static str {
 /// picks the `Connection` header; the *caller* must actually close
 /// when it says `false` (after flushing — see [`write_all_stream`]).
 pub fn encode_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    encode_response_typed(status, "application/json", body, keep_alive)
+}
+
+/// [`encode_response`] with an explicit media type — the observability
+/// surfaces are not JSON (`/metrics` is Prometheus text exposition,
+/// `/v1/trace` drains as NDJSON).
+pub fn encode_response_typed(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
     format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
         status,
         reason(status),
+        content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
         body

@@ -31,15 +31,19 @@
 
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::journal::{JobCheckpoint, Journal, Replay};
+use crate::obs::ServeObs;
 use crate::registry::{RegistryError, StoreRegistry};
 use frontier_sampling::runner::{
     ChunkStatus, ChunkedRunner, EstimateSnapshot, EstimatorSpec, JobEstimator, Sample, SamplerSpec,
 };
 use frontier_sampling::{Budget, CostModel, FrontierSampler, MultipleRw, ParallelWalkerPool};
+use fs_graph::{CountedAccess, ShardedCounter};
+use fs_obs::FieldValue;
 use fs_store::MmapGraph;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// A validated job specification.
 #[derive(Clone, Debug)]
@@ -95,6 +99,26 @@ impl JobPhase {
     }
 }
 
+/// Per-job execution profile, updated at every chunk boundary —
+/// pure observation of work already done (its fields never feed back
+/// into sampling, so the estimate stays bit-identical with profiling
+/// armed). Derived rates (`steps/s`, `queries/step`) are computed at
+/// serialization time from these raw totals.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct JobProfile {
+    /// Runner chunks executed.
+    pub chunks: u64,
+    /// Wall time spent inside `run_chunk` (µs) — sampling time only,
+    /// excluding queue wait and snapshot/journal overhead.
+    pub busy_us: u64,
+    /// Charged access-layer queries issued (the paper's budget axis).
+    pub queries: u64,
+    /// Budget consumed so far.
+    pub budget_spent: f64,
+    /// The job's total budget `B`.
+    pub budget_total: f64,
+}
+
 /// Mutable job state behind the shared lock.
 struct JobState {
     phase: JobPhase,
@@ -102,6 +126,7 @@ struct JobState {
     steps_done: u64,
     progress: f64,
     snapshot: Option<EstimateSnapshot>,
+    profile: JobProfile,
 }
 
 struct JobShared {
@@ -143,6 +168,9 @@ pub struct JobView {
     /// The result came from the deterministic result cache (the job
     /// completed at submit without sampling).
     pub cached: bool,
+    /// Execution profile at the last chunk boundary (zeroed for
+    /// cached/replayed jobs, which never ran here).
+    pub profile: JobProfile,
     /// State-change counter at the time of this view. Monotone per
     /// job; a view with a larger generation is never older.
     pub generation: u64,
@@ -214,6 +242,11 @@ pub struct JobManager {
     /// change — the reactor hangs its wake pipe here so streaming
     /// connections learn about fresh snapshots without polling.
     update_hook: OnceLock<Box<dyn Fn() + Send + Sync>>,
+    /// Job lifecycle metrics + wide-event tracing. Installed by the
+    /// server right after `start` (same once-only idiom as
+    /// `update_hook`); absent in bare test harnesses, in which case
+    /// every instrumentation site is a no-op.
+    obs: OnceLock<Arc<ServeObs>>,
 }
 
 /// Completed jobs retained before the oldest are pruned.
@@ -270,6 +303,7 @@ impl JobManager {
             chunk: 8_192,
             workers: Mutex::new(Vec::new()),
             update_hook: OnceLock::new(),
+            obs: OnceLock::new(),
         });
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -284,6 +318,30 @@ impl JobManager {
     /// ignored). The reactor registers its wake pipe here.
     pub fn set_update_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
         let _ = self.update_hook.set(hook);
+    }
+
+    /// Installs the observability bundle (at most once — later calls
+    /// are ignored). The server wires this before restoring the
+    /// journal, so replay counters and events land in the registry.
+    pub fn set_obs(&self, obs: Arc<ServeObs>) {
+        let _ = self.obs.set(obs);
+    }
+
+    fn obs(&self) -> Option<&Arc<ServeObs>> {
+        self.obs.get()
+    }
+
+    /// Counts a terminal transition and traces it as a wide event.
+    fn observe_terminal(&self, id: u64, phase: JobPhase, steps_done: u64) {
+        let Some(obs) = self.obs() else { return };
+        let (counter, kind) = match phase {
+            JobPhase::Done => (&obs.jobs_done, "job.done"),
+            JobPhase::Failed => (&obs.jobs_failed, "job.failed"),
+            JobPhase::Cancelled => (&obs.jobs_cancelled, "job.cancelled"),
+            JobPhase::Queued | JobPhase::Running => return,
+        };
+        counter.incr();
+        obs.event(kind, Some(id), &[("steps", FieldValue::from(steps_done))]);
     }
 
     /// Publishes a state change: bump the job's generation, then fire
@@ -386,6 +444,7 @@ impl JobManager {
                     steps_done: hit.steps_done,
                     progress: 1.0,
                     snapshot: Some(hit.snapshot.clone()),
+                    profile: JobProfile::default(),
                 }),
                 cancel: AtomicBool::new(false),
                 resume: Mutex::new(None),
@@ -404,6 +463,21 @@ impl JobManager {
                 );
             }
             self.insert_job(id, Arc::clone(&shared));
+            if let Some(obs) = self.obs() {
+                obs.jobs_submitted.incr();
+                obs.event(
+                    "job.submitted",
+                    Some(id),
+                    &[
+                        ("store", FieldValue::from(shared.spec.store.as_str())),
+                        ("sampler", FieldValue::from(shared.spec.sampler.label())),
+                        ("budget", FieldValue::from(shared.spec.budget)),
+                        ("seed", FieldValue::from(shared.spec.seed)),
+                        ("cached", FieldValue::from(true)),
+                    ],
+                );
+            }
+            self.observe_terminal(id, JobPhase::Done, hit.steps_done);
             self.touch(&shared);
             return Ok(id);
         }
@@ -421,6 +495,7 @@ impl JobManager {
                 steps_done: 0,
                 progress: 0.0,
                 snapshot: None,
+                profile: JobProfile::default(),
             }),
             cancel: AtomicBool::new(false),
             resume: Mutex::new(None),
@@ -442,6 +517,20 @@ impl JobManager {
         // whole file, so record order never matters.
         if let Some(journal) = &self.journal {
             journal.submit(id, &shared.spec, digest);
+        }
+        if let Some(obs) = self.obs() {
+            obs.jobs_submitted.incr();
+            obs.event(
+                "job.submitted",
+                Some(id),
+                &[
+                    ("store", FieldValue::from(shared.spec.store.as_str())),
+                    ("sampler", FieldValue::from(shared.spec.sampler.label())),
+                    ("budget", FieldValue::from(shared.spec.budget)),
+                    ("seed", FieldValue::from(shared.spec.seed)),
+                    ("cached", FieldValue::from(false)),
+                ],
+            );
         }
         self.insert_job(id, shared);
         self.wake.notify_one();
@@ -470,6 +559,8 @@ impl JobManager {
             let id = job.id;
             if let Some(terminal) = job.terminal {
                 // Finished before the crash: re-register the outcome.
+                let replayed_phase = terminal.phase;
+                let replayed_steps = terminal.steps_done;
                 if terminal.phase == JobPhase::Done {
                     if let Some(snapshot) = &terminal.snapshot {
                         self.cache.insert(
@@ -502,6 +593,7 @@ impl JobManager {
                             0.0
                         },
                         snapshot: terminal.snapshot,
+                        profile: JobProfile::default(),
                     }),
                     cancel: AtomicBool::new(false),
                     resume: Mutex::new(None),
@@ -510,6 +602,22 @@ impl JobManager {
                 self.insert_job(id, Arc::clone(&shared));
                 if let Some(stats) = &stats {
                     stats.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(obs) = self.obs() {
+                    match replayed_phase {
+                        JobPhase::Done => obs.jobs_done.incr(),
+                        JobPhase::Failed => obs.jobs_failed.incr(),
+                        JobPhase::Cancelled => obs.jobs_cancelled.incr(),
+                        JobPhase::Queued | JobPhase::Running => {}
+                    }
+                    obs.event(
+                        "job.recovered",
+                        Some(id),
+                        &[
+                            ("phase", FieldValue::from(replayed_phase.name())),
+                            ("steps", FieldValue::from(replayed_steps)),
+                        ],
+                    );
                 }
                 self.touch(&shared);
                 continue;
@@ -540,6 +648,7 @@ impl JobManager {
                             steps_done,
                             progress: 0.0,
                             snapshot: None,
+                            profile: JobProfile::default(),
                         }),
                         cancel: AtomicBool::new(false),
                         resume: Mutex::new(job.checkpoint),
@@ -552,6 +661,13 @@ impl JobManager {
                     self.insert_job(id, Arc::clone(&shared));
                     if let Some(stats) = &stats {
                         stats.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(obs) = self.obs() {
+                        obs.event(
+                            "job.resumed",
+                            Some(id),
+                            &[("steps", FieldValue::from(steps_done))],
+                        );
                     }
                     self.wake.notify_one();
                     self.touch(&shared);
@@ -567,6 +683,7 @@ impl JobManager {
                             steps_done,
                             progress: 0.0,
                             snapshot: None,
+                            profile: JobProfile::default(),
                         }),
                         cancel: AtomicBool::new(false),
                         resume: Mutex::new(None),
@@ -578,6 +695,14 @@ impl JobManager {
                         journal.terminal(id, JobPhase::Failed, Some(&error), steps_done, None);
                     }
                     self.insert_job(id, Arc::clone(&shared));
+                    if let Some(obs) = self.obs() {
+                        obs.jobs_failed.incr();
+                        obs.event(
+                            "job.failed",
+                            Some(id),
+                            &[("reason", FieldValue::from(error.as_str()))],
+                        );
+                    }
                     self.touch(&shared);
                 }
             }
@@ -628,6 +753,7 @@ impl JobManager {
             progress: state.progress,
             estimate: state.snapshot.clone(),
             cached: shared.cached,
+            profile: state.profile,
             generation,
         })
     }
@@ -676,6 +802,7 @@ impl JobManager {
             if let Some(journal) = &self.journal {
                 journal.terminal(id, JobPhase::Cancelled, None, steps_done, None);
             }
+            self.observe_terminal(id, JobPhase::Cancelled, steps_done);
             self.touch(&shared);
             return CancelOutcome::Cancelled;
         }
@@ -717,6 +844,7 @@ impl JobManager {
             if let Some(journal) = &self.journal {
                 journal.terminal(id, JobPhase::Cancelled, None, steps_done, None);
             }
+            self.observe_terminal(id, JobPhase::Cancelled, steps_done);
             self.touch(&shared);
         }
         // Running jobs observe the cancel flag at the next chunk.
@@ -768,6 +896,7 @@ impl JobManager {
                 if let Some(journal) = &self.journal {
                     journal.terminal(id, JobPhase::Failed, Some(&error), steps_done, None);
                 }
+                self.observe_terminal(id, JobPhase::Failed, steps_done);
                 self.touch(&shared);
             }
         }
@@ -783,10 +912,14 @@ impl JobManager {
                 if let Some(journal) = &self.journal {
                     journal.terminal(id, JobPhase::Cancelled, None, steps_done, None);
                 }
+                self.observe_terminal(id, JobPhase::Cancelled, steps_done);
                 self.touch(shared);
                 return;
             }
             state.phase = JobPhase::Running;
+        }
+        if let Some(obs) = self.obs() {
+            obs.event("job.running", Some(id), &[]);
         }
         self.touch(shared);
         let spec = &shared.spec;
@@ -809,6 +942,7 @@ impl JobManager {
             if let Some(journal) = &self.journal {
                 journal.terminal(id, JobPhase::Cancelled, None, steps_done, None);
             }
+            self.observe_terminal(id, JobPhase::Cancelled, steps_done);
         } else {
             state.progress = 1.0;
             state.phase = JobPhase::Done;
@@ -834,6 +968,7 @@ impl JobManager {
                     steps_done,
                 },
             );
+            self.observe_terminal(id, JobPhase::Done, steps_done);
         }
         self.touch(shared);
     }
@@ -854,11 +989,18 @@ impl JobManager {
         estimator: &mut JobEstimator,
     ) -> bool {
         let spec = &shared.spec;
+        // Charged-query tap: delegation is bit-identical (pinned in
+        // fs-graph), so arming the counter cannot change the estimate.
+        // On checkpoint resume the count restarts at zero — it profiles
+        // queries *this process* issued, while `budget_spent` keeps the
+        // job-lifetime figure.
+        let query_counter = Arc::new(ShardedCounter::new());
+        let access = CountedAccess::new(graph, Arc::clone(&query_counter));
         let checkpoint = shared.resume.lock().expect("job poisoned").take();
         let mut runner = None;
         if let Some(ck) = checkpoint {
             match (
-                ChunkedRunner::resume(&spec.sampler, graph, &ck.runner),
+                ChunkedRunner::resume(&spec.sampler, &access, &ck.runner),
                 JobEstimator::resume(spec.estimator, &spec.sampler, &ck.estimator),
             ) {
                 (Ok(r), Ok(e)) => {
@@ -886,22 +1028,45 @@ impl JobManager {
         let mut runner = runner.unwrap_or_else(|| {
             ChunkedRunner::new(
                 &spec.sampler,
-                graph,
+                &access,
                 &CostModel::unit(),
                 spec.budget,
                 spec.seed,
             )
         });
         let mut chunks_since_checkpoint = 0u64;
+        let mut busy_us = 0u64;
+        let mut chunks = 0u64;
+        let mut queries_reported = 0u64;
         loop {
             if shared.cancel.load(Ordering::Relaxed) {
                 return true;
             }
+            let chunk_start = Instant::now();
             let status = runner.run_chunk(self.chunk, |sample| estimator.observe(graph, sample));
+            let chunk_us = chunk_start.elapsed().as_micros() as u64;
+            busy_us += chunk_us;
+            chunks += 1;
+            let rp = runner.profile();
+            if let Some(obs) = self.obs() {
+                obs.job_chunks.incr();
+                obs.chunk_latency_us.record(chunk_us);
+                // Drain only this chunk's queries into the process-wide
+                // counter, so the /metrics total conserves exactly.
+                obs.access_queries.add(rp.queries_issued - queries_reported);
+            }
+            queries_reported = rp.queries_issued;
             let mut state = shared.state.lock().expect("job poisoned");
             state.steps_done = runner.steps_done();
             state.progress = runner.progress();
             state.snapshot = Some(estimator.snapshot());
+            state.profile = JobProfile {
+                chunks,
+                busy_us,
+                queries: rp.queries_issued,
+                budget_spent: rp.budget_spent,
+                budget_total: rp.budget_total,
+            };
             drop(state);
             if status == ChunkStatus::Finished {
                 return false;
@@ -938,41 +1103,72 @@ impl JobManager {
         if shared.cancel.load(Ordering::Relaxed) {
             return true;
         }
+        // Same charged-query tap as the sequential path: the pool's
+        // reductions are thread-count independent, and the counter is
+        // write-only from the walk's point of view.
+        let query_counter = Arc::new(ShardedCounter::new());
+        let access = CountedAccess::new(graph, Arc::clone(&query_counter));
         let pool = ParallelWalkerPool::with_threads(threads);
         let mut budget = Budget::new(spec.budget);
+        let walk_start = Instant::now();
         let run = match spec.sampler {
             SamplerSpec::Frontier { m } => pool.frontier(
                 &FrontierSampler::new(m),
-                graph,
+                &access,
                 &CostModel::unit(),
                 &mut budget,
                 spec.seed,
             ),
             SamplerSpec::Multiple { m } => pool.multiple_rw(
                 &MultipleRw::new(m),
-                graph,
+                &access,
                 &CostModel::unit(),
                 &mut budget,
                 spec.seed,
             ),
             _ => unreachable!("validated at submit"),
         };
+        let walk_us = walk_start.elapsed().as_micros() as u64;
+        let queries = query_counter.get();
+        if let Some(obs) = self.obs() {
+            obs.access_queries.add(queries);
+        }
+        let profile_base = JobProfile {
+            chunks: 0,
+            busy_us: walk_us,
+            queries,
+            budget_spent: budget.spent(),
+            budget_total: budget.total(),
+        };
         let total = run.steps.len().max(1);
         let mut fed = 0usize;
-        for step_chunk in run.steps.chunks(self.chunk) {
+        let mut feed_us = 0u64;
+        for (chunk_idx, step_chunk) in run.steps.chunks(self.chunk).enumerate() {
             if shared.cancel.load(Ordering::Relaxed) {
                 return true;
             }
+            let chunk_start = Instant::now();
             for step in step_chunk {
                 if let Some(edge) = step.outcome.sampled() {
                     estimator.observe(graph, Sample::Edge(edge));
                 }
+            }
+            let chunk_us = chunk_start.elapsed().as_micros() as u64;
+            feed_us += chunk_us;
+            if let Some(obs) = self.obs() {
+                obs.job_chunks.incr();
+                obs.chunk_latency_us.record(chunk_us);
             }
             fed += step_chunk.len();
             let mut state = shared.state.lock().expect("job poisoned");
             state.steps_done = fed as u64;
             state.progress = fed as f64 / total as f64;
             state.snapshot = Some(estimator.snapshot());
+            state.profile = JobProfile {
+                chunks: chunk_idx as u64 + 1,
+                busy_us: profile_base.busy_us + feed_us,
+                ..profile_base
+            };
             drop(state);
             self.touch(shared);
         }

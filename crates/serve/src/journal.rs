@@ -52,7 +52,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use frontier_sampling::checkpoint::{fnv1a64, Decoder, Encoder};
 
@@ -160,6 +160,10 @@ pub struct Journal {
     path: PathBuf,
     inner: Mutex<JournalFile>,
     stats: Arc<DurabilityStats>,
+    /// Wide-event sink for append failures/degradation. Installed by
+    /// the server after open (the journal opens before the rest of the
+    /// stack assembles); absent in bare tests.
+    trace: OnceLock<Arc<fs_obs::TraceRing>>,
 }
 
 impl Journal {
@@ -230,8 +234,14 @@ impl Journal {
                 degraded: false,
             }),
             stats,
+            trace: OnceLock::new(),
         };
         Ok((journal, replay))
+    }
+
+    /// Installs the trace ring (at most once — later calls ignored).
+    pub fn set_trace(&self, trace: Arc<fs_obs::TraceRing>) {
+        let _ = self.trace.set(trace);
     }
 
     /// The journal file path (for diagnostics).
@@ -414,6 +424,17 @@ impl Journal {
                         ""
                     }
                 );
+                if let Some(trace) = self.trace.get() {
+                    trace.record(
+                        "journal.append_failed",
+                        None,
+                        &[
+                            ("error", fs_obs::FieldValue::from(e.to_string())),
+                            ("truncated_to", fs_obs::FieldValue::from(last_good)),
+                            ("degraded", fs_obs::FieldValue::from(inner.degraded)),
+                        ],
+                    );
+                }
                 false
             }
         }

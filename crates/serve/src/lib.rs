@@ -65,6 +65,7 @@ pub mod http;
 pub mod jobs;
 pub mod journal;
 pub mod json;
+pub mod obs;
 pub mod reactor;
 pub mod registry;
 pub mod server;
@@ -73,5 +74,6 @@ pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 pub use jobs::{CancelOutcome, JobManager, JobPhase, JobSpec, JobView, SubmitError};
 pub use journal::{DurabilityStats, Journal, Replay};
 pub use json::Json;
+pub use obs::ServeObs;
 pub use registry::{RegistryError, StoreInfo, StoreRegistry};
 pub use server::{Config, Server};

@@ -1,0 +1,206 @@
+//! The serving tier's observability bundle: one [`fs_obs::Registry`]
+//! plus one [`fs_obs::TraceRing`], with the hot-path handles
+//! pre-registered so instrumentation sites pay one `Arc` deref, never a
+//! by-name lookup.
+//!
+//! [`ServeObs`] is created once per [`crate::Server`] and threaded (as
+//! an `Arc`) through the [`crate::jobs::JobManager`], the
+//! [`crate::registry::StoreRegistry`], the [`crate::reactor::Reactor`],
+//! and (trace-only) the [`crate::journal::Journal`]. `GET /metrics`
+//! renders the registry as Prometheus text exposition; `GET /healthz`
+//! is a thin JSON view over [`fs_obs::Registry::value`] of the very
+//! same metrics — the two surfaces cannot drift because neither owns
+//! any number of its own. `GET /v1/trace` drains the ring as NDJSON.
+//!
+//! ## No behavioral effect
+//!
+//! Nothing here holds an RNG, alters a reply, or blocks a hot loop:
+//! counters are sharded relaxed adds, the chunk histogram is two
+//! relaxed adds per *chunk* (8k+ attempts), and trace events sit on
+//! control-plane edges only. Bit-identity of every served estimate is
+//! pinned by the `determinism` suite with this wiring always armed.
+
+use fs_graph::{failpoint, ShardedCounter};
+use fs_obs::{FieldValue, Gauge, Histogram, Registry, TraceRing};
+use std::sync::Arc;
+
+/// Pre-registered metric handles + the trace ring. See the
+/// [module docs](self).
+pub struct ServeObs {
+    registry: Registry,
+    trace: Arc<TraceRing>,
+    /// Jobs accepted by `submit` (including cache-hit completions).
+    pub jobs_submitted: Arc<ShardedCounter>,
+    /// Jobs that reached `done` (fresh runs, cache hits, and journal
+    /// replays alike).
+    pub jobs_done: Arc<ShardedCounter>,
+    /// Jobs that reached `failed`.
+    pub jobs_failed: Arc<ShardedCounter>,
+    /// Jobs that reached `cancelled`.
+    pub jobs_cancelled: Arc<ShardedCounter>,
+    /// Runner chunks executed across all jobs.
+    pub job_chunks: Arc<ShardedCounter>,
+    /// Per-chunk wall latency in microseconds.
+    pub chunk_latency_us: Arc<Histogram>,
+    /// Charged access-layer queries (the paper's budget axis `B`):
+    /// every job's [`fs_graph::CountedAccess`] drains its per-job total
+    /// into this process-wide counter chunk by chunk.
+    pub access_queries: Arc<ShardedCounter>,
+    /// Connections accepted by the reactor.
+    pub conns_accepted: Arc<ShardedCounter>,
+    /// Requests parsed and routed.
+    pub requests: Arc<ShardedCounter>,
+    /// Connections poisoned by a framing error.
+    pub parse_errors: Arc<ShardedCounter>,
+    /// Connections reaped by the idle/stall timeouts.
+    pub timeouts: Arc<ShardedCounter>,
+    /// Currently open connections.
+    pub conns_open: Arc<Gauge>,
+    /// Stores mapped fresh by the registry.
+    pub store_opens: Arc<ShardedCounter>,
+    /// Stores evicted from the registry LRU.
+    pub store_evictions: Arc<ShardedCounter>,
+}
+
+impl ServeObs {
+    /// Builds the bundle and pre-registers every hot-path metric.
+    pub fn new() -> Arc<ServeObs> {
+        let registry = Registry::new();
+        let trace = Arc::new(TraceRing::new(fs_obs::DEFAULT_CAPACITY));
+        let obs = ServeObs {
+            jobs_submitted: registry.counter(
+                "fs_jobs_submitted_total",
+                "Jobs accepted by submit (including cache-hit completions).",
+            ),
+            jobs_done: registry.counter(
+                "fs_jobs_done_total",
+                "Jobs that reached the done phase (fresh runs, cache hits, replays).",
+            ),
+            jobs_failed: registry.counter(
+                "fs_jobs_failed_total",
+                "Jobs that reached the failed phase.",
+            ),
+            jobs_cancelled: registry.counter(
+                "fs_jobs_cancelled_total",
+                "Jobs that reached the cancelled phase.",
+            ),
+            job_chunks: registry.counter(
+                "fs_job_chunks_total",
+                "Runner chunks executed across all jobs.",
+            ),
+            chunk_latency_us: registry.histogram(
+                "fs_job_chunk_latency_us",
+                "Per-chunk wall latency in microseconds.",
+            ),
+            access_queries: registry.counter(
+                "fs_access_queries_total",
+                "Charged access-layer queries (budget units B) across all jobs.",
+            ),
+            conns_accepted: registry.counter(
+                "fs_reactor_conns_accepted_total",
+                "Connections accepted by the reactor.",
+            ),
+            requests: registry.counter(
+                "fs_reactor_requests_total",
+                "Requests parsed and routed by the reactor.",
+            ),
+            parse_errors: registry.counter(
+                "fs_reactor_parse_errors_total",
+                "Connections poisoned by an HTTP framing error.",
+            ),
+            timeouts: registry.counter(
+                "fs_reactor_timeouts_total",
+                "Connections reaped by the idle/stall timeouts.",
+            ),
+            conns_open: registry.gauge("fs_reactor_conns_open", "Currently open connections."),
+            store_opens: registry.counter(
+                "fs_store_opens_total",
+                "Stores mapped fresh by the registry.",
+            ),
+            store_evictions: registry.counter(
+                "fs_store_evictions_total",
+                "Stores evicted from the registry LRU.",
+            ),
+            registry,
+            trace,
+        };
+        Arc::new(obs)
+    }
+
+    /// The metric registry (both `/metrics` and `/healthz` read it).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace ring (`GET /v1/trace` drains it).
+    pub fn trace(&self) -> &Arc<TraceRing> {
+        &self.trace
+    }
+
+    /// Records one wide event. `span` carries the job id where one
+    /// applies, so a job's events correlate across layers.
+    pub fn event(&self, kind: &str, span: Option<u64>, fields: &[(&str, FieldValue)]) {
+        self.trace.record(kind, span, fields);
+    }
+
+    /// Wires the process-global failpoint trip hook into this ring:
+    /// every injected fault becomes a `failpoint.trip` event carrying
+    /// site, seed, hit index, and decision — a chaos run is replayable
+    /// from telemetry alone. Last server started wins the (global)
+    /// hook, which is exactly right for the one-server-per-process
+    /// binary and harmless for sequential test servers.
+    pub fn install_failpoint_hook(self: &Arc<Self>) {
+        let ring = Arc::clone(&self.trace);
+        failpoint::set_trip_hook(move |site, seed, hit, fault| {
+            ring.record(
+                "failpoint.trip",
+                None,
+                &[
+                    ("site", FieldValue::from(site)),
+                    ("seed", FieldValue::from(seed)),
+                    ("hit", FieldValue::from(hit)),
+                    ("decision", FieldValue::from(fault.name())),
+                ],
+            );
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_registers_every_hot_metric() {
+        let obs = ServeObs::new();
+        obs.jobs_done.incr();
+        obs.chunk_latency_us.record(150);
+        obs.conns_open.set(3);
+        let text = obs.registry().render_prometheus();
+        for name in [
+            "fs_jobs_submitted_total",
+            "fs_jobs_done_total",
+            "fs_jobs_failed_total",
+            "fs_jobs_cancelled_total",
+            "fs_job_chunks_total",
+            "fs_job_chunk_latency_us",
+            "fs_access_queries_total",
+            "fs_reactor_conns_accepted_total",
+            "fs_reactor_requests_total",
+            "fs_reactor_parse_errors_total",
+            "fs_reactor_timeouts_total",
+            "fs_reactor_conns_open",
+            "fs_store_opens_total",
+            "fs_store_evictions_total",
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} ")), "{name} missing");
+        }
+        assert_eq!(obs.registry().value("fs_jobs_done_total"), Some(1));
+        assert_eq!(obs.registry().value("fs_reactor_conns_open"), Some(3));
+        obs.event("test.event", Some(7), &[("k", FieldValue::from(1u64))]);
+        let lines = obs.trace().drain();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"kind\":\"test.event\""));
+        assert!(lines[0].contains("\"span\":7"));
+    }
+}

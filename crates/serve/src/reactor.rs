@@ -41,7 +41,9 @@
 //! work.
 
 use crate::http::{self, HttpError, Limits, Request, RequestParser};
+use crate::obs::ServeObs;
 use fs_graph::failpoint::{self, Fault};
+use fs_obs::FieldValue;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -244,6 +246,18 @@ pub enum Action {
         /// Force close-after-flush.
         close: bool,
     },
+    /// Send a response with an explicit media type (`/metrics` is
+    /// Prometheus text, `/v1/trace` is NDJSON).
+    RespondTyped {
+        /// HTTP status code.
+        status: u16,
+        /// Media type for the `Content-Type` header.
+        content_type: &'static str,
+        /// Response body.
+        body: String,
+        /// Force close-after-flush.
+        close: bool,
+    },
     /// Start a chunked NDJSON stream subscribed to job `job`.
     Stream {
         /// Job id to follow.
@@ -383,6 +397,8 @@ pub struct Reactor {
     tuning: Tuning,
     quit: Arc<AtomicBool>,
     conns: HashMap<i32, Conn>,
+    /// Connection/request telemetry; `None` only in unit harnesses.
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl Reactor {
@@ -393,6 +409,7 @@ impl Reactor {
         logic: Arc<dyn AppLogic>,
         limits: Limits,
         quit: Arc<AtomicBool>,
+        obs: Option<Arc<ServeObs>>,
     ) -> std::io::Result<(Waker, std::thread::JoinHandle<()>)> {
         listener.set_nonblocking(true)?;
         let (wake_rx, wake_tx) = UnixStream::pair()?;
@@ -410,6 +427,7 @@ impl Reactor {
             tuning: Tuning::default(),
             quit,
             conns: HashMap::new(),
+            obs,
         };
         let waker = Waker {
             tx: Arc::new(wake_tx),
@@ -487,6 +505,15 @@ impl Reactor {
                         continue;
                     }
                     self.conns.insert(fd, Conn::new(stream, self.limits));
+                    if let Some(obs) = &self.obs {
+                        obs.conns_accepted.incr();
+                        obs.conns_open.set(self.conns.len() as u64);
+                        obs.event(
+                            "reactor.accept",
+                            None,
+                            &[("open", FieldValue::from(self.conns.len()))],
+                        );
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -620,6 +647,9 @@ impl Reactor {
             match conn.parser.poll() {
                 Ok(Some(request)) => {
                     let keep = request.keep_alive;
+                    if let Some(obs) = &self.obs {
+                        obs.requests.incr();
+                    }
                     match logic.handle(&request) {
                         Action::Respond {
                             status,
@@ -629,6 +659,24 @@ impl Reactor {
                             let keep = keep && !close;
                             conn.wbuf
                                 .extend_from_slice(&http::encode_response(status, &body, keep));
+                            if !keep {
+                                conn.close_after_flush = true;
+                                conn.read_closed = true;
+                            }
+                        }
+                        Action::RespondTyped {
+                            status,
+                            content_type,
+                            body,
+                            close,
+                        } => {
+                            let keep = keep && !close;
+                            conn.wbuf.extend_from_slice(&http::encode_response_typed(
+                                status,
+                                content_type,
+                                &body,
+                                keep,
+                            ));
                             if !keep {
                                 conn.close_after_flush = true;
                                 conn.read_closed = true;
@@ -654,6 +702,17 @@ impl Reactor {
                             break;
                         }
                     };
+                    if let Some(obs) = &self.obs {
+                        obs.parse_errors.incr();
+                        obs.event(
+                            "reactor.parse_error",
+                            None,
+                            &[
+                                ("status", FieldValue::from(u64::from(status))),
+                                ("reason", FieldValue::from(message.as_str())),
+                            ],
+                        );
+                    }
                     let body = logic.error_body(&message);
                     conn.wbuf
                         .extend_from_slice(&http::encode_response(status, &body, false));
@@ -754,6 +813,10 @@ impl Reactor {
             .map(|(&fd, _)| fd)
             .collect();
         for fd in stale {
+            if let Some(obs) = &self.obs {
+                obs.timeouts.incr();
+                obs.event("reactor.timeout", None, &[]);
+            }
             self.close_conn(fd);
         }
     }
@@ -762,6 +825,9 @@ impl Reactor {
         if let Some(conn) = self.conns.remove(&fd) {
             self.epoll.delete(fd);
             drop(conn); // TcpStream close
+            if let Some(obs) = &self.obs {
+                obs.conns_open.set(self.conns.len() as u64);
+            }
         }
     }
 }

@@ -69,6 +69,8 @@ pub struct StoreRegistry {
     capacity: usize,
     hugepages: HugepageMode,
     inner: Mutex<Inner>,
+    /// Open/evict telemetry; `None` in bare test harnesses.
+    obs: Option<Arc<crate::obs::ServeObs>>,
 }
 
 /// A summary row for `GET /v1/stores`.
@@ -99,6 +101,7 @@ impl StoreRegistry {
                 open: HashMap::new(),
                 clock: 0,
             }),
+            obs: None,
         }
     }
 
@@ -108,6 +111,13 @@ impl StoreRegistry {
     /// `Require` makes jobs fail loudly instead.
     pub fn with_hugepages(mut self, mode: HugepageMode) -> StoreRegistry {
         self.hugepages = mode;
+        self
+    }
+
+    /// Arms open/evict metrics and trace events (builder, like
+    /// [`StoreRegistry::with_hugepages`]).
+    pub fn with_obs(mut self, obs: Arc<crate::obs::ServeObs>) -> StoreRegistry {
+        self.obs = Some(obs);
         self
     }
 
@@ -206,6 +216,17 @@ impl StoreRegistry {
                         last_used: clock,
                     },
                 );
+                if let Some(obs) = &self.obs {
+                    obs.store_opens.incr();
+                    obs.event(
+                        "registry.open",
+                        None,
+                        &[
+                            ("store", fs_obs::FieldValue::from(name)),
+                            ("digest", fs_obs::FieldValue::from(format!("{digest:016x}"))),
+                        ],
+                    );
+                }
                 graph
             }
         };
@@ -219,6 +240,14 @@ impl StoreRegistry {
                 .map(|(&k, _)| k)
                 .expect("non-empty");
             inner.open.remove(&oldest);
+            if let Some(obs) = &self.obs {
+                obs.store_evictions.incr();
+                obs.event(
+                    "registry.evict",
+                    None,
+                    &[("digest", fs_obs::FieldValue::from(format!("{oldest:016x}")))],
+                );
+            }
         }
         Ok((digest, graph))
     }

@@ -43,13 +43,15 @@ use crate::http::Limits;
 use crate::jobs::{CancelOutcome, JobManager, JobPhase, JobSpec, JobView, SubmitError};
 use crate::journal::{DurabilityStats, Journal};
 use crate::json::{self, Json};
+use crate::obs::ServeObs;
 use crate::reactor::{Action, AppLogic, Reactor, StreamEvent, Waker};
 use crate::registry::{RegistryError, StoreRegistry};
 use frontier_sampling::runner::{EstimatorSpec, SamplerSpec};
+use fs_obs::TraceSink;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -81,6 +83,9 @@ pub struct Config {
     /// Directory for the crash-safe job journal (`--journal-dir`).
     /// `None` runs journal-free: identical behaviour, no durability.
     pub journal_dir: Option<PathBuf>,
+    /// NDJSON file every trace event is appended to (`--trace-log`),
+    /// in addition to the in-memory ring `GET /v1/trace` drains.
+    pub trace_log: Option<PathBuf>,
 }
 
 impl Config {
@@ -98,6 +103,7 @@ impl Config {
             cache_entries: 4_096,
             cache_bytes: 64 * 1024 * 1024,
             journal_dir: None,
+            trace_log: None,
         }
     }
 }
@@ -122,15 +128,15 @@ pub struct Server {
 struct Logic {
     registry: Arc<StoreRegistry>,
     manager: Arc<JobManager>,
-    cache: Arc<ResultCache>,
     shutdown_flag: Arc<AtomicBool>,
     /// Journal replay still in progress: every route answers `503`
     /// with `"replaying": true` until recovery finishes, so clients
     /// never observe a half-restored job table.
     replaying: Arc<AtomicBool>,
-    /// Durability counters, when a journal is configured.
-    durability: Option<Arc<DurabilityStats>>,
-    job_workers: usize,
+    /// The single source of every operational number: `/metrics`
+    /// renders it, `/healthz` reads it back by name, `/v1/trace`
+    /// drains its ring. No handler keeps counters of its own.
+    obs: Arc<ServeObs>,
 }
 
 impl Server {
@@ -141,9 +147,17 @@ impl Server {
     pub fn start(config: Config) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // The observability bundle is created first so every layer
+        // below can thread it through at construction.
+        let obs = ServeObs::new();
+        if let Some(path) = &config.trace_log {
+            obs.trace().set_sink(TraceSink::open(path)?);
+        }
+        obs.install_failpoint_hook();
         let registry = Arc::new(
             StoreRegistry::new(&config.root, config.store_capacity)
-                .with_hugepages(config.hugepages),
+                .with_hugepages(config.hugepages)
+                .with_obs(Arc::clone(&obs)),
         );
         let cache = Arc::new(ResultCache::new(config.cache_entries, config.cache_bytes));
         let (journal, replay, durability) = match &config.journal_dir {
@@ -151,6 +165,7 @@ impl Server {
             Some(dir) => {
                 let stats = Arc::new(DurabilityStats::default());
                 let (journal, replay) = Journal::open(dir, Arc::clone(&stats))?;
+                journal.set_trace(Arc::clone(obs.trace()));
                 (Some(Arc::new(journal)), Some(replay), Some(stats))
             }
         };
@@ -161,20 +176,34 @@ impl Server {
             config.max_queue,
             journal,
         );
+        // Installed before the restore thread spawns, so replayed jobs
+        // count and trace like live ones.
+        manager.set_obs(Arc::clone(&obs));
+        register_derived_metrics(
+            &obs,
+            &registry,
+            &manager,
+            &cache,
+            durability.as_ref(),
+            config.job_workers,
+        );
         let shutdown_flag = Arc::new(AtomicBool::new(false));
         let quit_flag = Arc::new(AtomicBool::new(false));
         let replaying = Arc::new(AtomicBool::new(replay.is_some()));
         let logic = Arc::new(Logic {
             registry,
             manager: Arc::clone(&manager),
-            cache,
             shutdown_flag: Arc::clone(&shutdown_flag),
             replaying: Arc::clone(&replaying),
-            durability,
-            job_workers: config.job_workers,
+            obs: Arc::clone(&obs),
         });
-        let (waker, handle) =
-            Reactor::spawn(listener, logic, config.limits, Arc::clone(&quit_flag))?;
+        let (waker, handle) = Reactor::spawn(
+            listener,
+            logic,
+            config.limits,
+            Arc::clone(&quit_flag),
+            Some(obs),
+        )?;
         // Job workers poke the reactor after every chunk so streaming
         // connections learn about fresh snapshots without polling.
         let hook_waker = waker.clone();
@@ -229,6 +258,128 @@ impl Server {
     }
 }
 
+/// Registers the read-through views: numbers owned by other subsystems
+/// (cache, durability stats, registry occupancy, in-flight jobs) become
+/// registry metrics via closures, so `/metrics` and `/healthz` read the
+/// same live values without any copy to drift.
+///
+/// Registry and manager are captured **weakly**: both hold the
+/// `Arc<ServeObs>` whose registry owns these closures, and a strong
+/// capture would cycle the three `Arc`s and leak the whole stack.
+fn register_derived_metrics(
+    obs: &Arc<ServeObs>,
+    registry: &Arc<StoreRegistry>,
+    manager: &Arc<JobManager>,
+    cache: &Arc<ResultCache>,
+    durability: Option<&Arc<DurabilityStats>>,
+    job_workers: usize,
+) {
+    let r = obs.registry();
+    let stores: Weak<StoreRegistry> = Arc::downgrade(registry);
+    r.gauge_fn("fs_stores_open", "Stores currently mapped.", move || {
+        stores.upgrade().map_or(0, |s| s.open_count() as u64)
+    });
+    let jobs: Weak<JobManager> = Arc::downgrade(manager);
+    r.gauge_fn(
+        "fs_jobs_in_flight",
+        "Jobs currently queued or running.",
+        move || jobs.upgrade().map_or(0, |m| m.in_flight() as u64),
+    );
+    r.gauge_fn(
+        "fs_job_workers",
+        "Configured job worker threads.",
+        move || job_workers as u64,
+    );
+    for (name, help, read) in [
+        (
+            "fs_cache_hits_total",
+            "Result-cache hits.",
+            Box::new({
+                let c = Arc::clone(cache);
+                move || c.stats().hits
+            }) as Box<dyn Fn() -> u64 + Send + Sync>,
+        ),
+        (
+            "fs_cache_misses_total",
+            "Result-cache misses.",
+            Box::new({
+                let c = Arc::clone(cache);
+                move || c.stats().misses
+            }),
+        ),
+        (
+            "fs_cache_evictions_total",
+            "Result-cache evictions.",
+            Box::new({
+                let c = Arc::clone(cache);
+                move || c.stats().evictions
+            }),
+        ),
+    ] {
+        r.counter_fn(name, help, read);
+    }
+    let c = Arc::clone(cache);
+    r.gauge_fn(
+        "fs_cache_entries",
+        "Result-cache entries held.",
+        move || c.stats().entries as u64,
+    );
+    let c = Arc::clone(cache);
+    r.gauge_fn("fs_cache_bytes", "Result-cache bytes held.", move || {
+        c.stats().bytes as u64
+    });
+    if let Some(stats) = durability {
+        type Reader = fn(&DurabilityStats) -> u64;
+        let counters: [(&str, &str, Reader); 7] = [
+            (
+                "fs_journal_records_replayed_total",
+                "Journal records replayed at startup.",
+                |d| d.records_replayed.load(Ordering::Relaxed),
+            ),
+            (
+                "fs_journal_torn_truncated_total",
+                "Torn journal tails truncated.",
+                |d| d.torn_truncated.load(Ordering::Relaxed),
+            ),
+            (
+                "fs_journal_jobs_resumed_total",
+                "Incomplete jobs re-enqueued after restart.",
+                |d| d.jobs_resumed.load(Ordering::Relaxed),
+            ),
+            (
+                "fs_journal_jobs_recovered_total",
+                "Finished jobs re-registered after restart.",
+                |d| d.jobs_recovered.load(Ordering::Relaxed),
+            ),
+            (
+                "fs_journal_resumed_from_checkpoint_total",
+                "Jobs resumed from a surviving checkpoint.",
+                |d| d.resumed_from_checkpoint.load(Ordering::Relaxed),
+            ),
+            (
+                "fs_journal_checkpoints_written_total",
+                "Checkpoints appended to the journal.",
+                |d| d.checkpoints_written.load(Ordering::Relaxed),
+            ),
+            (
+                "fs_journal_appends_failed_total",
+                "Journal appends that failed and truncated back.",
+                |d| d.appends_failed.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, read) in counters {
+            let d = Arc::clone(stats);
+            r.counter_fn(name, help, move || read(&d));
+        }
+        let d = Arc::clone(stats);
+        r.gauge_fn(
+            "fs_journal_degraded",
+            "1 when the journal stopped appending after an unrecoverable failure.",
+            move || u64::from(d.degraded.load(Ordering::Relaxed)),
+        );
+    }
+}
+
 fn error_body(message: &str) -> String {
     Json::obj([("error", Json::from(message))]).encode()
 }
@@ -264,41 +415,87 @@ impl AppLogic for Logic {
         let method = request.method.as_str();
         match (method, path) {
             ("GET", "/healthz") => {
-                let cache = self.cache.stats();
+                // A thin JSON view over the metric registry: every
+                // number is `Registry::value(name)` of a metric that
+                // `/metrics` also renders, so the two surfaces cannot
+                // drift (pinned by the metrics integration test). No
+                // counter is hand-assembled here.
+                let metric = |name: &str| Json::from(self.obs.registry().value(name).unwrap_or(0));
                 let mut fields = vec![
                     ("status", Json::from("ok")),
-                    ("open_stores", Json::from(self.registry.open_count())),
-                    ("in_flight_jobs", Json::from(self.manager.in_flight())),
-                    ("job_workers", Json::from(self.job_workers)),
+                    ("open_stores", metric("fs_stores_open")),
+                    ("in_flight_jobs", metric("fs_jobs_in_flight")),
+                    ("job_workers", metric("fs_job_workers")),
                     (
                         "cache",
                         Json::obj([
-                            ("hits", Json::from(cache.hits)),
-                            ("misses", Json::from(cache.misses)),
-                            ("entries", Json::from(cache.entries)),
-                            ("bytes", Json::from(cache.bytes)),
-                            ("evictions", Json::from(cache.evictions)),
+                            ("hits", metric("fs_cache_hits_total")),
+                            ("misses", metric("fs_cache_misses_total")),
+                            ("entries", metric("fs_cache_entries")),
+                            ("bytes", metric("fs_cache_bytes")),
+                            ("evictions", metric("fs_cache_evictions_total")),
                         ]),
                     ),
                 ];
-                if let Some(d) = &self.durability {
-                    let load =
-                        |c: &std::sync::atomic::AtomicU64| Json::from(c.load(Ordering::Relaxed));
+                // Journal metrics register only when one is configured.
+                if self
+                    .obs
+                    .registry()
+                    .value("fs_journal_records_replayed_total")
+                    .is_some()
+                {
                     fields.push((
                         "durability",
                         Json::obj([
-                            ("records_replayed", load(&d.records_replayed)),
-                            ("torn_truncated", load(&d.torn_truncated)),
-                            ("jobs_resumed", load(&d.jobs_resumed)),
-                            ("jobs_recovered", load(&d.jobs_recovered)),
-                            ("resumed_from_checkpoint", load(&d.resumed_from_checkpoint)),
-                            ("checkpoints_written", load(&d.checkpoints_written)),
-                            ("appends_failed", load(&d.appends_failed)),
-                            ("degraded", Json::from(d.degraded.load(Ordering::Relaxed))),
+                            (
+                                "records_replayed",
+                                metric("fs_journal_records_replayed_total"),
+                            ),
+                            ("torn_truncated", metric("fs_journal_torn_truncated_total")),
+                            ("jobs_resumed", metric("fs_journal_jobs_resumed_total")),
+                            ("jobs_recovered", metric("fs_journal_jobs_recovered_total")),
+                            (
+                                "resumed_from_checkpoint",
+                                metric("fs_journal_resumed_from_checkpoint_total"),
+                            ),
+                            (
+                                "checkpoints_written",
+                                metric("fs_journal_checkpoints_written_total"),
+                            ),
+                            ("appends_failed", metric("fs_journal_appends_failed_total")),
+                            (
+                                "degraded",
+                                Json::from(
+                                    self.obs
+                                        .registry()
+                                        .value("fs_journal_degraded")
+                                        .unwrap_or(0)
+                                        != 0,
+                                ),
+                            ),
                         ]),
                     ));
                 }
                 respond(200, Json::obj(fields).encode())
+            }
+            ("GET", "/metrics") => Action::RespondTyped {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: self.obs.registry().render_prometheus(),
+                close: false,
+            },
+            ("GET", "/v1/trace") => {
+                let mut body: String = String::new();
+                for line in self.obs.trace().drain() {
+                    body.push_str(&line);
+                    body.push('\n');
+                }
+                Action::RespondTyped {
+                    status: 200,
+                    content_type: "application/x-ndjson",
+                    body,
+                    close: false,
+                }
             }
             ("GET", "/v1/stores") => match self.registry.list() {
                 Ok(infos) => {
@@ -331,7 +528,8 @@ impl AppLogic for Logic {
                     return self.job_route(method, rest);
                 }
                 match path {
-                    "/healthz" | "/v1/stores" | "/v1/jobs" | "/v1/shutdown" => respond(
+                    "/healthz" | "/metrics" | "/v1/stores" | "/v1/jobs" | "/v1/shutdown"
+                    | "/v1/trace" => respond(
                         405,
                         error_body(&format!("method {method} not allowed on {path}")),
                     ),
@@ -564,7 +762,42 @@ fn job_json(view: &JobView) -> Json {
         ("steps_done", Json::from(view.steps_done)),
         ("progress", Json::Num(view.progress)),
         ("cached", Json::from(view.cached)),
+        ("profile", profile_json(view)),
         ("final", Json::from(view.phase == JobPhase::Done)),
         ("estimate", estimate),
+    ])
+}
+
+/// The per-job execution profile: raw totals from the chunk loop plus
+/// the derived rates (`steps_per_sec`, `queries_per_step`) clients
+/// would otherwise recompute. Observation only — nothing here feeds
+/// back into sampling, so the `estimate` payload stays byte-identical
+/// to a run without profiling (pinned by `determinism.rs` and
+/// `loadgen --verify`, which compare estimate bits with this field
+/// present).
+fn profile_json(view: &JobView) -> Json {
+    let p = &view.profile;
+    let steps_per_sec = if p.busy_us > 0 {
+        Json::Num(view.steps_done as f64 * 1e6 / p.busy_us as f64)
+    } else {
+        Json::Null
+    };
+    let queries_per_step = if view.steps_done > 0 {
+        Json::Num(p.queries as f64 / view.steps_done as f64)
+    } else {
+        Json::Null
+    };
+    Json::obj([
+        ("chunks", Json::from(p.chunks)),
+        ("busy_us", Json::from(p.busy_us)),
+        ("queries", Json::from(p.queries)),
+        ("steps_per_sec", steps_per_sec),
+        ("queries_per_step", queries_per_step),
+        ("budget_spent", Json::Num(p.budget_spent)),
+        ("budget_total", Json::Num(p.budget_total)),
+        (
+            "budget_remaining",
+            Json::Num((p.budget_total - p.budget_spent).max(0.0)),
+        ),
     ])
 }

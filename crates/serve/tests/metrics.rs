@@ -1,0 +1,263 @@
+//! Observability surface coverage: `/metrics` renders valid Prometheus
+//! text exposition whose counters match the jobs actually run,
+//! `/healthz` is a drift-free view over the same registry, `/v1/trace`
+//! drains job lifecycle wide events, and `GET /v1/jobs/{id}` carries a
+//! per-job profile.
+
+mod common;
+
+use common::{parse, request, store_dir, wait_terminal, Session};
+use fs_serve::{Config, Server};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+fn submit(addr: SocketAddr, seed: u64, budget: u64) -> u64 {
+    let body = format!(
+        "{{\"store\":\"ba.fsg\",\"sampler\":\"fs\",\"m\":8,\"budget\":{budget},\
+         \"seed\":{seed},\"estimator\":\"avg_degree\"}}"
+    );
+    let (status, text) = request(addr, "POST", "/v1/jobs", Some(&body));
+    assert_eq!(status, 202, "{text}");
+    parse(&text).get("id").unwrap().as_u64().unwrap()
+}
+
+/// Parses one exposition body into `name{labels} -> value`, asserting
+/// every line is well-formed Prometheus text format 0.0.4.
+fn parse_exposition(body: &str) -> HashMap<String, f64> {
+    let mut samples = HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (keyword, rest) = rest.split_once(' ').expect("comment keyword");
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "unknown comment keyword in {line:?}"
+            );
+            if keyword == "TYPE" {
+                let (_, kind) = rest.split_once(' ').expect("TYPE line");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "bad TYPE in {line:?}"
+                );
+            }
+            continue;
+        }
+        let (name_part, value_part) = line.rsplit_once(' ').expect("sample line");
+        let bare = name_part.split('{').next().unwrap();
+        assert!(
+            !bare.is_empty()
+                && bare
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        let value: f64 = if value_part == "+Inf" {
+            f64::INFINITY
+        } else {
+            value_part
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value in {line:?}"))
+        };
+        samples.insert(name_part.to_string(), value);
+    }
+    samples
+}
+
+fn scrape(addr: SocketAddr) -> HashMap<String, f64> {
+    let (status, body) = request(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    parse_exposition(&body)
+}
+
+#[test]
+fn metrics_counters_match_the_jobs_run() {
+    let dir = store_dir("metrics_counts", 300, 11);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+
+    for seed in 1..=3u64 {
+        let id = submit(addr, seed, 20_000);
+        wait_terminal(addr, id);
+    }
+    // Same (spec, seed) again: a cache hit, born terminal.
+    let id = submit(addr, 1, 20_000);
+    let doc = wait_terminal(addr, id);
+    assert!(doc.get("cached").unwrap().as_bool().unwrap());
+
+    let m = scrape(addr);
+    assert_eq!(m["fs_jobs_submitted_total"], 4.0);
+    assert_eq!(m["fs_jobs_done_total"], 4.0);
+    assert_eq!(m["fs_jobs_failed_total"], 0.0);
+    assert_eq!(m["fs_cache_hits_total"], 1.0);
+    assert_eq!(m["fs_jobs_in_flight"], 0.0);
+    assert_eq!(m["fs_stores_open"], 1.0);
+    assert_eq!(m["fs_store_opens_total"], 1.0);
+    assert!(m["fs_job_chunks_total"] >= 3.0);
+    assert!(m["fs_access_queries_total"] > 0.0);
+    assert!(m["fs_reactor_requests_total"] > 0.0);
+    assert_eq!(m["fs_reactor_parse_errors_total"], 0.0);
+
+    // Histogram framing: cumulative nondecreasing buckets, +Inf bucket
+    // equals _count, and _sum present.
+    let inf = m["fs_job_chunk_latency_us_bucket{le=\"+Inf\"}"];
+    assert_eq!(inf, m["fs_job_chunk_latency_us_count"]);
+    assert!(m.contains_key("fs_job_chunk_latency_us_sum"));
+    let mut buckets: Vec<(f64, f64)> = m
+        .iter()
+        .filter_map(|(k, &v)| {
+            let le = k.strip_prefix("fs_job_chunk_latency_us_bucket{le=\"")?;
+            let le = le.strip_suffix("\"}")?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((bound, v))
+        })
+        .collect();
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1), "{buckets:?}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn healthz_is_a_thin_view_over_the_metrics_registry() {
+    let dir = store_dir("metrics_healthz", 300, 12);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+
+    // Work the cache both ways so the counters are nonzero.
+    let id = submit(addr, 5, 10_000);
+    wait_terminal(addr, id);
+    let id = submit(addr, 5, 10_000);
+    wait_terminal(addr, id);
+
+    let m = scrape(addr);
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let h = parse(&body);
+    let hu = |path: &[&str]| {
+        let mut v = &h;
+        for p in path {
+            v = v.get(p).unwrap();
+        }
+        v.as_u64().unwrap() as f64
+    };
+    // Every healthz number equals the same-named exposition sample —
+    // the drift pin for "healthz is a view, not a second bookkeeper".
+    assert_eq!(hu(&["open_stores"]), m["fs_stores_open"]);
+    assert_eq!(hu(&["in_flight_jobs"]), m["fs_jobs_in_flight"]);
+    assert_eq!(hu(&["job_workers"]), m["fs_job_workers"]);
+    assert_eq!(hu(&["cache", "hits"]), m["fs_cache_hits_total"]);
+    assert_eq!(hu(&["cache", "misses"]), m["fs_cache_misses_total"]);
+    assert_eq!(hu(&["cache", "entries"]), m["fs_cache_entries"]);
+    assert_eq!(hu(&["cache", "bytes"]), m["fs_cache_bytes"]);
+    assert_eq!(hu(&["cache", "evictions"]), m["fs_cache_evictions_total"]);
+    // Journal-free server: no durability section, no journal metrics.
+    assert!(h.get("durability").is_none());
+    assert!(!m.keys().any(|k| k.starts_with("fs_journal_")));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_ring_drains_job_lifecycle_events() {
+    let dir = store_dir("metrics_trace", 300, 13);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+
+    let id = submit(addr, 7, 20_000);
+    wait_terminal(addr, id);
+
+    let mut session = Session::connect(addr);
+    let (status, body) = session.roundtrip("GET", "/v1/trace", None);
+    assert_eq!(status, 200);
+    let mut kinds = Vec::new();
+    for line in body.lines() {
+        let doc = parse(line);
+        assert!(doc.get("ts_us").unwrap().as_u64().is_some(), "{line}");
+        assert!(doc.get("seq").unwrap().as_u64().is_some(), "{line}");
+        let kind = doc.get("kind").unwrap().as_str().unwrap().to_string();
+        if let Some(span) = doc.get("span") {
+            if kind.starts_with("job.") {
+                assert_eq!(span.as_u64().unwrap(), id, "{line}");
+            }
+        }
+        kinds.push(kind);
+    }
+    for expected in ["reactor.accept", "job.submitted", "job.running", "job.done"] {
+        assert!(
+            kinds.iter().any(|k| k == expected),
+            "missing {expected} in {kinds:?}"
+        );
+    }
+    // Draining is destructive: a second drain has no stale job events.
+    let (status, body) = session.roundtrip("GET", "/v1/trace", None);
+    assert_eq!(status, 200);
+    assert!(
+        !body.lines().any(|l| l.contains("\"kind\":\"job.")),
+        "job events re-appeared: {body}"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn job_view_carries_an_execution_profile() {
+    let dir = store_dir("metrics_profile", 300, 14);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+
+    let id = submit(addr, 9, 30_000);
+    let doc = wait_terminal(addr, id);
+    assert_eq!(doc.get("phase").unwrap().as_str().unwrap(), "done");
+    let p = doc.get("profile").unwrap();
+    assert!(p.get("chunks").unwrap().as_u64().unwrap() >= 1);
+    assert!(p.get("queries").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(p.get("budget_total").unwrap().as_f64().unwrap(), 30_000.0);
+    assert!(p.get("budget_spent").unwrap().as_f64().unwrap() > 0.0);
+    assert!(p.get("budget_remaining").unwrap().as_f64().unwrap() >= 0.0);
+
+    // A cache-hit job never ran here: profile present but zeroed.
+    let id = submit(addr, 9, 30_000);
+    let doc = wait_terminal(addr, id);
+    assert!(doc.get("cached").unwrap().as_bool().unwrap());
+    let p = doc.get("profile").unwrap();
+    assert_eq!(p.get("chunks").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(p.get("queries").unwrap().as_u64().unwrap(), 0);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_content_type_is_prometheus_text() {
+    let dir = store_dir("metrics_ctype", 200, 15);
+    let server = Server::start(Config::new(&dir)).unwrap();
+    let addr = server.addr();
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let head = text.split("\r\n\r\n").next().unwrap().to_ascii_lowercase();
+    assert!(
+        head.contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    // The exposition route still answers 405 for non-GET methods.
+    let (status, _) = request(addr, "POST", "/metrics", None);
+    assert_eq!(status, 405);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -11,6 +11,9 @@
 //!   (`fs-store`);
 //! * [`sampling`] — Frontier Sampling, the companion walkers, budgets,
 //!   estimators, metrics, and theory (`frontier-sampling`);
+//! * [`obs`] — the dependency-free observability kit: sharded metrics
+//!   registry with Prometheus text rendering, log2-bucketed histograms,
+//!   and the bounded wide-event trace ring (`fs-obs`);
 //! * [`serve`] — the dependency-free HTTP estimation service over mmap
 //!   stores (`fs-serve`);
 //! * [`experiments`] — the per-figure/per-table reproduction harness
@@ -22,6 +25,7 @@
 pub use frontier_sampling as sampling;
 pub use fs_gen as gen;
 pub use fs_graph as graph;
+pub use fs_obs as obs;
 pub use fs_serve as serve;
 pub use fs_store as store;
 
