@@ -186,6 +186,7 @@ impl ParallelWalkerPool {
     /// walkers in lockstep groups of
     /// [`STEP_PIPELINE_WIDTH`](fs_graph::csr::STEP_PIPELINE_WIDTH).
     pub fn new() -> Self {
+        // fs-lint: allow(determinism) — thread count only sizes the pool; reductions are thread-count independent (pinned by the bit-identity tests)
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);

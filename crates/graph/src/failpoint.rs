@@ -186,8 +186,10 @@ pub fn configure(spec: &str, seed: u64) -> Result<(), String> {
 /// malformed spec is reported as `Err` so servers can refuse to start
 /// half-armed.
 pub fn configure_from_env() -> Result<bool, String> {
+    // fs-lint: allow(determinism) — chaos injection is explicitly opt-in; deterministic runs leave FS_FAILPOINTS unset
     match std::env::var("FS_FAILPOINTS") {
         Ok(spec) if !spec.trim().is_empty() => {
+            // fs-lint: allow(determinism) — seed for the opt-in chaos schedule, not for sampling
             let seed = std::env::var("FS_FAILPOINT_SEED")
                 .ok()
                 .and_then(|s| s.trim().parse().ok())

@@ -57,8 +57,10 @@ impl WeightedGraph {
         I: IntoIterator<Item = (usize, usize, f64)>,
     {
         // Accumulate undirected weights, normalising pair orientation.
-        let mut acc: std::collections::HashMap<(usize, usize), f64> =
-            std::collections::HashMap::new();
+        // BTreeMap so every later iteration is in (u, v) key order —
+        // the CSR layout must not depend on hash-seed salt.
+        let mut acc: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
         for (u, v, w) in pairs {
             assert!(
                 u < n && v < n,
@@ -87,11 +89,9 @@ impl WeightedGraph {
         let mut targets = vec![VertexId::new(0); total_arcs];
         let mut weights = vec![0.0f64; total_arcs];
         let mut cursor = offsets[..n].to_vec();
-        let mut edges: Vec<(usize, usize, f64)> =
-            acc.into_iter().map(|((u, v), w)| (u, v, w)).collect();
-        // Deterministic layout regardless of hash order.
-        edges.sort_unstable_by_key(|a| (a.0, a.1));
-        for (u, v, w) in edges {
+        // BTreeMap iteration is already (u, v)-sorted: the layout is
+        // deterministic without an explicit sort.
+        for ((u, v), w) in acc {
             targets[cursor[u]] = VertexId::new(v);
             weights[cursor[u]] = w;
             cursor[u] += 1;

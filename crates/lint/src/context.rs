@@ -1,0 +1,335 @@
+//! Per-file analysis context shared by every rule: the token stream,
+//! the significant-token view, `#[cfg(test)]` region detection, and
+//! waiver bookkeeping.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{self, Tok, TokKind};
+use std::cell::Cell;
+
+/// An inline waiver: `// fs-lint: allow(<rule>[, <rule>]) — <reason>`.
+///
+/// A waiver on a line of its own covers the next line holding code; a
+/// trailing waiver covers its own line. The reason is mandatory — a
+/// waiver is a reviewed decision, and the review lives in the comment.
+#[derive(Debug)]
+pub struct Waiver {
+    pub rules: Vec<Rule>,
+    /// Line the waiver covers.
+    pub covers: u32,
+    /// Line/col of the waiver comment itself (for hygiene diagnostics).
+    pub line: u32,
+    pub col: u32,
+    pub used: Cell<bool>,
+}
+
+/// Everything a rule needs to analyze one file.
+pub struct FileCx<'s> {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    pub src: &'s str,
+    pub tokens: Vec<Tok>,
+    /// Indices (into `tokens`) of non-trivia tokens.
+    pub sig: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    pub waivers: Vec<Waiver>,
+    /// Malformed waiver comments found during parsing.
+    pub waiver_errors: Vec<Diagnostic>,
+}
+
+impl<'s> FileCx<'s> {
+    pub fn new(rel: String, src: &'s str) -> FileCx<'s> {
+        let tokens = lexer::lex(src);
+        let sig = lexer::significant(&tokens);
+        let test_ranges = find_test_ranges(src, &tokens, &sig);
+        let mut cx = FileCx {
+            rel,
+            src,
+            tokens,
+            sig,
+            test_ranges,
+            waivers: Vec::new(),
+            waiver_errors: Vec::new(),
+        };
+        cx.collect_waivers();
+        cx
+    }
+
+    /// The significant token at view position `i`, if any.
+    pub fn sig_tok(&self, i: usize) -> Option<&Tok> {
+        self.sig.get(i).map(|&ti| &self.tokens[ti])
+    }
+
+    /// Text of the significant token at view position `i` (empty past
+    /// the end — handy for lookahead matching).
+    pub fn sig_text(&self, i: usize) -> &str {
+        self.sig_tok(i).map_or("", |t| t.text(self.src))
+    }
+
+    /// Whether view position `i` holds `::` (two adjacent `:` puncts).
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        match (self.sig_tok(i), self.sig_tok(i + 1)) {
+            (Some(a), Some(b)) => {
+                a.text(self.src) == ":" && b.text(self.src) == ":" && a.end == b.start
+            }
+            _ => false,
+        }
+    }
+
+    /// Matches `segments` as a `::`-separated path starting at view
+    /// position `i`; returns the view position one past the match.
+    pub fn match_path(&self, i: usize, segments: &[&str]) -> Option<usize> {
+        let mut at = i;
+        for (n, seg) in segments.iter().enumerate() {
+            if n > 0 {
+                if !self.is_path_sep(at) {
+                    return None;
+                }
+                at += 2;
+            }
+            if self.sig_text(at) != *seg {
+                return None;
+            }
+            at += 1;
+        }
+        Some(at)
+    }
+
+    /// Whether the token lies inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, tok: &Tok) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| tok.start >= s && tok.start < e)
+    }
+
+    /// Whether `rule` is waived for `line`; marks the waiver used.
+    pub fn waived(&self, rule: Rule, line: u32) -> bool {
+        for w in &self.waivers {
+            if w.covers == line && w.rules.contains(&rule) {
+                w.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emits a diagnostic unless a waiver covers it.
+    pub fn report(&self, out: &mut Vec<Diagnostic>, rule: Rule, tok: &Tok, message: String) {
+        if self.waived(rule, tok.line) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule,
+            path: self.rel.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    }
+
+    /// Hygiene diagnostics: malformed waivers and waivers nothing used.
+    pub fn waiver_hygiene(&self, out: &mut Vec<Diagnostic>) {
+        out.extend(self.waiver_errors.iter().cloned());
+        for w in &self.waivers {
+            if !w.used.get() {
+                out.push(Diagnostic {
+                    rule: Rule::UnusedWaiver,
+                    path: self.rel.clone(),
+                    line: w.line,
+                    col: w.col,
+                    message: format!(
+                        "waiver for {} matched no finding on line {} — delete it or fix the line \
+                         it was meant to cover",
+                        w.rules
+                            .iter()
+                            .map(|r| r.name())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        w.covers
+                    ),
+                });
+            }
+        }
+    }
+
+    fn collect_waivers(&mut self) {
+        for (ti, tok) in self.tokens.iter().enumerate() {
+            if !matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment) {
+                continue;
+            }
+            let text = tok.text(self.src);
+            // The marker must open the comment (after the `//`/`/*`
+            // sigils): prose *mentioning* the waiver syntax mid-sentence
+            // (docs, this file) is not a waiver.
+            let body = text
+                .trim_start_matches(['/', '*', '!'])
+                .trim_start_matches([' ', '\t']);
+            let Some(rest) = body.strip_prefix("fs-lint:") else {
+                continue;
+            };
+            match parse_waiver_body(rest) {
+                Ok((rules, _reason)) => {
+                    let covers = if self.code_earlier_on_line(ti, tok.line) {
+                        tok.line
+                    } else {
+                        self.next_code_line(ti).unwrap_or(tok.line)
+                    };
+                    self.waivers.push(Waiver {
+                        rules,
+                        covers,
+                        line: tok.line,
+                        col: tok.col,
+                        used: Cell::new(false),
+                    });
+                }
+                Err(why) => self.waiver_errors.push(Diagnostic {
+                    rule: Rule::WaiverSyntax,
+                    path: self.rel.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: why,
+                }),
+            }
+        }
+    }
+
+    /// Whether a significant token precedes token `ti` on `line`.
+    fn code_earlier_on_line(&self, ti: usize, line: u32) -> bool {
+        self.tokens[..ti].iter().rev().any(|t| {
+            t.line == line
+                && !matches!(
+                    t.kind,
+                    TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+                )
+        })
+    }
+
+    /// First line after token `ti` holding a significant token.
+    fn next_code_line(&self, ti: usize) -> Option<u32> {
+        self.tokens[ti + 1..]
+            .iter()
+            .find(|t| {
+                !matches!(
+                    t.kind,
+                    TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .map(|t| t.line)
+    }
+}
+
+/// Parses the `allow(rule[, rule]) — reason` tail of a waiver comment.
+fn parse_waiver_body(rest: &str) -> Result<(Vec<Rule>, String), String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("waiver must read `fs-lint: allow(<rule>) — <reason>`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("waiver rule list is missing its closing `)`".into());
+    };
+    let mut rules = Vec::new();
+    for name in rest[..close].split(',') {
+        let name = name.trim();
+        match Rule::parse_waivable(name) {
+            Some(rule) => rules.push(rule),
+            None => {
+                return Err(format!(
+                    "`{name}` is not a waivable rule (expected one of: determinism, \
+                     unsafe-audit, panic-path, float-reduction)"
+                ))
+            }
+        }
+    }
+    if rules.is_empty() {
+        return Err("waiver names no rules".into());
+    }
+    // Reason: everything past the `)`, minus a leading dash of any
+    // flavor. Mandatory — an unexplained waiver is a syntax error.
+    let mut reason = rest[close + 1..].trim();
+    for dash in ["—", "–", "--", "-", ":"] {
+        if let Some(stripped) = reason.strip_prefix(dash) {
+            reason = stripped.trim();
+            break;
+        }
+    }
+    let reason = reason.trim_end_matches("*/").trim();
+    if reason.len() < 3 {
+        return Err("waiver reason is mandatory (`fs-lint: allow(<rule>) — <reason>`)".into());
+    }
+    Ok((rules, reason.to_string()))
+}
+
+/// Finds byte ranges of items annotated `#[cfg(test)]` (typically the
+/// `mod tests { … }` block). Token-level item tracking: the attribute
+/// is followed by optional further attributes, then an item whose body
+/// ends at the matching `}` of its first brace (or at a top-level `;`).
+fn find_test_ranges(src: &str, tokens: &[Tok], sig: &[usize]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let text = |vi: usize| -> &str {
+        sig.get(vi)
+            .map(|&ti| tokens[ti].text(src))
+            .unwrap_or_default()
+    };
+    let mut vi = 0;
+    while vi < sig.len() {
+        if text(vi) == "#" && text(vi + 1) == "[" {
+            // Scan the attribute's bracket group.
+            let mut depth = 0usize;
+            let mut j = vi + 1;
+            let mut is_cfg_test = false;
+            let mut saw_cfg = false;
+            let mut saw_not = false;
+            while j < sig.len() {
+                match text(j) {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" => saw_cfg = true,
+                    // `cfg(not(test))` guards *non*-test code.
+                    "not" => saw_not = true,
+                    "test" if saw_cfg && !saw_not => is_cfg_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg_test {
+                let start = tokens[sig[vi]].start;
+                let end = item_end(src, tokens, sig, j + 1);
+                ranges.push((start, end));
+                // Skip past the whole item so nested attrs don't rescan.
+                while vi < sig.len() && tokens[sig[vi]].start < end {
+                    vi += 1;
+                }
+                continue;
+            }
+        }
+        vi += 1;
+    }
+    ranges
+}
+
+/// Byte offset one past the end of the item starting at view index
+/// `from`: the matching `}` of the first top-level brace, or the first
+/// top-level `;`, whichever comes first.
+fn item_end(src: &str, tokens: &[Tok], sig: &[usize], from: usize) -> usize {
+    let mut depth = 0usize;
+    for &ti in &sig[from.min(sig.len())..] {
+        let t = &tokens[ti];
+        match t.text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return t.end;
+                }
+            }
+            ";" if depth == 0 => return t.end,
+            _ => {}
+        }
+    }
+    src.len()
+}

@@ -1,0 +1,87 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+use std::fmt;
+
+/// The rule that produced a diagnostic. Names are stable — they are
+/// what waiver comments reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Wall clocks / ambient randomness / unordered iteration in
+    /// deterministic crates.
+    Determinism,
+    /// `unsafe` without an immediately-preceding `// SAFETY:` comment.
+    UnsafeAudit,
+    /// `unwrap`/`expect`/`panic!`/indexing on request-handling and
+    /// journal-replay paths.
+    PanicPath,
+    /// Float accumulation in loops over concurrency-ordered sources.
+    FloatReduction,
+    /// A malformed waiver comment (unknown rule name, missing reason).
+    WaiverSyntax,
+    /// A waiver that matched no diagnostic — stale waivers rot.
+    UnusedWaiver,
+    /// Generated `UNSAFE_INVENTORY.md` differs from the committed copy.
+    InventoryDrift,
+}
+
+impl Rule {
+    /// The stable name used in output and in waiver comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::PanicPath => "panic-path",
+            Rule::FloatReduction => "float-reduction",
+            Rule::WaiverSyntax => "waiver-syntax",
+            Rule::UnusedWaiver => "unused-waiver",
+            Rule::InventoryDrift => "inventory-drift",
+        }
+    }
+
+    /// Parses a waiver-comment rule name. Only the four code rules can
+    /// be waived: waiver hygiene and inventory drift must be fixed, not
+    /// silenced.
+    pub fn parse_waivable(name: &str) -> Option<Rule> {
+        match name {
+            "determinism" => Some(Rule::Determinism),
+            "unsafe-audit" => Some(Rule::UnsafeAudit),
+            "panic-path" => Some(Rule::PanicPath),
+            "float-reduction" => Some(Rule::FloatReduction),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the stable report order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}

@@ -1,0 +1,348 @@
+//! A small hand-rolled Rust lexer, just deep enough for invariant
+//! linting: it classifies comments, string/char literals (including
+//! raw/byte/C variants and the lifetime-vs-char ambiguity), numbers,
+//! identifiers, and punctuation, so rule engines never take a "hit"
+//! inside a doc comment or a string literal.
+//!
+//! The lexer is **lossless**: every byte of the input lands in exactly
+//! one token (whitespace becomes [`TokKind::Ws`] tokens), so
+//! `tokens.map(|t| &src[t.start..t.end]).concat() == src` — a property
+//! the proptest suite pins. It is deliberately *not* a full Rust lexer:
+//! anything it does not understand becomes a one-byte
+//! [`TokKind::Unknown`] token rather than an error, because a linter
+//! must keep walking.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `for`, `Instant`, …).
+    Ident,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Numeric literal (loose: covers int/float/suffix forms).
+    Num,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` comment (incl. `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment (nesting handled).
+    BlockComment,
+    /// One punctuation byte (`::` is two `:` tokens).
+    Punct,
+    /// A run of whitespace.
+    Ws,
+    /// A byte the lexer does not classify (kept so round-trip holds).
+    Unknown,
+}
+
+/// One token: classification + byte range + 1-based position.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    is_ident_start(c) || c.is_ascii_digit()
+}
+
+/// Lexes `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind();
+            self.out.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+            debug_assert!(self.pos > start, "lexer must always advance");
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let c = self.peek(0).unwrap_or(0);
+        if c.is_ascii_whitespace() {
+            while matches!(self.peek(0), Some(w) if w.is_ascii_whitespace()) {
+                self.bump();
+            }
+            return TokKind::Ws;
+        }
+        if c == b'/' {
+            match self.peek(1) {
+                Some(b'/') => return self.line_comment(),
+                Some(b'*') => return self.block_comment(),
+                _ => {
+                    self.bump();
+                    return TokKind::Punct;
+                }
+            }
+        }
+        if c == b'"' {
+            return self.string_literal();
+        }
+        if c == b'\'' {
+            return self.char_or_lifetime();
+        }
+        if is_ident_start(c) {
+            return self.ident_or_prefixed_literal();
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        if c.is_ascii_punctuation() {
+            self.bump();
+            return TokKind::Punct;
+        }
+        self.bump();
+        TokKind::Unknown
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while matches!(self.peek(0), Some(b) if b != b'\n') {
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// A `"`-delimited string body with `\` escapes. The opening quote
+    /// is already the current byte.
+    fn string_literal(&mut self) -> TokKind {
+        self.bump(); // opening '"'
+        loop {
+            match self.bump() {
+                Some(b'\\') => {
+                    self.bump(); // escaped byte, whatever it is
+                }
+                Some(b'"') | None => break,
+                Some(_) => {}
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Raw string: `#`*n* `"` … `"` `#`*n*. The `r`/`br`/`cr` prefix is
+    /// already consumed; the current byte is `#` or `"`.
+    fn raw_string(&mut self) -> TokKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#foo` raw identifier, not a string: the consumed hashes
+            // stay part of this token; classify as ident.
+            while matches!(self.peek(0), Some(b) if is_ident_continue(b)) {
+                self.bump();
+            }
+            return TokKind::Ident;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break, // unterminated
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        TokKind::Str
+    }
+
+    /// `'`-introduced token: lifetime or char literal.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // '\''
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape then to closing quote.
+                self.bump();
+                self.bump();
+                while matches!(self.peek(0), Some(b) if b != b'\'' && b != b'\n') {
+                    self.bump();
+                }
+                self.bump(); // closing quote (or newline/EOF noop)
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char, `'a` / `'abc` is a lifetime — decided
+                // by whether a quote follows the identifier run.
+                let mut ahead = 1;
+                while matches!(self.peek(ahead), Some(b) if is_ident_continue(b)) {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'\'') {
+                    for _ in 0..=ahead {
+                        self.bump();
+                    }
+                    TokKind::Char
+                } else {
+                    for _ in 0..ahead {
+                        self.bump();
+                    }
+                    TokKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // Non-identifier char literal: `'('`, `'1'`, `' '`.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            None => TokKind::Unknown,
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self) -> TokKind {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(b) if is_ident_continue(b)) {
+            self.bump();
+        }
+        let word = &self.src[start..self.pos];
+        match self.peek(0) {
+            Some(b'"') if matches!(word, b"b" | b"c") => self.string_literal(),
+            Some(b'"' | b'#') if matches!(word, b"r" | b"br" | b"cr") => self.raw_string(),
+            Some(b'\'') if word == b"b" => {
+                // Byte char literal `b'x'` — but NOT `b'a` (impossible in
+                // Rust; treat a missing close as char anyway).
+                self.char_or_lifetime();
+                TokKind::Char
+            }
+            _ => TokKind::Ident,
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Loose numeric scan: digits, `_`, radix/exponent letters, and a
+        // single `.` when followed by a digit (so `0..n` stays three
+        // tokens). Good enough to keep literals out of the rule engines.
+        while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                self.bump();
+            }
+        }
+        // Exponent sign: `1e-5` — the `-` follows an `e` suffix byte.
+        if matches!(self.peek(0), Some(b'+' | b'-'))
+            && matches!(self.src.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+        {
+            self.bump();
+            while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                self.bump();
+            }
+        }
+        TokKind::Num
+    }
+}
+
+/// Indices of "significant" tokens: everything except whitespace and
+/// comments. Rule engines pattern-match on this view while keeping the
+/// full stream for position/waiver lookups.
+pub fn significant(tokens: &[Tok]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect()
+}

@@ -1,0 +1,137 @@
+//! `fs-lint`: a dependency-free, token-level invariant analyzer for
+//! the Frontier Sampling workspace.
+//!
+//! Every guarantee this repro ships — bit-identical estimates at any
+//! thread count, crash recovery that can never have a wrong answer,
+//! observability provably free of behavioral effect — rests on
+//! invariants no type checker sees: no wall clocks in sampler code,
+//! order-independent reductions only, every `unsafe` site audited,
+//! panic-free request paths. `fs-lint` turns those review-checklist
+//! items into machine-checked rules.
+//!
+//! ## Pipeline
+//!
+//! 1. [`lexer`] — a small hand-rolled Rust lexer (comments, string and
+//!    char literals, raw strings, the lifetime/char ambiguity), so
+//!    rules never fire inside docs or literals.
+//! 2. [`context`] — per-file state: `#[cfg(test)]` region detection
+//!    and waiver bookkeeping (`// fs-lint: allow(<rule>) — <reason>`,
+//!    reason mandatory, stale waivers flagged).
+//! 3. [`rules`] — the four rule engines (`determinism`,
+//!    `unsafe-audit`, `panic-path`, `float-reduction`), scoped
+//!    per-crate by the checked-in `lint.toml` ([`policy`]).
+//! 4. [`inventory`] — the generated `UNSAFE_INVENTORY.md`, diffed by
+//!    CI against the committed copy.
+//!
+//! See `DESIGN.md` § "Static analysis & invariants" for the rule
+//! table and the per-crate policy rationale.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod diag;
+pub mod inventory;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use context::FileCx;
+use diag::Diagnostic;
+use policy::Policy;
+use rules::unsafe_audit::UnsafeSite;
+use std::path::{Path, PathBuf};
+
+/// The result of analyzing a tree.
+pub struct Analysis {
+    pub diagnostics: Vec<Diagnostic>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Number of `.rs` files analyzed.
+    pub files: usize,
+}
+
+/// Analyzes every `.rs` file under the policy's roots.
+pub fn analyze_tree(root: &Path, policy: &Policy) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    for r in &policy.roots {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        } else if dir.extension().is_some_and(|e| e == "rs") && dir.is_file() {
+            files.push(dir);
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut diagnostics = Vec::new();
+    let mut unsafe_sites = Vec::new();
+    let mut analyzed = 0usize;
+    for path in &files {
+        let rel = policy::rel_display(root, path);
+        if !policy.scanned(&rel) {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        analyzed += 1;
+        analyze_file(&rel, &src, policy, &mut diagnostics, &mut unsafe_sites);
+    }
+    diag::sort(&mut diagnostics);
+    Ok(Analysis {
+        diagnostics,
+        unsafe_sites,
+        files: analyzed,
+    })
+}
+
+/// Analyzes one file's source under the policy (exposed for tests and
+/// fixture corpora).
+pub fn analyze_file(
+    rel: &str,
+    src: &str,
+    policy: &Policy,
+    diagnostics: &mut Vec<Diagnostic>,
+    unsafe_sites: &mut Vec<UnsafeSite>,
+) {
+    let cx = FileCx::new(rel.to_string(), src);
+    if policy.determinism.applies(rel) {
+        rules::determinism::check(&cx, diagnostics);
+    }
+    if policy.unsafe_audit.applies(rel) {
+        rules::unsafe_audit::check(&cx, diagnostics, unsafe_sites);
+    }
+    if policy.panic_path.applies(rel) {
+        rules::panic_path::check(&cx, diagnostics);
+    }
+    if policy.float_reduction.applies(rel) {
+        rules::float_reduction::check(&cx, diagnostics);
+    }
+    cx.waiver_hygiene(diagnostics);
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if ty.is_file() && path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks up from `start` to the first directory holding a `lint.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

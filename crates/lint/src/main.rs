@@ -1,0 +1,140 @@
+//! `fs-lint` CLI.
+//!
+//! ```text
+//! fs-lint --check                 # lint the tree + diff the inventory (exit 1 on findings)
+//! fs-lint --write-inventory       # regenerate UNSAFE_INVENTORY.md
+//! fs-lint --check --root <dir>    # lint another tree (fixtures, tests)
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/config error.
+
+use fs_lint::diag::{Diagnostic, Rule};
+use fs_lint::{analyze_tree, find_root, inventory, policy::Policy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut write_inventory = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--write-inventory" => write_inventory = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: fs-lint [--check] [--write-inventory] [--root <dir>]\n\
+                     \n\
+                     --check            lint the tree and diff UNSAFE_INVENTORY.md (default)\n\
+                     --write-inventory  regenerate UNSAFE_INVENTORY.md from the tree\n\
+                     --root <dir>       workspace root (default: nearest lint.toml upward)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !check && !write_inventory {
+        check = true;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => return usage(&format!("cannot read cwd: {e}")),
+            };
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => return usage("no lint.toml found here or above; pass --root"),
+            }
+        }
+    };
+
+    let policy_text = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            return usage(&format!(
+                "cannot read {}: {e}",
+                root.join("lint.toml").display()
+            ))
+        }
+    };
+    let policy = match Policy::parse(&policy_text) {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+
+    let mut analysis = match analyze_tree(&root, &policy) {
+        Ok(a) => a,
+        Err(e) => return usage(&format!("analysis failed: {e}")),
+    };
+
+    let rendered = inventory::render(&analysis.unsafe_sites);
+    let inventory_path = root.join(&policy.inventory_path);
+
+    if write_inventory {
+        if let Err(e) = std::fs::write(&inventory_path, &rendered) {
+            return usage(&format!("cannot write {}: {e}", inventory_path.display()));
+        }
+        println!(
+            "wrote {} ({} unsafe sites)",
+            inventory_path.display(),
+            analysis.unsafe_sites.len()
+        );
+        if !check {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if check {
+        let committed = std::fs::read_to_string(&inventory_path).unwrap_or_default();
+        if committed != rendered {
+            analysis.diagnostics.push(Diagnostic {
+                rule: Rule::InventoryDrift,
+                path: policy.inventory_path.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "committed inventory is stale ({} sites on disk vs {} found) — run \
+                     `cargo run -p fs-lint -- --write-inventory` and review the diff",
+                    committed
+                        .lines()
+                        .filter(|l| l.starts_with("| `") && l.contains(":"))
+                        .count(),
+                    analysis.unsafe_sites.len()
+                ),
+            });
+        }
+    }
+
+    for d in &analysis.diagnostics {
+        println!("{d}");
+    }
+    if analysis.diagnostics.is_empty() {
+        println!(
+            "fs-lint: clean — {} files, {} unsafe sites (all justified)",
+            analysis.files,
+            analysis.unsafe_sites.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "fs-lint: {} finding(s) across {} files",
+            analysis.diagnostics.len(),
+            analysis.files
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fs-lint: {msg}");
+    ExitCode::from(2)
+}

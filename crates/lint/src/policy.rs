@@ -1,0 +1,195 @@
+//! Per-crate policy, read from a checked-in `lint.toml`.
+//!
+//! The parser is a deliberate TOML *subset* — tables, string keys,
+//! strings, arrays of strings — which is all the policy needs and keeps
+//! the analyzer dependency-free. Unknown keys are errors: a typoed
+//! policy knob must fail loudly, not silently lint nothing.
+//!
+//! ## Path patterns
+//!
+//! Policy patterns match workspace-relative `/`-separated paths:
+//!
+//! * `crates/core` — that file or anything under that directory,
+//! * `**/tests` — any path segment sequence `tests` at any depth
+//!   (`crates/core/tests/foo.rs`, `tests/smoke.rs`).
+
+use std::path::Path;
+
+/// Scope for one rule: which files it runs on, minus carve-outs.
+#[derive(Clone, Debug, Default)]
+pub struct RuleScope {
+    /// Patterns a file must match for the rule to apply.
+    pub include: Vec<String>,
+    /// Patterns that switch the rule back off (timing-allowed bins,
+    /// test trees, …).
+    pub allow: Vec<String>,
+}
+
+impl RuleScope {
+    /// Whether the rule applies to `rel` (workspace-relative path).
+    pub fn applies(&self, rel: &str) -> bool {
+        self.include.iter().any(|p| pattern_matches(p, rel))
+            && !self.allow.iter().any(|p| pattern_matches(p, rel))
+    }
+}
+
+/// The whole policy file.
+#[derive(Clone, Debug)]
+pub struct Policy {
+    /// Directories scanned for `.rs` files.
+    pub roots: Vec<String>,
+    /// Subtrees never scanned (fixtures, generated code).
+    pub exclude: Vec<String>,
+    pub determinism: RuleScope,
+    pub unsafe_audit: RuleScope,
+    pub panic_path: RuleScope,
+    pub float_reduction: RuleScope,
+    /// Workspace-relative path of the committed unsafe inventory.
+    pub inventory_path: String,
+}
+
+impl Policy {
+    /// Parses `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Policy, String> {
+        let mut policy = Policy {
+            roots: Vec::new(),
+            exclude: Vec::new(),
+            determinism: RuleScope::default(),
+            unsafe_audit: RuleScope::default(),
+            panic_path: RuleScope::default(),
+            float_reduction: RuleScope::default(),
+            inventory_path: "UNSAFE_INVENTORY.md".to_string(),
+        };
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let mut line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: keep pulling lines until the bracket
+            // closes (policy path lists get long).
+            while line.contains('[')
+                && !line.starts_with('[')
+                && line.matches('[').count() > line.matches(']').count()
+            {
+                match lines.next() {
+                    Some((_, cont)) => {
+                        line.push(' ');
+                        line.push_str(strip_comment(cont).trim());
+                    }
+                    None => return Err(format!("lint.toml:{lineno}: unterminated array")),
+                }
+            }
+            let line = line.as_str();
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "files" | "determinism" | "unsafe-audit" | "panic-path" | "float-reduction" => {
+                    }
+                    other => return Err(format!("lint.toml:{lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let target = match (section.as_str(), key) {
+                ("files", "roots") => &mut policy.roots,
+                ("files", "exclude") => &mut policy.exclude,
+                ("files", "inventory") => {
+                    policy.inventory_path = parse_string(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: expected a string"))?;
+                    continue;
+                }
+                ("determinism", "include") => &mut policy.determinism.include,
+                ("determinism", "allow") => &mut policy.determinism.allow,
+                ("unsafe-audit", "include") => &mut policy.unsafe_audit.include,
+                ("unsafe-audit", "allow") => &mut policy.unsafe_audit.allow,
+                ("panic-path", "include") => &mut policy.panic_path.include,
+                ("panic-path", "allow") => &mut policy.panic_path.allow,
+                ("float-reduction", "include") => &mut policy.float_reduction.include,
+                ("float-reduction", "allow") => &mut policy.float_reduction.allow,
+                (sec, key) => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown key `{key}` in [{sec}]"
+                    ))
+                }
+            };
+            *target = parse_string_array(value)
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected an array of strings"))?;
+        }
+        if policy.roots.is_empty() {
+            return Err("lint.toml: [files] roots must name at least one directory".into());
+        }
+        Ok(policy)
+    }
+
+    /// Whether `rel` is scanned at all.
+    pub fn scanned(&self, rel: &str) -> bool {
+        !self.exclude.iter().any(|p| pattern_matches(p, rel))
+    }
+}
+
+/// Strips a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    // The subset forbids escapes — policy paths never need them.
+    if inner.contains('"') || inner.contains('\\') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+/// Matches `pat` against a workspace-relative path (see module docs).
+pub fn pattern_matches(pat: &str, rel: &str) -> bool {
+    if let Some(suffix) = pat.strip_prefix("**/") {
+        // Segment-aligned containment: `**/tests` matches a `tests`
+        // segment run starting at any depth.
+        let needle_dir = format!("/{suffix}/");
+        let needle_prefix = format!("{suffix}/");
+        let needle_end = format!("/{suffix}");
+        rel == suffix
+            || rel.starts_with(&needle_prefix)
+            || rel.contains(&needle_dir)
+            || rel.ends_with(&needle_end)
+    } else {
+        rel == pat || rel.starts_with(&format!("{pat}/"))
+    }
+}
+
+/// Normalizes a path to the workspace-relative `/`-separated form the
+/// policy matches against.
+pub fn rel_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}

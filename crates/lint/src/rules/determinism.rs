@@ -1,0 +1,220 @@
+//! **determinism** — the bit-identity contract's static half.
+//!
+//! The deterministic crates (`core`, `graph`, `gen`, `store`'s read
+//! path) promise: same (store digest, spec, seed) → same bits, at any
+//! thread count, on any host. That dies the moment sampler code reads
+//! a wall clock, ambient randomness, or the environment — or iterates
+//! a `HashMap`/`HashSet`, whose order is salted per process. This rule
+//! bans those constructs at the token level:
+//!
+//! * `Instant::now`, `SystemTime` (any use — `UNIX_EPOCH` math
+//!   included), `thread::sleep`,
+//! * `env::var` / `env::vars` / `env::var_os` (environment-dependent
+//!   branches), `available_parallelism`,
+//! * `RandomState` (the salted hasher itself),
+//! * iteration over bindings/fields declared as `HashMap`/`HashSet`
+//!   (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`,
+//!   `.into_iter()`, or a `for … in` over the binding). Detection is
+//!   file-local by design: a token-level pass cannot chase types
+//!   across crates, so cross-file receivers are covered by review +
+//!   the order-independence tests, not this rule.
+
+use crate::context::FileCx;
+use crate::diag::{Diagnostic, Rule};
+use std::collections::BTreeSet;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+    "into_keys",
+    "into_values",
+];
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    let unordered = collect_unordered_bindings(cx);
+    let mut vi = 0;
+    while vi < cx.sig.len() {
+        let tok = cx.sig_tok(vi).copied().expect("in range");
+        if cx.in_test(&tok) {
+            vi += 1;
+            continue;
+        }
+        let text = tok.text(cx.src);
+
+        // Banned paths. `match_path` needs the *first* segment to sit at
+        // `vi`, so each alternative is cheap to probe.
+        let banned: Option<&str> = if cx.match_path(vi, &["Instant", "now"]).is_some() {
+            Some("`Instant::now` reads the wall clock")
+        } else if text == "SystemTime" {
+            Some("`SystemTime` reads the wall clock")
+        } else if cx.match_path(vi, &["thread", "sleep"]).is_some() {
+            Some("`thread::sleep` makes timing observable")
+        } else if cx.match_path(vi, &["env", "var"]).is_some()
+            || cx.match_path(vi, &["env", "var_os"]).is_some()
+            || cx.match_path(vi, &["env", "vars"]).is_some()
+        {
+            Some("environment-dependent branch (`env::var*`)")
+        } else if text == "available_parallelism" {
+            Some("`available_parallelism` branches on host CPU count")
+        } else if text == "RandomState" {
+            Some("`RandomState` is salted per process")
+        } else {
+            None
+        };
+        if let Some(why) = banned {
+            cx.report(
+                out,
+                Rule::Determinism,
+                &tok,
+                format!("{why}; deterministic crates must not observe it"),
+            );
+            vi += 1;
+            continue;
+        }
+
+        // Unordered-container iteration: `name.iter()` / `self.name.keys()`.
+        if ITER_METHODS.contains(&text)
+            && cx.sig_text(vi + 1) == "("
+            && cx.sig_text(vi.wrapping_sub(1)) == "."
+        {
+            let recv = cx.sig_text(vi.wrapping_sub(2));
+            if unordered.contains(recv) {
+                cx.report(
+                    out,
+                    Rule::Determinism,
+                    &tok,
+                    format!(
+                        "`.{text}()` over `{recv}`, which this file declares as a \
+                         HashMap/HashSet — iteration order is salted per process"
+                    ),
+                );
+            }
+        }
+
+        // `for x in name` / `for x in &name` / `for x in &mut name` /
+        // `for x in self.name` over an unordered binding.
+        if text == "for" {
+            if let Some(in_vi) = find_for_in(cx, vi) {
+                let mut j = in_vi + 1;
+                while matches!(cx.sig_text(j), "&" | "mut") {
+                    j += 1;
+                }
+                if cx.sig_text(j) == "self" && cx.sig_text(j + 1) == "." {
+                    j += 2;
+                }
+                let name = cx.sig_text(j);
+                // Only a *bare* binding loop: a following `.` means a
+                // method call decides what is iterated (handled above).
+                let next = cx.sig_text(j + 1);
+                if unordered.contains(name) && next != "." {
+                    let at = cx.sig_tok(j).copied().expect("in range");
+                    cx.report(
+                        out,
+                        Rule::Determinism,
+                        &at,
+                        format!(
+                            "`for … in {name}` iterates a HashMap/HashSet declared in this \
+                             file — iteration order is salted per process"
+                        ),
+                    );
+                }
+            }
+        }
+        vi += 1;
+    }
+}
+
+/// Finds the `in` of a `for … in …` header starting at `for_vi`,
+/// skipping the (possibly destructuring) loop pattern.
+fn find_for_in(cx: &FileCx<'_>, for_vi: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in for_vi + 1..(for_vi + 64).min(cx.sig.len()) {
+        match cx.sig_text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "in" if depth == 0 => return Some(j),
+            "{" => return None, // body reached without `in`: not a loop header
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Names declared as `HashMap`/`HashSet` in this file: `let` bindings
+/// whose type or initializer mentions one, and struct fields typed as
+/// one (accessed as `self.name` or `x.name` — the field name is what
+/// we track).
+fn collect_unordered_bindings(cx: &FileCx<'_>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let is_unordered = |s: &str| s == "HashMap" || s == "HashSet";
+    for vi in 0..cx.sig.len() {
+        if cx.sig_text(vi) == "let" {
+            let mut j = vi + 1;
+            if cx.sig_text(j) == "mut" {
+                j += 1;
+            }
+            let name = cx.sig_text(j).to_string();
+            if name.is_empty() || !name.chars().next().is_some_and(unicode_ident_start) {
+                continue;
+            }
+            // Scan to the end of the statement; any HashMap/HashSet in
+            // the type or initializer marks the binding.
+            let mut depth = 0usize;
+            let mut k = j + 1;
+            let mut hit = false;
+            while k < cx.sig.len() {
+                match cx.sig_text(k) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => break,
+                    t if is_unordered(t) => hit = true,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if hit {
+                names.insert(name);
+            }
+        }
+        // Field declaration: `name: HashMap<…>` / `name: HashSet<…>`
+        // directly after the colon (possibly through path segments).
+        if cx.sig_text(vi) == ":" && !cx.is_path_sep(vi) && !cx.is_path_sep(vi.wrapping_sub(1)) {
+            let field = cx.sig_text(vi.wrapping_sub(1));
+            if !field.chars().next().is_some_and(unicode_ident_start) {
+                continue;
+            }
+            // Walk the type expression: `std::collections::HashMap<…>`.
+            let mut k = vi + 1;
+            let mut steps = 0;
+            while steps < 8 {
+                let t = cx.sig_text(k);
+                if is_unordered(t) {
+                    names.insert(field.to_string());
+                    break;
+                }
+                if cx.is_path_sep(k + 1) {
+                    k += 3; // ident :: …
+                } else {
+                    break;
+                }
+                steps += 1;
+            }
+        }
+    }
+    names
+}
+
+fn unicode_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}

@@ -1,0 +1,184 @@
+//! **float-reduction** — protects the order-independent reduction
+//! contract. Float addition does not associate: summing the same
+//! values in two different orders can differ in the last ulp, which is
+//! a *bit-identity* break even though it is numerically harmless. The
+//! deterministic concurrency layer (PR 2/6) therefore requires every
+//! reduction over concurrency-ordered sources to either fix the order
+//! first (sort by event time) or accumulate in exact integers.
+//!
+//! On the configured files (the pool/batch merge paths — where
+//! concurrency-ordered streams live), this rule flags:
+//!
+//! * `acc += …` / `acc -= …` inside a loop, where `acc` is a local the
+//!   file declares as `f32`/`f64` (explicit type or float-literal
+//!   initializer),
+//! * `.sum::<f32|f64>()` and `.fold(<float literal>, …)` anywhere —
+//!   iterator reductions hide the same loop.
+//!
+//! A waiver must say why the order is fixed (e.g. "merged by (time,
+//! walker) sort above") or why the accumulation is exact.
+
+use crate::context::FileCx;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    let floats = collect_float_locals(cx);
+    let loops = loop_ranges(cx);
+    for vi in 0..cx.sig.len() {
+        let tok = *cx.sig_tok(vi).expect("in range");
+        if cx.in_test(&tok) {
+            continue;
+        }
+        let text = tok.text(cx.src);
+
+        // `acc += …` (or `-=`) on a float local, inside a loop body.
+        if floats.contains(text)
+            && matches!(cx.sig_text(vi + 1), "+" | "-")
+            && cx.sig_text(vi + 2) == "="
+            && adjacent(cx, vi + 1, vi + 2)
+            && loops.iter().any(|&(s, e)| tok.start >= s && tok.start < e)
+        {
+            cx.report(
+                out,
+                Rule::FloatReduction,
+                &tok,
+                format!(
+                    "float accumulation `{text} {}=` in a loop — on a concurrency-ordered \
+                     source this breaks bit-identity; fix the order or accumulate exactly",
+                    cx.sig_text(vi + 1)
+                ),
+            );
+            continue;
+        }
+
+        // `.sum::<f64>()` / `.sum::<f32>()`.
+        if text == "sum"
+            && cx.sig_text(vi.wrapping_sub(1)) == "."
+            && cx.is_path_sep(vi + 1)
+            && cx.sig_text(vi + 3) == "<"
+            && matches!(cx.sig_text(vi + 4), "f32" | "f64")
+        {
+            cx.report(
+                out,
+                Rule::FloatReduction,
+                &tok,
+                format!(
+                    "`.sum::<{}>()` is a float reduction — iteration order decides the bits",
+                    cx.sig_text(vi + 4)
+                ),
+            );
+            continue;
+        }
+
+        // `.fold(0.0, …)` — float seed means float accumulator.
+        if text == "fold" && cx.sig_text(vi.wrapping_sub(1)) == "." && cx.sig_text(vi + 1) == "(" {
+            if let Some(seed) = cx.sig_tok(vi + 2) {
+                if seed.kind == TokKind::Num && is_float_literal(seed.text(cx.src)) {
+                    cx.report(
+                        out,
+                        Rule::FloatReduction,
+                        &tok,
+                        "`.fold(<float>, …)` is a float reduction — iteration order decides \
+                         the bits"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn adjacent(cx: &FileCx<'_>, a: usize, b: usize) -> bool {
+    match (cx.sig_tok(a), cx.sig_tok(b)) {
+        (Some(x), Some(y)) => x.end == y.start,
+        _ => false,
+    }
+}
+
+fn is_float_literal(text: &str) -> bool {
+    text.contains('.') || text.ends_with("f32") || text.ends_with("f64")
+}
+
+/// Locals the file declares with a float type or float initializer:
+/// `let mut acc: f64 = …`, `let mut acc = 0.0;`.
+fn collect_float_locals<'c>(cx: &'c FileCx<'c>) -> BTreeSet<&'c str> {
+    let mut names = BTreeSet::new();
+    for vi in 0..cx.sig.len() {
+        if cx.sig_text(vi) != "let" {
+            continue;
+        }
+        let mut j = vi + 1;
+        if cx.sig_text(j) == "mut" {
+            j += 1;
+        }
+        let name = cx.sig_text(j);
+        if name.is_empty() {
+            continue;
+        }
+        // `: f64` type annotation.
+        if cx.sig_text(j + 1) == ":" && matches!(cx.sig_text(j + 2), "f32" | "f64") {
+            names.insert(name);
+            continue;
+        }
+        // `= <float literal>` initializer.
+        if cx.sig_text(j + 1) == "=" {
+            if let Some(init) = cx.sig_tok(j + 2) {
+                if init.kind == TokKind::Num && is_float_literal(init.text(cx.src)) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Byte ranges of loop bodies: the `{ … }` following `for`/`while`/
+/// `loop` headers.
+fn loop_ranges(cx: &FileCx<'_>) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for vi in 0..cx.sig.len() {
+        if !matches!(cx.sig_text(vi), "for" | "while" | "loop") {
+            continue;
+        }
+        // `loop` is followed directly by `{`; `for`/`while` by a header
+        // that may contain struct-literal-free expressions — find the
+        // first `{` at bracket depth 0.
+        let mut j = vi + 1;
+        let mut depth = 0usize;
+        let mut open = None;
+        while j < cx.sig.len() && j < vi + 128 {
+            match cx.sig_text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break, // not a loop after all
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        // Matching close.
+        let mut bd = 0usize;
+        for k in open..cx.sig.len() {
+            match cx.sig_text(k) {
+                "{" => bd += 1,
+                "}" => {
+                    bd -= 1;
+                    if bd == 0 {
+                        let s = cx.sig_tok(open).expect("open token").start;
+                        let e = cx.sig_tok(k).expect("close token").end;
+                        ranges.push((s, e));
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    ranges
+}

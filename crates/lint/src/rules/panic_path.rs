@@ -1,0 +1,126 @@
+//! **panic-path** — a malformed request or a torn journal frame must
+//! degrade (error reply, `failed` transition, truncate-back), never
+//! abort the reactor. On the configured request-handling and
+//! journal-replay files this rule forbids:
+//!
+//! * `.unwrap()` / `.expect(…)` — except directly on `.lock(…)` /
+//!   `.wait(…)`, because a poisoned mutex means another thread already
+//!   panicked and continuing would trade a crash for silent corruption,
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`,
+//! * indexing (`x[i]`, `x[a..b]`) — use `.get()` and degrade; a
+//!   length-checked slice two lines below the check is exactly the
+//!   kind of invariant a later edit silently breaks.
+
+use crate::context::FileCx;
+use crate::diag::{Diagnostic, Rule};
+use crate::rules::EXPR_KEYWORDS;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Receivers whose `expect`/`unwrap` is the correct response to
+/// poisoning rather than a recoverable error.
+const POISON_SOURCES: &[&str] = &["lock", "wait", "wait_timeout"];
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    for vi in 0..cx.sig.len() {
+        let tok = *cx.sig_tok(vi).expect("in range");
+        if cx.in_test(&tok) {
+            continue;
+        }
+        let text = tok.text(cx.src);
+
+        if (text == "unwrap" || text == "expect")
+            && cx.sig_text(vi.wrapping_sub(1)) == "."
+            && cx.sig_text(vi + 1) == "("
+            && !poison_receiver(cx, vi)
+            // `self.expect(b':')` is the JSON parser's own fallible
+            // method, not `Option::expect` — a panicking combinator
+            // is never called on a bare `self` receiver here.
+            && cx.sig_text(vi.wrapping_sub(2)) != "self"
+        {
+            cx.report(
+                out,
+                Rule::PanicPath,
+                &tok,
+                format!(
+                    "`.{text}()` on a request/replay path aborts the reactor — degrade \
+                     instead (error reply, journaled `failed`, truncate-back)"
+                ),
+            );
+            continue;
+        }
+
+        if PANIC_MACROS.contains(&text) && cx.sig_text(vi + 1) == "!" {
+            cx.report(
+                out,
+                Rule::PanicPath,
+                &tok,
+                format!("`{text}!` on a request/replay path aborts the reactor"),
+            );
+            continue;
+        }
+
+        if text == "[" && is_index_expr(cx, vi) {
+            cx.report(
+                out,
+                Rule::PanicPath,
+                &tok,
+                "indexing can panic on a request/replay path — use `.get()` and degrade"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Whether the `.unwrap`/`.expect` at view `vi` hangs off `.lock(…)`,
+/// `.wait(…)` etc.: pattern `. lock ( … ) . expect` walking back over
+/// one balanced argument list.
+fn poison_receiver(cx: &FileCx<'_>, vi: usize) -> bool {
+    // vi-1 is `.`; vi-2 must be `)` closing the receiver's call.
+    if vi < 2 || cx.sig_text(vi - 2) != ")" {
+        return false;
+    }
+    let mut depth = 0usize;
+    let mut j = vi - 2;
+    loop {
+        match cx.sig_text(j) {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+    j >= 1 && POISON_SOURCES.contains(&cx.sig_text(j - 1))
+}
+
+/// Whether the `[` at view `vi` starts an index expression: the
+/// previous significant token must be something an expression can end
+/// with (identifier, `)`, `]`, or a literal) — everything else
+/// (attributes `#[`, array literals `= [`, types `: [u8; 4]`, slice
+/// patterns `let [a, b]`, macros `vec![`) is structure, not indexing.
+fn is_index_expr(cx: &FileCx<'_>, vi: usize) -> bool {
+    if vi == 0 {
+        return false;
+    }
+    let prev = cx.sig_text(vi - 1);
+    if prev == ")" || prev == "]" {
+        return true;
+    }
+    let Some(prev_tok) = cx.sig_tok(vi - 1) else {
+        return false;
+    };
+    use crate::lexer::TokKind;
+    match prev_tok.kind {
+        TokKind::Ident => !EXPR_KEYWORDS.contains(&prev),
+        TokKind::Str | TokKind::Num => true,
+        _ => false,
+    }
+}

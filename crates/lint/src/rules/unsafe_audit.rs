@@ -1,0 +1,248 @@
+//! **unsafe-audit** — every `unsafe` block/fn/impl (and every
+//! `extern "C"` declaration block) must be immediately preceded by a
+//! `// SAFETY:` comment carrying the justification. The same pass
+//! collects the [`UnsafeSite`] inventory that `UNSAFE_INVENTORY.md`
+//! is generated from, so new unsafe cannot land unreviewed: the CI
+//! diff surfaces it even when the author remembered the comment.
+
+use crate::context::FileCx;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of contract an unsafe site leans on. Buckets drive the
+/// inventory's audit columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Calls through a hand-declared foreign function.
+    Ffi,
+    /// Builds or views the mmap'd store region.
+    Mmap,
+    /// Software prefetch hints.
+    Prefetch,
+    /// `unsafe impl Send`/`Sync`.
+    Sync,
+    /// A foreign-function *declaration* block.
+    FfiDecl,
+    /// None of the known buckets — review the site and extend the
+    /// categorizer if a new class of unsafe is intentional.
+    Other,
+}
+
+impl Category {
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Ffi => "ffi",
+            Category::Mmap => "mmap",
+            Category::Prefetch => "prefetch",
+            Category::Sync => "sync",
+            Category::FfiDecl => "ffi-decl",
+            Category::Other => "other",
+        }
+    }
+}
+
+/// One unsafe site, as the inventory records it.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub path: String,
+    pub line: u32,
+    pub category: Category,
+    /// Whether a `// SAFETY:` comment justifies the site.
+    pub justified: bool,
+    /// The source line, trimmed, for the inventory's context column.
+    pub snippet: String,
+}
+
+/// Tokens that mark a site as FFI when they appear inside it.
+const FFI_CALLS: &[&str] = &[
+    "epoll_create1",
+    "epoll_ctl",
+    "epoll_wait",
+    "close",
+    "fcntl",
+    "pipe2",
+    "read",
+    "write",
+    "setsockopt",
+    "syscall",
+    "getsockopt",
+];
+
+const MMAP_CALLS: &[&str] = &[
+    "mmap",
+    "munmap",
+    "madvise",
+    "mprotect",
+    "from_raw_parts",
+    "from_raw_parts_mut",
+];
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>, inventory: &mut Vec<UnsafeSite>) {
+    for vi in 0..cx.sig.len() {
+        let tok = *cx.sig_tok(vi).expect("in range");
+        let text = tok.text(cx.src);
+        let site = if text == "unsafe" {
+            Some((tok, categorize_unsafe(cx, vi)))
+        } else if text == "extern"
+            && cx.sig_text(vi + 1).starts_with("\"C\"")
+            && cx.sig_text(vi + 2) == "{"
+        {
+            Some((tok, Category::FfiDecl))
+        } else {
+            None
+        };
+        let Some((tok, category)) = site else {
+            continue;
+        };
+        let justified = has_safety_comment(cx, &tok, statement_anchor_line(cx, vi));
+        inventory.push(UnsafeSite {
+            path: cx.rel.clone(),
+            line: tok.line,
+            category,
+            justified,
+            snippet: line_snippet(cx.src, tok.line),
+        });
+        if !justified {
+            cx.report(
+                out,
+                Rule::UnsafeAudit,
+                &tok,
+                format!(
+                    "{} site has no `// SAFETY:` comment immediately above it — write down \
+                     the invariant that makes this sound",
+                    if category == Category::FfiDecl {
+                        "`extern \"C\"` declaration"
+                    } else {
+                        "`unsafe`"
+                    }
+                ),
+            );
+        }
+    }
+}
+
+/// Buckets an `unsafe` token by the tokens of its block/item.
+fn categorize_unsafe(cx: &FileCx<'_>, vi: usize) -> Category {
+    if cx.sig_text(vi + 1) == "impl" {
+        return Category::Sync;
+    }
+    // Scan the block body (to the matching `}` of the first `{`) for
+    // telltale callees. Declaration-only forms (`unsafe fn` signatures
+    // in extern blocks) fall through to `Other`.
+    let mut depth = 0usize;
+    let mut seen_open = false;
+    for j in vi + 1..cx.sig.len() {
+        let t = cx.sig_text(j);
+        match t {
+            "{" => {
+                depth += 1;
+                seen_open = true;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if seen_open && depth == 0 {
+                    break;
+                }
+            }
+            ";" if !seen_open => break,
+            "_mm_prefetch" => return Category::Prefetch,
+            _ if MMAP_CALLS.contains(&t) => return Category::Mmap,
+            _ if FFI_CALLS.contains(&t) => return Category::Ffi,
+            _ => {}
+        }
+    }
+    Category::Other
+}
+
+/// First line of the statement enclosing the site at view `vi`: the
+/// line of the first significant token after the previous `;`, `{`,
+/// or `}`. A `let n = unsafe { … }` spanning three lines anchors its
+/// SAFETY comment above the `let`, not above the continuation line.
+fn statement_anchor_line(cx: &FileCx<'_>, vi: usize) -> u32 {
+    let mut start = vi;
+    while start > 0 {
+        let prev = cx.sig_text(start - 1);
+        if matches!(prev, ";" | "{" | "}") {
+            break;
+        }
+        start -= 1;
+    }
+    cx.sig_tok(start)
+        .map(|t| t.line)
+        .unwrap_or_else(|| cx.sig_tok(vi).map(|t| t.line).unwrap_or(1))
+}
+
+/// Whether a `SAFETY:` comment immediately precedes (or trails within)
+/// the site's statement. "Immediately precedes" means: on a line the
+/// statement spans (between its anchor line and the site line), or in
+/// the contiguous run of comment-only lines directly above the anchor
+/// — attributes and blank lines break the run, because a SAFETY
+/// comment separated from its site stops being a review anchor.
+fn has_safety_comment(cx: &FileCx<'_>, site: &Tok, anchor: u32) -> bool {
+    // Trailing on a line the statement spans (anchor..=site line).
+    for t in &cx.tokens {
+        if t.line >= anchor
+            && t.line <= site.line
+            && matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            && t.text(cx.src).contains("SAFETY:")
+        {
+            return true;
+        }
+    }
+    // Comment-only lines directly above the anchor.
+    let mut line = anchor.min(site.line);
+    loop {
+        if line <= 1 {
+            return false;
+        }
+        line -= 1;
+        let mut any = false;
+        let mut all_comment = true;
+        let mut has_safety = false;
+        for t in &cx.tokens {
+            // A multi-line token (block comment) counts for every line
+            // it spans; `t.line` is its first line, so compare range.
+            if t.line > line {
+                break;
+            }
+            let spans = t.line == line
+                || (matches!(t.kind, TokKind::BlockComment | TokKind::Ws)
+                    && t.line < line
+                    && end_line(cx.src, t) >= line);
+            if !spans {
+                continue;
+            }
+            match t.kind {
+                TokKind::Ws => {}
+                TokKind::LineComment | TokKind::BlockComment => {
+                    any = true;
+                    if t.text(cx.src).contains("SAFETY:") {
+                        has_safety = true;
+                    }
+                }
+                _ => all_comment = false,
+            }
+        }
+        if !any || !all_comment {
+            return false;
+        }
+        if has_safety {
+            return true;
+        }
+    }
+}
+
+/// Last line a token spans.
+fn end_line(src: &str, t: &Tok) -> u32 {
+    t.line + t.text(src).bytes().filter(|&b| b == b'\n').count() as u32
+}
+
+/// The trimmed text of `line` (1-based) in `src`.
+fn line_snippet(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line as usize - 1)
+        .unwrap_or_default()
+        .trim()
+        .to_string()
+}

@@ -1,0 +1,179 @@
+//! End-to-end CLI contract: exit codes, inventory drift detection,
+//! and the self-check that makes workspace lint cleanliness part of
+//! `cargo test` — seeding a fresh violation into a deterministic
+//! crate fails this suite, not just a separate CI job.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fs_lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fs-lint"))
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the root")
+        .to_path_buf()
+}
+
+/// A scratch tree with its own `lint.toml`; removed on drop.
+struct Tree {
+    root: PathBuf,
+}
+
+impl Tree {
+    fn new(tag: &str) -> Tree {
+        let root = std::env::temp_dir().join(format!("fs-lint-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("src")).expect("mkdir scratch tree");
+        std::fs::write(
+            root.join("lint.toml"),
+            r#"
+[files]
+roots = ["src"]
+
+[determinism]
+include = ["src"]
+
+[unsafe-audit]
+include = ["src"]
+
+[panic-path]
+include = ["src"]
+
+[float-reduction]
+include = ["src"]
+"#,
+        )
+        .expect("write lint.toml");
+        Tree { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        std::fs::write(self.root.join(rel), content).expect("write source file");
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn workspace_self_check_is_clean() {
+    let out = fs_lint()
+        .args(["--check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run fs-lint");
+    assert!(
+        out.status.success(),
+        "the workspace must lint clean; findings:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let tree = Tree::new("clean");
+    tree.write("src/lib.rs", "pub fn id(x: u64) -> u64 { x }\n");
+    // No unsafe sites, so an empty-tree inventory matches.
+    let write = fs_lint()
+        .args(["--write-inventory", "--root"])
+        .arg(&tree.root)
+        .output()
+        .expect("run fs-lint");
+    assert!(write.status.success());
+    let out = fs_lint()
+        .args(["--check", "--root"])
+        .arg(&tree.root)
+        .output()
+        .expect("run fs-lint");
+    assert!(out.status.success(), "clean tree must exit 0");
+}
+
+#[test]
+fn violations_exit_nonzero_with_spans() {
+    let tree = Tree::new("dirty");
+    tree.write(
+        "src/lib.rs",
+        "pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    let out = fs_lint()
+        .args(["--check", "--root"])
+        .arg(&tree.root)
+        .output()
+        .expect("run fs-lint");
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("src/lib.rs:2:16: [determinism]"),
+        "diagnostic must carry an exact span, got:\n{text}"
+    );
+}
+
+#[test]
+fn uncommented_unsafe_exits_nonzero() {
+    let tree = Tree::new("unsafe");
+    tree.write(
+        "src/lib.rs",
+        "pub fn peek(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    let out = fs_lint()
+        .args(["--check", "--root"])
+        .arg(&tree.root)
+        .output()
+        .expect("run fs-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[unsafe-audit]"), "got:\n{text}");
+}
+
+#[test]
+fn inventory_drift_exits_nonzero_until_regenerated() {
+    let tree = Tree::new("drift");
+    tree.write(
+        "src/lib.rs",
+        "pub fn peek(p: *const u8) -> u8 {\n    // SAFETY: caller contract (test fixture).\n    unsafe { *p }\n}\n",
+    );
+    // Justified site, but no committed inventory yet: drift.
+    let out = fs_lint()
+        .args(["--check", "--root"])
+        .arg(&tree.root)
+        .output()
+        .expect("run fs-lint");
+    assert_eq!(out.status.code(), Some(1), "missing inventory is drift");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[inventory-drift]"));
+
+    let write = fs_lint()
+        .args(["--write-inventory", "--root"])
+        .arg(&tree.root)
+        .output()
+        .expect("run fs-lint");
+    assert!(write.status.success());
+
+    let out = fs_lint()
+        .args(["--check", "--root"])
+        .arg(&tree.root)
+        .output()
+        .expect("run fs-lint");
+    assert!(out.status.success(), "regenerated inventory must be clean");
+}
+
+#[test]
+fn broken_policy_exits_two() {
+    let tree = Tree::new("policy");
+    tree.write("src/lib.rs", "pub fn id(x: u64) -> u64 { x }\n");
+    std::fs::write(tree.root.join("lint.toml"), "[files]\nrots = [\"src\"]\n")
+        .expect("write bad policy");
+    let out = fs_lint()
+        .args(["--check", "--root"])
+        .arg(&tree.root)
+        .output()
+        .expect("run fs-lint");
+    assert_eq!(out.status.code(), Some(2), "usage/config errors exit 2");
+}

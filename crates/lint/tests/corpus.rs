@@ -1,0 +1,169 @@
+//! Fixture corpus: every rule run over a file exercising its
+//! violations, carve-outs, and waivers, asserting exact diagnostic
+//! spans (rendered `path:line:col: [rule] message` strings).
+
+use fs_lint::policy::Policy;
+use fs_lint::rules::unsafe_audit::UnsafeSite;
+
+/// A policy that points every rule at the fixture tree.
+const POLICY: &str = r#"
+[files]
+roots = ["fixtures"]
+
+[determinism]
+include = ["fixtures"]
+
+[unsafe-audit]
+include = ["fixtures"]
+
+[panic-path]
+include = ["fixtures"]
+
+[float-reduction]
+include = ["fixtures"]
+"#;
+
+fn analyze(name: &str) -> (Vec<String>, Vec<UnsafeSite>) {
+    let policy = Policy::parse(POLICY).expect("fixture policy parses");
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let mut diags = Vec::new();
+    let mut sites = Vec::new();
+    fs_lint::analyze_file(
+        &format!("fixtures/{name}"),
+        &src,
+        &policy,
+        &mut diags,
+        &mut sites,
+    );
+    fs_lint::diag::sort(&mut diags);
+    (diags.iter().map(|d| d.to_string()).collect(), sites)
+}
+
+/// `(line, col, rule)` triples — the span surface the corpus pins.
+fn spans(diags: &[String]) -> Vec<(u32, u32, String)> {
+    diags
+        .iter()
+        .map(|d| {
+            let mut parts = d.split(':');
+            let _path = parts.next().expect("path");
+            let line = parts.next().expect("line").parse().expect("line number");
+            let col = parts.next().expect("col").parse().expect("col number");
+            let rest = parts.collect::<Vec<_>>().join(":");
+            let rule = rest
+                .split('[')
+                .nth(1)
+                .and_then(|s| s.split(']').next())
+                .expect("rule tag")
+                .to_string();
+            (line, col, rule)
+        })
+        .collect()
+}
+
+#[test]
+fn determinism_fixture_spans() {
+    let (diags, _) = analyze("determinism.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (8, 5, "determinism".into()),   // Instant::now()
+            (12, 24, "determinism".into()), // SystemTime
+            (18, 10, "determinism".into()), // thread::sleep
+            (22, 10, "determinism".into()), // env::var
+            (26, 18, "determinism".into()), // available_parallelism
+            (32, 27, "determinism".into()), // .iter() over a HashMap local
+        ],
+        "actual diagnostics:\n{}",
+        diags.join("\n")
+    );
+}
+
+#[test]
+fn unsafe_audit_fixture_spans() {
+    let (diags, sites) = analyze("unsafe_audit.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (10, 1, "unsafe-audit".into()), // extern "C" without SAFETY
+            (19, 1, "unsafe-audit".into()), // unsafe impl Sync without SAFETY
+            (27, 5, "unsafe-audit".into()), // unsafe block without SAFETY
+            (43, 9, "unsafe-audit".into()), // in #[cfg(test)] — NOT exempt
+        ],
+        "actual diagnostics:\n{}",
+        diags.join("\n")
+    );
+    // The inventory sees every site, justified or not.
+    let summary: Vec<(u32, &str, bool)> = sites
+        .iter()
+        .map(|s| (s.line, s.category.name(), s.justified))
+        .collect();
+    assert_eq!(
+        summary,
+        vec![
+            (6, "ffi-decl", true),
+            (10, "ffi-decl", false),
+            (17, "sync", true),
+            (19, "sync", false),
+            (23, "ffi", true),
+            (27, "ffi", false),
+            (34, "mmap", true), // SAFETY above a multi-line statement
+            (43, "ffi", false),
+        ]
+    );
+}
+
+#[test]
+fn panic_path_fixture_spans() {
+    let (diags, _) = analyze("panic_path.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (8, 7, "panic-path".into()),   // .unwrap()
+            (12, 7, "panic-path".into()),  // .expect()
+            (18, 14, "panic-path".into()), // panic!
+            (19, 14, "panic-path".into()), // unreachable!
+            (20, 14, "panic-path".into()), // todo!
+            (25, 7, "panic-path".into()),  // slice index
+            (29, 6, "panic-path".into()),  // map index
+        ],
+        "actual diagnostics:\n{}",
+        diags.join("\n")
+    );
+}
+
+#[test]
+fn float_reduction_fixture_spans() {
+    let (diags, _) = analyze("float_reduction.rs");
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (7, 9, "float-reduction".into()),   // acc += in a loop
+            (13, 24, "float-reduction".into()), // .sum::<f64>()
+            (17, 15, "float-reduction".into()), // .fold(0.0f32, ..)
+        ],
+        "actual diagnostics:\n{}",
+        diags.join("\n")
+    );
+}
+
+#[test]
+fn waiver_hygiene_fixture_spans() {
+    let (diags, _) = analyze("waivers.rs");
+    // Sorted output: the bad waivers (waiver-syntax), the findings the
+    // broken waivers failed to suppress (panic-path), and the unused
+    // waiver at the end of the file.
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (5, 5, "waiver-syntax".into()),  // missing reason
+            (6, 7, "panic-path".into()),     // ...so the unwrap still fires
+            (10, 5, "waiver-syntax".into()), // unknown rule name
+            (11, 7, "panic-path".into()),    // ...and this one too
+            (15, 5, "waiver-syntax".into()), // not allow(...) shaped
+            (20, 5, "unused-waiver".into()), // waiver covering nothing
+        ],
+        "actual diagnostics:\n{}",
+        diags.join("\n")
+    );
+}

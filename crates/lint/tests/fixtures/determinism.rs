@@ -1,0 +1,51 @@
+//! Determinism-rule fixture: every construct the rule bans, plus the
+//! carve-outs that must stay silent. Never compiled — the corpus test
+//! feeds this file to the analyzer and asserts exact spans.
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+fn system_clock() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}
+
+fn sleepy() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn env_branch() -> bool {
+    std::env::var("FS_MODE").is_ok()
+}
+
+fn host_sized() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn salted_iteration(m: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    let counts: HashMap<u32, u32> = HashMap::new();
+    for (_k, v) in counts.iter() {
+        acc += u64::from(*v);
+    }
+    let _ = m;
+    acc
+}
+
+fn waived_clock() -> Instant {
+    // fs-lint: allow(determinism) — fixture: timing is display-only here
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt: asserting on elapsed time in a test is
+    // not a determinism break in shipped samplers.
+    fn clock_in_test() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

@@ -1,0 +1,38 @@
+//! Float-reduction fixture: loop accumulation and iterator reductions
+//! over floats, plus the integer accumulation that must stay silent.
+
+fn loop_accumulate(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}
+
+fn iterator_sum(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum::<f64>()
+}
+
+fn iterator_fold(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |a, b| a + b)
+}
+
+fn integer_accumulate(xs: &[u64]) -> u64 {
+    // Named distinctly from the float accumulators above: the local
+    // tracker is file-scoped, so a reused name would inherit their
+    // float classification.
+    let mut total = 0u64;
+    for x in xs {
+        total += *x;
+    }
+    total
+}
+
+fn waived_accumulate(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        // fs-lint: allow(float-reduction) — fixture: source is sorted by (time, walker) above
+        acc += *x;
+    }
+    acc
+}

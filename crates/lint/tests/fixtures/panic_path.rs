@@ -1,0 +1,58 @@
+//! Panic-path fixture: aborts the rule must flag on request/replay
+//! code, and the carve-outs (poison expects, guarded patterns) it
+//! must not.
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+fn unwrap_reply(r: Result<u32, String>) -> u32 {
+    r.unwrap()
+}
+
+fn expect_reply(r: Result<u32, String>) -> u32 {
+    r.expect("always ok")
+}
+
+fn explicit_panic(kind: u8) -> u32 {
+    match kind {
+        0 => 0,
+        1 => panic!("bad kind"),
+        2 => unreachable!("kind space is 0..=1"),
+        _ => todo!(),
+    }
+}
+
+fn raw_index(xs: &[u32], at: usize) -> u32 {
+    xs[at]
+}
+
+fn map_index(m: &HashMap<u32, u32>) -> u32 {
+    m[&1]
+}
+
+fn poison_carveout(m: &Mutex<u32>) -> u32 {
+    // A poisoned mutex means another thread already panicked; the
+    // rule's carve-out keeps `.lock().expect(..)` legal.
+    *m.lock().expect("poisoned")
+}
+
+fn waived_index(xs: &[u32]) -> u32 {
+    // fs-lint: allow(panic-path) — fixture: length asserted by caller
+    xs[0]
+}
+
+fn array_literal_not_index() -> [u32; 2] {
+    [1, 2]
+}
+
+fn attribute_not_index() {
+    #[allow(dead_code)]
+    fn inner() {}
+}
+
+#[cfg(test)]
+mod tests {
+    // Test assertions may panic freely.
+    fn in_test(xs: &[u32]) -> u32 {
+        xs[0] + [10u32, 20][1]
+    }
+}

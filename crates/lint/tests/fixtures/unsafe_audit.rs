@@ -1,0 +1,45 @@
+//! Unsafe-audit fixture: justified and unjustified sites, each
+//! category the inventory buckets.
+use std::os::raw::c_int;
+
+// SAFETY: fixture — signature transcribed from close(2).
+extern "C" {
+    fn close(fd: c_int) -> c_int;
+}
+
+extern "C" {
+    fn unjustified_decl(fd: c_int) -> c_int;
+}
+
+struct Wrapper(*mut u8);
+
+// SAFETY: fixture — the pointer is never shared across threads.
+unsafe impl Send for Wrapper {}
+
+unsafe impl Sync for Wrapper {}
+
+fn justified_call(fd: c_int) -> c_int {
+    // SAFETY: fixture — fd is owned by the caller and open.
+    unsafe { close(fd) }
+}
+
+fn unjustified_call(fd: c_int) -> c_int {
+    unsafe { close(fd) }
+}
+
+fn multiline_statement(len: usize, ptr: *const u8) -> &'static [u8] {
+    // SAFETY: fixture — the comment sits above a statement whose
+    // `unsafe` token lands on a continuation line.
+    let slice =
+        unsafe { std::slice::from_raw_parts(ptr, len) };
+    slice
+}
+
+#[cfg(test)]
+mod tests {
+    // unsafe-audit does NOT exempt test regions: an unsound test is
+    // still unsound.
+    fn in_test(fd: std::os::raw::c_int) -> std::os::raw::c_int {
+        unsafe { super::close(fd) }
+    }
+}

@@ -1,0 +1,22 @@
+//! Waiver-hygiene fixture: malformed waivers, missing reasons,
+//! unknown rules, and a waiver covering nothing.
+
+fn missing_reason(r: Result<u32, String>) -> u32 {
+    // fs-lint: allow(panic-path)
+    r.unwrap()
+}
+
+fn unknown_rule(r: Result<u32, String>) -> u32 {
+    // fs-lint: allow(no-such-rule) — reason text
+    r.unwrap()
+}
+
+fn bad_shape() -> u32 {
+    // fs-lint: please ignore this line
+    0
+}
+
+fn unused_waiver() -> u32 {
+    // fs-lint: allow(determinism) — nothing on the next line trips this rule
+    0
+}

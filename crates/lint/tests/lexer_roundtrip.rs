@@ -1,0 +1,120 @@
+//! Lexer properties: the token stream is lossless (concatenating the
+//! token texts reproduces the input byte-for-byte) and positions are
+//! monotonic — over randomized soups of the trickiest Rust surface
+//! (raw strings, nested block comments, lifetimes vs char literals).
+
+use fs_lint::lexer::{self, TokKind};
+use proptest::prelude::*;
+
+/// Fragments biased toward lexer edge cases. Round-tripping holds for
+/// *any* byte soup; the palette just concentrates the probability mass
+/// where bugs live.
+const PALETTE: &[&str] = &[
+    "fn main() {}",
+    "// line comment\n",
+    "/* block */",
+    "/* outer /* nested */ still outer */",
+    "\"string with \\\" escape\"",
+    "r\"raw\"",
+    "r#\"raw with \" inside\"#",
+    "r##\"double-hash \"# inside\"##",
+    "b\"bytes\"",
+    "'a'",
+    "'\\n'",
+    "'\\''",
+    "&'a str",
+    "<'static>",
+    "'outer: loop {}",
+    "0xFF_u32",
+    "1.5e-3",
+    "0b1010",
+    "ident",
+    "_underscore",
+    "::",
+    "=>",
+    "..=",
+    "#[attr]",
+    "\n",
+    " ",
+    "\t",
+    "é",
+    "→",
+    "unsafe",
+    "let x = 1;",
+];
+
+fn assemble(picks: &[usize]) -> String {
+    picks.iter().map(|&i| PALETTE[i % PALETTE.len()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256 })]
+
+    #[test]
+    fn tokens_roundtrip(picks in prop::collection::vec(0usize..PALETTE.len(), 0..40)) {
+        let src = assemble(&picks);
+        let tokens = lexer::lex(&src);
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(&rebuilt, &src);
+    }
+
+    #[test]
+    fn positions_monotonic(picks in prop::collection::vec(0usize..PALETTE.len(), 0..40)) {
+        let src = assemble(&picks);
+        let tokens = lexer::lex(&src);
+        let mut end = 0usize;
+        let mut last_line = 1u32;
+        for t in &tokens {
+            prop_assert_eq!(t.start, end, "tokens must tile the input");
+            prop_assert!(t.end > t.start, "every token is non-empty");
+            prop_assert!(t.line >= last_line, "lines never go backwards");
+            end = t.end;
+            last_line = t.line;
+        }
+        prop_assert_eq!(end, src.len());
+    }
+
+    #[test]
+    fn no_unknown_tokens_on_rust_fragments(picks in prop::collection::vec(0usize..PALETTE.len(), 1..20)) {
+        let src = assemble(&picks);
+        for t in lexer::lex(&src) {
+            prop_assert!(
+                t.kind != TokKind::Unknown,
+                "unknown token {:?} in {:?}",
+                t.text(&src),
+                src
+            );
+        }
+    }
+}
+
+#[test]
+fn lifetime_vs_char_disambiguation() {
+    let src = "let c = 'x'; fn f<'a>(s: &'a str) -> &'a str { s }";
+    let kinds: Vec<TokKind> = lexer::lex(src)
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::Char | TokKind::Lifetime))
+        .map(|t| t.kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokKind::Char,
+            TokKind::Lifetime,
+            TokKind::Lifetime,
+            TokKind::Lifetime
+        ]
+    );
+}
+
+#[test]
+fn comments_never_merge_with_code() {
+    let src = "let a = 1; // trailing with \"quote\"\nlet b = 2;";
+    let tokens = lexer::lex(src);
+    let comment: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::LineComment)
+        .collect();
+    assert_eq!(comment.len(), 1);
+    assert_eq!(comment[0].text(src), "// trailing with \"quote\"");
+}

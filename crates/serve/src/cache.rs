@@ -251,8 +251,15 @@ impl ResultCache {
             let Some((&stamp, _)) = inner.by_stamp.iter().next() else {
                 break;
             };
-            let key = inner.by_stamp.remove(&stamp).expect("index consistent");
-            let entry = inner.map.remove(&key).expect("map consistent");
+            // The two indices are updated together everywhere, but a
+            // desync degrades to ending eviction early rather than
+            // aborting the reactor mid-request.
+            let Some(key) = inner.by_stamp.remove(&stamp) else {
+                break;
+            };
+            let Some(entry) = inner.map.remove(&key) else {
+                break;
+            };
             inner.bytes -= entry.weight;
             inner.evictions += 1;
         }

@@ -179,11 +179,14 @@ impl RequestParser {
     /// Takes the next CRLF- (or bare-LF-) terminated line if one is
     /// complete, enforcing `max_line`.
     fn take_line(&mut self) -> Result<Option<String>, HttpError> {
+        // fs-lint: allow(panic-path) — `pos <= buf.len()` is the parser's cursor invariant (every advance is bounds-checked)
         let window = &self.buf[self.pos..];
         match window.iter().position(|&b| b == b'\n') {
             Some(at) => {
+                // fs-lint: allow(panic-path) — `at` comes from `position` over this window, so `at < window.len()`
                 let mut line = &window[..at];
                 if line.last() == Some(&b'\r') {
+                    // fs-lint: allow(panic-path) — guarded by `last() == Some(..)`: the line is non-empty here
                     line = &line[..line.len() - 1];
                 }
                 if line.len() > self.limits.max_line {
@@ -261,6 +264,7 @@ impl RequestParser {
                     if have < need {
                         return Ok(None);
                     }
+                    // fs-lint: allow(panic-path) — the `have < need` early-return above guarantees the range is in bounds
                     self.partial.body = self.buf[self.pos..self.pos + need].to_vec();
                     self.pos += need;
                     self.state = ParseState::RequestLine;
@@ -487,6 +491,7 @@ pub fn write_all_stream(stream: &mut impl Write, mut bytes: &[u8]) -> std::io::R
                     "stream accepted no bytes",
                 ))
             }
+            // fs-lint: allow(panic-path) — `io::Write` guarantees `n <= bytes.len()`
             Ok(n) => bytes = &bytes[n..],
             Err(e)
                 if e.kind() == std::io::ErrorKind::Interrupted

@@ -923,13 +923,30 @@ impl JobManager {
         }
         self.touch(shared);
         let spec = &shared.spec;
-        let mut estimator =
-            JobEstimator::new(spec.estimator, &spec.sampler).expect("validated at submit");
+        // Submit validation rejects invalid (estimator, sampler) pairs,
+        // but journal replay re-creates jobs from disk — a journal
+        // written by a different build (or hand-edited) can carry a
+        // pair this build refuses. Degrade to a journaled `failed`
+        // instead of unwinding the worker.
+        let mut estimator = match JobEstimator::new(spec.estimator, &spec.sampler) {
+            Ok(est) => est,
+            Err(why) => {
+                self.fail_job(id, shared, format!("invalid estimator/sampler pair: {why}"));
+                return;
+            }
+        };
 
-        let cancelled = if let Some(threads) = spec.pool_threads {
+        let pooled = if let Some(threads) = spec.pool_threads {
             self.run_pooled(shared, graph, threads, &mut estimator)
         } else {
-            self.run_sequential(id, shared, graph, &mut estimator)
+            Ok(self.run_sequential(id, shared, graph, &mut estimator))
+        };
+        let cancelled = match pooled {
+            Ok(cancelled) => cancelled,
+            Err(why) => {
+                self.fail_job(id, shared, why);
+                return;
+            }
         };
 
         let snapshot = estimator.snapshot();
@@ -1087,21 +1104,41 @@ impl JobManager {
         }
     }
 
+    /// Marks a job failed, journals the terminal record, and notifies
+    /// waiters. The degrade path for conditions submit validation
+    /// normally prevents but journal replay can resurrect (a journal
+    /// written by another build, or hand-edited, carries specs this
+    /// build refuses).
+    fn fail_job(&self, id: u64, shared: &JobShared, error: String) {
+        let mut state = shared.state.lock().expect("job poisoned");
+        state.phase = JobPhase::Failed;
+        state.error = Some(error.clone());
+        let steps_done = state.steps_done;
+        drop(state);
+        if let Some(journal) = &self.journal {
+            journal.terminal(id, JobPhase::Failed, Some(&error), steps_done, None);
+        }
+        self.observe_terminal(id, JobPhase::Failed, steps_done);
+        self.touch(shared);
+    }
+
     /// Pooled execution (deterministic at any thread count); returns
-    /// whether cancelled.
+    /// whether cancelled, or an error for sampler kinds the pool does
+    /// not support (reachable only through journal replay — submit
+    /// validation rejects them up front).
     fn run_pooled(
         &self,
         shared: &JobShared,
         graph: &MmapGraph,
         threads: usize,
         estimator: &mut JobEstimator,
-    ) -> bool {
+    ) -> Result<bool, String> {
         let spec = &shared.spec;
         // The generation phase below is uninterruptible (its length is
         // bounded by the pooled-budget cap at submit); honour a cancel
         // that arrived while the job was queued.
         if shared.cancel.load(Ordering::Relaxed) {
-            return true;
+            return Ok(true);
         }
         // Same charged-query tap as the sequential path: the pool's
         // reductions are thread-count independent, and the counter is
@@ -1126,7 +1163,12 @@ impl JobManager {
                 &mut budget,
                 spec.seed,
             ),
-            _ => unreachable!("validated at submit"),
+            ref other => {
+                return Err(format!(
+                    "pooled execution supports frontier and multiple samplers, not '{}'",
+                    other.label()
+                ))
+            }
         };
         let walk_us = walk_start.elapsed().as_micros() as u64;
         let queries = query_counter.get();
@@ -1145,7 +1187,7 @@ impl JobManager {
         let mut feed_us = 0u64;
         for (chunk_idx, step_chunk) in run.steps.chunks(self.chunk).enumerate() {
             if shared.cancel.load(Ordering::Relaxed) {
-                return true;
+                return Ok(true);
             }
             let chunk_start = Instant::now();
             for step in step_chunk {
@@ -1172,6 +1214,6 @@ impl JobManager {
             drop(state);
             self.touch(shared);
         }
-        false
+        Ok(false)
     }
 }

@@ -199,13 +199,15 @@ impl Journal {
             file.sync_data()?;
             (HEADER_LEN, Vec::new())
         } else {
-            if bytes[..4] != JOURNAL_MAGIC {
+            if bytes.get(..4) != Some(JOURNAL_MAGIC.as_slice()) {
                 return Err(std::io::Error::new(
                     ErrorKind::InvalidData,
                     format!("{} is not a job journal (bad magic)", path.display()),
                 ));
             }
-            let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+            // `bytes.len() >= HEADER_LEN` on this branch; the fallback
+            // value degrades a short read to the version error below.
+            let version = le_u32(&bytes, 4).unwrap_or(u32::MAX);
             if version > JOURNAL_VERSION {
                 return Err(std::io::Error::new(
                     ErrorKind::InvalidData,
@@ -310,6 +312,7 @@ impl Journal {
             JobPhase::Failed => 1,
             JobPhase::Cancelled => 2,
             // Non-terminal phases are never journaled as terminal.
+            // fs-lint: allow(panic-path) — module-internal contract: every caller passes Done/Failed/Cancelled
             JobPhase::Queued | JobPhase::Running => unreachable!("terminal record for live phase"),
         });
         match error {
@@ -375,6 +378,7 @@ impl Journal {
                     // Land half a frame, then fail — the torn-tail case
                     // the truncate-back below must make invisible.
                     let half = (frame.len() / 2).max(1);
+                    // fs-lint: allow(panic-path) — `half = (len / 2).max(1) <= len`: a frame always carries its 5-byte header
                     inner.file.write_all(&frame[..half])?;
                     return Err(std::io::Error::other(
                         "injected short write (failpoint journal.append)",
@@ -455,36 +459,53 @@ fn scan_records(bytes: &[u8]) -> (u64, Vec<RawRecord>, u64) {
     let mut records = Vec::new();
     let mut pos = HEADER_LEN as usize;
     while pos < bytes.len() {
-        let rest = &bytes[pos..];
-        if rest.len() < (FRAME_OVERHEAD - 8) as usize {
-            break; // torn: not even a type + length
-        }
-        let record_type = rest[0];
-        let len = u32::from_le_bytes(rest[1..5].try_into().expect("4 bytes"));
-        if len > MAX_RECORD_LEN {
-            break; // corrupt length word
-        }
-        let frame_len = 5 + len as usize + 8;
-        if rest.len() < frame_len {
-            break; // torn: frame runs past EOF
-        }
-        let body = &rest[..5 + len as usize];
-        let stored = u64::from_le_bytes(
-            rest[5 + len as usize..frame_len]
-                .try_into()
-                .expect("8 bytes"),
-        );
-        if fnv1a64(body) != stored {
-            break; // torn or bit-rotted: checksum mismatch
-        }
+        let rest = bytes.get(pos..).unwrap_or_default();
+        // Every read is length-checked: a torn or bit-rotted tail must
+        // truncate back to the last intact frame, never panic replay.
+        let Some((record_type, payload, frame_len)) = decode_frame(rest) else {
+            break;
+        };
         records.push(RawRecord {
             record_type,
-            payload: body[5..].to_vec(),
+            payload,
         });
         pos += frame_len;
     }
-    let torn = if pos < bytes.len() { 1 } else { 0 };
+    let torn = u64::from(pos < bytes.len());
     (pos as u64, records, torn)
+}
+
+/// Decodes one frame at the head of `rest`: `(type, payload, frame
+/// bytes consumed)`. `None` for anything short, oversized, or failing
+/// its checksum — the caller truncates there.
+fn decode_frame(rest: &[u8]) -> Option<(u8, Vec<u8>, usize)> {
+    let record_type = *rest.first()?;
+    let len = le_u32(rest, 1)?;
+    if len > MAX_RECORD_LEN {
+        return None; // corrupt length word
+    }
+    let body_len = 5 + len as usize;
+    let body = rest.get(..body_len)?; // torn: frame runs past EOF
+    let stored = le_u64(rest, body_len)?;
+    if fnv1a64(body) != stored {
+        return None; // torn or bit-rotted: checksum mismatch
+    }
+    Some((record_type, body.get(5..)?.to_vec(), body_len + 8))
+}
+
+/// Length-checked little-endian reads for the replay path.
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let raw = bytes.get(at..at.checked_add(4)?)?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(raw);
+    Some(u32::from_le_bytes(buf))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let raw = bytes.get(at..at.checked_add(8)?)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(raw);
+    Some(u64::from_le_bytes(buf))
 }
 
 /// Aggregates raw records into per-job replay state. Records that fail
@@ -815,6 +836,51 @@ mod tests {
             JobPhase::Done
         );
         assert!(std::fs::metadata(dir.join("jobs.fsjl")).unwrap().len() > good);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_frame_headers_truncate_instead_of_panicking() {
+        let dir = tmp("hostile");
+        {
+            let (journal, _) = open(&dir);
+            journal.submit(1, &spec(5), 1);
+        }
+        let path = dir.join("jobs.fsjl");
+        let good = std::fs::read(&path).unwrap();
+
+        // A length word claiming u32::MAX: rejected before any read.
+        let mut bytes = good.clone();
+        bytes.push(7);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let stats = Arc::new(DurabilityStats::default());
+        let (_j, replay) = Journal::open(&dir, Arc::clone(&stats)).unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(stats.torn_truncated.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            good.len() as u64,
+            "truncated back to the intact prefix"
+        );
+
+        // A plausible length word whose frame runs past EOF.
+        let mut bytes = good.clone();
+        bytes.push(7);
+        bytes.extend_from_slice(&64u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 10]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (_j, replay) = open(&dir);
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good.len() as u64);
+
+        // A file shorter than the header: rewritten as a fresh journal.
+        std::fs::write(&path, b"FSJ").unwrap();
+        let stats = Arc::new(DurabilityStats::default());
+        let (_j, replay) = Journal::open(&dir, Arc::clone(&stats)).unwrap();
+        assert!(replay.jobs.is_empty());
+        assert_eq!(stats.torn_truncated.load(Ordering::Relaxed), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), HEADER_LEN);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -256,6 +256,11 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
+    /// Unconsumed input (empty once the cursor passes the end).
+    fn rest(&self) -> &[u8] {
+        self.bytes.get(self.pos..).unwrap_or_default()
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
@@ -272,7 +277,7 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        if self.rest().starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -384,7 +389,11 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("malformed number"))?;
         let x: f64 = text
             .parse()
             .map_err(|e| self.err(format!("malformed number '{text}': {e}")))?;
@@ -420,7 +429,7 @@ impl Parser<'_> {
                             let hi = self.hex4()?;
                             let c = if (0xD800..0xDC00).contains(&hi) {
                                 // Surrogate pair.
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                if self.rest().starts_with(b"\\u") {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
                                     if !(0xDC00..0xE000).contains(&lo) {
@@ -458,9 +467,15 @@ impl Parser<'_> {
                         _ => 4,
                     };
                     let end = (self.pos + len).min(self.bytes.len());
-                    let scalar = std::str::from_utf8(&self.bytes[self.pos..end])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = scalar.chars().next().expect("non-empty");
+                    let scalar = self
+                        .bytes
+                        .get(self.pos..end)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    let c = scalar
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -470,11 +485,11 @@ impl Parser<'_> {
 
     /// Reads 4 hex digits, advancing past them.
     fn hex4(&mut self) -> Result<u32, JsonError> {
-        if self.pos + 4 > self.bytes.len() {
-            return Err(self.err("truncated \\u escape"));
-        }
-        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| self.err("invalid \\u escape"))?;
+        let text = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
         let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
         self.pos += 4;
         Ok(v)
@@ -568,6 +583,17 @@ mod tests {
             "\"\\udc00 alone\"",
             "1e999",
             "{\"a\":1,\"a\":2}",
+            // Truncation at every cursor the decoder advances: each
+            // must come back as a clean parse error, never a panic
+            // (these are the request-path `.expect()`s converted to
+            // error returns).
+            "\"\\u",
+            "\"\\u00",
+            "\"\\u00g0\"",
+            "\"\\ud800\\u",
+            "\"\\ud800\\udc0",
+            "\"tail\\",
+            "falsy",
         ] {
             assert!(parse(text).is_err(), "{text:?} should be rejected");
         }

@@ -233,12 +233,16 @@ impl StoreRegistry {
         // LRU eviction; the Arc keeps evicted stores alive for any job
         // still holding a handle.
         while inner.open.len() > self.capacity {
-            let oldest = inner
+            // `len() > capacity >= 0` makes the map non-empty, but a
+            // degrade beats an abort on the open-store path.
+            let Some(oldest) = inner
                 .open
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(&k, _)| k)
-                .expect("non-empty");
+            else {
+                break;
+            };
             inner.open.remove(&oldest);
             if let Some(obs) = &self.obs {
                 obs.store_evictions.incr();

@@ -537,6 +537,8 @@ fn smuggling_shaped_framing_is_rejected_with_close() {
 mod tiny_rcvbuf {
     use std::os::fd::AsRawFd;
 
+    // SAFETY: signature transcribed from setsockopt(2); the one call
+    // site passes a pointer to a live `c_int` with its exact size.
     extern "C" {
         fn setsockopt(
             fd: std::os::raw::c_int,

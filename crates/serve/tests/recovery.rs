@@ -333,3 +333,98 @@ fn reactor_socket_chaos_is_invisible_to_clients() {
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn replayed_job_with_unsupported_spec_fails_cleanly() {
+    let _guard = lock();
+    let dir = store_dir("recovery_badspec", 2_000, 23);
+    let store_path = dir.join("ba.fsg");
+    let digest = fs_store::file_digest(&store_path).unwrap();
+
+    // Specs submit validation rejects, resurrected via the journal —
+    // exactly what a journal written by a different build (or edited
+    // by hand) can hand this server. Both must land as clean journaled
+    // `failed` jobs, never a worker panic.
+    {
+        let (journal, _) = Journal::open(
+            &dir.join("journal"),
+            std::sync::Arc::new(DurabilityStats::default()),
+        )
+        .unwrap();
+        // Statistically unsupported pair: clustering needs an edge
+        // stream, MHRW emits uniform vertices.
+        journal.submit(
+            1,
+            &JobSpec {
+                store: "ba.fsg".into(),
+                sampler: SamplerSpec::Mhrw,
+                budget: BUDGET,
+                seed: 1,
+                estimator: EstimatorSpec::Clustering,
+                pool_threads: None,
+            },
+            digest,
+        );
+        // Valid pair, but the walker pool only runs fs/multiple.
+        journal.submit(
+            2,
+            &JobSpec {
+                store: "ba.fsg".into(),
+                sampler: SamplerSpec::Mhrw,
+                budget: BUDGET,
+                seed: 1,
+                estimator: EstimatorSpec::AverageDegree,
+                pool_threads: Some(2),
+            },
+            digest,
+        );
+    }
+
+    let server = server_over(&dir);
+    let addr = server.addr();
+    wait_ready(addr);
+
+    let doc = wait_terminal(addr, 1);
+    assert_eq!(
+        doc.get("phase").unwrap().as_str(),
+        Some("failed"),
+        "{doc:?}"
+    );
+    let error = doc.get("error").unwrap().as_str().unwrap().to_string();
+    assert!(
+        error.contains("invalid estimator/sampler pair"),
+        "wrong error: {error}"
+    );
+    assert!(
+        !error.contains("internal error"),
+        "must degrade, not catch a panic: {error}"
+    );
+
+    let doc = wait_terminal(addr, 2);
+    assert_eq!(
+        doc.get("phase").unwrap().as_str(),
+        Some("failed"),
+        "{doc:?}"
+    );
+    let error = doc.get("error").unwrap().as_str().unwrap().to_string();
+    assert!(
+        error.contains("pooled execution supports frontier and multiple"),
+        "wrong error: {error}"
+    );
+    assert!(!error.contains("internal error"), "{error}");
+
+    // The failures are journaled: a second restart replays them as
+    // terminal and re-runs nothing.
+    server.shutdown();
+    let server = server_over(&dir);
+    let addr = server.addr();
+    wait_ready(addr);
+    let doc = wait_terminal(addr, 1);
+    assert_eq!(
+        doc.get("phase").unwrap().as_str(),
+        Some("failed"),
+        "{doc:?}"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -81,6 +81,9 @@ mod sys {
     pub const MAP_HUGETLB: c_int = 0x40000;
     pub const MADV_HUGEPAGE: c_int = 14;
 
+    // SAFETY: signatures transcribed from the Linux mmap(2) family's
+    // libc ABI; callers uphold the pointer/length contracts (mapping
+    // lifetimes are owned by `Mmap`, which unmaps exactly once).
     extern "C" {
         pub fn mmap(
             addr: *mut c_void,
